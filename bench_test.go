@@ -1,0 +1,502 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation
+// section (§7), plus micro-benchmarks of every substrate. The
+// experiment benchmarks wrap internal/bench; run the full-size
+// reproduction with cmd/xencbench (-size 25000000 for the paper's
+// 25 MB NASA document). Benchmark document size defaults to 2 MB and
+// is overridable with SECXML_BENCH_BYTES.
+//
+//	go test -bench=. -benchmem
+//
+// Custom metrics: experiment benchmarks report the paper's columns
+// (server-µs/op, decrypt-µs/op, post-µs/op, answer-KB) per
+// scheme/class so the tables can be read straight off the benchmark
+// output.
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/cryptoprim"
+	"repro/internal/datagen"
+	"repro/internal/dsi"
+	"repro/internal/opess"
+	"repro/internal/remote"
+	"repro/internal/sc"
+	"repro/internal/scheme"
+	"repro/internal/wire"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+func benchSize() int {
+	if v := os.Getenv("SECXML_BENCH_BYTES"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 2_000_000
+}
+
+var (
+	setupOnce sync.Once
+	setups    map[string]*bench.Setup
+	setupErr  error
+)
+
+// sharedSetups hosts each dataset once under all four schemes; the
+// hosting cost is excluded from the per-query benchmarks.
+func sharedSetups(b *testing.B) map[string]*bench.Setup {
+	b.Helper()
+	setupOnce.Do(func() {
+		setups = map[string]*bench.Setup{}
+		for _, ds := range []string{"nasa", "xmark"} {
+			cfg := bench.DefaultConfig(ds, benchSize())
+			cfg.QueriesPerClass = 5
+			cfg.Trials = 1
+			s, err := bench.NewSetup(cfg)
+			if err != nil {
+				setupErr = err
+				return
+			}
+			setups[ds] = s
+		}
+	})
+	if setupErr != nil {
+		b.Fatalf("setup: %v", setupErr)
+	}
+	return setups
+}
+
+// BenchmarkFig9 regenerates Figure 9: per scheme and query class,
+// the server query time, client decryption time and client query
+// (post-processing) time on the NASA dataset.
+func BenchmarkFig9(b *testing.B) {
+	s := sharedSetups(b)["nasa"]
+	for _, schemeName := range bench.Schemes {
+		sys := s.Systems[schemeName]
+		for _, class := range bench.Classes {
+			queries := s.Queries(class)
+			b.Run(fmt.Sprintf("%s/%s", schemeName, class), func(b *testing.B) {
+				var server, decrypt, post, bytes int64
+				n := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					q := queries[i%len(queries)]
+					_, _, tm, err := sys.Query(q)
+					if err != nil {
+						b.Fatalf("query %s: %v", q, err)
+					}
+					server += tm.ServerExec.Microseconds()
+					decrypt += tm.ClientDecrypt.Microseconds()
+					post += tm.ClientPost.Microseconds()
+					bytes += int64(tm.AnswerBytes)
+					n++
+				}
+				b.ReportMetric(float64(server)/float64(n), "server-µs/op")
+				b.ReportMetric(float64(decrypt)/float64(n), "decrypt-µs/op")
+				b.ReportMetric(float64(post)/float64(n), "post-µs/op")
+				b.ReportMetric(float64(bytes)/float64(n)/1024, "answer-KB")
+			})
+		}
+	}
+}
+
+// BenchmarkDivisionOfWork regenerates §7.2's table (E1): the full
+// stage breakdown including translation and (simulated) transmission
+// on the NASA dataset, one op per query round trip.
+func BenchmarkDivisionOfWork(b *testing.B) {
+	s := sharedSetups(b)["nasa"]
+	for _, schemeName := range bench.Schemes {
+		sys := s.Systems[schemeName]
+		queries := s.Queries(datagen.Qm)
+		b.Run(string(schemeName), func(b *testing.B) {
+			var translate, transmit int64
+			n := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				_, _, tm, err := sys.Query(q)
+				if err != nil {
+					b.Fatalf("query %s: %v", q, err)
+				}
+				translate += tm.ClientTranslate.Microseconds()
+				transmit += tm.Transmit.Microseconds()
+				n++
+			}
+			b.ReportMetric(float64(translate)/float64(n), "translate-µs/op")
+			b.ReportMetric(float64(transmit)/float64(n), "transmit-µs/op")
+		})
+	}
+}
+
+// BenchmarkOursVsNaive regenerates §7.3 (E2): the selective pipeline
+// versus shipping the whole database, per scheme, on NASA Ql
+// queries. The ratio column is the paper's headline number.
+func BenchmarkOursVsNaive(b *testing.B) {
+	s := sharedSetups(b)["nasa"]
+	for _, schemeName := range bench.Schemes {
+		sys := s.Systems[schemeName]
+		queries := s.Queries(datagen.Ql)
+		for _, mode := range []string{"ours", "naive"} {
+			b.Run(fmt.Sprintf("%s/%s", schemeName, mode), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					q := queries[i%len(queries)]
+					var err error
+					if mode == "ours" {
+						_, _, _, err = sys.Query(q)
+					} else {
+						_, _, _, err = sys.NaiveQuery(q)
+					}
+					if err != nil {
+						b.Fatalf("%s %s: %v", mode, q, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEncryptionSchemes regenerates §7.4's encryption-cost
+// measurements (E3): wall time to build blocks + metadata + value
+// index per scheme, with the hosted size as a custom metric.
+func BenchmarkEncryptionSchemes(b *testing.B) {
+	doc := datagen.NASAToSize(benchSize()/4, 7)
+	scs := datagen.NASASCs()
+	for _, schemeName := range bench.Schemes {
+		b.Run(string(schemeName), func(b *testing.B) {
+			var hosted int
+			for i := 0; i < b.N; i++ {
+				sys, err := core.Host(doc, scs, schemeName, []byte("enc-bench"))
+				if err != nil {
+					b.Fatalf("Host: %v", err)
+				}
+				hosted = sys.HostedDB.ByteSize()
+			}
+			b.ReportMetric(float64(hosted)/1024, "hosted-KB")
+		})
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10 (E5): saving ratios of the
+// app/opt schemes over top/sub, reported as custom metrics per
+// query class, for both datasets.
+func BenchmarkFig10(b *testing.B) {
+	for _, ds := range []string{"xmark", "nasa"} {
+		s := sharedSetups(b)[ds]
+		b.Run(ds, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := s.DivisionOfWork()
+				if err != nil {
+					b.Fatalf("DivisionOfWork: %v", err)
+				}
+				if i == b.N-1 {
+					for _, r := range bench.SavingRatios(rows) {
+						b.ReportMetric(r.SaT, r.Class.String()+"-Sa/t")
+						b.ReportMetric(r.SaS, r.Class.String()+"-Sa/s")
+						b.ReportMetric(r.SoT, r.Class.String()+"-So/t")
+						b.ReportMetric(r.SoS, r.Class.String()+"-So/s")
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6 (E6): the OPESS split of the
+// paper's skewed distribution.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.Fig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkXPathEvaluate(b *testing.B) {
+	doc := datagen.NASA(2000, 3)
+	queries := []*xpath.Path{
+		xpath.MustParse("//dataset/title"),
+		xpath.MustParse("//dataset[date>=1990]//last"),
+		xpath.MustParse("//author[initial='A']/last"),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xpath.Evaluate(doc, queries[i%len(queries)])
+	}
+}
+
+func BenchmarkXMLParse(b *testing.B) {
+	data := []byte(datagen.NASA(500, 3).String())
+	b.SetBytes(int64(len(data)))
+	b.Run("encoding-xml", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := xmltree.ParseString(string(data)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compact", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := xmltree.ParseCompact(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkDSIAssign(b *testing.B) {
+	doc := datagen.NASA(2000, 3)
+	keys := cryptoprim.MustKeySet("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dsi.Assign(doc, keys)
+	}
+}
+
+func BenchmarkBTree(b *testing.B) {
+	b.Run("insert", func(b *testing.B) {
+		tr := btree.New(0)
+		for i := 0; i < b.N; i++ {
+			tr.Insert(uint64(i*2654435761), i)
+		}
+	})
+	b.Run("range", func(b *testing.B) {
+		tr := btree.New(0)
+		for i := 0; i < 100000; i++ {
+			tr.Insert(uint64(i), i)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo := uint64(i % 90000)
+			tr.Range(lo, lo+1000)
+		}
+	})
+}
+
+// BenchmarkStructuralJoin compares the per-context binary-search
+// probe against the batched sort-merge structural join (§6.2) on a
+// realistic interval family.
+func BenchmarkStructuralJoin(b *testing.B) {
+	doc := datagen.NASA(3000, 3)
+	keys := cryptoprim.MustKeySet("join-bench")
+	md := dsi.BuildMetadata(doc, nil, keys)
+	ctxs := md.Table.Lookup("dataset")
+	cands := md.Table.Lookup("last")
+	b.Run("per-context", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			total := 0
+			for _, ctx := range ctxs {
+				total += len(dsi.Within(cands, ctx))
+			}
+			if total == 0 {
+				b.Fatal("no matches")
+			}
+		}
+	})
+	b.Run("merge-join", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(dsi.DescendantJoin(ctxs, cands)) == 0 {
+				b.Fatal("no matches")
+			}
+		}
+	})
+}
+
+func BenchmarkOPE(b *testing.B) {
+	ope := cryptoprim.NewOPE(cryptoprim.MustKeySet("bench"), 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ope.Encrypt(float64(i % 100000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOPESSBuild(b *testing.B) {
+	keys := cryptoprim.MustKeySet("bench")
+	freq := map[string]int{}
+	r := datagen.NewRand(5)
+	for i := 0; i < 200; i++ {
+		freq[fmt.Sprintf("v%03d", i)] = 1 + r.Zipf(50)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opess.Build("attr", freq, keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAESBlock(b *testing.B) {
+	keys := cryptoprim.MustKeySet("bench")
+	pt := []byte(datagen.NASA(20, 3).String())
+	b.SetBytes(int64(len(pt)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ct, err := keys.EncryptBlock(pt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := keys.DecryptBlock(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVertexCover(b *testing.B) {
+	r := datagen.NewRand(11)
+	in := &scheme.VCInstance{Weights: make([]int, 16)}
+	for i := range in.Weights {
+		in.Weights[i] = 1 + r.Intn(9)
+	}
+	for u := 0; u < 16; u++ {
+		for v := u + 1; v < 16; v++ {
+			if r.Intn(4) == 0 {
+				in.Edges = append(in.Edges, [2]int{u, v})
+			}
+		}
+	}
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := scheme.ExactCover(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("clarkson", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := scheme.ClarksonCover(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWireMarshal measures the wire-format cost of shipping a
+// hosted database (upload path) and answers.
+func BenchmarkWireMarshal(b *testing.B) {
+	doc := datagen.NASA(500, 3)
+	sys, err := core.Host(doc, datagen.NASASCs(), core.SchemeOpt, []byte("wire-bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := wire.MarshalDB(sys.HostedDB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("marshal-db", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.MarshalDB(sys.HostedDB); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unmarshal-db", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.UnmarshalDB(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRemoteRoundTrip measures a full query over the HTTP
+// transport (loopback), versus the in-process backend.
+func BenchmarkRemoteRoundTrip(b *testing.B) {
+	doc := datagen.NASA(300, 3)
+	sys, err := core.Host(doc, datagen.NASASCs(), core.SchemeOpt, []byte("remote-bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := "//dataset[date>=1995]/title"
+	b.Run("in-process", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := sys.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ts := httptest.NewServer(remote.NewService())
+	defer ts.Close()
+	cl := remote.Dial(ts.URL, "bench").WithHTTPClient(ts.Client())
+	if err := cl.Upload(sys.HostedDB); err != nil {
+		b.Fatal(err)
+	}
+	sys.UseBackend(cl)
+	b.Run("http", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := sys.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkUpdate measures the future-work extension: one leaf-value
+// update including block re-encryption and index-band re-issue.
+func BenchmarkUpdate(b *testing.B) {
+	doc := datagen.NASA(300, 3)
+	sys, err := core.Host(doc, datagen.NASASCs(), core.SchemeOpt, []byte("update-bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := []string{"Zeta", "Yost", "Xu"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.UpdateLeafValues("//dataset[1]/author[1]/last", vals[i%len(vals)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAggregateMinMax measures the §6.4 single-block path.
+func BenchmarkAggregateMinMax(b *testing.B) {
+	doc := datagen.NASA(1000, 3)
+	sys, err := core.Host(doc, datagen.NASASCs(), core.SchemeOpt, []byte("agg-bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.AggregateMinMax("//author/last", i%2 == 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSchemeConstruction(b *testing.B) {
+	doc := datagen.NASA(500, 3)
+	scs, err := sc.ParseAll(datagen.NASASCs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("optimal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := scheme.Optimal(doc, scs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("approx", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := scheme.Approx(doc, scs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,193 @@
+// Command xaudit quantifies the security a hosted database achieves
+// against the paper's attack model (§3.3): for each protected
+// attribute it reports the candidate-database counts of Theorems 4.1
+// and 5.2, runs the frequency and adjacent-sum attacks an
+// honest-but-curious server could mount, and reports the belief
+// bounds of Theorem 6.1.
+//
+//	xaudit -in db.xml -key secret -sc "//patient:(/pname, //disease)" -scheme opt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"os"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/xmltree"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, "; ") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	in := flag.String("in", "", "input XML file (required)")
+	schemeName := flag.String("scheme", "opt", "encryption scheme: opt, app, sub, top, leaf")
+	key := flag.String("key", "", "master key (required)")
+	var scs multiFlag
+	flag.Var(&scs, "sc", "security constraint (repeatable)")
+	flag.Parse()
+	if *in == "" || *key == "" {
+		fmt.Fprintln(os.Stderr, "xaudit: -in and -key are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	doc, err := xmltree.Parse(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := core.Host(doc, scs, core.SchemeName(*schemeName), []byte(*key))
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("scheme %s: %d blocks, %d encrypted association endpoints %v\n\n",
+		sys.Scheme.Name, sys.Scheme.NumBlocks(), len(sys.Scheme.CoverTags), coverList(sys))
+
+	freqs := doc.LeafValueFrequencies()
+
+	fmt.Println("=== Theorem 4.1: candidate databases from decoyed encryption ===")
+	total := big.NewInt(1)
+	for _, tag := range xmltree.SortedKeys(freqs) {
+		if !tagEncrypted(sys, tag) {
+			continue
+		}
+		var fs []int
+		for _, n := range freqs[tag] {
+			fs = append(fs, n)
+		}
+		c := attack.MultinomialCandidates(fs)
+		total.Mul(total, c)
+		fmt.Printf("  %-14s %3d distinct values -> %s candidates\n", tag, len(fs), sci(c))
+	}
+	fmt.Printf("  combined: %s indistinguishable candidate databases\n\n", sci(total))
+
+	fmt.Println("=== Theorem 5.2: value-index candidates (order-preserving partitions) ===")
+	for _, tag := range xmltree.SortedKeys(freqs) {
+		if !tagEncrypted(sys, tag) {
+			continue
+		}
+		k := len(freqs[tag])
+		n := 0
+		for _, cnt := range freqs[tag] {
+			n += chunksFor(cnt)
+		}
+		if n <= k {
+			continue
+		}
+		fmt.Printf("  %-14s k=%3d plaintexts, n=%4d ciphertexts -> C(n-1,k-1) = %s\n",
+			tag, k, n, sci(attack.CompositionCandidates(n, k)))
+	}
+	fmt.Println()
+
+	fmt.Println("=== Theorem 6.1: belief bounds under query observation ===")
+	for _, tag := range xmltree.SortedKeys(freqs) {
+		if !tagEncrypted(sys, tag) {
+			continue
+		}
+		k := len(freqs[tag])
+		n := 0
+		for _, cnt := range freqs[tag] {
+			n += chunksFor(cnt)
+		}
+		if n <= k || k < 1 {
+			continue
+		}
+		b := attack.NewAssociationBelief(k, n)
+		prior := b.Belief()
+		b.Observe()
+		fmt.Printf("  %-14s prior %s -> after observation %s (never increases)\n",
+			tag, ratStr(prior), ratStr(b.Belief()))
+	}
+	fmt.Println()
+
+	fmt.Println("=== frequency attack on the hosted ciphertext (should crack nothing) ===")
+	// With randomized AES-GCM every ciphertext class has size 1; the
+	// deterministic-model attack is what decoys defend even there.
+	view := serverIndexFreqs(sys)
+	cracked := 0
+	for _, tag := range xmltree.SortedKeys(freqs) {
+		if !tagEncrypted(sys, tag) {
+			continue
+		}
+		plain := freqs[tag]
+		var plainList []int
+		for _, n := range plain {
+			plainList = append(plainList, n)
+		}
+		if g := attack.CountConsistentGroupings(view, plainList); g == 1 {
+			cracked++
+			fmt.Printf("  %-14s UNIQUE adjacent-sum grouping: review scaling!\n", tag)
+		}
+	}
+	if cracked == 0 {
+		fmt.Println("  no attribute admits a unique adjacent-sum grouping: attack defeated")
+	}
+}
+
+func coverList(sys *core.System) []string {
+	var out []string
+	for t := range sys.Scheme.CoverTags {
+		out = append(out, t)
+	}
+	return out
+}
+
+func tagEncrypted(sys *core.System, tag string) bool {
+	if sys.Scheme.Name == "top" {
+		return true
+	}
+	if sys.Scheme.CoverTags[tag] {
+		return true
+	}
+	// Node-type constraints encrypt whole subtrees; approximate by
+	// checking whether the tag is absent from the plaintext residue.
+	return !strings.Contains(sys.HostedDB.Residue.String(), "<"+strings.TrimPrefix(tag, "@"))
+}
+
+// chunksFor mirrors the OPESS chunk count for one frequency (m=3
+// lower bound: every n>1 decomposes into chunks of >=2, singletons
+// split into 3).
+func chunksFor(n int) int {
+	if n == 1 {
+		return 3
+	}
+	return (n + 2) / 3
+}
+
+func serverIndexFreqs(sys *core.System) []int {
+	freq := map[uint64]int{}
+	for _, e := range sys.HostedDB.IndexEntries {
+		freq[e.Key]++
+	}
+	return attack.SortedFreqs(freq)
+}
+
+func sci(v *big.Int) string {
+	s := v.String()
+	if len(s) <= 12 {
+		return s
+	}
+	return fmt.Sprintf("%c.%se%d", s[0], s[1:4], len(s)-1)
+}
+
+func ratStr(r *big.Rat) string {
+	f, _ := r.Float64()
+	return fmt.Sprintf("%.3g", f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xaudit:", err)
+	os.Exit(1)
+}

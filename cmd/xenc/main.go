@@ -1,0 +1,90 @@
+// Command xenc encrypts an XML document under a set of security
+// constraints and reports what the untrusted server would see: the
+// plaintext residue, the DSI table labels, block statistics and the
+// value-index frequency distribution.
+//
+//	xenc -in db.xml -sc "//insurance" -sc "//patient:(/pname, //disease)" \
+//	     -scheme opt -key secret [-residue]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/secxml"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, "; ") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	in := flag.String("in", "", "input XML file (required)")
+	schemeName := flag.String("scheme", "opt", "encryption scheme: opt, app, sub, top, leaf")
+	key := flag.String("key", "", "master key (required)")
+	showResidue := flag.Bool("residue", false, "print the full plaintext residue")
+	var scs multiFlag
+	flag.Var(&scs, "sc", "security constraint (repeatable): \"p\" or \"p:(q1, q2)\"")
+	flag.Parse()
+
+	if *in == "" || *key == "" {
+		fmt.Fprintln(os.Stderr, "xenc: -in and -key are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, s := range scs {
+		if err := secxml.ValidateConstraint(s); err != nil {
+			fatal(err)
+		}
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	doc, err := secxml.ParseDocument(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	db, err := secxml.Host(doc, scs, secxml.Options{
+		MasterKey: []byte(*key),
+		Scheme:    *schemeName,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	st := db.Stats()
+	fmt.Printf("document:      %d bytes, %d nodes, depth %d\n", doc.ByteSize(), doc.NumNodes(), doc.Depth())
+	fmt.Printf("scheme:        %s (cover tags: %v)\n", st.Scheme, st.CoverTags)
+	fmt.Printf("blocks:        %d (scheme size %d nodes)\n", st.NumBlocks, st.SchemeSize)
+	fmt.Printf("hosted size:   %d bytes\n", st.HostedBytes)
+	fmt.Printf("DSI entries:   %d\n", st.DSITableEntries)
+	fmt.Printf("index entries: %d\n", st.IndexEntries)
+	fmt.Printf("encrypt time:  %v\n", st.EncryptTime)
+
+	view := db.ServerView()
+	fmt.Printf("\nDSI labels the server sees (%d):\n", len(view.DSILabels))
+	for i := 0; i < len(view.DSILabels); i += 6 {
+		end := i + 6
+		if end > len(view.DSILabels) {
+			end = len(view.DSILabels)
+		}
+		fmt.Println("  " + strings.Join(view.DSILabels[i:end], " "))
+	}
+	if *showResidue {
+		fmt.Printf("\nplaintext residue:\n%s\n", view.ResidueXML)
+	} else {
+		fmt.Printf("\nresidue: %d bytes (pass -residue to print)\n", len(view.ResidueXML))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xenc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,250 @@
+// Command xencbench regenerates every table and figure of the
+// paper's evaluation section (§7) and prints them as text tables.
+//
+//	go run ./cmd/xencbench -dataset nasa -size 25000000 -exp all
+//
+// Experiments (see DESIGN.md's index):
+//
+//	division  §7.2  division of work between client and server (E1)
+//	naive     §7.3  our approach vs the naive method (E2)
+//	enccost   §7.4  encryption time and hosted size per scheme (E3)
+//	fig9      Fig 9 query performance of the four schemes (E4)
+//	fig10     Fig 10 saving ratios Sa/t, Sa/s, So/t, So/s (E5)
+//	fig6      Fig 6 OPESS distribution flattening (E6)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/datagen"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	dataset := flag.String("dataset", "nasa", "dataset: nasa, xmark or both")
+	size := flag.Int("size", 2_000_000, "plaintext document size in bytes (paper: 25000000)")
+	exp := flag.String("exp", "all", "experiment: all, division, naive, enccost, fig9, fig10, fig6, ablation")
+	queries := flag.Int("queries", 10, "queries per Qs/Qm/Ql class")
+	trials := flag.Int("trials", 5, "trials per query (min and max dropped)")
+	paperHW := flag.Bool("paperhw", false, "simulate the paper's 2006 client decryption throughput (see EXPERIMENTS.md)")
+	flag.Parse()
+
+	if *exp == "fig6" || *exp == "all" {
+		runFig6()
+		if *exp == "fig6" {
+			return
+		}
+	}
+
+	var datasets []string
+	switch *dataset {
+	case "both":
+		datasets = []string{"nasa", "xmark"}
+	default:
+		datasets = []string{*dataset}
+	}
+	for _, ds := range datasets {
+		cfg := bench.DefaultConfig(ds, *size)
+		cfg.QueriesPerClass = *queries
+		cfg.Trials = *trials
+		cfg.PaperHW = *paperHW
+		fmt.Printf("=== dataset %s, target %d bytes ===\n", ds, *size)
+		start := time.Now()
+		setup, err := bench.NewSetup(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("generated %d bytes (%d nodes), hosted under %d schemes in %v\n\n",
+			setup.Doc.ByteSize(), setup.Doc.Size(), len(setup.Systems), time.Since(start).Round(time.Millisecond))
+
+		switch *exp {
+		case "all":
+			runEncCost(setup)
+			rows := runDivision(setup)
+			runFig9(rows)
+			runFig10(setup, rows)
+			runNaive(setup)
+			runAblations(setup)
+		case "division":
+			runDivision(setup)
+		case "naive":
+			runNaive(setup)
+		case "enccost":
+			runEncCost(setup)
+		case "fig9":
+			runFig9(mustDivision(setup))
+		case "fig10":
+			runFig10(setup, mustDivision(setup))
+		case "ablation":
+			runAblations(setup)
+		default:
+			fatal(fmt.Errorf("unknown experiment %q", *exp))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xencbench:", err)
+	os.Exit(1)
+}
+
+func mustDivision(s *bench.Setup) []bench.DivisionRow {
+	rows, err := s.DivisionOfWork()
+	if err != nil {
+		fatal(err)
+	}
+	return rows
+}
+
+func runDivision(s *bench.Setup) []bench.DivisionRow {
+	rows := mustDivision(s)
+	fmt.Println("--- E1 (§7.2): division of work between client and server ---")
+	fmt.Printf("%-6s %-4s %12s %12s %12s %12s %12s %10s %7s\n",
+		"scheme", "cls", "translate", "server", "transmit", "decrypt", "post", "bytes", "blocks")
+	for _, r := range rows {
+		fmt.Printf("%-6s %-4s %12v %12v %12v %12v %12v %10d %7d\n",
+			r.Scheme, r.Class, rnd(r.ClientTranslate), rnd(r.ServerExec), rnd(r.Transmit),
+			rnd(r.ClientDecrypt), rnd(r.ClientPost), r.AnswerBytes, r.BlocksShipped)
+	}
+	fmt.Println()
+	return rows
+}
+
+func runNaive(s *bench.Setup) {
+	rows, err := s.OursVsNaive()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("--- E2 (§7.3): our approach vs naive method (ship everything) ---")
+	fmt.Printf("%-6s %-4s %14s %14s %8s\n", "scheme", "cls", "ours", "naive", "ratio")
+	for _, r := range rows {
+		fmt.Printf("%-6s %-4s %14v %14v %7.0f%%\n",
+			r.Scheme, r.Class, rnd(r.Ours), rnd(r.Naive), r.Ratio*100)
+	}
+	fmt.Println()
+}
+
+func runEncCost(s *bench.Setup) {
+	rows := s.EncryptionCost()
+	fmt.Println("--- E3 (§7.4): encryption cost and hosted size per scheme ---")
+	fmt.Printf("%-6s %14s %14s %14s %10s %12s\n", "scheme", "encrypt", "hosted bytes", "cipher bytes", "blocks", "scheme size")
+	for _, r := range rows {
+		fmt.Printf("%-6s %14v %14d %14d %10d %12d\n",
+			r.Scheme, rnd(r.EncryptTime), r.HostedBytes, r.CipherBytes, r.NumBlocks, r.SchemeSize)
+	}
+	fmt.Println()
+}
+
+func runFig9(rows []bench.DivisionRow) {
+	fmt.Println("--- E4 (Figure 9): query performance of the four schemes ---")
+	for _, class := range bench.Classes {
+		fmt.Printf("(%s) query %v\n", panelName(class), class)
+		fmt.Printf("  %-6s %14s %14s %14s\n", "scheme", "server query", "client decrypt", "client query")
+		for _, scheme := range bench.Schemes {
+			for _, r := range rows {
+				if r.Scheme == scheme && r.Class == class {
+					fmt.Printf("  %-6s %14v %14v %14v\n",
+						scheme, rnd(r.ServerExec), rnd(r.ClientDecrypt), rnd(r.ClientPost))
+				}
+			}
+		}
+	}
+	fmt.Println()
+}
+
+func panelName(c datagen.QueryClass) string {
+	switch c {
+	case datagen.Qs:
+		return "1"
+	case datagen.Qm:
+		return "2"
+	default:
+		return "3"
+	}
+}
+
+func runFig10(s *bench.Setup, rows []bench.DivisionRow) {
+	savings := bench.SavingRatios(rows)
+	fmt.Printf("--- E5 (Figure 10): saving ratios, dataset %s ---\n", s.Config.Dataset)
+	fmt.Printf("%-4s %8s %8s %8s %8s\n", "cls", "Sa/t", "Sa/s", "So/t", "So/s")
+	for _, r := range savings {
+		fmt.Printf("%-4s %8.2f %8.2f %8.2f %8.2f\n", r.Class.String(), r.SaT, r.SaS, r.SoT, r.SoS)
+	}
+	fmt.Println()
+}
+
+func runFig6() {
+	input, output, err := bench.Fig6()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("--- E6 (Figure 6): OPESS distribution flattening ---")
+	fmt.Println("(a) plaintext occurrence frequencies")
+	for _, r := range input {
+		fmt.Printf("  %-14s %3d %s\n", r.Label, r.Count, strings.Repeat("#", r.Count))
+	}
+	fmt.Println("(b) ciphertext occurrence frequencies after splitting")
+	for _, r := range output {
+		fmt.Printf("  %-14s %3d %s\n", r.Label, r.Count, strings.Repeat("#", r.Count))
+	}
+	fmt.Println()
+}
+
+func runAblations(s *bench.Setup) {
+	fmt.Println("--- ablations: what each defense buys (and costs) ---")
+	// Decoys (§4.1) on a small instance of the same dataset.
+	var doc = smallDocLike(s)
+	if rows, err := bench.DecoyAblation(doc, s.SCs); err == nil {
+		fmt.Println("decoys vs frequency attack (values cracked per tag):")
+		for _, r := range rows {
+			fmt.Printf("  %-12s distinct=%3d cracked(no decoy)=%3d cracked(decoy)=%3d"+"\n",
+				r.Tag, r.DistinctValues, r.CrackedNoDecoy, r.CrackedDecoy)
+		}
+	} else {
+		fmt.Println("decoy ablation:", err)
+	}
+	// Scaling (§5.2.1).
+	if rows, err := bench.ScalingAblation(doc); err == nil {
+		fmt.Println("scaling vs adjacent-sum attack (consistent groupings; 0 = defeated):")
+		for _, r := range rows {
+			fmt.Printf("  %-12s unscaled=%4d scaled=%4d entries %5d -> %5d"+"\n",
+				r.Tag, r.GroupingsUnscaled, r.GroupingsScaled, r.IndexEntriesPlain, r.IndexEntriestotal)
+		}
+	} else {
+		fmt.Println("scaling ablation:", err)
+	}
+	// Grouping (§5.1.1).
+	if row, err := bench.GroupingAblation(doc, s.SCs); err == nil {
+		fmt.Printf("grouping: DSI entries %d -> %d; structural candidates ~1e%.0f (Thm 5.1)"+"\n",
+			row.EntriesUngrouped, row.EntriesGrouped, row.CandidatesLog10)
+	} else {
+		fmt.Println("grouping ablation:", err)
+	}
+	// Link sensitivity.
+	if rows, err := s.LinkAblation(); err == nil {
+		fmt.Println("link sensitivity (Ql workload, top vs opt):")
+		for _, r := range rows {
+			fmt.Printf("  %-12s top=%12v opt=%12v saving=%.2f"+"\n",
+				r.Link, rnd(r.TopTotal), rnd(r.OptTotal), r.Saving)
+		}
+	} else {
+		fmt.Println("link ablation:", err)
+	}
+	fmt.Println()
+}
+
+// smallDocLike builds a small instance of the setup's dataset for
+// the combinatorial ablations (attack counting is exponential-ish).
+func smallDocLike(s *bench.Setup) *xmltree.Document {
+	if s.Config.Dataset == "xmark" {
+		return datagen.XMark(60, s.Config.Seed)
+	}
+	return datagen.NASA(60, s.Config.Seed)
+}
+
+func rnd(d time.Duration) time.Duration { return d.Round(time.Microsecond) }

@@ -1,0 +1,154 @@
+// Command xquery runs XPath queries through the full secure
+// evaluation pipeline of the paper (Figure 1): it hosts the given
+// document encrypted under the given security constraints, then
+// evaluates each query — client translation, server-side pruning
+// over the DSI and value indices, transmission, decryption and
+// post-processing — and prints results with the per-stage timing
+// breakdown.
+//
+//	xquery -in db.xml -key secret -sc "//patient:(/pname, //disease)" \
+//	       -scheme opt "//patient[.//disease='flu']/pname"
+//
+// With -remote URL the encrypted database is uploaded to a running
+// xserve instance and every query travels over HTTP:
+//
+//	xquery -in db.xml -key secret -sc "..." -remote http://localhost:8080 "..."
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/remote"
+	"repro/internal/xmltree"
+	"repro/secxml"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, "; ") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	in := flag.String("in", "", "input XML file (required)")
+	schemeName := flag.String("scheme", "opt", "encryption scheme: opt, app, sub, top, leaf")
+	key := flag.String("key", "", "master key (required)")
+	naive := flag.Bool("naive", false, "also run the naive ship-everything baseline")
+	remoteURL := flag.String("remote", "", "upload to a running xserve at this base URL and query over HTTP")
+	dbName := flag.String("db", "xquery", "database name on the remote server")
+	xmlOut := flag.Bool("xml", false, "print results as XML instead of string values")
+	var scs multiFlag
+	flag.Var(&scs, "sc", "security constraint (repeatable)")
+	flag.Parse()
+
+	if *in == "" || *key == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "xquery: -in, -key and at least one query are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, q := range flag.Args() {
+		if err := secxml.Validate(q); err != nil {
+			fatal(err)
+		}
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if *remoteURL != "" {
+		runRemote(f, scs, *key, *schemeName, *remoteURL, *dbName, *xmlOut, flag.Args())
+		return
+	}
+	doc, err := secxml.ParseDocument(f)
+	if err != nil {
+		fatal(err)
+	}
+	db, err := secxml.Host(doc, scs, secxml.Options{
+		MasterKey: []byte(*key),
+		Scheme:    *schemeName,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, q := range flag.Args() {
+		res, err := db.Query(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("query: %s\n", q)
+		var lines []string
+		if *xmlOut {
+			lines = res.XML()
+		} else {
+			lines = res.Values()
+		}
+		for _, l := range lines {
+			fmt.Printf("  %s\n", l)
+		}
+		tm := res.Timings
+		fmt.Printf("  [%d results | translate %v | server %v | transmit %v | decrypt %v | post %v | %d blocks, %d bytes]\n",
+			res.Count(), tm.ClientTranslate, tm.ServerExec, tm.Transmit,
+			tm.ClientDecrypt, tm.ClientPost, tm.BlocksShipped, tm.AnswerBytes)
+		if *naive {
+			nres, err := db.NaiveQuery(q)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  [naive: total %v, %d bytes shipped]\n",
+				nres.Timings.Total(), nres.Timings.AnswerBytes)
+		}
+	}
+}
+
+// runRemote encrypts locally, uploads to a running xserve, and
+// evaluates every query over HTTP.
+func runRemote(f *os.File, scs []string, key, schemeName, baseURL, name string, xmlOut bool, queries []string) {
+	doc, err := xmltree.Parse(f)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := core.Host(doc, scs, core.SchemeName(schemeName), []byte(key))
+	if err != nil {
+		fatal(err)
+	}
+	cl := remote.Dial(baseURL, name)
+	if err := cl.Upload(sys.HostedDB); err != nil {
+		fatal(err)
+	}
+	sys.UseBackend(cl)
+	fmt.Printf("uploaded %q to %s (%d blocks)\n", name, baseURL, sys.Scheme.NumBlocks())
+	for _, q := range queries {
+		nodes, _, tm, err := sys.Query(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("query: %s\n", q)
+		for _, line := range resultLines(nodes, xmlOut) {
+			fmt.Printf("  %s\n", line)
+		}
+		fmt.Printf("  [%d results | server+network %v | %d blocks, %d bytes]\n",
+			len(nodes), tm.ServerExec, tm.BlocksShipped, tm.AnswerBytes)
+	}
+}
+
+func resultLines(nodes []*xmltree.Node, xmlOut bool) []string {
+	if xmlOut {
+		return core.ResultStrings(nodes)
+	}
+	var out []string
+	for _, n := range nodes {
+		out = append(out, n.LeafValue())
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xquery:", err)
+	os.Exit(1)
+}

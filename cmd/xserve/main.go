@@ -1,0 +1,90 @@
+// Command xserve runs the untrusted server of the paper's DAS
+// architecture as a standalone HTTP service. Owners upload encrypted
+// databases (with xupload below or the remote client API), then point
+// their clients at the service.
+//
+//	xserve -listen :8080
+//
+// Optionally pre-host a database at startup: xserve encrypts the
+// given document locally — this is for demos; in production the
+// owner encrypts on their own machine and uploads the ciphertext.
+//
+//	xserve -listen :8080 -demo db.xml -key secret \
+//	       -sc "//patient:(/pname, //disease)" -name hospital
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/remote"
+	"repro/internal/xmltree"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, "; ") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	listen := flag.String("listen", ":8080", "address to listen on")
+	dataDir := flag.String("dir", "", "persist hosted databases in this directory (reloaded on restart)")
+	demo := flag.String("demo", "", "optional XML file to encrypt and pre-host")
+	name := flag.String("name", "demo", "database name for the pre-hosted document")
+	key := flag.String("key", "", "master key for the pre-hosted document")
+	schemeName := flag.String("scheme", "opt", "scheme for the pre-hosted document")
+	var scs multiFlag
+	flag.Var(&scs, "sc", "security constraint for the pre-hosted document (repeatable)")
+	flag.Parse()
+
+	var svc *remote.Service
+	if *dataDir != "" {
+		var err error
+		svc, err = remote.NewPersistentService(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		svc = remote.NewService()
+	}
+
+	if *demo != "" {
+		if *key == "" {
+			log.Fatal("xserve: -demo requires -key")
+		}
+		f, err := os.Open(*demo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		doc, err := xmltree.Parse(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := core.Host(doc, scs, core.SchemeName(*schemeName), []byte(*key))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Register through the wire format, so exactly the bytes a
+		// remote owner would upload are served.
+		if err := remote.RegisterLocal(svc, *name, sys.HostedDB); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pre-hosted %q: %d blocks, %d index entries\n",
+			*name, sys.Scheme.NumBlocks(), len(sys.HostedDB.IndexEntries))
+	}
+
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           svc,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("xserve listening on %s\n", *listen)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Hui (Wendy) Wang, Laks V.S. Lakshmanan.
+//	"Efficient Secure Query Evaluation over Encrypted XML Databases."
+//	VLDB 2006.
+//
+// The public API lives in package repro/secxml; the paper's
+// subsystems live under internal/ (see DESIGN.md for the full
+// inventory and EXPERIMENTS.md for paper-vs-measured results).
+// The benchmarks in bench_test.go regenerate every table and figure
+// of the paper's evaluation section; `go run ./cmd/xencbench` prints
+// them as text tables.
+package repro

@@ -1,0 +1,103 @@
+// Hospital audit: what does the untrusted server actually see?
+//
+// This example hosts the same health-care database under four
+// encryption granularities (§7.1: top, sub, app, opt) and prints,
+// for each, the attacker-observable server view — the plaintext
+// residue, the DSI table labels, and the value-index frequency
+// distribution — alongside the cost of a typical query. It makes
+// the paper's security/efficiency trade-off tangible: top hides
+// everything but ships everything; opt hides exactly what the
+// constraints demand and ships almost nothing.
+//
+// Run with: go run ./examples/hospital_audit
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/secxml"
+)
+
+const hospitalXML = `
+<hospital>
+  <patient>
+    <pname>Betty</pname>
+    <SSN>763895</SSN>
+    <insurance coverage="1000000"><policy>34221</policy></insurance>
+    <treat><disease>diarrhea</disease><doctor>Smith</doctor></treat>
+    <age>35</age>
+  </patient>
+  <patient>
+    <pname>Matt</pname>
+    <SSN>276543</SSN>
+    <insurance coverage="10000"><policy>26544</policy></insurance>
+    <treat><disease>leukemia</disease><doctor>Walker</doctor></treat>
+    <treat><disease>diarrhea</disease><doctor>Brown</doctor></treat>
+    <age>40</age>
+  </patient>
+  <patient>
+    <pname>Ann</pname>
+    <SSN>555321</SSN>
+    <insurance coverage="50000"><policy>77110</policy></insurance>
+    <treat><disease>flu</disease><doctor>Smith</doctor></treat>
+    <age>29</age>
+  </patient>
+</hospital>`
+
+var constraints = []string{
+	"//insurance",
+	"//patient:(/pname, /SSN)",
+	"//patient:(/pname, //disease)",
+	"//treat:(/disease, /doctor)",
+}
+
+const auditQuery = "//patient[.//disease='diarrhea']/SSN"
+
+func main() {
+	doc, err := secxml.ParseDocument(strings.NewReader(hospitalXML))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plaintext database: %d bytes, %d nodes\n\n", doc.ByteSize(), doc.NumNodes())
+
+	for _, scheme := range []string{
+		secxml.SchemeTop, secxml.SchemeSub, secxml.SchemeApprox, secxml.SchemeOptimal,
+	} {
+		db, err := secxml.Host(doc, constraints, secxml.Options{
+			MasterKey: []byte("audit-key"),
+			Scheme:    scheme,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := db.Stats()
+		view := db.ServerView()
+
+		fmt.Printf("=== scheme %-4s ===\n", scheme)
+		fmt.Printf("blocks: %d  scheme size: %d nodes  upload: %d bytes\n",
+			st.NumBlocks, st.SchemeSize, st.HostedBytes)
+		fmt.Printf("residue the server reads in plaintext:\n  %s\n", truncate(view.ResidueXML, 120))
+		fmt.Printf("DSI labels visible to server: %s\n", truncate(strings.Join(view.DSILabels, " "), 100))
+		fmt.Printf("value-index frequencies (flattened by OPESS): %v\n", view.IndexFrequencies)
+
+		res, err := db.Query(auditQuery)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %s\n  -> %v (%d blocks, %d bytes shipped)\n\n",
+			auditQuery, res.Values(), res.Timings.BlocksShipped, res.Timings.AnswerBytes)
+	}
+
+	fmt.Println("note how every scheme answers identically, while the residue")
+	fmt.Println("and shipped volume shrink from top to opt.")
+}
+
+func truncate(s string, n int) string {
+	s = strings.ReplaceAll(s, "\n", " ")
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

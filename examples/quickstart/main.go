@@ -1,0 +1,83 @@
+// Quickstart: the paper's running example (Figure 2). A hospital
+// hosts its patient records on an untrusted server. The owner
+// protects (1) insurance subtrees, (2) the name-SSN association,
+// (3) the name-disease association and (4) the disease-doctor
+// association, then queries the hosted data as if it were local.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/secxml"
+)
+
+const hospitalXML = `
+<hospital>
+  <patient>
+    <pname>Betty</pname>
+    <SSN>763895</SSN>
+    <insurance coverage="1000000"><policy>34221</policy></insurance>
+    <treat><disease>diarrhea</disease><doctor>Smith</doctor></treat>
+    <age>35</age>
+  </patient>
+  <patient>
+    <pname>Matt</pname>
+    <SSN>276543</SSN>
+    <insurance coverage="10000"><policy>26544</policy></insurance>
+    <treat><disease>leukemia</disease><doctor>Walker</doctor></treat>
+    <treat><disease>diarrhea</disease><doctor>Brown</doctor></treat>
+    <age>40</age>
+  </patient>
+</hospital>`
+
+func main() {
+	doc, err := secxml.ParseDocument(strings.NewReader(hospitalXML))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Example 3.1's security constraints, verbatim.
+	constraints := []string{
+		"//insurance",                   // SC1: protect insurance elements
+		"//patient:(/pname, /SSN)",      // SC2: name <-> SSN
+		"//patient:(/pname, //disease)", // SC3: name <-> disease
+		"//treat:(/disease, /doctor)",   // SC4: doctor <-> disease
+	}
+
+	db, err := secxml.Host(doc, constraints, secxml.Options{
+		MasterKey: []byte("the-owner-keeps-this-secret"),
+		Scheme:    secxml.SchemeOptimal,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := db.Stats()
+	fmt.Printf("hosted with scheme %q: %d encryption blocks, scheme size %d nodes\n",
+		st.Scheme, st.NumBlocks, st.SchemeSize)
+	fmt.Printf("encrypted association endpoints: %v\n\n", st.CoverTags)
+
+	// The paper's §6 running query: patients with coverage >= 10000,
+	// returning their SSNs.
+	queries := []string{
+		"//patient[.//insurance//@coverage>=10000]//SSN",
+		"//patient[.//disease='diarrhea']/pname",
+		"//treat[disease='diarrhea']/doctor",
+		"//patient[age>36]/pname",
+	}
+	for _, q := range queries {
+		res, err := db.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-48s -> %v\n", q, res.Values())
+		fmt.Printf("  server %v | shipped %d blocks, %d bytes | decrypt %v | post %v\n",
+			res.Timings.ServerExec.Round(1000), res.Timings.BlocksShipped,
+			res.Timings.AnswerBytes, res.Timings.ClientDecrypt.Round(1000),
+			res.Timings.ClientPost.Round(1000))
+	}
+}

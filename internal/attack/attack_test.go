@@ -1,0 +1,232 @@
+package attack
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/cryptoprim"
+	"repro/internal/opess"
+)
+
+func TestFactorialAndBinomial(t *testing.T) {
+	if Factorial(0).Int64() != 1 || Factorial(5).Int64() != 120 {
+		t.Errorf("Factorial wrong")
+	}
+	if Binomial(6, 2).Int64() != 15 {
+		t.Errorf("C(6,2) = %v", Binomial(6, 2))
+	}
+	if Binomial(3, 5).Sign() != 0 || Binomial(3, -1).Sign() != 0 {
+		t.Errorf("out-of-range binomial should be 0")
+	}
+}
+
+func TestMultinomialPaperExample(t *testing.T) {
+	// Theorem 4.1's worked example: k1=3, k2=4, k3=5 ->
+	// 12!/(3!4!5!) = 27720.
+	got := MultinomialCandidates([]int{3, 4, 5})
+	if got.Cmp(big.NewInt(27720)) != 0 {
+		t.Errorf("MultinomialCandidates(3,4,5) = %v, want 27720", got)
+	}
+}
+
+func TestCompositionPaperExamples(t *testing.T) {
+	// Theorem 5.1 / Figure 5: 7 leaves in 3 intervals -> 15.
+	if got := CompositionCandidates(7, 3); got.Cmp(big.NewInt(15)) != 0 {
+		t.Errorf("C(6,2) = %v, want 15", got)
+	}
+	// Theorems 5.1/5.2: n=15, k=5 -> C(14,4) = 1001.
+	if got := CompositionCandidates(15, 5); got.Cmp(big.NewInt(1001)) != 0 {
+		t.Errorf("C(14,4) = %v, want 1001", got)
+	}
+}
+
+func TestStructuralCandidatesProduct(t *testing.T) {
+	got := StructuralCandidates([][2]int{{7, 3}, {15, 5}})
+	want := new(big.Int).Mul(big.NewInt(15), big.NewInt(1001))
+	if got.Cmp(want) != 0 {
+		t.Errorf("StructuralCandidates = %v, want %v", got, want)
+	}
+}
+
+func TestCandidateCountGrowsExponentially(t *testing.T) {
+	// The "large" requirement of Definitions 3.3/3.4: candidates grow
+	// exponentially in the frequencies / interval counts.
+	prev := big.NewInt(0)
+	for k := 2; k <= 8; k++ {
+		freqs := make([]int, k)
+		for i := range freqs {
+			freqs[i] = 3
+		}
+		cur := MultinomialCandidates(freqs)
+		if cur.Cmp(prev) <= 0 {
+			t.Fatalf("candidates not growing at k=%d", k)
+		}
+		prev = cur
+	}
+	if prev.Cmp(big.NewInt(1_000_000)) < 0 {
+		t.Errorf("k=8 candidates %v not 'large'", prev)
+	}
+}
+
+func TestCrackByOrder(t *testing.T) {
+	// Plain OPE (no splitting): complete break by order alone.
+	plain := []string{"12", "23", "77"}
+	ciphers := []uint64{100, 200, 300}
+	got := CrackByOrder(plain, ciphers)
+	if got["12"] != 100 || got["23"] != 200 || got["77"] != 300 {
+		t.Errorf("CrackByOrder = %v", got)
+	}
+	if CrackByOrder(plain, ciphers[:2]) != nil {
+		t.Errorf("mismatched lengths should fail")
+	}
+}
+
+func TestCrackByFrequency(t *testing.T) {
+	// §4.1: deterministic encryption of individual values leaks
+	// matching frequencies.
+	plain := map[string]int{"leukemia": 1, "diarrhea": 2, "flu": 5}
+	cipher := map[string]int{"c1": 1, "c2": 2, "c3": 5}
+	got := CrackByFrequency(plain, cipher)
+	if len(got) != 3 {
+		t.Fatalf("cracked %d values, want all 3: %v", len(got), got)
+	}
+	if got["flu"] != "c3" || got["diarrhea"] != "c2" {
+		t.Errorf("wrong mapping: %v", got)
+	}
+	// With decoys every ciphertext is unique: nothing with frequency
+	// > 1 can be matched, and frequency-1 classes are ambiguous.
+	decoyed := map[string]int{}
+	for i := 0; i < 8; i++ {
+		decoyed[string(rune('a'+i))] = 1
+	}
+	got = CrackByFrequency(plain, decoyed)
+	if len(got) != 0 {
+		t.Errorf("decoyed classes cracked: %v", got)
+	}
+}
+
+func TestCountConsistentGroupings(t *testing.T) {
+	// Without scaling the true grouping is recoverable.
+	if got := CountConsistentGroupings([]int{2, 3, 3, 4}, []int{5, 7}); got != 1 {
+		t.Errorf("groupings = %d, want 1", got)
+	}
+	// Ambiguity: several groupings fit.
+	if got := CountConsistentGroupings([]int{2, 2, 2, 2}, []int{4, 4}); got != 1 {
+		t.Errorf("uniform groupings = %d", got)
+	}
+	// Scaling breaks the total-sum invariant: no grouping fits.
+	if got := CountConsistentGroupings([]int{6, 9, 9, 12}, []int{5, 7}); got != 0 {
+		t.Errorf("scaled groupings = %d, want 0", got)
+	}
+	// Empty cipher stream only fits empty plaintext.
+	if got := CountConsistentGroupings(nil, []int{3}); got != 0 {
+		t.Errorf("empty cipher fits: %d", got)
+	}
+	if got := CountConsistentGroupings(nil, nil); got != 1 {
+		t.Errorf("empty/empty = %d, want 1", got)
+	}
+}
+
+func TestOPESSDefeatsSumMatching(t *testing.T) {
+	// End to end: an OPESS-transformed index with scaling applied is
+	// inconsistent with the adjacent-sum attack, while the unscaled
+	// split would not be.
+	keys := cryptoprim.MustKeySet("attack-opess")
+	freq := map[string]int{"12": 13, "23": 26, "77": 7, "90": 34, "932": 8, "1001": 21}
+	attr, err := opess.Build("val", freq, keys)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// The attacker's knowledge: plaintext frequencies in value order.
+	var plainFreqs []int
+	for _, v := range attr.Values() {
+		plainFreqs = append(plainFreqs, freq[v])
+	}
+	// Unscaled split (chunk sizes in cipher order): the attack finds
+	// at least the true grouping.
+	var unscaled []int
+	anyScaled := false
+	for _, v := range attr.Values() {
+		unscaled = append(unscaled, attr.ChunksOf(v)...)
+		if attr.ScaleOf(v) > 1 {
+			anyScaled = true
+		}
+	}
+	if got := CountConsistentGroupings(unscaled, plainFreqs); got < 1 {
+		t.Errorf("unscaled split should be sum-consistent, got %d groupings", got)
+	}
+	// Scaled frequencies, as observed from the index.
+	var scaled []int
+	for _, v := range attr.Values() {
+		for _, c := range attr.ChunksOf(v) {
+			scaled = append(scaled, c*attr.ScaleOf(v))
+		}
+	}
+	if !anyScaled {
+		t.Skip("deterministic key produced all-1 scales; pick another key")
+	}
+	if got := CountConsistentGroupings(scaled, plainFreqs); got != 0 {
+		t.Errorf("scaled index still sum-consistent: %d groupings", got)
+	}
+}
+
+func TestSizeAttackSurvivors(t *testing.T) {
+	if got := SizeAttackSurvivors(100, []int{100, 100, 90}); got != 2 {
+		t.Errorf("survivors = %d", got)
+	}
+	if got := SizeAttackSurvivors(100, nil); got != 0 {
+		t.Errorf("no candidates = %d", got)
+	}
+}
+
+func TestAssociationBeliefNonIncreasing(t *testing.T) {
+	// Theorem 6.1: Bel goes from 1/k to 1/C(n-1,k-1) <= 1/k and
+	// stays there.
+	for k := 1; k <= 6; k++ {
+		for n := k + 1; n <= k+8; n++ {
+			b := NewAssociationBelief(k, n)
+			prior := b.Belief()
+			var last *big.Rat = prior
+			for q := 0; q < 5; q++ {
+				b.Observe()
+				cur := b.Belief()
+				if cur.Cmp(last) > 0 {
+					t.Fatalf("k=%d n=%d: belief increased from %v to %v", k, n, last, cur)
+				}
+				last = cur
+			}
+			want := new(big.Rat).SetFrac(big.NewInt(1), CompositionCandidates(n, k))
+			if last.Cmp(want) != 0 {
+				t.Errorf("k=%d n=%d: final belief %v, want %v", k, n, last, want)
+			}
+		}
+	}
+}
+
+func TestAssociationBeliefValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("invalid (k, n) accepted")
+		}
+	}()
+	NewAssociationBelief(5, 3)
+}
+
+func TestNodeBeliefConstant(t *testing.T) {
+	prior := big.NewRat(1, 7)
+	b := NewNodeBelief(prior)
+	for i := 0; i < 10; i++ {
+		b.Observe()
+		if b.Belief().Cmp(prior) != 0 {
+			t.Fatalf("node belief changed after %d observations", i+1)
+		}
+	}
+}
+
+func TestSortedFreqs(t *testing.T) {
+	m := map[uint64]int{30: 3, 10: 1, 20: 2}
+	got := SortedFreqs(m)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("SortedFreqs = %v", got)
+	}
+}

@@ -1,0 +1,63 @@
+package attack
+
+import "math/big"
+
+// AssociationBelief tracks the attacker's belief probability
+// Bel(B(A)) that a protected association holds in a specific block,
+// following the analysis of Theorem 6.1: for an association SC
+// //a:(b1, b2) whose protected endpoint has k distinct plaintext
+// values split into n > k ciphertext values, the prior belief that a
+// particular value pair is associated is 1/k; after the first
+// observed query/response the belief becomes 1/C(n-1, k-1) — the
+// candidate order-preserving partitions — and further observations
+// leave it unchanged. Since C(n-1, k-1) >= k whenever n > k, the
+// belief never increases.
+type AssociationBelief struct {
+	K        int // distinct plaintext values of the protected endpoint
+	N        int // distinct ciphertext values after splitting
+	observed int
+}
+
+// NewAssociationBelief validates n > k >= 1 (splitting always
+// enlarges the domain) and returns a tracker.
+func NewAssociationBelief(k, n int) *AssociationBelief {
+	if k < 1 || n < k {
+		panic("attack: need n >= k >= 1")
+	}
+	return &AssociationBelief{K: k, N: n}
+}
+
+// Observe records one observed query/response pair.
+func (b *AssociationBelief) Observe() { b.observed++ }
+
+// Observed returns the number of observations so far.
+func (b *AssociationBelief) Observed() int { return b.observed }
+
+// Belief returns the current belief probability as an exact
+// rational.
+func (b *AssociationBelief) Belief() *big.Rat {
+	if b.observed == 0 {
+		return new(big.Rat).SetFrac(big.NewInt(1), big.NewInt(int64(b.K)))
+	}
+	return new(big.Rat).SetFrac(big.NewInt(1), CompositionCandidates(b.N, b.K))
+}
+
+// NodeBelief models the node-type SC case of Theorem 6.1: tags are
+// Vernam-encrypted, so observing translated queries gives the
+// attacker no information about whether a block satisfies a query
+// captured by //a — the belief is pinned at its prior forever.
+type NodeBelief struct {
+	prior    *big.Rat
+	observed int
+}
+
+// NewNodeBelief starts a tracker at the attacker's prior.
+func NewNodeBelief(prior *big.Rat) *NodeBelief {
+	return &NodeBelief{prior: new(big.Rat).Set(prior)}
+}
+
+// Observe records one observed query/response pair.
+func (b *NodeBelief) Observe() { b.observed++ }
+
+// Belief returns the (unchanged) belief.
+func (b *NodeBelief) Belief() *big.Rat { return new(big.Rat).Set(b.prior) }

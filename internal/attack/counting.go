@@ -1,0 +1,67 @@
+// Package attack implements the paper's attack model (§3.3) — the
+// frequency-based and size-based attacks of an honest-but-curious
+// server with exact knowledge of domain values and occurrence
+// frequencies — together with the candidate-database counting that
+// the security theorems (4.1, 5.1, 5.2) rest on and the
+// query-observation belief tracking of Theorem 6.1. The test suites
+// use this package to validate every security claim computationally.
+package attack
+
+import "math/big"
+
+// Factorial returns n!.
+func Factorial(n int) *big.Int {
+	return new(big.Int).MulRange(1, int64(n))
+}
+
+// Binomial returns C(n, k), or 0 when out of range.
+func Binomial(n, k int) *big.Int {
+	if k < 0 || k > n {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+// MultinomialCandidates is Theorem 4.1's candidate count: with k
+// plaintext values of occurrence frequencies f_1..f_k encrypted into
+// Σf_i pairwise-distinct ciphertexts (decoys make every ciphertext
+// unique), the attacker faces
+//
+//	N = (Σ f_i)! / Π f_i!
+//
+// equally plausible assignments of ciphertexts to plaintexts. The
+// paper's example: frequencies 3, 4, 5 give N = 27720.
+func MultinomialCandidates(freqs []int) *big.Int {
+	total := 0
+	for _, f := range freqs {
+		total += f
+	}
+	n := Factorial(total)
+	for _, f := range freqs {
+		n.Div(n, Factorial(f))
+	}
+	return n
+}
+
+// CompositionCandidates is the count shared by Theorems 5.1 and 5.2:
+// the number of ways to partition n ordered items into k non-empty
+// consecutive groups, C(n-1, k-1). For the structural index it
+// counts the subtree shapes an encryption block's k grouped
+// intervals could hide given n leaf nodes (Figure 5: n=7, k=3 gives
+// 15); for the value index it counts the order-preserving partitions
+// of n ciphertext values into k plaintext values (n=15, k=5 gives
+// 1001).
+func CompositionCandidates(n, k int) *big.Int {
+	return Binomial(n-1, k-1)
+}
+
+// StructuralCandidates is Theorem 5.1's total over m encryption
+// blocks: Π C(n_i - 1, k_i - 1), for blocks with n_i leaves
+// represented by k_i intervals.
+func StructuralCandidates(pairs [][2]int) *big.Int {
+	total := big.NewInt(1)
+	for _, p := range pairs {
+		total.Mul(total, CompositionCandidates(p[0], p[1]))
+	}
+	return total
+}

@@ -1,0 +1,125 @@
+package attack
+
+import (
+	"sort"
+)
+
+// The frequency-based attack (§3.3): the attacker knows, for an
+// indexed leaf tag, the exact multiset of plaintext occurrence
+// frequencies, observes ciphertext frequencies (from a
+// deterministically encrypted database or from the value index), and
+// tries to align them.
+
+// CrackByOrder models the attack on plain order-preserving
+// encryption without splitting: k distinct plaintexts map to k
+// distinct ciphertexts in the same order, so the i-th smallest
+// ciphertext IS the i-th smallest plaintext — a complete break that
+// needs no frequency information at all. It returns the recovered
+// plaintext-to-ciphertext mapping. Both inputs must be sorted
+// ascending.
+func CrackByOrder(plaintexts []string, ciphers []uint64) map[string]uint64 {
+	if len(plaintexts) != len(ciphers) {
+		return nil
+	}
+	out := make(map[string]uint64, len(ciphers))
+	for i, p := range plaintexts {
+		out[p] = ciphers[i]
+	}
+	return out
+}
+
+// CrackByFrequency models the frequency-matching attack on a
+// deterministic encryption of individual values (§4.1's cautionary
+// example): ciphertext classes whose occurrence frequency is unique
+// among the plaintext frequencies are cracked outright. plainFreq
+// maps plaintext value -> count; cipherFreq maps an opaque
+// ciphertext identifier -> count. It returns the cracked pairs.
+func CrackByFrequency(plainFreq map[string]int, cipherFreq map[string]int) map[string]string {
+	// Invert both by frequency.
+	plainByCount := map[int][]string{}
+	for v, n := range plainFreq {
+		plainByCount[n] = append(plainByCount[n], v)
+	}
+	cipherByCount := map[int][]string{}
+	for c, n := range cipherFreq {
+		cipherByCount[n] = append(cipherByCount[n], c)
+	}
+	cracked := map[string]string{}
+	for n, ps := range plainByCount {
+		cs := cipherByCount[n]
+		if len(ps) == 1 && len(cs) == 1 {
+			cracked[ps[0]] = cs[0]
+		}
+	}
+	return cracked
+}
+
+// CountConsistentGroupings implements the adjacent-sum attack the
+// scaling step defends against (§5.2.1): knowing the ordered
+// plaintext frequencies f_1..f_k, the attacker groups adjacent
+// ciphertext frequencies c_1..c_n left to right, trying to make
+// group i sum to f_i. It returns the number of complete groupings —
+// 0 means the observation is inconsistent with the attacker's
+// knowledge (scaling changed the totals), 1 means a unique crack,
+// more means ambiguity.
+func CountConsistentGroupings(cipherFreqs, plainFreqs []int) int {
+	memo := map[[2]int]int{}
+	var rec func(ci, pi int) int
+	rec = func(ci, pi int) int {
+		if pi == len(plainFreqs) {
+			if ci == len(cipherFreqs) {
+				return 1
+			}
+			return 0
+		}
+		key := [2]int{ci, pi}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		total := 0
+		sum := 0
+		for j := ci; j < len(cipherFreqs); j++ {
+			sum += cipherFreqs[j]
+			if sum > plainFreqs[pi] {
+				break
+			}
+			if sum == plainFreqs[pi] {
+				total += rec(j+1, pi+1)
+				break // frequencies are positive; longer groups only grow
+			}
+		}
+		memo[key] = total
+		return total
+	}
+	return rec(0, 0)
+}
+
+// SizeAttackSurvivors implements the size-based attack (§3.3): given
+// the true encrypted database size and the sizes of candidate
+// encrypted databases, it returns how many candidates survive (their
+// size matches). Indistinguishability (Definition 3.1) demands that
+// all candidates survive.
+func SizeAttackSurvivors(trueSize int, candidateSizes []int) int {
+	n := 0
+	for _, s := range candidateSizes {
+		if s == trueSize {
+			n++
+		}
+	}
+	return n
+}
+
+// SortedFreqs returns the values of a frequency map in ascending
+// key order — the view an attacker extracts from an ordered index.
+func SortedFreqs[K interface{ ~uint64 | ~int }](m map[K]int) []int {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]int, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/cryptoprim"
+	"repro/internal/datagen"
+	"repro/internal/dsi"
+	"repro/internal/netsim"
+	"repro/internal/opess"
+	"repro/internal/sc"
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+)
+
+// Ablations quantify each defense the paper introduces by removing
+// it and measuring what the attacker gains — and what each defense
+// costs.
+
+// DecoyAblationRow compares leaf-granularity encryption with and
+// without decoys (§4.1) under the deterministic-encryption model the
+// paper's frequency attack assumes: how many protected values the
+// attacker cracks outright by matching occurrence frequencies.
+type DecoyAblationRow struct {
+	Tag            string
+	DistinctValues int
+	CrackedNoDecoy int
+	CrackedDecoy   int
+}
+
+// DecoyAblation runs the §4.1 attack against the hospital-style
+// dataset hosted with LeafNaive(decoys=false) and LeafNaive(true).
+func DecoyAblation(doc *xmltree.Document, scSpecs []string) ([]DecoyAblationRow, error) {
+	scs, err := sc.ParseAll(scSpecs)
+	if err != nil {
+		return nil, err
+	}
+	noDecoy, err := scheme.LeafNaive(doc, scs, false)
+	if err != nil {
+		return nil, err
+	}
+	withDecoy, err := scheme.LeafNaive(doc, scs, true)
+	if err != nil {
+		return nil, err
+	}
+	keys := cryptoprim.MustKeySet("ablation-decoy")
+
+	// Deterministic-encryption model: ciphertext classes are the
+	// distinct serialized block plaintexts (ECB-style); the attacker
+	// matches class frequencies against known value frequencies.
+	classes := func(s *scheme.Scheme) map[string]map[string]int {
+		perTag := map[string]map[string]int{}
+		var decoyCtr uint64
+		for _, root := range s.BlockRoots {
+			if !root.IsLeaf() {
+				continue
+			}
+			tag := root.Tag
+			pt := root.Clone()
+			w := xmltree.NewElement("w")
+			w.AppendChild(pt)
+			if s.Decoy[root] {
+				decoyCtr++
+				w.AppendValue("_decoy", keys.RandomDecoy(decoyCtr))
+			}
+			m := perTag[tag]
+			if m == nil {
+				m = map[string]int{}
+				perTag[tag] = m
+			}
+			m[xmltree.NewDocument(w).String()]++
+		}
+		return perTag
+	}
+
+	plainFreqs := doc.LeafValueFrequencies()
+	var rows []DecoyAblationRow
+	ndClasses := classes(noDecoy)
+	dClasses := classes(withDecoy)
+	for _, tag := range xmltree.SortedKeys(ndClasses) {
+		pf := plainFreqs[tag]
+		rows = append(rows, DecoyAblationRow{
+			Tag:            tag,
+			DistinctValues: len(pf),
+			CrackedNoDecoy: len(attack.CrackByFrequency(pf, ndClasses[tag])),
+			CrackedDecoy:   len(attack.CrackByFrequency(pf, dClasses[tag])),
+		})
+	}
+	return rows, nil
+}
+
+// ScalingAblationRow compares the value index with and without
+// scaling (§5.2.1) under the adjacent-sum attack: the number of
+// groupings of adjacent ciphertext frequencies consistent with the
+// attacker's exact plaintext knowledge (1 = unique crack, 0 =
+// inconsistent, i.e. attack defeated).
+type ScalingAblationRow struct {
+	Tag               string
+	GroupingsUnscaled int
+	GroupingsScaled   int
+	IndexEntriesPlain int // entries without scaling
+	IndexEntriestotal int // entries with scaling (the cost of defense)
+}
+
+// ScalingAblation evaluates the adjacent-sum attack against each
+// indexed attribute of the document.
+func ScalingAblation(doc *xmltree.Document) ([]ScalingAblationRow, error) {
+	keys := cryptoprim.MustKeySet("ablation-scaling")
+	var rows []ScalingAblationRow
+	freqs := doc.LeafValueFrequencies()
+	for _, tag := range xmltree.SortedKeys(freqs) {
+		freq := freqs[tag]
+		if len(freq) < 2 {
+			continue
+		}
+		// Skip attributes with singleton values: the §5.2.1 singleton
+		// rule replicates a single occurrence into M index entries,
+		// which already breaks the total-count invariant on its own —
+		// this ablation isolates what SCALING adds for the attributes
+		// where splitting alone preserves the totals.
+		hasSingleton := false
+		for _, n := range freq {
+			if n == 1 {
+				hasSingleton = true
+				break
+			}
+		}
+		if hasSingleton {
+			continue
+		}
+		attr, err := opess.Build(tag, freq, keys)
+		if err != nil {
+			return nil, fmt.Errorf("ablation: %s: %w", tag, err)
+		}
+		var plain []int
+		var unscaled, scaled []int
+		entPlain, entScaled := 0, 0
+		for _, v := range attr.Values() {
+			plain = append(plain, freq[v])
+			for _, c := range attr.ChunksOf(v) {
+				unscaled = append(unscaled, c)
+				scaled = append(scaled, c*attr.ScaleOf(v))
+				entPlain += c
+				entScaled += c * attr.ScaleOf(v)
+			}
+		}
+		rows = append(rows, ScalingAblationRow{
+			Tag:               tag,
+			GroupingsUnscaled: attack.CountConsistentGroupings(unscaled, plain),
+			GroupingsScaled:   attack.CountConsistentGroupings(scaled, plain),
+			IndexEntriesPlain: entPlain,
+			IndexEntriestotal: entScaled,
+		})
+	}
+	return rows, nil
+}
+
+// GroupingAblationRow compares the DSI table with and without the
+// §5.1.1 grouping of adjacent same-tag same-block intervals: table
+// size (what the server stores) and the structural candidate count
+// of Theorem 5.1 (what the attacker faces).
+type GroupingAblationRow struct {
+	EntriesGrouped   int
+	EntriesUngrouped int
+	// CandidatesLog10 approximates log10 of the Theorem 5.1
+	// candidate product (0 when no grouping happened).
+	CandidatesLog10 float64
+}
+
+// GroupingAblation measures grouping on a document hosted under the
+// top scheme — one whole-document block, where every run of adjacent
+// same-tag siblings is groupable.
+func GroupingAblation(doc *xmltree.Document, scSpecs []string) (*GroupingAblationRow, error) {
+	if _, err := sc.ParseAll(scSpecs); err != nil {
+		return nil, err
+	}
+	s := scheme.Top(doc)
+	keys := cryptoprim.MustKeySet("ablation-grouping")
+	md := dsi.BuildMetadata(doc, s.BlockRoots, keys)
+	grouped := md.Table.NumEntries()
+
+	// Ungrouped size: one entry per element/attribute node.
+	ungrouped := 0
+	for _, n := range doc.Nodes() {
+		if n.Kind != xmltree.Text {
+			ungrouped++
+		}
+	}
+
+	// Theorem 5.1 candidates: per block, C(n-1, k-1) with n leaf
+	// nodes represented by k leaf-level intervals (grouped runs
+	// collapse several leaves into one interval). A leaf-level
+	// interval strictly contains no other table interval; with the
+	// sorted laminar order, that is an interval not containing its
+	// successor.
+	var pairs [][2]int
+	all := md.Table.AllIntervals()
+	for _, root := range s.BlockRoots {
+		leaves := 0
+		root.Walk(func(n *xmltree.Node) bool {
+			if n.Kind != xmltree.Text && n.IsLeaf() {
+				leaves++
+			}
+			return true
+		})
+		k := 0
+		inside := dsi.Within(all, md.Assignment[root])
+		for i, iv := range inside {
+			if i+1 == len(inside) || !iv.StrictlyContains(inside[i+1]) {
+				k++
+			}
+		}
+		if leaves > 1 && k >= 1 && k < leaves {
+			pairs = append(pairs, [2]int{leaves, k})
+		}
+	}
+	log10 := 0.0
+	if len(pairs) > 0 {
+		c := attack.StructuralCandidates(pairs)
+		log10 = float64(c.BitLen()) * 0.30103 // log10(2^bits) upper bound
+	}
+	return &GroupingAblationRow{
+		EntriesGrouped:   grouped,
+		EntriesUngrouped: ungrouped,
+		CandidatesLog10:  log10,
+	}, nil
+}
+
+// LinkAblationRow compares total query time for top vs opt over the
+// paper's LAN and a WAN: selective shipping matters more as the link
+// slows.
+type LinkAblationRow struct {
+	Link     string
+	Class    datagen.QueryClass
+	TopTotal time.Duration
+	OptTotal time.Duration
+	Saving   float64 // (top-opt)/top
+}
+
+// LinkAblation runs the Ql workload under both link models.
+func (s *Setup) LinkAblation() ([]LinkAblationRow, error) {
+	var rows []LinkAblationRow
+	links := []struct {
+		name string
+		link netsim.Link
+	}{
+		{"LAN-100Mbps", netsim.Paper},
+		{"WAN-20Mbps", netsim.WAN},
+	}
+	for _, l := range links {
+		for _, sysName := range []core.SchemeName{core.SchemeTop, core.SchemeOpt} {
+			s.Systems[sysName].Link = l.link
+		}
+		var topT, optT time.Duration
+		for _, q := range s.Queries(datagen.Ql) {
+			tm, err := s.measure(s.Systems[core.SchemeTop], q)
+			if err != nil {
+				return nil, err
+			}
+			topT += tm.Total()
+			tm, err = s.measure(s.Systems[core.SchemeOpt], q)
+			if err != nil {
+				return nil, err
+			}
+			optT += tm.Total()
+		}
+		saving := 0.0
+		if topT > 0 {
+			saving = float64(topT-optT) / float64(topT)
+		}
+		rows = append(rows, LinkAblationRow{
+			Link: l.name, Class: datagen.Ql,
+			TopTotal: topT, OptTotal: optT, Saving: saving,
+		})
+	}
+	// Restore the default link.
+	for _, sysName := range []core.SchemeName{core.SchemeTop, core.SchemeOpt} {
+		s.Systems[sysName].Link = netsim.Paper
+	}
+	return rows, nil
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func TestDecoyAblation(t *testing.T) {
+	doc := datagen.NASA(40, 21)
+	rows, err := DecoyAblation(doc, datagen.NASASCs())
+	if err != nil {
+		t.Fatalf("DecoyAblation: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatalf("no rows")
+	}
+	crackedND, crackedD := 0, 0
+	for _, r := range rows {
+		crackedND += r.CrackedNoDecoy
+		crackedD += r.CrackedDecoy
+	}
+	// §4.1: without decoys the frequency attack cracks values;
+	// with decoys nothing is crackable (every ciphertext unique).
+	if crackedND == 0 {
+		t.Errorf("no-decoy hosting should be crackable; got 0 cracked")
+	}
+	if crackedD != 0 {
+		t.Errorf("decoys on: %d values cracked, want 0", crackedD)
+	}
+}
+
+func TestScalingAblation(t *testing.T) {
+	doc := datagen.NASA(60, 22)
+	rows, err := ScalingAblation(doc)
+	if err != nil {
+		t.Fatalf("ScalingAblation: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatalf("no rows")
+	}
+	consistentUnscaled, consistentScaled := 0, 0
+	for _, r := range rows {
+		if r.GroupingsUnscaled >= 1 {
+			consistentUnscaled++
+		}
+		if r.GroupingsScaled >= 1 {
+			consistentScaled++
+		}
+		if r.IndexEntriestotal < r.IndexEntriesPlain {
+			t.Errorf("%s: scaling shrank the index", r.Tag)
+		}
+	}
+	// Without scaling the true grouping is always recoverable.
+	if consistentUnscaled != len(rows) {
+		t.Errorf("unscaled: only %d/%d attributes sum-consistent", consistentUnscaled, len(rows))
+	}
+	// With scaling most attributes become inconsistent (a scale of
+	// exactly 1 on every value can keep one consistent, rarely).
+	if consistentScaled > len(rows)/2 {
+		t.Errorf("scaled: %d/%d attributes still sum-consistent", consistentScaled, len(rows))
+	}
+}
+
+func TestGroupingAblation(t *testing.T) {
+	doc := datagen.NASA(50, 23)
+	row, err := GroupingAblation(doc, datagen.NASASCs())
+	if err != nil {
+		t.Fatalf("GroupingAblation: %v", err)
+	}
+	if row.EntriesGrouped >= row.EntriesUngrouped {
+		t.Errorf("grouping did not shrink the table: %d vs %d", row.EntriesGrouped, row.EntriesUngrouped)
+	}
+	if row.CandidatesLog10 <= 0 {
+		t.Errorf("no structural candidates from grouping: %f", row.CandidatesLog10)
+	}
+}
+
+func TestLinkAblation(t *testing.T) {
+	s := smallSetup(t, "nasa")
+	rows, err := s.LinkAblation()
+	if err != nil {
+		t.Fatalf("LinkAblation: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Saving <= 0 {
+			t.Errorf("%s: saving %f, want > 0 (Ql is selective)", r.Link, r.Saving)
+		}
+	}
+	// The ABSOLUTE gap must grow on the slow link: shipping less
+	// saves more wall time when bytes are expensive. (The relative
+	// saving can shrink: WAN latency floors even tiny queries.)
+	lanGap := rows[0].TopTotal - rows[0].OptTotal
+	wanGap := rows[1].TopTotal - rows[1].OptTotal
+	if wanGap <= lanGap {
+		t.Errorf("WAN gap %v <= LAN gap %v", wanGap, lanGap)
+	}
+}

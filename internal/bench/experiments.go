@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cryptoprim"
+	"repro/internal/datagen"
+	"repro/internal/opess"
+)
+
+// DivisionRow is one row of experiment E1/E4 (§7.2 and Figure 9):
+// the per-stage cost of one (scheme, query class) cell, averaged
+// over the class's queries.
+type DivisionRow struct {
+	Scheme core.SchemeName
+	Class  datagen.QueryClass
+
+	ClientTranslate time.Duration
+	ServerExec      time.Duration
+	Transmit        time.Duration
+	ClientDecrypt   time.Duration
+	ClientPost      time.Duration
+	AnswerBytes     int
+	BlocksShipped   int
+}
+
+// Total is the end-to-end query evaluation time of the row.
+func (r DivisionRow) Total() time.Duration {
+	return r.ClientTranslate + r.ServerExec + r.Transmit + r.ClientDecrypt + r.ClientPost
+}
+
+// DivisionOfWork runs experiment E1/E4: for every scheme and query
+// class, the average per-stage cost (Figure 9's three panels are the
+// Qs/Qm/Ql slices of this table).
+func (s *Setup) DivisionOfWork() ([]DivisionRow, error) {
+	var rows []DivisionRow
+	for _, scheme := range Schemes {
+		sys := s.Systems[scheme]
+		for _, class := range Classes {
+			var ts []core.Timings
+			for _, q := range s.Queries(class) {
+				tm, err := s.measure(sys, q)
+				if err != nil {
+					return nil, err
+				}
+				ts = append(ts, tm)
+			}
+			avg := average(ts)
+			rows = append(rows, DivisionRow{
+				Scheme:          scheme,
+				Class:           class,
+				ClientTranslate: avg.ClientTranslate,
+				ServerExec:      avg.ServerExec,
+				Transmit:        avg.Transmit,
+				ClientDecrypt:   avg.ClientDecrypt,
+				ClientPost:      avg.ClientPost,
+				AnswerBytes:     avg.AnswerBytes,
+				BlocksShipped:   avg.BlocksShipped,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// NaiveRow is one row of experiment E2 (§7.3): our method versus the
+// ship-everything baseline.
+type NaiveRow struct {
+	Scheme core.SchemeName
+	Class  datagen.QueryClass
+	Ours   time.Duration
+	Naive  time.Duration
+	// Ratio = Ours / Naive; the paper reports 11%–28% for
+	// opt/app/sub and ~1.0 for top.
+	Ratio float64
+}
+
+// OursVsNaive runs experiment E2.
+func (s *Setup) OursVsNaive() ([]NaiveRow, error) {
+	var rows []NaiveRow
+	for _, scheme := range Schemes {
+		sys := s.Systems[scheme]
+		for _, class := range Classes {
+			var ours, naive time.Duration
+			qs := s.Queries(class)
+			for _, q := range qs {
+				tm, err := s.measure(sys, q)
+				if err != nil {
+					return nil, err
+				}
+				ours += tm.Total()
+				nm, err := s.measureNaive(sys, q)
+				if err != nil {
+					return nil, err
+				}
+				naive += nm.Total()
+			}
+			ours /= time.Duration(len(qs))
+			naive /= time.Duration(len(qs))
+			ratio := 0.0
+			if naive > 0 {
+				ratio = float64(ours) / float64(naive)
+			}
+			rows = append(rows, NaiveRow{Scheme: scheme, Class: class, Ours: ours, Naive: naive, Ratio: ratio})
+		}
+	}
+	return rows, nil
+}
+
+// EncCostRow is one row of experiment E3 (§7.4's encryption-cost
+// measurements): time to encrypt and resulting hosted size per
+// scheme.
+type EncCostRow struct {
+	Scheme      core.SchemeName
+	EncryptTime time.Duration
+	// HostedBytes is the full upload: ciphertext + residue + DSI
+	// tables + value index.
+	HostedBytes int
+	// CipherBytes is the encrypted document alone (the paper's §7.4
+	// size metric).
+	CipherBytes int
+	NumBlocks   int
+	SchemeSize  int // Definition 4.1 node count
+}
+
+// EncryptionCost runs experiment E3 from the already-hosted systems.
+func (s *Setup) EncryptionCost() []EncCostRow {
+	var rows []EncCostRow
+	for _, scheme := range Schemes {
+		sys := s.Systems[scheme]
+		cipher := 0
+		for _, b := range sys.HostedDB.Blocks {
+			cipher += len(b)
+		}
+		rows = append(rows, EncCostRow{
+			Scheme:      scheme,
+			EncryptTime: sys.EncryptTime,
+			HostedBytes: sys.HostedDB.ByteSize(),
+			CipherBytes: cipher,
+			NumBlocks:   sys.Scheme.NumBlocks(),
+			SchemeSize:  sys.Scheme.Size(),
+		})
+	}
+	return rows
+}
+
+// SavingRow is one row of experiment E5 (Figure 10): the saving
+// ratios of the app and opt schemes over top and sub, per query
+// class. S(x/y) = (Ty - Tx) / Ty.
+type SavingRow struct {
+	Class datagen.QueryClass
+	SaT   float64 // app over top
+	SaS   float64 // app over sub
+	SoT   float64 // opt over top
+	SoS   float64 // opt over sub
+}
+
+// SavingRatios runs experiment E5 from a DivisionOfWork result.
+func SavingRatios(rows []DivisionRow) []SavingRow {
+	total := map[core.SchemeName]map[datagen.QueryClass]time.Duration{}
+	for _, r := range rows {
+		if total[r.Scheme] == nil {
+			total[r.Scheme] = map[datagen.QueryClass]time.Duration{}
+		}
+		total[r.Scheme][r.Class] = r.Total()
+	}
+	ratio := func(x, y time.Duration) float64 {
+		if y <= 0 {
+			return 0
+		}
+		return float64(y-x) / float64(y)
+	}
+	var out []SavingRow
+	for _, class := range Classes {
+		out = append(out, SavingRow{
+			Class: class,
+			SaT:   ratio(total[core.SchemeApp][class], total[core.SchemeTop][class]),
+			SaS:   ratio(total[core.SchemeApp][class], total[core.SchemeSub][class]),
+			SoT:   ratio(total[core.SchemeOpt][class], total[core.SchemeTop][class]),
+			SoS:   ratio(total[core.SchemeOpt][class], total[core.SchemeSub][class]),
+		})
+	}
+	return out
+}
+
+// Fig6Row is one bar of experiment E6 (Figure 6): a value and its
+// occurrence count, before or after the OPESS transform.
+type Fig6Row struct {
+	Label string
+	Count int
+}
+
+// Fig6 reproduces Figure 6: the paper's skewed input distribution
+// and the near-flat ciphertext distribution OPESS maps it to.
+func Fig6() (input, output []Fig6Row, err error) {
+	freq := map[string]int{
+		"1001": 21, "932": 8, "23": 26, "77": 7, "90": 34, "12": 13,
+	}
+	keys := cryptoprim.MustKeySet("fig6")
+	attr, err := opess.Build("val", freq, keys)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, v := range attr.Values() {
+		input = append(input, Fig6Row{Label: v, Count: freq[v]})
+		for i, chunk := range attr.ChunksOf(v) {
+			output = append(output, Fig6Row{
+				Label: "E(" + v + ",k" + strconv.Itoa(i+1) + ")",
+				Count: chunk,
+			})
+		}
+	}
+	sort.SliceStable(input, func(i, j int) bool { return input[i].Count > input[j].Count })
+	return input, output, nil
+}

@@ -1,0 +1,213 @@
+package btree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(0)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Errorf("empty tree: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if got := tr.Range(0, ^uint64(0)); len(got) != 0 {
+		t.Errorf("range on empty = %v", got)
+	}
+	if _, ok := tr.Min(); ok {
+		t.Errorf("Min on empty")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Errorf("Max on empty")
+	}
+	if err := tr.Check(); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+func TestInsertAndSearch(t *testing.T) {
+	tr := New(4) // tiny order to force splits
+	keys := []uint64{50, 10, 90, 30, 70, 20, 80, 40, 60, 100, 5, 95}
+	for i, k := range keys {
+		tr.Insert(k, i)
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(keys))
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	for i, k := range keys {
+		es := tr.Search(k)
+		if len(es) != 1 || es[0].BlockID != i {
+			t.Errorf("Search(%d) = %v, want block %d", k, es, i)
+		}
+	}
+	if es := tr.Search(55); len(es) != 0 {
+		t.Errorf("Search(55) = %v, want empty", es)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 20; i++ {
+		tr.Insert(42, i)
+	}
+	tr.Insert(41, 100)
+	tr.Insert(43, 101)
+	es := tr.Search(42)
+	if len(es) != 20 {
+		t.Fatalf("Search(42) returned %d entries, want 20", len(es))
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatalf("Check with duplicates: %v", err)
+	}
+	blocks := tr.RangeBlocks(42, 42)
+	if len(blocks) != 20 {
+		t.Errorf("RangeBlocks dedup wrong: %d", len(blocks))
+	}
+}
+
+func TestRange(t *testing.T) {
+	tr := New(5)
+	for k := uint64(0); k < 100; k += 2 {
+		tr.Insert(k, int(k))
+	}
+	got := tr.Range(10, 20)
+	want := []uint64{10, 12, 14, 16, 18, 20}
+	if len(got) != len(want) {
+		t.Fatalf("Range(10,20) = %v", got)
+	}
+	for i, e := range got {
+		if e.Key != want[i] {
+			t.Errorf("Range[%d] = %d, want %d", i, e.Key, want[i])
+		}
+	}
+	// Bounds not in the tree.
+	if got := tr.Range(11, 13); len(got) != 1 || got[0].Key != 12 {
+		t.Errorf("Range(11,13) = %v", got)
+	}
+	if got := tr.Range(98, 200); len(got) != 1 || got[0].Key != 98 {
+		t.Errorf("Range(98,200) = %v", got)
+	}
+	if got := tr.Range(30, 10); got != nil {
+		t.Errorf("inverted range = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New(4)
+	for _, k := range []uint64{55, 3, 99, 12} {
+		tr.Insert(k, 0)
+	}
+	if mn, ok := tr.Min(); !ok || mn.Key != 3 {
+		t.Errorf("Min = %v, %v", mn, ok)
+	}
+	if mx, ok := tr.Max(); !ok || mx.Key != 99 {
+		t.Errorf("Max = %v, %v", mx, ok)
+	}
+}
+
+func TestScanOrderAndStop(t *testing.T) {
+	tr := New(4)
+	for _, k := range []uint64{9, 1, 8, 2, 7, 3} {
+		tr.Insert(k, 0)
+	}
+	var seen []uint64
+	tr.Scan(func(e Entry) bool {
+		seen = append(seen, e.Key)
+		return len(seen) < 4
+	})
+	if len(seen) != 4 {
+		t.Fatalf("Scan visited %d, want 4 (early stop)", len(seen))
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i-1] > seen[i] {
+			t.Errorf("Scan out of order: %v", seen)
+		}
+	}
+}
+
+func TestKeyFrequencies(t *testing.T) {
+	tr := New(8)
+	tr.Insert(7, 0)
+	tr.Insert(7, 1)
+	tr.Insert(7, 2)
+	tr.Insert(9, 0)
+	f := tr.KeyFrequencies()
+	if f[7] != 3 || f[9] != 1 {
+		t.Errorf("KeyFrequencies = %v", f)
+	}
+}
+
+func TestHeightGrowth(t *testing.T) {
+	tr := New(4)
+	h := tr.Height()
+	for k := uint64(0); k < 1000; k++ {
+		tr.Insert(k, int(k))
+		if nh := tr.Height(); nh < h {
+			t.Fatalf("height shrank")
+		} else {
+			h = nh
+		}
+	}
+	if h < 4 {
+		t.Errorf("1000 sequential inserts at order 4: height %d, expected >= 4", h)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	// All entries still reachable.
+	if got := len(tr.Range(0, 2000)); got != 1000 {
+		t.Errorf("full range = %d entries, want 1000", got)
+	}
+}
+
+// Property: tree contents and range results always match a sorted
+// reference slice, under random keys (with duplicates) and random
+// range bounds.
+func TestQuickMatchesReference(t *testing.T) {
+	f := func(seed uint32, loRaw, hiRaw uint16) bool {
+		s := seed
+		next := func(n uint32) uint32 {
+			s = s*1664525 + 1013904223
+			return (s >> 16) % n
+		}
+		tr := New(int(next(12)) + 3)
+		var ref []uint64
+		n := int(next(300)) + 1
+		for i := 0; i < n; i++ {
+			k := uint64(next(64)) // small domain: plenty of duplicates
+			tr.Insert(k, i)
+			ref = append(ref, k)
+		}
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+		if err := tr.Check(); err != nil {
+			t.Logf("Check: %v", err)
+			return false
+		}
+		lo, hi := uint64(loRaw%70), uint64(hiRaw%70)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got := tr.Range(lo, hi)
+		var want []uint64
+		for _, k := range ref {
+			if k >= lo && k <= hi {
+				want = append(want, k)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Key != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+package client
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/wire"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+func TestSpliceMalformedPlaceholder(t *testing.T) {
+	c, _, _ := fixture(t)
+	frag := []byte(`<patient><EncBlock id="0"`)
+	if _, err := c.splice(frag, map[int][]byte{0: []byte("<_blk/>")}, map[int]bool{}); err == nil {
+		t.Errorf("unterminated placeholder accepted")
+	}
+	frag = []byte(`<patient><EncBlock nothing="1"/></patient>`)
+	if _, err := c.splice(frag, map[int][]byte{}, map[int]bool{}); err == nil {
+		t.Errorf("placeholder without id accepted")
+	}
+	frag = []byte(`<patient><EncBlock id="7"/></patient>`)
+	if _, err := c.splice(frag, map[int][]byte{}, map[int]bool{}); err == nil {
+		t.Errorf("missing block accepted")
+	}
+}
+
+func TestSpliceNoPlaceholderPassthrough(t *testing.T) {
+	c, _, _ := fixture(t)
+	frag := []byte(`<patient><age>35</age></patient>`)
+	out, err := c.splice(frag, nil, map[int]bool{})
+	if err != nil {
+		t.Fatalf("splice: %v", err)
+	}
+	if string(out) != string(frag) {
+		t.Errorf("passthrough modified bytes")
+	}
+}
+
+func TestAnnotateBlockID(t *testing.T) {
+	got := annotateBlockID([]byte("<_blk><a>1</a></_blk>"), 42)
+	if !strings.HasPrefix(string(got), `<_blk id="42">`) {
+		t.Errorf("annotation missing: %s", got)
+	}
+	// Non-envelope bytes pass through untouched.
+	raw := []byte("<other/>")
+	if string(annotateBlockID(raw, 1)) != "<other/>" {
+		t.Errorf("non-envelope bytes modified")
+	}
+}
+
+func TestTopTag(t *testing.T) {
+	cases := map[string]string{
+		"<a>x</a>":      "a",
+		"<ab c=\"1\"/>": "ab",
+		"<a/>":          "a",
+		"":              "",
+		"plain":         "",
+		"<a\nb=\"1\">x": "a",
+	}
+	for in, want := range cases {
+		if got := topTag([]byte(in)); got != want {
+			t.Errorf("topTag(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPostProcessProvenance(t *testing.T) {
+	c, doc, db := fixture(t)
+	_ = doc
+	// Build an answer containing one fragment referencing blocks plus
+	// a directly-matched block, then confirm provenance maps content
+	// roots to block IDs.
+	frag := db.Residue.Root.ElementChildren()[0] // first patient (residue)
+	var buf strings.Builder
+	if err := xmltree.NewDocument(frag.Clone()).Serialize(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	ans := &wire.Answer{Fragments: [][]byte{[]byte(buf.String())}}
+	// Collect the blocks the fragment references.
+	frag.Walk(func(n *xmltree.Node) bool {
+		if n.Kind == xmltree.Element && n.Tag == wire.PlaceholderTag {
+			if idStr, ok := n.Attr("id"); ok {
+				var id int
+				if _, err := parseInt(idStr, &id); err == nil {
+					ans.BlockIDs = append(ans.BlockIDs, id)
+					ans.Blocks = append(ans.Blocks, db.Blocks[id])
+				}
+			}
+		}
+		return true
+	})
+	blocks, err := c.DecryptBlocks(ans)
+	if err != nil {
+		t.Fatalf("DecryptBlocks: %v", err)
+	}
+	res, err := c.PostProcessFull(xpath.MustParse("//patient"), ans, blocks)
+	if err != nil {
+		t.Fatalf("PostProcessFull: %v", err)
+	}
+	if len(res.BlockOf) != len(ans.BlockIDs) {
+		t.Errorf("provenance entries = %d, want %d", len(res.BlockOf), len(ans.BlockIDs))
+	}
+	seen := map[int]bool{}
+	for node, id := range res.BlockOf {
+		if node == nil {
+			t.Errorf("nil provenance node")
+		}
+		seen[id] = true
+	}
+	for _, id := range ans.BlockIDs {
+		if !seen[id] {
+			t.Errorf("block %d missing from provenance", id)
+		}
+	}
+}
+
+func parseInt(s string, out *int) (int, error) {
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, errNotDigit
+		}
+		n = n*10 + int(r-'0')
+	}
+	*out = n
+	return n, nil
+}
+
+var errNotDigit = &parseErr{}
+
+type parseErr struct{}
+
+func (*parseErr) Error() string { return "not a digit" }
+
+func TestApplyValueEditErrors(t *testing.T) {
+	c, _, _ := fixture(t)
+	if err := c.ApplyValueEdit("nosuchattr", "a", "b", 0); err == nil {
+		t.Errorf("unknown attribute accepted")
+	}
+	// disease is indexed under the optimal scheme (cover includes it).
+	tag := "disease"
+	if _, ok := c.attrs[tag]; !ok {
+		t.Skipf("cover did not include %s", tag)
+	}
+	if err := c.ApplyValueEdit(tag, "diarrhea", "flu", 99999); err == nil {
+		t.Errorf("wrong block accepted")
+	}
+	if err := c.ApplyValueEdit(tag, "same", "same", 0); err != nil {
+		t.Errorf("no-op edit rejected: %v", err)
+	}
+}
+
+func TestRebuildEntriesUnknownAttr(t *testing.T) {
+	c, _, _ := fixture(t)
+	if _, _, err := c.RebuildEntries("ghost"); err == nil {
+		t.Errorf("unknown attribute accepted")
+	}
+}
+
+func TestAttributeDomainRange(t *testing.T) {
+	c, _, _ := fixture(t)
+	if _, _, _, ok := c.AttributeDomainRange("ghost"); ok {
+		t.Errorf("unknown attribute reported indexed")
+	}
+	lo, hi, _, ok := c.AttributeDomainRange("policy")
+	if !ok {
+		t.Fatalf("policy should be indexed")
+	}
+	if lo >= hi {
+		t.Errorf("degenerate domain range [%d, %d]", lo, hi)
+	}
+	if b, ok := c.IndexedBand("policy"); !ok || b == 0 {
+		t.Errorf("policy band = %d, %v", b, ok)
+	}
+}

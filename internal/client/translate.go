@@ -1,0 +1,209 @@
+package client
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+	"repro/internal/xpath"
+)
+
+// Translate rewrites a plaintext query Q into the server query Qs
+// (§6.1): every tag is replaced by the DSI table label(s) it is
+// stored under — the Vernam ciphertext when the tag occurs inside
+// encryption blocks, the plaintext tag when it occurs in the residue
+// (both when mixed) — and every value comparison whose target tag is
+// encrypted is rewritten into OPESS ciphertext ranges per Fig. 7(a).
+// The query's structure is preserved; the server learns shape but no
+// protected tags or values.
+func (c *Client) Translate(q *xpath.Path) (*wire.Query, error) {
+	first, err := c.translateSteps(q, true)
+	if err != nil {
+		return nil, err
+	}
+	if first == nil {
+		return nil, fmt.Errorf("client: query %s translates to an empty path", q)
+	}
+	return &wire.Query{First: first}, nil
+}
+
+// translateSteps converts a path into a linked QStep chain. text()
+// steps are dropped: text nodes carry no DSI interval, so the server
+// matches their parent element and the client's post-processing
+// re-applies the original query. main marks the query's main path
+// (kept for symmetry; translation is identical for predicate paths).
+func (c *Client) translateSteps(p *xpath.Path, main bool) (*wire.QStep, error) {
+	var first, last *wire.QStep
+	for i, st := range p.Steps {
+		if st.Test.Text {
+			// Dropping the step transfers its predicates (rare) to
+			// the parent context step, which is the closest sound
+			// approximation the server can check.
+			if last != nil {
+				preds, err := c.translatePreds(st, "")
+				if err != nil {
+					return nil, err
+				}
+				last.Preds = append(last.Preds, preds...)
+			}
+			continue
+		}
+		qs := &wire.QStep{Axis: st.Axis, Desc: p.Desc[i]}
+		if !st.Test.Wildcard {
+			qs.Labels = c.labelsFor(st)
+		}
+		preds, err := c.translatePreds(st, stepTagKey(st))
+		if err != nil {
+			return nil, err
+		}
+		qs.Preds = preds
+		if first == nil {
+			first = qs
+		} else {
+			last.Next = qs
+		}
+		last = qs
+	}
+	return first, nil
+}
+
+// stepTagKey returns the tag key a named step binds ("" for
+// wildcards), with the attribute prefix applied.
+func stepTagKey(st xpath.Step) string {
+	if st.Test.Wildcard || st.Test.Text {
+		return ""
+	}
+	if st.Axis == xpath.AxisAttribute {
+		return "@" + st.Test.Name
+	}
+	return st.Test.Name
+}
+
+// labelsFor returns the DSI table labels a named step can match.
+// Unknown tags fall back to their plaintext name, which matches
+// nothing — the server must not learn that the tag is absent versus
+// unencrypted, and a plaintext miss reveals neither.
+func (c *Client) labelsFor(st xpath.Step) []string {
+	key := stepTagKey(st)
+	var labels []string
+	if c.encTags[key] {
+		labels = append(labels, c.keys.EncryptTag(key))
+	}
+	if c.plainTags[key] || len(labels) == 0 {
+		labels = append(labels, key)
+	}
+	return labels
+}
+
+func (c *Client) translatePreds(st xpath.Step, ownerTag string) ([]wire.QPred, error) {
+	var out []wire.QPred
+	for _, pr := range st.Preds {
+		qp, err := c.translateExpr(pr, ownerTag)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, qp)
+	}
+	return out, nil
+}
+
+func (c *Client) translateExpr(e xpath.Expr, ownerTag string) (wire.QPred, error) {
+	switch v := e.(type) {
+	case *xpath.ExistsExpr:
+		path, err := c.translateSteps(v.Path, false)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.PredExists{Path: path}, nil
+	case *xpath.CmpExpr:
+		return c.translateCmp(v, ownerTag)
+	case *xpath.AndExpr:
+		l, err := c.translateExpr(v.L, ownerTag)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.translateExpr(v.R, ownerTag)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.PredAnd{L: l, R: r}, nil
+	case *xpath.OrExpr:
+		l, err := c.translateExpr(v.L, ownerTag)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.translateExpr(v.R, ownerTag)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.PredOr{L: l, R: r}, nil
+	case *xpath.NotExpr:
+		inner, err := c.translateExpr(v.E, ownerTag)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.PredNot{E: inner}, nil
+	case *xpath.PosExpr:
+		return &wire.PredPos{N: v.N}, nil
+	default:
+		return nil, fmt.Errorf("client: cannot translate predicate %T", e)
+	}
+}
+
+// AttributeDomainRange returns the ciphertext window covering every
+// possible OPESS ciphertext of an encrypted leaf tag's domain. The
+// server can answer MIN/MAX aggregates (§6.4) by picking the
+// extreme indexed entry inside this window — no decryption needed on
+// its side. Returns false when the tag has no value index.
+func (c *Client) AttributeDomainRange(tagKey string) (lo, hi uint64, numeric bool, ok bool) {
+	attr, exists := c.attrs[tagKey]
+	if !exists {
+		return 0, 0, false, false
+	}
+	vs := attr.Values()
+	loR, err := attr.TranslateRange(xpath.OpGe, vs[0])
+	if err != nil || len(loR) == 0 {
+		return 0, 0, false, false
+	}
+	hiR, err := attr.TranslateRange(xpath.OpLe, vs[len(vs)-1])
+	if err != nil || len(hiR) == 0 {
+		return 0, 0, false, false
+	}
+	return loR[0].Lo, hiR[0].Hi, attr.Numeric, true
+}
+
+// translateCmp rewrites a value comparison. The comparison's target
+// tag is the last named step of its path (or the owning step's tag
+// for a bare "." path); when that tag is encrypted the literal
+// becomes OPESS ciphertext ranges, and when it (also) occurs in
+// plaintext the original comparison is kept for the residue.
+func (c *Client) translateCmp(v *xpath.CmpExpr, ownerTag string) (wire.QPred, error) {
+	path, err := c.translateSteps(v.Path, false)
+	if err != nil {
+		return nil, err
+	}
+	target := ownerTag
+	for _, st := range v.Path.Steps {
+		if k := stepTagKey(st); k != "" {
+			target = k
+		}
+	}
+	pv := &wire.PredValue{Path: path, Op: v.Op, Lit: v.Literal}
+	if c.plainTags[target] || target == "" {
+		pv.Plain = true
+	}
+	if c.encTags[target] {
+		attr, ok := c.attrs[target]
+		if !ok {
+			// Encrypted tag with no indexed values (e.g. an interior
+			// node): no ciphertext occurrence can satisfy a value
+			// comparison, and the plaintext half (if any) stands.
+			return pv, nil
+		}
+		ranges, err := attr.TranslateRange(v.Op, v.Literal)
+		if err != nil {
+			return nil, fmt.Errorf("client: translating %s %s %q: %w", target, v.Op, v.Literal, err)
+		}
+		pv.Ranges = ranges
+	}
+	return pv, nil
+}

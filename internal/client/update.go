@@ -1,0 +1,114 @@
+package client
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/opess"
+	"repro/internal/wire"
+	"repro/internal/xmltree"
+)
+
+// Update support — the paper's future work #3 (§8), shipped as an
+// extension. The client retains, per indexed attribute, the exact
+// occurrence bookkeeping it used to build the value index (value ->
+// containing blocks). A leaf-value edit then becomes: re-encrypt the
+// touched blocks with fresh decoys and nonces, adjust the
+// bookkeeping, rebuild the attribute's OPESS transformer for the new
+// frequency distribution, and replace that attribute's index band
+// wholesale. Whole-band replacement is deliberate: OPESS parameters
+// depend on the full distribution, and replacing everything makes
+// every possible edit look the same to the server.
+
+// ApplyValueEdit records that one occurrence of oldValue (stored in
+// blockID) became newValue, updating the attribute's occurrence
+// bookkeeping. Call RebuildEntries afterwards to regenerate the
+// index band.
+func (c *Client) ApplyValueEdit(tagKey, oldValue, newValue string, blockID int) error {
+	o, ok := c.occ[tagKey]
+	if !ok {
+		return fmt.Errorf("client: attribute %s is not indexed", tagKey)
+	}
+	if oldValue == newValue {
+		return nil
+	}
+	list := o.blocks[oldValue]
+	idx := -1
+	for i, b := range list {
+		if b == blockID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("client: %s=%q has no occurrence in block %d", tagKey, oldValue, blockID)
+	}
+	o.blocks[oldValue] = append(list[:idx], list[idx+1:]...)
+	o.freq[oldValue]--
+	if o.freq[oldValue] == 0 {
+		delete(o.freq, oldValue)
+		delete(o.blocks, oldValue)
+		for i, v := range o.order {
+			if v == oldValue {
+				o.order = append(o.order[:i], o.order[i+1:]...)
+				break
+			}
+		}
+	}
+	if o.freq[newValue] == 0 {
+		o.order = append(o.order, newValue)
+	}
+	o.freq[newValue]++
+	o.blocks[newValue] = append(o.blocks[newValue], blockID)
+	return nil
+}
+
+// RebuildEntries regenerates an attribute's OPESS transformer (same
+// band) and its complete set of index entries from the current
+// bookkeeping.
+func (c *Client) RebuildEntries(tagKey string) ([]btree.Entry, uint8, error) {
+	o, ok := c.occ[tagKey]
+	if !ok {
+		return nil, 0, fmt.Errorf("client: attribute %s is not indexed", tagKey)
+	}
+	band := c.bands[tagKey]
+	attr, err := opess.BuildBand(tagKey, o.freq, c.keys, band)
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: rebuild %s: %w", tagKey, err)
+	}
+	c.attrs[tagKey] = attr
+	var entries []btree.Entry
+	for _, v := range o.order {
+		es, err := attr.IndexEntries(v, o.blocks[v])
+		if err != nil {
+			return nil, 0, fmt.Errorf("client: rebuild %s=%q: %w", tagKey, v, err)
+		}
+		entries = append(entries, es...)
+	}
+	return entries, band, nil
+}
+
+// ReencryptBlock rebuilds an encryption block from its (edited)
+// plaintext content node: fresh envelope, fresh decoy, fresh nonce.
+func (c *Client) ReencryptBlock(content *xmltree.Node) ([]byte, error) {
+	var root *xmltree.Node
+	if content.Kind == xmltree.Attribute {
+		root = content
+	} else {
+		root = content.Clone()
+		root.Parent = nil
+	}
+	pt, err := c.serializeBlock(root, true)
+	if err != nil {
+		return nil, err
+	}
+	return c.keys.EncryptBlock(pt)
+}
+
+// IndexedBand exposes an attribute's band (for tests and audits).
+func (c *Client) IndexedBand(tagKey string) (uint8, bool) {
+	b, ok := c.bands[tagKey]
+	return b, ok
+}
+
+var _ = wire.Update{} // the update flow is orchestrated by core

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/wire"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// UpdateLeafValues sets the value of every leaf node selected by q
+// to newValue, re-encrypting the affected blocks and re-issuing the
+// value-index bands of every touched attribute (the paper's future
+// work #3, §8 — see wire.Update for the design). Only encrypted
+// targets are supported: plaintext residue values would require
+// residue rewriting, which this extension does not cover. It returns
+// the number of values changed.
+func (s *System) UpdateLeafValues(q string, newValue string) (int, error) {
+	path, err := xpath.Parse(q)
+	if err != nil {
+		return 0, err
+	}
+	qs, err := s.Client.Translate(path)
+	if err != nil {
+		return 0, err
+	}
+	ans, err := s.Server.Execute(qs)
+	if err != nil {
+		return 0, err
+	}
+	blocks, err := s.Client.DecryptBlocks(ans)
+	if err != nil {
+		return 0, err
+	}
+	res, err := s.Client.PostProcessFull(path, ans, blocks)
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Nodes) == 0 {
+		return 0, nil
+	}
+
+	type edit struct {
+		tagKey   string
+		oldValue string
+		blockID  int
+	}
+	touchedBlocks := map[int]*xmltree.Node{} // block id -> content root
+	touchedAttrs := map[string]bool{}
+	var edits []edit
+	for _, n := range res.Nodes {
+		if !n.IsLeaf() || n.Kind == xmltree.Text {
+			return 0, fmt.Errorf("core: update target %s is not a leaf", q)
+		}
+		bid, content, ok := blockOf(n, res.BlockOf)
+		if !ok {
+			return 0, fmt.Errorf("core: update target %s is stored in plaintext; only encrypted values can be updated", q)
+		}
+		old := n.LeafValue()
+		if old == newValue {
+			continue
+		}
+		key := n.Tag
+		if n.Kind == xmltree.Attribute {
+			key = "@" + n.Tag
+		}
+		n.SetLeafValue(newValue)
+		touchedBlocks[bid] = content
+		touchedAttrs[key] = true
+		edits = append(edits, edit{tagKey: key, oldValue: old, blockID: bid})
+	}
+	if len(edits) == 0 {
+		return 0, nil
+	}
+
+	for _, e := range edits {
+		if err := s.Client.ApplyValueEdit(e.tagKey, e.oldValue, newValue, e.blockID); err != nil {
+			return 0, err
+		}
+	}
+
+	upd := &wire.Update{}
+	for key := range touchedAttrs {
+		entries, band, err := s.Client.RebuildEntries(key)
+		if err != nil {
+			return 0, err
+		}
+		upd.DropBands = append(upd.DropBands, band)
+		upd.AddEntries = append(upd.AddEntries, entries...)
+	}
+	for bid, content := range touchedBlocks {
+		ct, err := s.Client.ReencryptBlock(content)
+		if err != nil {
+			return 0, err
+		}
+		upd.Blocks = append(upd.Blocks, wire.BlockUpdate{ID: bid, Ciphertext: ct})
+	}
+
+	if err := s.Server.ApplyUpdate(upd); err != nil {
+		return 0, err
+	}
+	s.mirrorUpdate(upd)
+	return len(edits), nil
+}
+
+// blockOf walks the ancestor chain to the nearest decrypted block
+// content root.
+func blockOf(n *xmltree.Node, prov map[*xmltree.Node]int) (int, *xmltree.Node, bool) {
+	for cur := n; cur != nil; cur = cur.Parent {
+		if id, ok := prov[cur]; ok {
+			return id, cur, true
+		}
+	}
+	return 0, nil, false
+}
+
+// mirrorUpdate applies an update to the client-side HostedDB copy so
+// NaiveQuery and size accounting stay coherent. Dropping a band and
+// re-adding its entries is idempotent, so this is safe whether the
+// backend shares the HostedDB (in-process) or not (remote).
+func (s *System) mirrorUpdate(u *wire.Update) {
+	for _, b := range u.Blocks {
+		if b.ID >= 0 && b.ID < len(s.HostedDB.Blocks) {
+			s.HostedDB.Blocks[b.ID] = b.Ciphertext
+		}
+	}
+	if len(u.DropBands) == 0 && len(u.AddEntries) == 0 {
+		return
+	}
+	drop := map[uint8]bool{}
+	for _, b := range u.DropBands {
+		drop[b] = true
+	}
+	var kept []btree.Entry
+	for _, e := range s.HostedDB.IndexEntries {
+		if !drop[uint8(e.Key>>56)] {
+			kept = append(kept, e)
+		}
+	}
+	s.HostedDB.IndexEntries = append(kept, u.AddEntries...)
+}

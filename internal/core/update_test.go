@@ -1,0 +1,161 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+func hostForUpdate(t *testing.T) (*System, *xmltree.Document) {
+	t.Helper()
+	doc, err := xmltree.ParseString(hospitalXML)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sys, err := Host(doc, paperSCs, SchemeOpt, []byte("update-test"))
+	if err != nil {
+		t.Fatalf("Host: %v", err)
+	}
+	return sys, doc
+}
+
+func queryValues(t *testing.T, sys *System, q string) []string {
+	t.Helper()
+	nodes, _, _, err := sys.Query(q)
+	if err != nil {
+		t.Fatalf("query %s: %v", q, err)
+	}
+	var out []string
+	for _, n := range nodes {
+		out = append(out, n.LeafValue())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestUpdateEncryptedLeaf(t *testing.T) {
+	sys, _ := hostForUpdate(t)
+	// disease is in the optimal cover: encrypted + indexed.
+	n, err := sys.UpdateLeafValues("//patient[pname='Matt']/treat[1]/disease", "cholera")
+	if err != nil {
+		t.Fatalf("UpdateLeafValues: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("updated %d values, want 1", n)
+	}
+	// The new value is queryable (by equality, through the rebuilt
+	// OPESS index) and the old one is gone from that patient.
+	got := queryValues(t, sys, "//patient[.//disease='cholera']/pname")
+	if len(got) != 1 || got[0] != "Matt" {
+		t.Errorf("cholera patients = %v, want [Matt]", got)
+	}
+	got = queryValues(t, sys, "//patient[.//disease='leukemia']/pname")
+	if len(got) != 0 {
+		t.Errorf("leukemia still found on %v", got)
+	}
+	// Unrelated values survive.
+	got = queryValues(t, sys, "//patient[.//disease='diarrhea']/pname")
+	if len(got) != 2 {
+		t.Errorf("diarrhea patients = %v, want both", got)
+	}
+}
+
+func TestUpdateEquivalenceWithPlaintext(t *testing.T) {
+	sys, doc := hostForUpdate(t)
+	if _, err := sys.UpdateLeafValues("//patient[pname='Betty']//disease", "gout"); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	// Reference: apply the same edit to the plaintext document.
+	ref := doc.Clone()
+	for _, n := range refNodes(t, ref, "//patient[pname='Betty']//disease") {
+		n.SetLeafValue("gout")
+	}
+	for _, q := range []string{
+		"//patient", "//disease", "//patient[.//disease='gout']/SSN",
+		"//treat[disease='gout']/doctor", "//patient[not(.//disease='gout')]/pname",
+	} {
+		want := plaintextResults(t, ref, q)
+		got := systemResults(t, sys, q, false)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("after update, query %s:\n got  %v\n want %v", q, got, want)
+		}
+	}
+}
+
+func refNodes(t *testing.T, doc *xmltree.Document, q string) []*xmltree.Node {
+	t.Helper()
+	return xpath.Evaluate(doc, mustPath(t, q))
+}
+
+func TestUpdateMultipleOccurrences(t *testing.T) {
+	sys, _ := hostForUpdate(t)
+	// Both diarrhea occurrences at once: frequency 2 -> 0, cholera 0 -> 2.
+	n, err := sys.UpdateLeafValues("//treat[disease='diarrhea']/disease", "cholera")
+	if err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("updated %d, want 2", n)
+	}
+	got := queryValues(t, sys, "//patient[.//disease='cholera']/pname")
+	if len(got) != 2 {
+		t.Errorf("cholera patients = %v", got)
+	}
+}
+
+func TestUpdateRange(t *testing.T) {
+	sys, _ := hostForUpdate(t)
+	// policy is encrypted under //insurance: numeric range after update.
+	if _, err := sys.UpdateLeafValues("//patient[pname='Betty']/insurance/policy", "99999"); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	got := queryValues(t, sys, "//patient[.//policy>90000]/pname")
+	if len(got) != 1 || got[0] != "Betty" {
+		t.Errorf("policy>90000 = %v", got)
+	}
+}
+
+func TestUpdatePlaintextTargetRejected(t *testing.T) {
+	sys, _ := hostForUpdate(t)
+	// age is plaintext under the optimal scheme.
+	if _, err := sys.UpdateLeafValues("//patient[pname='Matt']/age", "41"); err == nil {
+		t.Errorf("plaintext update accepted")
+	}
+}
+
+func TestUpdateNoMatches(t *testing.T) {
+	sys, _ := hostForUpdate(t)
+	n, err := sys.UpdateLeafValues("//patient[pname='Nobody']//disease", "x")
+	if err != nil || n != 0 {
+		t.Errorf("no-match update: n=%d err=%v", n, err)
+	}
+	// Same-value update is a no-op.
+	n, err = sys.UpdateLeafValues("//patient[pname='Betty']//disease", "diarrhea")
+	if err != nil || n != 0 {
+		t.Errorf("same-value update: n=%d err=%v", n, err)
+	}
+}
+
+func TestUpdateNonLeafRejected(t *testing.T) {
+	sys, _ := hostForUpdate(t)
+	if _, err := sys.UpdateLeafValues("//insurance", "x"); err == nil {
+		t.Errorf("non-leaf update accepted")
+	}
+}
+
+func TestUpdateAggregatesReflectChange(t *testing.T) {
+	sys, _ := hostForUpdate(t)
+	if _, err := sys.UpdateLeafValues("//patient[pname='Betty']/insurance/policy", "1"); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	got, _, err := sys.AggregateMinMax("//insurance/policy", false)
+	if err != nil {
+		t.Fatalf("MIN(policy): %v", err)
+	}
+	if got != "1" {
+		t.Errorf("MIN(policy) = %q, want 1", got)
+	}
+}

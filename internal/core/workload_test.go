@@ -1,0 +1,46 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/xmltree"
+)
+
+// TestWorkloadEquivalence runs the paper's generated workloads —
+// both datasets, all four schemes, all three query classes — through
+// the full hosted pipeline and checks exact equivalence with direct
+// plaintext evaluation.
+func TestWorkloadEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload equivalence is slow; run without -short")
+	}
+	type ds struct {
+		name string
+		doc  *xmltree.Document
+		scs  []string
+	}
+	datasets := []ds{
+		{"xmark", datagen.XMark(40, 101), datagen.XMarkSCs()},
+		{"nasa", datagen.NASA(40, 102), datagen.NASASCs()},
+	}
+	for _, d := range datasets {
+		for _, sn := range []SchemeName{SchemeOpt, SchemeApp, SchemeSub, SchemeTop} {
+			sys, err := Host(d.doc, d.scs, sn, []byte("workload-"+d.name))
+			if err != nil {
+				t.Fatalf("%s/%s: Host: %v", d.name, sn, err)
+			}
+			for _, class := range []datagen.QueryClass{datagen.Qs, datagen.Qm, datagen.Ql} {
+				for _, q := range datagen.Queries(d.doc, class, 6, 7) {
+					want := plaintextResults(t, d.doc, q)
+					got := systemResults(t, sys, q, false)
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("%s/%s/%v query %s:\n got  %d results\n want %d results",
+							d.name, sn, class, q, len(got), len(want))
+					}
+				}
+			}
+		}
+	}
+}

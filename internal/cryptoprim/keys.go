@@ -1,0 +1,171 @@
+// Package cryptoprim provides the cryptographic primitives the paper
+// builds on: symmetric block encryption for XML subtrees (AES-GCM),
+// a Vernam-style deterministic tag cipher for the DSI index table
+// (§5.1.1), a keyed PRF, order-preserving encryption for the value
+// index (§5.2), and decoy generation (§4.1).
+//
+// All key material is derived from a single client master key with
+// an HMAC-SHA256 KDF, so the client stores one secret.
+package cryptoprim
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/base32"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// KeySet holds every derived key the client needs. The server never
+// sees a KeySet.
+type KeySet struct {
+	master   []byte
+	aead     cipher.AEAD
+	tagKey   []byte
+	opeKey   []byte
+	decoyKey []byte
+	dsiKey   []byte // seeds the DSI gap weights w1, w2
+	opessKey []byte // seeds OPESS split displacements and scale factors
+}
+
+// NewKeySet derives a key set from a master secret of any length.
+// An empty master key is rejected.
+func NewKeySet(master []byte) (*KeySet, error) {
+	if len(master) == 0 {
+		return nil, errors.New("cryptoprim: empty master key")
+	}
+	ks := &KeySet{master: append([]byte(nil), master...)}
+	blockKey := derive(master, "block")
+	blk, err := aes.NewCipher(blockKey[:32])
+	if err != nil {
+		return nil, fmt.Errorf("cryptoprim: aes: %w", err)
+	}
+	ks.aead, err = cipher.NewGCM(blk)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoprim: gcm: %w", err)
+	}
+	ks.tagKey = derive(master, "tag")
+	ks.opeKey = derive(master, "ope")
+	ks.decoyKey = derive(master, "decoy")
+	ks.dsiKey = derive(master, "dsi")
+	ks.opessKey = derive(master, "opess")
+	return ks, nil
+}
+
+// MustKeySet derives a key set and panics on error; for tests.
+func MustKeySet(master string) *KeySet {
+	ks, err := NewKeySet([]byte(master))
+	if err != nil {
+		panic(err)
+	}
+	return ks
+}
+
+// derive computes HMAC-SHA256(master, label): a 32-byte subkey.
+func derive(master []byte, label string) []byte {
+	m := hmac.New(sha256.New, master)
+	m.Write([]byte("secxml/v1/" + label))
+	return m.Sum(nil)
+}
+
+// PRF computes the keyed pseudo-random function used throughout:
+// HMAC-SHA256 over the concatenated byte arguments, under a subkey
+// selected by label.
+func (k *KeySet) PRF(label string, data ...[]byte) []byte {
+	m := hmac.New(sha256.New, derive(k.master, "prf/"+label))
+	for _, d := range data {
+		m.Write(d)
+	}
+	return m.Sum(nil)
+}
+
+// PRFUint64 returns the first 8 bytes of PRF as a uint64.
+func (k *KeySet) PRFUint64(label string, data ...[]byte) uint64 {
+	return binary.BigEndian.Uint64(k.PRF(label, data...)[:8])
+}
+
+// EncryptBlock encrypts a serialized XML block with AES-256-GCM
+// under a fresh random nonce. The nonce is prepended to the output.
+func (k *KeySet) EncryptBlock(plaintext []byte) ([]byte, error) {
+	nonce := make([]byte, k.aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("cryptoprim: nonce: %w", err)
+	}
+	ct := k.aead.Seal(nil, nonce, plaintext, nil)
+	return append(nonce, ct...), nil
+}
+
+// DecryptBlock reverses EncryptBlock, authenticating the ciphertext.
+func (k *KeySet) DecryptBlock(ct []byte) ([]byte, error) {
+	ns := k.aead.NonceSize()
+	if len(ct) < ns {
+		return nil, errors.New("cryptoprim: ciphertext shorter than nonce")
+	}
+	pt, err := k.aead.Open(nil, ct[:ns], ct[ns:], nil)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoprim: decrypt: %w", err)
+	}
+	return pt, nil
+}
+
+// CiphertextOverhead is the fixed per-block size overhead of
+// EncryptBlock (nonce + GCM tag), used by the size accounting in the
+// scheme cost model.
+func (k *KeySet) CiphertextOverhead() int {
+	return k.aead.NonceSize() + k.aead.Overhead()
+}
+
+// EncryptTag deterministically encrypts an element or attribute tag
+// for the DSI index table and translated queries. The paper uses a
+// Vernam (one-time-pad) cipher with pads known only to the client;
+// we realize the per-distinct-tag pad as PRF(tagKey, tag) so the
+// client needs no codebook, and encode the result in base32 so it is
+// a legal XML name (e.g. "SSN" -> "U84573"-style opaque token).
+// Identical tags map to identical ciphertexts, which is exactly what
+// lets the server match translated query nodes against the DSI
+// table; distinct tags collide with negligible probability.
+func (k *KeySet) EncryptTag(tag string) string {
+	m := hmac.New(sha256.New, k.tagKey)
+	m.Write([]byte(tag))
+	sum := m.Sum(nil)
+	return "T" + base32.StdEncoding.WithPadding(base32.NoPadding).EncodeToString(sum[:10])
+}
+
+// RandomDecoy returns a pseudo-random decoy value (§4.1) for the
+// n-th decoy generated. Decoys only need to be unpredictable to the
+// attacker and unique with high probability; they are stripped by
+// the client after decryption.
+func (k *KeySet) RandomDecoy(n uint64) string {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], n)
+	sum := k.PRF("decoy", k.decoyKey, buf[:])
+	return base32.StdEncoding.WithPadding(base32.NoPadding).EncodeToString(sum[:8])
+}
+
+// DSIWeight returns a deterministic pseudo-random weight in
+// (lo, hi) ⊂ (0, 0.5) for the DSI index gap of child i of the node
+// with the given path signature (§5.1, Figure 3). side selects w1 or
+// w2.
+func (k *KeySet) DSIWeight(sig string, i int, side int) float64 {
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(i))
+	binary.BigEndian.PutUint64(buf[8:], uint64(side))
+	u := k.PRFUint64("dsi", k.dsiKey, []byte(sig), buf[:])
+	// Map to (0.05, 0.45): strictly inside (0, 0.5) with margin so
+	// gaps never collapse to zero by floating-point truncation.
+	return 0.05 + 0.4*float64(u%1_000_000)/1_000_000.0
+}
+
+// OPESSRand returns a deterministic pseudo-random float in [0,1)
+// for OPESS parameter generation (split displacements, scale
+// factors), keyed per attribute and index.
+func (k *KeySet) OPESSRand(attr string, kind string, i int) float64 {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(i))
+	u := k.PRFUint64("opess/"+kind, k.opessKey, []byte(attr), buf[:])
+	return float64(u%1_000_000_000) / 1_000_000_000.0
+}

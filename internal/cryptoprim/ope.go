@@ -1,0 +1,124 @@
+package cryptoprim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// OPE is a deterministic keyed order-preserving encryption function
+// over a fixed-point numeric domain, playing the role of the
+// black-box "enc" of Agrawal et al. [3] that the paper's OPESS
+// construction (§5.2.1) is built on.
+//
+// Construction: plaintexts are scaled to int64 fixed-point with
+// Precision fractional decimal digits, shifted to the non-negative
+// range, and mapped by
+//
+//	E(x) = x*Spread + r(x),  r(x) = PRF(key, x) mod Spread
+//
+// which is strictly increasing in x: consecutive plaintexts are
+// Spread apart before the perturbation and r(x) < Spread. The
+// perturbation hides the exact plaintext spacing while preserving
+// order. OPE is not frequency-hiding on its own — that is exactly
+// why the paper adds splitting and scaling on top (package opess).
+type OPE struct {
+	keys *KeySet
+	// Precision is the number of decimal fraction digits preserved
+	// when scaling plaintext reals to the integer domain.
+	Precision int
+	// Band places this instance's ciphertexts in a disjoint window
+	// of the uint64 space (the top byte). The client assigns one
+	// band per indexed attribute so that different attributes'
+	// entries never interleave in the shared value index — range
+	// windows and MIN/MAX probes then select only the intended
+	// attribute's entries.
+	Band uint8
+}
+
+// opeSpread separates consecutive fixed-point plaintexts in the
+// ciphertext domain; the random perturbation r(x) is drawn below it.
+const opeSpread = 1 << 10
+
+// opeOffset shifts signed fixed-point plaintexts to non-negative.
+// (2*opeOffset)*opeSpread = 2^56 fits under the band byte.
+const opeOffset = int64(1) << 45
+
+// NewOPE returns an OPE instance with the given fractional decimal
+// precision (digits preserved after the decimal point), in band 0.
+func NewOPE(keys *KeySet, precision int) *OPE {
+	return NewOPEBand(keys, precision, 0)
+}
+
+// NewOPEBand returns an OPE instance confined to the given band.
+func NewOPEBand(keys *KeySet, precision int, band uint8) *OPE {
+	if precision < 0 {
+		precision = 0
+	}
+	return &OPE{keys: keys, Precision: precision, Band: band}
+}
+
+// scale is 10^Precision.
+func (o *OPE) scale() float64 { return math.Pow(10, float64(o.Precision)) }
+
+// ErrOPERange is returned for plaintexts outside the encodable range.
+var ErrOPERange = errors.New("cryptoprim: plaintext outside OPE range")
+
+// ToFixed converts a real plaintext to the fixed-point int64 domain.
+func (o *OPE) ToFixed(v float64) (int64, error) {
+	s := v * o.scale()
+	if math.IsNaN(s) || s >= float64(opeOffset) || s <= -float64(opeOffset) {
+		return 0, fmt.Errorf("%w: %v", ErrOPERange, v)
+	}
+	return int64(math.Round(s)), nil
+}
+
+// FromFixed converts a fixed-point plaintext back to a real value.
+func (o *OPE) FromFixed(x int64) float64 { return float64(x) / o.scale() }
+
+// EncryptFixed maps a fixed-point plaintext to its ciphertext code.
+func (o *OPE) EncryptFixed(x int64) uint64 {
+	u := uint64(x + opeOffset)
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], u)
+	r := o.keys.PRFUint64("ope", buf[:]) % opeSpread
+	return uint64(o.Band)<<56 | (u*opeSpread + r)
+}
+
+// Encrypt maps a real plaintext to its order-preserving ciphertext.
+func (o *OPE) Encrypt(v float64) (uint64, error) {
+	x, err := o.ToFixed(v)
+	if err != nil {
+		return 0, err
+	}
+	return o.EncryptFixed(x), nil
+}
+
+// MaxCipherFor returns the largest ciphertext that any plaintext
+// ≤ v can map to; used to translate "≤ v" range bounds.
+func (o *OPE) MaxCipherFor(v float64) (uint64, error) {
+	x, err := o.ToFixed(v)
+	if err != nil {
+		return 0, err
+	}
+	return uint64(o.Band)<<56 | (uint64(x+opeOffset)*opeSpread + (opeSpread - 1)), nil
+}
+
+// MinCipherFor returns the smallest ciphertext that any plaintext
+// ≥ v can map to; used to translate "≥ v" range bounds.
+func (o *OPE) MinCipherFor(v float64) (uint64, error) {
+	x, err := o.ToFixed(v)
+	if err != nil {
+		return 0, err
+	}
+	return uint64(o.Band)<<56 | (uint64(x+opeOffset) * opeSpread), nil
+}
+
+// BandRange returns the full ciphertext window of this instance's
+// band; range translations for <, >, != clamp to it so they never
+// leak into another attribute's band.
+func (o *OPE) BandRange() (lo, hi uint64) {
+	lo = uint64(o.Band) << 56
+	return lo, lo | (1<<56 - 1)
+}

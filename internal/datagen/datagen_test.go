@@ -1,0 +1,222 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/sc"
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Intn(1000) != b.Intn(1000) {
+			t.Fatalf("PRNG not deterministic at step %d", i)
+		}
+	}
+	c := NewRand(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRand(42).Intn(1<<30) != c.Intn(1<<30) {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical streams")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRand(7)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		counts[r.Zipf(10)]++
+	}
+	if counts[0] <= counts[9] {
+		t.Errorf("Zipf not skewed: first %d, last %d", counts[0], counts[9])
+	}
+	if counts[0] < 2*counts[4] {
+		t.Errorf("Zipf skew too weak: %v", counts)
+	}
+}
+
+func TestXMarkShape(t *testing.T) {
+	doc := XMark(50, 1)
+	if doc.Root.Tag != "site" {
+		t.Fatalf("root = %s", doc.Root.Tag)
+	}
+	if n := len(xpath.Evaluate(doc, xpath.MustParse("//person"))); n != 50 {
+		t.Errorf("persons = %d, want 50", n)
+	}
+	for _, q := range []string{"//person/name", "//person/creditcard", "//profile/income",
+		"//profile/age", "//item", "//open_auction", "//closed_auction"} {
+		if n := len(xpath.Evaluate(doc, xpath.MustParse(q))); n == 0 {
+			t.Errorf("%s matched nothing", q)
+		}
+	}
+	// Every person has exactly one name and one creditcard.
+	names := xpath.Evaluate(doc, xpath.MustParse("//person/name"))
+	if len(names) != 50 {
+		t.Errorf("names = %d", len(names))
+	}
+}
+
+func TestXMarkDeterministic(t *testing.T) {
+	a := XMark(20, 5)
+	b := XMark(20, 5)
+	if a.String() != b.String() {
+		t.Errorf("XMark not deterministic")
+	}
+	c := XMark(20, 6)
+	if a.String() == c.String() {
+		t.Errorf("XMark ignores seed")
+	}
+}
+
+func TestXMarkSCsBuildGraph(t *testing.T) {
+	doc := XMark(30, 2)
+	cs, err := sc.ParseAll(XMarkSCs())
+	if err != nil {
+		t.Fatalf("ParseAll: %v", err)
+	}
+	g, err := sc.BuildGraph(cs, doc)
+	if err != nil {
+		t.Fatalf("BuildGraph: %v", err)
+	}
+	// Vertices: name, emailaddress, creditcard, income, age.
+	if len(g.Vertices) != 5 {
+		t.Errorf("vertices = %d: %v", len(g.Vertices), g.Vertices)
+	}
+	if len(g.Edges) != 4 {
+		t.Errorf("edges = %d", len(g.Edges))
+	}
+	opt, err := scheme.Optimal(doc, cs)
+	if err != nil {
+		t.Fatalf("Optimal: %v", err)
+	}
+	// {name, creditcard} covers all four edges with two vertices.
+	if !opt.CoverTags["name"] || !opt.CoverTags["creditcard"] {
+		t.Errorf("optimal XMark cover = %v, expected name+creditcard", opt.CoverTags)
+	}
+	if err := opt.Enforces(doc, cs); err != nil {
+		t.Errorf("Enforces: %v", err)
+	}
+}
+
+func TestNASAShape(t *testing.T) {
+	doc := NASA(40, 3)
+	if doc.Root.Tag != "datasets" {
+		t.Fatalf("root = %s", doc.Root.Tag)
+	}
+	if n := len(xpath.Evaluate(doc, xpath.MustParse("//dataset"))); n != 40 {
+		t.Errorf("datasets = %d", n)
+	}
+	for _, q := range []string{"//author/initial", "//author/last", "//dataset/title",
+		"//dataset/publisher", "//dataset/date", "//keywords/keyword"} {
+		if n := len(xpath.Evaluate(doc, xpath.MustParse(q))); n == 0 {
+			t.Errorf("%s matched nothing", q)
+		}
+	}
+}
+
+func TestNASASCsOptimalCover(t *testing.T) {
+	doc := NASA(40, 4)
+	cs, err := sc.ParseAll(NASASCs())
+	if err != nil {
+		t.Fatalf("ParseAll: %v", err)
+	}
+	opt, err := scheme.Optimal(doc, cs)
+	if err != nil {
+		t.Fatalf("Optimal: %v", err)
+	}
+	// The paper: opt encrypts initial and last on NASA.
+	if !opt.CoverTags["initial"] || !opt.CoverTags["last"] {
+		t.Errorf("optimal NASA cover = %v, expected initial+last", opt.CoverTags)
+	}
+	app, err := scheme.Approx(doc, cs)
+	if err != nil {
+		t.Fatalf("Approx: %v", err)
+	}
+	if err := app.Enforces(doc, cs); err != nil {
+		t.Errorf("app Enforces: %v", err)
+	}
+	if app.Size() > 2*opt.Size() {
+		t.Errorf("app size %d > 2x opt %d", app.Size(), opt.Size())
+	}
+}
+
+func TestToSizeTargets(t *testing.T) {
+	for _, target := range []int{50_000, 200_000} {
+		x := XMarkToSize(target, 9)
+		if got := x.ByteSize(); got < target || got > 3*target {
+			t.Errorf("XMarkToSize(%d) = %d bytes", target, got)
+		}
+		n := NASAToSize(target, 9)
+		if got := n.ByteSize(); got < target || got > 3*target {
+			t.Errorf("NASAToSize(%d) = %d bytes", target, got)
+		}
+	}
+}
+
+func TestQueriesClasses(t *testing.T) {
+	doc := NASA(30, 11)
+	for _, class := range []QueryClass{Qs, Qm, Ql} {
+		qs := Queries(doc, class, 10, 17)
+		if len(qs) != 10 {
+			t.Fatalf("%v: got %d queries", class, len(qs))
+		}
+		nonEmpty := 0
+		for _, q := range qs {
+			p, err := xpath.Parse(q)
+			if err != nil {
+				t.Fatalf("%v: query %q does not parse: %v", class, q, err)
+			}
+			res := xpath.Evaluate(doc, p)
+			if len(res) > 0 {
+				nonEmpty++
+			}
+			// Check output level matches the class.
+			for _, n := range res {
+				switch class {
+				case Qs:
+					if n.Level() != 2 {
+						t.Errorf("Qs query %q output at level %d", q, n.Level())
+					}
+				case Ql:
+					if !n.IsLeaf() {
+						t.Errorf("Ql query %q output non-leaf %s", q, n.Path())
+					}
+				}
+			}
+		}
+		if nonEmpty < 8 {
+			t.Errorf("%v: only %d/10 queries non-empty", class, nonEmpty)
+		}
+	}
+}
+
+func TestQueriesDeterministic(t *testing.T) {
+	doc := XMark(20, 1)
+	a := Queries(doc, Qm, 10, 3)
+	b := Queries(doc, Qm, 10, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("queries not deterministic")
+		}
+	}
+}
+
+func TestGeneratedDocsRoundTrip(t *testing.T) {
+	for _, doc := range []*xmltree.Document{XMark(10, 1), NASA(10, 1)} {
+		s := doc.String()
+		d2, err := xmltree.ParseString(s)
+		if err != nil {
+			t.Fatalf("reparse: %v", err)
+		}
+		if d2.String() != s {
+			t.Errorf("generated document does not round-trip")
+		}
+	}
+}

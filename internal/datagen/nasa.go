@@ -1,0 +1,105 @@
+package datagen
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+var (
+	subjects = []string{
+		"astronomy", "astrophysics", "planetary", "solar", "stellar",
+		"galactic", "cosmology",
+	}
+	publishers = []string{
+		"NASA", "ESA", "CDS", "ADC", "JPL", "STScI", "NOAO", "CfA",
+	}
+	journals = []string{
+		"ApJ", "AJ", "MNRAS", "AandA", "PASP", "Icarus",
+	}
+	initials = []string{
+		"A", "B", "C", "D", "E", "F", "G", "H", "J", "K", "L", "M",
+		"N", "P", "R", "S", "T", "W",
+	}
+	titleWords = []string{
+		"catalog", "survey", "photometry", "spectra", "positions",
+		"proper", "motions", "variable", "stars", "galaxies",
+		"clusters", "radio", "sources", "infrared", "ultraviolet",
+	}
+	keywords = []string{
+		"stars", "galaxies", "quasars", "nebulae", "clusters",
+		"photometry", "astrometry", "spectroscopy", "radio", "xray",
+	}
+)
+
+// NASASCs are the security constraints inducing the NASA constraint
+// graph of Figure 8(b): author identities (initial, last) are
+// associated with date, publisher, title, city and age. The optimal
+// cover encrypts {initial, last}; coarser covers pick the other
+// side, as the paper's app scheme does.
+func NASASCs() []string {
+	return []string{
+		"//author:(/initial, /last)",
+		"//dataset:(//initial, /date)",
+		"//dataset:(//initial, /publisher)",
+		"//dataset:(//initial, /title)",
+		"//dataset:(//last, /age)",
+		"//dataset:(//last, /city)",
+	}
+}
+
+// NASA generates a NASA-ADC-style dataset catalog with the given
+// number of dataset records.
+func NASA(datasets int, seed uint64) *xmltree.Document {
+	r := NewRand(seed)
+	root := xmltree.NewElement("datasets")
+	for i := 0; i < datasets; i++ {
+		ds := root.AppendChild(xmltree.NewElement("dataset"))
+		ds.AppendChild(xmltree.NewAttribute("subject", subjects[r.Zipf(len(subjects))]))
+		title := titleWords[r.Zipf(len(titleWords))] + " of " +
+			titleWords[r.Zipf(len(titleWords))] + " " + fmt.Sprintf("%d", r.Intn(3000))
+		ds.AppendValue("title", title)
+		ds.AppendValue("altname", fmt.Sprintf("ADC-%04d", r.Intn(10000)))
+		// Average ~1.33 authors per dataset keeps the combined weight
+		// of {initial, last} strictly below any alternative cover, so
+		// the optimal scheme is the paper's {initial, last} (§7.1).
+		authors := 1
+		if r.Intn(3) == 0 {
+			authors = 2
+		}
+		for a := 0; a < authors; a++ {
+			au := ds.AppendChild(xmltree.NewElement("author"))
+			au.AppendValue("initial", initials[r.Zipf(len(initials))])
+			au.AppendValue("last", lastNames[r.Zipf(len(lastNames))])
+		}
+		ds.AppendValue("date", fmt.Sprintf("%d", 1965+r.Zipf(40)))
+		ds.AppendValue("publisher", publishers[r.Zipf(len(publishers))])
+		ds.AppendValue("city", cities[r.Zipf(len(cities))])
+		ds.AppendValue("age", fmt.Sprintf("%d", 1+r.Zipf(40)))
+		ref := ds.AppendChild(xmltree.NewElement("reference"))
+		ref.AppendValue("source", fmt.Sprintf("J/%s/%d", journals[r.Zipf(len(journals))], r.Intn(500)))
+		ref.AppendValue("journal", journals[r.Zipf(len(journals))])
+		kw := ds.AppendChild(xmltree.NewElement("keywords"))
+		nk := 1 + r.Intn(4)
+		for k := 0; k < nk; k++ {
+			kw.AppendValue("keyword", keywords[r.Zipf(len(keywords))])
+		}
+	}
+	return xmltree.NewDocument(root)
+}
+
+// NASAToSize generates a NASA document of at least targetBytes
+// serialized size (compact form).
+func NASAToSize(targetBytes int, seed uint64) *xmltree.Document {
+	datasets := targetBytes / 450
+	if datasets < 4 {
+		datasets = 4
+	}
+	doc := NASA(datasets, seed)
+	got := doc.ByteSize()
+	if got >= targetBytes {
+		return doc
+	}
+	datasets = int(float64(datasets) * float64(targetBytes) / float64(got) * 1.05)
+	return NASA(datasets, seed)
+}

@@ -1,0 +1,146 @@
+package datagen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// QueryClass selects one of the paper's three query shapes (§7.1).
+type QueryClass int
+
+const (
+	// Qs queries output the children of the document root.
+	Qs QueryClass = iota
+	// Qm queries output nodes at level h/2 of the document tree.
+	Qm
+	// Ql queries output leaf nodes.
+	Ql
+)
+
+func (c QueryClass) String() string {
+	switch c {
+	case Qs:
+		return "Qs"
+	case Qm:
+		return "Qm"
+	case Ql:
+		return "Ql"
+	default:
+		return fmt.Sprintf("QueryClass(%d)", int(c))
+	}
+}
+
+// Queries generates n XPath queries of the given class against doc,
+// per §7.1: the output node's level is fixed by the class, and
+// queries alternate between pure structural paths and paths with a
+// value predicate drawn from an actual document value (so results
+// are non-empty). Deterministic per seed.
+func Queries(doc *xmltree.Document, class QueryClass, n int, seed uint64) []string {
+	r := NewRand(seed)
+	targetLevel := 2
+	switch class {
+	case Qm:
+		targetLevel = (doc.Depth() + 1) / 2
+		if targetLevel < 2 {
+			targetLevel = 2
+		}
+	case Ql:
+		targetLevel = 0 // any leaf
+	}
+
+	// Collect candidate output tags with a sample instance each.
+	type cand struct {
+		tag      string
+		instance *xmltree.Node
+	}
+	seen := map[string]bool{}
+	var cands []cand
+	for _, node := range doc.Nodes() {
+		if node.Kind != xmltree.Element {
+			continue
+		}
+		ok := false
+		if class == Ql {
+			ok = node.IsLeaf()
+		} else {
+			ok = node.Level() == targetLevel && !node.IsLeaf()
+			if class == Qs {
+				ok = node.Level() == 2
+			}
+		}
+		if !ok || seen[node.Tag] {
+			continue
+		}
+		seen[node.Tag] = true
+		cands = append(cands, cand{tag: node.Tag, instance: node})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].tag < cands[j].tag })
+	if len(cands) == 0 {
+		return nil
+	}
+
+	var out []string
+	for i := 0; i < n; i++ {
+		c := cands[r.Intn(len(cands))]
+		q := "//" + c.tag
+		switch r.Intn(3) {
+		case 0:
+			// Pure structural.
+		case 1:
+			// Existence predicate on a child (or self for leaves).
+			if ch := pickElementChild(r, c.instance); ch != "" {
+				q += "[" + ch + "]"
+			}
+		case 2:
+			// Value predicate drawn from the document.
+			if pred := pickValuePredicate(r, c.instance); pred != "" {
+				q += "[" + pred + "]"
+			}
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+func pickElementChild(r *Rand, n *xmltree.Node) string {
+	kids := n.ElementChildren()
+	if len(kids) == 0 {
+		return ""
+	}
+	return kids[r.Intn(len(kids))].Tag
+}
+
+// pickValuePredicate builds "[child='v']" (or "[.='v']" for leaves)
+// from an actual value under n, quoting safely.
+func pickValuePredicate(r *Rand, n *xmltree.Node) string {
+	if n.IsLeaf() {
+		v := n.LeafValue()
+		if v == "" || strings.ContainsAny(v, "'\"") {
+			return ""
+		}
+		return ".='" + v + "'"
+	}
+	var leaves []*xmltree.Node
+	n.Walk(func(d *xmltree.Node) bool {
+		if d != n && d.Kind == xmltree.Element && d.IsLeaf() && d.LeafValue() != "" {
+			leaves = append(leaves, d)
+		}
+		return true
+	})
+	if len(leaves) == 0 {
+		return ""
+	}
+	leaf := leaves[r.Intn(len(leaves))]
+	v := leaf.LeafValue()
+	if strings.ContainsAny(v, "'\"") {
+		return ""
+	}
+	rel := ".//" + leaf.Tag
+	if leaf.Parent == n {
+		rel = leaf.Tag
+	}
+	return rel + "='" + v + "'"
+}

@@ -1,0 +1,71 @@
+// Package datagen generates the experimental workloads of §7.1:
+// a synthetic XMark-style auction database, a NASA-style astronomy
+// dataset catalog, their security constraints (the constraint graphs
+// of Figure 8), and the three query classes Qs / Qm / Ql. Generation
+// is fully deterministic per seed, so experiments are reproducible.
+//
+// Substitution note (see DESIGN.md): the paper uses the official
+// XMark C generator and the UW NASA corpus; we generate documents
+// with the same element vocabulary, fan-out and value skew, which is
+// what the experiments exercise.
+package datagen
+
+// Rand is a small deterministic PRNG (splitmix64); the standard
+// library's math/rand would also do, but an explicit state makes the
+// generators trivially reproducible and allocation-free.
+type Rand struct{ state uint64 }
+
+// NewRand seeds a generator.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+func (r *Rand) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// Pick returns a uniform element of xs.
+func (r *Rand) Pick(xs []string) string { return xs[r.Intn(len(xs))] }
+
+// Zipf returns an index in [0, n) with a Zipf-like skew (rank 0 most
+// frequent), matching the skewed value distributions the paper's
+// frequency-attack model assumes the attacker knows exactly.
+func (r *Rand) Zipf(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// Inverse-CDF sampling of p(k) ∝ 1/(k+1).
+	h := harmonic(n)
+	u := r.Float64() * h
+	acc := 0.0
+	for k := 0; k < n; k++ {
+		acc += 1.0 / float64(k+1)
+		if u <= acc {
+			return k
+		}
+	}
+	return n - 1
+}
+
+func harmonic(n int) float64 {
+	h := 0.0
+	for k := 1; k <= n; k++ {
+		h += 1.0 / float64(k)
+	}
+	return h
+}

@@ -1,0 +1,145 @@
+package datagen
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+var (
+	firstNames = []string{
+		"Betty", "Matt", "Ann", "John", "Maria", "Wei", "Laks", "Hui",
+		"Carlos", "Yuki", "Priya", "Olaf", "Fatima", "Igor", "Chen",
+		"Sara", "Tom", "Nadia", "Pierre", "Aisha",
+	}
+	lastNames = []string{
+		"Smith", "Walker", "Brown", "Wang", "Chen", "Kumar", "Garcia",
+		"Mueller", "Tanaka", "Ivanov", "Rossi", "Dubois", "Kim",
+		"Johnson", "Lee", "Novak", "Silva", "Haddad",
+	}
+	cities = []string{
+		"Vancouver", "Seoul", "Seattle", "Toronto", "Tokyo", "Berlin",
+		"Paris", "Mumbai", "Lagos", "Lima",
+	}
+	countries  = []string{"Canada", "Korea", "USA", "Japan", "Germany", "France", "India"}
+	interests  = []string{"auctions", "antiques", "books", "coins", "stamps", "art", "wine"}
+	educations = []string{"HighSchool", "College", "Graduate", "Other"}
+	itemNames  = []string{
+		"clock", "vase", "lamp", "painting", "ring", "table", "chair",
+		"book", "coin", "stamp", "guitar", "camera",
+	}
+	regions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+)
+
+// XMarkSCs are the security constraints inducing the XMark
+// constraint graph of Figure 8(a): associations around a person's
+// name, credit card, income and age. Protecting them forces a
+// vertex-cover choice among {name, emailaddress, creditcard,
+// income, age}.
+func XMarkSCs() []string {
+	return []string{
+		"//person:(/name, /emailaddress)",
+		"//person:(/name, /creditcard)",
+		"//person:(/creditcard, /profile/income)",
+		"//person:(/name, /profile/age)",
+	}
+}
+
+// XMark generates an XMark-like auction site document with the given
+// number of persons (items and auctions scale along). Values follow
+// Zipf-like skew so exact-frequency attacks are meaningful.
+func XMark(persons int, seed uint64) *xmltree.Document {
+	r := NewRand(seed)
+	site := xmltree.NewElement("site")
+
+	people := site.AppendChild(xmltree.NewElement("people"))
+	for i := 0; i < persons; i++ {
+		p := people.AppendChild(xmltree.NewElement("person"))
+		p.AppendChild(xmltree.NewAttribute("id", fmt.Sprintf("person%d", i)))
+		name := firstNames[r.Zipf(len(firstNames))] + " " + lastNames[r.Zipf(len(lastNames))]
+		p.AppendValue("name", name)
+		p.AppendValue("emailaddress", fmt.Sprintf("mailto:u%d@example.com", r.Intn(persons*2)))
+		p.AppendValue("creditcard", fmt.Sprintf("%04d %04d %04d %04d",
+			r.Intn(10000), r.Intn(10000), r.Intn(10000), r.Intn(10000)))
+		addr := p.AppendChild(xmltree.NewElement("address"))
+		addr.AppendValue("street", fmt.Sprintf("%d Main St", 1+r.Intn(999)))
+		addr.AppendValue("city", cities[r.Zipf(len(cities))])
+		addr.AppendValue("country", countries[r.Zipf(len(countries))])
+		addr.AppendValue("zipcode", fmt.Sprintf("%05d", r.Intn(100000)))
+		prof := p.AppendChild(xmltree.NewElement("profile"))
+		prof.AppendValue("income", fmt.Sprintf("%d", 20000+1000*r.Zipf(120)))
+		prof.AppendValue("age", fmt.Sprintf("%d", 18+r.Zipf(60)))
+		prof.AppendValue("education", educations[r.Zipf(len(educations))])
+		prof.AppendValue("interest", interests[r.Zipf(len(interests))])
+	}
+
+	items := persons / 2
+	if items < 1 {
+		items = 1
+	}
+	regionsEl := site.AppendChild(xmltree.NewElement("regions"))
+	regionEls := map[string]*xmltree.Node{}
+	for i := 0; i < items; i++ {
+		rg := regions[r.Zipf(len(regions))]
+		re, ok := regionEls[rg]
+		if !ok {
+			re = regionsEl.AppendChild(xmltree.NewElement(rg))
+			regionEls[rg] = re
+		}
+		it := re.AppendChild(xmltree.NewElement("item"))
+		it.AppendChild(xmltree.NewAttribute("id", fmt.Sprintf("item%d", i)))
+		it.AppendValue("name", itemNames[r.Zipf(len(itemNames))])
+		it.AppendValue("payment", "Creditcard")
+		it.AppendValue("quantity", fmt.Sprintf("%d", 1+r.Intn(5)))
+		it.AppendValue("location", countries[r.Zipf(len(countries))])
+		it.AppendValue("description", "antique "+itemNames[r.Zipf(len(itemNames))]+" in good condition")
+	}
+
+	auctions := persons / 2
+	open := site.AppendChild(xmltree.NewElement("open_auctions"))
+	for i := 0; i < auctions; i++ {
+		a := open.AppendChild(xmltree.NewElement("open_auction"))
+		a.AppendChild(xmltree.NewAttribute("id", fmt.Sprintf("auction%d", i)))
+		initial := 10 + r.Zipf(200)
+		a.AppendValue("initial", fmt.Sprintf("%d.%02d", initial, r.Intn(100)))
+		a.AppendValue("current", fmt.Sprintf("%d.%02d", initial+r.Intn(500), r.Intn(100)))
+		bidders := r.Intn(3)
+		for b := 0; b < bidders; b++ {
+			bd := a.AppendChild(xmltree.NewElement("bidder"))
+			bd.AppendValue("date", fmt.Sprintf("%02d/%02d/2005", 1+r.Intn(12), 1+r.Intn(28)))
+			bd.AppendValue("increase", fmt.Sprintf("%d.00", 1+r.Intn(50)))
+		}
+		a.AppendValue("itemref", fmt.Sprintf("item%d", r.Intn(items)))
+		a.AppendValue("seller", fmt.Sprintf("person%d", r.Intn(persons)))
+	}
+
+	closed := site.AppendChild(xmltree.NewElement("closed_auctions"))
+	for i := 0; i < auctions/2; i++ {
+		a := closed.AppendChild(xmltree.NewElement("closed_auction"))
+		a.AppendValue("price", fmt.Sprintf("%d.%02d", 20+r.Zipf(400), r.Intn(100)))
+		a.AppendValue("date", fmt.Sprintf("%02d/%02d/2005", 1+r.Intn(12), 1+r.Intn(28)))
+		a.AppendValue("buyer", fmt.Sprintf("person%d", r.Intn(persons)))
+		a.AppendValue("seller", fmt.Sprintf("person%d", r.Intn(persons)))
+		a.AppendValue("itemref", fmt.Sprintf("item%d", r.Intn(items)))
+	}
+
+	return xmltree.NewDocument(site)
+}
+
+// XMarkToSize generates an XMark document of at least targetBytes
+// serialized size (compact form).
+func XMarkToSize(targetBytes int, seed uint64) *xmltree.Document {
+	// One person plus its share of items/auctions serializes to
+	// roughly 700 bytes; refine with one probe.
+	persons := targetBytes / 700
+	if persons < 4 {
+		persons = 4
+	}
+	doc := XMark(persons, seed)
+	got := doc.ByteSize()
+	if got >= targetBytes {
+		return doc
+	}
+	persons = int(float64(persons) * float64(targetBytes) / float64(got) * 1.05)
+	return XMark(persons, seed)
+}

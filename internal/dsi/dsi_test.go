@@ -1,0 +1,376 @@
+package dsi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cryptoprim"
+	"repro/internal/sc"
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+)
+
+const hospitalXML = `
+<hospital>
+  <patient>
+    <pname>Betty</pname>
+    <SSN>763895</SSN>
+    <insurance coverage="1000000"><policy>34221</policy><policy>9983</policy></insurance>
+    <treat><disease>diarrhea</disease><doctor>Smith</doctor></treat>
+    <age>35</age>
+  </patient>
+  <patient>
+    <pname>Matt</pname>
+    <SSN>276543</SSN>
+    <insurance coverage="10000"><policy>26544</policy></insurance>
+    <treat><disease>leukemia</disease><doctor>Walker</doctor></treat>
+    <treat><disease>diarrhea</disease><doctor>Brown</doctor></treat>
+    <age>40</age>
+  </patient>
+</hospital>`
+
+var paperSCs = []string{
+	"//insurance",
+	"//patient:(/pname, /SSN)",
+	"//patient:(/pname, //disease)",
+	"//treat:(/disease, /doctor)",
+}
+
+func fixture(t *testing.T) (*xmltree.Document, *scheme.Scheme, *cryptoprim.KeySet) {
+	t.Helper()
+	d, err := xmltree.ParseString(hospitalXML)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cs, err := sc.ParseAll(paperSCs)
+	if err != nil {
+		t.Fatalf("scs: %v", err)
+	}
+	s, err := scheme.Optimal(d, cs)
+	if err != nil {
+		t.Fatalf("scheme: %v", err)
+	}
+	return d, s, cryptoprim.MustKeySet("test-master")
+}
+
+func TestIntervalOps(t *testing.T) {
+	a := Interval{0.1, 0.9}
+	b := Interval{0.2, 0.3}
+	c := Interval{0.5, 0.6}
+	if !a.StrictlyContains(b) || a.StrictlyContains(a) {
+		t.Errorf("StrictlyContains wrong")
+	}
+	if !a.Contains(a) {
+		t.Errorf("Contains should allow equality")
+	}
+	if !b.Before(c) || c.Before(b) {
+		t.Errorf("Before wrong")
+	}
+	if !a.Related(b) || b.Related(c) {
+		t.Errorf("Related wrong")
+	}
+	m := Merge([]Interval{b, c})
+	if m.Lo != 0.2 || m.Hi != 0.6 {
+		t.Errorf("Merge = %v", m)
+	}
+	if !a.Valid() || (Interval{0.5, 0.5}).Valid() || (Interval{-0.1, 0.5}).Valid() {
+		t.Errorf("Valid wrong")
+	}
+}
+
+func TestAssignInvariants(t *testing.T) {
+	d, _, ks := fixture(t)
+	asg := Assign(d, ks)
+	if err := asg.Check(d); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if got := asg[d.Root]; got != (Interval{0, 1}) {
+		t.Errorf("root interval = %v", got)
+	}
+	// Text nodes must have no interval; attributes must have one.
+	for _, n := range d.Nodes() {
+		_, ok := asg[n]
+		if n.Kind == xmltree.Text && ok {
+			t.Errorf("text node has interval")
+		}
+		if n.Kind != xmltree.Text && !ok {
+			t.Errorf("node %s missing interval", n.Path())
+		}
+	}
+}
+
+func TestAssignGapProperties(t *testing.T) {
+	// Figure 3's key property: first child's lower bound exceeds the
+	// parent's, last child's upper bound is below the parent's, and
+	// gaps between adjacent children are positive.
+	d, _, ks := fixture(t)
+	asg := Assign(d, ks)
+	var check func(n *xmltree.Node)
+	check = func(n *xmltree.Node) {
+		children := indexableChildren(n)
+		if len(children) == 0 {
+			return
+		}
+		piv := asg[n]
+		first, last := asg[children[0]], asg[children[len(children)-1]]
+		if first.Lo <= piv.Lo {
+			t.Errorf("%s: min1 <= parent min", n.Path())
+		}
+		if last.Hi >= piv.Hi {
+			t.Errorf("%s: maxN >= parent max", n.Path())
+		}
+		for i := 1; i < len(children); i++ {
+			if asg[children[i-1]].Hi >= asg[children[i]].Lo {
+				t.Errorf("%s: no gap between children %d,%d", n.Path(), i-1, i)
+			}
+		}
+		for _, c := range children {
+			check(c)
+		}
+	}
+	check(d.Root)
+}
+
+func TestAssignDeterministicPerKey(t *testing.T) {
+	d, _, _ := fixture(t)
+	k1 := cryptoprim.MustKeySet("k1")
+	a1 := Assign(d, k1)
+	a2 := Assign(d, k1)
+	for n, iv := range a1 {
+		if a2[n] != iv {
+			t.Fatalf("assignment not deterministic at %s", n.Path())
+		}
+	}
+	k2 := cryptoprim.MustKeySet("k2")
+	a3 := Assign(d, k2)
+	diff := false
+	for n, iv := range a1 {
+		if a3[n] != iv {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Errorf("assignments identical under different keys")
+	}
+}
+
+func TestBuildMetadataBlocks(t *testing.T) {
+	d, s, ks := fixture(t)
+	md := BuildMetadata(d, s.BlockRoots, ks)
+	if len(md.Blocks.Reps) != s.NumBlocks() {
+		t.Fatalf("block table has %d entries, want %d", len(md.Blocks.Reps), s.NumBlocks())
+	}
+	for id, root := range s.BlockRoots {
+		if md.Blocks.Reps[id] != md.Assignment[root] {
+			t.Errorf("rep interval of block %d mismatch", id)
+		}
+		if md.NodeBlock[root] != id {
+			t.Errorf("root of block %d not assigned to it", id)
+		}
+		for _, desc := range root.Descendants() {
+			if md.NodeBlock[desc] != id {
+				t.Errorf("descendant %s not in block %d", desc.Path(), id)
+			}
+		}
+	}
+	// Plaintext nodes: -1.
+	if md.NodeBlock[d.Root] != -1 {
+		t.Errorf("root should be plaintext under opt scheme")
+	}
+}
+
+func TestTagLabelEncryption(t *testing.T) {
+	d, s, ks := fixture(t)
+	md := BuildMetadata(d, s.BlockRoots, ks)
+	// Unencrypted tags appear in plaintext.
+	if len(md.Table.Lookup("patient")) != 2 {
+		t.Errorf("patient intervals = %v", md.Table.Lookup("patient"))
+	}
+	if len(md.Table.Lookup("hospital")) != 1 {
+		t.Errorf("hospital missing from table")
+	}
+	// Encrypted tags never appear in plaintext.
+	for _, tag := range []string{"insurance", "policy", "@coverage"} {
+		if len(md.Table.Lookup(tag)) != 0 {
+			t.Errorf("encrypted tag %q leaked in plaintext", tag)
+		}
+	}
+	if got := len(md.Table.Lookup(ks.EncryptTag("insurance"))); got != 2 {
+		t.Errorf("encrypted insurance entries = %d, want 2", got)
+	}
+	// disease is in the optimal cover: encrypted.
+	if got := len(md.Table.Lookup(ks.EncryptTag("disease"))); got != 3 {
+		t.Errorf("encrypted disease entries = %d, want 3", got)
+	}
+}
+
+func TestGroupingAdjacentSameBlock(t *testing.T) {
+	d, s, ks := fixture(t)
+	md := BuildMetadata(d, s.BlockRoots, ks)
+	// Betty's insurance block contains two adjacent policy elements:
+	// they must be grouped into ONE interval (§5.1.1).
+	entries := md.Table.Lookup(ks.EncryptTag("policy"))
+	// 2 policies grouped in block of patient 1 + 1 policy of patient 2 = 2 entries.
+	if len(entries) != 2 {
+		t.Fatalf("policy entries = %d (%v), want 2 after grouping", len(entries), entries)
+	}
+	// The grouped interval spans both originals.
+	ins1 := d.Root.ElementChildren()[0].ElementChildren()[2]
+	p1 := md.Assignment[ins1.ElementChildren()[0]]
+	p2 := md.Assignment[ins1.ElementChildren()[1]]
+	want := Merge([]Interval{p1, p2})
+	found := false
+	for _, e := range entries {
+		if e.Equal(want) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("grouped interval %v not found in %v", want, entries)
+	}
+}
+
+func TestNoGroupingAcrossBlocks(t *testing.T) {
+	d, s, ks := fixture(t)
+	md := BuildMetadata(d, s.BlockRoots, ks)
+	// Matt has two adjacent treat elements, each containing a
+	// disease block — the two disease nodes are in DIFFERENT blocks
+	// and not siblings, so they are never grouped.
+	if got := len(md.Table.Lookup(ks.EncryptTag("disease"))); got != 3 {
+		t.Errorf("disease entries = %d, want 3 (no cross-block grouping)", got)
+	}
+	// The two plaintext patient siblings are unencrypted: not grouped.
+	if got := len(md.Table.Lookup("patient")); got != 2 {
+		t.Errorf("patient entries = %d, want 2 (plaintext, ungrouped)", got)
+	}
+}
+
+func TestBlockIDFor(t *testing.T) {
+	d, s, ks := fixture(t)
+	md := BuildMetadata(d, s.BlockRoots, ks)
+	for id, root := range s.BlockRoots {
+		// The rep interval itself maps to its block.
+		if got := md.Blocks.BlockIDFor(md.Assignment[root]); got != id {
+			t.Errorf("BlockIDFor(rep %d) = %d", id, got)
+		}
+		// Any interval inside the block maps to it too.
+		for _, desc := range root.Descendants() {
+			if desc.Kind == xmltree.Text {
+				continue
+			}
+			if got := md.Blocks.BlockIDFor(md.Assignment[desc]); got != id {
+				t.Errorf("BlockIDFor(desc of %d) = %d", id, got)
+			}
+		}
+	}
+	// Plaintext node intervals map to no block.
+	if got := md.Blocks.BlockIDFor(md.Assignment[d.Root]); got != -1 {
+		t.Errorf("BlockIDFor(root) = %d, want -1", got)
+	}
+}
+
+func TestForestStructure(t *testing.T) {
+	d, s, ks := fixture(t)
+	md := BuildMetadata(d, s.BlockRoots, ks)
+	f := BuildForest(md.Table)
+	if f.Size() != md.Table.NumEntries() {
+		t.Errorf("forest size %d != table entries %d", f.Size(), md.Table.NumEntries())
+	}
+	rootIv := md.Assignment[d.Root]
+	if _, ok := f.ParentOf(rootIv); ok {
+		t.Errorf("root interval has a parent")
+	}
+	pat1 := md.Assignment[d.Root.ElementChildren()[0]]
+	if p, ok := f.ParentOf(pat1); !ok || !p.Equal(rootIv) {
+		t.Errorf("parent of patient = %v, %v", p, ok)
+	}
+	if !f.IsChild(rootIv, pat1) {
+		t.Errorf("IsChild(root, patient) false")
+	}
+	if !f.IsDesc(rootIv, pat1) {
+		t.Errorf("IsDesc(root, patient) false")
+	}
+	// Grandchild is desc but not child.
+	pname1 := md.Assignment[d.Root.ElementChildren()[0].ElementChildren()[0]]
+	if f.IsChild(rootIv, pname1) {
+		t.Errorf("IsChild(root, pname) should be false")
+	}
+	if !f.IsDesc(rootIv, pname1) {
+		t.Errorf("IsDesc(root, pname) should be true")
+	}
+}
+
+func TestForestSiblings(t *testing.T) {
+	d, s, ks := fixture(t)
+	md := BuildMetadata(d, s.BlockRoots, ks)
+	f := BuildForest(md.Table)
+	p1 := md.Assignment[d.Root.ElementChildren()[0]]
+	p2 := md.Assignment[d.Root.ElementChildren()[1]]
+	if !f.AreSiblings(p1, p2) {
+		t.Errorf("patients should be siblings")
+	}
+	if !f.FollowingSibling(p1, p2) || f.FollowingSibling(p2, p1) {
+		t.Errorf("FollowingSibling direction wrong")
+	}
+	pname1 := md.Assignment[d.Root.ElementChildren()[0].ElementChildren()[0]]
+	if f.AreSiblings(p1, pname1) {
+		t.Errorf("parent/child are not siblings")
+	}
+}
+
+// Property: for random small documents, the DSI assignment always
+// satisfies the structural invariants and the forest reconstructs
+// exactly the parent relation at table granularity when no grouping
+// occurs (all blocks absent).
+func TestQuickAssignInvariant(t *testing.T) {
+	ks := cryptoprim.MustKeySet("quick")
+	f := func(seed uint32) bool {
+		d := genDoc(seed)
+		asg := Assign(d, ks)
+		if err := asg.Check(d); err != nil {
+			t.Logf("Check: %v", err)
+			return false
+		}
+		md := BuildMetadata(d, nil, ks)
+		forest := BuildForest(md.Table)
+		ok := true
+		d.Root.Walk(func(n *xmltree.Node) bool {
+			if n.Kind == xmltree.Text || n.Parent == nil {
+				return true
+			}
+			p, has := forest.ParentOf(asg[n])
+			if !has || !p.Equal(asg[n.Parent]) {
+				ok = false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func genDoc(seed uint32) *xmltree.Document {
+	s := seed
+	next := func(n uint32) uint32 {
+		s = s*1664525 + 1013904223
+		return (s >> 16) % n
+	}
+	tags := []string{"a", "b", "c", "d"}
+	var build func(depth int) *xmltree.Node
+	build = func(depth int) *xmltree.Node {
+		e := xmltree.NewElement(tags[next(uint32(len(tags)))])
+		if depth >= 3 || next(4) == 0 {
+			e.AppendChild(xmltree.NewText("v"))
+			return e
+		}
+		n := int(next(4)) + 1
+		for i := 0; i < n; i++ {
+			e.AppendChild(build(depth + 1))
+		}
+		return e
+	}
+	return xmltree.NewDocument(build(0))
+}

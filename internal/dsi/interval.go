@@ -1,0 +1,92 @@
+// Package dsi implements the paper's discontinuous structural
+// interval index (§5.1): every element and attribute node is
+// assigned a subinterval of its parent's interval with random gaps
+// on both sides (Figure 3), so that — unlike the classical
+// continuous interval scheme — grouping adjacent same-tag intervals
+// in the index table leaves the server unable to tell how many nodes
+// an interval represents or whether grouping happened at all.
+//
+// The package also builds the two metadata tables placed on the
+// server (§5.1.1): the DSI index table (tag, encrypted when the node
+// is encrypted, → grouped intervals) and the encryption block table
+// (representative interval → block ID), and provides the interval
+// forest used to compute structural joins on the server.
+package dsi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interval is a DSI index entry [Lo, Hi] ⊂ [0, 1]. Intervals of a
+// document form a laminar family: two intervals are either disjoint
+// or one strictly contains the other.
+type Interval struct {
+	Lo, Hi float64
+}
+
+func (iv Interval) String() string { return fmt.Sprintf("[%.9f, %.9f]", iv.Lo, iv.Hi) }
+
+// Valid reports Lo < Hi within the unit interval.
+func (iv Interval) Valid() bool { return 0 <= iv.Lo && iv.Lo < iv.Hi && iv.Hi <= 1 }
+
+// StrictlyContains reports that o lies strictly inside iv.
+func (iv Interval) StrictlyContains(o Interval) bool {
+	return iv.Lo < o.Lo && o.Hi < iv.Hi
+}
+
+// Contains reports o ⊆ iv (equality allowed).
+func (iv Interval) Contains(o Interval) bool {
+	return iv.Lo <= o.Lo && o.Hi <= iv.Hi
+}
+
+// Equal reports exact equality.
+func (iv Interval) Equal(o Interval) bool { return iv == o }
+
+// Before reports that iv ends before o starts (document order for
+// disjoint intervals; implements the following axis).
+func (iv Interval) Before(o Interval) bool { return iv.Hi < o.Lo }
+
+// Related reports laminar overlap: equal, containing or contained.
+// In a laminar family this is the only alternative to disjointness.
+func (iv Interval) Related(o Interval) bool {
+	return iv.Contains(o) || o.Contains(iv)
+}
+
+// Merge returns the interval spanning a run of grouped siblings:
+// lower bound of the leftmost, upper bound of the rightmost (§5.1.1).
+func Merge(ivs []Interval) Interval {
+	out := ivs[0]
+	for _, iv := range ivs[1:] {
+		if iv.Lo < out.Lo {
+			out.Lo = iv.Lo
+		}
+		if iv.Hi > out.Hi {
+			out.Hi = iv.Hi
+		}
+	}
+	return out
+}
+
+// SortIntervals orders intervals by (Lo asc, Hi desc) so a container
+// precedes everything it contains; the order is also document order
+// for disjoint intervals.
+func SortIntervals(ivs []Interval) {
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].Lo != ivs[j].Lo {
+			return ivs[i].Lo < ivs[j].Lo
+		}
+		return ivs[i].Hi > ivs[j].Hi
+	})
+}
+
+// Within returns the subslice of the Lo-sorted list ivs that lies
+// strictly inside ctx. In a laminar family an interval whose lower
+// bound falls inside ctx is entirely inside ctx, so a binary search
+// on Lo suffices — this is what makes the server's structural joins
+// O(log n + answer) instead of a scan.
+func Within(ivs []Interval, ctx Interval) []Interval {
+	lo := sort.Search(len(ivs), func(i int) bool { return ivs[i].Lo > ctx.Lo })
+	hi := sort.Search(len(ivs), func(i int) bool { return ivs[i].Lo >= ctx.Hi })
+	return ivs[lo:hi]
+}

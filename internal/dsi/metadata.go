@@ -1,0 +1,244 @@
+package dsi
+
+import (
+	"sort"
+
+	"repro/internal/cryptoprim"
+	"repro/internal/xmltree"
+)
+
+// Table is the DSI index table (§5.1.1): the mapping from tags — in
+// encrypted form when the node lies in an encryption block — to
+// their DSI index entries, with runs of adjacent same-tag nodes of
+// the same block grouped into a single interval so the server cannot
+// count them.
+type Table struct {
+	ByTag map[string][]Interval
+}
+
+// BlockTable is the encryption block table (§5.1.1): representative
+// interval (the interval of the block's subtree root) to block ID.
+type BlockTable struct {
+	// Reps[i] is the representative interval of block ID i.
+	Reps []Interval
+}
+
+// BlockIDFor returns the ID of the block whose representative
+// interval is related (in the laminar sense) to iv and is the
+// tightest such: the block that physically contains the node the
+// interval denotes. Returns -1 when the interval lies outside every
+// block, i.e. the node is stored in plaintext.
+func (bt *BlockTable) BlockIDFor(iv Interval) int {
+	best := -1
+	for id, rep := range bt.Reps {
+		if rep.Contains(iv) {
+			if best < 0 || bt.Reps[best].Contains(rep) {
+				best = id
+			}
+		}
+	}
+	return best
+}
+
+// TagLabel returns the label under which a node's intervals are
+// stored in the DSI table: the Vernam-encrypted tag when the node is
+// inside an encryption block, the plaintext tag otherwise.
+// Attribute tags carry their "@" prefix into encryption so that
+// elements and attributes never collide.
+func TagLabel(n *xmltree.Node, encrypted bool, keys *cryptoprim.KeySet) string {
+	tag := n.Tag
+	if n.Kind == xmltree.Attribute {
+		tag = "@" + n.Tag
+	}
+	if encrypted {
+		return keys.EncryptTag(tag)
+	}
+	return tag
+}
+
+// Metadata bundles everything the client uploads alongside the
+// encrypted document: both tables plus the node-level bookkeeping
+// the client (not the server) retains for assembling the upload.
+type Metadata struct {
+	Table  *Table
+	Blocks *BlockTable
+	// NodeBlock maps each document node to the ID of the block that
+	// contains it, or -1 for plaintext nodes. Client-side only.
+	NodeBlock map[*xmltree.Node]int
+	// Assignment is the full per-node interval map. Client-side only.
+	Assignment Assignment
+}
+
+// BuildMetadata assigns DSI intervals and constructs the server
+// metadata for a document encrypted with the given block roots.
+// blockRoots must be non-nested and in document order (as produced
+// by package scheme).
+func BuildMetadata(doc *xmltree.Document, blockRoots []*xmltree.Node, keys *cryptoprim.KeySet) *Metadata {
+	asg := Assign(doc, keys)
+	nodeBlock := map[*xmltree.Node]int{}
+	for _, n := range doc.Nodes() {
+		nodeBlock[n] = -1
+	}
+	bt := &BlockTable{}
+	for id, root := range blockRoots {
+		root.Walk(func(n *xmltree.Node) bool {
+			nodeBlock[n] = id
+			return true
+		})
+		bt.Reps = append(bt.Reps, asg[root])
+		_ = id
+	}
+
+	table := &Table{ByTag: map[string][]Interval{}}
+	var walk func(n *xmltree.Node)
+	walk = func(n *xmltree.Node) {
+		children := indexableChildren(n)
+		for i := 0; i < len(children); {
+			c := children[i]
+			bid := nodeBlock[c]
+			label := TagLabel(c, bid >= 0, keys)
+			// Group a maximal run of adjacent same-tag children
+			// encrypted in the same block (§5.1.1).
+			j := i + 1
+			if bid >= 0 {
+				for j < len(children) &&
+					children[j].Kind == c.Kind &&
+					children[j].Tag == c.Tag &&
+					nodeBlock[children[j]] == bid {
+					j++
+				}
+			}
+			run := make([]Interval, 0, j-i)
+			for k := i; k < j; k++ {
+				run = append(run, asg[children[k]])
+			}
+			table.ByTag[label] = append(table.ByTag[label], Merge(run))
+			for k := i; k < j; k++ {
+				walk(children[k])
+			}
+			i = j
+		}
+	}
+	if doc.Root != nil {
+		rootLabel := TagLabel(doc.Root, nodeBlock[doc.Root] >= 0, keys)
+		table.ByTag[rootLabel] = append(table.ByTag[rootLabel], asg[doc.Root])
+		walk(doc.Root)
+	}
+	for _, ivs := range table.ByTag {
+		SortIntervals(ivs)
+	}
+	return &Metadata{Table: table, Blocks: bt, NodeBlock: nodeBlock, Assignment: asg}
+}
+
+// Lookup returns the index entries for a tag label, nil when absent.
+func (t *Table) Lookup(label string) []Interval { return t.ByTag[label] }
+
+// AllIntervals returns every interval in the table, sorted so
+// containers precede content; this is the server's complete
+// structural view of the hosted document.
+func (t *Table) AllIntervals() []Interval {
+	var out []Interval
+	for _, ivs := range t.ByTag {
+		out = append(out, ivs...)
+	}
+	SortIntervals(out)
+	return out
+}
+
+// NumEntries returns the number of (tag, interval) entries.
+func (t *Table) NumEntries() int {
+	n := 0
+	for _, ivs := range t.ByTag {
+		n += len(ivs)
+	}
+	return n
+}
+
+// Forest is the laminar forest the server reconstructs from the DSI
+// table intervals; it supports the structural joins of §6.2 (child
+// via the paper's desc-with-no-intermediate characterization).
+type Forest struct {
+	items   []forestItem
+	byStart map[Interval]int
+}
+
+type forestItem struct {
+	iv     Interval
+	parent int // index into items, -1 for roots
+}
+
+// BuildForest indexes the laminar family of table intervals.
+func BuildForest(t *Table) *Forest {
+	ivs := t.AllIntervals()
+	f := &Forest{byStart: make(map[Interval]int, len(ivs))}
+	var stack []int
+	for _, iv := range ivs {
+		if _, dup := f.byStart[iv]; dup {
+			continue // identical interval listed once
+		}
+		for len(stack) > 0 && !f.items[stack[len(stack)-1]].iv.StrictlyContains(iv) {
+			stack = stack[:len(stack)-1]
+		}
+		parent := -1
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+		}
+		f.items = append(f.items, forestItem{iv: iv, parent: parent})
+		f.byStart[iv] = len(f.items) - 1
+		stack = append(stack, len(f.items)-1)
+	}
+	return f
+}
+
+// ParentOf returns the tightest interval strictly containing iv.
+func (f *Forest) ParentOf(iv Interval) (Interval, bool) {
+	i, ok := f.byStart[iv]
+	if !ok || f.items[i].parent < 0 {
+		return Interval{}, false
+	}
+	return f.items[f.items[i].parent].iv, true
+}
+
+// IsDesc reports the descendant relation: b strictly inside a.
+func (f *Forest) IsDesc(a, b Interval) bool { return a.StrictlyContains(b) }
+
+// IsChild implements the paper's child characterization: desc(a, b)
+// with no table interval strictly between them.
+func (f *Forest) IsChild(a, b Interval) bool {
+	p, ok := f.ParentOf(b)
+	return ok && p.Equal(a)
+}
+
+// AreSiblings reports that a and b are disjoint and share a parent.
+func (f *Forest) AreSiblings(a, b Interval) bool {
+	if a.Related(b) {
+		return false
+	}
+	pa, oka := f.ParentOf(a)
+	pb, okb := f.ParentOf(b)
+	return oka && okb && pa.Equal(pb)
+}
+
+// FollowingSibling reports that b is a sibling of a occurring after it.
+func (f *Forest) FollowingSibling(a, b Interval) bool {
+	return f.AreSiblings(a, b) && a.Before(b)
+}
+
+// Intervals returns the distinct intervals of the forest, sorted.
+func (f *Forest) Intervals() []Interval {
+	out := make([]Interval, len(f.items))
+	for i, it := range f.items {
+		out[i] = it.iv
+	}
+	return out
+}
+
+// Size returns the number of distinct intervals.
+func (f *Forest) Size() int { return len(f.items) }
+
+// SortedReps returns block representative intervals in document order.
+func (bt *BlockTable) SortedReps() []Interval {
+	out := append([]Interval(nil), bt.Reps...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
+	return out
+}

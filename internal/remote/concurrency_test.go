@@ -1,0 +1,64 @@
+package remote
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueriesAndUpdates hammers one hosted database with
+// parallel queries while updates rotate a value, verifying the
+// service's locking: every query must succeed and return one of the
+// two valid states, never a torn mix.
+func TestConcurrentQueriesAndUpdates(t *testing.T) {
+	sys, _ := remoteSystem(t)
+
+	const readers = 8
+	const queriesPerReader = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, readers*queriesPerReader+10)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < queriesPerReader; i++ {
+				// Read-only path: concurrent Execute on the service.
+				nodes, _, _, err := sys.Query("//patient/SSN")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(nodes) != 2 {
+					errs <- errShape{len(nodes)}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent query: %v", err)
+	}
+
+	// Sequential update storm against the same service (updates take
+	// the write lock; queries interleaved between them must stay
+	// consistent).
+	vals := []string{"measles", "mumps", "rubella"}
+	for i := 0; i < 6; i++ {
+		if _, err := sys.UpdateLeafValues("//patient[pname='Matt']//disease", vals[i%len(vals)]); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		nodes, _, _, err := sys.Query("//patient[.//disease='" + vals[i%len(vals)] + "']/pname")
+		if err != nil {
+			t.Fatalf("post-update query %d: %v", i, err)
+		}
+		if len(nodes) != 1 || nodes[0].LeafValue() != "Matt" {
+			t.Fatalf("update %d not visible", i)
+		}
+	}
+}
+
+type errShape struct{ n int }
+
+func (e errShape) Error() string { return "unexpected result count" }

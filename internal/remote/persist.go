@@ -1,0 +1,70 @@
+package remote
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// Disk persistence: a Service configured with a directory writes
+// every uploaded database (and every applied update) as a wire-format
+// file, and reloads them on startup — the hosting provider surviving
+// a restart without ever holding a key.
+
+// dbFileExt is the on-disk extension for hosted databases.
+const dbFileExt = ".sxdb"
+
+// NewPersistentService loads every *.sxdb file in dir (creating the
+// directory if needed) and persists subsequent uploads and updates
+// there.
+func NewPersistentService(dir string) (*Service, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("remote: create %s: %w", dir, err)
+	}
+	s := NewService()
+	s.persistDir = dir
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("remote: read %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), dbFileExt) {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), dbFileExt)
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("remote: load %s: %w", e.Name(), err)
+		}
+		db, err := wire.UnmarshalDB(data)
+		if err != nil {
+			return nil, fmt.Errorf("remote: load %s: %w", e.Name(), err)
+		}
+		s.dbs[name] = &hosted{srv: server.New(db), db: db}
+	}
+	return s, nil
+}
+
+// persist writes one database atomically (write + rename).
+func (s *Service) persist(name string, db *wire.HostedDB) error {
+	if s.persistDir == "" {
+		return nil
+	}
+	if strings.ContainsAny(name, "/\\.") {
+		return fmt.Errorf("remote: database name %q not filesystem-safe", name)
+	}
+	data, err := wire.MarshalDB(db)
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(s.persistDir, name+dbFileExt)
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}

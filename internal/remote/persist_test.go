@@ -1,0 +1,81 @@
+package remote
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xmltree"
+)
+
+func TestPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	// First service instance: upload, update, stop.
+	svc1, err := NewPersistentService(dir)
+	if err != nil {
+		t.Fatalf("NewPersistentService: %v", err)
+	}
+	ts1 := httptest.NewServer(svc1)
+	doc, _ := xmltree.ParseString(hospitalXML)
+	sys, err := core.Host(doc, scs, core.SchemeOpt, []byte("persist-test"))
+	if err != nil {
+		t.Fatalf("Host: %v", err)
+	}
+	cl := Dial(ts1.URL, "hospital").WithHTTPClient(ts1.Client())
+	if err := cl.Upload(sys.HostedDB); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	sys.UseBackend(cl)
+	if _, err := sys.UpdateLeafValues("//patient[pname='Matt']//disease", "cholera"); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	ts1.Close()
+
+	// The database file exists on disk.
+	if _, err := os.Stat(filepath.Join(dir, "hospital"+dbFileExt)); err != nil {
+		t.Fatalf("persisted file missing: %v", err)
+	}
+
+	// Second instance: reload from disk, query without re-upload; the
+	// update must have survived.
+	svc2, err := NewPersistentService(dir)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	ts2 := httptest.NewServer(svc2)
+	defer ts2.Close()
+	sys.UseBackend(Dial(ts2.URL, "hospital").WithHTTPClient(ts2.Client()))
+	nodes, _, _, err := sys.Query("//patient[.//disease='cholera']/pname")
+	if err != nil {
+		t.Fatalf("post-restart query: %v", err)
+	}
+	if len(nodes) != 1 || nodes[0].LeafValue() != "Matt" {
+		t.Errorf("update lost across restart: %v", core.ResultStrings(nodes))
+	}
+}
+
+func TestPersistRejectsUnsafeNames(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := NewPersistentService(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := xmltree.ParseString(hospitalXML)
+	sys, _ := core.Host(doc, scs, core.SchemeOpt, []byte("unsafe"))
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	cl := Dial(ts.URL, "..%2Fescape").WithHTTPClient(ts.Client())
+	if err := cl.Upload(sys.HostedDB); err == nil {
+		t.Errorf("path-traversal name accepted")
+	}
+	// Nothing outside the directory was written.
+	entries, _ := os.ReadDir(filepath.Dir(dir))
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == dbFileExt {
+			t.Errorf("stray persisted file %s", e.Name())
+		}
+	}
+}

@@ -1,0 +1,354 @@
+// Package remote runs the paper's client/server split over a real
+// network: the untrusted server becomes an HTTP service hosting
+// uploaded databases, and the owner's client talks to it through a
+// core.Backend implementation. Only wire-format bytes cross the
+// connection — exactly the information the security analysis already
+// assumes the server sees.
+//
+// Endpoints (all bodies are the binary wire formats of
+// internal/wire):
+//
+//	PUT  /db/{name}            upload a hosted database
+//	POST /db/{name}/query      translated query -> answer
+//	GET  /db/{name}/extreme    ?lo=..&hi=..&max=0|1 -> block id + bytes
+//	POST /db/{name}/update     owner-signed update (see wire.Update)
+//	GET  /db/{name}/stats      JSON statistics
+//	GET  /healthz              liveness
+package remote
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// maxUpload caps request bodies (default 1 GiB).
+const maxUpload = 1 << 30
+
+// Service is the HTTP-facing untrusted server. It can host several
+// databases, keyed by name.
+type Service struct {
+	mu  sync.RWMutex
+	dbs map[string]*hosted
+	// persistDir, when set, mirrors every hosted database to disk
+	// (see NewPersistentService).
+	persistDir string
+}
+
+type hosted struct {
+	mu  sync.RWMutex // guards srv replacement on update
+	srv *server.Server
+	db  *wire.HostedDB
+}
+
+// NewService returns an empty service.
+func NewService() *Service {
+	return &Service{dbs: map[string]*hosted{}}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	rest, ok := strings.CutPrefix(r.URL.Path, "/db/")
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	name, action, _ := strings.Cut(rest, "/")
+	if name == "" {
+		http.Error(w, "missing database name", http.StatusBadRequest)
+		return
+	}
+	switch {
+	case action == "" && r.Method == http.MethodPut:
+		s.handleUpload(w, r, name)
+	case action == "query" && r.Method == http.MethodPost:
+		s.withDB(w, name, func(h *hosted) { s.handleQuery(w, r, h) })
+	case action == "extreme" && r.Method == http.MethodGet:
+		s.withDB(w, name, func(h *hosted) { s.handleExtreme(w, r, h) })
+	case action == "update" && r.Method == http.MethodPost:
+		s.withDB(w, name, func(h *hosted) { s.handleUpdate(w, r, name, h) })
+	case action == "stats" && r.Method == http.MethodGet:
+		s.withDB(w, name, func(h *hosted) { s.handleStats(w, h) })
+	default:
+		http.Error(w, "unknown endpoint or method", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Service) withDB(w http.ResponseWriter, name string, fn func(*hosted)) {
+	s.mu.RLock()
+	h := s.dbs[name]
+	s.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "no such database", http.StatusNotFound)
+		return
+	}
+	fn(h)
+}
+
+func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request, name string) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxUpload))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	db, err := wire.UnmarshalDB(data)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.dbs[name] = &hosted{srv: server.New(db), db: db}
+	s.mu.Unlock()
+	if err := s.persist(name, db); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request, h *hosted) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxUpload))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q, err := wire.UnmarshalQuery(data)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	h.mu.RLock()
+	ans, err := h.srv.Execute(q)
+	h.mu.RUnlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	out, err := wire.MarshalAnswer(ans)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(out)
+}
+
+func (s *Service) handleExtreme(w http.ResponseWriter, r *http.Request, h *hosted) {
+	lo, err1 := strconv.ParseUint(r.URL.Query().Get("lo"), 10, 64)
+	hi, err2 := strconv.ParseUint(r.URL.Query().Get("hi"), 10, 64)
+	if err1 != nil || err2 != nil {
+		http.Error(w, "lo and hi must be uint64", http.StatusBadRequest)
+		return
+	}
+	max := r.URL.Query().Get("max") == "1"
+	h.mu.RLock()
+	bid, ct, found, err := h.srv.Extreme(lo, hi, max)
+	h.mu.RUnlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if !found {
+		http.Error(w, "no entries in range", http.StatusNotFound)
+		return
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(bid))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(hdr[:])
+	w.Write(ct)
+}
+
+func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request, name string, h *hosted) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxUpload))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	upd, err := wire.UnmarshalUpdate(data)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	h.mu.Lock()
+	err = h.srv.ApplyUpdate(upd)
+	h.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	if err := s.persist(name, h.db); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, h *hosted) {
+	h.mu.RLock()
+	stats := map[string]int{
+		"blocks":       h.srv.NumBlocks(),
+		"indexEntries": h.srv.IndexSize(),
+		"indexHeight":  h.srv.IndexHeight(),
+	}
+	h.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(stats)
+}
+
+// RegisterLocal hosts a database in the service without going over
+// the network, round-tripping through the wire format so exactly the
+// uploadable bytes are served (used by cmd/xserve's demo mode).
+func (s *Service) registerLocal(name string, db *wire.HostedDB) error {
+	data, err := wire.MarshalDB(db)
+	if err != nil {
+		return err
+	}
+	decoded, err := wire.UnmarshalDB(data)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.dbs[name] = &hosted{srv: server.New(decoded), db: decoded}
+	s.mu.Unlock()
+	return nil
+}
+
+// RegisterLocal is the exported form of registerLocal.
+func RegisterLocal(s *Service, name string, db *wire.HostedDB) error {
+	return s.registerLocal(name, db)
+}
+
+// Client is the owner-side transport: a core.Backend whose calls
+// travel over HTTP to a Service.
+type Client struct {
+	base string // e.g. http://host:8080
+	name string
+	http *http.Client
+}
+
+// Dial points a client at a service's database. It does not touch
+// the network until the first call.
+func Dial(baseURL, name string) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/"), name: name, http: http.DefaultClient}
+}
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// TLS configuration, test transports).
+func (c *Client) WithHTTPClient(hc *http.Client) *Client {
+	c.http = hc
+	return c
+}
+
+func (c *Client) url(action string) string {
+	u := c.base + "/db/" + c.name
+	if action != "" {
+		u += "/" + action
+	}
+	return u
+}
+
+// Upload sends a hosted database to the service.
+func (c *Client) Upload(db *wire.HostedDB) error {
+	data, err := wire.MarshalDB(db)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, c.url(""), strings.NewReader(string(data)))
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("remote: upload: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return httpError("upload", resp)
+	}
+	return nil
+}
+
+// Execute implements core.Backend over HTTP.
+func (c *Client) Execute(q *wire.Query) (*wire.Answer, error) {
+	data, err := wire.MarshalQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Post(c.url("query"), "application/octet-stream", strings.NewReader(string(data)))
+	if err != nil {
+		return nil, fmt.Errorf("remote: query: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("query", resp)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxUpload))
+	if err != nil {
+		return nil, err
+	}
+	return wire.UnmarshalAnswer(body)
+}
+
+// Extreme implements core.Backend over HTTP.
+func (c *Client) Extreme(lo, hi uint64, max bool) (int, []byte, bool, error) {
+	m := "0"
+	if max {
+		m = "1"
+	}
+	resp, err := c.http.Get(fmt.Sprintf("%s?lo=%d&hi=%d&max=%s", c.url("extreme"), lo, hi, m))
+	if err != nil {
+		return 0, nil, false, fmt.Errorf("remote: extreme: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return 0, nil, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, nil, false, httpError("extreme", resp)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxUpload))
+	if err != nil {
+		return 0, nil, false, err
+	}
+	if len(body) < 8 {
+		return 0, nil, false, fmt.Errorf("remote: short extreme response")
+	}
+	return int(binary.BigEndian.Uint64(body[:8])), body[8:], true, nil
+}
+
+// ApplyUpdate implements core.Backend over HTTP: it sends an owner
+// update to the service.
+func (c *Client) ApplyUpdate(upd *wire.Update) error {
+	data, err := wire.MarshalUpdate(upd)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.url("update"), "application/octet-stream", strings.NewReader(string(data)))
+	if err != nil {
+		return fmt.Errorf("remote: update: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError("update", resp)
+	}
+	return nil
+}
+
+func httpError(op string, resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+	return fmt.Errorf("remote: %s: %s: %s", op, resp.Status, strings.TrimSpace(string(body)))
+}

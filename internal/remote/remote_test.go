@@ -1,0 +1,208 @@
+package remote
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+const hospitalXML = `
+<hospital>
+  <patient>
+    <pname>Betty</pname><SSN>763895</SSN>
+    <insurance coverage="1000000"><policy>34221</policy></insurance>
+    <treat><disease>diarrhea</disease><doctor>Smith</doctor></treat>
+    <age>35</age>
+  </patient>
+  <patient>
+    <pname>Matt</pname><SSN>276543</SSN>
+    <insurance coverage="10000"><policy>26544</policy></insurance>
+    <treat><disease>leukemia</disease><doctor>Walker</doctor></treat>
+    <age>40</age>
+  </patient>
+</hospital>`
+
+var scs = []string{
+	"//insurance",
+	"//patient:(/pname, /SSN)",
+	"//patient:(/pname, //disease)",
+	"//treat:(/disease, /doctor)",
+}
+
+// remoteSystem hosts the hospital DB, uploads it to an httptest
+// service, and points the owner's system at the remote backend.
+func remoteSystem(t *testing.T) (*core.System, *httptest.Server) {
+	t.Helper()
+	doc, err := xmltree.ParseString(hospitalXML)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sys, err := core.Host(doc, scs, core.SchemeOpt, []byte("remote-test"))
+	if err != nil {
+		t.Fatalf("Host: %v", err)
+	}
+	ts := httptest.NewServer(NewService())
+	t.Cleanup(ts.Close)
+	cl := Dial(ts.URL, "hospital").WithHTTPClient(ts.Client())
+	if err := cl.Upload(sys.HostedDB); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	sys.UseBackend(cl)
+	return sys, ts
+}
+
+func TestRemoteQueryEquivalence(t *testing.T) {
+	sys, _ := remoteSystem(t)
+	doc, _ := xmltree.ParseString(hospitalXML)
+	for _, q := range []string{
+		"//patient/pname",
+		"//patient[.//disease='diarrhea']/SSN",
+		"//patient[age>36]",
+		"//treat[disease='leukemia']/doctor",
+		"//insurance/@coverage",
+		"//nosuch",
+	} {
+		nodes, _, _, err := sys.Query(q)
+		if err != nil {
+			t.Fatalf("remote query %s: %v", q, err)
+		}
+		got := core.ResultStrings(nodes)
+		want := core.ResultStrings(xpath.Evaluate(doc, xpath.MustParse(q)))
+		sort.Strings(got)
+		sort.Strings(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("remote %s:\n got  %v\n want %v", q, got, want)
+		}
+	}
+}
+
+func TestRemoteAggregate(t *testing.T) {
+	sys, _ := remoteSystem(t)
+	got, tm, err := sys.AggregateMinMax("//insurance/policy", false)
+	if err != nil {
+		t.Fatalf("remote MIN: %v", err)
+	}
+	if got != "26544" {
+		t.Errorf("MIN(policy) = %q, want 26544", got)
+	}
+	if tm.BlocksShipped != 1 {
+		t.Errorf("remote aggregate shipped %d blocks", tm.BlocksShipped)
+	}
+}
+
+func TestRemoteUpdate(t *testing.T) {
+	sys, _ := remoteSystem(t)
+	n, err := sys.UpdateLeafValues("//patient[pname='Matt']//disease", "cholera")
+	if err != nil {
+		t.Fatalf("remote update: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("updated %d", n)
+	}
+	nodes, _, _, err := sys.Query("//patient[.//disease='cholera']/pname")
+	if err != nil {
+		t.Fatalf("post-update query: %v", err)
+	}
+	if len(nodes) != 1 || nodes[0].LeafValue() != "Matt" {
+		t.Errorf("post-update result: %v", core.ResultStrings(nodes))
+	}
+}
+
+func TestServiceErrors(t *testing.T) {
+	ts := httptest.NewServer(NewService())
+	defer ts.Close()
+	hc := ts.Client()
+
+	// Unknown database.
+	resp, err := hc.Post(ts.URL+"/db/ghost/query", "application/octet-stream", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("ghost db: %d", resp.StatusCode)
+	}
+
+	// Bad upload body.
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/db/x", strings.NewReader("garbage"))
+	resp, err = hc.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage upload: %d", resp.StatusCode)
+	}
+
+	// Unknown endpoint.
+	resp, err = hc.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path: %d", resp.StatusCode)
+	}
+
+	// Health.
+	resp, err = hc.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+}
+
+func TestServiceStats(t *testing.T) {
+	sys, ts := remoteSystem(t)
+	_ = sys
+	resp, err := ts.Client().Get(ts.URL + "/db/hospital/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", resp.StatusCode)
+	}
+	buf := make([]byte, 512)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	for _, key := range []string{"blocks", "indexEntries", "indexHeight"} {
+		if !strings.Contains(body, key) {
+			t.Errorf("stats missing %s: %s", key, body)
+		}
+	}
+}
+
+func TestRemoteBadQueryBody(t *testing.T) {
+	_, ts := remoteSystem(t)
+	resp, err := ts.Client().Post(ts.URL+"/db/hospital/query", "application/octet-stream", strings.NewReader("not a query"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad query body: %d", resp.StatusCode)
+	}
+}
+
+func TestRemoteExtremeNotFound(t *testing.T) {
+	_, ts := remoteSystem(t)
+	cl := Dial(ts.URL, "hospital").WithHTTPClient(ts.Client())
+	_, _, found, err := cl.Extreme(1, 2, false)
+	if err != nil {
+		t.Fatalf("Extreme: %v", err)
+	}
+	if found {
+		t.Errorf("found entries in an empty window")
+	}
+}

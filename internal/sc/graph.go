@@ -1,0 +1,132 @@
+package sc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Vertex is a constraint-graph vertex: one tag appearing as an
+// association endpoint, together with the document nodes it binds
+// and the cost of encrypting them.
+type Vertex struct {
+	Tag string
+	// Nodes are the document nodes selected by every endpoint path
+	// that resolves to this tag, in document order.
+	Nodes []*xmltree.Node
+	// Weight is the encryption cost of covering this vertex: the
+	// total subtree size of Nodes plus one decoy per leaf block
+	// (Definition 4.1's size measure).
+	Weight int
+}
+
+// Edge is one association constraint connecting two vertices.
+type Edge struct {
+	U, V int // vertex indices
+	SC   *Constraint
+}
+
+// Graph is the constraint graph of a set of security constraints on
+// a document (§4.2): enforcing every association SC requires
+// choosing a vertex cover — at least one endpoint of every edge must
+// be encrypted.
+type Graph struct {
+	Vertices []Vertex
+	Edges    []Edge
+	// index maps tag -> vertex position.
+	index map[string]int
+}
+
+// BuildGraph constructs the constraint graph for the association
+// constraints in scs evaluated against doc. Node-type constraints do
+// not appear in the graph (they leave no choice: their bindings are
+// always encrypted); callers handle them separately.
+func BuildGraph(scs []*Constraint, doc *xmltree.Document) (*Graph, error) {
+	g := &Graph{index: map[string]int{}}
+	for _, c := range scs {
+		if c.Kind != Association {
+			continue
+		}
+		u, err := g.addEndpoint(doc, c, c.Q1)
+		if err != nil {
+			return nil, err
+		}
+		v, err := g.addEndpoint(doc, c, c.Q2)
+		if err != nil {
+			return nil, err
+		}
+		if u == v {
+			return nil, fmt.Errorf("sc: association %s relates tag %q to itself", c, g.Vertices[u].Tag)
+		}
+		g.Edges = append(g.Edges, Edge{U: u, V: v, SC: c})
+	}
+	return g, nil
+}
+
+func (g *Graph) addEndpoint(doc *xmltree.Document, c *Constraint, q *xpath.Path) (int, error) {
+	tag, err := EndpointTag(q)
+	if err != nil {
+		return 0, fmt.Errorf("sc: constraint %s: %w", c, err)
+	}
+	full := Join(c.P, q)
+	nodes := xpath.Evaluate(doc, full)
+	if i, ok := g.index[tag]; ok {
+		g.Vertices[i].merge(nodes)
+		return i, nil
+	}
+	v := Vertex{Tag: tag}
+	v.merge(nodes)
+	g.Vertices = append(g.Vertices, v)
+	g.index[tag] = len(g.Vertices) - 1
+	return len(g.Vertices) - 1, nil
+}
+
+func (v *Vertex) merge(nodes []*xmltree.Node) {
+	seen := make(map[*xmltree.Node]bool, len(v.Nodes))
+	for _, n := range v.Nodes {
+		seen[n] = true
+	}
+	for _, n := range nodes {
+		if !seen[n] {
+			seen[n] = true
+			v.Nodes = append(v.Nodes, n)
+		}
+	}
+	sort.Slice(v.Nodes, func(i, j int) bool { return v.Nodes[i].ID < v.Nodes[j].ID })
+	v.Weight = 0
+	for _, n := range v.Nodes {
+		v.Weight += n.Size()
+		if n.IsLeaf() {
+			v.Weight++ // decoy node (§4.1)
+		}
+	}
+}
+
+// VertexByTag returns the vertex index for a tag, or -1.
+func (g *Graph) VertexByTag(tag string) int {
+	if i, ok := g.index[tag]; ok {
+		return i
+	}
+	return -1
+}
+
+// CoverWeight sums the weights of the vertices in the cover set.
+func (g *Graph) CoverWeight(cover map[int]bool) int {
+	total := 0
+	for i := range cover {
+		total += g.Vertices[i].Weight
+	}
+	return total
+}
+
+// IsCover reports whether the vertex set covers every edge.
+func (g *Graph) IsCover(cover map[int]bool) bool {
+	for _, e := range g.Edges {
+		if !cover[e.U] && !cover[e.V] {
+			return false
+		}
+	}
+	return true
+}

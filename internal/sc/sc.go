@@ -1,0 +1,263 @@
+// Package sc implements the paper's security constraints (§3.2): the
+// client-side language for declaring which information an untrusted
+// server must never learn. A constraint is either a node-type
+// constraint "p" — every element subtree that the XPath expression p
+// binds to is classified — or an association constraint "p:(q1,q2)"
+// — for every binding x of p, the association between the values
+// bound by q1 and q2 in the context of x is classified.
+//
+// The package also builds the constraint graph used by the
+// optimal-encryption-scheme search (§4.2): one vertex per tag
+// appearing as an association endpoint, one edge per association
+// constraint, with vertex weights equal to the encryption cost of
+// the bound nodes.
+package sc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Kind distinguishes the two constraint forms.
+type Kind int
+
+const (
+	// NodeType protects whole element subtrees ("p").
+	NodeType Kind = iota
+	// Association protects value associations ("p:(q1,q2)").
+	Association
+)
+
+func (k Kind) String() string {
+	if k == NodeType {
+		return "node"
+	}
+	return "association"
+}
+
+// Constraint is a parsed security constraint.
+type Constraint struct {
+	Kind Kind
+	P    *xpath.Path
+	// Q1, Q2 are the association endpoint paths, relative to P's
+	// bindings. Nil for node-type constraints.
+	Q1, Q2 *xpath.Path
+
+	raw string
+}
+
+// Parse parses a security constraint in the paper's syntax:
+//
+//	//insurance
+//	//patient:(/pname, /SSN)
+//	//treat:(/disease, /doctor)
+func Parse(s string) (*Constraint, error) {
+	raw := strings.TrimSpace(s)
+	colon := strings.Index(raw, ":")
+	if colon < 0 {
+		p, err := xpath.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("sc: node constraint %q: %w", raw, err)
+		}
+		return &Constraint{Kind: NodeType, P: p, raw: raw}, nil
+	}
+	pPart := strings.TrimSpace(raw[:colon])
+	rest := strings.TrimSpace(raw[colon+1:])
+	if !strings.HasPrefix(rest, "(") || !strings.HasSuffix(rest, ")") {
+		return nil, fmt.Errorf("sc: association constraint %q: expected p:(q1,q2)", raw)
+	}
+	inner := rest[1 : len(rest)-1]
+	comma := splitTopLevelComma(inner)
+	if comma < 0 {
+		return nil, fmt.Errorf("sc: association constraint %q: missing comma", raw)
+	}
+	p, err := xpath.Parse(pPart)
+	if err != nil {
+		return nil, fmt.Errorf("sc: context path in %q: %w", raw, err)
+	}
+	q1, err := xpath.Parse(strings.TrimSpace(inner[:comma]))
+	if err != nil {
+		return nil, fmt.Errorf("sc: q1 in %q: %w", raw, err)
+	}
+	q2, err := xpath.Parse(strings.TrimSpace(inner[comma+1:]))
+	if err != nil {
+		return nil, fmt.Errorf("sc: q2 in %q: %w", raw, err)
+	}
+	return &Constraint{Kind: Association, P: p, Q1: q1, Q2: q2, raw: raw}, nil
+}
+
+// splitTopLevelComma finds the comma separating q1 from q2, ignoring
+// commas inside brackets or quotes.
+func splitTopLevelComma(s string) int {
+	depth := 0
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '[' || c == '(':
+			depth++
+		case c == ']' || c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			return i
+		}
+	}
+	return -1
+}
+
+// MustParse parses a constraint and panics on error.
+func MustParse(s string) *Constraint {
+	c, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ParseAll parses a list of constraint strings.
+func ParseAll(specs []string) ([]*Constraint, error) {
+	out := make([]*Constraint, 0, len(specs))
+	for _, s := range specs {
+		c, err := Parse(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func (c *Constraint) String() string {
+	if c.raw != "" {
+		return c.raw
+	}
+	if c.Kind == NodeType {
+		return c.P.String()
+	}
+	return fmt.Sprintf("%s:(%s, %s)", c.P, c.Q1, c.Q2)
+}
+
+// Join concatenates a context path p with an endpoint path q,
+// producing the absolute path that selects q's bindings (e.g.
+// p=//patient, q=//disease ⇒ //patient//disease). q's leading "/"
+// becomes a child step, "//" a descendant step, per the paper's SC
+// syntax.
+func Join(p, q *xpath.Path) *xpath.Path {
+	out := p.Clone()
+	qc := q.Clone()
+	out.Steps = append(out.Steps, qc.Steps...)
+	out.Desc = append(out.Desc, qc.Desc...)
+	return out
+}
+
+// EndpointTag returns the tag name that an endpoint path binds to:
+// the name of its last step's node test, prefixed with "@" for
+// attribute steps. The constraint graph merges endpoints by this tag
+// (paper Fig. 8).
+func EndpointTag(q *xpath.Path) (string, error) {
+	if len(q.Steps) == 0 {
+		return "", errors.New("sc: empty endpoint path")
+	}
+	last := q.Steps[len(q.Steps)-1]
+	if last.Test.Wildcard || last.Test.Text {
+		return "", fmt.Errorf("sc: endpoint path %s must end in a named step", q)
+	}
+	if last.Axis == xpath.AxisAttribute {
+		return "@" + last.Test.Name, nil
+	}
+	return last.Test.Name, nil
+}
+
+// Bindings returns the nodes in doc bound by the constraint's
+// context path P.
+func (c *Constraint) Bindings(doc *xmltree.Document) []*xmltree.Node {
+	return xpath.Evaluate(doc, c.P)
+}
+
+// AssociationPair is one classified value association captured by an
+// association constraint: in the context of some binding of P, value
+// V1 (under Q1) co-occurs with value V2 (under Q2).
+type AssociationPair struct {
+	V1, V2 string
+	// Query is the captured query p[q1=v1][q2=v2] (§3.2).
+	Query *xpath.Path
+}
+
+// CapturedAssociations enumerates every value association in doc
+// that this constraint classifies, i.e. every captured query A with
+// D |= A. It returns nil for node-type constraints.
+func (c *Constraint) CapturedAssociations(doc *xmltree.Document) []AssociationPair {
+	if c.Kind != Association {
+		return nil
+	}
+	var out []AssociationPair
+	seen := map[string]bool{}
+	q1, q2 := relativize(c.Q1), relativize(c.Q2)
+	for _, x := range xpath.Evaluate(doc, c.P) {
+		v1s := valuesOf(xpath.EvaluateFrom(x, q1))
+		v2s := valuesOf(xpath.EvaluateFrom(x, q2))
+		for _, v1 := range v1s {
+			for _, v2 := range v2s {
+				key := v1 + "\x00" + v2
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				out = append(out, AssociationPair{V1: v1, V2: v2, Query: c.CapturedQuery(v1, v2)})
+			}
+		}
+	}
+	return out
+}
+
+// CapturedQuery builds the captured query p[q1=v1][q2=v2] for an
+// association constraint.
+func (c *Constraint) CapturedQuery(v1, v2 string) *xpath.Path {
+	if c.Kind != Association {
+		return c.P.Clone()
+	}
+	q := c.P.Clone()
+	last := &q.Steps[len(q.Steps)-1]
+	last.Preds = append(last.Preds,
+		&xpath.CmpExpr{Path: relativize(c.Q1), Op: xpath.OpEq, Literal: v1},
+		&xpath.CmpExpr{Path: relativize(c.Q2), Op: xpath.OpEq, Literal: v2},
+	)
+	return q
+}
+
+// relativize converts an endpoint path, written with a leading "/"
+// or "//" in SC syntax, into a path relative to a context node.
+func relativize(q *xpath.Path) *xpath.Path {
+	c := q.Clone()
+	c.Absolute = false
+	return c
+}
+
+// Holds reports D |= A for the captured query A, i.e. whether the
+// classified fact is true in the (plaintext) document.
+func Holds(doc *xmltree.Document, query *xpath.Path) bool {
+	return xpath.Matches(doc, query)
+}
+
+func valuesOf(nodes []*xmltree.Node) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, n := range nodes {
+		v := xpath.StringValue(n)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

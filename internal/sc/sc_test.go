@@ -1,0 +1,305 @@
+package sc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+const hospitalXML = `
+<hospital>
+  <patient>
+    <pname>Betty</pname>
+    <SSN>763895</SSN>
+    <insurance coverage="1000000"><policy>34221</policy></insurance>
+    <treat><disease>diarrhea</disease><doctor>Smith</doctor></treat>
+    <age>35</age>
+  </patient>
+  <patient>
+    <pname>Matt</pname>
+    <SSN>276543</SSN>
+    <insurance coverage="10000"><policy>26544</policy></insurance>
+    <treat><disease>leukemia</disease><doctor>Walker</doctor></treat>
+    <treat><disease>diarrhea</disease><doctor>Brown</doctor></treat>
+    <age>40</age>
+  </patient>
+</hospital>`
+
+// paperSCs are SC1-SC4 from Example 3.1.
+var paperSCs = []string{
+	"//insurance",
+	"//patient:(/pname, /SSN)",
+	"//patient:(/pname, //disease)",
+	"//treat:(/disease, /doctor)",
+}
+
+func hospital(t *testing.T) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(hospitalXML)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return d
+}
+
+func TestParseNodeConstraint(t *testing.T) {
+	c, err := Parse("//insurance")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if c.Kind != NodeType {
+		t.Errorf("kind = %v, want node", c.Kind)
+	}
+	if c.Q1 != nil || c.Q2 != nil {
+		t.Errorf("node constraint has endpoint paths")
+	}
+	if c.String() != "//insurance" {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestParseAssociationConstraint(t *testing.T) {
+	c, err := Parse("//patient:(/pname, //disease)")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if c.Kind != Association {
+		t.Fatalf("kind = %v, want association", c.Kind)
+	}
+	if got := c.P.String(); got != "//patient" {
+		t.Errorf("P = %q", got)
+	}
+	if got := c.Q1.String(); got != "/pname" {
+		t.Errorf("Q1 = %q", got)
+	}
+	if got := c.Q2.String(); got != "//disease" {
+		t.Errorf("Q2 = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"//patient:(/pname)",      // missing q2
+		"//patient:/pname,/SSN",   // missing parens
+		"//patient:(/pname /SSN)", // missing comma
+		"//patient:(,/SSN)",       // empty q1
+		"//patient[:(/a,/b)",      // broken xpath
+		"",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	cs, err := ParseAll(paperSCs)
+	if err != nil {
+		t.Fatalf("ParseAll: %v", err)
+	}
+	if len(cs) != 4 {
+		t.Fatalf("got %d constraints", len(cs))
+	}
+	kinds := []Kind{NodeType, Association, Association, Association}
+	for i, c := range cs {
+		if c.Kind != kinds[i] {
+			t.Errorf("SC%d kind = %v, want %v", i+1, c.Kind, kinds[i])
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	p := xpath.MustParse("//patient")
+	q := xpath.MustParse("//disease")
+	j := Join(p, q)
+	if got := j.String(); got != "//patient//disease" {
+		t.Errorf("Join = %q", got)
+	}
+	q2 := xpath.MustParse("/pname")
+	if got := Join(p, q2).String(); got != "//patient/pname" {
+		t.Errorf("Join child = %q", got)
+	}
+	d := hospital(t)
+	if n := len(xpath.Evaluate(d, j)); n != 3 {
+		t.Errorf("joined path selects %d diseases, want 3", n)
+	}
+}
+
+func TestEndpointTag(t *testing.T) {
+	cases := map[string]string{
+		"/pname":                "pname",
+		"//disease":             "disease",
+		"//insurance/@coverage": "@coverage",
+	}
+	for in, want := range cases {
+		got, err := EndpointTag(xpath.MustParse(in))
+		if err != nil {
+			t.Errorf("EndpointTag(%s): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("EndpointTag(%s) = %q, want %q", in, got, want)
+		}
+	}
+	if _, err := EndpointTag(xpath.MustParse("//patient/*")); err == nil {
+		t.Errorf("wildcard endpoint should error")
+	}
+}
+
+func TestCapturedAssociations(t *testing.T) {
+	d := hospital(t)
+	c := MustParse("//patient:(/pname, //disease)")
+	pairs := c.CapturedAssociations(d)
+	want := map[string]bool{
+		"Betty|diarrhea": true, "Matt|leukemia": true, "Matt|diarrhea": true,
+	}
+	if len(pairs) != len(want) {
+		t.Fatalf("got %d pairs %v, want %d", len(pairs), pairs, len(want))
+	}
+	for _, p := range pairs {
+		key := p.V1 + "|" + p.V2
+		if !want[key] {
+			t.Errorf("unexpected pair %s", key)
+		}
+		if !Holds(d, p.Query) {
+			t.Errorf("captured query %s should hold in D", p.Query)
+		}
+	}
+	// A query the SC captures but that is false in D.
+	q := c.CapturedQuery("Betty", "leukemia")
+	if Holds(d, q) {
+		t.Errorf("Betty-leukemia should not hold")
+	}
+}
+
+func TestCapturedQueryShape(t *testing.T) {
+	c := MustParse("//patient:(/pname, //disease)")
+	q := c.CapturedQuery("Betty", "diarrhea")
+	s := q.String()
+	if !strings.Contains(s, "pname='Betty'") || !strings.Contains(s, "disease='diarrhea'") {
+		t.Errorf("captured query = %s", s)
+	}
+}
+
+func TestCapturedAssociationsDoctorDisease(t *testing.T) {
+	d := hospital(t)
+	c := MustParse("//treat:(/disease, /doctor)")
+	pairs := c.CapturedAssociations(d)
+	if len(pairs) != 3 {
+		t.Fatalf("got %d treat pairs, want 3", len(pairs))
+	}
+}
+
+func TestBuildGraphPaperExample(t *testing.T) {
+	d := hospital(t)
+	cs, err := ParseAll(paperSCs)
+	if err != nil {
+		t.Fatalf("ParseAll: %v", err)
+	}
+	g, err := BuildGraph(cs, d)
+	if err != nil {
+		t.Fatalf("BuildGraph: %v", err)
+	}
+	// Vertices: pname, SSN, disease, doctor.
+	if len(g.Vertices) != 4 {
+		t.Fatalf("got %d vertices: %+v", len(g.Vertices), g.Vertices)
+	}
+	// Edges: (pname,SSN), (pname,disease), (disease,doctor).
+	if len(g.Edges) != 3 {
+		t.Fatalf("got %d edges", len(g.Edges))
+	}
+	for _, tag := range []string{"pname", "SSN", "disease", "doctor"} {
+		i := g.VertexByTag(tag)
+		if i < 0 {
+			t.Fatalf("missing vertex %s", tag)
+		}
+		v := g.Vertices[i]
+		wantNodes := map[string]int{"pname": 2, "SSN": 2, "disease": 3, "doctor": 3}[tag]
+		if len(v.Nodes) != wantNodes {
+			t.Errorf("vertex %s binds %d nodes, want %d", tag, len(v.Nodes), wantNodes)
+		}
+		// Every bound node is a leaf: weight = 2*(count) (subtree of
+		// element+text counts 2... size includes text node) + decoys.
+		wantWeight := wantNodes*2 + wantNodes
+		if v.Weight != wantWeight {
+			t.Errorf("vertex %s weight = %d, want %d", tag, v.Weight, wantWeight)
+		}
+	}
+}
+
+func TestGraphCoverHelpers(t *testing.T) {
+	d := hospital(t)
+	cs, _ := ParseAll(paperSCs)
+	g, _ := BuildGraph(cs, d)
+	pname := g.VertexByTag("pname")
+	disease := g.VertexByTag("disease")
+	ssn := g.VertexByTag("SSN")
+	full := map[int]bool{pname: true, disease: true}
+	if !g.IsCover(full) {
+		t.Errorf("pname+disease should cover all edges")
+	}
+	if g.IsCover(map[int]bool{pname: true}) {
+		t.Errorf("pname alone should not cover (disease,doctor)")
+	}
+	if g.IsCover(map[int]bool{ssn: true, disease: true}) {
+		// (pname,SSN) covered by SSN; (pname,disease) and
+		// (disease,doctor) covered by disease — actually a cover.
+	} else {
+		t.Errorf("SSN+disease should be a cover")
+	}
+	if w := g.CoverWeight(full); w != g.Vertices[pname].Weight+g.Vertices[disease].Weight {
+		t.Errorf("CoverWeight = %d", w)
+	}
+}
+
+func TestSelfLoopRejected(t *testing.T) {
+	d := hospital(t)
+	c := MustParse("//treat:(/disease, /disease)")
+	if _, err := BuildGraph([]*Constraint{c}, d); err == nil {
+		t.Errorf("self-loop association should be rejected")
+	}
+}
+
+func TestSharedVertexAcrossSCs(t *testing.T) {
+	d := hospital(t)
+	cs, _ := ParseAll([]string{
+		"//patient:(/pname, //disease)",
+		"//treat:(/disease, /doctor)",
+	})
+	g, err := BuildGraph(cs, d)
+	if err != nil {
+		t.Fatalf("BuildGraph: %v", err)
+	}
+	// disease appears in both SCs but must be a single vertex.
+	if len(g.Vertices) != 3 {
+		t.Errorf("got %d vertices, want 3 (pname, disease, doctor)", len(g.Vertices))
+	}
+	i := g.VertexByTag("disease")
+	if len(g.Vertices[i].Nodes) != 3 {
+		t.Errorf("disease vertex binds %d nodes, want 3 (merged, dedup)", len(g.Vertices[i].Nodes))
+	}
+}
+
+func TestAttributeEndpoint(t *testing.T) {
+	d := hospital(t)
+	c := MustParse("//patient:(/pname, /insurance/@coverage)")
+	g, err := BuildGraph([]*Constraint{c}, d)
+	if err != nil {
+		t.Fatalf("BuildGraph: %v", err)
+	}
+	i := g.VertexByTag("@coverage")
+	if i < 0 {
+		t.Fatalf("missing @coverage vertex")
+	}
+	v := g.Vertices[i]
+	if len(v.Nodes) != 2 {
+		t.Errorf("@coverage binds %d nodes, want 2", len(v.Nodes))
+	}
+	// attribute subtree size 1 + decoy 1 each
+	if v.Weight != 4 {
+		t.Errorf("@coverage weight = %d, want 4", v.Weight)
+	}
+}

@@ -1,0 +1,56 @@
+package scheme
+
+import (
+	"fmt"
+
+	"repro/internal/sc"
+	"repro/internal/xmltree"
+)
+
+// FromVertexCover materializes the NP-hardness reduction of
+// Theorem 4.2: given a VERTEX COVER instance G, it builds an XML
+// database D(G) and association constraints Σ(G) such that the
+// optimal secure encryption scheme for Σ(G) on D(G) corresponds
+// exactly to a minimum vertex cover of G.
+//
+// Construction: the document has one leaf element <v{i}> per vertex
+// (uniform encryption cost: leaf subtree of 2 nodes + 1 decoy = 3),
+// and each edge (u,v) becomes the constraint //doc:(/v{u}, /v{v}) —
+// enforcing it requires encrypting v{u} or v{v}, i.e. covering the
+// edge. A scheme of size 3k therefore exists iff G has a vertex
+// cover of size k.
+func FromVertexCover(in *VCInstance) (*xmltree.Document, []*sc.Constraint, error) {
+	if err := in.Validate(); err != nil {
+		return nil, nil, err
+	}
+	root := xmltree.NewElement("doc")
+	for i := range in.Weights {
+		root.AppendValue(vertexTag(i), fmt.Sprintf("val%d", i))
+	}
+	doc := xmltree.NewDocument(root)
+	var scs []*sc.Constraint
+	for _, e := range in.Edges {
+		spec := fmt.Sprintf("//doc:(/%s, /%s)", vertexTag(e[0]), vertexTag(e[1]))
+		c, err := sc.Parse(spec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scheme: reduction constraint %q: %w", spec, err)
+		}
+		scs = append(scs, c)
+	}
+	return doc, scs, nil
+}
+
+func vertexTag(i int) string { return fmt.Sprintf("v%d", i) }
+
+// CoverFromScheme recovers the vertex set a scheme encrypts in a
+// reduction instance, completing the correspondence in the other
+// direction: an optimal scheme's block roots name a minimum cover.
+func CoverFromScheme(s *Scheme, n int) []int {
+	var cover []int
+	for i := 0; i < n; i++ {
+		if s.CoverTags[vertexTag(i)] {
+			cover = append(cover, i)
+		}
+	}
+	return cover
+}

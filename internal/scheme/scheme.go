@@ -1,0 +1,316 @@
+package scheme
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sc"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Scheme is an encryption scheme (§3.1): the set of elements whose
+// subtrees are encrypted as blocks, plus which blocks receive an
+// encryption decoy (§4.1).
+type Scheme struct {
+	// Name identifies the construction: "opt", "app", "sub", "top",
+	// "leaf", "leaf-nodecoy", or "custom".
+	Name string
+	// BlockRoots are the roots of the encryption blocks in document
+	// order. Roots are never nested inside one another.
+	BlockRoots []*xmltree.Node
+	// Decoy marks block roots whose block is encrypted together with
+	// a randomly generated decoy child (§4.1). Per Theorem 4.1 every
+	// encrypted leaf block carries a decoy.
+	Decoy map[*xmltree.Node]bool
+	// CoverTags records which constraint-graph vertices the scheme
+	// chose to encrypt (empty for top).
+	CoverTags map[string]bool
+
+	rootSet map[*xmltree.Node]bool // lazily built for Covers
+}
+
+// Size is the scheme size of Definition 4.1: the total number of
+// nodes inside encryption blocks, counting decoy elements.
+func (s *Scheme) Size() int {
+	total := 0
+	for _, b := range s.BlockRoots {
+		total += b.Size()
+		if s.Decoy[b] {
+			total++
+		}
+	}
+	return total
+}
+
+// NumBlocks returns the number of encryption blocks.
+func (s *Scheme) NumBlocks() int { return len(s.BlockRoots) }
+
+// Covers reports whether node n lies inside (or is) some block.
+// It walks n's ancestor chain against a lazily built root set, so a
+// full-document Enforces check stays linear in document size.
+func (s *Scheme) Covers(n *xmltree.Node) bool {
+	if s.rootSet == nil {
+		s.rootSet = make(map[*xmltree.Node]bool, len(s.BlockRoots))
+		for _, b := range s.BlockRoots {
+			s.rootSet[b] = true
+		}
+	}
+	for cur := n; cur != nil; cur = cur.Parent {
+		if s.rootSet[cur] {
+			return true
+		}
+	}
+	return false
+}
+
+// Secure constructs the secure encryption scheme of Theorem 4.1 for
+// a chosen association cover: the subtree of every node-type SC
+// binding is encrypted; for every association SC, the bindings of
+// whichever endpoint tag is in coverTags are encrypted; every
+// encrypted leaf gets a decoy. It returns an error if coverTags does
+// not cover some association constraint.
+func Secure(doc *xmltree.Document, scs []*sc.Constraint, coverTags map[string]bool) (*Scheme, error) {
+	g, err := sc.BuildGraph(scs, doc)
+	if err != nil {
+		return nil, err
+	}
+	cover := map[int]bool{}
+	for tag := range coverTags {
+		if i := g.VertexByTag(tag); i >= 0 {
+			cover[i] = true
+		}
+	}
+	if !g.IsCover(cover) {
+		return nil, fmt.Errorf("scheme: tags %v do not cover every association constraint", keys(coverTags))
+	}
+	s := &Scheme{Name: "custom", Decoy: map[*xmltree.Node]bool{}, CoverTags: coverTags}
+	var roots []*xmltree.Node
+	for _, c := range scs {
+		if c.Kind == sc.NodeType {
+			roots = append(roots, c.Bindings(doc)...)
+		}
+	}
+	for i := range cover {
+		roots = append(roots, g.Vertices[i].Nodes...)
+	}
+	s.BlockRoots = normalizeRoots(roots)
+	for _, b := range s.BlockRoots {
+		if b.IsLeaf() {
+			s.Decoy[b] = true
+		}
+	}
+	return s, nil
+}
+
+// Optimal constructs the optimal secure encryption scheme
+// (Definition 4.1) by solving the weighted vertex cover on the
+// constraint graph exactly. Finding this scheme is NP-hard in the
+// size of the SCs (Theorem 4.2); the exact search is intended for
+// the paper-scale constraint graphs.
+func Optimal(doc *xmltree.Document, scs []*sc.Constraint) (*Scheme, error) {
+	return coverScheme(doc, scs, "opt", func(in *VCInstance) ([]int, int, error) {
+		return ExactCover(in)
+	})
+}
+
+// Approx constructs the "app" scheme of §7.1: the secure scheme
+// whose association cover is chosen by Clarkson's greedy
+// 2-approximation of weighted vertex cover.
+func Approx(doc *xmltree.Document, scs []*sc.Constraint) (*Scheme, error) {
+	return coverScheme(doc, scs, "app", func(in *VCInstance) ([]int, int, error) {
+		return ClarksonCover(in)
+	})
+}
+
+func coverScheme(doc *xmltree.Document, scs []*sc.Constraint, name string,
+	solve func(*VCInstance) ([]int, int, error)) (*Scheme, error) {
+
+	g, err := sc.BuildGraph(scs, doc)
+	if err != nil {
+		return nil, err
+	}
+	in := instanceFromGraph(g)
+	cover, _, err := solve(in)
+	if err != nil {
+		return nil, err
+	}
+	coverTags := map[string]bool{}
+	for _, v := range cover {
+		coverTags[g.Vertices[v].Tag] = true
+	}
+	s, err := Secure(doc, scs, coverTags)
+	if err != nil {
+		return nil, err
+	}
+	s.Name = name
+	return s, nil
+}
+
+// instanceFromGraph converts a constraint graph into a VCInstance.
+func instanceFromGraph(g *sc.Graph) *VCInstance {
+	in := &VCInstance{Weights: make([]int, len(g.Vertices))}
+	for i, v := range g.Vertices {
+		w := v.Weight
+		if w <= 0 {
+			// A vertex that binds no nodes cannot cover anything
+			// usefully, but weights must stay positive.
+			w = 1
+		}
+		in.Weights[i] = w
+	}
+	for _, e := range g.Edges {
+		in.Edges = append(in.Edges, [2]int{e.U, e.V})
+	}
+	return in
+}
+
+// Sub constructs the "sub" scheme of §7.1: the document is encrypted
+// at the parents of the nodes the optimal scheme encrypts, producing
+// fewer-but-larger blocks. Decoys follow the same leaf rule.
+func Sub(doc *xmltree.Document, scs []*sc.Constraint) (*Scheme, error) {
+	opt, err := Optimal(doc, scs)
+	if err != nil {
+		return nil, err
+	}
+	var roots []*xmltree.Node
+	for _, b := range opt.BlockRoots {
+		if b.Parent != nil {
+			roots = append(roots, b.Parent)
+		} else {
+			roots = append(roots, b)
+		}
+	}
+	s := &Scheme{Name: "sub", Decoy: map[*xmltree.Node]bool{}, CoverTags: opt.CoverTags}
+	s.BlockRoots = normalizeRoots(roots)
+	for _, b := range s.BlockRoots {
+		if b.IsLeaf() {
+			s.Decoy[b] = true
+		}
+	}
+	return s, nil
+}
+
+// Top constructs the "top" scheme: the whole document is one
+// encryption block. Every SC is trivially enforced; no query
+// optimization is possible (§1).
+func Top(doc *xmltree.Document) *Scheme {
+	return &Scheme{
+		Name:       "top",
+		BlockRoots: []*xmltree.Node{doc.Root},
+		Decoy:      map[*xmltree.Node]bool{},
+		CoverTags:  map[string]bool{},
+	}
+}
+
+// LeafNaive constructs the fine-grained scheme of §4.1's cautionary
+// example: every node bound by an SC endpoint (or node-type SC) is
+// encrypted individually. With decoys=false this is the insecure
+// scheme the frequency-based attack cracks; with decoys=true it
+// coincides with the secure construction restricted to leaves.
+func LeafNaive(doc *xmltree.Document, scs []*sc.Constraint, decoys bool) (*Scheme, error) {
+	g, err := sc.BuildGraph(scs, doc)
+	if err != nil {
+		return nil, err
+	}
+	var roots []*xmltree.Node
+	coverTags := map[string]bool{}
+	for _, v := range g.Vertices {
+		roots = append(roots, v.Nodes...)
+		coverTags[v.Tag] = true
+	}
+	for _, c := range scs {
+		if c.Kind == sc.NodeType {
+			roots = append(roots, c.Bindings(doc)...)
+		}
+	}
+	name := "leaf-nodecoy"
+	if decoys {
+		name = "leaf"
+	}
+	s := &Scheme{Name: name, Decoy: map[*xmltree.Node]bool{}, CoverTags: coverTags}
+	s.BlockRoots = normalizeRoots(roots)
+	if decoys {
+		for _, b := range s.BlockRoots {
+			if b.IsLeaf() {
+				s.Decoy[b] = true
+			}
+		}
+	}
+	return s, nil
+}
+
+// Enforces verifies that the scheme actually enforces every SC on
+// the document: node-type bindings lie inside blocks, and for each
+// association constraint at least one endpoint's bindings are all
+// inside blocks. It returns nil when every constraint is enforced.
+func (s *Scheme) Enforces(doc *xmltree.Document, scs []*sc.Constraint) error {
+	for _, c := range scs {
+		switch c.Kind {
+		case sc.NodeType:
+			for _, n := range c.Bindings(doc) {
+				if !s.Covers(n) {
+					return fmt.Errorf("scheme %s: node constraint %s: binding %s not encrypted", s.Name, c, n.Path())
+				}
+			}
+		case sc.Association:
+			q1 := sc.Join(c.P, c.Q1)
+			q2 := sc.Join(c.P, c.Q2)
+			if s.coversAll(doc, q1) || s.coversAll(doc, q2) {
+				continue
+			}
+			return fmt.Errorf("scheme %s: association %s: neither endpoint fully encrypted", s.Name, c)
+		}
+	}
+	return nil
+}
+
+func (s *Scheme) coversAll(doc *xmltree.Document, p *xpath.Path) bool {
+	nodes := xpath.Evaluate(doc, p)
+	if len(nodes) == 0 {
+		return false
+	}
+	for _, n := range nodes {
+		if !s.Covers(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// normalizeRoots deduplicates, removes roots nested inside other
+// roots, and sorts by document order.
+func normalizeRoots(roots []*xmltree.Node) []*xmltree.Node {
+	seen := map[*xmltree.Node]bool{}
+	var uniq []*xmltree.Node
+	for _, r := range roots {
+		if !seen[r] {
+			seen[r] = true
+			uniq = append(uniq, r)
+		}
+	}
+	var out []*xmltree.Node
+	for _, r := range uniq {
+		nested := false
+		for p := r.Parent; p != nil; p = p.Parent {
+			if seen[p] {
+				nested = true
+				break
+			}
+		}
+		if !nested {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,389 @@
+package scheme
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sc"
+	"repro/internal/xmltree"
+)
+
+const hospitalXML = `
+<hospital>
+  <patient>
+    <pname>Betty</pname>
+    <SSN>763895</SSN>
+    <insurance coverage="1000000"><policy>34221</policy></insurance>
+    <treat><disease>diarrhea</disease><doctor>Smith</doctor></treat>
+    <age>35</age>
+  </patient>
+  <patient>
+    <pname>Matt</pname>
+    <SSN>276543</SSN>
+    <insurance coverage="10000"><policy>26544</policy></insurance>
+    <treat><disease>leukemia</disease><doctor>Walker</doctor></treat>
+    <treat><disease>diarrhea</disease><doctor>Brown</doctor></treat>
+    <age>40</age>
+  </patient>
+</hospital>`
+
+var paperSCs = []string{
+	"//insurance",
+	"//patient:(/pname, /SSN)",
+	"//patient:(/pname, //disease)",
+	"//treat:(/disease, /doctor)",
+}
+
+func fixture(t *testing.T) (*xmltree.Document, []*sc.Constraint) {
+	t.Helper()
+	d, err := xmltree.ParseString(hospitalXML)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cs, err := sc.ParseAll(paperSCs)
+	if err != nil {
+		t.Fatalf("constraints: %v", err)
+	}
+	return d, cs
+}
+
+func TestExactCoverSimple(t *testing.T) {
+	// Triangle with uniform weights: any 2 vertices cover.
+	in := &VCInstance{Weights: []int{1, 1, 1}, Edges: [][2]int{{0, 1}, {1, 2}, {0, 2}}}
+	cover, w, err := ExactCover(in)
+	if err != nil {
+		t.Fatalf("ExactCover: %v", err)
+	}
+	if w != 2 || len(cover) != 2 || !in.IsCover(cover) {
+		t.Errorf("triangle cover = %v weight %d, want 2 vertices weight 2", cover, w)
+	}
+}
+
+func TestExactCoverWeighted(t *testing.T) {
+	// Star: center weight 10, leaves weight 1 each. 3 edges.
+	// Optimal: take the 3 leaves (weight 3), not the center.
+	in := &VCInstance{Weights: []int{10, 1, 1, 1}, Edges: [][2]int{{0, 1}, {0, 2}, {0, 3}}}
+	cover, w, err := ExactCover(in)
+	if err != nil {
+		t.Fatalf("ExactCover: %v", err)
+	}
+	if w != 3 {
+		t.Errorf("star cover weight = %d (%v), want 3", w, cover)
+	}
+	// Flip the weights: now the center wins.
+	in2 := &VCInstance{Weights: []int{1, 10, 10, 10}, Edges: in.Edges}
+	_, w2, _ := ExactCover(in2)
+	if w2 != 1 {
+		t.Errorf("cheap-center cover weight = %d, want 1", w2)
+	}
+}
+
+func TestExactCoverPath(t *testing.T) {
+	// Path a-b-c-d with uniform weights: cover {b,c} weight 2.
+	in := &VCInstance{Weights: []int{1, 1, 1, 1}, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}}}
+	_, w, _ := ExactCover(in)
+	if w != 2 {
+		t.Errorf("path cover weight = %d, want 2", w)
+	}
+}
+
+func TestExactCoverValidation(t *testing.T) {
+	bad := []*VCInstance{
+		{Weights: []int{0}, Edges: nil},
+		{Weights: []int{1, 1}, Edges: [][2]int{{0, 5}}},
+		{Weights: []int{1, 1}, Edges: [][2]int{{1, 1}}},
+	}
+	for i, in := range bad {
+		if _, _, err := ExactCover(in); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestClarksonIsCoverAndWithin2x(t *testing.T) {
+	instances := []*VCInstance{
+		{Weights: []int{1, 1, 1}, Edges: [][2]int{{0, 1}, {1, 2}, {0, 2}}},
+		{Weights: []int{10, 1, 1, 1}, Edges: [][2]int{{0, 1}, {0, 2}, {0, 3}}},
+		{Weights: []int{3, 5, 2, 7, 1}, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}, {1, 3}}},
+		{Weights: []int{6, 6, 9, 9}, Edges: [][2]int{{0, 1}, {2, 3}, {0, 2}}},
+	}
+	for i, in := range instances {
+		approx, aw, err := ClarksonCover(in)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !in.IsCover(approx) {
+			t.Errorf("case %d: Clarkson result %v is not a cover", i, approx)
+		}
+		_, ow, _ := ExactCover(in)
+		if aw > 2*ow {
+			t.Errorf("case %d: Clarkson weight %d > 2x optimal %d", i, aw, ow)
+		}
+	}
+}
+
+// Property: on random graphs Clarkson always yields a cover of
+// weight at most twice the exact optimum.
+func TestQuickClarksonRatio(t *testing.T) {
+	f := func(seed uint32) bool {
+		in := randomInstance(seed)
+		if len(in.Edges) == 0 {
+			return true
+		}
+		approx, aw, err := ClarksonCover(in)
+		if err != nil {
+			return false
+		}
+		if !in.IsCover(approx) {
+			return false
+		}
+		_, ow, err := ExactCover(in)
+		if err != nil {
+			return false
+		}
+		return aw <= 2*ow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomInstance(seed uint32) *VCInstance {
+	s := seed
+	next := func(n uint32) uint32 {
+		s = s*1664525 + 1013904223
+		return (s >> 16) % n
+	}
+	n := int(next(8)) + 2
+	in := &VCInstance{Weights: make([]int, n)}
+	for i := range in.Weights {
+		in.Weights[i] = int(next(9)) + 1
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if next(3) == 0 {
+				in.Edges = append(in.Edges, [2]int{u, v})
+			}
+		}
+	}
+	return in
+}
+
+func TestOptimalSchemePaperExample(t *testing.T) {
+	d, cs := fixture(t)
+	s, err := Optimal(d, cs)
+	if err != nil {
+		t.Fatalf("Optimal: %v", err)
+	}
+	if err := s.Enforces(d, cs); err != nil {
+		t.Errorf("optimal scheme does not enforce SCs: %v", err)
+	}
+	// The paper (§4.2): optimal covers are {pname+decoy, disease+decoy}
+	// or {SSN+decoy, disease+decoy} — cover weight 2 vertices of the
+	// 4-vertex graph; insurance nodes always encrypted.
+	if !s.CoverTags["disease"] {
+		t.Errorf("optimal cover %v should include disease (covers 2 edges)", s.CoverTags)
+	}
+	if !(s.CoverTags["pname"] || s.CoverTags["SSN"]) {
+		t.Errorf("optimal cover %v must include pname or SSN", s.CoverTags)
+	}
+	if len(s.CoverTags) != 2 {
+		t.Errorf("optimal cover %v should have exactly 2 tags", s.CoverTags)
+	}
+	// Blocks: 2 insurance subtrees + 2 pname-or-SSN + 3 disease = 7.
+	if s.NumBlocks() != 7 {
+		t.Errorf("optimal scheme has %d blocks, want 7", s.NumBlocks())
+	}
+	// Size: insurance subtree = insurance + @coverage + policy + text
+	// = 4 nodes each; 5 leaves of 2 nodes + decoy = 3 each.
+	want := 2*4 + 5*3
+	if got := s.Size(); got != want {
+		t.Errorf("optimal scheme size = %d, want %d", got, want)
+	}
+}
+
+func TestApproxSchemeEnforcesAndBounded(t *testing.T) {
+	d, cs := fixture(t)
+	app, err := Approx(d, cs)
+	if err != nil {
+		t.Fatalf("Approx: %v", err)
+	}
+	if err := app.Enforces(d, cs); err != nil {
+		t.Errorf("app scheme does not enforce SCs: %v", err)
+	}
+	opt, _ := Optimal(d, cs)
+	if app.Size() > 2*opt.Size() {
+		t.Errorf("app size %d > 2x opt size %d", app.Size(), opt.Size())
+	}
+}
+
+func TestSubScheme(t *testing.T) {
+	d, cs := fixture(t)
+	s, err := Sub(d, cs)
+	if err != nil {
+		t.Fatalf("Sub: %v", err)
+	}
+	if err := s.Enforces(d, cs); err != nil {
+		t.Errorf("sub scheme does not enforce SCs: %v", err)
+	}
+	opt, _ := Optimal(d, cs)
+	if s.Size() <= opt.Size() {
+		t.Errorf("sub scheme size %d should exceed opt %d (larger blocks)", s.Size(), opt.Size())
+	}
+	// Parents of {pname|SSN, disease, insurance} are patients and
+	// treats: blocks must not be nested.
+	for _, b := range s.BlockRoots {
+		for _, b2 := range s.BlockRoots {
+			if b != b2 && b.HasAncestor(b2) {
+				t.Fatalf("nested blocks in sub scheme: %s inside %s", b.Path(), b2.Path())
+			}
+		}
+	}
+}
+
+func TestTopScheme(t *testing.T) {
+	d, cs := fixture(t)
+	s := Top(d)
+	if s.NumBlocks() != 1 || s.BlockRoots[0] != d.Root {
+		t.Fatalf("top scheme should be one block at the root")
+	}
+	if err := s.Enforces(d, cs); err != nil {
+		t.Errorf("top scheme must enforce everything: %v", err)
+	}
+	if s.Size() != d.Root.Size() {
+		t.Errorf("top size = %d, want %d", s.Size(), d.Root.Size())
+	}
+}
+
+func TestLeafNaiveScheme(t *testing.T) {
+	d, cs := fixture(t)
+	noDecoy, err := LeafNaive(d, cs, false)
+	if err != nil {
+		t.Fatalf("LeafNaive: %v", err)
+	}
+	if len(noDecoy.Decoy) != 0 {
+		t.Errorf("nodecoy scheme has decoys")
+	}
+	withDecoy, _ := LeafNaive(d, cs, true)
+	if len(withDecoy.Decoy) == 0 {
+		t.Errorf("decoy scheme has no decoys")
+	}
+	if withDecoy.Size() != noDecoy.Size()+len(withDecoy.Decoy) {
+		t.Errorf("decoy size accounting: %d vs %d + %d", withDecoy.Size(), noDecoy.Size(), len(withDecoy.Decoy))
+	}
+	// leaf scheme encrypts all 4 vertex tags individually:
+	// 2 pname + 2 SSN + 3 disease + 3 doctor + 2 insurance = 12 blocks.
+	if noDecoy.NumBlocks() != 12 {
+		t.Errorf("leaf scheme blocks = %d, want 12", noDecoy.NumBlocks())
+	}
+}
+
+func TestSecureRejectsNonCover(t *testing.T) {
+	d, cs := fixture(t)
+	if _, err := Secure(d, cs, map[string]bool{"pname": true}); err == nil {
+		t.Errorf("pname alone does not cover (disease,doctor); Secure must fail")
+	}
+}
+
+func TestSecureCustomCover(t *testing.T) {
+	d, cs := fixture(t)
+	s, err := Secure(d, cs, map[string]bool{"SSN": true, "disease": true})
+	if err != nil {
+		t.Fatalf("Secure: %v", err)
+	}
+	if err := s.Enforces(d, cs); err != nil {
+		t.Errorf("SSN+disease scheme does not enforce: %v", err)
+	}
+	// Both optimal covers have the same size (paper §4.2 notes
+	// optimal is not unique: pname+disease and SSN+disease tie).
+	opt, _ := Optimal(d, cs)
+	if s.Size() != opt.Size() {
+		t.Errorf("SSN+disease size %d != optimal size %d", s.Size(), opt.Size())
+	}
+}
+
+func TestNormalizeRootsDropsNested(t *testing.T) {
+	d, _ := fixture(t)
+	patient := d.Root.ElementChildren()[0]
+	pname := patient.ElementChildren()[0]
+	roots := normalizeRoots([]*xmltree.Node{pname, patient, pname})
+	if len(roots) != 1 || roots[0] != patient {
+		t.Errorf("normalizeRoots = %v, want just patient", roots)
+	}
+}
+
+func TestVertexCoverReduction(t *testing.T) {
+	// Theorem 4.2 correspondence on a pentagon (cycle of 5): minimum
+	// cover = 3 vertices, so optimal scheme size = 3 blocks * 3 nodes.
+	in := &VCInstance{
+		Weights: []int{1, 1, 1, 1, 1},
+		Edges:   [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}},
+	}
+	doc, scs, err := FromVertexCover(in)
+	if err != nil {
+		t.Fatalf("FromVertexCover: %v", err)
+	}
+	s, err := Optimal(doc, scs)
+	if err != nil {
+		t.Fatalf("Optimal on reduction: %v", err)
+	}
+	cover := CoverFromScheme(s, 5)
+	if !in.IsCover(cover) {
+		t.Fatalf("scheme cover %v is not a vertex cover", cover)
+	}
+	if len(cover) != 3 {
+		t.Errorf("recovered cover size = %d, want 3 (pentagon)", len(cover))
+	}
+	if s.Size() != 3*3 {
+		t.Errorf("scheme size = %d, want 9 (3 leaf blocks of 2 nodes + decoy)", s.Size())
+	}
+	_, vcWeight, _ := ExactCover(in)
+	if len(cover) != vcWeight {
+		t.Errorf("scheme cover size %d != VC optimum %d", len(cover), vcWeight)
+	}
+}
+
+// Property: on random VC instances, the optimal scheme built from
+// the reduction recovers a minimum vertex cover.
+func TestQuickReductionCorrespondence(t *testing.T) {
+	f := func(seed uint32) bool {
+		in := randomInstance(seed)
+		// Uniform weights: reduction document gives every vertex
+		// identical encryption cost.
+		for i := range in.Weights {
+			in.Weights[i] = 1
+		}
+		if len(in.Edges) == 0 {
+			return true
+		}
+		doc, scs, err := FromVertexCover(in)
+		if err != nil {
+			return false
+		}
+		s, err := Optimal(doc, scs)
+		if err != nil {
+			return false
+		}
+		cover := CoverFromScheme(s, len(in.Weights))
+		if !in.IsCover(cover) {
+			return false
+		}
+		_, ow, _ := ExactCover(in)
+		return len(cover) == ow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoversAndEnforcesNegative(t *testing.T) {
+	d, cs := fixture(t)
+	// A scheme that encrypts only doctor does not enforce SC2/SC3.
+	g, _ := sc.BuildGraph(cs, d)
+	i := g.VertexByTag("doctor")
+	s := &Scheme{Name: "bogus", Decoy: map[*xmltree.Node]bool{}}
+	s.BlockRoots = normalizeRoots(g.Vertices[i].Nodes)
+	if err := s.Enforces(d, cs); err == nil {
+		t.Errorf("doctor-only scheme should not enforce the SCs")
+	}
+}

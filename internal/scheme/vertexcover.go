@@ -1,0 +1,199 @@
+// Package scheme constructs the paper's encryption schemes (§3.1,
+// §4): secure schemes enforcing a set of security constraints, the
+// optimal secure scheme (minimum total block size, found by exact
+// weighted vertex cover — the problem is NP-hard, Theorem 4.2), the
+// Clarkson greedy 2-approximation the paper's "app" scheme uses, and
+// the "sub" / "top" / naive-leaf comparison schemes of §7.1.
+package scheme
+
+import (
+	"errors"
+	"sort"
+)
+
+// VCInstance is a weighted VERTEX COVER instance. The NP-hardness
+// proof of Theorem 4.2 reduces VERTEX COVER to optimal secure
+// encryption; we implement the correspondence in both directions
+// (see FromVertexCover in reduction.go) and solve small instances
+// exactly.
+type VCInstance struct {
+	Weights []int    // vertex weights, len = number of vertices
+	Edges   [][2]int // undirected edges as vertex index pairs
+}
+
+// Validate checks index bounds and positive weights.
+func (in *VCInstance) Validate() error {
+	n := len(in.Weights)
+	for _, w := range in.Weights {
+		if w <= 0 {
+			return errors.New("scheme: vertex weights must be positive")
+		}
+	}
+	for _, e := range in.Edges {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
+			return errors.New("scheme: edge endpoint out of range")
+		}
+		if e[0] == e[1] {
+			return errors.New("scheme: self-loop cannot be covered meaningfully")
+		}
+	}
+	return nil
+}
+
+// CoverWeight sums the weights of the given vertex set.
+func (in *VCInstance) CoverWeight(cover []int) int {
+	total := 0
+	for _, v := range cover {
+		total += in.Weights[v]
+	}
+	return total
+}
+
+// IsCover reports whether every edge has an endpoint in the set.
+func (in *VCInstance) IsCover(cover []int) bool {
+	inSet := make([]bool, len(in.Weights))
+	for _, v := range cover {
+		inSet[v] = true
+	}
+	for _, e := range in.Edges {
+		if !inSet[e[0]] && !inSet[e[1]] {
+			return false
+		}
+	}
+	return true
+}
+
+// ExactCover finds a minimum-weight vertex cover by branch and
+// bound: pick an uncovered edge, branch on covering it with either
+// endpoint, prune by the best weight found so far. Exponential in
+// the worst case — the problem is NP-hard — but the constraint
+// graphs the paper's experiments induce have a handful of vertices.
+func ExactCover(in *VCInstance) ([]int, int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := len(in.Weights)
+	best := make([]bool, n)
+	bestW := 1 << 60
+	cur := make([]bool, n)
+
+	var rec func(curW int)
+	rec = func(curW int) {
+		if curW >= bestW {
+			return
+		}
+		// Find the first uncovered edge.
+		var pick *[2]int
+		for i := range in.Edges {
+			e := &in.Edges[i]
+			if !cur[e[0]] && !cur[e[1]] {
+				pick = e
+				break
+			}
+		}
+		if pick == nil {
+			bestW = curW
+			copy(best, cur)
+			return
+		}
+		for _, v := range pick {
+			cur[v] = true
+			rec(curW + in.Weights[v])
+			cur[v] = false
+		}
+	}
+	rec(0)
+
+	var cover []int
+	for v, used := range best {
+		if used {
+			cover = append(cover, v)
+		}
+	}
+	return cover, bestW, nil
+}
+
+// ClarksonCover implements Clarkson's modification of the greedy
+// algorithm for weighted vertex cover [Clarkson, IPL 16 (1983)],
+// the approximation the paper's "app" scheme is built with: it
+// repeatedly selects the vertex minimizing residual-weight/degree,
+// charging that ratio to the vertex's incident edges, and guarantees
+// cost at most twice the optimum.
+func ClarksonCover(in *VCInstance) ([]int, int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := len(in.Weights)
+	residual := make([]float64, n)
+	for i, w := range in.Weights {
+		residual[i] = float64(w)
+	}
+	covered := make([]bool, len(in.Edges))
+	inCover := make([]bool, n)
+
+	degree := func(v int) int {
+		d := 0
+		for i, e := range in.Edges {
+			if covered[i] {
+				continue
+			}
+			if e[0] == v || e[1] == v {
+				d++
+			}
+		}
+		return d
+	}
+
+	remaining := len(in.Edges)
+	for remaining > 0 {
+		bestV, bestRatio := -1, 0.0
+		for v := 0; v < n; v++ {
+			if inCover[v] {
+				continue
+			}
+			d := degree(v)
+			if d == 0 {
+				continue
+			}
+			ratio := residual[v] / float64(d)
+			if bestV < 0 || ratio < bestRatio {
+				bestV, bestRatio = v, ratio
+			}
+		}
+		if bestV < 0 {
+			break // no coverable edges left (shouldn't happen)
+		}
+		// Charge the ratio to every uncovered incident edge's other
+		// endpoint, then take bestV into the cover.
+		for i, e := range in.Edges {
+			if covered[i] {
+				continue
+			}
+			var other int
+			switch {
+			case e[0] == bestV:
+				other = e[1]
+			case e[1] == bestV:
+				other = e[0]
+			default:
+				continue
+			}
+			residual[other] -= bestRatio
+			if residual[other] < 0 {
+				residual[other] = 0
+			}
+			covered[i] = true
+			remaining--
+		}
+		inCover[bestV] = true
+	}
+
+	var cover []int
+	for v, used := range inCover {
+		if used {
+			cover = append(cover, v)
+		}
+	}
+	sort.Ints(cover)
+	return cover, in.CoverWeight(cover), nil
+}

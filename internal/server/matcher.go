@@ -1,0 +1,427 @@
+package server
+
+import (
+	"sort"
+
+	"repro/internal/dsi"
+	"repro/internal/wire"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// The matcher implements §6.2's structural joins over DSI intervals
+// with *three-valued* semantics. Grouping (one interval may stand
+// for several sibling nodes) and block-granular value lookups mean
+// the server can only decide "possibly matches" or "certainly
+// matches" for some constructs. The main path prunes with the
+// possible (upper) semantics — over-selection is corrected by the
+// client's post-processing — while negation flips to the certain
+// (lower) semantics so that not(...) never under-selects:
+//
+//	upper(not e) = !lower(e),   lower(not e) = !upper(e)
+//
+// Joins exploit laminarity: the intervals of each DSI table label
+// are kept sorted by lower bound, so the candidates inside a context
+// interval are found by binary search (dsi.Within) rather than a
+// scan.
+
+// exec carries per-query state: the value-index lookups of each
+// PredValue are cached so a predicate evaluated against thousands of
+// context intervals hits the B-tree once.
+type exec struct {
+	s          *Server
+	rangeCache map[*wire.PredValue]map[int]bool
+}
+
+func (s *Server) newExec() *exec {
+	return &exec{s: s, rangeCache: map[*wire.PredValue]map[int]bool{}}
+}
+
+// matchFirst evaluates the first step of the main path: its context
+// is the virtual document node, so a non-descendant child step must
+// match a forest root, while a "//" step may match any interval.
+func (e *exec) matchFirst(st *wire.QStep) []dsi.Interval {
+	var cands []dsi.Interval
+	for _, list := range e.labelLists(st.Labels) {
+		for _, iv := range list {
+			if st.Desc {
+				cands = append(cands, iv)
+				continue
+			}
+			if _, hasParent := e.s.forest.ParentOf(iv); !hasParent {
+				cands = append(cands, iv)
+			}
+		}
+	}
+	return e.applyPreds(dedupeSorted(cands), st.Preds)
+}
+
+// batchJoinThreshold switches downward steps from per-context
+// probing (O(|ctx| log n)) to the batched sort-merge structural join
+// (O(|ctx| + n)) once the context set is large enough to amortize.
+const batchJoinThreshold = 8
+
+// matchChain evaluates a step chain from a set of context intervals
+// with the given strictness, returning the final step's survivors.
+func (e *exec) matchChain(ctxs []dsi.Interval, st *wire.QStep, upper bool) []dsi.Interval {
+	cur := ctxs
+	for ; st != nil; st = st.Next {
+		var next []dsi.Interval
+		if batched, ok := e.batchStep(cur, st); ok {
+			next = batched
+		} else {
+			for _, ctx := range cur {
+				next = append(next, e.stepFrom(ctx, st, upper)...)
+			}
+		}
+		cur = dedupeSorted(next)
+		if upper {
+			cur = e.applyPreds(cur, st.Preds)
+		} else {
+			cur = e.filterCertain(cur, st.Preds)
+		}
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// batchStep applies one downward step to the whole context set with
+// the sort-merge structural join (§6.2's batched form). Only the
+// child/attribute/descendant axes are batchable; other axes (and
+// wildcard tests, whose candidate set is the whole forest) fall back
+// to per-context probing.
+func (e *exec) batchStep(ctxs []dsi.Interval, st *wire.QStep) ([]dsi.Interval, bool) {
+	if len(ctxs) < batchJoinThreshold || st.Labels == nil {
+		return nil, false
+	}
+	desc := false
+	switch st.Axis {
+	case xpath.AxisDescendant:
+		desc = true
+	case xpath.AxisChild, xpath.AxisAttribute:
+		desc = st.Desc
+	default:
+		return nil, false
+	}
+	var out []dsi.Interval
+	for _, list := range e.labelLists(st.Labels) {
+		if desc {
+			out = append(out, dsi.DescendantJoin(ctxs, list)...)
+		} else {
+			out = append(out, dsi.ChildJoin(e.s.forest, ctxs, list)...)
+		}
+	}
+	return out, true
+}
+
+// matchRelative evaluates a (predicate) path from one context.
+func (e *exec) matchRelative(ctx dsi.Interval, st *wire.QStep, upper bool) []dsi.Interval {
+	if st == nil {
+		return []dsi.Interval{ctx}
+	}
+	return e.matchChain([]dsi.Interval{ctx}, st, upper)
+}
+
+// stepFrom applies one step's axis and node test from one context
+// interval. In upper mode, sibling axes additionally match the
+// context's own interval when it lies inside an encryption block:
+// such an interval may be a group standing for several adjacent
+// same-tag siblings (§5.1.1), and the server cannot rule that out —
+// by design.
+func (e *exec) stepFrom(ctx dsi.Interval, st *wire.QStep, upper bool) []dsi.Interval {
+	f := e.s.forest
+	var out []dsi.Interval
+	switch st.Axis {
+	case xpath.AxisSelf:
+		if st.Labels == nil || e.s.hasAnyLabel(ctx, st.Labels) {
+			out = append(out, ctx)
+		}
+	case xpath.AxisParent:
+		if p, ok := f.ParentOf(ctx); ok {
+			if st.Labels == nil || e.s.hasAnyLabel(p, st.Labels) {
+				out = append(out, p)
+			}
+		}
+	case xpath.AxisAncestor, xpath.AxisAncestorOrSelf:
+		cur := ctx
+		if st.Axis == xpath.AxisAncestorOrSelf {
+			if st.Labels == nil || e.s.hasAnyLabel(cur, st.Labels) {
+				out = append(out, cur)
+			}
+		}
+		for {
+			p, ok := f.ParentOf(cur)
+			if !ok {
+				break
+			}
+			if st.Labels == nil || e.s.hasAnyLabel(p, st.Labels) {
+				out = append(out, p)
+			}
+			cur = p
+		}
+	case xpath.AxisFollowingSibling, xpath.AxisPrecedingSibling:
+		parent, hasParent := f.ParentOf(ctx)
+		for _, list := range e.labelLists(st.Labels) {
+			var sibs []dsi.Interval
+			if hasParent {
+				sibs = dsi.Within(list, parent)
+			} else {
+				sibs = list // root level: siblings are other roots
+			}
+			for _, iv := range sibs {
+				var ok bool
+				switch {
+				case iv.Equal(ctx):
+					// A grouped interval may hide several adjacent
+					// same-tag siblings; possible but never certain.
+					ok = upper && e.s.blockIDFor(ctx) >= 0
+				case st.Axis == xpath.AxisFollowingSibling:
+					ok = f.FollowingSibling(ctx, iv)
+				default:
+					ok = f.FollowingSibling(iv, ctx)
+				}
+				if ok {
+					out = append(out, iv)
+				}
+			}
+		}
+	case xpath.AxisDescendant:
+		for _, list := range e.labelLists(st.Labels) {
+			out = append(out, dsi.Within(list, ctx)...)
+		}
+	case xpath.AxisDescendantOrSelf:
+		for _, list := range e.labelLists(st.Labels) {
+			out = append(out, dsi.Within(list, ctx)...)
+		}
+		if st.Labels == nil || e.s.hasAnyLabel(ctx, st.Labels) {
+			out = append(out, ctx)
+		}
+	default: // child, attribute
+		for _, list := range e.labelLists(st.Labels) {
+			inside := dsi.Within(list, ctx)
+			if st.Desc {
+				out = append(out, inside...)
+				continue
+			}
+			for _, iv := range inside {
+				if p, ok := f.ParentOf(iv); ok && p.Equal(ctx) {
+					out = append(out, iv)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// labelLists returns the Lo-sorted interval list of each table label
+// the node test matches; a wildcard yields the full sorted universe.
+func (e *exec) labelLists(labels []string) [][]dsi.Interval {
+	if labels == nil {
+		return [][]dsi.Interval{e.s.allIntervals}
+	}
+	out := make([][]dsi.Interval, 0, len(labels))
+	for _, l := range labels {
+		if ivs := e.s.db.Table.Lookup(l); len(ivs) > 0 {
+			out = append(out, ivs)
+		}
+	}
+	return out
+}
+
+func (s *Server) hasAnyLabel(iv dsi.Interval, labels []string) bool {
+	for _, have := range s.labelsOf[iv] {
+		for _, want := range labels {
+			if have == want {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// applyPreds prunes candidates with the possible (upper) semantics.
+// Positional predicates are NOT applied: an interval may group
+// several siblings, so server-side positions are unreliable; the
+// client re-applies the original query and restores them exactly.
+func (e *exec) applyPreds(cands []dsi.Interval, preds []wire.QPred) []dsi.Interval {
+	cur := cands
+	for _, p := range preds {
+		if _, ok := p.(*wire.PredPos); ok {
+			continue
+		}
+		var kept []dsi.Interval
+		for _, iv := range cur {
+			if e.evalPred(iv, p, true) {
+				kept = append(kept, iv)
+			}
+		}
+		cur = kept
+	}
+	return cur
+}
+
+// filterCertain keeps candidates whose predicates certainly hold.
+func (e *exec) filterCertain(cands []dsi.Interval, preds []wire.QPred) []dsi.Interval {
+	cur := cands
+	for _, p := range preds {
+		var kept []dsi.Interval
+		for _, iv := range cur {
+			if e.evalPred(iv, p, false) {
+				kept = append(kept, iv)
+			}
+		}
+		cur = kept
+	}
+	return cur
+}
+
+// evalPred evaluates a predicate at a context with the given
+// strictness: upper=true asks "could this hold", upper=false asks
+// "does this certainly hold".
+func (e *exec) evalPred(ctx dsi.Interval, p wire.QPred, upper bool) bool {
+	switch v := p.(type) {
+	case *wire.PredExists:
+		return len(e.matchRelative(ctx, v.Path, upper)) > 0
+	case *wire.PredValue:
+		return e.evalValuePred(ctx, v, upper)
+	case *wire.PredAnd:
+		return e.evalPred(ctx, v.L, upper) && e.evalPred(ctx, v.R, upper)
+	case *wire.PredOr:
+		return e.evalPred(ctx, v.L, upper) || e.evalPred(ctx, v.R, upper)
+	case *wire.PredNot:
+		return !e.evalPred(ctx, v.E, !upper)
+	case *wire.PredPos:
+		// Positions are unreliable at interval granularity: possibly
+		// true, never certain.
+		return upper
+	default:
+		return false
+	}
+}
+
+// evalValuePred implements step 2/3 of §6.2 for one context with
+// target-precise three-valued semantics:
+//
+//   - A residue target whose subtree hides no encrypted content is
+//     compared exactly (decisive in both modes).
+//   - A residue target with placeholders below has an incomplete
+//     visible string-value: possibly true, never certain.
+//   - An encrypted leaf-level target is checked against the value
+//     index at block granularity: possible when its block appears in
+//     the range lookup, never certain.
+//   - An encrypted interior target's string-value spans several
+//     indexed leaves and cannot be reconstructed server-side:
+//     possibly true, never certain.
+func (e *exec) evalValuePred(ctx dsi.Interval, v *wire.PredValue, upper bool) bool {
+	targets := e.matchRelative(ctx, v.Path, upper)
+	if len(targets) == 0 {
+		return false
+	}
+	for _, tgt := range targets {
+		if n, ok := e.s.residueAt[tgt]; ok && !isPlaceholder(n) {
+			if e.hasPlaceholderBelow(n) {
+				if upper {
+					return true
+				}
+				continue
+			}
+			if xpath.CompareHolds(xpath.StringValue(n), v.Op, v.Lit) {
+				return true
+			}
+			continue
+		}
+		// Encrypted target (its own block, or a placeholder standing
+		// for one). Only the upper bound can ever hold.
+		if !upper {
+			continue
+		}
+		if e.isForestLeaf(tgt) && len(v.Ranges) > 0 {
+			if bid := e.s.blockIDFor(tgt); bid >= 0 && e.rangeBlocksFor(v)[bid] {
+				return true
+			}
+			continue
+		}
+		// Interior encrypted target, or no usable index ranges: the
+		// server cannot rule the match out.
+		return true
+	}
+	return false
+}
+
+func isPlaceholder(n *xmltree.Node) bool {
+	return n.Kind == xmltree.Element && n.Tag == wire.PlaceholderTag
+}
+
+// hasPlaceholderBelow reports whether the residue subtree hides any
+// encrypted content (making its visible string-value incomplete).
+func (e *exec) hasPlaceholderBelow(n *xmltree.Node) bool {
+	found := false
+	n.Walk(func(m *xmltree.Node) bool {
+		if isPlaceholder(m) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// isForestLeaf reports that no table interval lies strictly inside
+// iv — at table granularity the interval stands for leaf nodes only
+// (grouping merges adjacent leaves, so groups remain forest leaves).
+func (e *exec) isForestLeaf(iv dsi.Interval) bool {
+	inside := dsi.Within(e.s.allIntervals, iv)
+	for _, in := range inside {
+		if !in.Equal(iv) {
+			return false
+		}
+	}
+	return true
+}
+
+// rangeBlocksFor resolves (and caches) the blocks whose indexed
+// values fall in any of the predicate's ciphertext ranges.
+func (e *exec) rangeBlocksFor(v *wire.PredValue) map[int]bool {
+	if cached, ok := e.rangeCache[v]; ok {
+		return cached
+	}
+	blocks := map[int]bool{}
+	for _, r := range v.Ranges {
+		if r.Empty() {
+			continue
+		}
+		for _, bid := range e.s.index.RangeBlocks(r.Lo, r.Hi) {
+			blocks[bid] = true
+		}
+	}
+	e.rangeCache[v] = blocks
+	return blocks
+}
+
+// blockIDFor locates the encryption block containing an interval via
+// binary search over the (disjoint, sorted) representative
+// intervals; -1 when the interval lies in the plaintext residue.
+func (s *Server) blockIDFor(iv dsi.Interval) int {
+	idx := s.blockIdx
+	i := sort.Search(len(idx), func(i int) bool { return idx[i].iv.Lo > iv.Lo }) - 1
+	if i >= 0 && idx[i].iv.Contains(iv) {
+		return idx[i].id
+	}
+	return -1
+}
+
+func dedupeSorted(ivs []dsi.Interval) []dsi.Interval {
+	if len(ivs) <= 1 {
+		return ivs
+	}
+	dsi.SortIntervals(ivs)
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		if !iv.Equal(out[len(out)-1]) {
+			out = append(out, iv)
+		}
+	}
+	return out
+}

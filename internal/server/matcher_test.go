@@ -1,0 +1,129 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+	"repro/internal/xpath"
+)
+
+// Direct unit tests of the three-valued matcher semantics: the main
+// path prunes with "possibly matches" (upper), negation flips to
+// "certainly matches" (lower), and grouped intervals never cause
+// under-selection.
+
+func TestThreeValuedNegationOnEncryptedValues(t *testing.T) {
+	c, s := boot(t, "top")
+	// Under top everything is in one block: pname='Betty' is only
+	// "possibly" satisfiable per patient (block granularity), so
+	// not(pname='Betty') must keep every patient (upper(not e) =
+	// !lower(e) = true).
+	ans := runQuery(t, c, s, "//patient[not(pname='Betty')]")
+	if len(ans.Blocks) != 1 {
+		t.Errorf("negation under top dropped the block: %d", len(ans.Blocks))
+	}
+}
+
+func TestThreeValuedNegationOnPlaintext(t *testing.T) {
+	c, s := boot(t, "opt")
+	// age is plaintext under opt: the comparison is exact, so the
+	// negation can prune precisely: only Betty is 35.
+	ans := runQuery(t, c, s, "//patient[not(age=35)]")
+	if len(ans.Fragments) != 1 {
+		t.Errorf("plaintext negation fragments = %d, want 1 (only Matt)", len(ans.Fragments))
+	}
+}
+
+func TestDoubleNegationKeepsUpper(t *testing.T) {
+	c, s := boot(t, "opt")
+	// not(not(p)) == upper(p): same pruning as p itself.
+	a := runQuery(t, c, s, "//patient[.//disease='leukemia']")
+	b := runQuery(t, c, s, "//patient[not(not(.//disease='leukemia'))]")
+	if len(a.Fragments) != len(b.Fragments) || len(a.Blocks) != len(b.Blocks) {
+		t.Errorf("double negation changed pruning: %d/%d vs %d/%d",
+			len(a.Fragments), len(a.Blocks), len(b.Fragments), len(b.Blocks))
+	}
+}
+
+func TestGroupedSiblingUpperMatch(t *testing.T) {
+	c, s := boot(t, "opt")
+	// Betty's insurance block groups two adjacent policy elements
+	// into ONE interval. following-sibling::policy must still
+	// "possibly" match (the server cannot know the group size), so
+	// the block ships and the client resolves it exactly.
+	ans := runQuery(t, c, s, "//policy[following-sibling::policy]")
+	if len(ans.Blocks) == 0 {
+		t.Fatalf("grouped-sibling query shipped nothing (under-selection)")
+	}
+}
+
+func TestPositionalPredicatesNotAppliedServerSide(t *testing.T) {
+	c, s := boot(t, "opt")
+	// The server must keep every candidate: positions are unreliable
+	// at interval granularity.
+	all := runQuery(t, c, s, "//patient")
+	second := runQuery(t, c, s, "//patient[2]")
+	if len(second.Fragments) != len(all.Fragments) {
+		t.Errorf("server applied positional predicate: %d vs %d fragments",
+			len(second.Fragments), len(all.Fragments))
+	}
+}
+
+func TestOrAcrossGranularities(t *testing.T) {
+	c, s := boot(t, "opt")
+	// One disjunct plaintext-exact, one encrypted-possible.
+	ans := runQuery(t, c, s, "//patient[age=35 or .//disease='leukemia']")
+	if len(ans.Fragments) != 2 {
+		t.Errorf("or-query fragments = %d, want 2 (both patients)", len(ans.Fragments))
+	}
+}
+
+func TestWildcardStepMatchesEverything(t *testing.T) {
+	c, s := boot(t, "opt")
+	star := runQuery(t, c, s, "//patient/*")
+	if len(star.Fragments)+len(star.Blocks) == 0 {
+		t.Fatalf("wildcard matched nothing")
+	}
+}
+
+func TestSelfAxisLabelCheck(t *testing.T) {
+	c, s := boot(t, "opt")
+	hit := runQuery(t, c, s, "//patient/self::patient")
+	miss := runQuery(t, c, s, "//patient/self::treat")
+	if len(hit.Fragments) != 2 {
+		t.Errorf("self::patient fragments = %d", len(hit.Fragments))
+	}
+	if len(miss.Fragments)+len(miss.Blocks) != 0 {
+		t.Errorf("self::treat matched %d/%d", len(miss.Fragments), len(miss.Blocks))
+	}
+}
+
+func TestEmptyRangePredicate(t *testing.T) {
+	c, s := boot(t, "opt")
+	// An equality on a value outside the encrypted domain yields a
+	// range matching nothing; the predicate must fail cleanly.
+	ans := runQuery(t, c, s, "//patient[.//disease='nosuchdisease']")
+	if len(ans.Fragments)+len(ans.Blocks) != 0 {
+		t.Errorf("impossible predicate matched something")
+	}
+}
+
+func TestPredicateOnlyQueryShapes(t *testing.T) {
+	// Query IR built by hand: wildcard first step with an exists
+	// predicate — exercises labelLists(nil) and matchFirst.
+	_, s := boot(t, "opt")
+	q := &wire.Query{First: &wire.QStep{
+		Axis: xpath.AxisChild,
+		Desc: true,
+		Preds: []wire.QPred{
+			&wire.PredExists{Path: &wire.QStep{Axis: xpath.AxisChild, Desc: true, Labels: []string{"age"}}},
+		},
+	}}
+	ans, err := s.Execute(q)
+	if err != nil {
+		t.Fatalf("wildcard query: %v", err)
+	}
+	if len(ans.Fragments)+len(ans.Blocks) == 0 {
+		t.Errorf("wildcard-with-exists matched nothing")
+	}
+}

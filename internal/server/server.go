@@ -1,0 +1,308 @@
+// Package server implements the untrusted side of Figure 1: the
+// service provider hosting the (partially) encrypted database and
+// its metadata. The server answers translated queries (§6.2) purely
+// from what the client uploaded — DSI intervals, encrypted tags,
+// the OPESS value index and the plaintext residue — and never holds
+// a key.
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/dsi"
+	"repro/internal/wire"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Server hosts one database.
+type Server struct {
+	db     *wire.HostedDB
+	forest *dsi.Forest
+	index  *btree.Tree
+
+	// labelsOf inverts the DSI table: interval -> table labels.
+	labelsOf map[dsi.Interval][]string
+	// residueAt locates the residue node carrying an interval
+	// (placeholders carry their block root's interval).
+	residueAt map[dsi.Interval]*xmltree.Node
+	// allIntervals is the Lo-sorted universe (for wildcards).
+	allIntervals []dsi.Interval
+	// blockIdx holds the (disjoint) block representative intervals
+	// sorted by Lo for O(log m) containment lookup.
+	blockIdx []blockRef
+}
+
+type blockRef struct {
+	iv dsi.Interval
+	id int
+}
+
+// New boots a server from an uploaded database: it bulk-loads the
+// value index into a B-tree and builds the interval forest used by
+// the structural joins.
+func New(db *wire.HostedDB) *Server {
+	s := &Server{
+		db:        db,
+		forest:    dsi.BuildForest(db.Table),
+		index:     btree.New(0),
+		labelsOf:  map[dsi.Interval][]string{},
+		residueAt: map[dsi.Interval]*xmltree.Node{},
+	}
+	for _, e := range db.IndexEntries {
+		s.index.Insert(e.Key, e.BlockID)
+	}
+	for label, ivs := range db.Table.ByTag {
+		for _, iv := range ivs {
+			s.labelsOf[iv] = append(s.labelsOf[iv], label)
+		}
+	}
+	for n, iv := range db.ResidueIntervals {
+		s.residueAt[iv] = n
+	}
+	s.allIntervals = s.forest.Intervals()
+	for id, rep := range db.BlockReps {
+		s.blockIdx = append(s.blockIdx, blockRef{iv: rep, id: id})
+	}
+	sort.Slice(s.blockIdx, func(i, j int) bool { return s.blockIdx[i].iv.Lo < s.blockIdx[j].iv.Lo })
+	return s
+}
+
+// IndexHeight exposes the value index height (for stats/benchmarks).
+func (s *Server) IndexHeight() int { return s.index.Height() }
+
+// IndexSize exposes the number of value-index entries.
+func (s *Server) IndexSize() int { return s.index.Len() }
+
+// NumBlocks returns the number of hosted encryption blocks.
+func (s *Server) NumBlocks() int { return len(s.db.Blocks) }
+
+// ExtremeBlock serves MIN/MAX aggregates (§6.4): it returns the ID
+// of the block containing the smallest (max=false) or largest
+// (max=true) indexed ciphertext within [lo, hi]. Order preservation
+// makes this a single index probe; the server learns which block
+// holds the extreme value but not the value itself.
+func (s *Server) ExtremeBlock(lo, hi uint64, max bool) (int, bool) {
+	var e btree.Entry
+	var ok bool
+	if max {
+		e, ok = s.index.Last(lo, hi)
+	} else {
+		e, ok = s.index.First(lo, hi)
+	}
+	if !ok {
+		return 0, false
+	}
+	return e.BlockID, true
+}
+
+// BlockCiphertext returns one hosted block by ID (for aggregate
+// answers that ship a single block).
+func (s *Server) BlockCiphertext(id int) ([]byte, bool) {
+	if id < 0 || id >= len(s.db.Blocks) {
+		return nil, false
+	}
+	return s.db.Blocks[id], true
+}
+
+// Extreme implements core.Backend: ExtremeBlock plus the block's
+// ciphertext in one call.
+func (s *Server) Extreme(lo, hi uint64, max bool) (int, []byte, bool, error) {
+	bid, found := s.ExtremeBlock(lo, hi, max)
+	if !found {
+		return 0, nil, false, nil
+	}
+	ct, ok := s.BlockCiphertext(bid)
+	if !ok {
+		return 0, nil, false, fmt.Errorf("server: extreme entry references missing block %d", bid)
+	}
+	return bid, ct, true, nil
+}
+
+// Execute answers a translated query (§6.2): (1) each query node is
+// labeled with its DSI intervals, (2) structural joins prune them,
+// (3) value constraints consult the B-tree and prune further, (4)
+// the anchors — surviving bindings of the query's first step —
+// determine the blocks and plaintext fragments returned.
+func (s *Server) Execute(q *wire.Query) (*wire.Answer, error) {
+	if q == nil || q.First == nil {
+		return nil, fmt.Errorf("server: empty query")
+	}
+	e := s.newExec()
+	anchors := e.matchFirst(q.First)
+	lift := liftDepth(q)
+	var surviving []dsi.Interval
+	for _, a := range anchors {
+		if q.First.Next == nil || len(e.matchChain([]dsi.Interval{a}, q.First.Next, true)) > 0 {
+			surviving = append(surviving, s.lift(a, lift))
+		}
+	}
+	surviving = dedupeOutermost(surviving)
+	return s.assemble(surviving)
+}
+
+// lift walks n levels up the interval forest, stopping at a root;
+// it widens the anchor when the query can escape the anchor subtree
+// via parent or sibling axes.
+func (s *Server) lift(iv dsi.Interval, n int) dsi.Interval {
+	for ; n > 0; n-- {
+		p, ok := s.forest.ParentOf(iv)
+		if !ok {
+			return iv
+		}
+		iv = p
+	}
+	return iv
+}
+
+// liftDepth computes how many levels above the first-step match the
+// answer fragment must start so that every node the query (or its
+// predicates) can visit is inside the fragment. Downward axes need
+// nothing; parent and sibling axes escape one level each.
+func liftDepth(q *wire.Query) int {
+	depth, minDepth := 0, 0
+	walkChain(q.First.Next, &depth, &minDepth)
+	// Predicates of the first step can also escape.
+	d0, m0 := 0, 0
+	for _, p := range q.First.Preds {
+		walkPred(p, d0, &m0)
+	}
+	if m0 < minDepth {
+		minDepth = m0
+	}
+	if minDepth < 0 {
+		return -minDepth
+	}
+	return 0
+}
+
+func walkChain(st *wire.QStep, depth, minDepth *int) {
+	for ; st != nil; st = st.Next {
+		switch st.Axis {
+		case xpath.AxisParent:
+			*depth--
+			if *depth < *minDepth {
+				*minDepth = *depth
+			}
+		case xpath.AxisAncestor, xpath.AxisAncestorOrSelf:
+			// Unbounded upward escape: lift the anchor to the root.
+			*depth -= 1 << 20
+			if *depth < *minDepth {
+				*minDepth = *depth
+			}
+		case xpath.AxisFollowingSibling, xpath.AxisPrecedingSibling:
+			// A sibling sits at the same depth, but containing it
+			// requires the shared parent one level up.
+			if *depth-1 < *minDepth {
+				*minDepth = *depth - 1
+			}
+		case xpath.AxisSelf:
+			// depth unchanged
+		default: // child, descendant, attribute: strictly downward
+			*depth++
+		}
+		for _, p := range st.Preds {
+			walkPred(p, *depth, minDepth)
+		}
+	}
+}
+
+func walkPred(p wire.QPred, depth int, minDepth *int) {
+	switch v := p.(type) {
+	case *wire.PredExists:
+		d := depth
+		walkChain(v.Path, &d, minDepth)
+	case *wire.PredValue:
+		d := depth
+		walkChain(v.Path, &d, minDepth)
+	case *wire.PredAnd:
+		walkPred(v.L, depth, minDepth)
+		walkPred(v.R, depth, minDepth)
+	case *wire.PredOr:
+		walkPred(v.L, depth, minDepth)
+		walkPred(v.R, depth, minDepth)
+	case *wire.PredNot:
+		walkPred(v.E, depth, minDepth)
+	}
+}
+
+// assemble builds the answer for the surviving anchors: plaintext
+// anchors ship their residue fragment plus every block referenced
+// inside it; encrypted anchors ship their containing block.
+func (s *Server) assemble(anchors []dsi.Interval) (*wire.Answer, error) {
+	ans := &wire.Answer{}
+	blockSet := map[int]bool{}
+	for _, a := range anchors {
+		if bid := s.blockIDFor(a); bid >= 0 {
+			blockSet[bid] = true
+			continue
+		}
+		n, ok := s.residueAt[a]
+		if !ok {
+			// A grouped interval outside every block cannot occur:
+			// grouping only happens inside blocks.
+			return nil, fmt.Errorf("server: anchor interval %v has no residue node", a)
+		}
+		var buf bytes.Buffer
+		if err := xmltree.NewDocument(cloneForSerialize(n)).Serialize(&buf, false); err != nil {
+			return nil, fmt.Errorf("server: serialize fragment: %w", err)
+		}
+		ans.Fragments = append(ans.Fragments, buf.Bytes())
+		collectBlockIDs(n, blockSet)
+	}
+	ids := make([]int, 0, len(blockSet))
+	for id := range blockSet {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ans.BlockIDs = append(ans.BlockIDs, id)
+		ans.Blocks = append(ans.Blocks, s.db.Blocks[id])
+	}
+	return ans, nil
+}
+
+// cloneForSerialize detaches a residue subtree for serialization; an
+// attribute anchor is wrapped so it can stand alone.
+func cloneForSerialize(n *xmltree.Node) *xmltree.Node {
+	if n.Kind == xmltree.Attribute {
+		w := xmltree.NewElement(wire.AttrWrapTag)
+		w.AppendChild(xmltree.NewAttribute("name", n.Tag))
+		w.AppendChild(xmltree.NewText(n.Value))
+		return w
+	}
+	cp := n.Clone()
+	cp.Parent = nil
+	return cp
+}
+
+func collectBlockIDs(n *xmltree.Node, into map[int]bool) {
+	n.Walk(func(m *xmltree.Node) bool {
+		if m.Kind == xmltree.Element && m.Tag == wire.PlaceholderTag {
+			if idStr, ok := m.Attr("id"); ok {
+				var id int
+				if _, err := fmt.Sscanf(idStr, "%d", &id); err == nil {
+					into[id] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// dedupeOutermost keeps only anchors not contained in another anchor
+// (their fragments subsume the inner ones).
+func dedupeOutermost(ivs []dsi.Interval) []dsi.Interval {
+	dsi.SortIntervals(ivs)
+	var out []dsi.Interval
+	for _, iv := range ivs {
+		if len(out) > 0 && out[len(out)-1].Contains(iv) {
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/wire"
+)
+
+// ApplyUpdate applies an owner-issued mutation: block ciphertexts
+// are replaced in place and the value index is rebuilt with the
+// dropped attribute bands removed and the replacement entries
+// inserted. Structure (DSI tables, block table, forest) is untouched
+// — updates in this extension are value-level and
+// structure-preserving (see wire.Update).
+func (s *Server) ApplyUpdate(u *wire.Update) error {
+	for _, b := range u.Blocks {
+		if b.ID < 0 || b.ID >= len(s.db.Blocks) {
+			return fmt.Errorf("server: update references unknown block %d", b.ID)
+		}
+	}
+	for _, b := range u.Blocks {
+		s.db.Blocks[b.ID] = b.Ciphertext
+	}
+	if len(u.DropBands) == 0 && len(u.AddEntries) == 0 {
+		return nil
+	}
+	drop := map[uint8]bool{}
+	for _, b := range u.DropBands {
+		drop[b] = true
+	}
+	rebuilt := btree.New(0)
+	var kept []btree.Entry
+	s.index.Scan(func(e btree.Entry) bool {
+		if !drop[uint8(e.Key>>56)] {
+			kept = append(kept, e)
+		}
+		return true
+	})
+	for _, e := range kept {
+		rebuilt.Insert(e.Key, e.BlockID)
+	}
+	for _, e := range u.AddEntries {
+		if e.BlockID < 0 || e.BlockID >= len(s.db.Blocks) {
+			return fmt.Errorf("server: update entry references unknown block %d", e.BlockID)
+		}
+		rebuilt.Insert(e.Key, e.BlockID)
+	}
+	s.index = rebuilt
+	// Keep the upload mirror coherent for naive queries and stats.
+	s.db.IndexEntries = append(kept, u.AddEntries...)
+	return nil
+}

@@ -1,0 +1,599 @@
+package wire
+
+// Binary serialization of the hosted database, translated queries
+// and answers — the actual bytes that cross the client/server trust
+// boundary when the two roles run in separate processes (see
+// internal/remote). The format is explicit and versioned; it
+// contains exactly the fields of the in-memory structures, so the
+// security analysis of what the server sees applies verbatim to the
+// wire.
+//
+// Layout conventions: all integers are unsigned varints except where
+// noted; byte slices and strings are length-prefixed; float64s are
+// IEEE-754 bits, fixed 8 bytes.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/dsi"
+	"repro/internal/opess"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Format magic and version.
+var (
+	dbMagic     = []byte("SXDB1")
+	queryMagic  = []byte("SXQ1")
+	answerMagic = []byte("SXA1")
+)
+
+type writer struct {
+	buf bytes.Buffer
+	tmp [binary.MaxVarintLen64]byte
+}
+
+func (w *writer) uvarint(v uint64) {
+	n := binary.PutUvarint(w.tmp[:], v)
+	w.buf.Write(w.tmp[:n])
+}
+
+func (w *writer) u64(v uint64) {
+	binary.BigEndian.PutUint64(w.tmp[:8], v)
+	w.buf.Write(w.tmp[:8])
+}
+
+func (w *writer) f64(v float64)   { w.u64(math.Float64bits(v)) }
+func (w *writer) bytes(b []byte)  { w.uvarint(uint64(len(b))); w.buf.Write(b) }
+func (w *writer) string(s string) { w.bytes([]byte(s)) }
+func (w *writer) bool(b bool) {
+	if b {
+		w.buf.WriteByte(1)
+	} else {
+		w.buf.WriteByte(0)
+	}
+}
+
+type reader struct {
+	r *bytes.Reader
+}
+
+func (r *reader) uvarint() (uint64, error) { return binary.ReadUvarint(r.r) }
+
+func (r *reader) u64() (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b[:]), nil
+}
+
+func (r *reader) f64() (float64, error) {
+	u, err := r.u64()
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(u), nil
+}
+
+// maxWireSlice caps decoded slice lengths to keep a corrupted or
+// malicious length prefix from exhausting memory.
+const maxWireSlice = 1 << 28
+
+func (r *reader) bytesN() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxWireSlice {
+		return nil, fmt.Errorf("wire: slice length %d exceeds limit", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (r *reader) string() (string, error) {
+	b, err := r.bytesN()
+	return string(b), err
+}
+
+func (r *reader) bool() (bool, error) {
+	b, err := r.r.ReadByte()
+	return b != 0, err
+}
+
+func (r *reader) count(what string) (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, fmt.Errorf("wire: %s count: %w", what, err)
+	}
+	if n > maxWireSlice {
+		return 0, fmt.Errorf("wire: %s count %d exceeds limit", what, n)
+	}
+	return int(n), nil
+}
+
+func expectMagic(r *bytes.Reader, magic []byte) error {
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, got); err != nil {
+		return fmt.Errorf("wire: short magic: %w", err)
+	}
+	if !bytes.Equal(got, magic) {
+		return fmt.Errorf("wire: bad magic %q, want %q", got, magic)
+	}
+	return nil
+}
+
+// MarshalDB serializes a hosted database.
+func MarshalDB(h *HostedDB) ([]byte, error) {
+	w := &writer{}
+	w.buf.Write(dbMagic)
+
+	// Residue: serialized XML plus, per residue element/attribute in
+	// document order, its interval.
+	w.string(h.Residue.String())
+	type nodeIv struct {
+		id int
+		iv dsi.Interval
+	}
+	var ivs []nodeIv
+	for n, iv := range h.ResidueIntervals {
+		ivs = append(ivs, nodeIv{id: n.ID, iv: iv})
+	}
+	// Document order keeps the encoding canonical.
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].id < ivs[j].id })
+	w.uvarint(uint64(len(ivs)))
+	for _, e := range ivs {
+		w.uvarint(uint64(e.id))
+		w.f64(e.iv.Lo)
+		w.f64(e.iv.Hi)
+	}
+
+	// DSI table.
+	labels := make([]string, 0, len(h.Table.ByTag))
+	for l := range h.Table.ByTag {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	w.uvarint(uint64(len(labels)))
+	for _, l := range labels {
+		w.string(l)
+		entries := h.Table.ByTag[l]
+		w.uvarint(uint64(len(entries)))
+		for _, iv := range entries {
+			w.f64(iv.Lo)
+			w.f64(iv.Hi)
+		}
+	}
+
+	// Block table and ciphertext blocks.
+	w.uvarint(uint64(len(h.BlockReps)))
+	for _, iv := range h.BlockReps {
+		w.f64(iv.Lo)
+		w.f64(iv.Hi)
+	}
+	w.uvarint(uint64(len(h.Blocks)))
+	for _, b := range h.Blocks {
+		w.bytes(b)
+	}
+
+	// Value index entries.
+	w.uvarint(uint64(len(h.IndexEntries)))
+	for _, e := range h.IndexEntries {
+		w.u64(e.Key)
+		w.uvarint(uint64(e.BlockID))
+	}
+	return w.buf.Bytes(), nil
+}
+
+// UnmarshalDB reverses MarshalDB.
+func UnmarshalDB(data []byte) (*HostedDB, error) {
+	r := &reader{r: bytes.NewReader(data)}
+	if err := expectMagic(r.r, dbMagic); err != nil {
+		return nil, err
+	}
+	h := &HostedDB{ResidueIntervals: map[*xmltree.Node]dsi.Interval{}}
+
+	resXML, err := r.string()
+	if err != nil {
+		return nil, fmt.Errorf("wire: residue: %w", err)
+	}
+	h.Residue, err = xmltree.ParseCompact([]byte(resXML))
+	if err != nil {
+		return nil, fmt.Errorf("wire: residue: %w", err)
+	}
+	n, err := r.count("residue interval")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		id, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		lo, err := r.f64()
+		if err != nil {
+			return nil, err
+		}
+		hi, err := r.f64()
+		if err != nil {
+			return nil, err
+		}
+		node := h.Residue.NodeByID(int(id))
+		if node == nil {
+			return nil, fmt.Errorf("wire: residue interval for unknown node %d", id)
+		}
+		h.ResidueIntervals[node] = dsi.Interval{Lo: lo, Hi: hi}
+	}
+
+	nLabels, err := r.count("label")
+	if err != nil {
+		return nil, err
+	}
+	h.Table = &dsi.Table{ByTag: make(map[string][]dsi.Interval, nLabels)}
+	for i := 0; i < nLabels; i++ {
+		label, err := r.string()
+		if err != nil {
+			return nil, err
+		}
+		nIvs, err := r.count("table interval")
+		if err != nil {
+			return nil, err
+		}
+		ivs := make([]dsi.Interval, nIvs)
+		for j := range ivs {
+			if ivs[j].Lo, err = r.f64(); err != nil {
+				return nil, err
+			}
+			if ivs[j].Hi, err = r.f64(); err != nil {
+				return nil, err
+			}
+		}
+		h.Table.ByTag[label] = ivs
+	}
+
+	nReps, err := r.count("block rep")
+	if err != nil {
+		return nil, err
+	}
+	h.BlockReps = make([]dsi.Interval, nReps)
+	for i := range h.BlockReps {
+		if h.BlockReps[i].Lo, err = r.f64(); err != nil {
+			return nil, err
+		}
+		if h.BlockReps[i].Hi, err = r.f64(); err != nil {
+			return nil, err
+		}
+	}
+	nBlocks, err := r.count("block")
+	if err != nil {
+		return nil, err
+	}
+	h.Blocks = make([][]byte, nBlocks)
+	for i := range h.Blocks {
+		if h.Blocks[i], err = r.bytesN(); err != nil {
+			return nil, err
+		}
+	}
+
+	nEntries, err := r.count("index entry")
+	if err != nil {
+		return nil, err
+	}
+	h.IndexEntries = make([]btree.Entry, nEntries)
+	for i := range h.IndexEntries {
+		if h.IndexEntries[i].Key, err = r.u64(); err != nil {
+			return nil, err
+		}
+		bid, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		h.IndexEntries[i].BlockID = int(bid)
+	}
+	if r.r.Len() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes", r.r.Len())
+	}
+	return h, nil
+}
+
+// Predicate type tags for query encoding.
+const (
+	predExists byte = 1
+	predValue  byte = 2
+	predAnd    byte = 3
+	predOr     byte = 4
+	predNot    byte = 5
+	predPos    byte = 6
+)
+
+// MarshalQuery serializes a translated query.
+func MarshalQuery(q *Query) ([]byte, error) {
+	w := &writer{}
+	w.buf.Write(queryMagic)
+	if err := writeSteps(w, q.First); err != nil {
+		return nil, err
+	}
+	return w.buf.Bytes(), nil
+}
+
+func writeSteps(w *writer, first *QStep) error {
+	var steps []*QStep
+	for s := first; s != nil; s = s.Next {
+		steps = append(steps, s)
+	}
+	w.uvarint(uint64(len(steps)))
+	for _, s := range steps {
+		w.uvarint(uint64(s.Axis))
+		w.bool(s.Desc)
+		if s.Labels == nil {
+			w.bool(false)
+		} else {
+			w.bool(true)
+			w.uvarint(uint64(len(s.Labels)))
+			for _, l := range s.Labels {
+				w.string(l)
+			}
+		}
+		w.uvarint(uint64(len(s.Preds)))
+		for _, p := range s.Preds {
+			if err := writePred(w, p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePred(w *writer, p QPred) error {
+	switch v := p.(type) {
+	case *PredExists:
+		w.buf.WriteByte(predExists)
+		return writeSteps(w, v.Path)
+	case *PredValue:
+		w.buf.WriteByte(predValue)
+		if err := writeSteps(w, v.Path); err != nil {
+			return err
+		}
+		w.bool(v.Plain)
+		w.uvarint(uint64(v.Op))
+		w.string(v.Lit)
+		w.uvarint(uint64(len(v.Ranges)))
+		for _, rg := range v.Ranges {
+			w.u64(rg.Lo)
+			w.u64(rg.Hi)
+		}
+		return nil
+	case *PredAnd:
+		w.buf.WriteByte(predAnd)
+		if err := writePred(w, v.L); err != nil {
+			return err
+		}
+		return writePred(w, v.R)
+	case *PredOr:
+		w.buf.WriteByte(predOr)
+		if err := writePred(w, v.L); err != nil {
+			return err
+		}
+		return writePred(w, v.R)
+	case *PredNot:
+		w.buf.WriteByte(predNot)
+		return writePred(w, v.E)
+	case *PredPos:
+		w.buf.WriteByte(predPos)
+		w.uvarint(uint64(v.N))
+		return nil
+	default:
+		return fmt.Errorf("wire: unknown predicate %T", p)
+	}
+}
+
+// UnmarshalQuery reverses MarshalQuery.
+func UnmarshalQuery(data []byte) (*Query, error) {
+	r := &reader{r: bytes.NewReader(data)}
+	if err := expectMagic(r.r, queryMagic); err != nil {
+		return nil, err
+	}
+	first, err := readSteps(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.r.Len() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes", r.r.Len())
+	}
+	return &Query{First: first}, nil
+}
+
+func readSteps(r *reader) (*QStep, error) {
+	n, err := r.count("step")
+	if err != nil {
+		return nil, err
+	}
+	var first, last *QStep
+	for i := 0; i < n; i++ {
+		axis, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		desc, err := r.bool()
+		if err != nil {
+			return nil, err
+		}
+		st := &QStep{Axis: xpath.Axis(axis), Desc: desc}
+		hasLabels, err := r.bool()
+		if err != nil {
+			return nil, err
+		}
+		if hasLabels {
+			nl, err := r.count("label")
+			if err != nil {
+				return nil, err
+			}
+			st.Labels = make([]string, 0, nl)
+			for j := 0; j < nl; j++ {
+				l, err := r.string()
+				if err != nil {
+					return nil, err
+				}
+				st.Labels = append(st.Labels, l)
+			}
+		}
+		np, err := r.count("pred")
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < np; j++ {
+			p, err := readPred(r)
+			if err != nil {
+				return nil, err
+			}
+			st.Preds = append(st.Preds, p)
+		}
+		if first == nil {
+			first = st
+		} else {
+			last.Next = st
+		}
+		last = st
+	}
+	return first, nil
+}
+
+func readPred(r *reader) (QPred, error) {
+	kind, err := r.r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case predExists:
+		path, err := readSteps(r)
+		if err != nil {
+			return nil, err
+		}
+		return &PredExists{Path: path}, nil
+	case predValue:
+		path, err := readSteps(r)
+		if err != nil {
+			return nil, err
+		}
+		pv := &PredValue{Path: path}
+		if pv.Plain, err = r.bool(); err != nil {
+			return nil, err
+		}
+		op, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		pv.Op = xpath.Op(op)
+		if pv.Lit, err = r.string(); err != nil {
+			return nil, err
+		}
+		nr, err := r.count("range")
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < nr; j++ {
+			var rg opess.Range
+			if rg.Lo, err = r.u64(); err != nil {
+				return nil, err
+			}
+			if rg.Hi, err = r.u64(); err != nil {
+				return nil, err
+			}
+			pv.Ranges = append(pv.Ranges, rg)
+		}
+		return pv, nil
+	case predAnd, predOr:
+		l, err := readPred(r)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := readPred(r)
+		if err != nil {
+			return nil, err
+		}
+		if kind == predAnd {
+			return &PredAnd{L: l, R: rr}, nil
+		}
+		return &PredOr{L: l, R: rr}, nil
+	case predNot:
+		e, err := readPred(r)
+		if err != nil {
+			return nil, err
+		}
+		return &PredNot{E: e}, nil
+	case predPos:
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		return &PredPos{N: int(n)}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown predicate tag %d", kind)
+	}
+}
+
+// MarshalAnswer serializes an answer.
+func MarshalAnswer(a *Answer) ([]byte, error) {
+	w := &writer{}
+	w.buf.Write(answerMagic)
+	w.uvarint(uint64(len(a.Fragments)))
+	for _, f := range a.Fragments {
+		w.bytes(f)
+	}
+	w.uvarint(uint64(len(a.BlockIDs)))
+	for i, id := range a.BlockIDs {
+		w.uvarint(uint64(id))
+		w.bytes(a.Blocks[i])
+	}
+	return w.buf.Bytes(), nil
+}
+
+// UnmarshalAnswer reverses MarshalAnswer.
+func UnmarshalAnswer(data []byte) (*Answer, error) {
+	r := &reader{r: bytes.NewReader(data)}
+	if err := expectMagic(r.r, answerMagic); err != nil {
+		return nil, err
+	}
+	a := &Answer{}
+	nf, err := r.count("fragment")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nf; i++ {
+		f, err := r.bytesN()
+		if err != nil {
+			return nil, err
+		}
+		a.Fragments = append(a.Fragments, f)
+	}
+	nb, err := r.count("block")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nb; i++ {
+		id, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		blk, err := r.bytesN()
+		if err != nil {
+			return nil, err
+		}
+		a.BlockIDs = append(a.BlockIDs, int(id))
+		a.Blocks = append(a.Blocks, blk)
+	}
+	if r.r.Len() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes", r.r.Len())
+	}
+	return a, nil
+}

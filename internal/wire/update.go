@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/btree"
+)
+
+// Update is an owner-issued mutation to a hosted database — the
+// paper lists update support as future work (§8); this is the
+// extension this library ships. A leaf-value change re-encrypts the
+// affected blocks (fresh decoys, fresh nonces) and re-issues the
+// value-index entries of every touched attribute wholesale: OPESS
+// parameters depend on the attribute's exact frequency distribution,
+// so per-entry patching would leak which value changed, while a
+// whole-band replacement looks identical for every possible update.
+// Structure-preserving updates keep the DSI tables untouched.
+type Update struct {
+	// Blocks replaces the ciphertext of existing blocks, by ID.
+	Blocks []BlockUpdate
+	// DropBands removes every value-index entry whose key lies in
+	// the given attribute bands (the top byte of the OPESS code).
+	DropBands []uint8
+	// AddEntries are the replacement value-index entries.
+	AddEntries []btree.Entry
+}
+
+// BlockUpdate is one block replacement.
+type BlockUpdate struct {
+	ID         int
+	Ciphertext []byte
+}
+
+var updateMagic = []byte("SXU1")
+
+// MarshalUpdate serializes an update.
+func MarshalUpdate(u *Update) ([]byte, error) {
+	w := &writer{}
+	w.buf.Write(updateMagic)
+	w.uvarint(uint64(len(u.Blocks)))
+	for _, b := range u.Blocks {
+		w.uvarint(uint64(b.ID))
+		w.bytes(b.Ciphertext)
+	}
+	w.uvarint(uint64(len(u.DropBands)))
+	for _, b := range u.DropBands {
+		w.buf.WriteByte(b)
+	}
+	w.uvarint(uint64(len(u.AddEntries)))
+	for _, e := range u.AddEntries {
+		w.u64(e.Key)
+		w.uvarint(uint64(e.BlockID))
+	}
+	return w.buf.Bytes(), nil
+}
+
+// UnmarshalUpdate reverses MarshalUpdate.
+func UnmarshalUpdate(data []byte) (*Update, error) {
+	r := &reader{r: bytes.NewReader(data)}
+	if err := expectMagic(r.r, updateMagic); err != nil {
+		return nil, err
+	}
+	u := &Update{}
+	nb, err := r.count("block update")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nb; i++ {
+		id, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		ct, err := r.bytesN()
+		if err != nil {
+			return nil, err
+		}
+		u.Blocks = append(u.Blocks, BlockUpdate{ID: int(id), Ciphertext: ct})
+	}
+	ndb, err := r.count("drop band")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ndb; i++ {
+		b, err := r.r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		u.DropBands = append(u.DropBands, b)
+	}
+	ne, err := r.count("add entry")
+	if err != nil {
+		return nil, err
+	}
+	u.AddEntries = make([]btree.Entry, ne)
+	for i := range u.AddEntries {
+		if u.AddEntries[i].Key, err = r.u64(); err != nil {
+			return nil, err
+		}
+		bid, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		u.AddEntries[i].BlockID = int(bid)
+	}
+	if r.r.Len() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes", r.r.Len())
+	}
+	return u, nil
+}

@@ -1,0 +1,169 @@
+// Package wire defines the data that crosses the trust boundary of
+// Figure 1: the hosted database the client uploads (encrypted blocks
+// + metadata), the translated query Qs the client sends, and the
+// answer (encrypted blocks and plaintext fragments) the server
+// returns. Everything in this package is, by construction, visible
+// to the untrusted server; nothing here may reference client keys or
+// plaintext values of encrypted nodes.
+package wire
+
+import (
+	"repro/internal/btree"
+	"repro/internal/dsi"
+	"repro/internal/opess"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// PlaceholderTag is the element tag standing in for an encryption
+// block in the plaintext residue the server stores.
+const PlaceholderTag = "EncBlock"
+
+// DecoyTag marks the decoy element inside an encrypted block's
+// serialized plaintext (§4.1); it exists only under encryption and
+// is stripped by the client after decryption.
+const DecoyTag = "_decoy"
+
+// AttrWrapTag wraps an attribute node when an attribute itself is an
+// encryption block (the placeholder cannot be an attribute).
+const AttrWrapTag = "_attr"
+
+// BlockWrapTag is the envelope element around every encryption
+// block's plaintext serialization; it keeps the decoy a sibling of
+// the block content (the data model forbids mixed content) and is
+// removed by the client after decryption.
+const BlockWrapTag = "_blk"
+
+// HostedDB is everything the client uploads to the server.
+type HostedDB struct {
+	// Residue is the document with every encryption block replaced
+	// by an <EncBlock id="..."/> placeholder.
+	Residue *xmltree.Document
+	// ResidueIntervals gives the DSI interval of every element and
+	// attribute node of the residue (placeholders carry the interval
+	// of the block root they replace).
+	ResidueIntervals map[*xmltree.Node]dsi.Interval
+	// Table is the DSI index table (§5.1.1).
+	Table *dsi.Table
+	// BlockReps maps block ID -> representative interval.
+	BlockReps []dsi.Interval
+	// Blocks holds the AES-GCM ciphertext of each block by ID.
+	Blocks [][]byte
+	// IndexEntries are the OPESS value-index entries; the server
+	// bulk-loads them into its B-tree.
+	IndexEntries []btree.Entry
+}
+
+// ByteSize approximates the upload size: residue XML plus ciphertext
+// plus table and index entries at their serialized width. Used by
+// the experiments' size accounting (§7.4).
+func (h *HostedDB) ByteSize() int {
+	n := h.Residue.ByteSize()
+	for _, b := range h.Blocks {
+		n += len(b)
+	}
+	n += h.Table.NumEntries() * entryWidth
+	n += len(h.BlockReps) * repWidth
+	n += len(h.IndexEntries) * indexEntryWidth
+	return n
+}
+
+const (
+	entryWidth      = 16 + 16 // tag label + two float64s
+	repWidth        = 4 + 16  // id + interval
+	indexEntryWidth = 8 + 4   // key + block id
+)
+
+// Query is the translated query Qs: the same shape as the client's
+// XPath AST, but every node test carries the DSI table labels to
+// match (encrypted labels for encrypted tags) and every value
+// comparison is either a plaintext comparison (target stored in the
+// residue) or a set of OPESS ciphertext ranges (target encrypted).
+type Query struct {
+	First *QStep
+}
+
+// QStep is one location step of a translated path.
+type QStep struct {
+	Axis xpath.Axis
+	// Desc marks a step reached through "//".
+	Desc bool
+	// Labels are the DSI table labels this step's node test matches;
+	// empty means wildcard (any interval).
+	Labels []string
+	Preds  []QPred
+	Next   *QStep
+}
+
+// QPred is a translated predicate.
+type QPred interface{ qpred() }
+
+// PredExists requires the relative path to match structurally.
+type PredExists struct{ Path *QStep }
+
+// PredValue constrains the leaf value reached by Path. Exactly one
+// of the two halves is active: Plain compares residue values
+// directly; otherwise Ranges are looked up in the value index.
+type PredValue struct {
+	Path   *QStep
+	Plain  bool
+	Op     xpath.Op      // plaintext comparison
+	Lit    string        // plaintext literal
+	Ranges []opess.Range // ciphertext ranges (Fig. 7a)
+}
+
+// PredAnd / PredOr / PredNot combine predicates.
+type PredAnd struct{ L, R QPred }
+type PredOr struct{ L, R QPred }
+type PredNot struct{ E QPred }
+
+// PredPos filters by 1-based position among the step's matches, in
+// interval (document) order. Grouped intervals make this
+// approximate on the server; the client re-applies the original
+// query, so over-selection is corrected downstream.
+type PredPos struct{ N int }
+
+func (*PredExists) qpred() {}
+func (*PredValue) qpred()  {}
+func (*PredAnd) qpred()    {}
+func (*PredOr) qpred()     {}
+func (*PredNot) qpred()    {}
+func (*PredPos) qpred()    {}
+
+// Steps returns the main-path steps in order.
+func (q *Query) Steps() []*QStep {
+	var out []*QStep
+	for s := q.First; s != nil; s = s.Next {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Answer is the server's response: for every matched anchor (the
+// binding of the query's first step) either the plaintext residue
+// fragment plus the referenced blocks, or — when the anchor itself
+// is encrypted — just its containing block.
+type Answer struct {
+	// Fragments are serialized residue subtrees (with EncBlock
+	// placeholders still inside).
+	Fragments [][]byte
+	// BlockIDs lists every encryption block referenced by the
+	// fragments or matched directly, ascending, deduplicated.
+	BlockIDs []int
+	// Blocks carries the ciphertext of those blocks, parallel to
+	// BlockIDs.
+	Blocks [][]byte
+}
+
+// ByteSize is the number of bytes shipped back to the client; the
+// transmission-time accounting of §7.2 uses it.
+func (a *Answer) ByteSize() int {
+	n := 0
+	for _, f := range a.Fragments {
+		n += len(f)
+	}
+	for _, b := range a.Blocks {
+		n += len(b)
+	}
+	return n + 4*len(a.BlockIDs)
+}

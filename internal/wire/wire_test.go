@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/dsi"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+func TestQuerySteps(t *testing.T) {
+	s3 := &QStep{Axis: xpath.AxisChild}
+	s2 := &QStep{Axis: xpath.AxisChild, Next: s3}
+	s1 := &QStep{Axis: xpath.AxisChild, Next: s2}
+	q := &Query{First: s1}
+	steps := q.Steps()
+	if len(steps) != 3 || steps[0] != s1 || steps[2] != s3 {
+		t.Errorf("Steps = %v", steps)
+	}
+	if got := (&Query{}).Steps(); got != nil {
+		t.Errorf("empty query steps = %v", got)
+	}
+}
+
+func TestAnswerByteSize(t *testing.T) {
+	a := &Answer{
+		Fragments: [][]byte{[]byte("abc"), []byte("defg")},
+		BlockIDs:  []int{1, 2},
+		Blocks:    [][]byte{make([]byte, 10), make([]byte, 20)},
+	}
+	want := 3 + 4 + 10 + 20 + 8
+	if got := a.ByteSize(); got != want {
+		t.Errorf("ByteSize = %d, want %d", got, want)
+	}
+	if got := (&Answer{}).ByteSize(); got != 0 {
+		t.Errorf("empty answer size = %d", got)
+	}
+}
+
+func TestHostedDBByteSize(t *testing.T) {
+	doc, err := xmltree.ParseString("<a><b>1</b></a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := &HostedDB{
+		Residue:      doc,
+		Table:        &dsi.Table{ByTag: map[string][]dsi.Interval{"a": {{Lo: 0, Hi: 1}}}},
+		BlockReps:    []dsi.Interval{{Lo: 0.1, Hi: 0.2}},
+		Blocks:       [][]byte{make([]byte, 100)},
+		IndexEntries: []btree.Entry{{Key: 1, BlockID: 0}, {Key: 2, BlockID: 0}},
+	}
+	got := db.ByteSize()
+	want := doc.ByteSize() + 100 + 1*32 + 1*20 + 2*12
+	if got != want {
+		t.Errorf("ByteSize = %d, want %d", got, want)
+	}
+}
+
+func TestPredTypesImplementInterface(t *testing.T) {
+	preds := []QPred{
+		&PredExists{}, &PredValue{}, &PredAnd{}, &PredOr{}, &PredNot{}, &PredPos{},
+	}
+	if len(preds) != 6 {
+		t.Fatal("unexpected")
+	}
+}

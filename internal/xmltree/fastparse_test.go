@@ -1,0 +1,96 @@
+package xmltree
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseCompactMatchesParse(t *testing.T) {
+	docs := []string{
+		`<a/>`,
+		`<a>text</a>`,
+		`<a k="v"/>`,
+		`<a k="v" m="n"><b>1</b><c><d>2</d></c></a>`,
+		`<r><v>a&lt;b&amp;c&gt;d</v><w q="x&quot;y"/></r>`,
+		hospitalXML,
+	}
+	for _, in := range docs {
+		want, err := ParseString(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		got, err := ParseCompact([]byte(want.String()))
+		if err != nil {
+			t.Fatalf("ParseCompact(%q): %v", want.String(), err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("mismatch:\n got  %s\n want %s", got.String(), want.String())
+		}
+		if got.Size() != want.Size() {
+			t.Errorf("node counts differ: %d vs %d", got.Size(), want.Size())
+		}
+	}
+}
+
+func TestParseCompactErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"text only",
+		"<a>",
+		"<a></b>",
+		"</a>",
+		"<a/><b/>",
+		"<a b=c/>",
+		"<a b='single'/>",
+		`<a b="unterminated/>`,
+		"<a><b>x</b>mixed</a>",
+		"< a/>",
+		"<a",
+	}
+	for _, in := range bad {
+		if _, err := ParseCompact([]byte(in)); err == nil {
+			t.Errorf("ParseCompact(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseCompactSelfClosing(t *testing.T) {
+	d, err := ParseCompact([]byte(`<a><b/><c x="1"/></a>`))
+	if err != nil {
+		t.Fatalf("ParseCompact: %v", err)
+	}
+	if len(d.Root.ElementChildren()) != 2 {
+		t.Errorf("children = %d", len(d.Root.ElementChildren()))
+	}
+	if v, ok := d.Root.ElementChildren()[1].Attr("x"); !ok || v != "1" {
+		t.Errorf("attr = %q, %v", v, ok)
+	}
+}
+
+func TestParseCompactSkipsInterTagWhitespace(t *testing.T) {
+	d, err := ParseCompact([]byte("<a>\n  <b>1</b>\n  <c>2</c>\n</a>"))
+	if err != nil {
+		t.Fatalf("ParseCompact: %v", err)
+	}
+	if len(d.Root.ElementChildren()) != 2 {
+		t.Errorf("children = %d", len(d.Root.ElementChildren()))
+	}
+}
+
+// Property: ParseCompact inverts the compact serializer on random
+// generated trees, exactly like Parse does.
+func TestQuickParseCompactRoundTrip(t *testing.T) {
+	f := func(seed uint32) bool {
+		d := genDoc(seed)
+		s := d.String()
+		d2, err := ParseCompact([]byte(s))
+		if err != nil {
+			t.Logf("ParseCompact: %v\n%s", err, s)
+			return false
+		}
+		return d2.String() == s && d2.Size() == d.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,434 @@
+// Package xmltree implements the XML document model used throughout
+// the library: an in-memory ordered tree of element, attribute and
+// text nodes. Following the paper's data model (§4.1, footnote 1),
+// data values are attached only to leaf nodes and mixed content is
+// not supported.
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a node in the document tree.
+type Kind int
+
+const (
+	// Element is an interior or leaf XML element.
+	Element Kind = iota
+	// Attribute is a named attribute of an element. In the paper's
+	// leaf-value data model attributes behave exactly like leaf
+	// elements whose tag is prefixed with "@" (e.g. @coverage).
+	Attribute
+	// Text is a leaf text value. Text nodes have no tag.
+	Text
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Element:
+		return "element"
+	case Attribute:
+		return "attribute"
+	case Text:
+		return "text"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Node is a single node of an XML document tree.
+//
+// Elements carry a Tag and an ordered list of Children (which may
+// include Attribute nodes, kept before element children, and at most
+// one Text child when the element is a leaf). Attribute and Text
+// nodes carry a Value and never have children.
+type Node struct {
+	Kind  Kind
+	Tag   string // element tag or attribute name (without "@")
+	Value string // attribute or text value
+
+	Parent   *Node
+	Children []*Node
+
+	// ID is the node's position in document (preorder) order,
+	// assigned by Document.Renumber. It is stable until the tree is
+	// mutated.
+	ID int
+}
+
+// NewElement returns a parentless element node with the given tag.
+func NewElement(tag string) *Node { return &Node{Kind: Element, Tag: tag} }
+
+// NewAttribute returns an attribute node name="value".
+func NewAttribute(name, value string) *Node {
+	return &Node{Kind: Attribute, Tag: name, Value: value}
+}
+
+// NewText returns a text node with the given value.
+func NewText(value string) *Node { return &Node{Kind: Text, Value: value} }
+
+// AppendChild attaches c as the last child of n and returns c.
+// It panics if n cannot have children.
+func (n *Node) AppendChild(c *Node) *Node {
+	if n.Kind != Element {
+		panic(fmt.Sprintf("xmltree: cannot append child to %v node", n.Kind))
+	}
+	c.Parent = n
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// AppendValue appends a leaf element child <tag>value</tag> and
+// returns the new element.
+func (n *Node) AppendValue(tag, value string) *Node {
+	e := NewElement(tag)
+	e.AppendChild(NewText(value))
+	return n.AppendChild(e)
+}
+
+// RemoveChild detaches c from n. It reports whether c was a child.
+func (n *Node) RemoveChild(c *Node) bool {
+	for i, ch := range n.Children {
+		if ch == c {
+			n.Children = append(n.Children[:i], n.Children[i+1:]...)
+			c.Parent = nil
+			return true
+		}
+	}
+	return false
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, c := range n.Children {
+		if c.Kind == Attribute && c.Tag == name {
+			return c.Value, true
+		}
+	}
+	return "", false
+}
+
+// Attributes returns the attribute children of n in document order.
+func (n *Node) Attributes() []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == Attribute {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ElementChildren returns the element children of n in document order.
+func (n *Node) ElementChildren() []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == Element {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// IsLeaf reports whether n carries a data value in the paper's sense:
+// an attribute, a text node, or an element with no element children.
+func (n *Node) IsLeaf() bool {
+	switch n.Kind {
+	case Attribute, Text:
+		return true
+	default:
+		return len(n.ElementChildren()) == 0
+	}
+}
+
+// LeafValue returns the data value attached to n: the attribute or
+// text value, or the concatenated text children of a leaf element.
+func (n *Node) LeafValue() string {
+	switch n.Kind {
+	case Attribute, Text:
+		return n.Value
+	}
+	var sb strings.Builder
+	for _, c := range n.Children {
+		if c.Kind == Text {
+			sb.WriteString(c.Value)
+		}
+	}
+	return sb.String()
+}
+
+// SetLeafValue replaces the text content of a leaf element, or the
+// value of an attribute or text node.
+func (n *Node) SetLeafValue(v string) {
+	switch n.Kind {
+	case Attribute, Text:
+		n.Value = v
+		return
+	}
+	kept := n.Children[:0]
+	for _, c := range n.Children {
+		if c.Kind != Text {
+			kept = append(kept, c)
+		}
+	}
+	n.Children = kept
+	n.AppendChild(NewText(v))
+}
+
+// Size returns the number of nodes in the subtree rooted at n,
+// including n itself, attributes and text nodes. This is the block
+// size measure |b| of Definition 4.1.
+func (n *Node) Size() int {
+	size := 1
+	for _, c := range n.Children {
+		size += c.Size()
+	}
+	return size
+}
+
+// Depth returns the height of the subtree rooted at n, counting n as
+// level 1. Text and attribute nodes do not add a level.
+func (n *Node) Depth() int {
+	max := 0
+	for _, c := range n.Children {
+		if c.Kind != Element {
+			continue
+		}
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// Level returns the number of element ancestors of n plus one (the
+// document root is at level 1).
+func (n *Node) Level() int {
+	l := 1
+	for p := n.Parent; p != nil; p = p.Parent {
+		l++
+	}
+	return l
+}
+
+// Walk visits the subtree rooted at n in document (preorder) order.
+// If fn returns false the walk skips n's descendants.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Descendants returns all proper descendants of n in document order.
+func (n *Node) Descendants() []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		c.Walk(func(d *Node) bool {
+			out = append(out, d)
+			return true
+		})
+	}
+	return out
+}
+
+// Ancestors returns the chain of ancestors from n's parent to the root.
+func (n *Node) Ancestors() []*Node {
+	var out []*Node
+	for p := n.Parent; p != nil; p = p.Parent {
+		out = append(out, p)
+	}
+	return out
+}
+
+// HasAncestor reports whether a is a proper ancestor of n.
+func (n *Node) HasAncestor(a *Node) bool {
+	for p := n.Parent; p != nil; p = p.Parent {
+		if p == a {
+			return true
+		}
+	}
+	return false
+}
+
+// FollowingSiblings returns the siblings of n that come after it.
+func (n *Node) FollowingSiblings() []*Node {
+	if n.Parent == nil {
+		return nil
+	}
+	sib := n.Parent.Children
+	for i, c := range sib {
+		if c == n {
+			return sib[i+1:]
+		}
+	}
+	return nil
+}
+
+// PrecedingSiblings returns the siblings of n before it, nearest first.
+func (n *Node) PrecedingSiblings() []*Node {
+	if n.Parent == nil {
+		return nil
+	}
+	sib := n.Parent.Children
+	for i, c := range sib {
+		if c == n {
+			out := make([]*Node, 0, i)
+			for j := i - 1; j >= 0; j-- {
+				out = append(out, sib[j])
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the subtree rooted at n. The copy's
+// Parent is nil and node IDs are preserved.
+func (n *Node) Clone() *Node {
+	cp := &Node{Kind: n.Kind, Tag: n.Tag, Value: n.Value, ID: n.ID}
+	cp.Children = make([]*Node, 0, len(n.Children))
+	for _, c := range n.Children {
+		cc := c.Clone()
+		cc.Parent = cp
+		cp.Children = append(cp.Children, cc)
+	}
+	return cp
+}
+
+// Path returns the rooted tag path of n, e.g. "/hospital/patient/pname".
+// Attributes appear as "@name"; text nodes as "text()".
+func (n *Node) Path() string {
+	var parts []string
+	for cur := n; cur != nil; cur = cur.Parent {
+		switch cur.Kind {
+		case Attribute:
+			parts = append(parts, "@"+cur.Tag)
+		case Text:
+			parts = append(parts, "text()")
+		default:
+			parts = append(parts, cur.Tag)
+		}
+	}
+	var sb strings.Builder
+	for i := len(parts) - 1; i >= 0; i-- {
+		sb.WriteByte('/')
+		sb.WriteString(parts[i])
+	}
+	return sb.String()
+}
+
+// Document is an XML document: a root element plus derived state.
+type Document struct {
+	Root *Node
+
+	byID []*Node // document-order index, built by Renumber
+}
+
+// NewDocument wraps root in a Document and assigns document-order IDs.
+func NewDocument(root *Node) *Document {
+	d := &Document{Root: root}
+	d.Renumber()
+	return d
+}
+
+// Renumber reassigns preorder IDs after the tree has been mutated.
+func (d *Document) Renumber() {
+	d.byID = d.byID[:0]
+	if d.Root == nil {
+		return
+	}
+	d.Root.Walk(func(n *Node) bool {
+		n.ID = len(d.byID)
+		d.byID = append(d.byID, n)
+		return true
+	})
+}
+
+// NodeByID returns the node with the given preorder ID, or nil.
+func (d *Document) NodeByID(id int) *Node {
+	if id < 0 || id >= len(d.byID) {
+		return nil
+	}
+	return d.byID[id]
+}
+
+// Nodes returns every node of the document in document order.
+func (d *Document) Nodes() []*Node { return d.byID }
+
+// Size returns the number of nodes in the document.
+func (d *Document) Size() int { return len(d.byID) }
+
+// Depth returns the element depth of the document tree.
+func (d *Document) Depth() int {
+	if d.Root == nil {
+		return 0
+	}
+	return d.Root.Depth()
+}
+
+// Clone deep-copies the document.
+func (d *Document) Clone() *Document {
+	if d.Root == nil {
+		return &Document{}
+	}
+	return NewDocument(d.Root.Clone())
+}
+
+// TagFrequencies returns the number of occurrences of every element
+// and attribute tag in the document.
+func (d *Document) TagFrequencies() map[string]int {
+	freq := make(map[string]int)
+	for _, n := range d.byID {
+		switch n.Kind {
+		case Element:
+			freq[n.Tag]++
+		case Attribute:
+			freq["@"+n.Tag]++
+		}
+	}
+	return freq
+}
+
+// LeafValueFrequencies returns, for each leaf tag, the occurrence
+// frequency of each distinct data value under that tag. This is
+// exactly the attacker's background knowledge in the paper's
+// frequency-based attack model (§3.3).
+func (d *Document) LeafValueFrequencies() map[string]map[string]int {
+	out := make(map[string]map[string]int)
+	for _, n := range d.byID {
+		if n.Kind == Text || !n.IsLeaf() {
+			continue
+		}
+		tag := n.Tag
+		if n.Kind == Attribute {
+			tag = "@" + n.Tag
+		}
+		m := out[tag]
+		if m == nil {
+			m = make(map[string]int)
+			out[tag] = m
+		}
+		m[n.LeafValue()]++
+	}
+	return out
+}
+
+// SortedKeys returns the keys of m in ascending order; it is a small
+// helper shared by tests and the attack simulator.
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// DocumentOrderLess reports whether a precedes b in document order.
+// Both nodes must belong to a renumbered document.
+func DocumentOrderLess(a, b *Node) bool { return a.ID < b.ID }

@@ -1,0 +1,184 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ErrNoRoot is returned by Parse when the input contains no element.
+var ErrNoRoot = errors.New("xmltree: document has no root element")
+
+// Parse reads an XML document from r into a Document. Mixed content
+// is rejected (the paper's data model attaches values only to leaf
+// nodes); whitespace-only character data between elements is ignored.
+func Parse(r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	var root *Node
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			e := NewElement(t.Name.Local)
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				e.AppendChild(NewAttribute(a.Name.Local, a.Value))
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, errors.New("xmltree: multiple root elements")
+				}
+				root = e
+			} else {
+				stack[len(stack)-1].AppendChild(e)
+			}
+			stack = append(stack, e)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, errors.New("xmltree: unbalanced end element")
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			text := string(t)
+			if strings.TrimSpace(text) == "" {
+				continue
+			}
+			if len(stack) == 0 {
+				return nil, errors.New("xmltree: character data outside root")
+			}
+			cur := stack[len(stack)-1]
+			if len(cur.ElementChildren()) > 0 {
+				return nil, fmt.Errorf("xmltree: mixed content under <%s> is not supported", cur.Tag)
+			}
+			cur.AppendChild(NewText(strings.TrimSpace(text)))
+		case xml.Comment, xml.ProcInst, xml.Directive:
+			// Ignored: carry no data in the paper's model.
+		}
+	}
+	if root == nil {
+		return nil, ErrNoRoot
+	}
+	if len(stack) != 0 {
+		return nil, errors.New("xmltree: unclosed elements at EOF")
+	}
+	return NewDocument(root), nil
+}
+
+// ParseString parses an XML document held in a string.
+func ParseString(s string) (*Document, error) { return Parse(strings.NewReader(s)) }
+
+// MustParse parses s and panics on error; for tests and examples.
+func MustParse(s string) *Document {
+	d, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Serialize writes the document as XML to w. When indent is true the
+// output is pretty-printed with two-space indentation; otherwise it
+// is compact. The byte length of the compact form is the document
+// size measure |D| used by the size-based attack (§3.3).
+func (d *Document) Serialize(w io.Writer, indent bool) error {
+	if d.Root == nil {
+		return ErrNoRoot
+	}
+	bw := &errWriter{w: w}
+	writeNode(bw, d.Root, 0, indent)
+	if indent {
+		bw.WriteString("\n")
+	}
+	return bw.err
+}
+
+// String returns the compact XML serialization of the document.
+func (d *Document) String() string {
+	var sb strings.Builder
+	if err := d.Serialize(&sb, false); err != nil {
+		return ""
+	}
+	return sb.String()
+}
+
+// Pretty returns the indented XML serialization of the document.
+func (d *Document) Pretty() string {
+	var sb strings.Builder
+	if err := d.Serialize(&sb, true); err != nil {
+		return ""
+	}
+	return sb.String()
+}
+
+// ByteSize returns len(d.String()): the compact serialized size.
+func (d *Document) ByteSize() int { return len(d.String()) }
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) WriteString(s string) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = io.WriteString(ew.w, s)
+}
+
+func writeNode(w *errWriter, n *Node, depth int, indent bool) {
+	pad := ""
+	if indent {
+		pad = strings.Repeat("  ", depth)
+	}
+	switch n.Kind {
+	case Text:
+		w.WriteString(escapeText(n.Value))
+		return
+	case Attribute:
+		// Attributes are emitted by their parent element.
+		return
+	}
+	if indent && depth > 0 {
+		w.WriteString("\n")
+	}
+	w.WriteString(pad + "<" + n.Tag)
+	for _, a := range n.Attributes() {
+		w.WriteString(" " + a.Tag + `="` + escapeAttr(a.Value) + `"`)
+	}
+	elems := n.ElementChildren()
+	text := n.LeafValue()
+	if len(elems) == 0 && text == "" {
+		w.WriteString("/>")
+		return
+	}
+	w.WriteString(">")
+	if len(elems) == 0 {
+		w.WriteString(escapeText(text))
+		w.WriteString("</" + n.Tag + ">")
+		return
+	}
+	for _, c := range elems {
+		writeNode(w, c, depth+1, indent)
+	}
+	if indent {
+		w.WriteString("\n" + pad)
+	}
+	w.WriteString("</" + n.Tag + ">")
+}
+
+var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+var attrEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+
+func escapeText(s string) string { return textEscaper.Replace(s) }
+func escapeAttr(s string) string { return attrEscaper.Replace(s) }

@@ -1,0 +1,364 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const hospitalXML = `
+<hospital>
+  <patient>
+    <pname>Betty</pname>
+    <SSN>763895</SSN>
+    <insurance coverage="1000000">
+      <policy>34221</policy>
+    </insurance>
+    <treat>
+      <disease>diarrhea</disease>
+      <doctor>Smith</doctor>
+    </treat>
+    <age>35</age>
+  </patient>
+  <patient>
+    <pname>Matt</pname>
+    <SSN>276543</SSN>
+    <insurance coverage="10000">
+      <policy>26544</policy>
+    </insurance>
+    <treat>
+      <disease>leukemia</disease>
+      <doctor>Walker</doctor>
+    </treat>
+    <treat>
+      <disease>diarrhea</disease>
+      <doctor>Brown</doctor>
+    </treat>
+    <age>40</age>
+  </patient>
+</hospital>`
+
+func mustHospital(t *testing.T) *Document {
+	t.Helper()
+	d, err := ParseString(hospitalXML)
+	if err != nil {
+		t.Fatalf("parse hospital: %v", err)
+	}
+	return d
+}
+
+func TestParseBasicShape(t *testing.T) {
+	d := mustHospital(t)
+	if d.Root.Tag != "hospital" {
+		t.Fatalf("root tag = %q, want hospital", d.Root.Tag)
+	}
+	pats := d.Root.ElementChildren()
+	if len(pats) != 2 {
+		t.Fatalf("got %d patients, want 2", len(pats))
+	}
+	if got := pats[0].ElementChildren()[0].LeafValue(); got != "Betty" {
+		t.Errorf("first pname = %q, want Betty", got)
+	}
+	ins := pats[1].ElementChildren()[2]
+	if ins.Tag != "insurance" {
+		t.Fatalf("expected insurance, got %q", ins.Tag)
+	}
+	if v, ok := ins.Attr("coverage"); !ok || v != "10000" {
+		t.Errorf("coverage = %q/%v, want 10000/true", v, ok)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"two roots":     "<a/><b/>",
+		"mixed content": "<a>hello<b/>world</a>",
+		"unclosed":      "<a><b></a>",
+	}
+	for name, in := range cases {
+		if _, err := ParseString(in); err == nil {
+			t.Errorf("%s: expected parse error for %q", name, in)
+		}
+	}
+}
+
+func TestParseIgnoresCommentsAndPI(t *testing.T) {
+	d, err := ParseString(`<?xml version="1.0"?><!-- c --><a><!-- inner --><b>1</b></a>`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got := d.Root.ElementChildren()[0].LeafValue(); got != "1" {
+		t.Errorf("b value = %q, want 1", got)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	d := mustHospital(t)
+	s := d.String()
+	d2, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if d2.String() != s {
+		t.Errorf("round trip not stable:\n%s\nvs\n%s", s, d2.String())
+	}
+	if d2.Size() != d.Size() {
+		t.Errorf("size changed across round trip: %d vs %d", d2.Size(), d.Size())
+	}
+}
+
+func TestSerializeEscaping(t *testing.T) {
+	root := NewElement("r")
+	root.AppendValue("v", `a<b&c>d`)
+	e := root.AppendChild(NewElement("w"))
+	e.AppendChild(NewAttribute("q", `x"y<z`))
+	d := NewDocument(root)
+	out := d.String()
+	for _, bad := range []string{"a<b", `x"y<z"`} {
+		if strings.Contains(out, bad) {
+			t.Errorf("unescaped output %q contains %q", out, bad)
+		}
+	}
+	d2, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("reparse escaped: %v", err)
+	}
+	if got := d2.Root.ElementChildren()[0].LeafValue(); got != `a<b&c>d` {
+		t.Errorf("escaped text round trip = %q", got)
+	}
+	if got, _ := d2.Root.ElementChildren()[1].Attr("q"); got != `x"y<z` {
+		t.Errorf("escaped attr round trip = %q", got)
+	}
+}
+
+func TestRenumberPreorder(t *testing.T) {
+	d := mustHospital(t)
+	prev := -1
+	d.Root.Walk(func(n *Node) bool {
+		if n.ID != prev+1 {
+			t.Fatalf("node %s has ID %d, want %d", n.Path(), n.ID, prev+1)
+		}
+		prev = n.ID
+		if d.NodeByID(n.ID) != n {
+			t.Fatalf("NodeByID(%d) mismatch", n.ID)
+		}
+		return true
+	})
+	if d.Size() != prev+1 {
+		t.Errorf("Size() = %d, want %d", d.Size(), prev+1)
+	}
+}
+
+func TestLeafValueAndIsLeaf(t *testing.T) {
+	d := mustHospital(t)
+	var leaves, interior int
+	for _, n := range d.Nodes() {
+		if n.Kind == Text {
+			continue
+		}
+		if n.IsLeaf() {
+			leaves++
+			if n.LeafValue() == "" {
+				t.Errorf("leaf %s has empty value", n.Path())
+			}
+		} else {
+			interior++
+		}
+	}
+	// 2 pname + 2 SSN + 2 policy + 2 coverage + 3 disease + 3 doctor + 2 age = 16 leaves.
+	if leaves != 16 {
+		t.Errorf("leaves = %d, want 16", leaves)
+	}
+	// hospital + 2 patient + 2 insurance + 3 treat = 8 interior.
+	if interior != 8 {
+		t.Errorf("interior = %d, want 8", interior)
+	}
+}
+
+func TestSetLeafValue(t *testing.T) {
+	d := mustHospital(t)
+	n := d.Root.ElementChildren()[0].ElementChildren()[0]
+	n.SetLeafValue("Alice")
+	if got := n.LeafValue(); got != "Alice" {
+		t.Errorf("after SetLeafValue got %q", got)
+	}
+	if len(n.Children) != 1 {
+		t.Errorf("leaf has %d children after SetLeafValue, want 1", len(n.Children))
+	}
+}
+
+func TestAxesHelpers(t *testing.T) {
+	d := mustHospital(t)
+	p2 := d.Root.ElementChildren()[1]
+	treats := []*Node{}
+	for _, c := range p2.ElementChildren() {
+		if c.Tag == "treat" {
+			treats = append(treats, c)
+		}
+	}
+	if len(treats) != 2 {
+		t.Fatalf("patient 2 has %d treats, want 2", len(treats))
+	}
+	fs := treats[0].FollowingSiblings()
+	found := false
+	for _, s := range fs {
+		if s == treats[1] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("second treat not in following siblings of first")
+	}
+	ps := treats[1].PrecedingSiblings()
+	if len(ps) == 0 || ps[0].Tag != "treat" {
+		t.Errorf("nearest preceding sibling of second treat = %v", ps)
+	}
+	if !treats[0].HasAncestor(d.Root) {
+		t.Errorf("treat should have root as ancestor")
+	}
+	if treats[0].HasAncestor(treats[1]) {
+		t.Errorf("sibling is not an ancestor")
+	}
+	if got := len(treats[0].Ancestors()); got != 2 {
+		t.Errorf("treat has %d ancestors, want 2", got)
+	}
+}
+
+func TestDepthAndLevel(t *testing.T) {
+	d := mustHospital(t)
+	if got := d.Depth(); got != 4 {
+		t.Errorf("depth = %d, want 4 (hospital/patient/treat/disease)", got)
+	}
+	if got := d.Root.Level(); got != 1 {
+		t.Errorf("root level = %d, want 1", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := mustHospital(t)
+	c := d.Clone()
+	if c.String() != d.String() {
+		t.Fatalf("clone serialization differs")
+	}
+	c.Root.ElementChildren()[0].ElementChildren()[0].SetLeafValue("X")
+	if c.String() == d.String() {
+		t.Errorf("mutating clone affected original")
+	}
+}
+
+func TestRemoveChild(t *testing.T) {
+	d := mustHospital(t)
+	p1 := d.Root.ElementChildren()[0]
+	age := p1.ElementChildren()[4]
+	if !p1.RemoveChild(age) {
+		t.Fatalf("RemoveChild returned false")
+	}
+	if age.Parent != nil {
+		t.Errorf("removed child still has parent")
+	}
+	if p1.RemoveChild(age) {
+		t.Errorf("second RemoveChild should return false")
+	}
+}
+
+func TestTagFrequencies(t *testing.T) {
+	d := mustHospital(t)
+	f := d.TagFrequencies()
+	want := map[string]int{
+		"hospital": 1, "patient": 2, "pname": 2, "SSN": 2,
+		"insurance": 2, "@coverage": 2, "policy": 2,
+		"treat": 3, "disease": 3, "doctor": 3, "age": 2,
+	}
+	for tag, n := range want {
+		if f[tag] != n {
+			t.Errorf("freq[%s] = %d, want %d", tag, f[tag], n)
+		}
+	}
+}
+
+func TestLeafValueFrequencies(t *testing.T) {
+	d := mustHospital(t)
+	f := d.LeafValueFrequencies()
+	if f["disease"]["diarrhea"] != 2 {
+		t.Errorf("disease=diarrhea frequency = %d, want 2", f["disease"]["diarrhea"])
+	}
+	if f["disease"]["leukemia"] != 1 {
+		t.Errorf("disease=leukemia frequency = %d, want 1", f["disease"]["leukemia"])
+	}
+	if f["@coverage"]["10000"] != 1 {
+		t.Errorf("@coverage=10000 frequency = %d, want 1", f["@coverage"]["10000"])
+	}
+}
+
+func TestPath(t *testing.T) {
+	d := mustHospital(t)
+	dis := d.Root.ElementChildren()[0].ElementChildren()[3].ElementChildren()[0]
+	if got := dis.Path(); got != "/hospital/patient/treat/disease" {
+		t.Errorf("Path = %q", got)
+	}
+	cov := d.Root.ElementChildren()[0].ElementChildren()[2].Attributes()[0]
+	if got := cov.Path(); got != "/hospital/patient/insurance/@coverage" {
+		t.Errorf("attr Path = %q", got)
+	}
+}
+
+// TestSubtreeSizeAdditive checks that Size is consistent: the size of
+// a node is one plus the sum of its children's sizes, document-wide.
+func TestSubtreeSizeAdditive(t *testing.T) {
+	d := mustHospital(t)
+	for _, n := range d.Nodes() {
+		sum := 1
+		for _, c := range n.Children {
+			sum += c.Size()
+		}
+		if n.Size() != sum {
+			t.Errorf("Size not additive at %s", n.Path())
+		}
+	}
+}
+
+// Property: any generated tree serializes and reparses to an
+// identical compact serialization and equal node count.
+func TestQuickSerializeRoundTrip(t *testing.T) {
+	f := func(seed uint32) bool {
+		d := genDoc(seed)
+		s := d.String()
+		d2, err := ParseString(s)
+		if err != nil {
+			t.Logf("reparse error: %v\n%s", err, s)
+			return false
+		}
+		return d2.String() == s && d2.Size() == d.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// genDoc builds a small pseudo-random tree from a seed without
+// math/rand, so the property test is fully deterministic per seed.
+func genDoc(seed uint32) *Document {
+	s := seed
+	next := func(n uint32) uint32 {
+		s = s*1664525 + 1013904223
+		return (s >> 16) % n
+	}
+	tags := []string{"a", "b", "c", "item", "record"}
+	var build func(depth int) *Node
+	build = func(depth int) *Node {
+		e := NewElement(tags[next(uint32(len(tags)))])
+		if next(3) == 0 {
+			e.AppendChild(NewAttribute("k", string(rune('a'+next(26)))))
+		}
+		if depth >= 3 || next(4) == 0 {
+			e.AppendChild(NewText(string(rune('0' + next(10)))))
+			return e
+		}
+		n := int(next(3)) + 1
+		for i := 0; i < n; i++ {
+			e.AppendChild(build(depth + 1))
+		}
+		return e
+	}
+	return NewDocument(build(0))
+}

@@ -1,0 +1,211 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokSlash
+	tokDSlash // //
+	tokAt
+	tokStar
+	tokLBracket
+	tokRBracket
+	tokLParen
+	tokRParen
+	tokDot
+	tokDotDot
+	tokAxis // name followed by ::
+	tokName
+	tokNumber
+	tokString
+	tokOp  // = != < <= > >=
+	tokAnd // keyword and
+	tokOr  // keyword or
+	tokNot // keyword not
+	tokComma
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	return fmt.Sprintf("%q@%d", t.text, t.pos)
+}
+
+type lexer struct {
+	in   string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes an XPath expression. It returns a descriptive error
+// for any character that cannot start a token.
+func lex(in string) ([]token, error) {
+	l := &lexer{in: in}
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '/':
+			if l.peekAt(1) == '/' {
+				l.emit(tokDSlash, "//", 2)
+			} else {
+				l.emit(tokSlash, "/", 1)
+			}
+		case c == '@':
+			l.emit(tokAt, "@", 1)
+		case c == '*':
+			l.emit(tokStar, "*", 1)
+		case c == '[':
+			l.emit(tokLBracket, "[", 1)
+		case c == ']':
+			l.emit(tokRBracket, "]", 1)
+		case c == '(':
+			l.emit(tokLParen, "(", 1)
+		case c == ')':
+			l.emit(tokRParen, ")", 1)
+		case c == ',':
+			l.emit(tokComma, ",", 1)
+		case c == '.':
+			if l.peekAt(1) == '.' {
+				l.emit(tokDotDot, "..", 2)
+			} else if isDigit(l.peekAt(1)) {
+				if err := l.lexNumber(); err != nil {
+					return nil, err
+				}
+			} else {
+				l.emit(tokDot, ".", 1)
+			}
+		case c == '=':
+			l.emit(tokOp, "=", 1)
+		case c == '!':
+			if l.peekAt(1) != '=' {
+				return nil, fmt.Errorf("xpath: lone '!' at %d in %q", l.pos, in)
+			}
+			l.emit(tokOp, "!=", 2)
+		case c == '<':
+			if l.peekAt(1) == '=' {
+				l.emit(tokOp, "<=", 2)
+			} else {
+				l.emit(tokOp, "<", 1)
+			}
+		case c == '>':
+			if l.peekAt(1) == '=' {
+				l.emit(tokOp, ">=", 2)
+			} else {
+				l.emit(tokOp, ">", 1)
+			}
+		case c == '\'' || c == '"':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		case isDigit(c) || (c == '-' && isDigit(l.peekAt(1))):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case isNameStart(rune(c)):
+			l.lexName()
+		default:
+			return nil, fmt.Errorf("xpath: unexpected character %q at %d in %q", c, l.pos, in)
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokenKind, text string, width int) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: l.pos})
+	l.pos += width
+}
+
+func (l *lexer) peekAt(d int) byte {
+	if l.pos+d >= len(l.in) {
+		return 0
+	}
+	return l.in[l.pos+d]
+}
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		if c == quote {
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("xpath: unterminated string starting at %d in %q", start, l.in)
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	if l.in[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.in) && (isDigit(l.in[l.pos]) || l.in[l.pos] == '.') {
+		l.pos++
+	}
+	text := l.in[start:l.pos]
+	if _, err := strconv.ParseFloat(text, 64); err != nil {
+		return fmt.Errorf("xpath: bad number %q at %d", text, start)
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: text, pos: start})
+	return nil
+}
+
+func (l *lexer) lexName() {
+	start := l.pos
+	for l.pos < len(l.in) && isNameChar(rune(l.in[l.pos])) {
+		l.pos++
+	}
+	text := l.in[start:l.pos]
+	// Axis name? (name followed by "::")
+	if l.pos+1 < len(l.in) && l.in[l.pos] == ':' && l.in[l.pos+1] == ':' {
+		l.pos += 2
+		l.toks = append(l.toks, token{kind: tokAxis, text: text, pos: start})
+		return
+	}
+	kind := tokName
+	switch text {
+	case "and":
+		kind = tokAnd
+	case "or":
+		kind = tokOr
+	case "not":
+		kind = tokNot
+	}
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: start})
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNameChar(r rune) bool {
+	return r == '_' || r == '-' || r == '#' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// isNumber reports whether s parses as a float; used to decide
+// between numeric and lexicographic comparison semantics.
+func isNumber(s string) bool {
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}

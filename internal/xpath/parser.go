@@ -1,0 +1,312 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse compiles an XPath expression into a Path AST.
+//
+// Supported grammar (the paper's query language):
+//
+//	path      := ('/' | '//')? step (('/' | '//') step)*
+//	          |  '.' '//' step ...            (relative descendant)
+//	step      := ('@' | axis '::')? nodetest predicate*
+//	axis      := child | descendant | descendant-or-self | attribute
+//	          |  self | parent | following-sibling | preceding-sibling
+//	nodetest  := NAME | '*' | 'text' '(' ')'
+//	predicate := '[' orExpr ']'
+//	orExpr    := andExpr ('or' andExpr)*
+//	andExpr   := unary ('and' unary)*
+//	unary     := 'not' '(' orExpr ')' | comparison | NUMBER
+//	comparison:= relpath (OP literal)? | literal OP relpath
+func Parse(input string) (*Path, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, input: input}
+	path, err := p.parsePath(true)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errorf("trailing input %s", p.cur())
+	}
+	return path, nil
+}
+
+// MustParse parses input and panics on error; for tests and examples.
+func MustParse(input string) *Path {
+	p, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks  []token
+	pos   int
+	input string
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) accept(k tokenKind) bool {
+	if p.cur().kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("xpath: parse %q: %s", p.input, fmt.Sprintf(format, args...))
+}
+
+// parsePath parses an absolute or relative location path. top marks
+// the outermost call (a bare "." is only meaningful in predicates).
+func (p *parser) parsePath(top bool) (*Path, error) {
+	path := &Path{}
+	switch p.cur().kind {
+	case tokSlash:
+		p.next()
+		path.Absolute = true
+		if err := p.parseStepInto(path, false); err != nil {
+			return nil, err
+		}
+	case tokDSlash:
+		p.next()
+		path.Absolute = top // inside predicates "//x" is relative to context
+		if err := p.parseStepInto(path, true); err != nil {
+			return nil, err
+		}
+	case tokDot:
+		p.next()
+		// "." alone selects the context node; "./x" or ".//x" continue.
+		path.Steps = append(path.Steps, Step{Axis: AxisSelf, Test: NodeTest{Wildcard: true}})
+		path.Desc = append(path.Desc, false)
+	default:
+		if err := p.parseStepInto(path, false); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		switch p.cur().kind {
+		case tokSlash:
+			p.next()
+			if err := p.parseStepInto(path, false); err != nil {
+				return nil, err
+			}
+		case tokDSlash:
+			p.next()
+			if err := p.parseStepInto(path, true); err != nil {
+				return nil, err
+			}
+		default:
+			return path, nil
+		}
+	}
+}
+
+func (p *parser) parseStepInto(path *Path, desc bool) error {
+	st, err := p.parseStep()
+	if err != nil {
+		return err
+	}
+	path.Steps = append(path.Steps, st)
+	path.Desc = append(path.Desc, desc)
+	return nil
+}
+
+func (p *parser) parseStep() (Step, error) {
+	st := Step{Axis: AxisChild}
+	switch p.cur().kind {
+	case tokAt:
+		p.next()
+		st.Axis = AxisAttribute
+	case tokAxis:
+		name := p.next().text
+		ax, ok := axisByName(name)
+		if !ok {
+			return st, p.errorf("unknown axis %q", name)
+		}
+		st.Axis = ax
+	case tokDotDot:
+		p.next()
+		st.Axis = AxisParent
+		st.Test = NodeTest{Wildcard: true}
+		return p.parsePreds(st)
+	}
+	switch t := p.cur(); t.kind {
+	case tokStar:
+		p.next()
+		st.Test = NodeTest{Wildcard: true}
+	case tokName:
+		p.next()
+		if t.text == "text" && p.cur().kind == tokLParen {
+			p.next()
+			if !p.accept(tokRParen) {
+				return st, p.errorf("expected ')' after text(")
+			}
+			st.Test = NodeTest{Text: true}
+		} else {
+			st.Test = NodeTest{Name: t.text}
+		}
+	default:
+		return st, p.errorf("expected node test, got %s", t)
+	}
+	return p.parsePreds(st)
+}
+
+func (p *parser) parsePreds(st Step) (Step, error) {
+	for p.accept(tokLBracket) {
+		e, err := p.parseOr()
+		if err != nil {
+			return st, err
+		}
+		if !p.accept(tokRBracket) {
+			return st, p.errorf("expected ']' at %s", p.cur())
+		}
+		st.Preds = append(st.Preds, e)
+	}
+	return st, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokOr) {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &OrExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokAnd) {
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &AndExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch t := p.cur(); t.kind {
+	case tokNot:
+		p.next()
+		if !p.accept(tokLParen) {
+			return nil, p.errorf("expected '(' after not")
+		}
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(tokRParen) {
+			return nil, p.errorf("expected ')' closing not(")
+		}
+		return &NotExpr{E: inner}, nil
+	case tokLParen:
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(tokRParen) {
+			return nil, p.errorf("expected ')' at %s", p.cur())
+		}
+		return inner, nil
+	case tokNumber:
+		// Could be a positional predicate [2] or "5 < path".
+		p.next()
+		if p.cur().kind == tokOp {
+			op, err := parseOp(p.next().text)
+			if err != nil {
+				return nil, err
+			}
+			rp, err := p.parsePath(false)
+			if err != nil {
+				return nil, err
+			}
+			return &CmpExpr{Path: rp, Op: op.Flip(), Literal: t.text}, nil
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 1 {
+			return nil, p.errorf("positional predicate must be a positive integer, got %q", t.text)
+		}
+		return &PosExpr{N: n}, nil
+	case tokString:
+		p.next()
+		if p.cur().kind != tokOp {
+			return nil, p.errorf("string literal %q must be compared", t.text)
+		}
+		op, err := parseOp(p.next().text)
+		if err != nil {
+			return nil, err
+		}
+		rp, err := p.parsePath(false)
+		if err != nil {
+			return nil, err
+		}
+		return &CmpExpr{Path: rp, Op: op.Flip(), Literal: t.text}, nil
+	default:
+		rp, err := p.parsePath(false)
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokOp {
+			return &ExistsExpr{Path: rp}, nil
+		}
+		op, err := parseOp(p.next().text)
+		if err != nil {
+			return nil, err
+		}
+		lit := p.cur()
+		if lit.kind != tokString && lit.kind != tokNumber && lit.kind != tokName {
+			return nil, p.errorf("expected literal after %s, got %s", op, lit)
+		}
+		p.next()
+		return &CmpExpr{Path: rp, Op: op, Literal: lit.text}, nil
+	}
+}
+
+func parseOp(text string) (Op, error) {
+	switch text {
+	case "=":
+		return OpEq, nil
+	case "!=":
+		return OpNe, nil
+	case "<":
+		return OpLt, nil
+	case "<=":
+		return OpLe, nil
+	case ">":
+		return OpGt, nil
+	case ">=":
+		return OpGe, nil
+	default:
+		return 0, fmt.Errorf("xpath: unknown operator %q", text)
+	}
+}
+
+func axisByName(name string) (Axis, bool) {
+	for ax, n := range axisNames {
+		if n == name {
+			return ax, true
+		}
+	}
+	return 0, false
+}

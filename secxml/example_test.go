@@ -1,0 +1,118 @@
+package secxml_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/secxml"
+)
+
+const exampleXML = `
+<hospital>
+  <patient><pname>Betty</pname><SSN>763895</SSN>
+    <insurance coverage="1000000"><policy>34221</policy></insurance>
+    <treat><disease>diarrhea</disease><doctor>Smith</doctor></treat>
+    <age>35</age></patient>
+  <patient><pname>Matt</pname><SSN>276543</SSN>
+    <insurance coverage="10000"><policy>26544</policy></insurance>
+    <treat><disease>leukemia</disease><doctor>Walker</doctor></treat>
+    <age>40</age></patient>
+</hospital>`
+
+func mustHost() *secxml.Database {
+	doc, err := secxml.ParseDocument(strings.NewReader(exampleXML))
+	if err != nil {
+		panic(err)
+	}
+	db, err := secxml.Host(doc, []string{
+		"//insurance",
+		"//patient:(/pname, /SSN)",
+		"//patient:(/pname, //disease)",
+	}, secxml.Options{MasterKey: []byte("example-secret")})
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+func ExampleHost() {
+	doc, _ := secxml.ParseDocument(strings.NewReader(exampleXML))
+	db, err := secxml.Host(doc, []string{
+		"//patient:(/pname, //disease)",
+	}, secxml.Options{
+		MasterKey: []byte("owner-secret"),
+		Scheme:    secxml.SchemeOptimal,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("scheme:", db.Stats().Scheme)
+	// Output: scheme: opt
+}
+
+func ExampleDatabase_Query() {
+	db := mustHost()
+	res, err := db.Query("//patient[.//disease='diarrhea']/pname")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Values())
+	// Output: [Betty]
+}
+
+func ExampleDatabase_Query_rangePredicate() {
+	db := mustHost()
+	res, err := db.Query("//patient[.//insurance//@coverage>=100000]/age")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Values())
+	// Output: [35]
+}
+
+func ExampleDatabase_Min() {
+	db := mustHost()
+	min, _, err := db.Min("//insurance/policy")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("MIN(policy) =", min)
+	// Output: MIN(policy) = 26544
+}
+
+func ExampleDatabase_Update() {
+	db := mustHost()
+	// policy numbers live inside the always-encrypted insurance
+	// subtrees; the update re-encrypts Matt's block and re-issues the
+	// policy attribute's index band.
+	n, err := db.Update("//patient[pname='Matt']/insurance/policy", "99999")
+	if err != nil {
+		panic(err)
+	}
+	res, _ := db.Query("//patient[.//policy=99999]/pname")
+	fmt.Println(n, res.Values())
+	// Output: 1 [Matt]
+}
+
+func ExampleDatabase_ServerView() {
+	db := mustHost()
+	view := db.ServerView()
+	leaked := false
+	// The insurance subtrees are protected by a node-type constraint:
+	// neither their tags nor their values may appear server-side.
+	for _, secret := range []string{"insurance", "policy", "34221", "1000000"} {
+		if strings.Contains(view.ResidueXML, secret) {
+			leaked = true
+		}
+	}
+	fmt.Println("protected data visible to server:", leaked)
+	// Output: protected data visible to server: false
+}
+
+func ExampleValidate() {
+	fmt.Println(secxml.Validate("//patient[age>35]/pname") == nil)
+	fmt.Println(secxml.Validate("//patient[") == nil)
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,275 @@
+package secxml
+
+import (
+	"net/http/httptest"
+
+	"reflect"
+	"repro/internal/remote"
+	"sort"
+	"strings"
+	"testing"
+)
+
+const hospitalXML = `
+<hospital>
+  <patient>
+    <pname>Betty</pname>
+    <SSN>763895</SSN>
+    <insurance coverage="1000000"><policy>34221</policy></insurance>
+    <treat><disease>diarrhea</disease><doctor>Smith</doctor></treat>
+    <age>35</age>
+  </patient>
+  <patient>
+    <pname>Matt</pname>
+    <SSN>276543</SSN>
+    <insurance coverage="10000"><policy>26544</policy></insurance>
+    <treat><disease>leukemia</disease><doctor>Walker</doctor></treat>
+    <treat><disease>diarrhea</disease><doctor>Brown</doctor></treat>
+    <age>40</age>
+  </patient>
+</hospital>`
+
+var constraints = []string{
+	"//insurance",
+	"//patient:(/pname, /SSN)",
+	"//patient:(/pname, //disease)",
+	"//treat:(/disease, /doctor)",
+}
+
+func open(t *testing.T) *Document {
+	t.Helper()
+	doc, err := ParseDocument(strings.NewReader(hospitalXML))
+	if err != nil {
+		t.Fatalf("ParseDocument: %v", err)
+	}
+	return doc
+}
+
+func host(t *testing.T, schemeName string) *Database {
+	t.Helper()
+	db, err := Host(open(t), constraints, Options{
+		MasterKey: []byte("api-test"),
+		Scheme:    schemeName,
+	})
+	if err != nil {
+		t.Fatalf("Host: %v", err)
+	}
+	return db
+}
+
+func TestParseDocumentBasics(t *testing.T) {
+	doc := open(t)
+	if doc.NumNodes() == 0 || doc.Depth() != 4 || doc.ByteSize() == 0 {
+		t.Errorf("doc stats: nodes=%d depth=%d bytes=%d", doc.NumNodes(), doc.Depth(), doc.ByteSize())
+	}
+	if _, err := ParseDocument(strings.NewReader("not xml <<")); err == nil {
+		t.Errorf("bad XML accepted")
+	}
+}
+
+func TestQueryMatchesPlaintext(t *testing.T) {
+	doc := open(t)
+	db := host(t, SchemeOptimal)
+	for _, q := range []string{
+		"//patient/pname",
+		"//patient[.//disease='diarrhea']/pname",
+		"//patient[age>36]/SSN",
+		"//insurance/@coverage",
+	} {
+		want, err := doc.Evaluate(q)
+		if err != nil {
+			t.Fatalf("Evaluate(%s): %v", q, err)
+		}
+		res, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("Query(%s): %v", q, err)
+		}
+		got := res.XML()
+		sort.Strings(got)
+		sort.Strings(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("query %s: got %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestValuesAndCount(t *testing.T) {
+	db := host(t, SchemeOptimal)
+	res, err := db.Query("//patient[.//disease='diarrhea']/pname")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.Count() != 2 {
+		t.Fatalf("Count = %d", res.Count())
+	}
+	vals := res.Values()
+	sort.Strings(vals)
+	if vals[0] != "Betty" || vals[1] != "Matt" {
+		t.Errorf("Values = %v", vals)
+	}
+}
+
+func TestNaiveQueryAgrees(t *testing.T) {
+	db := host(t, SchemeOptimal)
+	a, err := db.Query("//doctor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.NaiveQuery("//doctor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, gb := a.XML(), b.XML()
+	sort.Strings(ga)
+	sort.Strings(gb)
+	if !reflect.DeepEqual(ga, gb) {
+		t.Errorf("naive disagrees: %v vs %v", ga, gb)
+	}
+	if b.Timings.AnswerBytes <= a.Timings.AnswerBytes {
+		t.Errorf("naive should ship more: %d vs %d", b.Timings.AnswerBytes, a.Timings.AnswerBytes)
+	}
+}
+
+func TestStats(t *testing.T) {
+	db := host(t, SchemeOptimal)
+	st := db.Stats()
+	if st.Scheme != "opt" {
+		t.Errorf("scheme = %s", st.Scheme)
+	}
+	if st.NumBlocks == 0 || st.SchemeSize == 0 || st.HostedBytes == 0 ||
+		st.IndexEntries == 0 || st.DSITableEntries == 0 {
+		t.Errorf("stats not populated: %+v", st)
+	}
+	if len(st.CoverTags) != 2 {
+		t.Errorf("cover tags = %v", st.CoverTags)
+	}
+}
+
+func TestDefaultSchemeIsOptimal(t *testing.T) {
+	db, err := Host(open(t), constraints, Options{MasterKey: []byte("k")})
+	if err != nil {
+		t.Fatalf("Host: %v", err)
+	}
+	if db.Stats().Scheme != "opt" {
+		t.Errorf("default scheme = %s", db.Stats().Scheme)
+	}
+}
+
+func TestHostErrors(t *testing.T) {
+	if _, err := Host(open(t), constraints, Options{}); err == nil {
+		t.Errorf("missing master key accepted")
+	}
+	if _, err := Host(open(t), []string{"//a:(/b"}, Options{MasterKey: []byte("k")}); err == nil {
+		t.Errorf("bad constraint accepted")
+	}
+	if _, err := Host(open(t), constraints, Options{MasterKey: []byte("k"), Scheme: "bogus"}); err == nil {
+		t.Errorf("bad scheme accepted")
+	}
+}
+
+func TestValidateHelpers(t *testing.T) {
+	if err := Validate("//patient[age>35]/pname"); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if err := Validate("//patient["); err == nil {
+		t.Errorf("bad query validated")
+	}
+	if err := ValidateConstraint("//patient:(/pname, /SSN)"); err != nil {
+		t.Errorf("ValidateConstraint: %v", err)
+	}
+	if err := ValidateConstraint("//patient:(/pname"); err == nil {
+		t.Errorf("bad constraint validated")
+	}
+}
+
+func TestTimingsTotal(t *testing.T) {
+	db := host(t, SchemeTop)
+	res, err := db.Query("//pname")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := res.Timings
+	if tm.Total() != tm.ClientTranslate+tm.ServerExec+tm.Transmit+tm.ClientDecrypt+tm.ClientPost {
+		t.Errorf("Total inconsistent")
+	}
+	if tm.BlocksShipped != 1 {
+		t.Errorf("top scheme blocks = %d", tm.BlocksShipped)
+	}
+}
+
+func TestUpdateAndAggregates(t *testing.T) {
+	db := host(t, SchemeOptimal)
+	// MIN over the encrypted policy numbers.
+	mn, tm, err := db.Min("//insurance/policy")
+	if err != nil {
+		t.Fatalf("Min: %v", err)
+	}
+	if mn != "26544" {
+		t.Errorf("Min(policy) = %q", mn)
+	}
+	if tm.BlocksShipped != 1 {
+		t.Errorf("Min shipped %d blocks", tm.BlocksShipped)
+	}
+	mx, _, err := db.Max("//insurance/policy")
+	if err != nil || mx != "34221" {
+		t.Errorf("Max(policy) = %q, %v", mx, err)
+	}
+	// Update an encrypted disease and re-query.
+	n, err := db.Update("//patient[pname='Matt']//disease", "cholera")
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("updated %d values, want 2 (Matt has two diseases)", n)
+	}
+	res, err := db.Query("//patient[.//disease='cholera']/pname")
+	if err != nil {
+		t.Fatalf("post-update query: %v", err)
+	}
+	if res.Count() != 1 || res.Values()[0] != "Matt" {
+		t.Errorf("post-update = %v", res.Values())
+	}
+}
+
+func TestAllSchemesWork(t *testing.T) {
+	for _, s := range []string{SchemeOptimal, SchemeApprox, SchemeSub, SchemeTop, SchemeLeaf} {
+		db := host(t, s)
+		res, err := db.Query("//patient[pname='Betty']//disease")
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if res.Count() != 1 || res.Values()[0] != "diarrhea" {
+			t.Errorf("%s: got %v", s, res.Values())
+		}
+	}
+}
+
+func TestHostRemote(t *testing.T) {
+	ts := httptest.NewServer(remote.NewService())
+	defer ts.Close()
+	db, err := HostRemote(open(t), constraints, Options{
+		MasterKey: []byte("remote-api"),
+	}, ts.URL, "hospital")
+	if err != nil {
+		t.Fatalf("HostRemote: %v", err)
+	}
+	res, err := db.Query("//patient[.//disease='diarrhea']/pname")
+	if err != nil {
+		t.Fatalf("remote query: %v", err)
+	}
+	if res.Count() != 2 {
+		t.Errorf("remote results = %v", res.Values())
+	}
+	if _, err := db.Update("//patient[pname='Matt']/insurance/policy", "777"); err != nil {
+		t.Fatalf("remote update: %v", err)
+	}
+	mn, _, err := db.Min("//insurance/policy")
+	if err != nil || mn != "777" {
+		t.Errorf("remote Min = %q, %v", mn, err)
+	}
+	// Unreachable server surfaces an error.
+	if _, err := HostRemote(open(t), constraints, Options{MasterKey: []byte("k")},
+		"http://127.0.0.1:1", "x"); err == nil {
+		t.Errorf("dead server accepted")
+	}
+}
