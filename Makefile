@@ -1,0 +1,37 @@
+# Development entry points. `make check` is the gate CI runs.
+
+GO ?= go
+
+.PHONY: check vet build test race chaos fuzz bench fmt
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The fault-injection suite for the remote transport, on its own for
+# quick iteration (it is also part of `race`).
+chaos:
+	$(GO) test -race -v -run 'TestChaos|TestBreaker|TestDeadline|TestPerAttempt|TestChecksum|TestTruncation|TestRetryRecovers' ./internal/remote/
+
+# Short fuzz pass over every wire decoder (CI-friendly duration).
+fuzz:
+	$(GO) test ./internal/wire/ -fuzz FuzzUnmarshalDB -fuzztime 20s
+	$(GO) test ./internal/wire/ -fuzz FuzzUnmarshalQuery -fuzztime 20s
+	$(GO) test ./internal/wire/ -fuzz FuzzUnmarshalAnswer -fuzztime 20s
+	$(GO) test ./internal/wire/ -fuzz FuzzUnmarshalUpdate -fuzztime 20s
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+fmt:
+	gofmt -l -w .

@@ -15,6 +15,7 @@ package repro
 // output.
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"os"
@@ -434,7 +435,7 @@ func BenchmarkRemoteRoundTrip(b *testing.B) {
 	ts := httptest.NewServer(remote.NewService())
 	defer ts.Close()
 	cl := remote.Dial(ts.URL, "bench").WithHTTPClient(ts.Client())
-	if err := cl.Upload(sys.HostedDB); err != nil {
+	if err := cl.Upload(context.Background(), sys.HostedDB); err != nil {
 		b.Fatal(err)
 	}
 	sys.UseBackend(cl)

@@ -16,10 +16,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/remote"
@@ -39,6 +41,11 @@ func main() {
 	naive := flag.Bool("naive", false, "also run the naive ship-everything baseline")
 	remoteURL := flag.String("remote", "", "upload to a running xserve at this base URL and query over HTTP")
 	dbName := flag.String("db", "xquery", "database name on the remote server")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-attempt timeout for remote operations (0 disables)")
+	opTimeout := flag.Duration("op-timeout", time.Minute, "overall deadline per remote operation including retries (0 disables)")
+	retries := flag.Int("retries", remote.DefaultRetryPolicy.MaxAttempts, "total attempts per remote operation (1 disables retries)")
+	retryBase := flag.Duration("retry-base", remote.DefaultRetryPolicy.BaseDelay, "initial retry backoff (doubles per attempt, jittered)")
+	stale := flag.Bool("stale", false, "serve cached stale answers when the remote server is unreachable")
 	xmlOut := flag.Bool("xml", false, "print results as XML instead of string values")
 	var scs multiFlag
 	flag.Var(&scs, "sc", "security constraint (repeatable)")
@@ -61,7 +68,17 @@ func main() {
 	}
 	defer f.Close()
 	if *remoteURL != "" {
-		runRemote(f, scs, *key, *schemeName, *remoteURL, *dbName, *xmlOut, flag.Args())
+		rc := remoteConfig{
+			baseURL:   *remoteURL,
+			name:      *dbName,
+			timeout:   *timeout,
+			opTimeout: *opTimeout,
+			retries:   *retries,
+			retryBase: *retryBase,
+			stale:     *stale,
+			xmlOut:    *xmlOut,
+		}
+		runRemote(f, scs, *key, *schemeName, rc, flag.Args())
 		return
 	}
 	doc, err := secxml.ParseDocument(f)
@@ -106,9 +123,28 @@ func main() {
 	}
 }
 
+// remoteConfig carries the transport knobs of the -remote path.
+type remoteConfig struct {
+	baseURL, name      string
+	timeout, opTimeout time.Duration
+	retries            int
+	retryBase          time.Duration
+	stale              bool
+	xmlOut             bool
+}
+
+// opCtx bounds one remote operation (including its retries).
+func (rc remoteConfig) opCtx() (context.Context, context.CancelFunc) {
+	if rc.opTimeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), rc.opTimeout)
+}
+
 // runRemote encrypts locally, uploads to a running xserve, and
-// evaluates every query over HTTP.
-func runRemote(f *os.File, scs []string, key, schemeName, baseURL, name string, xmlOut bool, queries []string) {
+// evaluates every query over HTTP with the configured timeouts and
+// retry policy.
+func runRemote(f *os.File, scs []string, key, schemeName string, rc remoteConfig, queries []string) {
 	doc, err := xmltree.Parse(f)
 	if err != nil {
 		fatal(err)
@@ -117,23 +153,38 @@ func runRemote(f *os.File, scs []string, key, schemeName, baseURL, name string, 
 	if err != nil {
 		fatal(err)
 	}
-	cl := remote.Dial(baseURL, name)
-	if err := cl.Upload(sys.HostedDB); err != nil {
+	policy := remote.DefaultRetryPolicy
+	policy.MaxAttempts = rc.retries
+	policy.BaseDelay = rc.retryBase
+	cl := remote.Dial(rc.baseURL, rc.name).WithRetry(policy).WithTimeout(rc.timeout)
+	ctx, cancel := rc.opCtx()
+	err = cl.Upload(ctx, sys.HostedDB)
+	cancel()
+	if err != nil {
 		fatal(err)
 	}
 	sys.UseBackend(cl)
-	fmt.Printf("uploaded %q to %s (%d blocks)\n", name, baseURL, sys.Scheme.NumBlocks())
+	if rc.stale {
+		sys.EnableStaleFallback(0, 0) // package defaults
+	}
+	fmt.Printf("uploaded %q to %s (%d blocks)\n", rc.name, rc.baseURL, sys.Scheme.NumBlocks())
 	for _, q := range queries {
-		nodes, _, tm, err := sys.Query(q)
+		ctx, cancel := rc.opCtx()
+		nodes, _, tm, err := sys.QueryContext(ctx, q)
+		cancel()
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("query: %s\n", q)
-		for _, line := range resultLines(nodes, xmlOut) {
+		for _, line := range resultLines(nodes, rc.xmlOut) {
 			fmt.Printf("  %s\n", line)
 		}
-		fmt.Printf("  [%d results | server+network %v | %d blocks, %d bytes]\n",
-			len(nodes), tm.ServerExec, tm.BlocksShipped, tm.AnswerBytes)
+		staleNote := ""
+		if tm.Stale {
+			staleNote = " | STALE (served from cache; server unreachable)"
+		}
+		fmt.Printf("  [%d results | server+network %v | %d blocks, %d bytes%s]\n",
+			len(nodes), tm.ServerExec, tm.BlocksShipped, tm.AnswerBytes, staleNote)
 	}
 }
 

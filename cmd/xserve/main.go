@@ -14,12 +14,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -35,6 +39,12 @@ func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 func main() {
 	listen := flag.String("listen", ":8080", "address to listen on")
 	dataDir := flag.String("dir", "", "persist hosted databases in this directory (reloaded on restart)")
+	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "max duration for reading an entire request")
+	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "max duration for writing a response")
+	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "max keep-alive idle time")
+	grace := flag.Duration("shutdown-grace", 15*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
+	chaosRate := flag.Float64("chaos", 0, "inject faults (latency/5xx/truncation) at this rate per request — testing only")
+	chaosSeed := flag.Int64("chaos-seed", 1, "deterministic seed for -chaos")
 	demo := flag.String("demo", "", "optional XML file to encrypt and pre-host")
 	name := flag.String("name", "demo", "database name for the pre-hosted document")
 	key := flag.String("key", "", "master key for the pre-hosted document")
@@ -80,11 +90,46 @@ func main() {
 			*name, sys.Scheme.NumBlocks(), len(sys.HostedDB.IndexEntries))
 	}
 
+	var handler http.Handler = svc
+	if *chaosRate > 0 {
+		handler = remote.NewChaosHandler(svc, remote.FaultConfig{
+			Seed:         *chaosSeed,
+			LatencyRate:  *chaosRate,
+			Latency:      200 * time.Millisecond,
+			ErrorRate:    *chaosRate,
+			TruncateRate: *chaosRate,
+		})
+		fmt.Printf("CHAOS MODE: injecting faults at rate %.2f (seed %d)\n", *chaosRate, *chaosSeed)
+	}
+
 	srv := &http.Server{
 		Addr:              *listen,
-		Handler:           svc,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests for
+	// up to -shutdown-grace before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("xserve listening on %s\n", *listen)
-	log.Fatal(srv.ListenAndServe())
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("xserve: shutting down, draining in-flight requests...")
+	sctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Fatalf("xserve: shutdown: %v", err)
+	}
+	fmt.Println("xserve: stopped")
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -58,9 +59,13 @@ func main() {
 	}
 
 	// Upload ciphertext + metadata; swap the in-process backend for
-	// the HTTP one. From here on every query crosses the network.
-	cl := remote.Dial(base, "hospital")
-	if err := cl.Upload(sys.HostedDB); err != nil {
+	// the HTTP one. From here on every query crosses the network,
+	// under a deadline, with retries and a circuit breaker (the
+	// Dial defaults; see internal/remote).
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cl := remote.Dial(base, "hospital").WithTimeout(5 * time.Second)
+	if err := cl.Upload(ctx, sys.HostedDB); err != nil {
 		log.Fatal(err)
 	}
 	sys.UseBackend(cl)

@@ -1,0 +1,118 @@
+package client
+
+import (
+	"container/list"
+	"sync"
+)
+
+// AnswerCache is a bounded LRU of encoded query answers, keyed by
+// the translated query's wire bytes. core.System uses it for
+// graceful degradation: when the remote backend is down, the last
+// known answer is served marked stale instead of failing the query.
+//
+// Values are stored as opaque encoded bytes (wire.MarshalAnswer
+// output), never as shared pointers, so cached state cannot alias
+// live answers. The cache is safe for concurrent use.
+type AnswerCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int
+	curBytes   int
+	order      *list.List // front = most recently used; holds *cacheEntry
+	byKey      map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewAnswerCache builds a cache holding at most maxEntries answers
+// and maxBytes total encoded bytes. Non-positive limits default to
+// 128 entries and 64 MiB.
+func NewAnswerCache(maxEntries, maxBytes int) *AnswerCache {
+	if maxEntries <= 0 {
+		maxEntries = 128
+	}
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return &AnswerCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		order:      list.New(),
+		byKey:      map[string]*list.Element{},
+	}
+}
+
+// Get returns a copy of the cached value for key.
+func (c *AnswerCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	val := el.Value.(*cacheEntry).val
+	out := make([]byte, len(val))
+	copy(out, val)
+	return out, true
+}
+
+// Put stores a copy of val under key, evicting least-recently-used
+// entries to stay within bounds. Values larger than the byte budget
+// are not cached at all.
+func (c *AnswerCache) Put(key string, val []byte) {
+	if len(val) > c.maxBytes {
+		return
+	}
+	stored := make([]byte, len(val))
+	copy(stored, val)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.curBytes += len(stored) - len(ent.val)
+		ent.val = stored
+		c.order.MoveToFront(el)
+	} else {
+		el := c.order.PushFront(&cacheEntry{key: key, val: stored})
+		c.byKey[key] = el
+		c.curBytes += len(stored)
+	}
+	for c.order.Len() > c.maxEntries || c.curBytes > c.maxBytes {
+		oldest := c.order.Back()
+		if oldest == nil {
+			break
+		}
+		ent := oldest.Value.(*cacheEntry)
+		c.order.Remove(oldest)
+		delete(c.byKey, ent.key)
+		c.curBytes -= len(ent.val)
+	}
+}
+
+// Clear drops every entry (e.g. after an update makes cached answers
+// unsalvageably stale).
+func (c *AnswerCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.byKey = map[string]*list.Element{}
+	c.curBytes = 0
+}
+
+// Len returns the number of cached answers.
+func (c *AnswerCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Bytes returns the total encoded bytes currently held.
+func (c *AnswerCache) Bytes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.curBytes
+}

@@ -1,0 +1,98 @@
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestAnswerCacheBasics(t *testing.T) {
+	c := NewAnswerCache(4, 1<<20)
+	if _, ok := c.Get("missing"); ok {
+		t.Error("hit on empty cache")
+	}
+	c.Put("a", []byte("alpha"))
+	got, ok := c.Get("a")
+	if !ok || string(got) != "alpha" {
+		t.Fatalf("Get(a) = %q, %v", got, ok)
+	}
+	// Overwrite replaces, not duplicates.
+	c.Put("a", []byte("beta"))
+	if got, _ := c.Get("a"); string(got) != "beta" {
+		t.Errorf("overwrite lost: %q", got)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after overwrite", c.Len())
+	}
+}
+
+func TestAnswerCacheEntryEviction(t *testing.T) {
+	c := NewAnswerCache(3, 1<<20)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	c.Get("k0") // refresh k0: k1 becomes LRU
+	c.Put("k3", []byte{3})
+	if _, ok := c.Get("k1"); ok {
+		t.Error("LRU entry k1 survived eviction")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("entry %s wrongly evicted", k)
+		}
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d, want 3", c.Len())
+	}
+}
+
+func TestAnswerCacheByteBound(t *testing.T) {
+	c := NewAnswerCache(100, 100)
+	c.Put("a", make([]byte, 60))
+	c.Put("b", make([]byte, 60)) // over the byte cap: a must go
+	if _, ok := c.Get("a"); ok {
+		t.Error("byte cap not enforced")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Error("newest entry evicted instead of oldest")
+	}
+	if c.Bytes() > 100 {
+		t.Errorf("Bytes = %d exceeds cap", c.Bytes())
+	}
+	// A single value larger than the whole cache is refused outright.
+	c.Put("huge", make([]byte, 200))
+	if _, ok := c.Get("huge"); ok {
+		t.Error("oversized value cached")
+	}
+}
+
+// TestAnswerCacheCopySemantics: the cache must be immune to callers
+// mutating slices after Put or after Get.
+func TestAnswerCacheCopySemantics(t *testing.T) {
+	c := NewAnswerCache(4, 1<<20)
+	v := []byte("original")
+	c.Put("k", v)
+	v[0] = 'X' // caller scribbles on the slice it handed in
+	got, _ := c.Get("k")
+	if !bytes.Equal(got, []byte("original")) {
+		t.Errorf("Put aliased caller slice: %q", got)
+	}
+	got[0] = 'Y' // caller scribbles on the slice it got back
+	again, _ := c.Get("k")
+	if !bytes.Equal(again, []byte("original")) {
+		t.Errorf("Get aliased cache storage: %q", again)
+	}
+}
+
+func TestAnswerCacheClear(t *testing.T) {
+	c := NewAnswerCache(4, 1<<20)
+	c.Put("a", []byte("x"))
+	c.Put("b", []byte("y"))
+	c.Clear()
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Errorf("Clear left Len=%d Bytes=%d", c.Len(), c.Bytes())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("entry survived Clear")
+	}
+}

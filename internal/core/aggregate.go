@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strconv"
 	"time"
@@ -22,6 +23,12 @@ import (
 // single-block). COUNT is intentionally unsupported: splitting
 // destroys multiplicities, the paper's stated trade-off (§5.2.1).
 func (s *System) AggregateMinMax(pathStr string, max bool) (string, Timings, error) {
+	return s.AggregateMinMaxContext(context.Background(), pathStr, max)
+}
+
+// AggregateMinMaxContext is AggregateMinMax with a caller-supplied
+// context bounding the backend round trips.
+func (s *System) AggregateMinMaxContext(ctx context.Context, pathStr string, max bool) (string, Timings, error) {
 	path, err := xpath.Parse(pathStr)
 	if err != nil {
 		return "", Timings{}, err
@@ -29,12 +36,12 @@ func (s *System) AggregateMinMax(pathStr string, max bool) (string, Timings, err
 	tagKey := lastNamedTag(path)
 	fastPath := tagKey != "" && !hasPredicates(path)
 	if fastPath {
-		if v, tm, ok, err := s.aggregateViaIndex(tagKey, max); err != nil || ok {
+		if v, tm, ok, err := s.aggregateViaIndex(ctx, tagKey, max); err != nil || ok {
 			return v, tm, err
 		}
 	}
 	// Fallback: full secure query, aggregate at the client.
-	nodes, _, tm, err := s.QueryPath(path)
+	nodes, _, tm, err := s.QueryPathContext(ctx, path)
 	if err != nil {
 		return "", tm, err
 	}
@@ -51,7 +58,7 @@ func (s *System) AggregateMinMax(pathStr string, max bool) (string, Timings, err
 // aggregateViaIndex is the §6.4 single-block path. ok=false means
 // the tag is not exclusively encrypted-and-indexed and the caller
 // must fall back.
-func (s *System) aggregateViaIndex(tagKey string, max bool) (string, Timings, bool, error) {
+func (s *System) aggregateViaIndex(ctx context.Context, tagKey string, max bool) (string, Timings, bool, error) {
 	var tm Timings
 	start := time.Now()
 	lo, hi, _, indexed := s.Client.AttributeDomainRange(tagKey)
@@ -61,7 +68,7 @@ func (s *System) aggregateViaIndex(tagKey string, max bool) (string, Timings, bo
 	}
 
 	start = time.Now()
-	bid, ct, found, err := s.Server.Extreme(lo, hi, max)
+	bid, ct, found, err := s.Server.Extreme(ctx, lo, hi, max)
 	tm.ServerExec = time.Since(start)
 	if err != nil {
 		return "", tm, false, err

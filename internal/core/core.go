@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -49,17 +50,49 @@ func BuildScheme(name SchemeName, doc *xmltree.Document, scs []*sc.Constraint) (
 	}
 }
 
-// Backend is the untrusted server's query interface: the in-process
-// server.Server implements it, and internal/remote provides an
+// Backend is the untrusted server's query interface: Local wraps the
+// in-process server.Server, and internal/remote provides an
 // HTTP-transported implementation for out-of-process deployments.
+// Every call carries a context so remote operations are cancellable
+// and carry deadlines; the in-process adapter honors cancellation
+// between stages.
 type Backend interface {
 	// Execute answers a translated query (§6.2).
-	Execute(q *wire.Query) (*wire.Answer, error)
+	Execute(ctx context.Context, q *wire.Query) (*wire.Answer, error)
 	// Extreme serves MIN/MAX aggregates (§6.4): the ciphertext block
 	// holding the extreme indexed value within [lo, hi].
-	Extreme(lo, hi uint64, max bool) (blockID int, block []byte, found bool, err error)
+	Extreme(ctx context.Context, lo, hi uint64, max bool) (blockID int, block []byte, found bool, err error)
 	// ApplyUpdate applies an owner-issued mutation (see wire.Update).
-	ApplyUpdate(u *wire.Update) error
+	ApplyUpdate(ctx context.Context, u *wire.Update) error
+}
+
+// Local adapts the in-process server.Server to the context-aware
+// Backend interface. The server's calls are synchronous and local,
+// so cancellation is only observed at call boundaries.
+type Local struct{ S *server.Server }
+
+// Execute implements Backend.
+func (l Local) Execute(ctx context.Context, q *wire.Query) (*wire.Answer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.S.Execute(q)
+}
+
+// Extreme implements Backend.
+func (l Local) Extreme(ctx context.Context, lo, hi uint64, max bool) (int, []byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, false, err
+	}
+	return l.S.Extreme(lo, hi, max)
+}
+
+// ApplyUpdate implements Backend.
+func (l Local) ApplyUpdate(ctx context.Context, u *wire.Update) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return l.S.ApplyUpdate(u)
 }
 
 // System is one hosted database: the owner's client state, the
@@ -86,6 +119,22 @@ type System struct {
 	// EncryptTime is the wall time Host spent building blocks,
 	// metadata and the value index (§7.4's encryption-cost metric).
 	EncryptTime time.Duration
+
+	// staleCache, when installed via EnableStaleFallback, holds the
+	// encoded answers of recent successful queries; when the backend
+	// is unreachable, queries are served from it with Timings.Stale
+	// set instead of failing.
+	staleCache *client.AnswerCache
+}
+
+// EnableStaleFallback opts this system into graceful degradation:
+// answers of successful queries are kept in a bounded cache
+// (maxEntries entries, maxBytes total encoded bytes), and when the
+// backend fails, a cached answer for the same translated query is
+// served with Timings.Stale set — possibly out of date, clearly
+// marked. Cached entries are invalidated on update.
+func (s *System) EnableStaleFallback(maxEntries, maxBytes int) {
+	s.staleCache = client.NewAnswerCache(maxEntries, maxBytes)
 }
 
 // Host encrypts doc under the named scheme with the given SCs and
@@ -115,7 +164,7 @@ func Host(doc *xmltree.Document, scSpecs []string, name SchemeName, masterKey []
 	encTime := time.Since(start)
 	return &System{
 		Client:      cl,
-		Server:      server.New(db),
+		Server:      Local{S: server.New(db)},
 		Link:        netsim.Paper,
 		Scheme:      sch,
 		HostedDB:    db,
@@ -140,6 +189,10 @@ type Timings struct {
 	QueryBytes    int // translated query size (up-link, negligible)
 	AnswerBytes   int
 	BlocksShipped int
+
+	// Stale marks an answer served from the stale-fallback cache
+	// because the backend was unreachable (see EnableStaleFallback).
+	Stale bool
 }
 
 // Total sums every stage.
@@ -151,15 +204,26 @@ func (t Timings) Total() time.Duration {
 // and returns the result nodes (owned by the returned document),
 // with the per-stage timing breakdown.
 func (s *System) Query(q string) ([]*xmltree.Node, *xmltree.Document, Timings, error) {
+	return s.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query with a caller-supplied context bounding the
+// backend round trip.
+func (s *System) QueryContext(ctx context.Context, q string) ([]*xmltree.Node, *xmltree.Document, Timings, error) {
 	path, err := xpath.Parse(q)
 	if err != nil {
 		return nil, nil, Timings{}, err
 	}
-	return s.QueryPath(path)
+	return s.QueryPathContext(ctx, path)
 }
 
 // QueryPath is Query for a pre-parsed path.
 func (s *System) QueryPath(path *xpath.Path) ([]*xmltree.Node, *xmltree.Document, Timings, error) {
+	return s.QueryPathContext(context.Background(), path)
+}
+
+// QueryPathContext is QueryPath with a caller-supplied context.
+func (s *System) QueryPathContext(ctx context.Context, path *xpath.Path) ([]*xmltree.Node, *xmltree.Document, Timings, error) {
 	var tm Timings
 
 	start := time.Now()
@@ -170,7 +234,7 @@ func (s *System) QueryPath(path *xpath.Path) ([]*xmltree.Node, *xmltree.Document
 	}
 
 	start = time.Now()
-	ans, err := s.Server.Execute(qs)
+	ans, err := s.executeWithFallback(ctx, qs, &tm)
 	tm.ServerExec = time.Since(start)
 	if err != nil {
 		return nil, nil, tm, err
@@ -194,6 +258,38 @@ func (s *System) QueryPath(path *xpath.Path) ([]*xmltree.Node, *xmltree.Document
 		return nil, nil, tm, err
 	}
 	return nodes, doc, tm, nil
+}
+
+// executeWithFallback runs the translated query against the backend,
+// feeding the stale cache on success and serving from it on failure
+// when EnableStaleFallback opted in. Cached answers are stored and
+// re-read as wire bytes, so a served copy can never alias (or be
+// mutated by) a previous caller.
+func (s *System) executeWithFallback(ctx context.Context, qs *wire.Query, tm *Timings) (*wire.Answer, error) {
+	var key string
+	if s.staleCache != nil {
+		if k, err := wire.MarshalQuery(qs); err == nil {
+			key = string(k)
+		}
+	}
+	ans, err := s.Server.Execute(ctx, qs)
+	if err == nil {
+		if key != "" {
+			if enc, mErr := wire.MarshalAnswer(ans); mErr == nil {
+				s.staleCache.Put(key, enc)
+			}
+		}
+		return ans, nil
+	}
+	if key != "" {
+		if enc, ok := s.staleCache.Get(key); ok {
+			if cached, uErr := wire.UnmarshalAnswer(enc); uErr == nil {
+				tm.Stale = true
+				return cached, nil
+			}
+		}
+	}
+	return nil, err
 }
 
 // applySimDecrypt substitutes the paper-era decryption cost model

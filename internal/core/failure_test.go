@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -85,7 +86,7 @@ func TestMissingBlockRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ans, err := sys.Server.Execute(qs)
+	ans, err := sys.Server.Execute(context.Background(), qs)
 	if err != nil {
 		t.Fatal(err)
 	}

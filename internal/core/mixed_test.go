@@ -89,7 +89,7 @@ func hostWithCover(t *testing.T, doc *xmltree.Document, coverTag string) (*Syste
 	}
 	return &System{
 		Client:   cl,
-		Server:   server.New(db),
+		Server:   Local{S: server.New(db)},
 		Link:     netsim.Paper,
 		Scheme:   sch,
 		HostedDB: db,

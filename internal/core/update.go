@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/btree"
@@ -17,6 +18,12 @@ import (
 // residue rewriting, which this extension does not cover. It returns
 // the number of values changed.
 func (s *System) UpdateLeafValues(q string, newValue string) (int, error) {
+	return s.UpdateLeafValuesContext(context.Background(), q, newValue)
+}
+
+// UpdateLeafValuesContext is UpdateLeafValues with a caller-supplied
+// context bounding the backend round trips.
+func (s *System) UpdateLeafValuesContext(ctx context.Context, q string, newValue string) (int, error) {
 	path, err := xpath.Parse(q)
 	if err != nil {
 		return 0, err
@@ -25,7 +32,7 @@ func (s *System) UpdateLeafValues(q string, newValue string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	ans, err := s.Server.Execute(qs)
+	ans, err := s.Server.Execute(ctx, qs)
 	if err != nil {
 		return 0, err
 	}
@@ -97,10 +104,15 @@ func (s *System) UpdateLeafValues(q string, newValue string) (int, error) {
 		upd.Blocks = append(upd.Blocks, wire.BlockUpdate{ID: bid, Ciphertext: ct})
 	}
 
-	if err := s.Server.ApplyUpdate(upd); err != nil {
+	if err := s.Server.ApplyUpdate(ctx, upd); err != nil {
 		return 0, err
 	}
 	s.mirrorUpdate(upd)
+	// Cached answers may now reference replaced blocks; drop them
+	// rather than serve a provably outdated fallback.
+	if s.staleCache != nil {
+		s.staleCache.Clear()
+	}
 	return len(edits), nil
 }
 

@@ -1,0 +1,132 @@
+package remote
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Circuit breaker for the client transport. After a run of
+// consecutive operation failures the breaker opens and calls fail
+// fast with ErrCircuitOpen instead of hammering a dead service.
+// Once the cooldown elapses the breaker half-opens: the next call
+// sends a single probe to the service's /healthz endpoint, and the
+// breaker closes (healthy) or re-opens (still down) on the result.
+
+// BreakerConfig configures the client's circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failed
+	// operations (after retries) that trips the breaker. <= 0
+	// disables the breaker.
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before a probe is
+	// allowed.
+	Cooldown time.Duration
+	// ProbeTimeout bounds the /healthz probe (default 2 s).
+	ProbeTimeout time.Duration
+}
+
+// DefaultBreakerConfig trips after 5 consecutive failures and probes
+// after a 1 s cooldown.
+var DefaultBreakerConfig = BreakerConfig{
+	FailureThreshold: 5,
+	Cooldown:         time.Second,
+	ProbeTimeout:     2 * time.Second,
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // injectable clock for tests
+
+	mu          sync.Mutex
+	state       breakerState
+	consecutive int
+	openedAt    time.Time
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	return &breaker{cfg: cfg, now: time.Now}
+}
+
+// allow decides whether an operation may proceed. It returns
+// (true, false) to proceed normally, (true, true) when the caller
+// holds the half-open probe slot (it must report the probe outcome
+// via record), and (false, _) to fail fast.
+func (b *breaker) allow() (proceed, probing bool) {
+	if b == nil {
+		return true, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = breakerHalfOpen
+			return true, true // this caller probes
+		}
+		return false, false
+	default: // half-open: another caller is already probing
+		return false, false
+	}
+}
+
+// record feeds an operation (or probe) outcome back into the state
+// machine.
+func (b *breaker) record(ok bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state = breakerClosed
+		b.consecutive = 0
+		return
+	}
+	switch b.state {
+	case breakerHalfOpen:
+		// Probe failed: back to open, restart the cooldown.
+		b.state = breakerOpen
+		b.openedAt = b.now()
+	default:
+		b.consecutive++
+		if b.cfg.FailureThreshold > 0 && b.consecutive >= b.cfg.FailureThreshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+		}
+	}
+}
+
+// preflight gates one client operation on the breaker: fail fast
+// while open, and when half-open, probe /healthz before letting the
+// operation through.
+func (c *Client) preflight(ctx context.Context) error {
+	proceed, probing := c.breaker.allow()
+	if !proceed {
+		return ErrCircuitOpen
+	}
+	if !probing {
+		return nil
+	}
+	pctx, cancel := context.WithTimeout(ctx, c.breaker.cfg.ProbeTimeout)
+	err := c.Ping(pctx)
+	cancel()
+	c.breaker.record(err == nil)
+	if err != nil {
+		return ErrCircuitOpen
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+package remote
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Fault injection for the client/server transport. A deterministic,
+// seeded fault source drives two harnesses:
+//
+//   - a client-side http.RoundTripper wrapper injecting latency,
+//     connection-level failures and damaged response bodies, and
+//   - a server-side middleware injecting latency, 5xx (after the
+//     handler ran — modelling "work done, ack lost") and truncated
+//     responses.
+//
+// The chaos test suite uses both to prove that under double-digit
+// fault rates every operation either succeeds or fails with a typed
+// error — never a torn result, never a panic.
+
+// FaultConfig sets per-request injection rates, each in [0, 1].
+type FaultConfig struct {
+	// Seed makes the injection sequence deterministic.
+	Seed int64
+	// LatencyRate injects Latency of extra delay.
+	LatencyRate float64
+	Latency     time.Duration
+	// DropRate fails the request at connection level before it
+	// reaches the server (client side only).
+	DropRate float64
+	// TruncateRate cuts the response body short, as a mid-body
+	// connection reset.
+	TruncateRate float64
+	// CorruptRate flips bytes in the response body.
+	CorruptRate float64
+	// ErrorRate replaces the response with a 503 (server side only).
+	ErrorRate float64
+}
+
+// FaultCounts reports how many faults of each kind actually fired.
+type FaultCounts struct {
+	Latency, Drop, Truncate, Corrupt, Error int
+}
+
+// Total sums all injected faults.
+func (c FaultCounts) Total() int {
+	return c.Latency + c.Drop + c.Truncate + c.Corrupt + c.Error
+}
+
+// faultSource is the shared seeded randomness + accounting.
+type faultSource struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	counts FaultCounts
+}
+
+func newFaultSource(seed int64) *faultSource {
+	return &faultSource{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (f *faultSource) roll(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	f.mu.Lock()
+	hit := f.rng.Float64() < rate
+	f.mu.Unlock()
+	return hit
+}
+
+// errInjectedReset is the synthetic connection-level failure; it
+// reaches the caller wrapped in *url.Error, like a real reset.
+var errInjectedReset = errors.New("injected: connection reset by peer")
+
+// FaultRoundTripper wraps an http.RoundTripper with fault injection.
+type FaultRoundTripper struct {
+	base http.RoundTripper
+	cfg  FaultConfig
+	src  *faultSource
+}
+
+// NewFaultRoundTripper builds a faulty transport over base
+// (http.DefaultTransport when base is nil).
+func NewFaultRoundTripper(base http.RoundTripper, cfg FaultConfig) *FaultRoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &FaultRoundTripper{base: base, cfg: cfg, src: newFaultSource(cfg.Seed)}
+}
+
+// Counts returns how many faults have been injected so far.
+func (f *FaultRoundTripper) Counts() FaultCounts {
+	f.src.mu.Lock()
+	defer f.src.mu.Unlock()
+	return f.src.counts
+}
+
+// RoundTrip implements http.RoundTripper.
+func (f *FaultRoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	if f.src.roll(f.cfg.LatencyRate) {
+		f.count(func(c *FaultCounts) { c.Latency++ })
+		t := time.NewTimer(f.cfg.Latency)
+		select {
+		case <-req.Context().Done():
+			t.Stop()
+			return nil, req.Context().Err()
+		case <-t.C:
+		}
+	}
+	if f.src.roll(f.cfg.DropRate) {
+		f.count(func(c *FaultCounts) { c.Drop++ })
+		// Drain the body so the connection is reusable, like a real
+		// transport would after a write error.
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return nil, errInjectedReset
+	}
+	resp, err := f.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if f.src.roll(f.cfg.TruncateRate) {
+		f.count(func(c *FaultCounts) { c.Truncate++ })
+		resp.Body = truncateBody(resp.Body)
+	} else if f.src.roll(f.cfg.CorruptRate) {
+		f.count(func(c *FaultCounts) { c.Corrupt++ })
+		resp.Body = f.corruptBody(resp.Body)
+	}
+	return resp, nil
+}
+
+func (f *FaultRoundTripper) count(fn func(*FaultCounts)) {
+	f.src.mu.Lock()
+	fn(&f.src.counts)
+	f.src.mu.Unlock()
+}
+
+// truncateBody reads the full body but delivers only the first half,
+// then fails the read like a reset connection.
+func truncateBody(body io.ReadCloser) io.ReadCloser {
+	data, _ := io.ReadAll(body)
+	body.Close()
+	return &tornReader{data: data[:len(data)/2]}
+}
+
+// corruptBody flips a byte somewhere in the body.
+func (f *FaultRoundTripper) corruptBody(body io.ReadCloser) io.ReadCloser {
+	data, _ := io.ReadAll(body)
+	body.Close()
+	if len(data) > 0 {
+		f.src.mu.Lock()
+		i := f.src.rng.Intn(len(data))
+		f.src.mu.Unlock()
+		data[i] ^= 0xFF
+	}
+	return io.NopCloser(bytes.NewReader(data))
+}
+
+// tornReader yields its data then fails with io.ErrUnexpectedEOF,
+// the way a reset mid-body surfaces to the reader.
+type tornReader struct {
+	data []byte
+	off  int
+}
+
+func (t *tornReader) Read(p []byte) (int, error) {
+	if t.off >= len(t.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, t.data[t.off:])
+	t.off += n
+	return n, nil
+}
+
+func (t *tornReader) Close() error { return nil }
+
+// ChaosHandler wraps an http.Handler with server-side fault
+// injection. Responses are buffered so faults can be decided after
+// the handler ran: an injected 503 models a server that did the work
+// but whose acknowledgment was lost — exactly the case the client's
+// request-ID dedup exists for.
+type ChaosHandler struct {
+	next http.Handler
+	cfg  FaultConfig
+	src  *faultSource
+}
+
+// NewChaosHandler wraps next with fault injection.
+func NewChaosHandler(next http.Handler, cfg FaultConfig) *ChaosHandler {
+	return &ChaosHandler{next: next, cfg: cfg, src: newFaultSource(cfg.Seed)}
+}
+
+// Counts returns how many faults have been injected so far.
+func (c *ChaosHandler) Counts() FaultCounts {
+	c.src.mu.Lock()
+	defer c.src.mu.Unlock()
+	return c.src.counts
+}
+
+// ServeHTTP implements http.Handler.
+func (c *ChaosHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if c.src.roll(c.cfg.LatencyRate) {
+		c.countSrv(func(fc *FaultCounts) { fc.Latency++ })
+		t := time.NewTimer(c.cfg.Latency)
+		select {
+		case <-r.Context().Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
+	rec := &bufferedResponse{header: http.Header{}, code: http.StatusOK}
+	c.next.ServeHTTP(rec, r)
+
+	if c.src.roll(c.cfg.ErrorRate) {
+		c.countSrv(func(fc *FaultCounts) { fc.Error++ })
+		http.Error(w, "injected: service unavailable", http.StatusServiceUnavailable)
+		return
+	}
+	body := rec.body.Bytes()
+	if c.src.roll(c.cfg.CorruptRate) && len(body) > 0 {
+		c.countSrv(func(fc *FaultCounts) { fc.Corrupt++ })
+		body = bytes.Clone(body)
+		c.src.mu.Lock()
+		body[c.src.rng.Intn(len(body))] ^= 0xFF
+		c.src.mu.Unlock()
+	}
+	truncate := c.src.roll(c.cfg.TruncateRate) && len(body) > 1
+	if truncate {
+		c.countSrv(func(fc *FaultCounts) { fc.Truncate++ })
+	}
+	for k, vs := range rec.header {
+		w.Header()[k] = vs
+	}
+	// Declare the full length even when truncating: the Go server
+	// aborts the connection on the shortfall, which the client sees
+	// as a torn read.
+	w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+	w.WriteHeader(rec.code)
+	if truncate {
+		w.Write(body[:len(body)/2])
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		panic(http.ErrAbortHandler) // slam the connection shut
+	}
+	w.Write(body)
+}
+
+func (c *ChaosHandler) countSrv(fn func(*FaultCounts)) {
+	c.src.mu.Lock()
+	fn(&c.src.counts)
+	c.src.mu.Unlock()
+}
+
+// bufferedResponse captures a handler's response for post-hoc fault
+// decisions.
+type bufferedResponse struct {
+	header http.Header
+	body   bytes.Buffer
+	code   int
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) { b.code = code }
+
+func (b *bufferedResponse) Write(p []byte) (int, error) { return b.body.Write(p) }

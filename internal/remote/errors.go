@@ -1,0 +1,87 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Typed transport errors. Every failure the remote path can produce
+// surfaces as (or wraps) one of the types in this file, so callers
+// and the retry policy can branch on the failure class instead of
+// string-matching.
+
+// maxErrBody caps how much of an error response body is read and
+// retained; the rest is discarded so a hostile or broken server
+// cannot make error handling allocate without bound.
+const maxErrBody = 8 << 10 // 8 KiB
+
+// StatusError is a non-2xx HTTP response from the service: the
+// status code plus the (truncated) response body.
+type StatusError struct {
+	Op     string // which client operation failed
+	Code   int    // HTTP status code
+	Status string // full status line, e.g. "503 Service Unavailable"
+	Body   string // response body, truncated to maxErrBody
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("remote: %s: %s: %s", e.Op, e.Status, e.Body)
+}
+
+// Temporary reports whether the failure class is worth retrying:
+// server-side errors and throttling, not client mistakes.
+func (e *StatusError) Temporary() bool {
+	return e.Code >= 500 || e.Code == http.StatusTooManyRequests
+}
+
+// httpError drains at most maxErrBody bytes of the response body
+// into a *StatusError.
+func httpError(op string, resp *http.Response) *StatusError {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrBody))
+	return &StatusError{
+		Op:     op,
+		Code:   resp.StatusCode,
+		Status: resp.Status,
+		Body:   strings.TrimSpace(string(body)),
+	}
+}
+
+// ErrCircuitOpen is returned without touching the network while the
+// client's circuit breaker is open (the service failed repeatedly
+// and the cooldown has not produced a healthy probe yet).
+var ErrCircuitOpen = errors.New("remote: circuit breaker open")
+
+// ErrChecksum reports a response body whose integrity checksum did
+// not match — the bytes were damaged in flight. It is retryable.
+var ErrChecksum = errors.New("remote: response checksum mismatch")
+
+// retryable classifies an attempt error: true for failure classes
+// where a fresh attempt can plausibly succeed (connect-level
+// failures, torn reads, 5xx), false for context cancellation,
+// marshalling problems and definitive HTTP answers (4xx).
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	// A canceled or expired context is the caller's decision to stop.
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Temporary()
+	}
+	if errors.Is(err, ErrCircuitOpen) {
+		return false // the breaker already decided; retrying defeats it
+	}
+	if errors.Is(err, ErrChecksum) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return true // torn read
+	}
+	// Everything else that reaches here came from the transport
+	// (*url.Error wrapping dial/reset/refused errors): retryable.
+	return true
+}

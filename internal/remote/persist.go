@@ -15,8 +15,12 @@ import (
 // file, and reloads them on startup — the hosting provider surviving
 // a restart without ever holding a key.
 
-// dbFileExt is the on-disk extension for hosted databases.
-const dbFileExt = ".sxdb"
+// dbFileExt is the on-disk extension for hosted databases;
+// tmpSuffix marks an in-progress write before its atomic rename.
+const (
+	dbFileExt = ".sxdb"
+	tmpSuffix = ".tmp"
+)
 
 // NewPersistentService loads every *.sxdb file in dir (creating the
 // directory if needed) and persists subsequent uploads and updates
@@ -32,7 +36,19 @@ func NewPersistentService(dir string) (*Service, error) {
 		return nil, fmt.Errorf("remote: read %s: %w", dir, err)
 	}
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), dbFileExt) {
+		if e.IsDir() {
+			continue
+		}
+		// A leftover *.sxdb.tmp is a write that crashed before its
+		// atomic rename: the durable state is still in the *.sxdb
+		// file, so the partial write is garbage — remove it.
+		if strings.HasSuffix(e.Name(), dbFileExt+tmpSuffix) {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return nil, fmt.Errorf("remote: clean %s: %w", e.Name(), err)
+			}
+			continue
+		}
+		if !strings.HasSuffix(e.Name(), dbFileExt) {
 			continue
 		}
 		name := strings.TrimSuffix(e.Name(), dbFileExt)
@@ -62,7 +78,7 @@ func (s *Service) persist(name string, db *wire.HostedDB) error {
 		return err
 	}
 	final := filepath.Join(s.persistDir, name+dbFileExt)
-	tmp := final + ".tmp"
+	tmp := final + tmpSuffix
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -25,7 +26,7 @@ func TestPersistenceAcrossRestart(t *testing.T) {
 		t.Fatalf("Host: %v", err)
 	}
 	cl := Dial(ts1.URL, "hospital").WithHTTPClient(ts1.Client())
-	if err := cl.Upload(sys.HostedDB); err != nil {
+	if err := cl.Upload(context.Background(), sys.HostedDB); err != nil {
 		t.Fatalf("Upload: %v", err)
 	}
 	sys.UseBackend(cl)
@@ -68,7 +69,7 @@ func TestPersistRejectsUnsafeNames(t *testing.T) {
 	ts := httptest.NewServer(svc)
 	defer ts.Close()
 	cl := Dial(ts.URL, "..%2Fescape").WithHTTPClient(ts.Client())
-	if err := cl.Upload(sys.HostedDB); err == nil {
+	if err := cl.Upload(context.Background(), sys.HostedDB); err == nil {
 		t.Errorf("path-traversal name accepted")
 	}
 	// Nothing outside the directory was written.
@@ -77,5 +78,108 @@ func TestPersistRejectsUnsafeNames(t *testing.T) {
 		if filepath.Ext(e.Name()) == dbFileExt {
 			t.Errorf("stray persisted file %s", e.Name())
 		}
+	}
+}
+
+// TestReloadCleansCrashedWrite: a leftover *.sxdb.tmp from a write
+// that crashed before its atomic rename must be ignored on reload —
+// the durable *.sxdb is authoritative — and removed from the
+// directory so it cannot accumulate.
+func TestReloadCleansCrashedWrite(t *testing.T) {
+	dir := t.TempDir()
+	svc1, err := NewPersistentService(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := xmltree.ParseString(hospitalXML)
+	sys, err := core.Host(doc, scs, core.SchemeOpt, []byte("crash-test"))
+	if err != nil {
+		t.Fatalf("Host: %v", err)
+	}
+	ts := httptest.NewServer(svc1)
+	cl := Dial(ts.URL, "hospital").WithHTTPClient(ts.Client())
+	if err := cl.Upload(context.Background(), sys.HostedDB); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	ts.Close()
+
+	// Simulate a crash mid-persist: garbage in the tmp file, durable
+	// state intact.
+	tmp := filepath.Join(dir, "hospital"+dbFileExt+tmpSuffix)
+	if err := os.WriteFile(tmp, []byte("partial write cut short by a cra"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2, err := NewPersistentService(dir)
+	if err != nil {
+		t.Fatalf("reload with leftover tmp file: %v", err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Errorf("crashed tmp file still present after reload")
+	}
+	// The durable state still serves queries.
+	ts2 := httptest.NewServer(svc2)
+	defer ts2.Close()
+	sys.UseBackend(Dial(ts2.URL, "hospital").WithHTTPClient(ts2.Client()))
+	nodes, _, _, err := sys.Query("//patient/pname")
+	if err != nil {
+		t.Fatalf("query after crash recovery: %v", err)
+	}
+	if len(nodes) != 2 {
+		t.Errorf("crash recovery lost data: %v", core.ResultStrings(nodes))
+	}
+}
+
+// TestPartialWriteKeepsLastDurableState: if persisting an update is
+// torn mid-write (tmp written, rename never happens), a restart must
+// come back with the previous durable state — not the torn one, and
+// not nothing.
+func TestPartialWriteKeepsLastDurableState(t *testing.T) {
+	dir := t.TempDir()
+	svc1, err := NewPersistentService(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := xmltree.ParseString(hospitalXML)
+	sys, err := core.Host(doc, scs, core.SchemeOpt, []byte("torn-test"))
+	if err != nil {
+		t.Fatalf("Host: %v", err)
+	}
+	ts := httptest.NewServer(svc1)
+	cl := Dial(ts.URL, "hospital").WithHTTPClient(ts.Client())
+	if err := cl.Upload(context.Background(), sys.HostedDB); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	sys.UseBackend(cl)
+	if _, err := sys.UpdateLeafValues("//patient[pname='Matt']//disease", "cholera"); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	ts.Close()
+
+	// Tear the *next* write: truncate a copy of the durable file into
+	// the tmp slot, as if the process died between WriteFile and
+	// Rename while persisting a second update.
+	durable := filepath.Join(dir, "hospital"+dbFileExt)
+	data, err := os.ReadFile(durable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(durable+tmpSuffix, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2, err := NewPersistentService(dir)
+	if err != nil {
+		t.Fatalf("reload after torn write: %v", err)
+	}
+	ts2 := httptest.NewServer(svc2)
+	defer ts2.Close()
+	sys.UseBackend(Dial(ts2.URL, "hospital").WithHTTPClient(ts2.Client()))
+	nodes, _, _, err := sys.Query("//patient[.//disease='cholera']/pname")
+	if err != nil {
+		t.Fatalf("query after torn write: %v", err)
+	}
+	if len(nodes) != 1 || nodes[0].LeafValue() != "Matt" {
+		t.Errorf("last durable state lost to a torn write: %v", core.ResultStrings(nodes))
 	}
 }

@@ -5,6 +5,17 @@
 // connection — exactly the information the security analysis already
 // assumes the server sees.
 //
+// The transport is hardened for the failures real deployments see:
+// every client operation takes a context.Context (deadline +
+// cancellation), failed attempts are retried under a configurable
+// exponential-backoff policy (see RetryPolicy for the idempotency
+// reasoning), a circuit breaker fails fast while the service is down
+// and half-opens on a /healthz probe, response bodies carry an
+// integrity checksum so damaged bytes are detected and retried, and
+// updates carry request IDs the server deduplicates so a retried
+// update is never applied twice. See the chaos test suite and the
+// README's "Failure semantics" section.
+//
 // Endpoints (all bodies are the binary wire formats of
 // internal/wire):
 //
@@ -17,14 +28,22 @@
 package remote
 
 import (
+	"bytes"
+	"context"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/server"
 	"repro/internal/wire"
@@ -32,6 +51,16 @@ import (
 
 // maxUpload caps request bodies (default 1 GiB).
 const maxUpload = 1 << 30
+
+// checksumHeader carries a hex SHA-256 of the response body on the
+// binary endpoints, so the client can tell damaged bytes from real
+// ones and retry instead of failing on (or worse, accepting) a torn
+// read.
+const checksumHeader = "X-Body-Sha256"
+
+// dedupWindow bounds the per-database set of remembered update
+// request IDs (oldest forgotten first).
+const dedupWindow = 4096
 
 // Service is the HTTP-facing untrusted server. It can host several
 // databases, keyed by name.
@@ -41,18 +70,34 @@ type Service struct {
 	// persistDir, when set, mirrors every hosted database to disk
 	// (see NewPersistentService).
 	persistDir string
+	// dedupHits counts update requests answered from the dedup table
+	// instead of being re-applied (observability + tests).
+	dedupHits atomic.Int64
 }
 
 type hosted struct {
 	mu  sync.RWMutex // guards srv replacement on update
 	srv *server.Server
 	db  *wire.HostedDB
+	// seen is the request-ID dedup table: IDs of updates already
+	// applied, so a retry of a lost acknowledgment is answered
+	// without re-applying. Guarded by mu (write half).
+	seen      map[uint64]bool
+	seenOrder []uint64
+}
+
+func newHosted(srv *server.Server, db *wire.HostedDB) *hosted {
+	return &hosted{srv: srv, db: db, seen: map[uint64]bool{}}
 }
 
 // NewService returns an empty service.
 func NewService() *Service {
 	return &Service{dbs: map[string]*hosted{}}
 }
+
+// DedupHits reports how many update requests were answered from the
+// request-ID dedup table rather than re-applied.
+func (s *Service) DedupHits() int { return int(s.dedupHits.Load()) }
 
 // ServeHTTP implements http.Handler.
 func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -98,7 +143,32 @@ func (s *Service) withDB(w http.ResponseWriter, name string, fn func(*hosted)) {
 	fn(h)
 }
 
+// writeChecksummed sends a binary payload with its integrity header.
+func writeChecksummed(w http.ResponseWriter, payload []byte) {
+	sum := sha256.Sum256(payload)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(checksumHeader, hex.EncodeToString(sum[:]))
+	w.Write(payload)
+}
+
+// canceled reports (and answers) a request whose client already gave
+// up, so handlers skip work the caller will never see. 499 matches
+// nginx's "client closed request".
+func canceled(w http.ResponseWriter, r *http.Request) bool {
+	if err := r.Context().Err(); err != nil {
+		http.Error(w, "client canceled request", 499)
+		return true
+	}
+	return false
+}
+
 func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request, name string) {
+	// An unsafe name is a permanent client error; reject it before
+	// hosting so the client doesn't retry a hopeless upload.
+	if s.persistDir != "" && strings.ContainsAny(name, "/\\.") {
+		http.Error(w, fmt.Sprintf("database name %q not filesystem-safe", name), http.StatusBadRequest)
+		return
+	}
 	data, err := io.ReadAll(io.LimitReader(r.Body, maxUpload))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -109,8 +179,11 @@ func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request, name stri
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if canceled(w, r) {
+		return
+	}
 	s.mu.Lock()
-	s.dbs[name] = &hosted{srv: server.New(db), db: db}
+	s.dbs[name] = newHosted(server.New(db), db)
 	s.mu.Unlock()
 	if err := s.persist(name, db); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -130,6 +203,9 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request, h *hosted)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if canceled(w, r) {
+		return
+	}
 	h.mu.RLock()
 	ans, err := h.srv.Execute(q)
 	h.mu.RUnlock()
@@ -142,8 +218,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request, h *hosted)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Write(out)
+	writeChecksummed(w, out)
 }
 
 func (s *Service) handleExtreme(w http.ResponseWriter, r *http.Request, h *hosted) {
@@ -154,6 +229,9 @@ func (s *Service) handleExtreme(w http.ResponseWriter, r *http.Request, h *hoste
 		return
 	}
 	max := r.URL.Query().Get("max") == "1"
+	if canceled(w, r) {
+		return
+	}
 	h.mu.RLock()
 	bid, ct, found, err := h.srv.Extreme(lo, hi, max)
 	h.mu.RUnlock()
@@ -165,11 +243,10 @@ func (s *Service) handleExtreme(w http.ResponseWriter, r *http.Request, h *hoste
 		http.Error(w, "no entries in range", http.StatusNotFound)
 		return
 	}
-	var hdr [8]byte
-	binary.BigEndian.PutUint64(hdr[:], uint64(bid))
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Write(hdr[:])
-	w.Write(ct)
+	payload := make([]byte, 8+len(ct))
+	binary.BigEndian.PutUint64(payload[:8], uint64(bid))
+	copy(payload[8:], ct)
+	writeChecksummed(w, payload)
 }
 
 func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request, name string, h *hosted) {
@@ -183,8 +260,27 @@ func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request, name stri
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if canceled(w, r) {
+		return
+	}
 	h.mu.Lock()
+	if upd.RequestID != 0 && h.seen[upd.RequestID] {
+		// A retry of an update we already applied: acknowledge
+		// without re-applying.
+		h.mu.Unlock()
+		s.dedupHits.Add(1)
+		w.WriteHeader(http.StatusOK)
+		return
+	}
 	err = h.srv.ApplyUpdate(upd)
+	if err == nil && upd.RequestID != 0 {
+		h.seen[upd.RequestID] = true
+		h.seenOrder = append(h.seenOrder, upd.RequestID)
+		if len(h.seenOrder) > dedupWindow {
+			delete(h.seen, h.seenOrder[0])
+			h.seenOrder = h.seenOrder[1:]
+		}
+	}
 	h.mu.Unlock()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
@@ -222,7 +318,7 @@ func (s *Service) registerLocal(name string, db *wire.HostedDB) error {
 		return err
 	}
 	s.mu.Lock()
-	s.dbs[name] = &hosted{srv: server.New(decoded), db: decoded}
+	s.dbs[name] = newHosted(server.New(decoded), decoded)
 	s.mu.Unlock()
 	return nil
 }
@@ -233,23 +329,71 @@ func RegisterLocal(s *Service, name string, db *wire.HostedDB) error {
 }
 
 // Client is the owner-side transport: a core.Backend whose calls
-// travel over HTTP to a Service.
+// travel over HTTP to a Service, with per-attempt timeouts, retries
+// and a circuit breaker.
 type Client struct {
 	base string // e.g. http://host:8080
 	name string
 	http *http.Client
+
+	retry   RetryPolicy
+	timeout time.Duration // per-attempt bound; 0 = none
+	breaker *breaker      // nil = disabled
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // backoff jitter
 }
 
 // Dial points a client at a service's database. It does not touch
-// the network until the first call.
+// the network until the first call. The returned client retries
+// under DefaultRetryPolicy with DefaultBreakerConfig; use the With*
+// methods to reconfigure (WithRetry(NoRetry) restores the old
+// fail-on-first-error behavior).
 func Dial(baseURL, name string) *Client {
-	return &Client{base: strings.TrimRight(baseURL, "/"), name: name, http: http.DefaultClient}
+	return &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		name:    name,
+		http:    http.DefaultClient,
+		retry:   DefaultRetryPolicy,
+		breaker: newBreaker(DefaultBreakerConfig),
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
 }
 
 // WithHTTPClient substitutes the underlying *http.Client (timeouts,
 // TLS configuration, test transports).
 func (c *Client) WithHTTPClient(hc *http.Client) *Client {
 	c.http = hc
+	return c
+}
+
+// WithRetry replaces the retry policy.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	c.retry = p
+	return c
+}
+
+// WithTimeout bounds each individual attempt (the retry budget and
+// the caller's context bound the whole operation).
+func (c *Client) WithTimeout(d time.Duration) *Client {
+	c.timeout = d
+	return c
+}
+
+// WithBreaker replaces the circuit breaker configuration; a zero
+// FailureThreshold disables the breaker.
+func (c *Client) WithBreaker(cfg BreakerConfig) *Client {
+	if cfg.FailureThreshold <= 0 {
+		c.breaker = nil
+	} else {
+		c.breaker = newBreaker(cfg)
+	}
+	return c
+}
+
+// withJitterSeed pins the backoff jitter source (tests).
+func (c *Client) withJitterSeed(seed int64) *Client {
+	c.rng = rand.New(rand.NewSource(seed))
 	return c
 }
 
@@ -261,94 +405,242 @@ func (c *Client) url(action string) string {
 	return u
 }
 
-// Upload sends a hosted database to the service.
-func (c *Client) Upload(db *wire.HostedDB) error {
+// do runs one logical operation through the breaker and the retry
+// loop. attempt is called with a per-attempt context and must be
+// safe to call again after a failure.
+func (c *Client) do(ctx context.Context, op string, attempt func(ctx context.Context) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := c.preflight(ctx); err != nil {
+		return err
+	}
+	if c.retry.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.retry.Budget)
+		defer cancel()
+	}
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			c.rngMu.Lock()
+			d := c.retry.delay(i, c.rng)
+			c.rngMu.Unlock()
+			if sleepErr := sleep(ctx, d); sleepErr != nil {
+				break // budget or caller deadline exhausted mid-backoff
+			}
+		}
+		actx := ctx
+		var cancel context.CancelFunc
+		if c.timeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, c.timeout)
+		}
+		err = attempt(actx)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			c.breaker.record(true)
+			return nil
+		}
+		if ctx.Err() != nil {
+			break // the operation as a whole is out of time
+		}
+		// A deadline here is the per-attempt timeout (the parent is
+		// alive): a slow attempt, worth retrying.
+		if !retryable(err) && !isDeadline(err) {
+			break
+		}
+	}
+	c.breaker.record(false)
+	if err == nil {
+		err = ctx.Err()
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return err // already carries op + status + body
+	}
+	return fmt.Errorf("remote: %s: %w", op, err)
+}
+
+func isDeadline(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded)
+}
+
+// request performs one HTTP exchange: build, send, read the capped
+// body, verify the integrity checksum when present. It returns the
+// status code and body; err covers transport, read and checksum
+// failures only (non-2xx statuses are the caller's to interpret).
+func (c *Client) request(ctx context.Context, method, url string, payload []byte) (int, []byte, error) {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return 0, nil, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	// Error bodies are only ever quoted in a StatusError: don't let
+	// a hostile server feed us more than we would keep.
+	limit := int64(maxUpload)
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		limit = maxErrBody
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, limit))
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	if want := resp.Header.Get(checksumHeader); want != "" {
+		sum := sha256.Sum256(data)
+		if hex.EncodeToString(sum[:]) != want {
+			return resp.StatusCode, nil, ErrChecksum
+		}
+	}
+	return resp.StatusCode, data, nil
+}
+
+func statusError(op string, code int, body []byte) *StatusError {
+	b := body
+	if len(b) > maxErrBody {
+		b = b[:maxErrBody]
+	}
+	return &StatusError{
+		Op:     op,
+		Code:   code,
+		Status: fmt.Sprintf("%d %s", code, http.StatusText(code)),
+		Body:   strings.TrimSpace(string(b)),
+	}
+}
+
+// Ping checks the service's liveness endpoint. It bypasses retry and
+// breaker (it is what the breaker's half-open probe calls).
+func (c *Client) Ping(ctx context.Context) error {
+	status, body, err := c.request(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return fmt.Errorf("remote: ping: %w", err)
+	}
+	if status != http.StatusOK {
+		return statusError("ping", status, body)
+	}
+	return nil
+}
+
+// Upload sends a hosted database to the service. Uploads are
+// idempotent full-state PUTs, so they retry like reads.
+func (c *Client) Upload(ctx context.Context, db *wire.HostedDB) error {
 	data, err := wire.MarshalDB(db)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPut, c.url(""), strings.NewReader(string(data)))
-	if err != nil {
-		return err
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return fmt.Errorf("remote: upload: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		return httpError("upload", resp)
-	}
-	return nil
+	return c.do(ctx, "upload", func(ctx context.Context) error {
+		status, body, err := c.request(ctx, http.MethodPut, c.url(""), data)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusCreated {
+			return statusError("upload", status, body)
+		}
+		return nil
+	})
 }
 
 // Execute implements core.Backend over HTTP.
-func (c *Client) Execute(q *wire.Query) (*wire.Answer, error) {
+func (c *Client) Execute(ctx context.Context, q *wire.Query) (*wire.Answer, error) {
 	data, err := wire.MarshalQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.http.Post(c.url("query"), "application/octet-stream", strings.NewReader(string(data)))
-	if err != nil {
-		return nil, fmt.Errorf("remote: query: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, httpError("query", resp)
-	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxUpload))
+	var ans *wire.Answer
+	err = c.do(ctx, "query", func(ctx context.Context) error {
+		status, body, err := c.request(ctx, http.MethodPost, c.url("query"), data)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return statusError("query", status, body)
+		}
+		a, err := wire.UnmarshalAnswer(body)
+		if err != nil {
+			return err
+		}
+		ans = a
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	return wire.UnmarshalAnswer(body)
+	return ans, nil
 }
 
 // Extreme implements core.Backend over HTTP.
-func (c *Client) Extreme(lo, hi uint64, max bool) (int, []byte, bool, error) {
+func (c *Client) Extreme(ctx context.Context, lo, hi uint64, max bool) (int, []byte, bool, error) {
 	m := "0"
 	if max {
 		m = "1"
 	}
-	resp, err := c.http.Get(fmt.Sprintf("%s?lo=%d&hi=%d&max=%s", c.url("extreme"), lo, hi, m))
-	if err != nil {
-		return 0, nil, false, fmt.Errorf("remote: extreme: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusNotFound {
-		return 0, nil, false, nil
-	}
-	if resp.StatusCode != http.StatusOK {
-		return 0, nil, false, httpError("extreme", resp)
-	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxUpload))
+	url := fmt.Sprintf("%s?lo=%d&hi=%d&max=%s", c.url("extreme"), lo, hi, m)
+	var (
+		bid   int
+		block []byte
+		found bool
+	)
+	err := c.do(ctx, "extreme", func(ctx context.Context) error {
+		status, body, err := c.request(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		switch {
+		case status == http.StatusNotFound:
+			found = false
+			return nil
+		case status != http.StatusOK:
+			return statusError("extreme", status, body)
+		}
+		if len(body) < 8 {
+			return fmt.Errorf("short extreme response: %w", io.ErrUnexpectedEOF)
+		}
+		bid = int(binary.BigEndian.Uint64(body[:8]))
+		block = body[8:]
+		found = true
+		return nil
+	})
 	if err != nil {
 		return 0, nil, false, err
 	}
-	if len(body) < 8 {
-		return 0, nil, false, fmt.Errorf("remote: short extreme response")
-	}
-	return int(binary.BigEndian.Uint64(body[:8])), body[8:], true, nil
+	return bid, block, found, nil
 }
 
 // ApplyUpdate implements core.Backend over HTTP: it sends an owner
-// update to the service.
-func (c *Client) ApplyUpdate(upd *wire.Update) error {
+// update to the service. A zero RequestID is replaced with a fresh
+// random one so retries of this call are deduplicated server-side.
+func (c *Client) ApplyUpdate(ctx context.Context, upd *wire.Update) error {
+	if upd.RequestID == 0 {
+		upd.RequestID = wire.NewRequestID()
+	}
 	data, err := wire.MarshalUpdate(upd)
 	if err != nil {
 		return err
 	}
-	resp, err := c.http.Post(c.url("update"), "application/octet-stream", strings.NewReader(string(data)))
-	if err != nil {
-		return fmt.Errorf("remote: update: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return httpError("update", resp)
-	}
-	return nil
-}
-
-func httpError(op string, resp *http.Response) error {
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-	return fmt.Errorf("remote: %s: %s: %s", op, resp.Status, strings.TrimSpace(string(body)))
+	return c.do(ctx, "update", func(ctx context.Context) error {
+		status, body, err := c.request(ctx, http.MethodPost, c.url("update"), data)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return statusError("update", status, body)
+		}
+		return nil
+	})
 }

@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -51,7 +52,7 @@ func remoteSystem(t *testing.T) (*core.System, *httptest.Server) {
 	ts := httptest.NewServer(NewService())
 	t.Cleanup(ts.Close)
 	cl := Dial(ts.URL, "hospital").WithHTTPClient(ts.Client())
-	if err := cl.Upload(sys.HostedDB); err != nil {
+	if err := cl.Upload(context.Background(), sys.HostedDB); err != nil {
 		t.Fatalf("Upload: %v", err)
 	}
 	sys.UseBackend(cl)
@@ -198,7 +199,7 @@ func TestRemoteBadQueryBody(t *testing.T) {
 func TestRemoteExtremeNotFound(t *testing.T) {
 	_, ts := remoteSystem(t)
 	cl := Dial(ts.URL, "hospital").WithHTTPClient(ts.Client())
-	_, _, found, err := cl.Extreme(1, 2, false)
+	_, _, found, err := cl.Extreme(context.Background(), 1, 2, false)
 	if err != nil {
 		t.Fatalf("Extreme: %v", err)
 	}

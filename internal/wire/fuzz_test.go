@@ -1,0 +1,199 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/dsi"
+	"repro/internal/xmltree"
+)
+
+// Fuzz and exhaustive-truncation coverage for every decoder the
+// untrusted network can feed: a hostile or torn byte stream must
+// produce an error, never a panic and never a silently wrong value.
+
+// fuzzDB builds a small valid HostedDB encoding for seed corpora
+// (helper-free so it is callable from testing.F).
+func fuzzDB() []byte {
+	res, err := xmltree.ParseString(`<hospital><patient><EncBlock id="0"/><SSN>763895</SSN></patient></hospital>`)
+	if err != nil {
+		return nil
+	}
+	ivs := map[*xmltree.Node]dsi.Interval{}
+	i := 0.0
+	for _, n := range res.Nodes() {
+		if n.Kind == xmltree.Text {
+			continue
+		}
+		ivs[n] = dsi.Interval{Lo: 0.01 * i, Hi: 0.01*i + 0.005}
+		i++
+	}
+	data, err := MarshalDB(&HostedDB{
+		Residue:          res,
+		ResidueIntervals: ivs,
+		Table: &dsi.Table{ByTag: map[string][]dsi.Interval{
+			"hospital": {{Lo: 0, Hi: 1}},
+			"patient":  {{Lo: 0.1, Hi: 0.4}},
+		}},
+		BlockReps:    []dsi.Interval{{Lo: 0.12, Hi: 0.2}},
+		Blocks:       [][]byte{{1, 2, 3, 4, 5}},
+		IndexEntries: []btree.Entry{{Key: 99, BlockID: 0}},
+	})
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+func fuzzUpdate() *Update {
+	return &Update{
+		RequestID: 42,
+		Blocks:    []BlockUpdate{{ID: 1, Ciphertext: []byte{9, 9, 9}}, {ID: 4, Ciphertext: nil}},
+		DropBands: []uint8{3, 7},
+		AddEntries: []btree.Entry{
+			{Key: 0x0301_0000_0000_0000, BlockID: 1},
+			{Key: 0x0700_0000_0000_0001, BlockID: 4},
+		},
+	}
+}
+
+func FuzzUnmarshalDB(f *testing.F) {
+	if seed := fuzzDB(); seed != nil {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("SXDB1"))
+	f.Add([]byte("SXDB1\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := UnmarshalDB(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must survive a re-encode.
+		if _, err := MarshalDB(db); err != nil {
+			t.Fatalf("accepted input cannot re-marshal: %v", err)
+		}
+	})
+}
+
+func FuzzUnmarshalQuery(f *testing.F) {
+	if seed, err := MarshalQuery(sampleQuery()); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("SXQ1"))
+	f.Add([]byte("SXQ1\x01\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := UnmarshalQuery(data)
+		if err != nil {
+			return
+		}
+		// The encoding is canonical: re-marshal must be accepted again.
+		out, err := MarshalQuery(q)
+		if err != nil {
+			t.Fatalf("accepted input cannot re-marshal: %v", err)
+		}
+		if _, err := UnmarshalQuery(out); err != nil {
+			t.Fatalf("re-marshal does not decode: %v", err)
+		}
+	})
+}
+
+func FuzzUnmarshalAnswer(f *testing.F) {
+	if seed, err := MarshalAnswer(&Answer{
+		Fragments: [][]byte{[]byte("<patient/>")},
+		BlockIDs:  []int{3},
+		Blocks:    [][]byte{{9, 9, 9}},
+	}); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("SXA1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := UnmarshalAnswer(data)
+		if err != nil {
+			return
+		}
+		out, err := MarshalAnswer(a)
+		if err != nil {
+			t.Fatalf("accepted input cannot re-marshal: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("answer decode/encode not canonical")
+		}
+	})
+}
+
+func FuzzUnmarshalUpdate(f *testing.F) {
+	if seed, err := MarshalUpdate(fuzzUpdate()); err == nil {
+		f.Add(seed) // SXU2
+		// And the legacy SXU1 framing of the same body.
+		if len(seed) > 12 {
+			f.Add(append([]byte("SXU1"), seed[12:]...)) // strip magic+request ID
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("SXU1"))
+	f.Add([]byte("SXU2"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := UnmarshalUpdate(data)
+		if err != nil {
+			return
+		}
+		if _, err := MarshalUpdate(u); err != nil {
+			t.Fatalf("accepted input cannot re-marshal: %v", err)
+		}
+	})
+}
+
+// TestStrictPrefixesError: the wire decoders read sequentially and
+// check for trailing bytes, so EVERY strict prefix of a valid
+// encoding must be rejected — a truncated message can never decode
+// into a plausible shorter one.
+func TestStrictPrefixesError(t *testing.T) {
+	queryBytes, err := MarshalQuery(sampleQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	answerBytes, err := MarshalAnswer(&Answer{
+		Fragments: [][]byte{[]byte("<patient/>"), []byte("<x>1</x>")},
+		BlockIDs:  []int{3, 7},
+		Blocks:    [][]byte{{9, 9, 9}, {1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	updateBytes, err := MarshalUpdate(fuzzUpdate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbBytes := fuzzDB()
+	if dbBytes == nil {
+		t.Fatal("fuzzDB returned no encoding")
+	}
+
+	cases := []struct {
+		name      string
+		data      []byte
+		unmarshal func([]byte) error
+	}{
+		{"db", dbBytes, func(b []byte) error { _, err := UnmarshalDB(b); return err }},
+		{"query", queryBytes, func(b []byte) error { _, err := UnmarshalQuery(b); return err }},
+		{"answer", answerBytes, func(b []byte) error { _, err := UnmarshalAnswer(b); return err }},
+		{"update", updateBytes, func(b []byte) error { _, err := UnmarshalUpdate(b); return err }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for n := 0; n < len(tc.data); n++ {
+				if err := tc.unmarshal(tc.data[:n]); err == nil {
+					t.Fatalf("strict prefix of %d/%d bytes decoded without error", n, len(tc.data))
+				}
+			}
+			// Sanity: the full encoding still decodes.
+			if err := tc.unmarshal(tc.data); err != nil {
+				t.Fatalf("full encoding rejected: %v", err)
+			}
+		})
+	}
+}

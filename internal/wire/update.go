@@ -17,6 +17,13 @@ import (
 // whole-band replacement looks identical for every possible update.
 // Structure-preserving updates keep the DSI tables untouched.
 type Update struct {
+	// RequestID identifies this update for at-most-once application:
+	// the server remembers recently applied IDs and acknowledges a
+	// retry (a lost response, a client-side timeout) without
+	// re-applying it. Zero means "no ID"; the remote client assigns
+	// a random one before the first attempt. The ID is random and
+	// carries no information about the update's content.
+	RequestID uint64
 	// Blocks replaces the ciphertext of existing blocks, by ID.
 	Blocks []BlockUpdate
 	// DropBands removes every value-index entry whose key lies in
@@ -32,12 +39,19 @@ type BlockUpdate struct {
 	Ciphertext []byte
 }
 
-var updateMagic = []byte("SXU1")
+// Update format versions: SXU1 has no request ID; SXU2 prefixes the
+// body with one. MarshalUpdate writes SXU2; UnmarshalUpdate accepts
+// both (an SXU1 decode gets RequestID 0).
+var (
+	updateMagicV1 = []byte("SXU1")
+	updateMagic   = []byte("SXU2")
+)
 
 // MarshalUpdate serializes an update.
 func MarshalUpdate(u *Update) ([]byte, error) {
 	w := &writer{}
 	w.buf.Write(updateMagic)
+	w.u64(u.RequestID)
 	w.uvarint(uint64(len(u.Blocks)))
 	for _, b := range u.Blocks {
 		w.uvarint(uint64(b.ID))
@@ -55,13 +69,24 @@ func MarshalUpdate(u *Update) ([]byte, error) {
 	return w.buf.Bytes(), nil
 }
 
-// UnmarshalUpdate reverses MarshalUpdate.
+// UnmarshalUpdate reverses MarshalUpdate. Both format versions are
+// accepted; see updateMagic.
 func UnmarshalUpdate(data []byte) (*Update, error) {
 	r := &reader{r: bytes.NewReader(data)}
-	if err := expectMagic(r.r, updateMagic); err != nil {
-		return nil, err
-	}
 	u := &Update{}
+	if err := expectMagic(r.r, updateMagic); err != nil {
+		// Not SXU2 — rewind and try the legacy SXU1 layout.
+		r.r = bytes.NewReader(data)
+		if errV1 := expectMagic(r.r, updateMagicV1); errV1 != nil {
+			return nil, err
+		}
+	} else {
+		id, err := r.u64()
+		if err != nil {
+			return nil, fmt.Errorf("wire: request id: %w", err)
+		}
+		u.RequestID = id
+	}
 	nb, err := r.count("block update")
 	if err != nil {
 		return nil, err

@@ -21,6 +21,7 @@
 package secxml
 
 import (
+	"context"
 	"io"
 	"sort"
 	"time"
@@ -124,14 +125,17 @@ func Host(doc *Document, constraints []string, opts Options) (*Database, error) 
 // HostRemote encrypts the document exactly like Host, but uploads
 // the ciphertext and metadata to a running server (cmd/xserve) at
 // baseURL under dbName and routes every subsequent Query / Min /
-// Max / Update over HTTP. Keys never leave this process.
-func HostRemote(doc *Document, constraints []string, opts Options, baseURL, dbName string) (*Database, error) {
+// Max / Update over HTTP. Keys never leave this process. The
+// transport retries transient failures with backoff and fails fast
+// through a circuit breaker while the server is down (see
+// internal/remote); the upload itself is bounded by ctx.
+func HostRemote(ctx context.Context, doc *Document, constraints []string, opts Options, baseURL, dbName string) (*Database, error) {
 	db, err := Host(doc, constraints, opts)
 	if err != nil {
 		return nil, err
 	}
 	cl := remote.Dial(baseURL, dbName)
-	if err := cl.Upload(db.sys.HostedDB); err != nil {
+	if err := cl.Upload(ctx, db.sys.HostedDB); err != nil {
 		return nil, err
 	}
 	db.sys.UseBackend(cl)
@@ -147,6 +151,9 @@ type Timings struct {
 	ClientPost      time.Duration
 	AnswerBytes     int
 	BlocksShipped   int
+	// Stale marks an answer served from the stale-fallback cache
+	// because the remote backend was unreachable.
+	Stale bool
 }
 
 // Total sums all stages.
@@ -229,6 +236,7 @@ func convertTimings(tm core.Timings) Timings {
 		ClientPost:      tm.ClientPost,
 		AnswerBytes:     tm.AnswerBytes,
 		BlocksShipped:   tm.BlocksShipped,
+		Stale:           tm.Stale,
 	}
 }
 

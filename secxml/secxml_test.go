@@ -1,6 +1,7 @@
 package secxml
 
 import (
+	"context"
 	"net/http/httptest"
 
 	"reflect"
@@ -247,7 +248,7 @@ func TestAllSchemesWork(t *testing.T) {
 func TestHostRemote(t *testing.T) {
 	ts := httptest.NewServer(remote.NewService())
 	defer ts.Close()
-	db, err := HostRemote(open(t), constraints, Options{
+	db, err := HostRemote(context.Background(), open(t), constraints, Options{
 		MasterKey: []byte("remote-api"),
 	}, ts.URL, "hospital")
 	if err != nil {
@@ -268,7 +269,7 @@ func TestHostRemote(t *testing.T) {
 		t.Errorf("remote Min = %q, %v", mn, err)
 	}
 	// Unreachable server surfaces an error.
-	if _, err := HostRemote(open(t), constraints, Options{MasterKey: []byte("k")},
+	if _, err := HostRemote(context.Background(), open(t), constraints, Options{MasterKey: []byte("k")},
 		"http://127.0.0.1:1", "x"); err == nil {
 		t.Errorf("dead server accepted")
 	}
