@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos fuzz bench fmt
+.PHONY: check vet build test race chaos fuzz fuzz-smoke difftest bench bench-parallel fmt
 
-check: vet build race
+check: vet build race fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,8 +30,26 @@ fuzz:
 	$(GO) test ./internal/wire/ -fuzz FuzzUnmarshalAnswer -fuzztime 20s
 	$(GO) test ./internal/wire/ -fuzz FuzzUnmarshalUpdate -fuzztime 20s
 
+# Quick fuzz pass over the two text parsers (query strings and SC
+# specs are operator input); part of `check`.
+fuzz-smoke:
+	$(GO) test ./internal/xpath/ -fuzz FuzzParseXPath -fuzztime 10s
+	$(GO) test ./internal/sc/ -fuzz FuzzParseSC -fuzztime 10s
+
+# Open-ended differential fuzzing: encrypted pipeline vs plaintext
+# evaluator on randomized documents/SCs/queries under every scheme.
+# Override the budget with DIFFTEST_DURATION=10m etc.
+DIFFTEST_DURATION ?= 1m
+difftest:
+	$(GO) test ./internal/difftest/ -run OpenEnded -difftest.duration $(DIFFTEST_DURATION)
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Sequential-vs-parallel pipeline benchmarks; writes BENCH_parallel.json.
+bench-parallel:
+	SECXML_BENCH_JSON=BENCH_parallel.json \
+		$(GO) test -bench 'Parallel|ConcurrentQueries' -benchtime 3x -run '^$$' .
 
 fmt:
 	gofmt -l -w .

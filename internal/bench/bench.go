@@ -89,6 +89,13 @@ func NewSetup(cfg Config) (*Setup, error) {
 		if cfg.PaperHW {
 			sys.SimDecryptMBps = PaperDecryptMBps
 		}
+		// The paper's §7 numbers come from single-threaded hardware;
+		// pin the reproduction to width 1 so measured columns stay
+		// comparable. Benchmark*Parallel widens the pools explicitly.
+		sys.Client.SetParallelism(1)
+		if l, ok := sys.Server.(core.Local); ok {
+			l.S.SetParallelism(1)
+		}
 		s.Systems[name] = sys
 	}
 	return s, nil

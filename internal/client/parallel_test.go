@@ -1,0 +1,77 @@
+package client
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// naiveAnswer builds the "ship everything" answer (every hosted
+// block, the full residue as one fragment) — the largest block set a
+// client can be asked to decrypt for this database.
+func naiveAnswer(db *wire.HostedDB) *wire.Answer {
+	ans := &wire.Answer{Fragments: [][]byte{[]byte(db.Residue.String())}}
+	for id, b := range db.Blocks {
+		ans.BlockIDs = append(ans.BlockIDs, id)
+		ans.Blocks = append(ans.Blocks, b)
+	}
+	return ans
+}
+
+// TestDecryptBlocksParallelMatchesSequential pins the parallel
+// decrypt fan-out to the sequential result, block for block.
+func TestDecryptBlocksParallelMatchesSequential(t *testing.T) {
+	c, _, db := fixture(t)
+	ans := naiveAnswer(db)
+	c.SetParallelism(1)
+	want, err := c.DecryptBlocks(ans)
+	if err != nil {
+		t.Fatalf("sequential decrypt: %v", err)
+	}
+	for _, width := range []int{2, 8} {
+		c.SetParallelism(width)
+		got, err := c.DecryptBlocks(ans)
+		if err != nil {
+			t.Fatalf("width %d decrypt: %v", width, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("width %d: %d blocks, want %d", width, len(got), len(want))
+		}
+		for id, pt := range want {
+			if !bytes.Equal(got[id], pt) {
+				t.Errorf("width %d: block %d plaintext differs", width, id)
+			}
+		}
+	}
+}
+
+// TestDecryptBlocksParallelSurfacesError checks a corrupt block
+// still fails the whole decrypt under the fan-out.
+func TestDecryptBlocksParallelSurfacesError(t *testing.T) {
+	c, _, db := fixture(t)
+	ans := naiveAnswer(db)
+	if len(ans.Blocks) == 0 {
+		t.Skip("no blocks")
+	}
+	corrupted := append([]byte(nil), ans.Blocks[len(ans.Blocks)-1]...)
+	corrupted[len(corrupted)-1] ^= 0xff
+	ans.Blocks[len(ans.Blocks)-1] = corrupted
+	c.SetParallelism(8)
+	if _, err := c.DecryptBlocks(ans); err == nil {
+		t.Errorf("corrupt block decrypted without error")
+	}
+}
+
+// TestClientParallelismClamp checks the knob floors at 1.
+func TestClientParallelismClamp(t *testing.T) {
+	c, _, _ := fixture(t)
+	c.SetParallelism(0)
+	if got := c.Parallelism(); got != 1 {
+		t.Errorf("Parallelism() = %d, want 1", got)
+	}
+	c.SetParallelism(6)
+	if got := c.Parallelism(); got != 6 {
+		t.Errorf("Parallelism() = %d, want 6", got)
+	}
+}

@@ -33,6 +33,12 @@ func (s *System) AggregateMinMaxContext(ctx context.Context, pathStr string, max
 	if err != nil {
 		return "", Timings{}, err
 	}
+	// One read lock covers both the index probe and the query
+	// fallback; the fallback calls the unexported locked pipeline so
+	// the lock is never acquired recursively (a second RLock could
+	// deadlock behind a waiting writer).
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	tagKey := lastNamedTag(path)
 	fastPath := tagKey != "" && !hasPredicates(path)
 	if fastPath {
@@ -41,7 +47,7 @@ func (s *System) AggregateMinMaxContext(ctx context.Context, pathStr string, max
 		}
 	}
 	// Fallback: full secure query, aggregate at the client.
-	nodes, _, tm, err := s.QueryPathContext(ctx, path)
+	nodes, _, tm, err := s.queryPathLocked(ctx, path)
 	if err != nil {
 		return "", tm, err
 	}

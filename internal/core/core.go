@@ -9,6 +9,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/client"
@@ -97,10 +98,24 @@ func (l Local) ApplyUpdate(ctx context.Context, u *wire.Update) error {
 
 // System is one hosted database: the owner's client state, the
 // untrusted server, and the link between them.
+//
+// A System is safe for concurrent use: queries and aggregates run
+// under a shared (read) lock, so any number may be in flight at
+// once, while updates take the exclusive (write) lock — the client's
+// translation state (occurrence tables, OPESS transformers) and the
+// HostedDB mirror mutate during an update, and a query must never
+// observe them half-rewritten. The server keeps its own
+// reader/writer lock internally (internal/server), so a remote
+// backend shared by several Systems stays consistent too.
 type System struct {
 	Client *client.Client
 	Server Backend
 	Link   netsim.Link
+
+	// mu orders queries (readers) against updates (writer). The
+	// exported fields above are set before first use and never
+	// reassigned mid-flight.
+	mu sync.RWMutex
 
 	// SimDecryptMBps, when positive, REPLACES the measured client
 	// decryption time with bytes/throughput. It models the paper's
@@ -134,6 +149,8 @@ type System struct {
 // served with Timings.Stale set — possibly out of date, clearly
 // marked. Cached entries are invalidated on update.
 func (s *System) EnableStaleFallback(maxEntries, maxBytes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.staleCache = client.NewAnswerCache(maxEntries, maxBytes)
 }
 
@@ -176,7 +193,11 @@ func Host(doc *xmltree.Document, scSpecs []string, name SchemeName, masterKey []
 // server reached over HTTP (internal/remote) — in place of the
 // in-process one built by Host. The client state and keys are
 // untouched; only where translated queries go changes.
-func (s *System) UseBackend(b Backend) { s.Server = b }
+func (s *System) UseBackend(b Backend) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Server = b
+}
 
 // Timings is the per-stage cost breakdown of one query (§7.2).
 type Timings struct {
@@ -193,6 +214,17 @@ type Timings struct {
 	// Stale marks an answer served from the stale-fallback cache
 	// because the backend was unreachable (see EnableStaleFallback).
 	Stale bool
+
+	// ServerWorkers / ClientWorkers report the parallel fan-out width
+	// each side was configured with for this query: the server's
+	// matcher worker budget (0 when the backend is remote and its
+	// width is not visible from here) and the client's decrypt/splice
+	// width. They contextualize the per-stage times above — the §7
+	// cost columns were measured sequentially, so a width above 1
+	// means ServerExec/ClientDecrypt are wall times of a parallel
+	// stage, not CPU times.
+	ServerWorkers int
+	ClientWorkers int
 }
 
 // Total sums every stage.
@@ -224,7 +256,20 @@ func (s *System) QueryPath(path *xpath.Path) ([]*xmltree.Node, *xmltree.Document
 
 // QueryPathContext is QueryPath with a caller-supplied context.
 func (s *System) QueryPathContext(ctx context.Context, path *xpath.Path) ([]*xmltree.Node, *xmltree.Document, Timings, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.queryPathLocked(ctx, path)
+}
+
+// queryPathLocked is the query pipeline body; the caller holds the
+// read half of s.mu (directly or via an aggregate entry point — kept
+// unexported so the lock is never taken recursively).
+func (s *System) queryPathLocked(ctx context.Context, path *xpath.Path) ([]*xmltree.Node, *xmltree.Document, Timings, error) {
 	var tm Timings
+	tm.ClientWorkers = s.Client.Parallelism()
+	if l, ok := s.Server.(Local); ok {
+		tm.ServerWorkers = l.S.Parallelism()
+	}
 
 	start := time.Now()
 	qs, err := s.Client.Translate(path)
@@ -313,7 +358,10 @@ func (s *System) NaiveQuery(q string) ([]*xmltree.Node, *xmltree.Document, Timin
 	if err != nil {
 		return nil, nil, Timings{}, err
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var tm Timings
+	tm.ClientWorkers = s.Client.Parallelism()
 
 	// Server side: serialize the full residue, ship every block.
 	start := time.Now()

@@ -215,6 +215,46 @@ func TestTimingsPopulated(t *testing.T) {
 	if tm.Transmit <= 0 {
 		t.Errorf("Transmit = %v", tm.Transmit)
 	}
+	if tm.ClientWorkers < 1 {
+		t.Errorf("ClientWorkers = %d, want >= 1", tm.ClientWorkers)
+	}
+	// The backend is in-process here, so the server's width is
+	// visible and must be reported.
+	if tm.ServerWorkers < 1 {
+		t.Errorf("ServerWorkers = %d, want >= 1", tm.ServerWorkers)
+	}
+	sys.Client.SetParallelism(3)
+	if l, ok := sys.Server.(Local); ok {
+		l.S.SetParallelism(5)
+	}
+	_, _, tm, err = sys.Query("//patient/pname")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if tm.ClientWorkers != 3 || tm.ServerWorkers != 5 {
+		t.Errorf("worker widths = (%d server, %d client), want (5, 3)",
+			tm.ServerWorkers, tm.ClientWorkers)
+	}
+}
+
+// TestNegatedPredicateEmptyAnswer pins the empty-answer semantics: a
+// query the server proves unsatisfiable must yield zero nodes, even
+// when the query would match the client's synthetic reassembly root
+// (a negated predicate on the document root is exactly that shape).
+func TestNegatedPredicateEmptyAnswer(t *testing.T) {
+	doc, _ := xmltree.ParseString(hospitalXML)
+	sys, err := Host(doc, paperSCs, SchemeOpt, []byte("neg-master"))
+	if err != nil {
+		t.Fatalf("Host: %v", err)
+	}
+	nodes, _, _, err := sys.Query("//hospital[not(patient)]")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(nodes) != 0 {
+		t.Errorf("got %d nodes for unsatisfiable query, want 0: %v",
+			len(nodes), ResultStrings(nodes))
+	}
 }
 
 func TestServerSeesNoPlaintextSecrets(t *testing.T) {

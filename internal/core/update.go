@@ -22,12 +22,19 @@ func (s *System) UpdateLeafValues(q string, newValue string) (int, error) {
 }
 
 // UpdateLeafValuesContext is UpdateLeafValues with a caller-supplied
-// context bounding the backend round trips.
+// context bounding the backend round trips. It holds the System's
+// exclusive lock for the whole read-modify-write cycle: the client's
+// occurrence tables and OPESS bands, the HostedDB mirror and the
+// hosted blocks all change together, and concurrent queries (which
+// hold the shared lock) must see either the pre-update or the
+// post-update state, never a mix.
 func (s *System) UpdateLeafValuesContext(ctx context.Context, q string, newValue string) (int, error) {
 	path, err := xpath.Parse(q)
 	if err != nil {
 		return 0, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	qs, err := s.Client.Translate(path)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,327 @@
+// Package difftest is a differential correctness harness for the
+// encrypted query pipeline: it generates randomized documents,
+// security constraints and XPath queries, runs every query through
+// the full encrypted round trip (translate → execute → decrypt →
+// post-process) under each encryption scheme, and checks the answer
+// node-for-node against a plaintext evaluation of the same query on
+// the original document — the paper's correctness contract
+// Q(δ(Qs(η(D)))) = Q(D), tested mechanically instead of by example.
+//
+// Two modes share the generator: the checked-in corpus of fixed
+// seeds runs on every `go test`, and `-difftest.duration=30s` keeps
+// drawing fresh seeds until the clock runs out (see difftest_test.go).
+// Every failure message leads with the seed, so any discovered
+// counterexample replays with a one-line test.
+package difftest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Schemes is every encryption scheme the harness checks; a
+// differential case passes only when all of them agree with the
+// plaintext evaluation.
+var Schemes = []core.SchemeName{
+	core.SchemeOpt, core.SchemeApp, core.SchemeSub, core.SchemeTop, core.SchemeLeaf,
+}
+
+// Case is one generated differential test case: a document, the
+// security constraints to enforce on it, and the queries to compare.
+type Case struct {
+	Seed    uint64
+	DocName string // "nasa" or "xmark"
+	Doc     *xmltree.Document
+	SCs     []string
+	Queries []string
+}
+
+// GenCase derives a full case from one seed, deterministically: the
+// document family and size, a random subset of the family's
+// association constraints plus random node-type constraints, and a
+// query mix drawn from the paper's three classes (§7.1) and from
+// structural templates covering the query language (descendant
+// steps, wildcards, parent steps, value/existence/negated
+// predicates, attributes, text(), and/or).
+func GenCase(seed uint64) *Case {
+	r := datagen.NewRand(seed)
+	c := &Case{Seed: seed}
+	if seed%2 == 0 {
+		c.DocName = "nasa"
+		c.Doc = datagen.NASA(6+r.Intn(18), seed)
+		c.SCs = subsetSCs(r, datagen.NASASCs())
+	} else {
+		c.DocName = "xmark"
+		c.Doc = datagen.XMark(3+r.Intn(8), seed)
+		c.SCs = subsetSCs(r, datagen.XMarkSCs())
+	}
+	c.SCs = append(c.SCs, nodeTypeSCs(r, c.Doc)...)
+
+	for _, class := range []datagen.QueryClass{datagen.Qs, datagen.Qm, datagen.Ql} {
+		c.Queries = append(c.Queries, datagen.Queries(c.Doc, class, 3, seed)...)
+	}
+	c.Queries = append(c.Queries, templateQueries(r, c.Doc, 12)...)
+	return c
+}
+
+// subsetSCs keeps a random non-empty subset of the family's
+// association constraints, so scheme construction sees varied
+// constraint graphs instead of always the paper's full set.
+func subsetSCs(r *datagen.Rand, all []string) []string {
+	var out []string
+	for _, s := range all {
+		if r.Intn(4) != 0 { // keep with p = 3/4
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, all[r.Intn(len(all))])
+	}
+	return out
+}
+
+// nodeTypeSCs adds up to two random node-type constraints ("//tag"):
+// the chosen tags must be encrypted wherever they occur, which
+// shifts block boundaries in ways the association set alone never
+// exercises.
+func nodeTypeSCs(r *datagen.Rand, doc *xmltree.Document) []string {
+	var tags []string
+	seen := map[string]bool{}
+	for _, n := range doc.Nodes() {
+		if n.Kind == xmltree.Element && n.Parent != nil && !seen[n.Tag] {
+			seen[n.Tag] = true
+			tags = append(tags, n.Tag)
+		}
+	}
+	sort.Strings(tags)
+	var out []string
+	for i := 0; i < 2 && len(tags) > 0; i++ {
+		if r.Intn(2) == 0 {
+			out = append(out, "//"+tags[r.Intn(len(tags))])
+		}
+	}
+	return out
+}
+
+// docShape indexes the document for the query templates: element
+// parent→child pairs, ancestor→descendant pairs, leaves with safe
+// values, and attributes.
+type docShape struct {
+	pairs  [][2]string // parent tag, child element tag
+	deep   [][2]string // proper ancestor tag, descendant element tag
+	leaves []*xmltree.Node
+	attrs  [][2]string // owner tag, attribute name
+}
+
+func shapeOf(doc *xmltree.Document) *docShape {
+	sh := &docShape{}
+	seenPair := map[[2]string]bool{}
+	seenDeep := map[[2]string]bool{}
+	seenAttr := map[[2]string]bool{}
+	for _, n := range doc.Nodes() {
+		switch n.Kind {
+		case xmltree.Attribute:
+			k := [2]string{n.Parent.Tag, n.Tag}
+			if !seenAttr[k] {
+				seenAttr[k] = true
+				sh.attrs = append(sh.attrs, k)
+			}
+		case xmltree.Element:
+			if n.Parent != nil {
+				k := [2]string{n.Parent.Tag, n.Tag}
+				if !seenPair[k] {
+					seenPair[k] = true
+					sh.pairs = append(sh.pairs, k)
+				}
+				for a := n.Parent.Parent; a != nil; a = a.Parent {
+					k := [2]string{a.Tag, n.Tag}
+					if !seenDeep[k] {
+						seenDeep[k] = true
+						sh.deep = append(sh.deep, k)
+					}
+				}
+			}
+			if n.IsLeaf() && safeValue(n.LeafValue()) {
+				sh.leaves = append(sh.leaves, n)
+			}
+		}
+	}
+	// doc.Nodes() is a deterministic pre-order walk, so the slices
+	// are already reproducible; no extra sorting needed.
+	return sh
+}
+
+func safeValue(v string) bool {
+	return v != "" && !strings.ContainsAny(v, `'"`)
+}
+
+// templateQueries draws n queries from structural templates keyed to
+// the indexed document shape, so every query is satisfiable by
+// construction (empty results still occur via negation and unlucky
+// value picks, which is part of the coverage).
+func templateQueries(r *datagen.Rand, doc *xmltree.Document, n int) []string {
+	sh := shapeOf(doc)
+	var out []string
+	for len(out) < n {
+		var q string
+		switch r.Intn(10) {
+		case 0: // descendant pair with // step
+			if len(sh.deep) == 0 {
+				continue
+			}
+			p := sh.deep[r.Intn(len(sh.deep))]
+			q = "//" + p[0] + "//" + p[1]
+		case 1: // child step
+			if len(sh.pairs) == 0 {
+				continue
+			}
+			p := sh.pairs[r.Intn(len(sh.pairs))]
+			q = "//" + p[0] + "/" + p[1]
+		case 2: // wildcard child
+			if len(sh.pairs) == 0 {
+				continue
+			}
+			q = "//" + sh.pairs[r.Intn(len(sh.pairs))][0] + "/*"
+		case 3: // parent step
+			if len(sh.pairs) == 0 {
+				continue
+			}
+			q = "//" + sh.pairs[r.Intn(len(sh.pairs))][1] + "/.."
+		case 4: // existence predicate, possibly negated
+			if len(sh.pairs) == 0 {
+				continue
+			}
+			p := sh.pairs[r.Intn(len(sh.pairs))]
+			if r.Intn(2) == 0 {
+				q = "//" + p[0] + "[" + p[1] + "]"
+			} else {
+				q = "//" + p[0] + "[not(" + p[1] + ")]"
+			}
+		case 5: // value predicate on a leaf child, = or !=
+			leaf := pickLeaf(r, sh)
+			if leaf == nil || leaf.Parent == nil {
+				continue
+			}
+			op := "="
+			if r.Intn(3) == 0 {
+				op = "!="
+			}
+			q = "//" + leaf.Parent.Tag + "[" + leaf.Tag + op + "'" + leaf.LeafValue() + "']"
+		case 6: // self value predicate on the leaf itself
+			leaf := pickLeaf(r, sh)
+			if leaf == nil {
+				continue
+			}
+			q = "//" + leaf.Tag + "[.='" + leaf.LeafValue() + "']"
+		case 7: // attribute step or attribute predicate
+			if len(sh.attrs) == 0 {
+				continue
+			}
+			a := sh.attrs[r.Intn(len(sh.attrs))]
+			if r.Intn(2) == 0 {
+				q = "//" + a[0] + "/@" + a[1]
+			} else {
+				q = "//" + a[0] + "[@" + a[1] + "]"
+			}
+		case 8: // text() of a leaf
+			leaf := pickLeaf(r, sh)
+			if leaf == nil {
+				continue
+			}
+			q = "//" + leaf.Tag + "/text()"
+		case 9: // and / or of two existence predicates
+			if len(sh.pairs) < 2 {
+				continue
+			}
+			p1 := sh.pairs[r.Intn(len(sh.pairs))]
+			p2 := sh.pairs[r.Intn(len(sh.pairs))]
+			if p2[0] != p1[0] {
+				continue // both predicates must hang off the same tag
+			}
+			conj := " or "
+			if r.Intn(2) == 0 {
+				conj = " and "
+			}
+			q = "//" + p1[0] + "[" + p1[1] + conj + p2[1] + "]"
+		}
+		if q != "" {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func pickLeaf(r *datagen.Rand, sh *docShape) *xmltree.Node {
+	if len(sh.leaves) == 0 {
+		return nil
+	}
+	return sh.leaves[r.Intn(len(sh.leaves))]
+}
+
+// RunCase hosts the case's document under every scheme and compares
+// each query's encrypted answer against the plaintext evaluation,
+// node-for-node (order-insensitive: both sides sorted). The widths
+// force the parallel code paths even on a single-core runner. A
+// non-nil error pinpoints the first mismatch and leads with the seed
+// so the case replays exactly.
+func RunCase(c *Case) error {
+	for _, name := range Schemes {
+		sys, err := core.Host(c.Doc, c.SCs, name, []byte(fmt.Sprintf("difftest-%d", c.Seed)))
+		if err != nil {
+			return fmt.Errorf("seed %d (%s): host scheme %s (SCs %v): %w",
+				c.Seed, c.DocName, name, c.SCs, err)
+		}
+		// Exercise the parallel matcher and decrypt paths regardless
+		// of GOMAXPROCS.
+		sys.Client.SetParallelism(4)
+		if l, ok := sys.Server.(core.Local); ok {
+			l.S.SetParallelism(4)
+		}
+		for _, q := range c.Queries {
+			want, err := plaintext(c.Doc, q)
+			if err != nil {
+				return fmt.Errorf("seed %d (%s): query %q: plaintext: %w", c.Seed, c.DocName, q, err)
+			}
+			nodes, _, _, err := sys.Query(q)
+			if err != nil {
+				return fmt.Errorf("seed %d (%s): scheme %s query %q: %w",
+					c.Seed, c.DocName, name, q, err)
+			}
+			got := core.ResultStrings(nodes)
+			sort.Strings(got)
+			if !equal(got, want) {
+				return fmt.Errorf("seed %d (%s): scheme %s query %q:\n  plaintext (%d): %v\n  encrypted (%d): %v",
+					c.Seed, c.DocName, name, q, len(want), want, len(got), got)
+			}
+		}
+	}
+	return nil
+}
+
+func plaintext(doc *xmltree.Document, q string) ([]string, error) {
+	path, err := xpath.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	out := core.ResultStrings(xpath.Evaluate(doc, path))
+	sort.Strings(out)
+	return out, nil
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

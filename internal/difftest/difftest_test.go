@@ -1,0 +1,103 @@
+package difftest
+
+import (
+	"flag"
+	"testing"
+	"time"
+)
+
+// difftestDuration opts into the open-ended mode: keep generating
+// fresh random cases until the budget is spent, e.g.
+//
+//	go test ./internal/difftest -run OpenEnded -difftest.duration=1m
+var difftestDuration = flag.Duration("difftest.duration", 0,
+	"run randomized differential cases for this long (0 = fixed corpus only)")
+
+// corpusSeeds is the checked-in corpus: a fixed spread of seeds (odd
+// = XMark, even = NASA) that runs on every `go test`. When the
+// open-ended mode finds a counterexample, its seed belongs here.
+// The two large seeds were found by the open-ended mode:
+// 1785901620815951921 — an empty server answer let the client's
+// synthetic reassembly root satisfy "//site[not(closed_auctions)]"
+// (fixed in client.PostProcessFull); 1785901796407847193 — the
+// matcher claimed certain existence at a grouped in-block context,
+// so "not(bidder)" under the top scheme dropped every grouped
+// open_auction (fixed in exec.evalPred).
+var corpusSeeds = []uint64{
+	1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+	1785901620815951921,
+	1785901796407847193,
+}
+
+func TestDifferentialCorpus(t *testing.T) {
+	seeds := corpusSeeds
+	if testing.Short() {
+		seeds = seeds[:4]
+	}
+	for _, seed := range seeds {
+		c := GenCase(seed)
+		t.Run(c.DocName+"/"+itoa(seed), func(t *testing.T) {
+			t.Parallel()
+			if err := RunCase(c); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestDifferentialOpenEnded draws fresh seeds for the configured
+// duration. The starting seed is the wall clock, so successive runs
+// explore different cases; the failure message carries the seed for
+// replay (add it to corpusSeeds to pin the regression).
+func TestDifferentialOpenEnded(t *testing.T) {
+	if *difftestDuration <= 0 {
+		t.Skip("enable with -difftest.duration=<d>")
+	}
+	deadline := time.Now().Add(*difftestDuration)
+	seed := uint64(time.Now().UnixNano())
+	cases := 0
+	for time.Now().Before(deadline) {
+		if err := RunCase(GenCase(seed)); err != nil {
+			t.Fatal(err)
+		}
+		seed++
+		cases++
+	}
+	t.Logf("differential: %d randomized cases passed in %v", cases, *difftestDuration)
+}
+
+// TestGenCaseDeterministic pins the generator: the same seed must
+// yield the same case, or corpus seeds stop being replayable.
+func TestGenCaseDeterministic(t *testing.T) {
+	a, b := GenCase(42), GenCase(42)
+	if a.DocName != b.DocName || len(a.Queries) != len(b.Queries) || len(a.SCs) != len(b.SCs) {
+		t.Fatalf("GenCase(42) not deterministic: %+v vs %+v", a, b)
+	}
+	for i := range a.Queries {
+		if a.Queries[i] != b.Queries[i] {
+			t.Fatalf("query %d differs: %q vs %q", i, a.Queries[i], b.Queries[i])
+		}
+	}
+	for i := range a.SCs {
+		if a.SCs[i] != b.SCs[i] {
+			t.Fatalf("SC %d differs: %q vs %q", i, a.SCs[i], b.SCs[i])
+		}
+	}
+	if a.Doc.String() != b.Doc.String() {
+		t.Fatalf("document differs between identical seeds")
+	}
+}
+
+func itoa(u uint64) string {
+	if u == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for u > 0 {
+		i--
+		buf[i] = byte('0' + u%10)
+		u /= 10
+	}
+	return string(buf[i:])
+}

@@ -73,15 +73,31 @@ type Service struct {
 	// dedupHits counts update requests answered from the dedup table
 	// instead of being re-applied (observability + tests).
 	dedupHits atomic.Int64
+	// sem, when non-nil, bounds the number of query/extreme requests
+	// executing at once (see WithMaxInFlight). Each in-flight request
+	// holds one slot; acquisition is context-aware so a caller that
+	// gives up while queued does not consume a slot.
+	sem chan struct{}
+	// queueWait bounds how long a request may wait for a slot before
+	// being turned away with 503; zero selects defaultQueueWait.
+	queueWait time.Duration
+	// rejected counts requests turned away with 503 because every
+	// slot stayed busy past the queue-wait bound.
+	rejected atomic.Int64
 }
 
 type hosted struct {
-	mu  sync.RWMutex // guards srv replacement on update
+	// mu serializes updates to this database (dedup check + apply +
+	// persist act as one step). Queries do NOT take it: the server
+	// carries its own reader/writer lock internally, so reads run
+	// concurrently with each other and are ordered against updates by
+	// that lock, not this one.
+	mu  sync.Mutex
 	srv *server.Server
 	db  *wire.HostedDB
 	// seen is the request-ID dedup table: IDs of updates already
 	// applied, so a retry of a lost acknowledgment is answered
-	// without re-applying. Guarded by mu (write half).
+	// without re-applying. Guarded by mu.
 	seen      map[uint64]bool
 	seenOrder []uint64
 }
@@ -93,6 +109,82 @@ func newHosted(srv *server.Server, db *wire.HostedDB) *hosted {
 // NewService returns an empty service.
 func NewService() *Service {
 	return &Service{dbs: map[string]*hosted{}}
+}
+
+// WithMaxInFlight bounds the number of query/extreme requests the
+// service executes at once to n; further requests queue until a slot
+// frees or their own context expires, at which point they are turned
+// away with 503. n <= 0 removes the bound. With the server-side
+// matcher itself fanning out across GOMAXPROCS workers per query
+// (internal/server), the bound keeps p concurrent clients from
+// oversubscribing the host with p×GOMAXPROCS runnable goroutines.
+// Call before serving traffic; returns s for chaining.
+func (s *Service) WithMaxInFlight(n int) *Service {
+	if n <= 0 {
+		s.sem = nil
+	} else {
+		s.sem = make(chan struct{}, n)
+	}
+	return s
+}
+
+// defaultQueueWait is how long a request queues for an execution
+// slot before the service sheds it with 503 (overridable with
+// WithQueueWait). Bounded so a saturated service degrades into fast,
+// retryable rejections instead of an unbounded backlog.
+const defaultQueueWait = 2 * time.Second
+
+// WithQueueWait bounds how long a request may wait for an execution
+// slot before being shed with 503. Only meaningful together with
+// WithMaxInFlight. Returns s for chaining.
+func (s *Service) WithQueueWait(d time.Duration) *Service {
+	s.queueWait = d
+	return s
+}
+
+// Rejected reports how many requests were shed with 503 because no
+// execution slot freed up within the queue-wait bound.
+func (s *Service) Rejected() int { return int(s.rejected.Load()) }
+
+// acquire takes one execution slot, queueing up to the queue-wait
+// bound (or the request's own context, whichever ends first). It
+// reports whether the slot was taken; on false the error response
+// has already been written.
+func (s *Service) acquire(w http.ResponseWriter, r *http.Request) bool {
+	if s.sem == nil {
+		return true
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+	}
+	wait := s.queueWait
+	if wait <= 0 {
+		wait = defaultQueueWait
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-r.Context().Done():
+		// The caller gave up while queued; nobody is listening for a
+		// status, but answer anyway (matches canceled()).
+		http.Error(w, "client canceled request", 499)
+		return false
+	case <-timer.C:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server at capacity", http.StatusServiceUnavailable)
+		return false
+	}
+}
+
+func (s *Service) release() {
+	if s.sem != nil {
+		<-s.sem
+	}
 }
 
 // DedupHits reports how many update requests were answered from the
@@ -206,9 +298,13 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request, h *hosted)
 	if canceled(w, r) {
 		return
 	}
-	h.mu.RLock()
+	if !s.acquire(w, r) {
+		return
+	}
+	defer s.release()
+	// No hosted-level lock: the server's own read lock lets queries
+	// run concurrently and orders them against updates.
 	ans, err := h.srv.Execute(q)
-	h.mu.RUnlock()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
@@ -232,9 +328,11 @@ func (s *Service) handleExtreme(w http.ResponseWriter, r *http.Request, h *hoste
 	if canceled(w, r) {
 		return
 	}
-	h.mu.RLock()
+	if !s.acquire(w, r) {
+		return
+	}
+	defer s.release()
 	bid, ct, found, err := h.srv.Extreme(lo, hi, max)
-	h.mu.RUnlock()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -281,26 +379,31 @@ func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request, name stri
 			h.seenOrder = h.seenOrder[1:]
 		}
 	}
+	var persistErr error
+	if err == nil {
+		// Snapshot to disk while still holding the update lock, so a
+		// concurrent update can't interleave and persist a state this
+		// request never produced.
+		persistErr = s.persist(name, h.db)
+	}
 	h.mu.Unlock()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
-	if err := s.persist(name, h.db); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	if persistErr != nil {
+		http.Error(w, persistErr.Error(), http.StatusInternalServerError)
 		return
 	}
 	w.WriteHeader(http.StatusOK)
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, h *hosted) {
-	h.mu.RLock()
 	stats := map[string]int{
 		"blocks":       h.srv.NumBlocks(),
 		"indexEntries": h.srv.IndexSize(),
 		"indexHeight":  h.srv.IndexHeight(),
 	}
-	h.mu.RUnlock()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(stats)
 }

@@ -1,0 +1,47 @@
+package sc
+
+import (
+	"testing"
+)
+
+// FuzzParseSC asserts the security-constraint parser never panics on
+// arbitrary input and that accepted constraints round-trip through
+// String() to an equivalent constraint — SC specs come straight from
+// operator configuration, so both properties are load-bearing.
+func FuzzParseSC(f *testing.F) {
+	for _, seed := range []string{
+		"//insurance",
+		"//patient:(/pname, /SSN)",
+		"//patient:(/pname, //disease)",
+		"//treat:(/disease, /doctor)",
+		"//dataset:(//initial, /date)",
+		"//a:(//b, //c)",
+		"/a/b",
+		"//a:(/b/c, /d)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := Parse(input) // must not panic
+		if err != nil {
+			return
+		}
+		s1 := c.String()
+		c2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("round-trip reject: Parse(%q) ok, Parse(String()=%q) failed: %v", input, s1, err)
+		}
+		// String() of a parsed constraint echoes the raw input, so
+		// compare the structural rendering instead: kind and paths.
+		if c.Kind != c2.Kind || c.P.String() != c2.P.String() {
+			t.Fatalf("round-trip drift: %q: kind/path %v %q vs %v %q",
+				input, c.Kind, c.P.String(), c2.Kind, c2.P.String())
+		}
+		if c.Kind == Association {
+			if c.Q1.String() != c2.Q1.String() || c.Q2.String() != c2.Q2.String() {
+				t.Fatalf("round-trip drift: %q: endpoints (%q,%q) vs (%q,%q)",
+					input, c.Q1.String(), c.Q2.String(), c2.Q1.String(), c2.Q2.String())
+			}
+		}
+	})
+}

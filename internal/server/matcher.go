@@ -2,6 +2,7 @@ package server
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/dsi"
 	"repro/internal/wire"
@@ -27,14 +28,20 @@ import (
 
 // exec carries per-query state: the value-index lookups of each
 // PredValue are cached so a predicate evaluated against thousands of
-// context intervals hits the B-tree once.
+// context intervals hits the B-tree once, and pool is the query's
+// worker budget for the parallel fan-outs (see parallel.go).
 type exec struct {
-	s          *Server
+	s    *Server
+	pool tokens
+
+	cacheMu    sync.Mutex
 	rangeCache map[*wire.PredValue]map[int]bool
 }
 
+// newExec assumes the caller holds the server's read lock (the
+// worker width is read without further synchronization).
 func (s *Server) newExec() *exec {
-	return &exec{s: s, rangeCache: map[*wire.PredValue]map[int]bool{}}
+	return &exec{s: s, pool: newTokens(s.par), rangeCache: map[*wire.PredValue]map[int]bool{}}
 }
 
 // matchFirst evaluates the first step of the main path: its context
@@ -69,6 +76,16 @@ func (e *exec) matchChain(ctxs []dsi.Interval, st *wire.QStep, upper bool) []dsi
 		var next []dsi.Interval
 		if batched, ok := e.batchStep(cur, st); ok {
 			next = batched
+		} else if len(cur) >= parallelThreshold {
+			// Shard the per-context probing; dedupeSorted below sorts,
+			// so the concatenation order cannot affect the result.
+			shards := make([][]dsi.Interval, len(cur))
+			parallelFor(e.pool, len(cur), func(i int) {
+				shards[i] = e.stepFrom(cur[i], st, upper)
+			})
+			for _, sh := range shards {
+				next = append(next, sh...)
+			}
 		} else {
 			for _, ctx := range cur {
 				next = append(next, e.stepFrom(ctx, st, upper)...)
@@ -251,13 +268,7 @@ func (e *exec) applyPreds(cands []dsi.Interval, preds []wire.QPred) []dsi.Interv
 		if _, ok := p.(*wire.PredPos); ok {
 			continue
 		}
-		var kept []dsi.Interval
-		for _, iv := range cur {
-			if e.evalPred(iv, p, true) {
-				kept = append(kept, iv)
-			}
-		}
-		cur = kept
+		cur = e.filterPred(cur, p, true)
 	}
 	return cur
 }
@@ -266,15 +277,37 @@ func (e *exec) applyPreds(cands []dsi.Interval, preds []wire.QPred) []dsi.Interv
 func (e *exec) filterCertain(cands []dsi.Interval, preds []wire.QPred) []dsi.Interval {
 	cur := cands
 	for _, p := range preds {
+		cur = e.filterPred(cur, p, false)
+	}
+	return cur
+}
+
+// filterPred evaluates one predicate over the candidate set, fanning
+// the (independent) per-candidate evaluations out across the query's
+// worker pool. Workers only fill their own keep slot; the compaction
+// happens in candidate order, so the survivors are exactly those of
+// the sequential loop.
+func (e *exec) filterPred(cands []dsi.Interval, p wire.QPred, upper bool) []dsi.Interval {
+	if len(cands) < parallelThreshold {
 		var kept []dsi.Interval
-		for _, iv := range cur {
-			if e.evalPred(iv, p, false) {
+		for _, iv := range cands {
+			if e.evalPred(iv, p, upper) {
 				kept = append(kept, iv)
 			}
 		}
-		cur = kept
+		return kept
 	}
-	return cur
+	keep := make([]bool, len(cands))
+	parallelFor(e.pool, len(cands), func(i int) {
+		keep[i] = e.evalPred(cands[i], p, upper)
+	})
+	var kept []dsi.Interval
+	for i, iv := range cands {
+		if keep[i] {
+			kept = append(kept, iv)
+		}
+	}
+	return kept
 }
 
 // evalPred evaluates a predicate at a context with the given
@@ -283,6 +316,14 @@ func (e *exec) filterCertain(cands []dsi.Interval, preds []wire.QPred) []dsi.Int
 func (e *exec) evalPred(ctx dsi.Interval, p wire.QPred, upper bool) bool {
 	switch v := p.(type) {
 	case *wire.PredExists:
+		if !upper && e.s.blockIDFor(ctx) >= 0 {
+			// An in-block context interval may be a group standing
+			// for several adjacent same-tag siblings (§5.1.1); a
+			// match found inside it proves existence for *some*
+			// member, not for every one, so it is never certain —
+			// claiming it would let not(...) under-select.
+			return false
+		}
 		return len(e.matchRelative(ctx, v.Path, upper)) > 0
 	case *wire.PredValue:
 		return e.evalValuePred(ctx, v, upper)
@@ -382,8 +423,13 @@ func (e *exec) isForestLeaf(iv dsi.Interval) bool {
 }
 
 // rangeBlocksFor resolves (and caches) the blocks whose indexed
-// values fall in any of the predicate's ciphertext ranges.
+// values fall in any of the predicate's ciphertext ranges. The cache
+// is shared by the query's parallel workers; holding the mutex
+// across the index lookup means concurrent workers asking for the
+// same predicate wait for one resolution instead of duplicating it.
 func (e *exec) rangeBlocksFor(v *wire.PredValue) map[int]bool {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
 	if cached, ok := e.rangeCache[v]; ok {
 		return cached
 	}

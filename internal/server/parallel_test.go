@@ -1,0 +1,178 @@
+package server
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/datagen"
+	"repro/internal/sc"
+	"repro/internal/scheme"
+	"repro/internal/wire"
+	"repro/internal/xpath"
+)
+
+// bootNASA hosts a generated NASA document large enough that every
+// parallel fan-out point (context sharding, predicate filtering,
+// anchor survival) actually exceeds parallelThreshold.
+func bootNASA(t *testing.T) (*client.Client, *Server) {
+	t.Helper()
+	doc := datagen.NASA(300, 3)
+	cs, err := sc.ParseAll(datagen.NASASCs())
+	if err != nil {
+		t.Fatalf("scs: %v", err)
+	}
+	sch, err := scheme.Optimal(doc, cs)
+	if err != nil {
+		t.Fatalf("scheme: %v", err)
+	}
+	c, err := client.New([]byte("parallel-test"))
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	db, err := c.Encrypt(doc, sch)
+	if err != nil {
+		t.Fatalf("encrypt: %v", err)
+	}
+	return c, New(db)
+}
+
+var parallelQueries = []string{
+	"//dataset",
+	"//dataset/title",
+	"//dataset//last",
+	"//author/last",
+	"//dataset[date>=1990]//last",
+	"//dataset[author]/title",
+	"//dataset[.//last!='zzz']/title",
+	"//dataset[not(history)]/title",
+	"//field/..",
+	"//dataset/*",
+}
+
+// TestParallelExecuteMatchesSequential pins the determinism
+// guarantee: for every query, the parallel matcher must produce an
+// answer byte-identical to the sequential one, at several widths
+// (including widths far above GOMAXPROCS, which exercises the
+// inline-fallback path of the token pool).
+func TestParallelExecuteMatchesSequential(t *testing.T) {
+	c, s := bootNASA(t)
+	for _, q := range parallelQueries {
+		tq, err := c.Translate(xpath.MustParse(q))
+		if err != nil {
+			t.Fatalf("translate %s: %v", q, err)
+		}
+		s.SetParallelism(1)
+		want, err := s.Execute(tq)
+		if err != nil {
+			t.Fatalf("sequential %s: %v", q, err)
+		}
+		wantBytes, err := wire.MarshalAnswer(want)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		for _, width := range []int{2, 4, 16} {
+			s.SetParallelism(width)
+			got, err := s.Execute(tq)
+			if err != nil {
+				t.Fatalf("width %d %s: %v", width, q, err)
+			}
+			gotBytes, err := wire.MarshalAnswer(got)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			if !bytes.Equal(gotBytes, wantBytes) {
+				t.Errorf("width %d query %s: parallel answer differs from sequential", width, q)
+			}
+		}
+	}
+}
+
+// TestConcurrentExecuteIdenticalAnswers runs the same query from
+// many goroutines against one server (all under the read lock) and
+// checks every answer matches the single-threaded one.
+func TestConcurrentExecuteIdenticalAnswers(t *testing.T) {
+	c, s := bootNASA(t)
+	s.SetParallelism(4)
+	tq, err := c.Translate(xpath.MustParse("//dataset[date>=1990]//last"))
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	want, err := s.Execute(tq)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	wantBytes, _ := wire.MarshalAnswer(want)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	diff := make([]bool, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				ans, err := s.Execute(tq)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				got, _ := wire.MarshalAnswer(ans)
+				if !bytes.Equal(got, wantBytes) {
+					diff[g] = true
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := range errs {
+		if errs[g] != nil {
+			t.Errorf("goroutine %d: %v", g, errs[g])
+		}
+		if diff[g] {
+			t.Errorf("goroutine %d: answer differed", g)
+		}
+	}
+}
+
+// TestParallelForIndexCoverage checks the sharding helper visits
+// every index exactly once for awkward sizes and pool widths.
+func TestParallelForIndexCoverage(t *testing.T) {
+	for _, n := range []int{0, 1, 31, 32, 33, 64, 100, 1000} {
+		for _, width := range []int{1, 2, 3, 7, 16} {
+			var mu sync.Mutex
+			seen := make([]int, n)
+			parallelFor(newTokens(width), n, func(i int) {
+				mu.Lock()
+				seen[i]++
+				mu.Unlock()
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d width=%d: index %d visited %d times", n, width, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestTokensBoundWorkers checks a pool never hands out more tokens
+// than its width allows.
+func TestTokensBoundWorkers(t *testing.T) {
+	pool := newTokens(4)
+	got := 0
+	for pool.tryAcquire() {
+		got++
+	}
+	if got != 3 {
+		t.Fatalf("width-4 pool handed out %d extra workers, want 3", got)
+	}
+	pool.release()
+	if !pool.tryAcquire() {
+		t.Fatalf("released token not reacquirable")
+	}
+	if newTokens(1) != nil {
+		t.Fatalf("width-1 pool should be nil (sequential)")
+	}
+}

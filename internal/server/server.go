@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/btree"
 	"repro/internal/dsi"
@@ -18,8 +19,20 @@ import (
 	"repro/internal/xpath"
 )
 
-// Server hosts one database.
+// Server hosts one database. It is safe for concurrent use: queries
+// and aggregate probes share a read lock, while updates (which swap
+// the value index and replace block ciphertexts) take the write
+// lock, so readers always see either the pre- or post-update state,
+// never a mix.
 type Server struct {
+	// mu is the reader/writer gate described above. The structures
+	// built by New (forest, labelsOf, residueAt, allIntervals,
+	// blockIdx, the DSI table) are immutable after construction; only
+	// db.Blocks, db.IndexEntries and index change, under mu.
+	mu sync.RWMutex
+	// par is the matcher's worker-pool width (see parallel.go).
+	par int
+
 	db     *wire.HostedDB
 	forest *dsi.Forest
 	index  *btree.Tree
@@ -46,6 +59,7 @@ type blockRef struct {
 // the structural joins.
 func New(db *wire.HostedDB) *Server {
 	s := &Server{
+		par:       defaultParallelism(),
 		db:        db,
 		forest:    dsi.BuildForest(db.Table),
 		index:     btree.New(0),
@@ -72,10 +86,18 @@ func New(db *wire.HostedDB) *Server {
 }
 
 // IndexHeight exposes the value index height (for stats/benchmarks).
-func (s *Server) IndexHeight() int { return s.index.Height() }
+func (s *Server) IndexHeight() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.index.Height()
+}
 
 // IndexSize exposes the number of value-index entries.
-func (s *Server) IndexSize() int { return s.index.Len() }
+func (s *Server) IndexSize() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.index.Len()
+}
 
 // NumBlocks returns the number of hosted encryption blocks.
 func (s *Server) NumBlocks() int { return len(s.db.Blocks) }
@@ -86,6 +108,12 @@ func (s *Server) NumBlocks() int { return len(s.db.Blocks) }
 // makes this a single index probe; the server learns which block
 // holds the extreme value but not the value itself.
 func (s *Server) ExtremeBlock(lo, hi uint64, max bool) (int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.extremeBlockLocked(lo, hi, max)
+}
+
+func (s *Server) extremeBlockLocked(lo, hi uint64, max bool) (int, bool) {
 	var e btree.Entry
 	var ok bool
 	if max {
@@ -102,6 +130,8 @@ func (s *Server) ExtremeBlock(lo, hi uint64, max bool) (int, bool) {
 // BlockCiphertext returns one hosted block by ID (for aggregate
 // answers that ship a single block).
 func (s *Server) BlockCiphertext(id int) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if id < 0 || id >= len(s.db.Blocks) {
 		return nil, false
 	}
@@ -109,17 +139,19 @@ func (s *Server) BlockCiphertext(id int) ([]byte, bool) {
 }
 
 // Extreme implements core.Backend: ExtremeBlock plus the block's
-// ciphertext in one call.
+// ciphertext in one call, under a single read lock so the probe and
+// the shipped ciphertext come from the same index generation.
 func (s *Server) Extreme(lo, hi uint64, max bool) (int, []byte, bool, error) {
-	bid, found := s.ExtremeBlock(lo, hi, max)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bid, found := s.extremeBlockLocked(lo, hi, max)
 	if !found {
 		return 0, nil, false, nil
 	}
-	ct, ok := s.BlockCiphertext(bid)
-	if !ok {
+	if bid < 0 || bid >= len(s.db.Blocks) {
 		return 0, nil, false, fmt.Errorf("server: extreme entry references missing block %d", bid)
 	}
-	return bid, ct, true, nil
+	return bid, s.db.Blocks[bid], true, nil
 }
 
 // Execute answers a translated query (§6.2): (1) each query node is
@@ -131,13 +163,30 @@ func (s *Server) Execute(q *wire.Query) (*wire.Answer, error) {
 	if q == nil || q.First == nil {
 		return nil, fmt.Errorf("server: empty query")
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	e := s.newExec()
 	anchors := e.matchFirst(q.First)
 	lift := liftDepth(q)
 	var surviving []dsi.Interval
-	for _, a := range anchors {
-		if q.First.Next == nil || len(e.matchChain([]dsi.Interval{a}, q.First.Next, true)) > 0 {
-			surviving = append(surviving, s.lift(a, lift))
+	if q.First.Next == nil {
+		surviving = make([]dsi.Interval, len(anchors))
+		for i, a := range anchors {
+			surviving[i] = s.lift(a, lift)
+		}
+	} else {
+		// Anchor survival is the query's outer fan-out: each anchor
+		// evaluates the rest of the main path independently. Workers
+		// fill index-addressed slots; the in-order compaction below
+		// keeps the result identical to the sequential loop.
+		alive := make([]bool, len(anchors))
+		parallelFor(e.pool, len(anchors), func(i int) {
+			alive[i] = len(e.matchChain([]dsi.Interval{anchors[i]}, q.First.Next, true)) > 0
+		})
+		for i, a := range anchors {
+			if alive[i] {
+				surviving = append(surviving, s.lift(a, lift))
+			}
 		}
 	}
 	surviving = dedupeOutermost(surviving)

@@ -12,8 +12,12 @@ import (
 // dropped attribute bands removed and the replacement entries
 // inserted. Structure (DSI tables, block table, forest) is untouched
 // — updates in this extension are value-level and
-// structure-preserving (see wire.Update).
+// structure-preserving (see wire.Update). The whole mutation runs
+// under the server's write lock, so concurrent queries see either
+// the old index and blocks or the new ones, never a mix.
 func (s *Server) ApplyUpdate(u *wire.Update) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, b := range u.Blocks {
 		if b.ID < 0 || b.ID >= len(s.db.Blocks) {
 			return fmt.Errorf("server: update references unknown block %d", b.ID)

@@ -210,11 +210,43 @@ func (*OrExpr) exprNode()     {}
 func (*NotExpr) exprNode()    {}
 func (*PosExpr) exprNode()    {}
 
+// quoteLiteral renders a comparison literal so it re-parses to the
+// same value: numbers bare, strings under whichever quote character
+// the value does not contain (the lexer has no escape sequences, so
+// a single-quoted literal can never hold a single quote — but it can
+// hold double quotes, and vice versa).
 func quoteLiteral(s string) string {
-	if isNumber(s) {
+	if isNumber(s) && lexesAsNumber(s) {
 		return s
 	}
+	if strings.Contains(s, "'") {
+		return `"` + s + `"`
+	}
 	return "'" + s + "'"
+}
+
+// lexesAsNumber reports whether the lexer would read s back as one
+// number token: an optional leading minus, then digits and dots.
+// ParseFloat alone is too broad here ("+1", "1e5", "Inf" all parse
+// as floats but not as lexer numbers); such literals stay quoted,
+// which compares identically.
+func lexesAsNumber(s string) bool {
+	if s == "" {
+		return false
+	}
+	body := s
+	if s[0] == '-' {
+		body = s[1:]
+	}
+	if body == "" || body[0] < '0' || body[0] > '9' {
+		return false
+	}
+	for i := 0; i < len(body); i++ {
+		if c := body[i]; (c < '0' || c > '9') && c != '.' {
+			return false
+		}
+	}
+	return true
 }
 
 // Clone deep-copies the path so translations can rewrite it freely.

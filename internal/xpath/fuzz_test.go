@@ -1,0 +1,52 @@
+package xpath
+
+import (
+	"testing"
+)
+
+// FuzzParseXPath asserts two properties over arbitrary input: the
+// parser never panics (it must reject, not crash, hostile queries —
+// query strings reach the client API directly), and accepted input
+// round-trips: Parse → String → Parse must succeed and reach a fixed
+// point, or translated queries would drift from what the user wrote.
+func FuzzParseXPath(f *testing.F) {
+	for _, seed := range []string{
+		"//a",
+		"/a/b/c",
+		"//a//b",
+		"//a/*",
+		"//a/@id",
+		"//a/text()",
+		"//a/..",
+		"//a[b]",
+		"//a[not(b)]",
+		"//a[b='v']",
+		"//a[b!=\"it's\"]",
+		"//a[@id='x' and c]",
+		"//a[b or not(c)]",
+		"//a[2]",
+		"//a[b>=10]/c[.='x']",
+		"//a/following-sibling::b",
+		"//a/ancestor-or-self::b",
+		".//a[b<3]",
+		"//a[b]/parent::c",
+		"//treat[ancestor::patient[age>36]]/doctor",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Parse(input) // must not panic
+		if err != nil {
+			return
+		}
+		s1 := p.String()
+		p2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("round-trip reject: Parse(%q) ok, Parse(String()=%q) failed: %v", input, s1, err)
+		}
+		s2 := p2.String()
+		if s1 != s2 {
+			t.Fatalf("round-trip drift: %q -> %q -> %q", input, s1, s2)
+		}
+	})
+}
