@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos fuzz fuzz-smoke difftest bench bench-parallel fmt
+.PHONY: check vet build test race chaos tamper fuzz fuzz-smoke difftest bench bench-parallel fmt
 
-check: vet build race fuzz-smoke
+check: vet build race tamper fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,12 +23,20 @@ race:
 chaos:
 	$(GO) test -race -v -run 'TestChaos|TestBreaker|TestDeadline|TestPerAttempt|TestChecksum|TestTruncation|TestRetryRecovers' ./internal/remote/
 
+# The active-tampering suite: every integrity attack (dropped block,
+# swapped ciphertext, stripped proof, rollback replay, forged
+# aggregate, bit-flipped persistence) must be detected, under -race.
+tamper:
+	$(GO) test -race -run 'Tamper|Integrity|Proof|Verif|Rollback|BitFlip|TruncationQuarantined|PersistFailure' \
+		./internal/attack/ ./internal/core/ ./internal/remote/ ./internal/wire/ ./internal/authtree/
+
 # Short fuzz pass over every wire decoder (CI-friendly duration).
 fuzz:
 	$(GO) test ./internal/wire/ -fuzz FuzzUnmarshalDB -fuzztime 20s
 	$(GO) test ./internal/wire/ -fuzz FuzzUnmarshalQuery -fuzztime 20s
 	$(GO) test ./internal/wire/ -fuzz FuzzUnmarshalAnswer -fuzztime 20s
 	$(GO) test ./internal/wire/ -fuzz FuzzUnmarshalUpdate -fuzztime 20s
+	$(GO) test ./internal/wire/ -fuzz FuzzDecodeProof -fuzztime 20s
 
 # Quick fuzz pass over the two text parsers (query strings and SC
 # specs are operator input); part of `check`.

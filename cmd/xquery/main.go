@@ -46,6 +46,7 @@ func main() {
 	retries := flag.Int("retries", remote.DefaultRetryPolicy.MaxAttempts, "total attempts per remote operation (1 disables retries)")
 	retryBase := flag.Duration("retry-base", remote.DefaultRetryPolicy.BaseDelay, "initial retry backoff (doubles per attempt, jittered)")
 	stale := flag.Bool("stale", false, "serve cached stale answers when the remote server is unreachable")
+	integrity := flag.Bool("integrity", false, "verify every remote answer against a local Merkle commitment (requires -remote)")
 	xmlOut := flag.Bool("xml", false, "print results as XML instead of string values")
 	var scs multiFlag
 	flag.Var(&scs, "sc", "security constraint (repeatable)")
@@ -76,10 +77,14 @@ func main() {
 			retries:   *retries,
 			retryBase: *retryBase,
 			stale:     *stale,
+			integrity: *integrity,
 			xmlOut:    *xmlOut,
 		}
 		runRemote(f, scs, *key, *schemeName, rc, flag.Args())
 		return
+	}
+	if *integrity {
+		fatal(fmt.Errorf("-integrity requires -remote: the in-process server is inside the trust boundary"))
 	}
 	doc, err := secxml.ParseDocument(f)
 	if err != nil {
@@ -130,6 +135,7 @@ type remoteConfig struct {
 	retries            int
 	retryBase          time.Duration
 	stale              bool
+	integrity          bool
 	xmlOut             bool
 }
 
@@ -153,10 +159,21 @@ func runRemote(f *os.File, scs []string, key, schemeName string, rc remoteConfig
 	if err != nil {
 		fatal(err)
 	}
+	if rc.integrity {
+		// Commit to the hosted state before it leaves the trust
+		// boundary: the Merkle root is computed over exactly the bytes
+		// about to be uploaded.
+		if err := sys.EnableIntegrity(); err != nil {
+			fatal(err)
+		}
+	}
 	policy := remote.DefaultRetryPolicy
 	policy.MaxAttempts = rc.retries
 	policy.BaseDelay = rc.retryBase
 	cl := remote.Dial(rc.baseURL, rc.name).WithRetry(policy).WithTimeout(rc.timeout)
+	if rc.integrity {
+		cl = cl.WithVerifier(sys.Verifier())
+	}
 	ctx, cancel := rc.opCtx()
 	err = cl.Upload(ctx, sys.HostedDB)
 	cancel()
@@ -168,6 +185,10 @@ func runRemote(f *os.File, scs []string, key, schemeName string, rc remoteConfig
 		sys.EnableStaleFallback(0, 0) // package defaults
 	}
 	fmt.Printf("uploaded %q to %s (%d blocks)\n", rc.name, rc.baseURL, sys.Scheme.NumBlocks())
+	if rc.integrity {
+		root := sys.Verifier().Root()
+		fmt.Printf("integrity on: root %x (answers verified before decryption)\n", root[:8])
+	}
 	for _, q := range queries {
 		ctx, cancel := rc.opCtx()
 		nodes, _, tm, err := sys.QueryContext(ctx, q)
@@ -182,6 +203,9 @@ func runRemote(f *os.File, scs []string, key, schemeName string, rc remoteConfig
 		staleNote := ""
 		if tm.Stale {
 			staleNote = " | STALE (served from cache; server unreachable)"
+			if tm.Unverified {
+				staleNote = " | STALE+UNVERIFIED (served from cache; live answer failed verification)"
+			}
 		}
 		fmt.Printf("  [%d results | server+network %v | %d blocks, %d bytes%s]\n",
 			len(nodes), tm.ServerExec, tm.BlocksShipped, tm.AnswerBytes, staleNote)

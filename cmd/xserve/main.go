@@ -60,6 +60,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		// Corrupt files are set aside, not fatal — but the operator
+		// must know: a quarantined database answers 404 until it is
+		// re-uploaded or restored.
+		for _, q := range svc.Quarantined() {
+			log.Printf("xserve: quarantined %s -> %s (%s)", q.File, q.Moved, q.Reason)
+		}
 	} else {
 		svc = remote.NewService()
 	}

@@ -1,0 +1,242 @@
+// Package authtree is the authenticated-data-structure half of the
+// DAS trust model: the paper's architecture (§2) protects
+// confidentiality against the untrusted server, and this package
+// adds integrity and freshness. The client commits to the hosted
+// state with a Merkle tree built over a canonical leaf sequence
+// (encrypted blocks, residue fragments, value-index buckets — see
+// internal/wire's auth layer for the leaf schema), keeps only the
+// root digest, and verifies every server response against it with a
+// compact sibling-path proof. A response that was modified, spliced
+// from another version, or rolled back to a pre-update state fails
+// verification and surfaces as ErrTampered.
+//
+// The tree is built over data the server already sees, so it leaks
+// nothing: the server can (and does) rebuild the identical tree from
+// the uploaded database and serve proofs without holding any key.
+package authtree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cryptoprim"
+)
+
+// DigestSize is the byte width of every node digest (SHA-256).
+const DigestSize = cryptoprim.DigestSize
+
+// Digest is one Merkle node hash.
+type Digest = cryptoprim.Digest
+
+// ErrTampered reports a server response that failed integrity
+// verification: the returned data was modified, a committed piece was
+// omitted, or the server served a stale (pre-update) version of the
+// database. It is terminal — retrying a byzantine server cannot
+// succeed, so the remote retry policy never retries it and the
+// circuit breaker trips immediately.
+var ErrTampered = errors.New("authtree: response failed integrity verification (modified, omitted, or stale server state)")
+
+// LeafHash hashes canonical leaf data into its leaf digest. The
+// domain-separated primitives live in cryptoprim so the prefix
+// discipline is defined next to the other crypto.
+func LeafHash(data []byte) Digest {
+	return cryptoprim.MerkleLeafHash(data)
+}
+
+func nodeHash(l, r Digest) Digest {
+	return cryptoprim.MerkleNodeHash(l, r)
+}
+
+// Tree is a Merkle tree over a fixed leaf sequence. Levels are
+// stored bottom-up; an odd node at the end of a level is promoted
+// unchanged, so the shape is fully determined by the leaf count.
+type Tree struct {
+	levels [][]Digest // levels[0] = leaf digests, last level = [root]
+}
+
+// New builds a tree over pre-hashed leaf digests.
+func New(leaves []Digest) *Tree {
+	t := &Tree{}
+	level := append([]Digest(nil), leaves...)
+	t.levels = append(t.levels, level)
+	for len(level) > 1 {
+		next := make([]Digest, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, nodeHash(level[i], level[i+1]))
+			} else {
+				next = append(next, level[i]) // odd node promoted
+			}
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t
+}
+
+// NewFromData hashes raw leaf data and builds the tree.
+func NewFromData(leafData [][]byte) *Tree {
+	leaves := make([]Digest, len(leafData))
+	for i, d := range leafData {
+		leaves[i] = LeafHash(d)
+	}
+	return New(leaves)
+}
+
+// NumLeaves reports the leaf count.
+func (t *Tree) NumLeaves() int {
+	if len(t.levels) == 0 {
+		return 0
+	}
+	return len(t.levels[0])
+}
+
+// Leaf returns the digest of leaf i.
+func (t *Tree) Leaf(i int) Digest { return t.levels[0][i] }
+
+// Leaves returns a copy of the leaf digest sequence (the compact
+// client-side state: 32 bytes per leaf, enough to recompute the root
+// after an update without holding any data).
+func (t *Tree) Leaves() []Digest {
+	return append([]Digest(nil), t.levels[0]...)
+}
+
+// Root returns the root digest. The root of an empty tree is the
+// hash of empty leaf data, so it is still a binding commitment.
+func (t *Tree) Root() Digest {
+	if t.NumLeaves() == 0 {
+		return LeafHash(nil)
+	}
+	return t.levels[len(t.levels)-1][0]
+}
+
+// Prove produces the multi-leaf membership proof for the given leaf
+// indices: the sibling digests a verifier holding exactly those
+// leaves needs, in the deterministic bottom-up, left-to-right order
+// VerifyMulti consumes them. Duplicate indices are allowed; out of
+// range ones are an error.
+func (t *Tree) Prove(indices []int) ([]Digest, error) {
+	n := t.NumLeaves()
+	known := map[int]bool{}
+	for _, idx := range indices {
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("authtree: leaf index %d out of range [0,%d)", idx, n)
+		}
+		known[idx] = true
+	}
+	if len(known) == 0 {
+		return nil, nil
+	}
+	var siblings []Digest
+	for lvl := 0; lvl < len(t.levels)-1; lvl++ {
+		width := len(t.levels[lvl])
+		idxs := sortedKeys(known)
+		next := map[int]bool{}
+		for i := 0; i < len(idxs); i++ {
+			idx := idxs[i]
+			sib := idx ^ 1
+			if sib >= width {
+				next[idx/2] = true // odd node promoted
+				continue
+			}
+			if known[sib] {
+				// Both halves known: handled once, at the left index.
+				if idx&1 == 1 && known[idx-1] {
+					continue
+				}
+			} else {
+				siblings = append(siblings, t.levels[lvl][sib])
+			}
+			next[idx/2] = true
+		}
+		known = next
+	}
+	return siblings, nil
+}
+
+// LeafItem pairs a leaf index with its digest, for verification.
+type LeafItem struct {
+	Index  int
+	Digest Digest
+}
+
+// VerifyMulti checks a multi-leaf proof: given the tree's total leaf
+// count, the claimed (index, digest) pairs and the sibling sequence
+// from Prove, it recomputes the root and compares. The leaf count is
+// part of the client's trusted state, so a server cannot shift the
+// tree shape. Returns nil on success and ErrTampered (wrapped with
+// detail) on any mismatch.
+func VerifyMulti(root Digest, numLeaves int, items []LeafItem, siblings []Digest) error {
+	if numLeaves <= 0 {
+		return fmt.Errorf("%w: empty tree cannot prove membership", ErrTampered)
+	}
+	known := map[int]Digest{}
+	for _, it := range items {
+		if it.Index < 0 || it.Index >= numLeaves {
+			return fmt.Errorf("%w: leaf index %d out of range [0,%d)", ErrTampered, it.Index, numLeaves)
+		}
+		if d, dup := known[it.Index]; dup && d != it.Digest {
+			return fmt.Errorf("%w: conflicting digests for leaf %d", ErrTampered, it.Index)
+		}
+		known[it.Index] = it.Digest
+	}
+	if len(known) == 0 {
+		return fmt.Errorf("%w: proof covers no leaves", ErrTampered)
+	}
+	width := numLeaves
+	pos := 0
+	for width > 1 {
+		idxs := make([]int, 0, len(known))
+		for idx := range known {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		next := map[int]Digest{}
+		for i := 0; i < len(idxs); i++ {
+			idx := idxs[i]
+			sib := idx ^ 1
+			if sib >= width {
+				next[idx/2] = known[idx]
+				continue
+			}
+			var l, r Digest
+			if sd, ok := known[sib]; ok {
+				if idx&1 == 1 {
+					continue // handled at the left index
+				}
+				l, r = known[idx], sd
+			} else {
+				if pos >= len(siblings) {
+					return fmt.Errorf("%w: proof too short", ErrTampered)
+				}
+				sd := siblings[pos]
+				pos++
+				if idx&1 == 0 {
+					l, r = known[idx], sd
+				} else {
+					l, r = sd, known[idx]
+				}
+			}
+			next[idx/2] = nodeHash(l, r)
+		}
+		known = next
+		width = (width + 1) / 2
+	}
+	if pos != len(siblings) {
+		return fmt.Errorf("%w: %d unused sibling digests", ErrTampered, len(siblings)-pos)
+	}
+	if got := known[0]; got != root {
+		return fmt.Errorf("%w: recomputed root %x does not match committed root %x", ErrTampered, got[:8], root[:8])
+	}
+	return nil
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

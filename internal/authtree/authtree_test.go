@@ -1,0 +1,203 @@
+package authtree
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func leafData(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("leaf-%d", i))
+	}
+	return out
+}
+
+func TestRootDeterministic(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 13, 256, 257} {
+		a := NewFromData(leafData(n))
+		b := NewFromData(leafData(n))
+		if a.Root() != b.Root() {
+			t.Fatalf("n=%d: same leaves, different roots", n)
+		}
+		if n > 1 {
+			other := leafData(n)
+			other[n/2] = []byte("changed")
+			if NewFromData(other).Root() == a.Root() {
+				t.Fatalf("n=%d: changed leaf, same root", n)
+			}
+		}
+	}
+}
+
+func TestLeafVsNodeDomainSeparation(t *testing.T) {
+	// A single promoted leaf must not equal the leaf hash of the
+	// concatenated children (the second-preimage confusion the
+	// prefixes exist to prevent).
+	l0, l1 := LeafHash([]byte("a")), LeafHash([]byte("b"))
+	interior := nodeHash(l0, l1)
+	var concat []byte
+	concat = append(concat, l0[:]...)
+	concat = append(concat, l1[:]...)
+	if interior == LeafHash(concat) {
+		t.Fatal("interior hash collides with leaf hash of concatenation")
+	}
+}
+
+func TestProveVerifyAllSubsets(t *testing.T) {
+	// Exhaustive index subsets over small trees; every proof must
+	// verify, and any altered leaf digest must fail.
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9} {
+		tree := NewFromData(leafData(n))
+		root := tree.Root()
+		for mask := 1; mask < 1<<n; mask++ {
+			var idxs []int
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					idxs = append(idxs, i)
+				}
+			}
+			sib, err := tree.Prove(idxs)
+			if err != nil {
+				t.Fatalf("n=%d mask=%b: prove: %v", n, mask, err)
+			}
+			items := make([]LeafItem, len(idxs))
+			for j, idx := range idxs {
+				items[j] = LeafItem{Index: idx, Digest: tree.Leaf(idx)}
+			}
+			if err := VerifyMulti(root, n, items, sib); err != nil {
+				t.Fatalf("n=%d mask=%b: verify: %v", n, mask, err)
+			}
+			bad := append([]LeafItem(nil), items...)
+			bad[0].Digest = LeafHash([]byte("evil"))
+			if err := VerifyMulti(root, n, bad, sib); !errors.Is(err, ErrTampered) {
+				t.Fatalf("n=%d mask=%b: tampered leaf accepted (err=%v)", n, mask, err)
+			}
+		}
+	}
+}
+
+func TestProveVerifyRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tree := NewFromData(leafData(1000))
+	root := tree.Root()
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(20)
+		idxs := make([]int, k)
+		for i := range idxs {
+			idxs[i] = rng.Intn(1000)
+		}
+		sib, err := tree.Prove(idxs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items := make([]LeafItem, k)
+		for i, idx := range idxs {
+			items[i] = LeafItem{Index: idx, Digest: tree.Leaf(idx)}
+		}
+		if err := VerifyMulti(root, 1000, items, sib); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Wrong index for a valid digest must fail.
+		items[0].Index = (items[0].Index + 1) % 1000
+		if err := VerifyMulti(root, 1000, items, sib); !errors.Is(err, ErrTampered) {
+			t.Fatalf("trial %d: shifted index accepted", trial)
+		}
+	}
+}
+
+func TestVerifyRejectsMalformedProofs(t *testing.T) {
+	tree := NewFromData(leafData(8))
+	root := tree.Root()
+	items := []LeafItem{{Index: 3, Digest: tree.Leaf(3)}}
+	sib, _ := tree.Prove([]int{3})
+
+	if err := VerifyMulti(root, 8, items, sib[:len(sib)-1]); !errors.Is(err, ErrTampered) {
+		t.Errorf("short proof accepted: %v", err)
+	}
+	if err := VerifyMulti(root, 8, items, append(append([]Digest(nil), sib...), Digest{})); !errors.Is(err, ErrTampered) {
+		t.Errorf("padded proof accepted: %v", err)
+	}
+	if err := VerifyMulti(root, 8, nil, sib); !errors.Is(err, ErrTampered) {
+		t.Errorf("empty item set accepted: %v", err)
+	}
+	if err := VerifyMulti(root, 8, []LeafItem{{Index: 9, Digest: tree.Leaf(3)}}, sib); !errors.Is(err, ErrTampered) {
+		t.Errorf("out-of-range index accepted: %v", err)
+	}
+	if err := VerifyMulti(root, 0, items, sib); !errors.Is(err, ErrTampered) {
+		t.Errorf("zero leaf count accepted: %v", err)
+	}
+	conflicting := []LeafItem{
+		{Index: 3, Digest: tree.Leaf(3)},
+		{Index: 3, Digest: tree.Leaf(4)},
+	}
+	if err := VerifyMulti(root, 8, conflicting, sib); !errors.Is(err, ErrTampered) {
+		t.Errorf("conflicting duplicate digests accepted: %v", err)
+	}
+	// Wrong tree size shifts the shape and must fail.
+	if err := VerifyMulti(root, 9, items, sib); !errors.Is(err, ErrTampered) {
+		t.Errorf("wrong leaf count accepted: %v", err)
+	}
+}
+
+func TestProveOutOfRange(t *testing.T) {
+	tree := NewFromData(leafData(4))
+	if _, err := tree.Prove([]int{4}); err == nil {
+		t.Error("out-of-range prove succeeded")
+	}
+	if _, err := tree.Prove([]int{-1}); err == nil {
+		t.Error("negative prove succeeded")
+	}
+	sib, err := tree.Prove(nil)
+	if err != nil || sib != nil {
+		t.Errorf("empty prove = (%v, %v), want (nil, nil)", sib, err)
+	}
+}
+
+func TestRollbackDetection(t *testing.T) {
+	// A proof generated against version 1 must not verify against the
+	// root of version 2 — the freshness property updates rely on.
+	v1 := NewFromData(leafData(16))
+	data := leafData(16)
+	data[5] = []byte("updated")
+	v2 := NewFromData(data)
+	sib, _ := v1.Prove([]int{5})
+	items := []LeafItem{{Index: 5, Digest: v1.Leaf(5)}}
+	if err := VerifyMulti(v1.Root(), 16, items, sib); err != nil {
+		t.Fatalf("proof against own version: %v", err)
+	}
+	if err := VerifyMulti(v2.Root(), 16, items, sib); !errors.Is(err, ErrTampered) {
+		t.Fatalf("replayed pre-update proof accepted: %v", err)
+	}
+}
+
+func BenchmarkBuildTree10k(b *testing.B) {
+	data := leafData(10_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NewFromData(data)
+	}
+}
+
+func BenchmarkProveVerify16of10k(b *testing.B) {
+	tree := NewFromData(leafData(10_000))
+	root := tree.Root()
+	idxs := make([]int, 16)
+	items := make([]LeafItem, 16)
+	for i := range idxs {
+		idxs[i] = i * 601
+		items[i] = LeafItem{Index: idxs[i], Digest: tree.Leaf(idxs[i])}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sib, err := tree.Prove(idxs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := VerifyMulti(root, 10_000, items, sib); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -74,11 +74,34 @@ func (s *System) aggregateViaIndex(ctx context.Context, tagKey string, max bool)
 	}
 
 	start = time.Now()
-	bid, ct, found, err := s.Server.Extreme(ctx, lo, hi, max)
-	tm.ServerExec = time.Since(start)
-	if err != nil {
-		return "", tm, false, err
+	var (
+		bid   int
+		ct    []byte
+		found bool
+	)
+	if pb, ok := s.Server.(ProofBackend); ok && s.verifier != nil {
+		// Verified probe: the proof carries the full authenticated
+		// buckets of the probed range, so both the extreme and
+		// emptiness are checked against the Merkle root.
+		res, err := pb.ExtremeProof(ctx, lo, hi, max)
+		if err != nil {
+			tm.ServerExec = time.Since(start)
+			return "", tm, false, err
+		}
+		if vErr := s.verifier.VerifyExtreme(lo, hi, max, res.Found, res.BlockID, res.Block, res.Proof); vErr != nil {
+			tm.ServerExec = time.Since(start)
+			return "", tm, false, vErr
+		}
+		bid, ct, found = res.BlockID, res.Block, res.Found
+	} else {
+		var err error
+		bid, ct, found, err = s.Server.Extreme(ctx, lo, hi, max)
+		if err != nil {
+			tm.ServerExec = time.Since(start)
+			return "", tm, false, err
+		}
 	}
+	tm.ServerExec = time.Since(start)
 	if !found {
 		return "", tm, false, fmt.Errorf("core: no indexed values for %s", tagKey)
 	}

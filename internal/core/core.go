@@ -140,6 +140,54 @@ type System struct {
 	// is unreachable, queries are served from it with Timings.Stale
 	// set instead of failing.
 	staleCache *client.AnswerCache
+
+	// verifier, when installed via EnableIntegrity, holds the owner's
+	// Merkle commitment to the hosted state; every answer and
+	// aggregate is verified against it before decryption, and updates
+	// advance it so freshness survives ApplyUpdate.
+	verifier *wire.AuthVerifier
+}
+
+// ProofBackend is the optional backend extension for verified
+// aggregates: an extreme probe whose result carries a Merkle
+// verification object (including provable emptiness). Local and the
+// remote client both implement it.
+type ProofBackend interface {
+	ExtremeProof(ctx context.Context, lo, hi uint64, max bool) (*wire.ExtremeResult, error)
+}
+
+// ExtremeProof implements ProofBackend.
+func (l Local) ExtremeProof(ctx context.Context, lo, hi uint64, max bool) (*wire.ExtremeResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.S.ExtremeProof(lo, hi, max)
+}
+
+// EnableIntegrity opts this system into answer verification: the
+// client builds the Merkle tree over its (pre-upload) hosted state,
+// keeps the compact verifier (root + leaf digests), and from then on
+// every query requests and checks a proof before anything is
+// decrypted. Verification failures surface as authtree.ErrTampered.
+func (s *System) EnableIntegrity() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := wire.BuildAuthState(s.HostedDB)
+	if err != nil {
+		return err
+	}
+	s.verifier = st.Verifier()
+	return nil
+}
+
+// Verifier returns the integrity verifier, or nil when
+// EnableIntegrity was not called. The remote client shares it (via
+// remote.WithVerifier) so tampering is detected per-attempt, before
+// the retry policy sees the error.
+func (s *System) Verifier() *wire.AuthVerifier {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.verifier
 }
 
 // EnableStaleFallback opts this system into graceful degradation:
@@ -214,6 +262,12 @@ type Timings struct {
 	// Stale marks an answer served from the stale-fallback cache
 	// because the backend was unreachable (see EnableStaleFallback).
 	Stale bool
+	// Unverified marks a stale answer that could NOT be checked
+	// against the integrity root — it is set when integrity is
+	// enabled and the live answer failed verification (or the backend
+	// failed outright), so the cached copy's freshness is unknown.
+	// Callers surfacing such an answer must label it.
+	Unverified bool
 
 	// ServerWorkers / ClientWorkers report the parallel fan-out width
 	// each side was configured with for this query: the server's
@@ -277,6 +331,7 @@ func (s *System) queryPathLocked(ctx context.Context, path *xpath.Path) ([]*xmlt
 	if err != nil {
 		return nil, nil, tm, err
 	}
+	qs.WantProof = s.verifier != nil
 
 	start = time.Now()
 	ans, err := s.executeWithFallback(ctx, qs, &tm)
@@ -310,6 +365,13 @@ func (s *System) queryPathLocked(ctx context.Context, path *xpath.Path) ([]*xmlt
 // when EnableStaleFallback opted in. Cached answers are stored and
 // re-read as wire bytes, so a served copy can never alias (or be
 // mutated by) a previous caller.
+//
+// With integrity enabled, a live answer is verified against the
+// Merkle root before it is accepted or cached; a verification
+// failure is treated like a backend failure, except the stale copy
+// is additionally marked Unverified — it was checked when cached,
+// but its freshness can no longer be established against a server
+// that just proved itself byzantine.
 func (s *System) executeWithFallback(ctx context.Context, qs *wire.Query, tm *Timings) (*wire.Answer, error) {
 	var key string
 	if s.staleCache != nil {
@@ -318,6 +380,11 @@ func (s *System) executeWithFallback(ctx context.Context, qs *wire.Query, tm *Ti
 		}
 	}
 	ans, err := s.Server.Execute(ctx, qs)
+	if err == nil && s.verifier != nil {
+		if vErr := s.verifier.VerifyAnswer(ans); vErr != nil {
+			ans, err = nil, vErr
+		}
+	}
 	if err == nil {
 		if key != "" {
 			if enc, mErr := wire.MarshalAnswer(ans); mErr == nil {
@@ -330,6 +397,7 @@ func (s *System) executeWithFallback(ctx context.Context, qs *wire.Query, tm *Ti
 		if enc, ok := s.staleCache.Get(key); ok {
 			if cached, uErr := wire.UnmarshalAnswer(enc); uErr == nil {
 				tm.Stale = true
+				tm.Unverified = s.verifier != nil
 				return cached, nil
 			}
 		}

@@ -111,8 +111,29 @@ func (s *System) UpdateLeafValuesContext(ctx context.Context, q string, newValue
 		upd.Blocks = append(upd.Blocks, wire.BlockUpdate{ID: bid, Ciphertext: ct})
 	}
 
+	// With integrity enabled, precompute the post-update root on a
+	// clone of the verifier: the root travels with the update (SXU3)
+	// so the server can cross-check its own recomputation, and the
+	// clone only replaces the live verifier once the server acks — a
+	// failed update leaves the commitment at the pre-update state.
+	var nextVerifier *wire.AuthVerifier
+	if s.verifier != nil {
+		nextVerifier = s.verifier.Clone()
+		if err := nextVerifier.ApplyUpdate(upd); err != nil {
+			return 0, err
+		}
+		root := nextVerifier.Root()
+		upd.NewRoot = root[:]
+	}
+
 	if err := s.Server.ApplyUpdate(ctx, upd); err != nil {
 		return 0, err
+	}
+	if nextVerifier != nil {
+		// Advance in place: remote.WithVerifier shares this instance,
+		// so the transport sees the new root without re-wiring. Safe
+		// under the exclusive lock held for the whole update.
+		*s.verifier = *nextVerifier
 	}
 	s.mirrorUpdate(upd)
 	// Cached answers may now reference replaced blocks; drop them

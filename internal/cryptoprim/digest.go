@@ -1,0 +1,45 @@
+package cryptoprim
+
+import "crypto/sha256"
+
+// Unkeyed digest primitives for the answer-integrity layer
+// (internal/authtree). They live here with the other crypto
+// primitives so the domain-separation discipline is defined in one
+// place: a Merkle leaf hash can never collide with an interior-node
+// hash (the classic second-preimage defence), because the two are
+// computed over disjoint prefix domains.
+
+// DigestSize is the byte width of every integrity digest (SHA-256).
+const DigestSize = sha256.Size
+
+// Digest is one SHA-256 output.
+type Digest = [DigestSize]byte
+
+// Domain-separation prefixes for Merkle hashing.
+const (
+	merkleLeafPrefix = 0x00
+	merkleNodePrefix = 0x01
+)
+
+// MerkleLeafHash hashes canonical leaf data into its leaf digest:
+// SHA-256(0x00 || data).
+func MerkleLeafHash(data []byte) Digest {
+	h := sha256.New()
+	h.Write([]byte{merkleLeafPrefix})
+	h.Write(data)
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// MerkleNodeHash combines two child digests into their parent:
+// SHA-256(0x01 || left || right).
+func MerkleNodeHash(l, r Digest) Digest {
+	h := sha256.New()
+	h.Write([]byte{merkleNodePrefix})
+	h.Write(l[:])
+	h.Write(r[:])
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}

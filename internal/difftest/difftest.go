@@ -270,12 +270,22 @@ func pickLeaf(r *datagen.Rand, sh *docShape) *xmltree.Node {
 // force the parallel code paths even on a single-core runner. A
 // non-nil error pinpoints the first mismatch and leads with the seed
 // so the case replays exactly.
+//
+// Integrity is enabled on every system: each query additionally
+// requests and verifies a Merkle proof, so the differential corpus
+// doubles as a prover/verifier agreement test — an honest server's
+// proof must verify on every generated document, SC set, and query
+// shape.
 func RunCase(c *Case) error {
 	for _, name := range Schemes {
 		sys, err := core.Host(c.Doc, c.SCs, name, []byte(fmt.Sprintf("difftest-%d", c.Seed)))
 		if err != nil {
 			return fmt.Errorf("seed %d (%s): host scheme %s (SCs %v): %w",
 				c.Seed, c.DocName, name, c.SCs, err)
+		}
+		if err := sys.EnableIntegrity(); err != nil {
+			return fmt.Errorf("seed %d (%s): scheme %s: EnableIntegrity: %w",
+				c.Seed, c.DocName, name, err)
 		}
 		// Exercise the parallel matcher and decrypt paths regardless
 		// of GOMAXPROCS.

@@ -83,6 +83,20 @@ func (b *breaker) allow() (proceed, probing bool) {
 	}
 }
 
+// trip forces the breaker open immediately, regardless of the
+// consecutive-failure count. Integrity failures use it: a server
+// that just served a tampered answer is byzantine, and routing more
+// traffic to it until the threshold accumulates helps nobody.
+func (b *breaker) trip() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.mu.Unlock()
+}
+
 // record feeds an operation (or probe) outcome back into the state
 // machine.
 func (b *breaker) record(ok bool) {

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"strings"
+
+	"repro/internal/authtree"
 )
 
 // Typed transport errors. Every failure the remote path can produce
@@ -69,6 +71,13 @@ func retryable(err error) bool {
 	}
 	// A canceled or expired context is the caller's decision to stop.
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	// A verification failure is terminal: the bytes arrived intact
+	// (the checksum matched) but do not hash to the committed state.
+	// Retrying a byzantine server cannot succeed — and each retry
+	// would hand it another oracle query — so fail immediately.
+	if errors.Is(err, authtree.ErrTampered) {
 		return false
 	}
 	var se *StatusError

@@ -1,0 +1,238 @@
+package remote
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/xmltree"
+)
+
+// persistDB hosts hospitalXML under name in a fresh persistent
+// service rooted at dir, so the durable *.sxdb file exists when it
+// returns.
+func persistDB(t *testing.T, dir, name string) *core.System {
+	t.Helper()
+	svc, err := NewPersistentService(dir)
+	if err != nil {
+		t.Fatalf("NewPersistentService: %v", err)
+	}
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	doc, _ := xmltree.ParseString(hospitalXML)
+	sys, err := core.Host(doc, scs, core.SchemeOpt, []byte("quarantine-"+name))
+	if err != nil {
+		t.Fatalf("Host: %v", err)
+	}
+	cl := Dial(ts.URL, name).WithHTTPClient(ts.Client())
+	if err := cl.Upload(context.Background(), sys.HostedDB); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	return sys
+}
+
+// TestBitFlipQuarantined: a single flipped bit anywhere in a
+// persisted file — including the opaque ciphertext regions whose
+// decode would happily accept garbage — must fail the SHA-256
+// trailer check at reload. The rotten file is quarantined, not
+// served, and not fatal: the healthy database beside it loads.
+func TestBitFlipQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	persistDB(t, dir, "rotten")
+	healthy := persistDB(t, dir, "healthy")
+
+	// Flip one bit in the middle of the file: deep inside block
+	// ciphertext, where no structural decode check can notice.
+	path := filepath.Join(dir, "rotten"+dbFileExt)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	svc, err := NewPersistentService(dir)
+	if err != nil {
+		t.Fatalf("reload with corrupt file must not be fatal: %v", err)
+	}
+	q := svc.Quarantined()
+	if len(q) != 1 || q[0].File != "rotten"+dbFileExt {
+		t.Fatalf("quarantined = %+v, want exactly rotten%s", q, dbFileExt)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, "rotten"+dbFileExt)); err != nil {
+		t.Errorf("corrupt file not moved to quarantine: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupt file still in serving directory")
+	}
+
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	// The corrupt database refuses to serve: it was never loaded.
+	resp, err := ts.Client().Get(ts.URL + "/db/rotten/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("quarantined database answered %d, want 404", resp.StatusCode)
+	}
+	// The healthy one is unaffected.
+	healthy.UseBackend(Dial(ts.URL, "healthy").WithHTTPClient(ts.Client()))
+	nodes, _, _, err := healthy.Query("//patient/pname")
+	if err != nil {
+		t.Fatalf("healthy database lost to neighbor's corruption: %v", err)
+	}
+	if len(nodes) != 2 {
+		t.Errorf("healthy database returned %d patients, want 2", len(nodes))
+	}
+}
+
+// TestTruncationQuarantined: a file torn short (losing its trailer
+// and part of its body) must also be quarantined — the decode error
+// path, as opposed to the checksum-mismatch path.
+func TestTruncationQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	persistDB(t, dir, "torn")
+	path := filepath.Join(dir, "torn"+dbFileExt)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewPersistentService(dir)
+	if err != nil {
+		t.Fatalf("reload with truncated file must not be fatal: %v", err)
+	}
+	if q := svc.Quarantined(); len(q) != 1 {
+		t.Fatalf("quarantined = %+v, want one record", q)
+	}
+}
+
+// TestLegacyFileWithoutTrailerLoads: files persisted before the
+// checksum trailer existed have no "SXCK" suffix; they must still
+// load (their decode is the only check available).
+func TestLegacyFileWithoutTrailerLoads(t *testing.T) {
+	dir := t.TempDir()
+	sys := persistDB(t, dir, "legacy")
+	path := filepath.Join(dir, "legacy"+dbFileExt)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := splitChecksum(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) == len(data) {
+		t.Fatal("persisted file has no trailer; test premise broken")
+	}
+	// Rewrite the file as a pre-trailer version would have.
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewPersistentService(dir)
+	if err != nil {
+		t.Fatalf("legacy file rejected: %v", err)
+	}
+	if q := svc.Quarantined(); len(q) != 0 {
+		t.Fatalf("legacy file quarantined: %+v", q)
+	}
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	sys.UseBackend(Dial(ts.URL, "legacy").WithHTTPClient(ts.Client()))
+	if _, _, _, err := sys.Query("//patient/pname"); err != nil {
+		t.Errorf("query against reloaded legacy file: %v", err)
+	}
+}
+
+// TestPersistFailureNotDedupAcked is the regression test for the
+// update durability ordering: when applying an update succeeds but
+// persisting it fails, the request ID must NOT enter the dedup
+// table. The client's retry (same request ID) must be re-applied and
+// re-persisted — a dedup ack would leave the client believing the
+// update durable while the disk still holds the old state.
+func TestPersistFailureNotDedupAcked(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := NewPersistentService(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := xmltree.ParseString(hospitalXML)
+	sys, err := core.Host(doc, scs, core.SchemeOpt, []byte("durability-test"))
+	if err != nil {
+		t.Fatalf("Host: %v", err)
+	}
+
+	// Middleware that sabotages persistence for exactly the first
+	// update: a directory squatting on the tmp path makes the
+	// WriteFile inside persist fail after the update has been applied
+	// in memory.
+	blocker := filepath.Join(dir, "hospital"+dbFileExt+tmpSuffix)
+	var sabotaged atomic.Bool
+	mux := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/db/hospital/update" && sabotaged.CompareAndSwap(false, true) {
+			if err := os.Mkdir(blocker, 0o755); err != nil {
+				t.Errorf("sabotage: %v", err)
+			}
+			svc.ServeHTTP(w, r)
+			os.Remove(blocker)
+			return
+		}
+		svc.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	cl := Dial(ts.URL, "hospital").
+		WithHTTPClient(ts.Client()).
+		WithRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Multiplier: 2})
+	if err := cl.Upload(context.Background(), sys.HostedDB); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	sys.UseBackend(cl)
+
+	// The first attempt applies in memory, fails to persist, and
+	// returns 500 (retryable). The client retries with the same
+	// request ID; the retry must go through the full apply+persist
+	// path again, not the dedup fast path.
+	n, err := sys.UpdateLeafValues("//patient[pname='Matt']//disease", "cholera")
+	if err != nil {
+		t.Fatalf("update through persist failure: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("updated %d values, want 1", n)
+	}
+	if !sabotaged.Load() {
+		t.Fatal("sabotage never fired; test exercised nothing")
+	}
+	if got := svc.DedupHits(); got != 0 {
+		t.Errorf("dedup hits = %d, want 0: a failed persist must not be dedup-acked", got)
+	}
+
+	// The durable file must hold the post-update state: a fresh
+	// service from the same directory serves the updated value.
+	svc2, err := NewPersistentService(dir)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	ts2 := httptest.NewServer(svc2)
+	defer ts2.Close()
+	sys.UseBackend(Dial(ts2.URL, "hospital").WithHTTPClient(ts2.Client()))
+	nodes, _, _, err := sys.Query("//patient[.//disease='cholera']/pname")
+	if err != nil {
+		t.Fatalf("post-restart query: %v", err)
+	}
+	if len(nodes) != 1 || nodes[0].LeafValue() != "Matt" {
+		t.Errorf("update lost across restart after persist failure: %v", core.ResultStrings(nodes))
+	}
+}

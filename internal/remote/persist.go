@@ -1,6 +1,8 @@
 package remote
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -14,17 +16,70 @@ import (
 // every uploaded database (and every applied update) as a wire-format
 // file, and reloads them on startup — the hosting provider surviving
 // a restart without ever holding a key.
+//
+// Corruption tolerance: each file carries a SHA-256 trailer
+// (data || "SXCK" || digest), so a bit-flip anywhere — including the
+// opaque ciphertext regions a structural decode would accept — is
+// caught at load. A file that fails its checksum or decode is moved
+// to dir/quarantine/ and recorded, and startup continues with the
+// remaining databases: one rotten file must not take down (or worse,
+// silently poison) the whole host.
 
 // dbFileExt is the on-disk extension for hosted databases;
-// tmpSuffix marks an in-progress write before its atomic rename.
+// tmpSuffix marks an in-progress write before its atomic rename;
+// quarantineDir is where corrupt files are moved on load.
 const (
-	dbFileExt = ".sxdb"
-	tmpSuffix = ".tmp"
+	dbFileExt     = ".sxdb"
+	tmpSuffix     = ".tmp"
+	quarantineDir = "quarantine"
 )
+
+// trailerMagic separates the database bytes from their checksum.
+var trailerMagic = []byte("SXCK")
+
+// appendChecksum wraps wire bytes in the on-disk trailer format.
+func appendChecksum(data []byte) []byte {
+	sum := sha256.Sum256(data)
+	out := make([]byte, 0, len(data)+len(trailerMagic)+len(sum))
+	out = append(out, data...)
+	out = append(out, trailerMagic...)
+	return append(out, sum[:]...)
+}
+
+// splitChecksum validates and strips the trailer. Files without a
+// trailer (written before checksumming existed) pass through
+// unchanged — their decode is the only check available.
+func splitChecksum(data []byte) ([]byte, error) {
+	tlen := len(trailerMagic) + sha256.Size
+	if len(data) < tlen || !bytes.Equal(data[len(data)-tlen:len(data)-sha256.Size], trailerMagic) {
+		return data, nil // legacy file, no trailer
+	}
+	body := data[:len(data)-tlen]
+	want := data[len(data)-sha256.Size:]
+	sum := sha256.Sum256(body)
+	if !bytes.Equal(sum[:], want) {
+		return nil, fmt.Errorf("checksum mismatch (stored %x, computed %x)", want[:8], sum[:8])
+	}
+	return body, nil
+}
+
+// QuarantineRecord describes one corrupt database file that was set
+// aside at startup.
+type QuarantineRecord struct {
+	File   string // original file name
+	Moved  string // path the file was moved to
+	Reason string
+}
+
+// Quarantined reports the files set aside by NewPersistentService
+// because they failed their checksum or decode.
+func (s *Service) Quarantined() []QuarantineRecord {
+	return append([]QuarantineRecord(nil), s.quarantined...)
+}
 
 // NewPersistentService loads every *.sxdb file in dir (creating the
 // directory if needed) and persists subsequent uploads and updates
-// there.
+// there. Corrupt files are quarantined (see Quarantined), not fatal.
 func NewPersistentService(dir string) (*Service, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("remote: create %s: %w", dir, err)
@@ -52,20 +107,53 @@ func NewPersistentService(dir string) (*Service, error) {
 			continue
 		}
 		name := strings.TrimSuffix(e.Name(), dbFileExt)
-		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("remote: load %s: %w", e.Name(), err)
 		}
-		db, err := wire.UnmarshalDB(data)
-		if err != nil {
-			return nil, fmt.Errorf("remote: load %s: %w", e.Name(), err)
+		db, loadErr := decodeDBFile(data)
+		if loadErr != nil {
+			moved, qErr := s.quarantine(path, e.Name(), loadErr)
+			if qErr != nil {
+				return nil, qErr
+			}
+			s.quarantined = append(s.quarantined, QuarantineRecord{
+				File: e.Name(), Moved: moved, Reason: loadErr.Error(),
+			})
+			continue
 		}
-		s.dbs[name] = &hosted{srv: server.New(db), db: db}
+		s.dbs[name] = newHosted(server.New(db), db)
 	}
 	return s, nil
 }
 
-// persist writes one database atomically (write + rename).
+// decodeDBFile checks the trailer (when present) and decodes the
+// wire bytes.
+func decodeDBFile(data []byte) (*wire.HostedDB, error) {
+	body, err := splitChecksum(data)
+	if err != nil {
+		return nil, err
+	}
+	return wire.UnmarshalDB(body)
+}
+
+// quarantine moves a corrupt database file into dir/quarantine/,
+// returning the destination path.
+func (s *Service) quarantine(path, name string, cause error) (string, error) {
+	qdir := filepath.Join(s.persistDir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return "", fmt.Errorf("remote: quarantine %s: %w (while handling: %v)", name, err, cause)
+	}
+	dest := filepath.Join(qdir, name)
+	if err := os.Rename(path, dest); err != nil {
+		return "", fmt.Errorf("remote: quarantine %s: %w (while handling: %v)", name, err, cause)
+	}
+	return dest, nil
+}
+
+// persist writes one database atomically (write + rename), with the
+// integrity trailer.
 func (s *Service) persist(name string, db *wire.HostedDB) error {
 	if s.persistDir == "" {
 		return nil
@@ -79,7 +167,7 @@ func (s *Service) persist(name string, db *wire.HostedDB) error {
 	}
 	final := filepath.Join(s.persistDir, name+dbFileExt)
 	tmp := final + tmpSuffix
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := os.WriteFile(tmp, appendChecksum(data), 0o644); err != nil {
 		return err
 	}
 	return os.Rename(tmp, final)

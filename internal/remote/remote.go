@@ -45,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/authtree"
 	"repro/internal/server"
 	"repro/internal/wire"
 )
@@ -84,6 +85,10 @@ type Service struct {
 	// rejected counts requests turned away with 503 because every
 	// slot stayed busy past the queue-wait bound.
 	rejected atomic.Int64
+	// quarantined records corrupt database files set aside at load
+	// (see NewPersistentService); written once at startup, read-only
+	// afterwards.
+	quarantined []QuarantineRecord
 }
 
 type hosted struct {
@@ -332,6 +337,17 @@ func (s *Service) handleExtreme(w http.ResponseWriter, r *http.Request, h *hoste
 		return
 	}
 	defer s.release()
+	if r.URL.Query().Get("proof") == "1" {
+		// Proof mode always answers 200: emptiness is a verifiable
+		// claim (the authenticated buckets are empty), not a 404.
+		res, err := h.srv.ExtremeProof(lo, hi, max)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeChecksummed(w, encodeExtremeResult(res))
+		return
+	}
 	bid, ct, found, err := h.srv.Extreme(lo, hi, max)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -345,6 +361,39 @@ func (s *Service) handleExtreme(w http.ResponseWriter, r *http.Request, h *hoste
 	binary.BigEndian.PutUint64(payload[:8], uint64(bid))
 	copy(payload[8:], ct)
 	writeChecksummed(w, payload)
+}
+
+// encodeExtremeResult frames a proof-mode extreme response:
+// [1 found] [8 block id] [4 proof len] [proof] [block bytes].
+func encodeExtremeResult(res *wire.ExtremeResult) []byte {
+	out := make([]byte, 13, 13+len(res.Proof)+len(res.Block))
+	if res.Found {
+		out[0] = 1
+	}
+	binary.BigEndian.PutUint64(out[1:9], uint64(res.BlockID))
+	binary.BigEndian.PutUint32(out[9:13], uint32(len(res.Proof)))
+	out = append(out, res.Proof...)
+	return append(out, res.Block...)
+}
+
+// decodeExtremeResult reverses encodeExtremeResult.
+func decodeExtremeResult(body []byte) (*wire.ExtremeResult, error) {
+	if len(body) < 13 {
+		return nil, fmt.Errorf("short extreme-proof response: %w", io.ErrUnexpectedEOF)
+	}
+	plen := binary.BigEndian.Uint32(body[9:13])
+	if uint64(13)+uint64(plen) > uint64(len(body)) {
+		return nil, fmt.Errorf("extreme-proof length overruns body: %w", io.ErrUnexpectedEOF)
+	}
+	res := &wire.ExtremeResult{
+		Found:   body[0] == 1,
+		BlockID: int(binary.BigEndian.Uint64(body[1:9])),
+		Proof:   body[13 : 13+plen],
+	}
+	if rest := body[13+plen:]; len(rest) > 0 {
+		res.Block = rest
+	}
+	return res, nil
 }
 
 func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request, name string, h *hosted) {
@@ -371,20 +420,27 @@ func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request, name stri
 		return
 	}
 	err = h.srv.ApplyUpdate(upd)
-	if err == nil && upd.RequestID != 0 {
-		h.seen[upd.RequestID] = true
-		h.seenOrder = append(h.seenOrder, upd.RequestID)
-		if len(h.seenOrder) > dedupWindow {
-			delete(h.seen, h.seenOrder[0])
-			h.seenOrder = h.seenOrder[1:]
-		}
-	}
 	var persistErr error
 	if err == nil {
 		// Snapshot to disk while still holding the update lock, so a
 		// concurrent update can't interleave and persist a state this
 		// request never produced.
 		persistErr = s.persist(name, h.db)
+	}
+	// Durability ordering: the request ID enters the dedup table only
+	// after the post-update state is on disk. Recording it before
+	// persisting would let a failed persist + client retry be
+	// dedup-acked without re-persisting — the client believes the
+	// update durable while the disk still holds the old state.
+	// (Updates are idempotent — whole-band index replacement, same
+	// ciphertexts — so the retry's re-apply is harmless.)
+	if err == nil && persistErr == nil && upd.RequestID != 0 {
+		h.seen[upd.RequestID] = true
+		h.seenOrder = append(h.seenOrder, upd.RequestID)
+		if len(h.seenOrder) > dedupWindow {
+			delete(h.seen, h.seenOrder[0])
+			h.seenOrder = h.seenOrder[1:]
+		}
 	}
 	h.mu.Unlock()
 	if err != nil {
@@ -443,6 +499,13 @@ type Client struct {
 	timeout time.Duration // per-attempt bound; 0 = none
 	breaker *breaker      // nil = disabled
 
+	// verifier, when set via WithVerifier, checks every answer and
+	// extreme result against the owner's Merkle root inside the
+	// attempt — before the retry policy classifies the error — so a
+	// tampered response fails immediately (no retry, breaker tripped)
+	// rather than being mistaken for a transient fault.
+	verifier *wire.AuthVerifier
+
 	rngMu sync.Mutex
 	rng   *rand.Rand // backoff jitter
 }
@@ -491,6 +554,16 @@ func (c *Client) WithBreaker(cfg BreakerConfig) *Client {
 	} else {
 		c.breaker = newBreaker(cfg)
 	}
+	return c
+}
+
+// WithVerifier installs the owner's integrity verifier: every query
+// answer and extreme result is checked against its Merkle root
+// before being returned. The instance is shared with core.System, so
+// owner updates (which advance the root) are visible here without
+// re-dialing.
+func (c *Client) WithVerifier(v *wire.AuthVerifier) *Client {
+	c.verifier = v
 	return c
 }
 
@@ -560,6 +633,11 @@ func (c *Client) do(ctx context.Context, op string, attempt func(ctx context.Con
 		}
 	}
 	c.breaker.record(false)
+	if errors.Is(err, authtree.ErrTampered) {
+		// A byzantine server is worse than a dead one: open the
+		// breaker now instead of waiting for the failure threshold.
+		c.breaker.trip()
+	}
 	if err == nil {
 		err = ctx.Err()
 	}
@@ -678,6 +756,11 @@ func (c *Client) Execute(ctx context.Context, q *wire.Query) (*wire.Answer, erro
 		if err != nil {
 			return err
 		}
+		if c.verifier != nil {
+			if vErr := c.verifier.VerifyAnswer(a); vErr != nil {
+				return vErr
+			}
+		}
 		ans = a
 		return nil
 	})
@@ -723,6 +806,43 @@ func (c *Client) Extreme(ctx context.Context, lo, hi uint64, max bool) (int, []b
 		return 0, nil, false, err
 	}
 	return bid, block, found, nil
+}
+
+// ExtremeProof implements core.ProofBackend over HTTP: the probe
+// result carries the server's Merkle verification object, and when a
+// verifier is installed the result (including emptiness) is checked
+// before being returned.
+func (c *Client) ExtremeProof(ctx context.Context, lo, hi uint64, max bool) (*wire.ExtremeResult, error) {
+	m := "0"
+	if max {
+		m = "1"
+	}
+	url := fmt.Sprintf("%s?lo=%d&hi=%d&max=%s&proof=1", c.url("extreme"), lo, hi, m)
+	var res *wire.ExtremeResult
+	err := c.do(ctx, "extreme", func(ctx context.Context) error {
+		status, body, err := c.request(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return statusError("extreme", status, body)
+		}
+		r, err := decodeExtremeResult(body)
+		if err != nil {
+			return err
+		}
+		if c.verifier != nil {
+			if vErr := c.verifier.VerifyExtreme(lo, hi, max, r.Found, r.BlockID, r.Block, r.Proof); vErr != nil {
+				return vErr
+			}
+		}
+		res = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // ApplyUpdate implements core.Backend over HTTP: it sends an owner

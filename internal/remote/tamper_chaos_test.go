@@ -1,0 +1,223 @@
+package remote
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/authtree"
+	"repro/internal/core"
+	"repro/internal/wire"
+	"repro/internal/xmltree"
+)
+
+// TestTamperTripsBreakerAndServesStale is the full degradation story
+// for a server that turns byzantine mid-flight:
+//
+//  1. the tampered answer carries a valid transport checksum (the
+//     bytes are exactly what the server sent) but fails Merkle
+//     verification — caught in-attempt as ErrTampered;
+//  2. ErrTampered is NOT retried: retrying a byzantine server hands
+//     it another oracle query;
+//  3. the breaker trips immediately (no waiting for the consecutive-
+//     failure threshold), so the next query never touches the wire;
+//  4. the client degrades to its stale-answer cache, with the answer
+//     explicitly marked Stale AND Unverified.
+func TestTamperTripsBreakerAndServesStale(t *testing.T) {
+	doc, _ := xmltree.ParseString(hospitalXML)
+	sys, err := core.Host(doc, scs, core.SchemeOpt, []byte("tamper-chaos"))
+	if err != nil {
+		t.Fatalf("Host: %v", err)
+	}
+	if err := sys.EnableIntegrity(); err != nil {
+		t.Fatalf("EnableIntegrity: %v", err)
+	}
+	sys.EnableStaleFallback(16, 1<<20)
+
+	svc := NewService()
+	var tampering atomic.Bool
+	var queryHits atomic.Int32
+	mux := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/db/hospital/query" {
+			queryHits.Add(1)
+			if tampering.Load() {
+				// Serve a tampered answer with a VALID transport
+				// checksum: the server really sent these bytes, they
+				// just don't hash to the committed state.
+				rec := &bufferedResponse{header: http.Header{}, code: http.StatusOK}
+				svc.ServeHTTP(rec, r)
+				ans, err := wire.UnmarshalAnswer(rec.body.Bytes())
+				if err != nil || len(ans.Blocks) == 0 {
+					t.Errorf("tamper middleware: %v (blocks=%d)", err, len(ans.Blocks))
+					http.Error(w, "tamper setup broken", http.StatusInternalServerError)
+					return
+				}
+				ans.Blocks = ans.Blocks[:len(ans.Blocks)-1]
+				ans.BlockIDs = ans.BlockIDs[:len(ans.BlockIDs)-1]
+				out, err := wire.MarshalAnswer(ans)
+				if err != nil {
+					t.Errorf("remarshal: %v", err)
+					return
+				}
+				sum := sha256.Sum256(out)
+				w.Header().Set(checksumHeader, hex.EncodeToString(sum[:]))
+				w.Write(out)
+				return
+			}
+		}
+		svc.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cl := Dial(ts.URL, "hospital").
+		WithHTTPClient(ts.Client()).
+		WithRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Multiplier: 2}).
+		WithBreaker(BreakerConfig{FailureThreshold: 100, Cooldown: time.Hour}).
+		WithVerifier(sys.Verifier())
+	if err := cl.Upload(context.Background(), sys.HostedDB); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	sys.UseBackend(cl)
+
+	const q = "//patient[.//disease='leukemia']/pname"
+
+	// Honest query: verified, cached, unmarked.
+	nodes, _, tm, err := sys.Query(q)
+	if err != nil {
+		t.Fatalf("honest query: %v", err)
+	}
+	if len(nodes) != 1 || nodes[0].LeafValue() != "Matt" {
+		t.Fatalf("honest answer: %v", core.ResultStrings(nodes))
+	}
+	if tm.Stale || tm.Unverified {
+		t.Fatalf("honest answer marked stale=%v unverified=%v", tm.Stale, tm.Unverified)
+	}
+
+	// Byzantine phase: the query must still succeed — from the stale
+	// cache, explicitly marked — after exactly ONE wire attempt.
+	tampering.Store(true)
+	before := queryHits.Load()
+	nodes, _, tm, err = sys.Query(q)
+	if err != nil {
+		t.Fatalf("query during tampering (stale fallback expected): %v", err)
+	}
+	if len(nodes) != 1 || nodes[0].LeafValue() != "Matt" {
+		t.Fatalf("stale answer: %v", core.ResultStrings(nodes))
+	}
+	if !tm.Stale || !tm.Unverified {
+		t.Fatalf("tampered-era answer must be marked stale+unverified, got stale=%v unverified=%v", tm.Stale, tm.Unverified)
+	}
+	if got := queryHits.Load() - before; got != 1 {
+		t.Errorf("tampered answer retried: %d wire attempts, want 1", got)
+	}
+
+	// The single ErrTampered tripped the breaker (threshold 100 was
+	// nowhere near reached): the next query must not touch the wire
+	// at all, and still degrades to the marked stale answer.
+	before = queryHits.Load()
+	_, _, tm, err = sys.Query(q)
+	if err != nil {
+		t.Fatalf("query with breaker open (stale fallback expected): %v", err)
+	}
+	if !tm.Stale || !tm.Unverified {
+		t.Errorf("breaker-open answer must be marked stale+unverified, got stale=%v unverified=%v", tm.Stale, tm.Unverified)
+	}
+	if got := queryHits.Load() - before; got != 0 {
+		t.Errorf("breaker open but %d wire attempts reached the service", got)
+	}
+
+	// Without the stale cache the failure is loud and typed: a fresh
+	// query (different key, no cached copy) surfaces the breaker.
+	_, _, _, err = sys.Query("//patient[.//disease='diarrhea']/pname")
+	if err == nil {
+		t.Fatal("uncached query during outage succeeded")
+	}
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Errorf("uncached query error %v, want ErrCircuitOpen", err)
+	}
+}
+
+// TestTamperedExtremeNotRetried: the aggregate path has the same
+// no-retry discipline — a forged extreme result fails VerifyExtreme
+// in-attempt, is not retried, and trips the breaker.
+func TestTamperedExtremeNotRetried(t *testing.T) {
+	doc, _ := xmltree.ParseString(hospitalXML)
+	sys, err := core.Host(doc, scs, core.SchemeOpt, []byte("tamper-extreme"))
+	if err != nil {
+		t.Fatalf("Host: %v", err)
+	}
+	if err := sys.EnableIntegrity(); err != nil {
+		t.Fatalf("EnableIntegrity: %v", err)
+	}
+
+	svc := NewService()
+	var tampering atomic.Bool
+	var extremeHits atomic.Int32
+	mux := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && r.URL.Path == "/db/hospital/extreme" {
+			extremeHits.Add(1)
+			if tampering.Load() {
+				rec := &bufferedResponse{header: http.Header{}, code: http.StatusOK}
+				svc.ServeHTTP(rec, r)
+				res, err := decodeExtremeResult(rec.body.Bytes())
+				if err != nil {
+					t.Errorf("tamper middleware: %v", err)
+					return
+				}
+				// Lie about which block holds the extreme.
+				res.BlockID++
+				out := encodeExtremeResult(res)
+				sum := sha256.Sum256(out)
+				w.Header().Set(checksumHeader, hex.EncodeToString(sum[:]))
+				w.Write(out)
+				return
+			}
+		}
+		svc.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cl := Dial(ts.URL, "hospital").
+		WithHTTPClient(ts.Client()).
+		WithRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Multiplier: 2}).
+		WithBreaker(BreakerConfig{FailureThreshold: 100, Cooldown: time.Hour}).
+		WithVerifier(sys.Verifier())
+	if err := cl.Upload(context.Background(), sys.HostedDB); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	sys.UseBackend(cl)
+
+	// Honest aggregate first.
+	if _, _, err := sys.AggregateMinMax("//insurance/policy", false); err != nil {
+		t.Fatalf("honest aggregate: %v", err)
+	}
+
+	tampering.Store(true)
+	before := extremeHits.Load()
+	_, _, err = sys.AggregateMinMax("//insurance/policy", false)
+	if err == nil {
+		t.Fatal("forged extreme accepted")
+	}
+	if !errors.Is(err, authtree.ErrTampered) {
+		t.Fatalf("forged extreme error %v, want ErrTampered", err)
+	}
+	if got := extremeHits.Load() - before; got != 1 {
+		t.Errorf("forged extreme retried: %d wire attempts, want 1", got)
+	}
+	// Breaker tripped: next aggregate fails fast without the wire.
+	before = extremeHits.Load()
+	if _, _, err := sys.AggregateMinMax("//insurance/policy", false); !errors.Is(err, ErrCircuitOpen) {
+		t.Errorf("post-tamper aggregate error %v, want ErrCircuitOpen", err)
+	}
+	if got := extremeHits.Load() - before; got != 0 {
+		t.Errorf("breaker open but %d extreme attempts reached the service", got)
+	}
+}

@@ -7,11 +7,11 @@
 package server
 
 import (
-	"bytes"
 	"fmt"
 	"sort"
 	"sync"
 
+	"repro/internal/authtree"
 	"repro/internal/btree"
 	"repro/internal/dsi"
 	"repro/internal/wire"
@@ -47,6 +47,13 @@ type Server struct {
 	// blockIdx holds the (disjoint) block representative intervals
 	// sorted by Lo for O(log m) containment lookup.
 	blockIdx []blockRef
+
+	// authMu guards the lazily built Merkle prover state. It is
+	// always acquired while already holding mu (read or write), so
+	// the state it caches matches the db generation the caller sees;
+	// updates invalidate it under the write lock.
+	authMu sync.Mutex
+	auth   *wire.AuthState
 }
 
 type blockRef struct {
@@ -154,6 +161,65 @@ func (s *Server) Extreme(lo, hi uint64, max bool) (int, []byte, bool, error) {
 	return bid, s.db.Blocks[bid], true, nil
 }
 
+// authState returns the Merkle prover state for the current db
+// generation, building it on first use. Callers must hold mu.
+func (s *Server) authState() (*wire.AuthState, error) {
+	s.authMu.Lock()
+	defer s.authMu.Unlock()
+	if s.auth == nil {
+		st, err := wire.BuildAuthState(s.db)
+		if err != nil {
+			return nil, fmt.Errorf("server: auth state: %w", err)
+		}
+		s.auth = st
+	}
+	return s.auth, nil
+}
+
+func (s *Server) invalidateAuth() {
+	s.authMu.Lock()
+	s.auth = nil
+	s.authMu.Unlock()
+}
+
+// AuthRoot exposes the server's committed Merkle root (for startup
+// cross-checks against a client-supplied root and for tests).
+func (s *Server) AuthRoot() (authtree.Digest, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, err := s.authState()
+	if err != nil {
+		return authtree.Digest{}, err
+	}
+	return st.Root(), nil
+}
+
+// ExtremeProof is Extreme plus the Merkle verification object: the
+// probe, the returned block and the proof all come from the same
+// index generation under one read lock.
+func (s *Server) ExtremeProof(lo, hi uint64, max bool) (*wire.ExtremeResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	res := &wire.ExtremeResult{}
+	bid, found := s.extremeBlockLocked(lo, hi, max)
+	if found {
+		if bid < 0 || bid >= len(s.db.Blocks) {
+			return nil, fmt.Errorf("server: extreme entry references missing block %d", bid)
+		}
+		res.Found, res.BlockID, res.Block = true, bid, s.db.Blocks[bid]
+	}
+	st, err := s.authState()
+	if err != nil {
+		return nil, err
+	}
+	proof, err := st.ProveExtreme(lo, hi, res.Found, res.BlockID)
+	if err != nil {
+		return nil, err
+	}
+	res.Proof = proof
+	return res, nil
+}
+
 // Execute answers a translated query (§6.2): (1) each query node is
 // labeled with its DSI intervals, (2) structural joins prune them,
 // (3) value constraints consult the B-tree and prune further, (4)
@@ -190,7 +256,22 @@ func (s *Server) Execute(q *wire.Query) (*wire.Answer, error) {
 		}
 	}
 	surviving = dedupeOutermost(surviving)
-	return s.assemble(surviving)
+	ans, fragIvs, err := s.assemble(surviving)
+	if err != nil {
+		return nil, err
+	}
+	if q.WantProof {
+		st, err := s.authState()
+		if err != nil {
+			return nil, err
+		}
+		proof, err := st.ProveAnswer(ans, fragIvs)
+		if err != nil {
+			return nil, fmt.Errorf("server: answer proof: %w", err)
+		}
+		ans.Proof = proof
+	}
+	return ans, nil
 }
 
 // lift walks n levels up the interval forest, stopping at a root;
@@ -280,9 +361,14 @@ func walkPred(p wire.QPred, depth int, minDepth *int) {
 
 // assemble builds the answer for the surviving anchors: plaintext
 // anchors ship their residue fragment plus every block referenced
-// inside it; encrypted anchors ship their containing block.
-func (s *Server) assemble(anchors []dsi.Interval) (*wire.Answer, error) {
+// inside it; encrypted anchors ship their containing block. The
+// second result gives each fragment's DSI interval (parallel to
+// Fragments), which the Merkle prover needs to locate the committed
+// leaves. Fragment bytes come from wire.SerializeFragment — the same
+// canonical serialization the auth leaves commit to.
+func (s *Server) assemble(anchors []dsi.Interval) (*wire.Answer, []dsi.Interval, error) {
 	ans := &wire.Answer{}
+	var fragIvs []dsi.Interval
 	blockSet := map[int]bool{}
 	for _, a := range anchors {
 		if bid := s.blockIDFor(a); bid >= 0 {
@@ -293,13 +379,14 @@ func (s *Server) assemble(anchors []dsi.Interval) (*wire.Answer, error) {
 		if !ok {
 			// A grouped interval outside every block cannot occur:
 			// grouping only happens inside blocks.
-			return nil, fmt.Errorf("server: anchor interval %v has no residue node", a)
+			return nil, nil, fmt.Errorf("server: anchor interval %v has no residue node", a)
 		}
-		var buf bytes.Buffer
-		if err := xmltree.NewDocument(cloneForSerialize(n)).Serialize(&buf, false); err != nil {
-			return nil, fmt.Errorf("server: serialize fragment: %w", err)
+		frag, err := wire.SerializeFragment(n)
+		if err != nil {
+			return nil, nil, fmt.Errorf("server: serialize fragment: %w", err)
 		}
-		ans.Fragments = append(ans.Fragments, buf.Bytes())
+		ans.Fragments = append(ans.Fragments, frag)
+		fragIvs = append(fragIvs, a)
 		collectBlockIDs(n, blockSet)
 	}
 	ids := make([]int, 0, len(blockSet))
@@ -311,21 +398,7 @@ func (s *Server) assemble(anchors []dsi.Interval) (*wire.Answer, error) {
 		ans.BlockIDs = append(ans.BlockIDs, id)
 		ans.Blocks = append(ans.Blocks, s.db.Blocks[id])
 	}
-	return ans, nil
-}
-
-// cloneForSerialize detaches a residue subtree for serialization; an
-// attribute anchor is wrapped so it can stand alone.
-func cloneForSerialize(n *xmltree.Node) *xmltree.Node {
-	if n.Kind == xmltree.Attribute {
-		w := xmltree.NewElement(wire.AttrWrapTag)
-		w.AppendChild(xmltree.NewAttribute("name", n.Tag))
-		w.AppendChild(xmltree.NewText(n.Value))
-		return w
-	}
-	cp := n.Clone()
-	cp.Parent = nil
-	return cp
+	return ans, fragIvs, nil
 }
 
 func collectBlockIDs(n *xmltree.Node, into map[int]bool) {

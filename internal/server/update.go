@@ -1,8 +1,10 @@
 package server
 
 import (
+	"bytes"
 	"fmt"
 
+	"repro/internal/authtree"
 	"repro/internal/btree"
 	"repro/internal/wire"
 )
@@ -23,35 +25,77 @@ func (s *Server) ApplyUpdate(u *wire.Update) error {
 			return fmt.Errorf("server: update references unknown block %d", b.ID)
 		}
 	}
+	if len(u.NewRoot) > 0 && len(u.NewRoot) != authtree.DigestSize {
+		return fmt.Errorf("server: update root is %d bytes, want %d", len(u.NewRoot), authtree.DigestSize)
+	}
+
+	// Snapshot everything the update touches so a failed root
+	// cross-check can revert to the exact pre-update state.
+	prevBlocks := make(map[int][]byte, len(u.Blocks))
+	for _, b := range u.Blocks {
+		prevBlocks[b.ID] = s.db.Blocks[b.ID]
+	}
+	prevIndex, prevEntries := s.index, s.db.IndexEntries
+
 	for _, b := range u.Blocks {
 		s.db.Blocks[b.ID] = b.Ciphertext
 	}
-	if len(u.DropBands) == 0 && len(u.AddEntries) == 0 {
-		return nil
-	}
-	drop := map[uint8]bool{}
-	for _, b := range u.DropBands {
-		drop[b] = true
-	}
-	rebuilt := btree.New(0)
-	var kept []btree.Entry
-	s.index.Scan(func(e btree.Entry) bool {
-		if !drop[uint8(e.Key>>56)] {
-			kept = append(kept, e)
+	if len(u.DropBands) > 0 || len(u.AddEntries) > 0 {
+		drop := map[uint8]bool{}
+		for _, b := range u.DropBands {
+			drop[b] = true
 		}
-		return true
-	})
-	for _, e := range kept {
-		rebuilt.Insert(e.Key, e.BlockID)
-	}
-	for _, e := range u.AddEntries {
-		if e.BlockID < 0 || e.BlockID >= len(s.db.Blocks) {
-			return fmt.Errorf("server: update entry references unknown block %d", e.BlockID)
+		rebuilt := btree.New(0)
+		var kept []btree.Entry
+		s.index.Scan(func(e btree.Entry) bool {
+			if !drop[uint8(e.Key>>56)] {
+				kept = append(kept, e)
+			}
+			return true
+		})
+		for _, e := range kept {
+			rebuilt.Insert(e.Key, e.BlockID)
 		}
-		rebuilt.Insert(e.Key, e.BlockID)
+		for _, e := range u.AddEntries {
+			if e.BlockID < 0 || e.BlockID >= len(s.db.Blocks) {
+				s.revert(prevBlocks, prevIndex, prevEntries)
+				return fmt.Errorf("server: update entry references unknown block %d", e.BlockID)
+			}
+			rebuilt.Insert(e.Key, e.BlockID)
+		}
+		s.index = rebuilt
+		// Keep the upload mirror coherent for naive queries and stats.
+		s.db.IndexEntries = append(kept, u.AddEntries...)
 	}
-	s.index = rebuilt
-	// Keep the upload mirror coherent for naive queries and stats.
-	s.db.IndexEntries = append(kept, u.AddEntries...)
+	s.invalidateAuth()
+
+	if len(u.NewRoot) > 0 {
+		// The client precomputed the post-update root; recompute ours
+		// and refuse (restoring the pre-update state) on mismatch, so
+		// a corrupted or truncated update never becomes the committed
+		// generation.
+		st, err := s.authState()
+		if err != nil {
+			s.revert(prevBlocks, prevIndex, prevEntries)
+			return fmt.Errorf("server: update root check: %w", err)
+		}
+		root := st.Root()
+		if !bytes.Equal(root[:], u.NewRoot) {
+			s.revert(prevBlocks, prevIndex, prevEntries)
+			return fmt.Errorf("server: update rejected: recomputed root %x does not match client root %x",
+				root[:8], u.NewRoot[:8])
+		}
+	}
 	return nil
+}
+
+// revert restores the pre-update block ciphertexts, value index and
+// upload mirror. Caller holds the write lock.
+func (s *Server) revert(prevBlocks map[int][]byte, prevIndex *btree.Tree, prevEntries []btree.Entry) {
+	for id, ct := range prevBlocks {
+		s.db.Blocks[id] = ct
+	}
+	s.index = prevIndex
+	s.db.IndexEntries = prevEntries
+	s.invalidateAuth()
 }

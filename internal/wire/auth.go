@@ -1,0 +1,534 @@
+package wire
+
+// Answer-integrity layer: the canonical Merkle leaf schema over a
+// hosted database, the server-side prover state, and the client-side
+// verifier (see internal/authtree for the tree itself and the trust
+// argument). Both roles build the identical tree from server-visible
+// data only — blocks, residue fragments, value-index buckets — so
+// the commitment leaks nothing beyond what the upload already
+// revealed.
+//
+// Canonical leaf order (the layout both sides must agree on):
+//
+//	[0, nBlocks)                 block leaves, by block ID
+//	[nBlocks, nBlocks+nFrags)    fragment leaves, by interval (Lo, Hi)
+//	[.., ..+256)                 value-index band buckets, band 0..255
+//	[last]                       structure leaf (residue + DSI table)
+//
+// A fragment leaf exists for every residue element/attribute node
+// and commits the exact serialized bytes the server ships when that
+// node anchors an answer. Band buckets commit each OPESS band's full
+// entry list, which is also the unit updates replace — so a client
+// holding only the 32-byte-per-leaf digest vector can recompute the
+// post-update root from the update message alone.
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/authtree"
+	"repro/internal/btree"
+	"repro/internal/dsi"
+	"repro/internal/xmltree"
+)
+
+// numBands is the number of value-index bucket leaves: one per
+// possible OPESS band (the top byte of an index key).
+const numBands = 256
+
+// SerializeFragment produces the canonical answer bytes for a
+// residue node: the serialized subtree, with an attribute node
+// wrapped so it can stand alone. The server uses it to assemble
+// answers and both sides use it to build fragment leaves, so the
+// committed bytes are exactly the shipped bytes.
+func SerializeFragment(n *xmltree.Node) ([]byte, error) {
+	var m *xmltree.Node
+	if n.Kind == xmltree.Attribute {
+		m = xmltree.NewElement(AttrWrapTag)
+		m.AppendChild(xmltree.NewAttribute("name", n.Tag))
+		m.AppendChild(xmltree.NewText(n.Value))
+	} else {
+		m = n.Clone()
+		m.Parent = nil
+	}
+	var buf bytes.Buffer
+	if err := xmltree.NewDocument(m).Serialize(&buf, false); err != nil {
+		return nil, fmt.Errorf("wire: serialize fragment: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Leaf data constructors. The one-byte domain tag keeps a block leaf
+// from ever colliding with a fragment or bucket leaf.
+
+func blockLeafData(id int, ct []byte) []byte {
+	out := make([]byte, 0, 9+len(ct))
+	out = append(out, 'B')
+	out = appendU64(out, uint64(id))
+	return append(out, ct...)
+}
+
+func fragLeafData(iv dsi.Interval, frag []byte) []byte {
+	out := make([]byte, 0, 17+len(frag))
+	out = append(out, 'F')
+	out = appendU64(out, math.Float64bits(iv.Lo))
+	out = appendU64(out, math.Float64bits(iv.Hi))
+	return append(out, frag...)
+}
+
+func bandLeafData(band uint8, entries []btree.Entry) []byte {
+	out := make([]byte, 0, 2+16*len(entries))
+	out = append(out, 'V', band)
+	for _, e := range entries {
+		out = appendU64(out, e.Key)
+		out = appendU64(out, uint64(e.BlockID))
+	}
+	return out
+}
+
+func structLeafData(h *HostedDB) []byte {
+	w := &writer{}
+	w.buf.WriteByte('S')
+	w.string(h.Residue.String())
+	labels := make([]string, 0, len(h.Table.ByTag))
+	for l := range h.Table.ByTag {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	w.uvarint(uint64(len(labels)))
+	for _, l := range labels {
+		w.string(l)
+		w.uvarint(uint64(len(h.Table.ByTag[l])))
+		for _, iv := range h.Table.ByTag[l] {
+			w.f64(iv.Lo)
+			w.f64(iv.Hi)
+		}
+	}
+	w.uvarint(uint64(len(h.BlockReps)))
+	for _, iv := range h.BlockReps {
+		w.f64(iv.Lo)
+		w.f64(iv.Hi)
+	}
+	return w.buf.Bytes()
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// canonicalBandEntries buckets index entries by band (top key byte)
+// and sorts each bucket by (key, block ID) — the canonical bucket
+// content both sides hash.
+func canonicalBandEntries(entries []btree.Entry) *[numBands][]btree.Entry {
+	var bands [numBands][]btree.Entry
+	for _, e := range entries {
+		b := uint8(e.Key >> 56)
+		bands[b] = append(bands[b], e)
+	}
+	for b := range bands {
+		sort.Slice(bands[b], func(i, j int) bool {
+			if bands[b][i].Key != bands[b][j].Key {
+				return bands[b][i].Key < bands[b][j].Key
+			}
+			return bands[b][i].BlockID < bands[b][j].BlockID
+		})
+	}
+	return &bands
+}
+
+// AuthState is the server-side prover: the full Merkle tree over a
+// hosted database plus the lookup structures proofs need. It holds
+// no secrets — everything in it derives from the upload.
+type AuthState struct {
+	nBlocks int
+	nFrags  int
+	tree    *authtree.Tree
+	fragIdx map[dsi.Interval]int // interval -> absolute leaf index
+	bands   *[numBands][]btree.Entry
+}
+
+// BuildAuthState computes the canonical tree for a hosted database.
+// The database is first round-tripped through the wire format, so a
+// client building from its pre-upload instance and a server building
+// from the unmarshaled upload arrive at the identical root.
+func BuildAuthState(db *HostedDB) (*AuthState, error) {
+	data, err := MarshalDB(db)
+	if err != nil {
+		return nil, fmt.Errorf("wire: auth state: %w", err)
+	}
+	canon, err := UnmarshalDB(data)
+	if err != nil {
+		return nil, fmt.Errorf("wire: auth state: %w", err)
+	}
+
+	type fragLeaf struct {
+		iv   dsi.Interval
+		data []byte
+	}
+	frags := make([]fragLeaf, 0, len(canon.ResidueIntervals))
+	for n, iv := range canon.ResidueIntervals {
+		fb, err := SerializeFragment(n)
+		if err != nil {
+			return nil, err
+		}
+		frags = append(frags, fragLeaf{iv: iv, data: fragLeafData(iv, fb)})
+	}
+	sort.Slice(frags, func(i, j int) bool {
+		if frags[i].iv.Lo != frags[j].iv.Lo {
+			return frags[i].iv.Lo < frags[j].iv.Lo
+		}
+		return frags[i].iv.Hi < frags[j].iv.Hi
+	})
+	for i := 1; i < len(frags); i++ {
+		if frags[i].iv == frags[i-1].iv {
+			return nil, fmt.Errorf("wire: auth state: duplicate residue interval %v", frags[i].iv)
+		}
+	}
+
+	st := &AuthState{
+		nBlocks: len(canon.Blocks),
+		nFrags:  len(frags),
+		fragIdx: make(map[dsi.Interval]int, len(frags)),
+		bands:   canonicalBandEntries(canon.IndexEntries),
+	}
+	leaves := make([]authtree.Digest, 0, st.nBlocks+st.nFrags+numBands+1)
+	for id, ct := range canon.Blocks {
+		leaves = append(leaves, authtree.LeafHash(blockLeafData(id, ct)))
+	}
+	for i, f := range frags {
+		st.fragIdx[f.iv] = st.nBlocks + i
+		leaves = append(leaves, authtree.LeafHash(f.data))
+	}
+	for b := 0; b < numBands; b++ {
+		leaves = append(leaves, authtree.LeafHash(bandLeafData(uint8(b), st.bands[b])))
+	}
+	leaves = append(leaves, authtree.LeafHash(structLeafData(canon)))
+	st.tree = authtree.New(leaves)
+	return st, nil
+}
+
+// Root returns the committed root digest.
+func (st *AuthState) Root() authtree.Digest { return st.tree.Root() }
+
+// NumLeaves reports the tree width (part of the verifier's trusted
+// state).
+func (st *AuthState) NumLeaves() int { return st.tree.NumLeaves() }
+
+// Verifier snapshots the compact client-side state: the root, the
+// layout, and one digest per leaf (enough to recompute the root
+// after an update without holding any hosted data).
+func (st *AuthState) Verifier() *AuthVerifier {
+	return &AuthVerifier{
+		nBlocks: st.nBlocks,
+		nFrags:  st.nFrags,
+		leaves:  st.tree.Leaves(),
+		root:    st.tree.Root(),
+	}
+}
+
+// ProveAnswer builds the verification object for a query answer: the
+// (leaf index, interval) of every shipped fragment plus the Merkle
+// multiproof covering those fragment leaves and every shipped block
+// leaf. ivs is parallel to ans.Fragments.
+func (st *AuthState) ProveAnswer(ans *Answer, ivs []dsi.Interval) ([]byte, error) {
+	if len(ivs) != len(ans.Fragments) {
+		return nil, fmt.Errorf("wire: prove answer: %d intervals for %d fragments", len(ivs), len(ans.Fragments))
+	}
+	p := &AnswerProof{}
+	var idxs []int
+	for _, iv := range ivs {
+		li, ok := st.fragIdx[iv]
+		if !ok {
+			return nil, fmt.Errorf("wire: prove answer: interval %v has no fragment leaf", iv)
+		}
+		p.Frags = append(p.Frags, FragRef{Index: li, Lo: iv.Lo, Hi: iv.Hi})
+		idxs = append(idxs, li)
+	}
+	for _, id := range ans.BlockIDs {
+		if id < 0 || id >= st.nBlocks {
+			return nil, fmt.Errorf("wire: prove answer: block %d out of range", id)
+		}
+		idxs = append(idxs, id)
+	}
+	if len(idxs) == 0 {
+		// An empty answer still gets a proof so a tampering server
+		// cannot strip results and omit the proof: commit the
+		// structure leaf as a liveness anchor bound to this root.
+		idxs = append(idxs, st.structLeafIndex())
+	}
+	sib, err := st.tree.Prove(idxs)
+	if err != nil {
+		return nil, err
+	}
+	p.Siblings = sib
+	return MarshalAnswerProof(p)
+}
+
+// ProveExtreme builds the verification object for a MIN/MAX index
+// probe over [lo, hi]: the complete entry lists of every band the
+// range intersects (so the client can recompute the extreme itself —
+// the completeness half) plus the multiproof covering those bucket
+// leaves and, when a block is returned, its block leaf.
+func (st *AuthState) ProveExtreme(lo, hi uint64, found bool, blockID int) ([]byte, error) {
+	if hi < lo {
+		return nil, fmt.Errorf("wire: prove extreme: inverted range")
+	}
+	p := &ExtremeProof{Found: found, BlockID: blockID}
+	var idxs []int
+	for b := int(lo >> 56); b <= int(hi>>56); b++ {
+		p.Bands = append(p.Bands, BandBucket{Band: uint8(b), Entries: st.bands[b]})
+		idxs = append(idxs, st.bandLeafIndex(uint8(b)))
+	}
+	if found {
+		if blockID < 0 || blockID >= st.nBlocks {
+			return nil, fmt.Errorf("wire: prove extreme: block %d out of range", blockID)
+		}
+		idxs = append(idxs, blockID)
+	}
+	sib, err := st.tree.Prove(idxs)
+	if err != nil {
+		return nil, err
+	}
+	p.Siblings = sib
+	return MarshalExtremeProof(p)
+}
+
+func (st *AuthState) bandLeafIndex(b uint8) int { return st.nBlocks + st.nFrags + int(b) }
+func (st *AuthState) structLeafIndex() int      { return st.nBlocks + st.nFrags + numBands }
+
+// AuthVerifier is the owner-side integrity state: the committed root
+// plus the leaf digest vector. All Verify* methods return an error
+// wrapping authtree.ErrTampered on any mismatch; ApplyUpdate
+// advances the state so freshness survives updates.
+type AuthVerifier struct {
+	nBlocks int
+	nFrags  int
+	leaves  []authtree.Digest
+	root    authtree.Digest
+}
+
+// Root returns the currently committed root digest.
+func (v *AuthVerifier) Root() authtree.Digest { return v.root }
+
+// NumBlocks reports the committed block count.
+func (v *AuthVerifier) NumBlocks() int { return v.nBlocks }
+
+// Clone returns an independent copy (used to precompute the
+// post-update root before the update is acknowledged).
+func (v *AuthVerifier) Clone() *AuthVerifier {
+	return &AuthVerifier{
+		nBlocks: v.nBlocks,
+		nFrags:  v.nFrags,
+		leaves:  append([]authtree.Digest(nil), v.leaves...),
+		root:    v.root,
+	}
+}
+
+func (v *AuthVerifier) numLeaves() int            { return v.nBlocks + v.nFrags + numBands + 1 }
+func (v *AuthVerifier) bandLeafIndex(b uint8) int { return v.nBlocks + v.nFrags + int(b) }
+func (v *AuthVerifier) structLeafIndex() int      { return v.nBlocks + v.nFrags + numBands }
+
+// VerifyAnswer checks a query answer against the committed root
+// before anything is decrypted: every fragment's bytes and every
+// block's ciphertext must hash to a committed leaf, and every block
+// a fragment references must actually be present in the answer (the
+// omission check). A missing or undecodable proof is itself
+// tampering — a byzantine server must not be able to opt out.
+func (v *AuthVerifier) VerifyAnswer(ans *Answer) error {
+	if len(ans.Proof) == 0 {
+		return fmt.Errorf("%w: answer carries no proof", authtree.ErrTampered)
+	}
+	p, err := UnmarshalAnswerProof(ans.Proof)
+	if err != nil {
+		return fmt.Errorf("%w: undecodable proof: %v", authtree.ErrTampered, err)
+	}
+	if len(p.Frags) != len(ans.Fragments) {
+		return fmt.Errorf("%w: proof covers %d fragments, answer has %d",
+			authtree.ErrTampered, len(p.Frags), len(ans.Fragments))
+	}
+	var items []authtree.LeafItem
+	for i, fr := range p.Frags {
+		if fr.Index < v.nBlocks || fr.Index >= v.nBlocks+v.nFrags {
+			return fmt.Errorf("%w: fragment leaf index %d outside fragment range", authtree.ErrTampered, fr.Index)
+		}
+		data := fragLeafData(dsi.Interval{Lo: fr.Lo, Hi: fr.Hi}, ans.Fragments[i])
+		items = append(items, authtree.LeafItem{Index: fr.Index, Digest: authtree.LeafHash(data)})
+	}
+	if len(ans.BlockIDs) != len(ans.Blocks) {
+		return fmt.Errorf("%w: %d block IDs for %d blocks", authtree.ErrTampered, len(ans.BlockIDs), len(ans.Blocks))
+	}
+	for i, id := range ans.BlockIDs {
+		if id < 0 || id >= v.nBlocks {
+			return fmt.Errorf("%w: block ID %d outside committed range [0,%d)", authtree.ErrTampered, id, v.nBlocks)
+		}
+		items = append(items, authtree.LeafItem{
+			Index:  id,
+			Digest: authtree.LeafHash(blockLeafData(id, ans.Blocks[i])),
+		})
+	}
+	if len(items) == 0 {
+		// Empty answer: the proof must demonstrate liveness against
+		// the current root via the structure leaf.
+		items = append(items, authtree.LeafItem{Index: v.structLeafIndex(), Digest: v.leaves[v.structLeafIndex()]})
+	}
+	if err := authtree.VerifyMulti(v.root, v.numLeaves(), items, p.Siblings); err != nil {
+		return err
+	}
+	return v.checkReferencedBlocks(ans)
+}
+
+// checkReferencedBlocks parses the (now authenticated) fragments and
+// confirms every <EncBlock> placeholder they reference arrived in
+// the answer — a server silently dropping a referenced block is an
+// omission, not a smaller answer.
+func (v *AuthVerifier) checkReferencedBlocks(ans *Answer) error {
+	have := make(map[int]bool, len(ans.BlockIDs))
+	for _, id := range ans.BlockIDs {
+		have[id] = true
+	}
+	for _, frag := range ans.Fragments {
+		doc, err := xmltree.ParseCompact(frag)
+		if err != nil {
+			return fmt.Errorf("%w: unparseable fragment: %v", authtree.ErrTampered, err)
+		}
+		var missing error
+		doc.Root.Walk(func(m *xmltree.Node) bool {
+			if missing != nil {
+				return false
+			}
+			if m.Kind == xmltree.Element && m.Tag == PlaceholderTag {
+				if idStr, ok := m.Attr("id"); ok {
+					var id int
+					if _, err := fmt.Sscanf(idStr, "%d", &id); err == nil && !have[id] {
+						missing = fmt.Errorf("%w: fragment references block %d, which the answer omits",
+							authtree.ErrTampered, id)
+					}
+				}
+			}
+			return true
+		})
+		if missing != nil {
+			return missing
+		}
+	}
+	return nil
+}
+
+// VerifyExtreme checks a MIN/MAX probe result over [lo, hi]: the
+// proof must carry the full authenticated bucket of every band the
+// range touches, the recomputed extreme over those buckets must
+// match what the server returned (including "no entries"), and a
+// returned block must hash to its committed leaf.
+func (v *AuthVerifier) VerifyExtreme(lo, hi uint64, max bool, found bool, blockID int, block, proof []byte) error {
+	if len(proof) == 0 {
+		return fmt.Errorf("%w: extreme result carries no proof", authtree.ErrTampered)
+	}
+	p, err := UnmarshalExtremeProof(proof)
+	if err != nil {
+		return fmt.Errorf("%w: undecodable proof: %v", authtree.ErrTampered, err)
+	}
+	if p.Found != found || (found && p.BlockID != blockID) {
+		return fmt.Errorf("%w: proof disagrees with result", authtree.ErrTampered)
+	}
+	loBand, hiBand := int(lo>>56), int(hi>>56)
+	if len(p.Bands) != hiBand-loBand+1 {
+		return fmt.Errorf("%w: proof covers %d bands, range touches %d",
+			authtree.ErrTampered, len(p.Bands), hiBand-loBand+1)
+	}
+	var items []authtree.LeafItem
+	var inRange []btree.Entry
+	for i, bb := range p.Bands {
+		if int(bb.Band) != loBand+i {
+			return fmt.Errorf("%w: band %d out of place", authtree.ErrTampered, bb.Band)
+		}
+		items = append(items, authtree.LeafItem{
+			Index:  v.bandLeafIndex(bb.Band),
+			Digest: authtree.LeafHash(bandLeafData(bb.Band, bb.Entries)),
+		})
+		for _, e := range bb.Entries {
+			if e.Key >= lo && e.Key <= hi {
+				inRange = append(inRange, e)
+			}
+		}
+	}
+	if found {
+		if blockID < 0 || blockID >= v.nBlocks {
+			return fmt.Errorf("%w: block ID %d outside committed range", authtree.ErrTampered, blockID)
+		}
+		items = append(items, authtree.LeafItem{
+			Index:  blockID,
+			Digest: authtree.LeafHash(blockLeafData(blockID, block)),
+		})
+	}
+	if err := authtree.VerifyMulti(v.root, v.numLeaves(), items, p.Siblings); err != nil {
+		return err
+	}
+	// Recompute the extreme from the authenticated buckets.
+	if len(inRange) == 0 {
+		if found {
+			return fmt.Errorf("%w: server returned an extreme for an empty range", authtree.ErrTampered)
+		}
+		return nil
+	}
+	if !found {
+		return fmt.Errorf("%w: server claimed no entries, committed buckets hold %d in range",
+			authtree.ErrTampered, len(inRange))
+	}
+	best := inRange[0].Key
+	for _, e := range inRange[1:] {
+		if (max && e.Key > best) || (!max && e.Key < best) {
+			best = e.Key
+		}
+	}
+	for _, e := range inRange {
+		if e.Key == best && e.BlockID == blockID {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: returned block %d does not hold the extreme key", authtree.ErrTampered, blockID)
+}
+
+// ApplyUpdate advances the verifier to the post-update state:
+// replaced blocks get fresh leaf digests, dropped bands are replaced
+// wholesale by the update's entries for that band, and the root is
+// recomputed. The update must be band-closed (every added entry's
+// band among the dropped bands) — which owner-issued updates are by
+// construction — or the verifier could not know the bucket's final
+// content.
+func (v *AuthVerifier) ApplyUpdate(u *Update) error {
+	for _, b := range u.Blocks {
+		if b.ID < 0 || b.ID >= v.nBlocks {
+			return fmt.Errorf("wire: verifier update: block %d outside committed range", b.ID)
+		}
+	}
+	dropped := map[uint8]bool{}
+	for _, b := range u.DropBands {
+		dropped[b] = true
+	}
+	adds := map[uint8][]btree.Entry{}
+	for _, e := range u.AddEntries {
+		band := uint8(e.Key >> 56)
+		if !dropped[band] {
+			return fmt.Errorf("wire: verifier update: entry in band %d, which the update does not replace", band)
+		}
+		adds[band] = append(adds[band], e)
+	}
+	for _, b := range u.Blocks {
+		v.leaves[b.ID] = authtree.LeafHash(blockLeafData(b.ID, b.Ciphertext))
+	}
+	for band := range dropped {
+		entries := adds[band]
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].Key != entries[j].Key {
+				return entries[i].Key < entries[j].Key
+			}
+			return entries[i].BlockID < entries[j].BlockID
+		})
+		v.leaves[v.bandLeafIndex(band)] = authtree.LeafHash(bandLeafData(band, entries))
+	}
+	v.root = authtree.New(v.leaves).Root()
+	return nil
+}

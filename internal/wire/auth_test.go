@@ -1,0 +1,451 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/authtree"
+	"repro/internal/btree"
+	"repro/internal/dsi"
+	"repro/internal/xmltree"
+)
+
+// residueNodeIv finds the residue node with the given tag and its
+// interval.
+func residueNodeIv(t *testing.T, db *HostedDB, tag string) (*xmltree.Node, dsi.Interval) {
+	t.Helper()
+	for n, iv := range db.ResidueIntervals {
+		if n.Tag == tag {
+			return n, iv
+		}
+	}
+	t.Fatalf("no residue node %q", tag)
+	return nil, dsi.Interval{}
+}
+
+func TestAuthStateCanonicalAcrossRoundTrip(t *testing.T) {
+	// The client builds from its pre-upload instance, the server from
+	// the unmarshaled upload; both must commit to the same root.
+	db := sampleDB(t)
+	st1, err := BuildAuthState(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalDB(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := UnmarshalDB(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := BuildAuthState(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Root() != st2.Root() {
+		t.Fatal("client-side and server-side auth roots differ")
+	}
+	if st1.NumLeaves() != st2.NumLeaves() {
+		t.Fatal("leaf counts differ")
+	}
+}
+
+func TestAnswerProofVerify(t *testing.T) {
+	db := sampleDB(t)
+	st, err := BuildAuthState(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := st.Verifier()
+
+	patient, iv := residueNodeIv(t, db, "patient")
+	frag, err := SerializeFragment(patient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans := &Answer{
+		Fragments: [][]byte{frag},
+		BlockIDs:  []int{0},
+		Blocks:    [][]byte{db.Blocks[0]},
+	}
+	proof, err := st.ProveAnswer(ans, []dsi.Interval{iv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans.Proof = proof
+	if err := v.VerifyAnswer(ans); err != nil {
+		t.Fatalf("honest answer rejected: %v", err)
+	}
+
+	// Modified fragment bytes.
+	bad := *ans
+	bad.Fragments = [][]byte{[]byte("<patient>evil</patient>")}
+	if err := v.VerifyAnswer(&bad); !errors.Is(err, authtree.ErrTampered) {
+		t.Fatalf("modified fragment accepted: %v", err)
+	}
+	// Modified block ciphertext.
+	bad = *ans
+	bad.Blocks = [][]byte{{9, 9, 9}}
+	if err := v.VerifyAnswer(&bad); !errors.Is(err, authtree.ErrTampered) {
+		t.Fatalf("modified block accepted: %v", err)
+	}
+	// Omitted referenced block: the fragment still holds
+	// <EncBlock id="0"/>, so stripping the block is an omission.
+	bad = *ans
+	bad.BlockIDs, bad.Blocks = nil, nil
+	stripped, err := st.ProveAnswer(&bad, []dsi.Interval{iv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Proof = stripped
+	if err := v.VerifyAnswer(&bad); !errors.Is(err, authtree.ErrTampered) {
+		t.Fatalf("omitted referenced block accepted: %v", err)
+	}
+	// Missing proof.
+	bad = *ans
+	bad.Proof = nil
+	if err := v.VerifyAnswer(&bad); !errors.Is(err, authtree.ErrTampered) {
+		t.Fatalf("proofless answer accepted: %v", err)
+	}
+	// Garbage proof bytes.
+	bad = *ans
+	bad.Proof = []byte("SXP1garbage")
+	if err := v.VerifyAnswer(&bad); !errors.Is(err, authtree.ErrTampered) {
+		t.Fatalf("garbage proof accepted: %v", err)
+	}
+}
+
+func TestEmptyAnswerProofVerify(t *testing.T) {
+	db := sampleDB(t)
+	st, err := BuildAuthState(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := st.Verifier()
+	ans := &Answer{}
+	proof, err := st.ProveAnswer(ans, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans.Proof = proof
+	if err := v.VerifyAnswer(ans); err != nil {
+		t.Fatalf("honest empty answer rejected: %v", err)
+	}
+	// An empty answer proved against a different database must fail:
+	// the liveness anchor binds the proof to this root.
+	other := sampleDB(t)
+	other.Blocks[0] = []byte{42}
+	ost, err := BuildAuthState(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oproof, err := ost.ProveAnswer(&Answer{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans.Proof = oproof
+	if err := v.VerifyAnswer(ans); !errors.Is(err, authtree.ErrTampered) {
+		t.Fatalf("cross-database empty proof accepted: %v", err)
+	}
+}
+
+func TestExtremeProofVerify(t *testing.T) {
+	db := sampleDB(t) // entries: {99,0}, {77,0} — both in band 0
+	st, err := BuildAuthState(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := st.Verifier()
+
+	// Honest MAX over band 0: extreme key 99, block 0.
+	proof, err := st.ProveExtreme(0, 1<<56-1, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.VerifyExtreme(0, 1<<56-1, true, true, 0, db.Blocks[0], proof); err != nil {
+		t.Fatalf("honest extreme rejected: %v", err)
+	}
+	// Honest empty range in band 1: provable not-found.
+	nproof, err := st.ProveExtreme(1<<56, 1<<56+5, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.VerifyExtreme(1<<56, 1<<56+5, false, false, 0, nil, nproof); err != nil {
+		t.Fatalf("honest not-found rejected: %v", err)
+	}
+	// Lying not-found over a populated range.
+	lie, err := st.ProveExtreme(0, 1<<56-1, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.VerifyExtreme(0, 1<<56-1, true, false, 0, nil, lie); !errors.Is(err, authtree.ErrTampered) {
+		t.Fatalf("false not-found accepted: %v", err)
+	}
+	// Tampered block ciphertext with a valid bucket proof.
+	if err := v.VerifyExtreme(0, 1<<56-1, true, true, 0, []byte{1, 2}, proof); !errors.Is(err, authtree.ErrTampered) {
+		t.Fatalf("tampered extreme block accepted: %v", err)
+	}
+	// Proofless result.
+	if err := v.VerifyExtreme(0, 1<<56-1, true, true, 0, db.Blocks[0], nil); !errors.Is(err, authtree.ErrTampered) {
+		t.Fatalf("proofless extreme accepted: %v", err)
+	}
+}
+
+func TestVerifierApplyUpdate(t *testing.T) {
+	db := sampleDB(t)
+	st, err := BuildAuthState(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := st.Verifier()
+	oldRoot := v.Root()
+
+	u := &Update{
+		Blocks:     []BlockUpdate{{ID: 0, Ciphertext: []byte{7, 7, 7, 7}}},
+		DropBands:  []uint8{0},
+		AddEntries: []btree.Entry{{Key: 88, BlockID: 0}},
+	}
+	if err := v.ApplyUpdate(u); err != nil {
+		t.Fatal(err)
+	}
+	if v.Root() == oldRoot {
+		t.Fatal("update did not change the root")
+	}
+
+	// The advanced verifier must agree with a full rebuild over the
+	// post-update database.
+	db2 := sampleDB(t)
+	db2.Blocks = [][]byte{{7, 7, 7, 7}}
+	db2.IndexEntries = []btree.Entry{{Key: 88, BlockID: 0}}
+	st2, err := BuildAuthState(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Root() != st2.Root() {
+		t.Fatal("incrementally updated root disagrees with full rebuild")
+	}
+
+	// Band-closure violation: an added entry outside the dropped
+	// bands is rejected (the verifier cannot know the bucket's final
+	// content).
+	bad := &Update{AddEntries: []btree.Entry{{Key: 5 << 56, BlockID: 0}}}
+	if err := st.Verifier().ApplyUpdate(bad); err == nil {
+		t.Fatal("band-closure violation accepted")
+	}
+	// Out-of-range block replacement.
+	bad = &Update{Blocks: []BlockUpdate{{ID: 9, Ciphertext: []byte{1}}}}
+	if err := st.Verifier().ApplyUpdate(bad); err == nil {
+		t.Fatal("out-of-range block update accepted")
+	}
+}
+
+func TestProofRoundTrip(t *testing.T) {
+	ap := &AnswerProof{
+		Frags:    []FragRef{{Index: 3, Lo: 0.25, Hi: 0.5}, {Index: 7, Lo: 0.75, Hi: 1}},
+		Siblings: []authtree.Digest{authtree.LeafHash([]byte("x")), authtree.LeafHash([]byte("y"))},
+	}
+	data, err := MarshalAnswerProof(ap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalAnswerProof(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Frags) != 2 || got.Frags[1] != ap.Frags[1] || len(got.Siblings) != 2 || got.Siblings[0] != ap.Siblings[0] {
+		t.Fatal("answer proof round trip mismatch")
+	}
+
+	ep := &ExtremeProof{
+		Found:    true,
+		BlockID:  4,
+		Bands:    []BandBucket{{Band: 2, Entries: []btree.Entry{{Key: 2<<56 + 9, BlockID: 4}}}},
+		Siblings: []authtree.Digest{authtree.LeafHash([]byte("z"))},
+	}
+	data, err = MarshalExtremeProof(ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotE, err := UnmarshalExtremeProof(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotE.Found || gotE.BlockID != 4 || len(gotE.Bands) != 1 ||
+		gotE.Bands[0].Band != 2 || gotE.Bands[0].Entries[0] != ep.Bands[0].Entries[0] {
+		t.Fatal("extreme proof round trip mismatch")
+	}
+
+	// Truncations of either encoding must error, never panic.
+	for _, blob := range [][]byte{data} {
+		for i := 0; i < len(blob); i++ {
+			if _, err := UnmarshalExtremeProof(blob[:i]); err == nil {
+				t.Fatalf("truncated proof (%d bytes) accepted", i)
+			}
+		}
+	}
+}
+
+func TestVersionedFramesBackCompat(t *testing.T) {
+	// Integrity-disabled messages must be byte-identical to the
+	// legacy framing, and V2 frames must round-trip the new fields.
+	q := sampleQuery()
+	q.WantProof = false
+	data, err := MarshalQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:4]) != "SXQ1" {
+		t.Fatalf("plain query framed as %q", data[:4])
+	}
+	q.WantProof = true
+	data, err = MarshalQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:4]) != "SXQ2" {
+		t.Fatalf("proof query framed as %q", data[:4])
+	}
+	got, err := UnmarshalQuery(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.WantProof {
+		t.Fatal("WantProof lost in round trip")
+	}
+
+	a := &Answer{Fragments: [][]byte{[]byte("<x/>")}}
+	data, err = MarshalAnswer(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:4]) != "SXA1" {
+		t.Fatalf("plain answer framed as %q", data[:4])
+	}
+	a.Proof = []byte("SXP1whatever")
+	data, err = MarshalAnswer(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:4]) != "SXA2" {
+		t.Fatalf("proof answer framed as %q", data[:4])
+	}
+	gotA, err := UnmarshalAnswer(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotA.Proof) != "SXP1whatever" {
+		t.Fatal("answer proof lost in round trip")
+	}
+
+	u := &Update{RequestID: 5}
+	data, err = MarshalUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:4]) != "SXU2" {
+		t.Fatalf("plain update framed as %q", data[:4])
+	}
+	u.NewRoot = make([]byte, 32)
+	u.NewRoot[0] = 0xAB
+	data, err = MarshalUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:4]) != "SXU3" {
+		t.Fatalf("rooted update framed as %q", data[:4])
+	}
+	gotU, err := UnmarshalUpdate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotU.RequestID != 5 || len(gotU.NewRoot) != 32 || gotU.NewRoot[0] != 0xAB {
+		t.Fatal("SXU3 round trip mismatch")
+	}
+}
+
+func BenchmarkVerifyAnswer(b *testing.B) {
+	db := sampleDBForBench(b)
+	st, err := BuildAuthState(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := st.Verifier()
+	var iv dsi.Interval
+	var frag []byte
+	for n, i := range db.ResidueIntervals {
+		if n.Tag == "patient" {
+			iv = i
+			frag, err = SerializeFragment(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			break
+		}
+	}
+	ans := &Answer{Fragments: [][]byte{frag}, BlockIDs: []int{0}, Blocks: [][]byte{db.Blocks[0]}}
+	proof, err := st.ProveAnswer(ans, []dsi.Interval{iv})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ans.Proof = proof
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := v.VerifyAnswer(ans); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(proof)), "proof-bytes")
+}
+
+func BenchmarkVerifyExtreme(b *testing.B) {
+	db := sampleDBForBench(b)
+	st, err := BuildAuthState(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := st.Verifier()
+	proof, err := st.ProveExtreme(0, 1<<56-1, true, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := v.VerifyExtreme(0, 1<<56-1, true, true, 0, db.Blocks[0], proof); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(proof)), "proof-bytes")
+}
+
+// sampleDBForBench mirrors sampleDB for benchmarks (which get *B,
+// not *T).
+func sampleDBForBench(b *testing.B) *HostedDB {
+	b.Helper()
+	res, err := xmltree.ParseString(`<hospital><patient><EncBlock id="0"/><SSN>763895</SSN></patient></hospital>`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ivs := map[*xmltree.Node]dsi.Interval{}
+	i := 0.0
+	for _, n := range res.Nodes() {
+		if n.Kind == xmltree.Text {
+			continue
+		}
+		ivs[n] = dsi.Interval{Lo: 0.01 * i, Hi: 0.01*i + 0.005}
+		i++
+	}
+	return &HostedDB{
+		Residue:          res,
+		ResidueIntervals: ivs,
+		Table: &dsi.Table{ByTag: map[string][]dsi.Interval{
+			"hospital": {{Lo: 0, Hi: 1}},
+			"patient":  {{Lo: 0.1, Hi: 0.4}},
+		}},
+		BlockReps:    []dsi.Interval{{Lo: 0.12, Hi: 0.2}},
+		Blocks:       [][]byte{{1, 2, 3, 4, 5}},
+		IndexEntries: []btree.Entry{{Key: 99, BlockID: 0}, {Key: 77, BlockID: 0}},
+	}
+}

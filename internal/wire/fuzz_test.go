@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/authtree"
 	"repro/internal/btree"
 	"repro/internal/dsi"
 	"repro/internal/xmltree"
@@ -143,6 +144,45 @@ func FuzzUnmarshalUpdate(f *testing.F) {
 		}
 		if _, err := MarshalUpdate(u); err != nil {
 			t.Fatalf("accepted input cannot re-marshal: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeProof drives both proof decoders with hostile bytes: a
+// proof blob comes from the untrusted server with every answer, so
+// it is the single most attacker-exposed decoder in the system. It
+// must error (never panic, never over-allocate past the decode caps)
+// and anything accepted must re-marshal.
+func FuzzDecodeProof(f *testing.F) {
+	if seed, err := MarshalAnswerProof(&AnswerProof{
+		Frags:    []FragRef{{Index: 2, Lo: 0.25, Hi: 0.75}},
+		Siblings: []authtree.Digest{{1, 2, 3}, {4, 5, 6}},
+	}); err == nil {
+		f.Add(seed)
+	}
+	if seed, err := MarshalExtremeProof(&ExtremeProof{
+		Found:   true,
+		BlockID: 1,
+		Bands: []BandBucket{{Band: 3, Entries: []btree.Entry{
+			{Key: 0x0301_0000_0000_0000, BlockID: 1},
+		}}},
+		Siblings: []authtree.Digest{{7, 7, 7}},
+	}); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("SXP1"))
+	f.Add([]byte("SXP2"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if p, err := UnmarshalAnswerProof(data); err == nil {
+			if _, err := MarshalAnswerProof(p); err != nil {
+				t.Fatalf("accepted answer proof cannot re-marshal: %v", err)
+			}
+		}
+		if p, err := UnmarshalExtremeProof(data); err == nil {
+			if _, err := MarshalExtremeProof(p); err != nil {
+				t.Fatalf("accepted extreme proof cannot re-marshal: %v", err)
+			}
 		}
 	})
 }

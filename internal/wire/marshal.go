@@ -27,11 +27,16 @@ import (
 	"repro/internal/xpath"
 )
 
-// Format magic and version.
+// Format magic and version. The V2 query/answer magics carry the
+// integrity-layer fields (Query.WantProof, Answer.Proof); they are
+// emitted only when those fields are set, so integrity-disabled
+// deployments produce byte-identical V1 frames.
 var (
-	dbMagic     = []byte("SXDB1")
-	queryMagic  = []byte("SXQ1")
-	answerMagic = []byte("SXA1")
+	dbMagic       = []byte("SXDB1")
+	queryMagic    = []byte("SXQ1")
+	queryMagicV2  = []byte("SXQ2")
+	answerMagic   = []byte("SXA1")
+	answerMagicV2 = []byte("SXA2")
 )
 
 type writer struct {
@@ -316,10 +321,16 @@ const (
 	predPos    byte = 6
 )
 
-// MarshalQuery serializes a translated query.
+// MarshalQuery serializes a translated query. Queries that do not
+// request a proof encode to the legacy SXQ1 bytes unchanged.
 func MarshalQuery(q *Query) ([]byte, error) {
 	w := &writer{}
-	w.buf.Write(queryMagic)
+	if q.WantProof {
+		w.buf.Write(queryMagicV2)
+		w.bool(q.WantProof)
+	} else {
+		w.buf.Write(queryMagic)
+	}
 	if err := writeSteps(w, q.First); err != nil {
 		return nil, err
 	}
@@ -397,11 +408,22 @@ func writePred(w *writer, p QPred) error {
 	}
 }
 
-// UnmarshalQuery reverses MarshalQuery.
+// UnmarshalQuery reverses MarshalQuery; both SXQ1 and SXQ2 frames
+// are accepted.
 func UnmarshalQuery(data []byte) (*Query, error) {
 	r := &reader{r: bytes.NewReader(data)}
-	if err := expectMagic(r.r, queryMagic); err != nil {
-		return nil, err
+	q := &Query{}
+	if err := expectMagic(r.r, queryMagicV2); err != nil {
+		r.r = bytes.NewReader(data)
+		if errV1 := expectMagic(r.r, queryMagic); errV1 != nil {
+			return nil, err
+		}
+	} else {
+		wp, err := r.bool()
+		if err != nil {
+			return nil, fmt.Errorf("wire: want-proof flag: %w", err)
+		}
+		q.WantProof = wp
 	}
 	first, err := readSteps(r)
 	if err != nil {
@@ -410,7 +432,8 @@ func UnmarshalQuery(data []byte) (*Query, error) {
 	if r.r.Len() != 0 {
 		return nil, fmt.Errorf("wire: %d trailing bytes", r.r.Len())
 	}
-	return &Query{First: first}, nil
+	q.First = first
+	return q, nil
 }
 
 func readSteps(r *reader) (*QStep, error) {
@@ -542,10 +565,16 @@ func readPred(r *reader) (QPred, error) {
 	}
 }
 
-// MarshalAnswer serializes an answer.
+// MarshalAnswer serializes an answer. Answers without a proof encode
+// to the legacy SXA1 bytes unchanged.
 func MarshalAnswer(a *Answer) ([]byte, error) {
 	w := &writer{}
-	w.buf.Write(answerMagic)
+	if len(a.Proof) > 0 {
+		w.buf.Write(answerMagicV2)
+		w.bytes(a.Proof)
+	} else {
+		w.buf.Write(answerMagic)
+	}
 	w.uvarint(uint64(len(a.Fragments)))
 	for _, f := range a.Fragments {
 		w.bytes(f)
@@ -558,13 +587,23 @@ func MarshalAnswer(a *Answer) ([]byte, error) {
 	return w.buf.Bytes(), nil
 }
 
-// UnmarshalAnswer reverses MarshalAnswer.
+// UnmarshalAnswer reverses MarshalAnswer; both SXA1 and SXA2 frames
+// are accepted.
 func UnmarshalAnswer(data []byte) (*Answer, error) {
 	r := &reader{r: bytes.NewReader(data)}
-	if err := expectMagic(r.r, answerMagic); err != nil {
-		return nil, err
-	}
 	a := &Answer{}
+	if err := expectMagic(r.r, answerMagicV2); err != nil {
+		r.r = bytes.NewReader(data)
+		if errV1 := expectMagic(r.r, answerMagic); errV1 != nil {
+			return nil, err
+		}
+	} else {
+		proof, err := r.bytesN()
+		if err != nil {
+			return nil, fmt.Errorf("wire: answer proof: %w", err)
+		}
+		a.Proof = proof
+	}
 	nf, err := r.count("fragment")
 	if err != nil {
 		return nil, err

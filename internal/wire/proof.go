@@ -1,0 +1,207 @@
+package wire
+
+// Binary encoding of the Merkle verification objects (auth.go). The
+// blobs travel opaquely inside Answer.Proof / ExtremeResult.Proof;
+// they are produced by an untrusted server, so the decoders are as
+// defensive as every other wire decoder (length caps, trailing-byte
+// checks) and are covered by FuzzDecodeProof.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/authtree"
+	"repro/internal/btree"
+)
+
+var (
+	answerProofMagic  = []byte("SXP1")
+	extremeProofMagic = []byte("SXP2")
+)
+
+// FragRef binds one answer fragment to its committed leaf: the
+// absolute leaf index plus the fragment's DSI interval (part of the
+// hashed leaf data, so a server cannot relabel a fragment).
+type FragRef struct {
+	Index  int
+	Lo, Hi float64
+}
+
+// AnswerProof is the verification object for a query answer:
+// leaf bindings for every shipped fragment, plus the multiproof
+// siblings covering those fragment leaves and every shipped block
+// leaf (block leaf indices are the block IDs themselves, so they
+// need no separate refs).
+type AnswerProof struct {
+	Frags    []FragRef
+	Siblings []authtree.Digest
+}
+
+// BandBucket is one value-index band's complete, canonically ordered
+// entry list — the completeness half of an extreme proof.
+type BandBucket struct {
+	Band    uint8
+	Entries []btree.Entry
+}
+
+// ExtremeProof is the verification object for a MIN/MAX index probe:
+// the full buckets of every band the probed range touches plus the
+// multiproof covering them (and the returned block's leaf, when one
+// was found).
+type ExtremeProof struct {
+	Found    bool
+	BlockID  int
+	Bands    []BandBucket
+	Siblings []authtree.Digest
+}
+
+// maxProofSiblings caps decoded sibling counts; a legitimate proof
+// over even millions of leaves needs far fewer.
+const maxProofSiblings = 1 << 20
+
+// MarshalAnswerProof serializes an answer proof.
+func MarshalAnswerProof(p *AnswerProof) ([]byte, error) {
+	w := &writer{}
+	w.buf.Write(answerProofMagic)
+	w.uvarint(uint64(len(p.Frags)))
+	for _, f := range p.Frags {
+		w.uvarint(uint64(f.Index))
+		w.f64(f.Lo)
+		w.f64(f.Hi)
+	}
+	writeDigests(w, p.Siblings)
+	return w.buf.Bytes(), nil
+}
+
+// UnmarshalAnswerProof reverses MarshalAnswerProof.
+func UnmarshalAnswerProof(data []byte) (*AnswerProof, error) {
+	r := &reader{r: bytes.NewReader(data)}
+	if err := expectMagic(r.r, answerProofMagic); err != nil {
+		return nil, err
+	}
+	p := &AnswerProof{}
+	nf, err := r.count("proof fragment")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nf; i++ {
+		var f FragRef
+		idx, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		f.Index = int(idx)
+		if f.Lo, err = r.f64(); err != nil {
+			return nil, err
+		}
+		if f.Hi, err = r.f64(); err != nil {
+			return nil, err
+		}
+		p.Frags = append(p.Frags, f)
+	}
+	if p.Siblings, err = readDigests(r); err != nil {
+		return nil, err
+	}
+	if r.r.Len() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes", r.r.Len())
+	}
+	return p, nil
+}
+
+// MarshalExtremeProof serializes an extreme proof.
+func MarshalExtremeProof(p *ExtremeProof) ([]byte, error) {
+	w := &writer{}
+	w.buf.Write(extremeProofMagic)
+	w.bool(p.Found)
+	w.uvarint(uint64(p.BlockID))
+	w.uvarint(uint64(len(p.Bands)))
+	for _, b := range p.Bands {
+		w.buf.WriteByte(b.Band)
+		w.uvarint(uint64(len(b.Entries)))
+		for _, e := range b.Entries {
+			w.u64(e.Key)
+			w.uvarint(uint64(e.BlockID))
+		}
+	}
+	writeDigests(w, p.Siblings)
+	return w.buf.Bytes(), nil
+}
+
+// UnmarshalExtremeProof reverses MarshalExtremeProof.
+func UnmarshalExtremeProof(data []byte) (*ExtremeProof, error) {
+	r := &reader{r: bytes.NewReader(data)}
+	if err := expectMagic(r.r, extremeProofMagic); err != nil {
+		return nil, err
+	}
+	p := &ExtremeProof{}
+	var err error
+	if p.Found, err = r.bool(); err != nil {
+		return nil, err
+	}
+	bid, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	p.BlockID = int(bid)
+	nb, err := r.count("proof band")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nb; i++ {
+		var b BandBucket
+		band, err := r.r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		b.Band = band
+		ne, err := r.count("band entry")
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < ne; j++ {
+			var e btree.Entry
+			if e.Key, err = r.u64(); err != nil {
+				return nil, err
+			}
+			ebid, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			e.BlockID = int(ebid)
+			b.Entries = append(b.Entries, e)
+		}
+		p.Bands = append(p.Bands, b)
+	}
+	if p.Siblings, err = readDigests(r); err != nil {
+		return nil, err
+	}
+	if r.r.Len() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes", r.r.Len())
+	}
+	return p, nil
+}
+
+func writeDigests(w *writer, ds []authtree.Digest) {
+	w.uvarint(uint64(len(ds)))
+	for _, d := range ds {
+		w.buf.Write(d[:])
+	}
+}
+
+func readDigests(r *reader) ([]authtree.Digest, error) {
+	n, err := r.count("sibling digest")
+	if err != nil {
+		return nil, err
+	}
+	if n > maxProofSiblings {
+		return nil, fmt.Errorf("wire: sibling count %d exceeds limit", n)
+	}
+	out := make([]authtree.Digest, n)
+	for i := range out {
+		if _, err := io.ReadFull(r.r, out[i][:]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -31,6 +31,12 @@ type Update struct {
 	DropBands []uint8
 	// AddEntries are the replacement value-index entries.
 	AddEntries []btree.Entry
+	// NewRoot, when non-empty, is the client's precomputed post-update
+	// Merkle root (32 bytes). A server holding auth state cross-checks
+	// its own recomputed root against it and rejects (reverting the
+	// update) on mismatch, so a corrupted update can never become the
+	// committed state. Updates without it encode as SXU2 unchanged.
+	NewRoot []byte
 }
 
 // BlockUpdate is one block replacement.
@@ -40,17 +46,24 @@ type BlockUpdate struct {
 }
 
 // Update format versions: SXU1 has no request ID; SXU2 prefixes the
-// body with one. MarshalUpdate writes SXU2; UnmarshalUpdate accepts
-// both (an SXU1 decode gets RequestID 0).
+// body with one; SXU3 additionally appends the client's expected
+// post-update root. MarshalUpdate writes SXU3 only when NewRoot is
+// set (SXU2 otherwise); UnmarshalUpdate accepts all three (an SXU1
+// decode gets RequestID 0).
 var (
 	updateMagicV1 = []byte("SXU1")
 	updateMagic   = []byte("SXU2")
+	updateMagicV3 = []byte("SXU3")
 )
 
 // MarshalUpdate serializes an update.
 func MarshalUpdate(u *Update) ([]byte, error) {
 	w := &writer{}
-	w.buf.Write(updateMagic)
+	if len(u.NewRoot) > 0 {
+		w.buf.Write(updateMagicV3)
+	} else {
+		w.buf.Write(updateMagic)
+	}
 	w.u64(u.RequestID)
 	w.uvarint(uint64(len(u.Blocks)))
 	for _, b := range u.Blocks {
@@ -66,6 +79,9 @@ func MarshalUpdate(u *Update) ([]byte, error) {
 		w.u64(e.Key)
 		w.uvarint(uint64(e.BlockID))
 	}
+	if len(u.NewRoot) > 0 {
+		w.bytes(u.NewRoot)
+	}
 	return w.buf.Bytes(), nil
 }
 
@@ -74,13 +90,21 @@ func MarshalUpdate(u *Update) ([]byte, error) {
 func UnmarshalUpdate(data []byte) (*Update, error) {
 	r := &reader{r: bytes.NewReader(data)}
 	u := &Update{}
-	if err := expectMagic(r.r, updateMagic); err != nil {
-		// Not SXU2 — rewind and try the legacy SXU1 layout.
-		r.r = bytes.NewReader(data)
-		if errV1 := expectMagic(r.r, updateMagicV1); errV1 != nil {
-			return nil, err
-		}
+	hasRoot, hasID := false, true
+	if err := expectMagic(r.r, updateMagicV3); err == nil {
+		hasRoot = true
 	} else {
+		r.r = bytes.NewReader(data)
+		if err2 := expectMagic(r.r, updateMagic); err2 != nil {
+			// Neither SXU3 nor SXU2 — rewind and try legacy SXU1.
+			r.r = bytes.NewReader(data)
+			if errV1 := expectMagic(r.r, updateMagicV1); errV1 != nil {
+				return nil, err2
+			}
+			hasID = false
+		}
+	}
+	if hasID {
 		id, err := r.u64()
 		if err != nil {
 			return nil, fmt.Errorf("wire: request id: %w", err)
@@ -127,6 +151,13 @@ func UnmarshalUpdate(data []byte) (*Update, error) {
 			return nil, err
 		}
 		u.AddEntries[i].BlockID = int(bid)
+	}
+	if hasRoot {
+		root, err := r.bytesN()
+		if err != nil {
+			return nil, fmt.Errorf("wire: new root: %w", err)
+		}
+		u.NewRoot = root
 	}
 	if r.r.Len() != 0 {
 		return nil, fmt.Errorf("wire: %d trailing bytes", r.r.Len())

@@ -81,6 +81,10 @@ const (
 // residue) or a set of OPESS ciphertext ranges (target encrypted).
 type Query struct {
 	First *QStep
+	// WantProof asks the server to attach a Merkle verification
+	// object (see auth.go) to the answer. Queries without it encode
+	// to the legacy SXQ1 bytes unchanged.
+	WantProof bool
 }
 
 // QStep is one location step of a translated path.
@@ -153,6 +157,21 @@ type Answer struct {
 	// Blocks carries the ciphertext of those blocks, parallel to
 	// BlockIDs.
 	Blocks [][]byte
+	// Proof is the encoded Merkle verification object (AnswerProof),
+	// present only when the query asked for one. Answers without it
+	// encode to the legacy SXA1 bytes unchanged.
+	Proof []byte
+}
+
+// ExtremeResult is a MIN/MAX index probe's outcome in proof mode:
+// unlike the bare not-found/found split of the plain endpoint, a
+// negative result still carries a proof (the authenticated empty
+// buckets), so emptiness itself is verifiable.
+type ExtremeResult struct {
+	Found   bool
+	BlockID int
+	Block   []byte
+	Proof   []byte
 }
 
 // ByteSize is the number of bytes shipped back to the client; the
