@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos tamper fuzz fuzz-smoke difftest bench bench-parallel fmt
+.PHONY: check vet build test race chaos tamper fuzz fuzz-smoke difftest bench bench-parallel bench-cache cache-stress soak soak-short fmt
 
-check: vet build race tamper fuzz-smoke
+check: vet build race tamper fuzz-smoke cache-stress bench-cache soak-short
 
 vet:
 	$(GO) vet ./...
@@ -58,6 +58,28 @@ bench:
 bench-parallel:
 	SECXML_BENCH_JSON=BENCH_parallel.json \
 		$(GO) test -bench 'Parallel|ConcurrentQueries' -benchtime 3x -run '^$$' .
+
+# Cold-vs-hot caching-layer benchmarks; writes BENCH_cache.json.
+bench-cache:
+	SECXML_BENCH_CACHE_JSON=BENCH_cache.json \
+		$(GO) test -bench 'Hot' -benchtime 20x -run '^$$' .
+
+# The caching-layer correctness suite under -race: generation
+# invalidation, stale-answer isolation, concurrent readers racing an
+# updater, and the breaker-flip chaos sequence.
+cache-stress:
+	$(GO) test -race -run 'Cache|Generation|Stale' \
+		./internal/core/ ./internal/server/ ./internal/client/ ./internal/remote/ ./internal/gencache/
+
+# Long differential soak with caches on and updates interleaved
+# between query rounds. SOAK_DURATION=10m reproduces the release
+# gate; `check` runs the 1-minute variant.
+SOAK_DURATION ?= 10m
+soak:
+	$(GO) test -race ./internal/difftest/ -run OpenEnded -difftest.duration $(SOAK_DURATION) -timeout 0
+
+soak-short:
+	$(GO) test -race ./internal/difftest/ -run OpenEnded -difftest.duration 1m
 
 fmt:
 	gofmt -l -w .

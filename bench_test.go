@@ -278,21 +278,34 @@ func recordParallel(name string, workers int, seqNs, parNs float64) float64 {
 	return speedup
 }
 
+// writeBenchJSON marshals rows to dest (envVal "1" picks def) and
+// returns false on failure.
+func writeBenchJSON(envVal, def string, rows any) bool {
+	dest := envVal
+	if dest == "1" {
+		dest = def
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err == nil {
+		err = os.WriteFile(dest, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench json %s: %v\n", dest, err)
+		return false
+	}
+	return true
+}
+
 func TestMain(m *testing.M) {
 	code := m.Run()
-	if dest := os.Getenv("SECXML_BENCH_JSON"); dest != "" && len(parallelRows) > 0 {
-		if dest == "1" {
-			dest = "BENCH_parallel.json"
+	if v := os.Getenv("SECXML_BENCH_JSON"); v != "" && len(parallelRows) > 0 {
+		if !writeBenchJSON(v, "BENCH_parallel.json", parallelRows) && code == 0 {
+			code = 1
 		}
-		data, err := json.MarshalIndent(parallelRows, "", "  ")
-		if err == nil {
-			err = os.WriteFile(dest, append(data, '\n'), 0o644)
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bench json: %v\n", err)
-			if code == 0 {
-				code = 1
-			}
+	}
+	if v := os.Getenv("SECXML_BENCH_CACHE_JSON"); v != "" && len(cacheRows) > 0 {
+		if !writeBenchJSON(v, "BENCH_cache.json", cacheRows) && code == 0 {
+			code = 1
 		}
 	}
 	os.Exit(code)

@@ -16,6 +16,7 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
@@ -96,6 +97,12 @@ func main() {
 			*name, sys.Scheme.NumBlocks(), len(sys.HostedDB.IndexEntries))
 	}
 
+	// Cache observability: hit/miss/eviction/invalidation counters of
+	// every hosted database's cross-query caches, served as expvar
+	// JSON at /debug/vars (mounted outside the chaos wrapper so fault
+	// injection never garbles monitoring).
+	expvar.Publish("secxml_caches", expvar.Func(func() any { return svc.CacheStats() }))
+
 	var handler http.Handler = svc
 	if *chaosRate > 0 {
 		handler = remote.NewChaosHandler(svc, remote.FaultConfig{
@@ -108,9 +115,13 @@ func main() {
 		fmt.Printf("CHAOS MODE: injecting faults at rate %.2f (seed %d)\n", *chaosRate, *chaosSeed)
 	}
 
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/", handler)
+
 	srv := &http.Server{
 		Addr:              *listen,
-		Handler:           handler,
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      *writeTimeout,

@@ -95,6 +95,11 @@ func NewSetup(cfg Config) (*Setup, error) {
 		sys.Client.SetParallelism(1)
 		if l, ok := sys.Server.(core.Local); ok {
 			l.S.SetParallelism(1)
+			// The §7 experiments measure the cold query pipeline —
+			// parse, resolve, match, decrypt — not cache hits. Repeated
+			// trials of the same query would otherwise all be served
+			// from the answer cache.
+			l.S.SetCaching(false)
 		}
 		s.Systems[name] = sys
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/gencache"
 	"repro/internal/netsim"
 	"repro/internal/sc"
 	"repro/internal/scheme"
@@ -141,6 +142,13 @@ type System struct {
 	// set instead of failing.
 	staleCache *client.AnswerCache
 
+	// blockCache, when installed via EnableBlockCache, holds
+	// decrypted block plaintexts keyed by the server's (epoch,
+	// generation) echo, so repeated queries skip AES-GCM work.
+	// Verified-live answers only: the stale-fallback path neither
+	// reads nor feeds it (see queryPathLocked).
+	blockCache *client.BlockCache
+
 	// verifier, when installed via EnableIntegrity, holds the owner's
 	// Merkle commitment to the hosted state; every answer and
 	// aggregate is verified against it before decryption, and updates
@@ -188,6 +196,48 @@ func (s *System) Verifier() *wire.AuthVerifier {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.verifier
+}
+
+// EnableBlockCache opts this system into cross-query reuse of
+// decrypted blocks: plaintexts are kept in a bounded LRU keyed by
+// (blockID, server generation), so a repeated query decrypts only
+// blocks it has not seen at the current db generation. Entries are
+// inserted only after the block authenticated (AES-GCM tag, plus
+// Merkle verification when EnableIntegrity is on), and any change
+// of the server's generation echo — update, restart, rollback —
+// drops the whole cache. Non-positive limits pick defaults (see
+// client.NewBlockCache).
+func (s *System) EnableBlockCache(maxEntries, maxBytes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blockCache = client.NewBlockCache(maxEntries, maxBytes)
+}
+
+// BlockCacheStats snapshots the block cache's counters (zero value
+// when EnableBlockCache was not called).
+func (s *System) BlockCacheStats() gencache.Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.blockCache == nil {
+		return gencache.Stats{}
+	}
+	return s.blockCache.Stats()
+}
+
+// ResetCaches drops everything the caching layer holds — the
+// client's decrypted-block cache and, when the server is in-process,
+// its plan/range/answer caches — without touching the db generation.
+// Benchmarks use it to re-measure the cold path; production code
+// never needs it.
+func (s *System) ResetCaches() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.blockCache != nil {
+		s.blockCache.Clear()
+	}
+	if l, ok := s.Server.(Local); ok {
+		l.S.ResetCaches()
+	}
 }
 
 // EnableStaleFallback opts this system into graceful degradation:
@@ -269,6 +319,21 @@ type Timings struct {
 	// Callers surfacing such an answer must label it.
 	Unverified bool
 
+	// Generation and Epoch echo the server's db generation counter
+	// and boot nonce as carried by this query's answer (zero when the
+	// backend predates the echo or the answer came from the stale
+	// cache). Readers can assert monotonicity: under one epoch, a
+	// later query must never observe a smaller generation.
+	Generation uint64
+	Epoch      uint64
+
+	// BlockCacheHits / BlockCacheMisses count how many of this
+	// query's blocks were served from the decrypted-block cache vs
+	// decrypted fresh (both zero when EnableBlockCache is off or the
+	// answer was stale).
+	BlockCacheHits   int
+	BlockCacheMisses int
+
 	// ServerWorkers / ClientWorkers report the parallel fan-out width
 	// each side was configured with for this query: the server's
 	// matcher worker budget (0 when the backend is remote and its
@@ -342,12 +407,26 @@ func (s *System) queryPathLocked(ctx context.Context, path *xpath.Path) ([]*xmlt
 	tm.AnswerBytes = ans.ByteSize()
 	tm.BlocksShipped = len(ans.Blocks)
 	tm.Transmit = s.Link.TransferTime(tm.AnswerBytes)
+	if !tm.Stale {
+		tm.Generation, tm.Epoch = ans.Generation, ans.Epoch
+	}
 
+	// The block cache serves verified-live answers only: a stale
+	// fallback copy's freshness is unknown, so it must neither be
+	// served from the cache nor seed it.
+	bc := s.blockCache
+	if tm.Stale {
+		bc = nil
+	}
 	start = time.Now()
-	blocks, err := s.Client.DecryptBlocks(ans)
+	blocks, cacheHits, err := s.Client.DecryptBlocksCached(ans, bc)
 	tm.ClientDecrypt = time.Since(start)
 	if err != nil {
 		return nil, nil, tm, err
+	}
+	if bc != nil {
+		tm.BlockCacheHits = cacheHits
+		tm.BlockCacheMisses = len(ans.Blocks) - cacheHits
 	}
 	s.applySimDecrypt(&tm, ans)
 

@@ -276,42 +276,171 @@ func pickLeaf(r *datagen.Rand, sh *docShape) *xmltree.Node {
 // doubles as a prover/verifier agreement test — an honest server's
 // proof must verify on every generated document, SC set, and query
 // shape.
+//
+// The client block cache is enabled and every query runs twice, so
+// the hot path — answer envelope and decrypted blocks served from
+// the generation-keyed caches — must agree with the plaintext
+// evaluation exactly as the cold path does.
 func RunCase(c *Case) error {
 	for _, name := range Schemes {
-		sys, err := core.Host(c.Doc, c.SCs, name, []byte(fmt.Sprintf("difftest-%d", c.Seed)))
+		sys, err := hostScheme(c, name, c.Doc)
 		if err != nil {
-			return fmt.Errorf("seed %d (%s): host scheme %s (SCs %v): %w",
-				c.Seed, c.DocName, name, c.SCs, err)
+			return err
 		}
-		if err := sys.EnableIntegrity(); err != nil {
-			return fmt.Errorf("seed %d (%s): scheme %s: EnableIntegrity: %w",
-				c.Seed, c.DocName, name, err)
+		if err := runQueries(c, name, sys, c.Doc); err != nil {
+			return err
 		}
-		// Exercise the parallel matcher and decrypt paths regardless
-		// of GOMAXPROCS.
-		sys.Client.SetParallelism(4)
-		if l, ok := sys.Server.(core.Local); ok {
-			l.S.SetParallelism(4)
+	}
+	return nil
+}
+
+// hostScheme boots one scheme's system for a case: integrity on,
+// block cache on, both sides forced to the parallel code paths.
+func hostScheme(c *Case, name core.SchemeName, doc *xmltree.Document) (*core.System, error) {
+	sys, err := core.Host(doc, c.SCs, name, []byte(fmt.Sprintf("difftest-%d", c.Seed)))
+	if err != nil {
+		return nil, fmt.Errorf("seed %d (%s): host scheme %s (SCs %v): %w",
+			c.Seed, c.DocName, name, c.SCs, err)
+	}
+	if err := sys.EnableIntegrity(); err != nil {
+		return nil, fmt.Errorf("seed %d (%s): scheme %s: EnableIntegrity: %w",
+			c.Seed, c.DocName, name, err)
+	}
+	sys.EnableBlockCache(0, 0)
+	// Exercise the parallel matcher and decrypt paths regardless
+	// of GOMAXPROCS.
+	sys.Client.SetParallelism(4)
+	if l, ok := sys.Server.(core.Local); ok {
+		l.S.SetParallelism(4)
+	}
+	return sys, nil
+}
+
+// runQueries compares every case query, cold then hot, against the
+// plaintext evaluation over ref (the document state the system is
+// supposed to reflect).
+func runQueries(c *Case, name core.SchemeName, sys *core.System, ref *xmltree.Document) error {
+	for _, q := range c.Queries {
+		want, err := plaintext(ref, q)
+		if err != nil {
+			return fmt.Errorf("seed %d (%s): query %q: plaintext: %w", c.Seed, c.DocName, q, err)
 		}
-		for _, q := range c.Queries {
-			want, err := plaintext(c.Doc, q)
-			if err != nil {
-				return fmt.Errorf("seed %d (%s): query %q: plaintext: %w", c.Seed, c.DocName, q, err)
-			}
+		for _, pass := range []string{"cold", "hot"} {
 			nodes, _, _, err := sys.Query(q)
 			if err != nil {
-				return fmt.Errorf("seed %d (%s): scheme %s query %q: %w",
-					c.Seed, c.DocName, name, q, err)
+				return fmt.Errorf("seed %d (%s): scheme %s query %q (%s): %w",
+					c.Seed, c.DocName, name, q, pass, err)
 			}
 			got := core.ResultStrings(nodes)
 			sort.Strings(got)
 			if !equal(got, want) {
-				return fmt.Errorf("seed %d (%s): scheme %s query %q:\n  plaintext (%d): %v\n  encrypted (%d): %v",
-					c.Seed, c.DocName, name, q, len(want), want, len(got), got)
+				return fmt.Errorf("seed %d (%s): scheme %s query %q (%s):\n  plaintext (%d): %v\n  encrypted (%d): %v",
+					c.Seed, c.DocName, name, q, pass, len(want), want, len(got), got)
 			}
 		}
 	}
 	return nil
+}
+
+// RunCaseWithUpdates is RunCase with owner updates interleaved: after
+// each full (cold + hot) query pass, a deterministic seed-derived
+// edit renames every occurrence of some encrypted leaf value, the
+// same edit is mirrored onto a plaintext reference clone, and the
+// whole query list runs again. Every post-update pass therefore
+// checks that the generation bump really invalidated the answer,
+// range, plan and block caches — a stale cache serving the pre-update
+// state diverges from the mirrored plaintext immediately.
+func RunCaseWithUpdates(c *Case) error {
+	const updateRounds = 2
+	r := datagen.NewRand(c.Seed ^ 0x7570_6474) // "updt"
+	for _, name := range Schemes {
+		hostDoc := c.Doc.Clone()
+		ref := c.Doc.Clone()
+		sys, err := hostScheme(c, name, hostDoc)
+		if err != nil {
+			return err
+		}
+		if err := runQueries(c, name, sys, ref); err != nil {
+			return err
+		}
+		for round := 0; round < updateRounds; round++ {
+			q, newVal, ok := pickUpdate(r, ref, sys)
+			if !ok {
+				break // no encrypted updatable leaf under this scheme
+			}
+			n, err := sys.UpdateLeafValues(q, newVal)
+			if err != nil {
+				return fmt.Errorf("seed %d (%s): scheme %s round %d: update %q -> %q: %w",
+					c.Seed, c.DocName, name, round, q, newVal, err)
+			}
+			mirrored := 0
+			path, err := xpath.Parse(q)
+			if err != nil {
+				return fmt.Errorf("seed %d (%s): update query %q: %w", c.Seed, c.DocName, q, err)
+			}
+			for _, target := range xpath.Evaluate(ref, path) {
+				target.SetLeafValue(newVal)
+				mirrored++
+			}
+			if n != mirrored {
+				return fmt.Errorf("seed %d (%s): scheme %s round %d: update %q touched %d encrypted leaves but %d plaintext leaves",
+					c.Seed, c.DocName, name, round, q, n, mirrored)
+			}
+			if err := runQueries(c, name, sys, ref); err != nil {
+				return fmt.Errorf("after update %q -> %q (round %d): %w", q, newVal, round, err)
+			}
+		}
+	}
+	return nil
+}
+
+// pickUpdate draws an update the current scheme accepts: a leaf value
+// rename targeting every occurrence of one (tag, value) pair. Leaves
+// outside the encryption cover are rejected by the client
+// (plaintext values can't be rewritten through the encrypted update
+// path), so candidates are probed with a dry run until one succeeds.
+// The replacement preserves the value's band class — numeric stays
+// numeric, string stays string — so the rename moves entries within
+// the OPESS index rather than switching encodings.
+func pickUpdate(r *datagen.Rand, ref *xmltree.Document, sys *core.System) (q, newVal string, ok bool) {
+	sh := shapeOf(ref)
+	for attempt := 0; attempt < 8; attempt++ {
+		leaf := pickLeaf(r, sh)
+		if leaf == nil {
+			return "", "", false
+		}
+		val := leaf.LeafValue()
+		q = "//" + leaf.Tag + "[.='" + val + "']"
+		newVal = renameValue(val)
+		if !safeValue(newVal) || newVal == val {
+			continue
+		}
+		// Dry run: a zero-count or rejected update means this leaf is
+		// not updatable under the scheme (plaintext, non-leaf after
+		// grouping, …) — try another.
+		if n, err := sys.UpdateLeafValues(q, val); err != nil || n != 0 {
+			continue // same-value update must be a 0-count no-op
+		}
+		return q, newVal, true
+	}
+	return "", "", false
+}
+
+// renameValue derives a different value in the same band class.
+func renameValue(v string) string {
+	allDigits := v != ""
+	for i := 0; i < len(v); i++ {
+		if v[i] < '0' || v[i] > '9' {
+			allDigits = false
+			break
+		}
+	}
+	if allDigits && len(v) < 18 {
+		var n uint64
+		fmt.Sscanf(v, "%d", &n)
+		return fmt.Sprintf("%d", n+1)
+	}
+	return v + "u"
 }
 
 func plaintext(doc *xmltree.Document, q string) ([]string, error) {

@@ -45,10 +45,33 @@ func TestDifferentialCorpus(t *testing.T) {
 	}
 }
 
+// TestDifferentialCorpusWithUpdates runs the fixed corpus through
+// the update-interleaved mode: queries run cold and hot, owner
+// updates land between passes, and every post-update pass must match
+// the mirrored plaintext — the caching layer's end-to-end contract.
+func TestDifferentialCorpusWithUpdates(t *testing.T) {
+	seeds := corpusSeeds
+	if testing.Short() {
+		seeds = seeds[:4]
+	}
+	for _, seed := range seeds {
+		c := GenCase(seed)
+		t.Run(c.DocName+"/"+itoa(seed), func(t *testing.T) {
+			t.Parallel()
+			if err := RunCaseWithUpdates(c); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
 // TestDifferentialOpenEnded draws fresh seeds for the configured
 // duration. The starting seed is the wall clock, so successive runs
 // explore different cases; the failure message carries the seed for
-// replay (add it to corpusSeeds to pin the regression).
+// replay (add it to corpusSeeds to pin the regression). Every case
+// runs in the update-interleaved mode — with the caches enabled and
+// queries repeated hot, the soak exercises exactly the invalidation
+// story the generation counter is supposed to guarantee.
 func TestDifferentialOpenEnded(t *testing.T) {
 	if *difftestDuration <= 0 {
 		t.Skip("enable with -difftest.duration=<d>")
@@ -57,13 +80,13 @@ func TestDifferentialOpenEnded(t *testing.T) {
 	seed := uint64(time.Now().UnixNano())
 	cases := 0
 	for time.Now().Before(deadline) {
-		if err := RunCase(GenCase(seed)); err != nil {
+		if err := RunCaseWithUpdates(GenCase(seed)); err != nil {
 			t.Fatal(err)
 		}
 		seed++
 		cases++
 	}
-	t.Logf("differential: %d randomized cases passed in %v", cases, *difftestDuration)
+	t.Logf("differential: %d randomized update-interleaved cases passed in %v", cases, *difftestDuration)
 }
 
 // TestGenCaseDeterministic pins the generator: the same seed must

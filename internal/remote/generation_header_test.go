@@ -1,0 +1,31 @@
+package remote
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/wire"
+	"repro/internal/xpath"
+)
+
+func TestQueryEchoesGenerationHeader(t *testing.T) {
+	sys, ts := remoteSystem(t)
+	q, err := sys.Client.Translate(xpath.MustParse("//patient[age>30]/pname"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := wire.MarshalQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/db/hospital/query", "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	hdr := resp.Header.Get("X-DB-Generation")
+	t.Logf("X-DB-Generation: %q status=%d", hdr, resp.StatusCode)
+	if hdr == "" {
+		t.Fatal("missing X-DB-Generation header")
+	}
+}

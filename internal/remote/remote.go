@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/authtree"
+	"repro/internal/gencache"
 	"repro/internal/server"
 	"repro/internal/wire"
 )
@@ -58,6 +59,12 @@ const maxUpload = 1 << 30
 // ones and retry instead of failing on (or worse, accepting) a torn
 // read.
 const checksumHeader = "X-Body-Sha256"
+
+// generationHeader carries the serving database's "epoch:generation"
+// pair on query responses — the same values the SXA3 answer frame
+// echoes in-band. Observability only; clients key their caches off
+// the in-band copy, which is covered by the body checksum.
+const generationHeader = "X-DB-Generation"
 
 // dedupWindow bounds the per-database set of remembered update
 // request IDs (oldest forgotten first).
@@ -295,9 +302,8 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request, h *hosted)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	q, err := wire.UnmarshalQuery(data)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	if !wire.IsQueryFrame(data) {
+		http.Error(w, "not a query frame", http.StatusBadRequest)
 		return
 	}
 	if canceled(w, r) {
@@ -308,8 +314,11 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request, h *hosted)
 	}
 	defer s.release()
 	// No hosted-level lock: the server's own read lock lets queries
-	// run concurrently and orders them against updates.
-	ans, err := h.srv.Execute(q)
+	// run concurrently and orders them against updates. The raw frame
+	// goes straight to the server: its fingerprint keys the compiled
+	// plan and answer caches, so a repeated query skips even the
+	// parse.
+	ans, err := h.srv.ExecuteFrame(data)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
@@ -319,6 +328,10 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request, h *hosted)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	// Echo the db generation out-of-band too (the answer frame
+	// carries it in-band), so operators and proxies can observe cache
+	// epochs without decoding frames.
+	w.Header().Set(generationHeader, fmt.Sprintf("%d:%d", ans.Epoch, ans.Generation))
 	writeChecksummed(w, out)
 }
 
@@ -455,13 +468,28 @@ func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request, name stri
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, h *hosted) {
-	stats := map[string]int{
+	stats := map[string]any{
 		"blocks":       h.srv.NumBlocks(),
 		"indexEntries": h.srv.IndexSize(),
 		"indexHeight":  h.srv.IndexHeight(),
+		"generation":   h.srv.Generation(),
+		"caches":       h.srv.CacheStats(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(stats)
+}
+
+// CacheStats snapshots the cross-query cache counters of every
+// hosted database, keyed by database name then cache name (cmd/xserve
+// publishes this via expvar under /debug/vars).
+func (s *Service) CacheStats() map[string]map[string]gencache.Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]map[string]gencache.Stats, len(s.dbs))
+	for name, h := range s.dbs {
+		out[name] = h.srv.CacheStats()
+	}
+	return out
 }
 
 // RegisterLocal hosts a database in the service without going over

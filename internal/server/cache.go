@@ -1,0 +1,203 @@
+package server
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/gencache"
+	"repro/internal/wire"
+)
+
+// Cross-query caching. Three caches carry work across requests, all
+// keyed under the server's (epoch, generation) pair and invalidated
+// wholesale when an applied update bumps the generation (see
+// gencache for the invalidation contract):
+//
+//   - plans: SXQ frame fingerprint -> compiled plan (the parsed
+//     query plus the traversal skeleton computed once per distinct
+//     query: anchor lift depth and per-predicate range-cache keys).
+//   - ranges: value-predicate fingerprint -> the set of blocks whose
+//     indexed ciphertexts fall in the predicate's OPESS ranges. This
+//     replaces the old per-request cache keyed on *PredValue pointer
+//     identity, which was only correct because plans died with their
+//     request; a pointer key on a cached plan would keep answering
+//     from the index state of the generation that first resolved it.
+//   - answers: SXQ frame fingerprint -> the complete answer
+//     envelope, serving repeated identical queries without touching
+//     the matcher at all.
+//
+// Plans and range sets are structurally generation-independent in
+// today's update model (updates preserve structure and only the
+// value index moves), but the range sets genuinely change with the
+// index and the conservative wholesale rule keeps all three caches
+// on the same, easily-audited invariant: nothing cached survives an
+// update.
+type queryCaches struct {
+	plans   *gencache.Cache
+	ranges  *gencache.Cache
+	answers *gencache.Cache
+}
+
+func newQueryCaches() *queryCaches {
+	return &queryCaches{
+		plans:   gencache.New(gencache.Monotonic, 512, 8<<20),
+		ranges:  gencache.New(gencache.Monotonic, 4096, 32<<20),
+		answers: gencache.New(gencache.Monotonic, 256, 128<<20),
+	}
+}
+
+// plan is a compiled query: the parsed frame plus everything the
+// matcher derives from its shape (not from the db state) — safe to
+// share across concurrent queries because it is read-only after
+// compilation.
+type plan struct {
+	q    *wire.Query
+	lift int
+	// predFP maps each value predicate of the plan to its range-cache
+	// fingerprint, precomputed so the per-context hot path does a
+	// pointer lookup instead of hashing.
+	predFP map[*wire.PredValue]string
+}
+
+func compilePlan(q *wire.Query) *plan {
+	pl := &plan{q: q, lift: liftDepth(q), predFP: map[*wire.PredValue]string{}}
+	for st := q.First; st != nil; st = st.Next {
+		collectPredFPs(st.Preds, pl.predFP)
+	}
+	return pl
+}
+
+func collectPredFPs(preds []wire.QPred, into map[*wire.PredValue]string) {
+	var walk func(p wire.QPred)
+	walkStep := func(st *wire.QStep) {
+		for ; st != nil; st = st.Next {
+			for _, p := range st.Preds {
+				walk(p)
+			}
+		}
+	}
+	walk = func(p wire.QPred) {
+		switch v := p.(type) {
+		case *wire.PredValue:
+			into[v] = predFingerprint(v)
+			walkStep(v.Path)
+		case *wire.PredExists:
+			walkStep(v.Path)
+		case *wire.PredAnd:
+			walk(v.L)
+			walk(v.R)
+		case *wire.PredOr:
+			walk(v.L)
+			walk(v.R)
+		case *wire.PredNot:
+			walk(v.E)
+		}
+	}
+	for _, p := range preds {
+		walk(p)
+	}
+}
+
+// predFingerprint keys a value predicate's range resolution: the
+// resolved block set depends only on the ciphertext ranges (and the
+// index generation, carried by the cache), so the key is exactly the
+// range list.
+func predFingerprint(v *wire.PredValue) string {
+	buf := make([]byte, 0, 1+16*len(v.Ranges))
+	buf = append(buf, 'R')
+	var tmp [16]byte
+	for _, r := range v.Ranges {
+		binary.BigEndian.PutUint64(tmp[:8], r.Lo)
+		binary.BigEndian.PutUint64(tmp[8:], r.Hi)
+		buf = append(buf, tmp[:]...)
+	}
+	return string(buf)
+}
+
+// frameFingerprint keys the plan and answer caches by the marshaled
+// query bytes — the canonical form both the local and the remote
+// path share.
+func frameFingerprint(data []byte) string {
+	sum := sha256.Sum256(data)
+	return string(sum[:])
+}
+
+// newEpoch draws the server's boot nonce. It is the restart detector
+// of the caching layer: a client that cached blocks under one epoch
+// and sees answers arrive under another knows it is talking to a
+// different server incarnation (fresh upload, rollback from disk)
+// and drops everything. Always non-zero, so generation-echoing
+// answers are distinguishable from legacy frames.
+func newEpoch() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: epoch nonce: %v", err))
+	}
+	return binary.BigEndian.Uint64(b[:]) | 1
+}
+
+// Generation returns the current db generation (starts at 1, bumped
+// by every applied update).
+func (s *Server) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// Epoch returns the server's boot nonce.
+func (s *Server) Epoch() uint64 { return s.epoch }
+
+// CacheStats snapshots the hit/miss/eviction counters of every
+// cross-query cache (exported via expvar by cmd/xserve).
+func (s *Server) CacheStats() map[string]gencache.Stats {
+	return map[string]gencache.Stats{
+		"plans":   s.caches.plans.Stats(),
+		"ranges":  s.caches.ranges.Stats(),
+		"answers": s.caches.answers.Stats(),
+	}
+}
+
+// ResetCaches drops every cached plan, range set and answer without
+// touching the generation (benchmarks use it to re-measure the cold
+// path; production code never needs it).
+func (s *Server) ResetCaches() {
+	s.caches.plans.Clear()
+	s.caches.ranges.Clear()
+	s.caches.answers.Clear()
+}
+
+// SetCaching turns the cross-query caches on (the default) or off.
+// Off means every query takes the cold path — parse, plan, resolve,
+// match — which is what the paper-reproduction benchmarks measure;
+// turning caching off also drops everything currently cached.
+func (s *Server) SetCaching(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cachingOff = !on
+	if !on {
+		s.caches.plans.Clear()
+		s.caches.ranges.Clear()
+		s.caches.answers.Clear()
+	}
+}
+
+// copyAnswer returns an Answer the caller may hold across cache
+// invalidation: fresh slice headers over the shared immutable
+// payload bytes (block ciphertexts are replaced wholesale by
+// updates, never mutated — the same aliasing discipline assemble
+// already relies on).
+func copyAnswer(a *wire.Answer) *wire.Answer {
+	cp := *a
+	if a.Fragments != nil {
+		cp.Fragments = append([][]byte(nil), a.Fragments...)
+	}
+	if a.BlockIDs != nil {
+		cp.BlockIDs = append([]int(nil), a.BlockIDs...)
+	}
+	if a.Blocks != nil {
+		cp.Blocks = append([][]byte(nil), a.Blocks...)
+	}
+	return &cp
+}

@@ -26,22 +26,29 @@ import (
 // interval are found by binary search (dsi.Within) rather than a
 // scan.
 
-// exec carries per-query state: the value-index lookups of each
-// PredValue are cached so a predicate evaluated against thousands of
-// context intervals hits the B-tree once, and pool is the query's
-// worker budget for the parallel fan-outs (see parallel.go).
+// exec carries per-query state: pool is the query's worker budget
+// for the parallel fan-outs (see parallel.go), and rangeMemo
+// pointer-keys the range resolutions this query already holds so a
+// predicate evaluated against thousands of context intervals does
+// not even re-hash its fingerprint. The memo is only a fast path in
+// front of the server's generation-keyed range cache (cache.go) —
+// pointer identity is safe HERE because the memo dies with the
+// request, and gen pins the db state every resolution came from.
 type exec struct {
 	s    *Server
+	pl   *plan
+	gen  uint64
 	pool tokens
 
-	cacheMu    sync.Mutex
-	rangeCache map[*wire.PredValue]map[int]bool
+	cacheMu   sync.Mutex
+	rangeMemo map[*wire.PredValue]map[int]bool
 }
 
 // newExec assumes the caller holds the server's read lock (the
-// worker width is read without further synchronization).
-func (s *Server) newExec() *exec {
-	return &exec{s: s, pool: newTokens(s.par), rangeCache: map[*wire.PredValue]map[int]bool{}}
+// worker width and generation are read without further
+// synchronization).
+func (s *Server) newExec(pl *plan) *exec {
+	return &exec{s: s, pl: pl, gen: s.gen, pool: newTokens(s.par), rangeMemo: map[*wire.PredValue]map[int]bool{}}
 }
 
 // matchFirst evaluates the first step of the main path: its context
@@ -422,16 +429,31 @@ func (e *exec) isForestLeaf(iv dsi.Interval) bool {
 	return true
 }
 
-// rangeBlocksFor resolves (and caches) the blocks whose indexed
-// values fall in any of the predicate's ciphertext ranges. The cache
-// is shared by the query's parallel workers; holding the mutex
-// across the index lookup means concurrent workers asking for the
-// same predicate wait for one resolution instead of duplicating it.
+// rangeBlocksFor resolves the blocks whose indexed values fall in
+// any of the predicate's ciphertext ranges, first through the
+// request-scoped memo (shared by the query's parallel workers;
+// holding the mutex across the index lookup means concurrent
+// workers asking for the same predicate wait for one resolution
+// instead of duplicating it), then through the server's
+// generation-keyed cross-query cache. The resolved set is read-only
+// once published — concurrent queries share it.
 func (e *exec) rangeBlocksFor(v *wire.PredValue) map[int]bool {
 	e.cacheMu.Lock()
 	defer e.cacheMu.Unlock()
-	if cached, ok := e.rangeCache[v]; ok {
+	if cached, ok := e.rangeMemo[v]; ok {
 		return cached
+	}
+	fp := ""
+	if e.pl != nil {
+		fp = e.pl.predFP[v]
+	}
+	if fp == "" {
+		fp = predFingerprint(v)
+	}
+	if cached, ok := e.s.caches.ranges.Get(e.s.epoch, e.gen, fp); ok {
+		blocks := cached.(map[int]bool)
+		e.rangeMemo[v] = blocks
+		return blocks
 	}
 	blocks := map[int]bool{}
 	for _, r := range v.Ranges {
@@ -442,7 +464,8 @@ func (e *exec) rangeBlocksFor(v *wire.PredValue) map[int]bool {
 			blocks[bid] = true
 		}
 	}
-	e.rangeCache[v] = blocks
+	e.rangeMemo[v] = blocks
+	e.s.caches.ranges.Put(e.s.epoch, e.gen, fp, blocks, len(fp)+16*len(blocks))
 	return blocks
 }
 

@@ -28,10 +28,27 @@ type Server struct {
 	// mu is the reader/writer gate described above. The structures
 	// built by New (forest, labelsOf, residueAt, allIntervals,
 	// blockIdx, the DSI table) are immutable after construction; only
-	// db.Blocks, db.IndexEntries and index change, under mu.
+	// db.Blocks, db.IndexEntries, index and gen change, under mu.
 	mu sync.RWMutex
 	// par is the matcher's worker-pool width (see parallel.go).
 	par int
+
+	// gen is the monotonic db generation: 1 at boot, bumped by every
+	// successfully applied update (a reverted update restores the
+	// exact pre-update state, so it does not count). Every
+	// cross-query cache keys its contents under gen, and answers
+	// echo it to the client. Guarded by mu.
+	gen uint64
+	// epoch is the boot nonce answers echo alongside gen, so clients
+	// can tell a restarted server from a generation rollback.
+	// Immutable after New.
+	epoch uint64
+	// caches carries compiled plans, range resolutions and whole
+	// answers across queries; see cache.go. cachingOff (guarded by
+	// mu) forces every query onto the cold path — benchmarks
+	// measuring the matcher itself flip it via SetCaching.
+	caches     *queryCaches
+	cachingOff bool
 
 	db     *wire.HostedDB
 	forest *dsi.Forest
@@ -67,6 +84,9 @@ type blockRef struct {
 func New(db *wire.HostedDB) *Server {
 	s := &Server{
 		par:       defaultParallelism(),
+		gen:       1,
+		epoch:     newEpoch(),
+		caches:    newQueryCaches(),
 		db:        db,
 		forest:    dsi.BuildForest(db.Table),
 		index:     btree.New(0),
@@ -225,20 +245,85 @@ func (s *Server) ExtremeProof(lo, hi uint64, max bool) (*wire.ExtremeResult, err
 // (3) value constraints consult the B-tree and prune further, (4)
 // the anchors — surviving bindings of the query's first step —
 // determine the blocks and plaintext fragments returned.
+//
+// Repeated queries are served from the generation-keyed caches: an
+// identical frame at the same db generation returns the cached
+// answer envelope without touching the matcher, and a previously
+// seen frame reuses its compiled plan. The whole lookup-or-execute
+// runs under the read lock, so the generation read, the execution
+// and the cache insert all see one db state — an update (which
+// holds the write lock while bumping the generation) can never
+// interleave and let a pre-update result be cached as post-update.
 func (s *Server) Execute(q *wire.Query) (*wire.Answer, error) {
 	if q == nil || q.First == nil {
 		return nil, fmt.Errorf("server: empty query")
 	}
+	frame, err := wire.MarshalQuery(q)
+	if err != nil {
+		return nil, fmt.Errorf("server: fingerprint query: %w", err)
+	}
+	return s.executeFrame(frame, q)
+}
+
+// ExecuteFrame is Execute for a marshaled query frame (the remote
+// service's path): on a plan-cache hit the frame is not even
+// re-parsed.
+func (s *Server) ExecuteFrame(frame []byte) (*wire.Answer, error) {
+	return s.executeFrame(frame, nil)
+}
+
+func (s *Server) executeFrame(frame []byte, parsed *wire.Query) (*wire.Answer, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	e := s.newExec()
+	caching := !s.cachingOff
+	var fp string
+	if caching {
+		fp = frameFingerprint(frame)
+		if v, ok := s.caches.answers.Get(s.epoch, s.gen, fp); ok {
+			return copyAnswer(v.(*wire.Answer)), nil
+		}
+	}
+	var pl *plan
+	if v, ok := s.caches.plans.Get(s.epoch, s.gen, fp); caching && ok {
+		pl = v.(*plan)
+	} else {
+		q := parsed
+		if q == nil {
+			var err error
+			q, err = wire.UnmarshalQuery(frame)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if q == nil || q.First == nil {
+			return nil, fmt.Errorf("server: empty query")
+		}
+		pl = compilePlan(q)
+		if caching {
+			s.caches.plans.Put(s.epoch, s.gen, fp, pl, len(frame))
+		}
+	}
+	ans, err := s.executePlan(pl)
+	if err != nil {
+		return nil, err
+	}
+	ans.Epoch, ans.Generation = s.epoch, s.gen
+	if caching {
+		s.caches.answers.Put(s.epoch, s.gen, fp, ans, ans.ByteSize())
+	}
+	return copyAnswer(ans), nil
+}
+
+// executePlan runs one compiled plan. Caller holds the read lock.
+func (s *Server) executePlan(pl *plan) (*wire.Answer, error) {
+	q := pl.q
+	e := s.newExec(pl)
 	anchors := e.matchFirst(q.First)
-	lift := liftDepth(q)
 	var surviving []dsi.Interval
 	if q.First.Next == nil {
 		surviving = make([]dsi.Interval, len(anchors))
 		for i, a := range anchors {
-			surviving[i] = s.lift(a, lift)
+			surviving[i] = s.lift(a, pl.lift)
 		}
 	} else {
 		// Anchor survival is the query's outer fan-out: each anchor
@@ -251,7 +336,7 @@ func (s *Server) Execute(q *wire.Query) (*wire.Answer, error) {
 		})
 		for i, a := range anchors {
 			if alive[i] {
-				surviving = append(surviving, s.lift(a, lift))
+				surviving = append(surviving, s.lift(a, pl.lift))
 			}
 		}
 	}

@@ -86,6 +86,13 @@ func (s *Server) ApplyUpdate(u *wire.Update) error {
 				root[:8], u.NewRoot[:8])
 		}
 	}
+	// The update is committed: advance the generation so every
+	// cross-query cache (plans, range resolutions, answer envelopes —
+	// here and in clients echoing this counter) invalidates wholesale
+	// before the next query is served. A reverted update restores the
+	// exact pre-update state above and deliberately does NOT bump:
+	// caches built against that state are still correct.
+	s.gen++
 	return nil
 }
 

@@ -37,6 +37,7 @@ var (
 	queryMagicV2  = []byte("SXQ2")
 	answerMagic   = []byte("SXA1")
 	answerMagicV2 = []byte("SXA2")
+	answerMagicV3 = []byte("SXA3")
 )
 
 type writer struct {
@@ -408,6 +409,14 @@ func writePred(w *writer, p QPred) error {
 	}
 }
 
+// IsQueryFrame reports whether data starts with a query-frame magic,
+// i.e. could plausibly be a marshaled query. It lets transports
+// reject garbage cheaply (without a full parse) before handing the
+// frame to the server's fingerprint-keyed caches.
+func IsQueryFrame(data []byte) bool {
+	return bytes.HasPrefix(data, queryMagic) || bytes.HasPrefix(data, queryMagicV2)
+}
+
 // UnmarshalQuery reverses MarshalQuery; both SXQ1 and SXQ2 frames
 // are accepted.
 func UnmarshalQuery(data []byte) (*Query, error) {
@@ -565,14 +574,22 @@ func readPred(r *reader) (QPred, error) {
 	}
 }
 
-// MarshalAnswer serializes an answer. Answers without a proof encode
-// to the legacy SXA1 bytes unchanged.
+// MarshalAnswer serializes an answer. The frame version is the
+// lowest that can carry the populated fields: a generation echo
+// selects SXA3, a bare proof SXA2, and an answer with neither
+// encodes to the legacy SXA1 bytes unchanged.
 func MarshalAnswer(a *Answer) ([]byte, error) {
 	w := &writer{}
-	if len(a.Proof) > 0 {
+	switch {
+	case a.Epoch != 0 || a.Generation != 0:
+		w.buf.Write(answerMagicV3)
+		w.u64(a.Epoch)
+		w.uvarint(a.Generation)
+		w.bytes(a.Proof)
+	case len(a.Proof) > 0:
 		w.buf.Write(answerMagicV2)
 		w.bytes(a.Proof)
-	} else {
+	default:
 		w.buf.Write(answerMagic)
 	}
 	w.uvarint(uint64(len(a.Fragments)))
@@ -587,22 +604,39 @@ func MarshalAnswer(a *Answer) ([]byte, error) {
 	return w.buf.Bytes(), nil
 }
 
-// UnmarshalAnswer reverses MarshalAnswer; both SXA1 and SXA2 frames
-// are accepted.
+// UnmarshalAnswer reverses MarshalAnswer; SXA1, SXA2 and SXA3
+// frames are all accepted.
 func UnmarshalAnswer(data []byte) (*Answer, error) {
 	r := &reader{r: bytes.NewReader(data)}
 	a := &Answer{}
-	if err := expectMagic(r.r, answerMagicV2); err != nil {
-		r.r = bytes.NewReader(data)
-		if errV1 := expectMagic(r.r, answerMagic); errV1 != nil {
-			return nil, err
+	if err := expectMagic(r.r, answerMagicV3); err == nil {
+		epoch, err := r.u64()
+		if err != nil {
+			return nil, fmt.Errorf("wire: answer epoch: %w", err)
 		}
-	} else {
+		gen, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("wire: answer generation: %w", err)
+		}
+		proof, err := r.bytesN()
+		if err != nil {
+			return nil, fmt.Errorf("wire: answer proof: %w", err)
+		}
+		a.Epoch, a.Generation = epoch, gen
+		if len(proof) > 0 {
+			a.Proof = proof
+		}
+	} else if r.r = bytes.NewReader(data); expectMagic(r.r, answerMagicV2) == nil {
 		proof, err := r.bytesN()
 		if err != nil {
 			return nil, fmt.Errorf("wire: answer proof: %w", err)
 		}
 		a.Proof = proof
+	} else {
+		r.r = bytes.NewReader(data)
+		if errV1 := expectMagic(r.r, answerMagic); errV1 != nil {
+			return nil, err
+		}
 	}
 	nf, err := r.count("fragment")
 	if err != nil {

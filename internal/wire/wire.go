@@ -161,6 +161,17 @@ type Answer struct {
 	// present only when the query asked for one. Answers without it
 	// encode to the legacy SXA1 bytes unchanged.
 	Proof []byte
+	// Epoch and Generation echo the answering server's boot nonce
+	// and monotonic db generation counter (bumped by every applied
+	// update): the client keys its decrypted-block cache under the
+	// pair, so an answer from a restarted or rolled-back server makes
+	// it drop cached plaintext instead of serving stale data. A
+	// generation of zero means the server predates the counter (or
+	// the answer came from a legacy frame); caching layers treat it
+	// as "unknown" and skip reuse. Answers with both fields zero
+	// encode to the legacy SXA1/SXA2 bytes unchanged.
+	Epoch      uint64
+	Generation uint64
 }
 
 // ExtremeResult is a MIN/MAX index probe's outcome in proof mode:

@@ -31,6 +31,17 @@ func FuzzParseXPath(f *testing.F) {
 		".//a[b<3]",
 		"//a[b]/parent::c",
 		"//treat[ancestor::patient[age>36]]/doctor",
+		"//a[1]/b[2]",
+		"//a/b[3]/c",
+		"//a[2][b='v']",
+		"//a/preceding-sibling::b",
+		"//a/preceding-sibling::*",
+		"//a[preceding-sibling::b]",
+		"//a[preceding-sibling::b='v']/c",
+		"//a[not(preceding-sibling::b)][1]",
+		"a[//a]",
+		".//a/b[.//c]",
+		"./a[./b='v']",
 	} {
 		f.Add(seed)
 	}

@@ -84,9 +84,16 @@ func (p *parser) parsePath(top bool) (*Path, error) {
 		}
 	case tokDot:
 		p.next()
-		// "." alone selects the context node; "./x" or ".//x" continue.
-		path.Steps = append(path.Steps, Step{Axis: AxisSelf, Test: NodeTest{Wildcard: true}})
-		path.Desc = append(path.Desc, false)
+		// "." alone selects the context node. "./x" and ".//x" continue
+		// with the leading self step dropped: it is redundant ("./x" is
+		// "x", ".//x" is a context-relative descendant step), and keeping
+		// it would make String() drift — Parse("//x") in a predicate and
+		// Parse(".//x") must yield one canonical AST, or round-tripping
+		// oscillates between ".//x" and "self::*//x".
+		if k := p.cur().kind; k != tokSlash && k != tokDSlash {
+			path.Steps = append(path.Steps, Step{Axis: AxisSelf, Test: NodeTest{Wildcard: true}})
+			path.Desc = append(path.Desc, false)
+		}
 	default:
 		if err := p.parseStepInto(path, false); err != nil {
 			return nil, err

@@ -218,6 +218,40 @@ func TestParentAndSelf(t *testing.T) {
 	}
 }
 
+// TestDotPathCanonicalForm pins a fuzzer-found round-trip drift:
+// "A[//A]" stringified to "A[.//A]", which re-parsed with a
+// redundant leading self::* step and stringified differently again
+// ("A[self::*//A]"). "./x" and ".//x" must parse to the same AST as
+// "x" and a context-relative descendant step, so String() reaches a
+// fixed point after one render.
+func TestDotPathCanonicalForm(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"A[//A]", "A[.//A]"},
+		{"A[.//A]", "A[.//A]"},
+		{"./disease", "disease"},
+		{".//disease", ".//disease"},
+		{"//patient[./pname='Matt']", "//patient[pname='Matt']"},
+	} {
+		p := MustParse(tc.in)
+		if got := p.String(); got != tc.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", tc.in, got, tc.want)
+		}
+		again := MustParse(p.String())
+		if got := again.String(); got != p.String() {
+			t.Errorf("round-trip drift: %q -> %q -> %q", tc.in, p.String(), got)
+		}
+	}
+	// The canonicalization must not change semantics: ".//disease"
+	// and the bare "." context step still evaluate correctly.
+	d := hospital(t)
+	if n := count(t, d, ".//disease"); n != 3 {
+		t.Errorf(".//disease = %d, want 3", n)
+	}
+	if n := count(t, d, "//patient[.//disease='leukemia']"); n != 1 {
+		t.Errorf("predicate .//disease = %d, want 1", n)
+	}
+}
+
 func TestTextTest(t *testing.T) {
 	d := hospital(t)
 	got := evalStrings(t, d, "//pname/text()")
