@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos tamper fuzz fuzz-smoke difftest bench bench-parallel bench-cache cache-stress soak soak-short fmt
+.PHONY: check vet build test race chaos tamper fuzz fuzz-smoke difftest bench bench-parallel bench-cache bench-alloc alloc-guard cache-stress soak soak-short soak-stream soak-stream-short profile fmt
 
-check: vet build race tamper fuzz-smoke cache-stress bench-cache soak-short
+check: vet build race tamper fuzz-smoke cache-stress bench-cache soak-short soak-stream-short
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +37,7 @@ fuzz:
 	$(GO) test ./internal/wire/ -fuzz FuzzUnmarshalAnswer -fuzztime 20s
 	$(GO) test ./internal/wire/ -fuzz FuzzUnmarshalUpdate -fuzztime 20s
 	$(GO) test ./internal/wire/ -fuzz FuzzDecodeProof -fuzztime 20s
+	$(GO) test ./internal/wire/ -fuzz FuzzDecodeStream -fuzztime 20s
 
 # Quick fuzz pass over the two text parsers (query strings and SC
 # specs are operator input); part of `check`.
@@ -64,6 +65,19 @@ bench-cache:
 	SECXML_BENCH_CACHE_JSON=BENCH_cache.json \
 		$(GO) test -bench 'Hot' -benchtime 20x -run '^$$' .
 
+# Allocation benchmarks of the cold query path plus the
+# streaming-vs-envelope round-trip comparison; writes BENCH_alloc.json
+# (baseline tree recorded in alloc_bench_test.go).
+bench-alloc:
+	SECXML_BENCH_ALLOC_JSON=BENCH_alloc.json \
+		$(GO) test -bench 'Alloc|Stream' -benchtime 1x -run '^$$' .
+
+# Regression gate against the committed BENCH_alloc.json: fails when
+# any cold-path benchmark's allocs/op grew more than 20%.
+alloc-guard:
+	SECXML_BENCH_ALLOC_GUARD=BENCH_alloc.json \
+		$(GO) test -bench 'Alloc' -benchtime 1x -run '^$$' .
+
 # The caching-layer correctness suite under -race: generation
 # invalidation, stale-answer isolation, concurrent readers racing an
 # updater, and the breaker-flip chaos sequence.
@@ -80,6 +94,25 @@ soak:
 
 soak-short:
 	$(GO) test -race ./internal/difftest/ -run OpenEnded -difftest.duration 1m
+
+# Streamed mixed-peer differential soak: every case runs its queries
+# through a streaming client and an envelope client against the same
+# HTTP service, concurrently, under -race. STREAM_SOAK_DURATION=10m
+# reproduces the release gate; `check` runs the 1-minute variant.
+STREAM_SOAK_DURATION ?= 10m
+soak-stream:
+	$(GO) test -race ./internal/difftest/ -run StreamSoak -difftest.duration $(STREAM_SOAK_DURATION) -timeout 0
+
+soak-stream-short:
+	$(GO) test -race ./internal/difftest/ -run StreamSoak -difftest.duration 1m
+
+# Profile the server: boots xserve with pprof on, reminds how to grab
+# a profile. (Profiles also work against any running xserve.)
+profile:
+	@echo "xserve serves pprof at /debug/pprof/ by default:"
+	@echo "  go tool pprof http://localhost:8080/debug/pprof/profile?seconds=30"
+	@echo "  go tool pprof http://localhost:8080/debug/pprof/heap"
+	$(GO) run ./cmd/xserve -listen :8080
 
 fmt:
 	gofmt -l -w .

@@ -308,6 +308,17 @@ func TestMain(m *testing.M) {
 			code = 1
 		}
 	}
+	if v := os.Getenv("SECXML_BENCH_ALLOC_JSON"); v != "" && (len(allocRows) > 0 || len(streamRowsSnapshot()) > 0) {
+		if !writeBenchJSON(v, "BENCH_alloc.json", allocReportData()) && code == 0 {
+			code = 1
+		}
+	}
+	if v := os.Getenv("SECXML_BENCH_ALLOC_GUARD"); v != "" && len(allocRows) > 0 {
+		if err := allocGuard(v); err != nil {
+			fmt.Fprintf(os.Stderr, "alloc regression guard: %v\n", err)
+			code = 1
+		}
+	}
 	os.Exit(code)
 }
 

@@ -46,6 +46,7 @@ func main() {
 	retries := flag.Int("retries", remote.DefaultRetryPolicy.MaxAttempts, "total attempts per remote operation (1 disables retries)")
 	retryBase := flag.Duration("retry-base", remote.DefaultRetryPolicy.BaseDelay, "initial retry backoff (doubles per attempt, jittered)")
 	stale := flag.Bool("stale", false, "serve cached stale answers when the remote server is unreachable")
+	stream := flag.Bool("stream", false, "negotiate chunked answer streaming with the server (requires -remote; large answers only, see xserve -stream-cutoff)")
 	integrity := flag.Bool("integrity", false, "verify every remote answer against a local Merkle commitment (requires -remote)")
 	xmlOut := flag.Bool("xml", false, "print results as XML instead of string values")
 	var scs multiFlag
@@ -77,6 +78,7 @@ func main() {
 			retries:   *retries,
 			retryBase: *retryBase,
 			stale:     *stale,
+			stream:    *stream,
 			integrity: *integrity,
 			xmlOut:    *xmlOut,
 		}
@@ -135,6 +137,7 @@ type remoteConfig struct {
 	retries            int
 	retryBase          time.Duration
 	stale              bool
+	stream             bool
 	integrity          bool
 	xmlOut             bool
 }
@@ -171,6 +174,9 @@ func runRemote(f *os.File, scs []string, key, schemeName string, rc remoteConfig
 	policy.MaxAttempts = rc.retries
 	policy.BaseDelay = rc.retryBase
 	cl := remote.Dial(rc.baseURL, rc.name).WithRetry(policy).WithTimeout(rc.timeout)
+	if rc.stream {
+		cl = cl.WithStreaming(true)
+	}
 	if rc.integrity {
 		cl = cl.WithVerifier(sys.Verifier())
 	}
@@ -207,8 +213,12 @@ func runRemote(f *os.File, scs []string, key, schemeName string, rc remoteConfig
 				staleNote = " | STALE+UNVERIFIED (served from cache; live answer failed verification)"
 			}
 		}
-		fmt.Printf("  [%d results | server+network %v | %d blocks, %d bytes%s]\n",
-			len(nodes), tm.ServerExec, tm.BlocksShipped, tm.AnswerBytes, staleNote)
+		streamNote := ""
+		if tm.Streamed {
+			streamNote = fmt.Sprintf(" | streamed %d chunks", tm.StreamChunks)
+		}
+		fmt.Printf("  [%d results | server+network %v | %d blocks, %d bytes%s%s]\n",
+			len(nodes), tm.ServerExec, tm.BlocksShipped, tm.AnswerBytes, streamNote, staleNote)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -44,6 +45,8 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "max duration for writing a response")
 	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "max keep-alive idle time")
 	grace := flag.Duration("shutdown-grace", 15*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
+	pprofOn := flag.Bool("pprof", true, "serve net/http/pprof profiles at /debug/pprof/ (CPU profiles longer than -write-timeout are cut off)")
+	streamCutoff := flag.Int("stream-cutoff", 0, "min answer bytes before chunked streaming to negotiating clients (0 = 64 KiB default, negative disables)")
 	chaosRate := flag.Float64("chaos", 0, "inject faults (latency/5xx/truncation) at this rate per request — testing only")
 	chaosSeed := flag.Int64("chaos-seed", 1, "deterministic seed for -chaos")
 	demo := flag.String("demo", "", "optional XML file to encrypt and pre-host")
@@ -70,6 +73,7 @@ func main() {
 	} else {
 		svc = remote.NewService()
 	}
+	svc = svc.WithStreamCutoff(*streamCutoff)
 
 	if *demo != "" {
 		if *key == "" {
@@ -117,6 +121,17 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
+	if *pprofOn {
+		// Mounted explicitly (a custom mux skips net/http/pprof's
+		// DefaultServeMux registration), and — like /debug/vars —
+		// outside the chaos wrapper so profiling survives fault
+		// injection.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.Handle("/", handler)
 
 	srv := &http.Server{

@@ -1,0 +1,163 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// streamBacklog bounds how many undecrypted blocks may queue between
+// the stream decoder and the decrypt workers. A full queue blocks the
+// receive loop — that backpressure is what keeps a fast sender from
+// ballooning client memory with ciphertext the workers haven't
+// reached yet.
+const streamBacklog = 32
+
+// StreamDecryptor overlaps block decryption with a streamed answer's
+// network receive: it implements wire.BlockSink, dispatching each
+// ciphertext to a worker pool the moment its frame decodes, so by the
+// time the stream trailer verifies, most plaintexts are already done.
+//
+// The transport may restart the stream (a retry after a torn read);
+// each Reset discards everything the previous attempt delivered and
+// starts a fresh pool. Collect then releases the results only when
+// they provably belong to the answer the transport finally returned —
+// each recorded ciphertext must be the very slice the answer carries
+// (pointer identity, not byte equality), and coverage must be exact.
+// Anything else (an envelope fallback, a stale-cache answer, a
+// half-fed attempt) reports ok=false and the caller decrypts the
+// answer itself, so a wrong or partial result can never surface.
+//
+// All methods are called from one goroutine at a time (the transport
+// attempt loop, then the query pipeline); only the internal workers
+// run concurrently.
+type StreamDecryptor struct {
+	c   *Client
+	cur *streamAttempt
+}
+
+type streamAttempt struct {
+	tasks chan streamTask
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	out   map[int]streamBlock
+	err   error
+}
+
+type streamTask struct {
+	id int
+	ct []byte
+}
+
+type streamBlock struct {
+	ct []byte // the ciphertext slice as received (identity-checked in Collect)
+	pt []byte
+}
+
+// NewStreamDecryptor returns a decryptor feeding this client's key
+// set, with the client's configured parallelism as its worker width.
+// The caller must Close it (Collect also finalizes), or an unfinished
+// attempt's workers leak.
+func (c *Client) NewStreamDecryptor() *StreamDecryptor {
+	return &StreamDecryptor{c: c}
+}
+
+// Reset implements wire.BlockSink: it discards any previous attempt's
+// results and starts a fresh worker pool for the stream that is about
+// to arrive.
+func (sd *StreamDecryptor) Reset() {
+	sd.drain()
+	at := &streamAttempt{
+		tasks: make(chan streamTask, streamBacklog),
+		out:   map[int]streamBlock{},
+	}
+	width := sd.c.par
+	if width < 1 {
+		width = 1
+	}
+	at.wg.Add(width)
+	for i := 0; i < width; i++ {
+		go func() {
+			defer at.wg.Done()
+			for t := range at.tasks {
+				pt, err := sd.c.keys.DecryptBlock(t.ct)
+				at.mu.Lock()
+				if err != nil {
+					if at.err == nil {
+						at.err = fmt.Errorf("client: block %d: %w", t.id, err)
+					}
+				} else {
+					at.out[t.id] = streamBlock{ct: t.ct, pt: pt}
+				}
+				at.mu.Unlock()
+			}
+		}()
+	}
+	sd.cur = at
+}
+
+// Block implements wire.BlockSink: it hands one received ciphertext
+// to the decrypt pool, blocking when the backlog is full. A Block
+// without a preceding Reset is dropped (Collect will then report
+// ok=false, and the caller's own decryption pass surfaces whatever is
+// wrong with the answer).
+func (sd *StreamDecryptor) Block(id int, ct []byte) {
+	if sd.cur == nil {
+		return
+	}
+	sd.cur.tasks <- streamTask{id: id, ct: ct}
+}
+
+// Collect finalizes the last attempt and returns its plaintexts —
+// keyed by block ID, exactly as DecryptBlocks would — but only when
+// they are precisely the blocks of ans: full coverage, and every
+// recorded ciphertext is the same slice ans carries. ok=false means
+// the caller must decrypt ans itself; any decryption error the
+// workers hit also surfaces that way (the caller's sequential pass
+// rediscovers and reports it).
+func (sd *StreamDecryptor) Collect(ans *wire.Answer) (map[int][]byte, bool) {
+	at := sd.cur
+	if at == nil || ans == nil {
+		return nil, false
+	}
+	sd.drain()
+	if at.err != nil || len(at.out) != len(ans.BlockIDs) {
+		return nil, false
+	}
+	out := make(map[int][]byte, len(at.out))
+	for i, id := range ans.BlockIDs {
+		got, ok := at.out[id]
+		if !ok || !sameSlice(got.ct, ans.Blocks[i]) {
+			return nil, false
+		}
+		out[id] = got.pt
+	}
+	return out, true
+}
+
+// Close discards any unfinished attempt, stopping its workers. Safe
+// to call repeatedly and after Collect.
+func (sd *StreamDecryptor) Close() { sd.drain() }
+
+// drain closes the current attempt's task channel and waits for its
+// workers to exit.
+func (sd *StreamDecryptor) drain() {
+	if sd.cur == nil {
+		return
+	}
+	close(sd.cur.tasks)
+	sd.cur.wg.Wait()
+	sd.cur = nil
+}
+
+// sameSlice reports that a and b are the same backing bytes —
+// identity, not equality. Within one process this is exactly "this
+// plaintext was decrypted from this answer's own ciphertext", which
+// is what lets Collect trust work done before the answer was chosen.
+func sameSlice(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
+}

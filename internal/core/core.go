@@ -164,6 +164,18 @@ type ProofBackend interface {
 	ExtremeProof(ctx context.Context, lo, hi uint64, max bool) (*wire.ExtremeResult, error)
 }
 
+// StreamBackend is the optional backend extension for chunked
+// answers: Execute, but with every block ciphertext handed to sink as
+// it arrives, so the client can decrypt while later chunks are still
+// on the wire. Backends fall back to the envelope freely (a small
+// answer, a legacy server); nil stats mean the sink was never fed and
+// the caller should treat the result exactly like Execute's. The
+// in-process Local backend deliberately does not implement it — with
+// no network to overlap, streaming is pure overhead.
+type StreamBackend interface {
+	ExecuteStream(ctx context.Context, q *wire.Query, sink wire.BlockSink) (*wire.Answer, *wire.StreamStats, error)
+}
+
 // ExtremeProof implements ProofBackend.
 func (l Local) ExtremeProof(ctx context.Context, lo, hi uint64, max bool) (*wire.ExtremeResult, error) {
 	if err := ctx.Err(); err != nil {
@@ -334,6 +346,14 @@ type Timings struct {
 	BlockCacheHits   int
 	BlockCacheMisses int
 
+	// Streamed marks an answer that arrived as a chunked SXS1 stream
+	// (see StreamBackend), with decryption overlapping the receive;
+	// StreamChunks and StreamBytes describe that transfer. All zero
+	// when the answer came as a monolithic envelope.
+	Streamed     bool
+	StreamChunks int
+	StreamBytes  int
+
 	// ServerWorkers / ClientWorkers report the parallel fan-out width
 	// each side was configured with for this query: the server's
 	// matcher worker budget (0 when the backend is remote and its
@@ -398,8 +418,20 @@ func (s *System) queryPathLocked(ctx context.Context, path *xpath.Path) ([]*xmlt
 	}
 	qs.WantProof = s.verifier != nil
 
+	// A streaming-capable backend gets a decrypt pipeline to feed:
+	// blocks decrypt while the rest of the answer is still on the
+	// wire. Collect (below) releases that work only if it matches the
+	// answer the transport finally settled on.
+	var sd *client.StreamDecryptor
+	var sink wire.BlockSink
+	if _, ok := s.Server.(StreamBackend); ok {
+		sd = s.Client.NewStreamDecryptor()
+		defer sd.Close()
+		sink = sd
+	}
+
 	start = time.Now()
-	ans, err := s.executeWithFallback(ctx, qs, &tm)
+	ans, err := s.executeWithFallback(ctx, qs, sink, &tm)
 	tm.ServerExec = time.Since(start)
 	if err != nil {
 		return nil, nil, tm, err
@@ -419,7 +451,22 @@ func (s *System) queryPathLocked(ctx context.Context, path *xpath.Path) ([]*xmlt
 		bc = nil
 	}
 	start = time.Now()
-	blocks, cacheHits, err := s.Client.DecryptBlocksCached(ans, bc)
+	var blocks map[int][]byte
+	var cacheHits int
+	if sd != nil {
+		// Streamed decryption ran before verification; the results
+		// surface (and the cache is seeded) only now, after the
+		// answer passed the verifier and was accepted. A mismatch —
+		// envelope fallback, stale answer, torn attempt — falls
+		// through to the normal decrypt path below.
+		if m, ok := sd.Collect(ans); ok {
+			blocks = m
+			s.Client.SeedBlockCache(bc, ans, m)
+		}
+	}
+	if blocks == nil {
+		blocks, cacheHits, err = s.Client.DecryptBlocksCached(ans, bc)
+	}
 	tm.ClientDecrypt = time.Since(start)
 	if err != nil {
 		return nil, nil, tm, err
@@ -451,14 +498,28 @@ func (s *System) queryPathLocked(ctx context.Context, path *xpath.Path) ([]*xmlt
 // is additionally marked Unverified — it was checked when cached,
 // but its freshness can no longer be established against a server
 // that just proved itself byzantine.
-func (s *System) executeWithFallback(ctx context.Context, qs *wire.Query, tm *Timings) (*wire.Answer, error) {
+func (s *System) executeWithFallback(ctx context.Context, qs *wire.Query, sink wire.BlockSink, tm *Timings) (*wire.Answer, error) {
 	var key string
 	if s.staleCache != nil {
 		if k, err := wire.MarshalQuery(qs); err == nil {
 			key = string(k)
 		}
 	}
-	ans, err := s.Server.Execute(ctx, qs)
+	var ans *wire.Answer
+	var err error
+	if sink != nil {
+		// The caller only passes a sink when the backend implements
+		// StreamBackend (see queryPathLocked).
+		var st *wire.StreamStats
+		ans, st, err = s.Server.(StreamBackend).ExecuteStream(ctx, qs, sink)
+		if st != nil {
+			tm.Streamed = true
+			tm.StreamChunks = st.Chunks
+			tm.StreamBytes = st.Bytes
+		}
+	} else {
+		ans, err = s.Server.Execute(ctx, qs)
+	}
 	if err == nil && s.verifier != nil {
 		if vErr := s.verifier.VerifyAnswer(ans); vErr != nil {
 			ans, err = nil, vErr

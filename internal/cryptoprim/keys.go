@@ -18,6 +18,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // KeySet holds every derived key the client needs. The server never
@@ -30,6 +31,12 @@ type KeySet struct {
 	decoyKey []byte
 	dsiKey   []byte // seeds the DSI gap weights w1, w2
 	opessKey []byte // seeds OPESS split displacements and scale factors
+
+	// prfKeys caches PRF subkeys by label (label -> []byte). Labels
+	// come from a small fixed set in this codebase, so the map only
+	// ever holds a handful of entries; caching removes two SHA-256
+	// constructions and three allocations from every PRF call.
+	prfKeys sync.Map
 }
 
 // NewKeySet derives a key set from a master secret of any length.
@@ -74,9 +81,17 @@ func derive(master []byte, label string) []byte {
 
 // PRF computes the keyed pseudo-random function used throughout:
 // HMAC-SHA256 over the concatenated byte arguments, under a subkey
-// selected by label.
+// selected by label. Subkeys are derived once per label and cached —
+// the derivation is deterministic, so this changes no output.
 func (k *KeySet) PRF(label string, data ...[]byte) []byte {
-	m := hmac.New(sha256.New, derive(k.master, "prf/"+label))
+	var sub []byte
+	if v, ok := k.prfKeys.Load(label); ok {
+		sub = v.([]byte)
+	} else {
+		sub = derive(k.master, "prf/"+label)
+		k.prfKeys.Store(label, sub)
+	}
+	m := hmac.New(sha256.New, sub)
 	for _, d := range data {
 		m.Write(d)
 	}
@@ -90,13 +105,16 @@ func (k *KeySet) PRFUint64(label string, data ...[]byte) uint64 {
 
 // EncryptBlock encrypts a serialized XML block with AES-256-GCM
 // under a fresh random nonce. The nonce is prepended to the output.
+// The whole ciphertext — nonce, sealed bytes, tag — is produced in
+// one exactly-sized allocation: Seal appends in place when given a
+// buffer with enough capacity.
 func (k *KeySet) EncryptBlock(plaintext []byte) ([]byte, error) {
-	nonce := make([]byte, k.aead.NonceSize())
-	if _, err := rand.Read(nonce); err != nil {
+	ns := k.aead.NonceSize()
+	out := make([]byte, ns, ns+len(plaintext)+k.aead.Overhead())
+	if _, err := rand.Read(out[:ns]); err != nil {
 		return nil, fmt.Errorf("cryptoprim: nonce: %w", err)
 	}
-	ct := k.aead.Seal(nil, nonce, plaintext, nil)
-	return append(nonce, ct...), nil
+	return k.aead.Seal(out, out[:ns], plaintext, nil), nil
 }
 
 // DecryptBlock reverses EncryptBlock, authenticating the ciphertext.

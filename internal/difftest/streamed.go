@@ -1,0 +1,123 @@
+package difftest
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/remote"
+	"repro/internal/xmltree"
+)
+
+// RunCaseStreamed runs the case's queries through a real HTTP round
+// trip with chunked-answer streaming negotiated, interleaving a
+// streaming peer and a legacy envelope peer against the same hosted
+// service. The streamed and envelope encodings of every answer must
+// decode to the same result as the plaintext evaluation, and the
+// block cache seeded by one peer's pass must keep serving the other
+// correctly — the mixed-fleet deployment the negotiation is for.
+// Queries within a pass run concurrently, so under -race this doubles
+// as a data-race probe of the stream decode + overlapped-decrypt
+// pipeline.
+func RunCaseStreamed(c *Case) error {
+	for _, name := range Schemes {
+		if err := runStreamedScheme(c, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// streamWorkers is the per-pass query concurrency: enough to overlap
+// several streams (and their decrypt pools) without drowning the
+// race detector.
+const streamWorkers = 4
+
+func runStreamedScheme(c *Case, name core.SchemeName) error {
+	sys, err := hostScheme(c, name, c.Doc)
+	if err != nil {
+		return err
+	}
+	svc := remote.NewService().WithStreamCutoff(1) // stream every non-trivial answer
+	if err := remote.RegisterLocal(svc, "d", sys.HostedDB); err != nil {
+		return fmt.Errorf("seed %d (%s): scheme %s: register: %w", c.Seed, c.DocName, name, err)
+	}
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	streaming := remote.Dial(ts.URL, "d").WithHTTPClient(ts.Client()).
+		WithStreaming(true).WithVerifier(sys.Verifier())
+	envelope := remote.Dial(ts.URL, "d").WithHTTPClient(ts.Client()).
+		WithVerifier(sys.Verifier())
+
+	// Cold pass streamed, hot pass through the envelope peer (served
+	// partly from the cache the stream seeded), then streamed again:
+	// every transition between the two formats is covered.
+	passes := []struct {
+		label string
+		cl    *remote.Client
+	}{
+		{"stream-cold", streaming},
+		{"envelope-hot", envelope},
+		{"stream-hot", streaming},
+	}
+	for _, p := range passes {
+		sys.UseBackend(p.cl)
+		if err := runQueriesConcurrent(c, name, sys, c.Doc, p.label); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runQueriesConcurrent is runQueries with the case's queries spread
+// across streamWorkers goroutines (single pass; the caller sequences
+// cold/hot passes explicitly).
+func runQueriesConcurrent(c *Case, name core.SchemeName, sys *core.System, ref *xmltree.Document, label string) error {
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	record := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	jobs := make(chan string)
+	for w := 0; w < streamWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := range jobs {
+				want, err := plaintext(ref, q)
+				if err != nil {
+					record(fmt.Errorf("seed %d (%s): query %q: plaintext: %w", c.Seed, c.DocName, q, err))
+					continue
+				}
+				nodes, _, _, err := sys.Query(q)
+				if err != nil {
+					record(fmt.Errorf("seed %d (%s): scheme %s query %q (%s): %w",
+						c.Seed, c.DocName, name, q, label, err))
+					continue
+				}
+				got := core.ResultStrings(nodes)
+				sort.Strings(got)
+				if !equal(got, want) {
+					record(fmt.Errorf("seed %d (%s): scheme %s query %q (%s):\n  plaintext (%d): %v\n  encrypted (%d): %v",
+						c.Seed, c.DocName, name, q, label, len(want), want, len(got), got))
+				}
+			}
+		}()
+	}
+	for _, q := range c.Queries {
+		jobs <- q
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
+}

@@ -61,6 +61,12 @@ var ErrCircuitOpen = errors.New("remote: circuit breaker open")
 // not match — the bytes were damaged in flight. It is retryable.
 var ErrChecksum = errors.New("remote: response checksum mismatch")
 
+// ErrResponseTooLarge reports a response body that kept going past
+// the client's configured size cap (WithMaxResponseBytes). It is not
+// retryable: a server that answers with an oversized body will do so
+// again.
+var ErrResponseTooLarge = errors.New("remote: response exceeds configured size cap")
+
 // retryable classifies an attempt error: true for failure classes
 // where a fresh attempt can plausibly succeed (connect-level
 // failures, torn reads, 5xx), false for context cancellation,
@@ -86,6 +92,9 @@ func retryable(err error) bool {
 	}
 	if errors.Is(err, ErrCircuitOpen) {
 		return false // the breaker already decided; retrying defeats it
+	}
+	if errors.Is(err, ErrResponseTooLarge) {
+		return false // deterministic: the same answer will overflow again
 	}
 	if errors.Is(err, ErrChecksum) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
 		return true // torn read

@@ -28,6 +28,7 @@
 package remote
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"crypto/sha256"
@@ -70,6 +71,31 @@ const generationHeader = "X-DB-Generation"
 // request IDs (oldest forgotten first).
 const dedupWindow = 4096
 
+// acceptStreamHeader is the request header a client sends to
+// advertise that it can decode chunked SXS1 answers; its value names
+// the protocol version. A server that doesn't understand the header
+// ignores it and answers with the envelope, so negotiation degrades
+// to the legacy format in both directions.
+const acceptStreamHeader = "X-Accept-Stream"
+
+// streamProto is the one streaming protocol version this build
+// speaks.
+const streamProto = "sxs1"
+
+// streamContentType marks a chunked SXS1 response body. Integrity for
+// streamed bodies rides in the stream trailer (a running SHA-256 the
+// decoder verifies), not in the X-Body-Sha256 header — a whole-body
+// checksum cannot be sent before a body that is produced
+// incrementally.
+const streamContentType = "application/x-secxml-stream"
+
+// defaultStreamCutoff is the answer size (its envelope encoding, in
+// bytes) below which the service answers with the envelope even for
+// stream-capable clients: for small answers the envelope's single
+// write beats the chunked framing, and nothing meaningful can overlap
+// anyway.
+const defaultStreamCutoff = 64 << 10
+
 // Service is the HTTP-facing untrusted server. It can host several
 // databases, keyed by name.
 type Service struct {
@@ -96,6 +122,11 @@ type Service struct {
 	// (see NewPersistentService); written once at startup, read-only
 	// afterwards.
 	quarantined []QuarantineRecord
+	// streamCutoff is the answer size at which query responses switch
+	// from the envelope to the chunked stream for clients that
+	// advertise support; 0 selects defaultStreamCutoff, negative
+	// disables streaming (see WithStreamCutoff).
+	streamCutoff int
 }
 
 type hosted struct {
@@ -112,6 +143,13 @@ type hosted struct {
 	// without re-applying. Guarded by mu.
 	seen      map[uint64]bool
 	seenOrder []uint64
+
+	// Streamed-answer counters for this database, surfaced by the
+	// stats endpoint: how many query answers went out as chunked
+	// streams, and the total bytes and chunks they carried.
+	streamAnswers atomic.Int64
+	streamBytes   atomic.Int64
+	streamChunks  atomic.Int64
 }
 
 func newHosted(srv *server.Server, db *wire.HostedDB) *hosted {
@@ -157,6 +195,30 @@ func (s *Service) WithQueueWait(d time.Duration) *Service {
 // Rejected reports how many requests were shed with 503 because no
 // execution slot freed up within the queue-wait bound.
 func (s *Service) Rejected() int { return int(s.rejected.Load()) }
+
+// WithStreamCutoff sets the answer size (envelope bytes) at which
+// query responses to stream-capable clients switch from the
+// monolithic envelope to the chunked SXS1 stream. Zero restores the
+// default (64 KiB); a negative value disables streaming entirely, so
+// every client gets the envelope regardless of what it advertises.
+// Returns s for chaining.
+func (s *Service) WithStreamCutoff(n int) *Service {
+	s.streamCutoff = n
+	return s
+}
+
+// streamCutoffBytes resolves the configured cutoff; ok is false when
+// streaming is disabled.
+func (s *Service) streamCutoffBytes() (int, bool) {
+	switch {
+	case s.streamCutoff < 0:
+		return 0, false
+	case s.streamCutoff == 0:
+		return defaultStreamCutoff, true
+	default:
+		return s.streamCutoff, true
+	}
+}
 
 // acquire takes one execution slot, queueing up to the queue-wait
 // bound (or the request's own context, whichever ends first). It
@@ -323,6 +385,9 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request, h *hosted)
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
+	if s.streamQuery(w, r, h, ans) {
+		return
+	}
 	out, err := wire.MarshalAnswer(ans)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -333,6 +398,42 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request, h *hosted)
 	// epochs without decoding frames.
 	w.Header().Set(generationHeader, fmt.Sprintf("%d:%d", ans.Epoch, ans.Generation))
 	writeChecksummed(w, out)
+}
+
+// streamQuery sends ans as a chunked SXS1 body when the client
+// advertised stream support, streaming is enabled, the answer is
+// large enough to be worth it, and the connection can flush
+// incrementally. It reports whether it handled the response; false
+// means the caller should answer with the envelope. The generation
+// header is set either way; the body checksum header is not — for a
+// streamed body, integrity rides in the stream trailer.
+func (s *Service) streamQuery(w http.ResponseWriter, r *http.Request, h *hosted, ans *wire.Answer) bool {
+	cutoff, enabled := s.streamCutoffBytes()
+	if !enabled || r.Header.Get(acceptStreamHeader) != streamProto {
+		return false
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush || ans.ByteSize() < cutoff {
+		return false
+	}
+	w.Header().Set("Content-Type", streamContentType)
+	w.Header().Set(generationHeader, fmt.Sprintf("%d:%d", ans.Epoch, ans.Generation))
+	// The encoder's own writes are small (tags, varints); batch them
+	// so each flush stride costs one chunk, not dozens of tiny ones.
+	bw := bufio.NewWriterSize(w, 32<<10)
+	flush := func() {
+		bw.Flush()
+		fl.Flush()
+	}
+	n, chunks, err := wire.EncodeStreamAnswer(bw, ans, flush)
+	// A mid-stream write error means the peer is gone; the torn body
+	// is exactly what the decoder reports as retryable, and there is
+	// no channel left to say more. Count what actually went out.
+	_ = err
+	h.streamAnswers.Add(1)
+	h.streamBytes.Add(int64(n))
+	h.streamChunks.Add(int64(chunks))
+	return true
 }
 
 func (s *Service) handleExtreme(w http.ResponseWriter, r *http.Request, h *hosted) {
@@ -474,6 +575,11 @@ func (s *Service) handleStats(w http.ResponseWriter, h *hosted) {
 		"indexHeight":  h.srv.IndexHeight(),
 		"generation":   h.srv.Generation(),
 		"caches":       h.srv.CacheStats(),
+		"stream": map[string]int64{
+			"answers": h.streamAnswers.Load(),
+			"bytes":   h.streamBytes.Load(),
+			"chunks":  h.streamChunks.Load(),
+		},
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(stats)
@@ -526,6 +632,13 @@ type Client struct {
 	retry   RetryPolicy
 	timeout time.Duration // per-attempt bound; 0 = none
 	breaker *breaker      // nil = disabled
+
+	// acceptStream advertises SXS1 stream support on queries (see
+	// WithStreaming); the server still decides per answer.
+	acceptStream bool
+	// maxResp caps how many response-body bytes any operation will
+	// read; 0 selects the maxUpload default (see WithMaxResponseBytes).
+	maxResp int64
 
 	// verifier, when set via WithVerifier, checks every answer and
 	// extreme result against the owner's Merkle root inside the
@@ -583,6 +696,36 @@ func (c *Client) WithBreaker(cfg BreakerConfig) *Client {
 		c.breaker = newBreaker(cfg)
 	}
 	return c
+}
+
+// WithStreaming advertises (or stops advertising) chunked-answer
+// support on query requests. A streaming-capable server answers
+// large queries with the SXS1 chunked format, which the client
+// decodes incrementally — and hands to a wire.BlockSink when the
+// query came through ExecuteStream — instead of buffering the whole
+// envelope first. Servers that predate the protocol ignore the
+// advertisement, so this is always safe to enable.
+func (c *Client) WithStreaming(on bool) *Client {
+	c.acceptStream = on
+	return c
+}
+
+// WithMaxResponseBytes caps how many response-body bytes the client
+// will read on any operation (answers, extreme probes, streams); a
+// body that would exceed the cap surfaces as ErrResponseTooLarge
+// instead of being read without bound. n <= 0 restores the default
+// (1 GiB).
+func (c *Client) WithMaxResponseBytes(n int64) *Client {
+	c.maxResp = n
+	return c
+}
+
+// respLimit resolves the response-body cap.
+func (c *Client) respLimit() int64 {
+	if c.maxResp > 0 {
+		return c.maxResp
+	}
+	return maxUpload
 }
 
 // WithVerifier installs the owner's integrity verifier: every query
@@ -701,23 +844,72 @@ func (c *Client) request(ctx context.Context, method, url string, payload []byte
 		return 0, nil, err
 	}
 	defer resp.Body.Close()
-	// Error bodies are only ever quoted in a StatusError: don't let
-	// a hostile server feed us more than we would keep.
-	limit := int64(maxUpload)
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		limit = maxErrBody
+		// Error bodies are only ever quoted in a StatusError: don't
+		// let a hostile server feed us more than we would keep.
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxErrBody))
+		return resp.StatusCode, data, err
 	}
-	data, err := io.ReadAll(io.LimitReader(resp.Body, limit))
+	data, err := readChecksummedBody(resp, c.respLimit())
+	return resp.StatusCode, data, err
+}
+
+// readChecksummedBody reads a success body, bounded by limit (beyond
+// which ErrResponseTooLarge surfaces instead of an unbounded read),
+// and verifies the body-checksum header when the server sent one.
+func readChecksummedBody(resp *http.Response, limit int64) ([]byte, error) {
+	data, err := io.ReadAll(&cappedReader{r: resp.Body, n: limit})
 	if err != nil {
-		return resp.StatusCode, nil, err
+		return nil, err
 	}
 	if want := resp.Header.Get(checksumHeader); want != "" {
 		sum := sha256.Sum256(data)
 		if hex.EncodeToString(sum[:]) != want {
-			return resp.StatusCode, nil, ErrChecksum
+			return nil, ErrChecksum
 		}
 	}
-	return resp.StatusCode, data, nil
+	return data, nil
+}
+
+// cappedReader reads at most n bytes from r; a body that keeps going
+// past the cap surfaces as ErrResponseTooLarge (a body ending exactly
+// at the cap still reads its clean EOF).
+type cappedReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if c.n <= 0 {
+		var tiny [1]byte
+		n, err := c.r.Read(tiny[:])
+		if n > 0 {
+			return 0, ErrResponseTooLarge
+		}
+		if err == nil {
+			err = ErrResponseTooLarge
+		}
+		return 0, err
+	}
+	if int64(len(p)) > c.n {
+		p = p[:c.n]
+	}
+	n, err := c.r.Read(p)
+	c.n -= int64(n)
+	return n, err
+}
+
+// countingReader counts the bytes read through it (stream transfer
+// accounting).
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func statusError(op string, code int, body []byte) *StatusError {
@@ -767,20 +959,36 @@ func (c *Client) Upload(ctx context.Context, db *wire.HostedDB) error {
 
 // Execute implements core.Backend over HTTP.
 func (c *Client) Execute(ctx context.Context, q *wire.Query) (*wire.Answer, error) {
+	ans, _, err := c.executeQuery(ctx, q, nil)
+	return ans, err
+}
+
+// ExecuteStream implements core.StreamBackend over HTTP: when the
+// server answers with the chunked SXS1 format, every block ciphertext
+// is handed to sink the moment its frame decodes — while later chunks
+// are still on the wire — and the returned stats describe the
+// transfer. Envelope answers (a legacy server, a small answer below
+// the server's cutoff, streaming not advertised) return nil stats and
+// never touch the sink.
+//
+// Retry semantics are those of Execute: a stream that dies mid-body
+// surfaces as a torn read and the whole attempt is retried — sink
+// gets a fresh Reset and the caller never sees a truncated answer. A
+// verification failure (WithVerifier) is terminal, exactly as on the
+// envelope path.
+func (c *Client) ExecuteStream(ctx context.Context, q *wire.Query, sink wire.BlockSink) (*wire.Answer, *wire.StreamStats, error) {
+	return c.executeQuery(ctx, q, sink)
+}
+
+func (c *Client) executeQuery(ctx context.Context, q *wire.Query, sink wire.BlockSink) (*wire.Answer, *wire.StreamStats, error) {
 	data, err := wire.MarshalQuery(q)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var ans *wire.Answer
+	var stats *wire.StreamStats
 	err = c.do(ctx, "query", func(ctx context.Context) error {
-		status, body, err := c.request(ctx, http.MethodPost, c.url("query"), data)
-		if err != nil {
-			return err
-		}
-		if status != http.StatusOK {
-			return statusError("query", status, body)
-		}
-		a, err := wire.UnmarshalAnswer(body)
+		a, st, err := c.queryAttempt(ctx, data, sink)
 		if err != nil {
 			return err
 		}
@@ -789,13 +997,67 @@ func (c *Client) Execute(ctx context.Context, q *wire.Query) (*wire.Answer, erro
 				return vErr
 			}
 		}
-		ans = a
+		ans, stats = a, st
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return ans, nil
+	return ans, stats, nil
+}
+
+// queryAttempt performs one query exchange and decodes whichever
+// response format the server chose: the chunked stream (decoded
+// incrementally, blocks forwarded to sink) or the checksummed
+// envelope.
+func (c *Client) queryAttempt(ctx context.Context, payload []byte, sink wire.BlockSink) (*wire.Answer, *wire.StreamStats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("query"), bytes.NewReader(payload))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if c.acceptStream {
+		req.Header.Set(acceptStreamHeader, streamProto)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrBody))
+		return nil, nil, statusError("query", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Content-Type") != streamContentType {
+		body, err := readChecksummedBody(resp, c.respLimit())
+		if err != nil {
+			return nil, nil, err
+		}
+		a, err := wire.UnmarshalAnswer(body)
+		if err != nil {
+			return nil, nil, err
+		}
+		return a, nil, nil
+	}
+	// Streamed answer: every attempt starts the sink over, so a retry
+	// after a torn stream can never leave a previous attempt's blocks
+	// mingled with this one's.
+	if sink != nil {
+		sink.Reset()
+	}
+	cr := &countingReader{r: &cappedReader{r: resp.Body, n: c.respLimit()}}
+	var sinkFn func(int, []byte)
+	if sink != nil {
+		sinkFn = sink.Block
+	}
+	a, err := wire.DecodeStreamAnswer(cr, sinkFn)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, &wire.StreamStats{
+		Bytes:  int(cr.n),
+		Chunks: len(a.Fragments) + len(a.Blocks) + 1,
+	}, nil
 }
 
 // Extreme implements core.Backend over HTTP.

@@ -51,11 +51,33 @@ func (s *Server) newExec(pl *plan) *exec {
 	return &exec{s: s, pl: pl, gen: s.gen, pool: newTokens(s.par), rangeMemo: map[*wire.PredValue]map[int]bool{}}
 }
 
+// ivBufPool recycles the interval scratch slices the matcher chains
+// through. Aliasing rule: a pooled buffer's intervals never leave the
+// function that got it — results that escape (matchFirst, matchChain)
+// are copied out exact-size before the buffer is returned.
+var ivBufPool = sync.Pool{New: func() any { return new([]dsi.Interval) }}
+
+// ivBufMaxCap bounds the capacity a returned buffer may retain
+// (256 KiB of intervals) so one giant step result cannot pin memory
+// in the pool.
+const ivBufMaxCap = 1 << 14
+
+func getIvBuf() *[]dsi.Interval { return ivBufPool.Get().(*[]dsi.Interval) }
+
+func putIvBuf(p *[]dsi.Interval) {
+	if cap(*p) > ivBufMaxCap {
+		return
+	}
+	*p = (*p)[:0]
+	ivBufPool.Put(p)
+}
+
 // matchFirst evaluates the first step of the main path: its context
 // is the virtual document node, so a non-descendant child step must
 // match a forest root, while a "//" step may match any interval.
 func (e *exec) matchFirst(st *wire.QStep) []dsi.Interval {
-	var cands []dsi.Interval
+	buf := getIvBuf()
+	cands := (*buf)[:0]
 	for _, list := range e.labelLists(st.Labels) {
 		for _, iv := range list {
 			if st.Desc {
@@ -67,7 +89,14 @@ func (e *exec) matchFirst(st *wire.QStep) []dsi.Interval {
 			}
 		}
 	}
-	return e.applyPreds(dedupeSorted(cands), st.Preds)
+	cands = e.applyPreds(dedupeSorted(cands), st.Preds)
+	var out []dsi.Interval
+	if len(cands) > 0 {
+		out = append(make([]dsi.Interval, 0, len(cands)), cands...)
+	}
+	*buf = cands[:0]
+	putIvBuf(buf)
+	return out
 }
 
 // batchJoinThreshold switches downward steps from per-context
@@ -77,38 +106,67 @@ const batchJoinThreshold = 8
 
 // matchChain evaluates a step chain from a set of context intervals
 // with the given strictness, returning the final step's survivors.
+//
+// Each step accumulates into a pooled scratch buffer; dedupeSorted
+// and the predicate filters then compact that buffer in place (safe:
+// the chain owns it — ctxs itself is only ever read). The previous
+// step's buffer is recycled as soon as the next one is built, and the
+// final survivors are copied out exact-size so no pooled memory
+// escapes.
 func (e *exec) matchChain(ctxs []dsi.Interval, st *wire.QStep, upper bool) []dsi.Interval {
 	cur := ctxs
+	var owned *[]dsi.Interval // pool token backing cur; nil while cur aliases ctxs or a batch result
 	for ; st != nil; st = st.Next {
 		var next []dsi.Interval
-		if batched, ok := e.batchStep(cur, st); ok {
+		var nextOwned *[]dsi.Interval
+		lists := e.labelLists(st.Labels)
+		if batched, ok := e.batchStep(cur, st, lists); ok {
 			next = batched
 		} else if len(cur) >= parallelThreshold {
 			// Shard the per-context probing; dedupeSorted below sorts,
 			// so the concatenation order cannot affect the result.
 			shards := make([][]dsi.Interval, len(cur))
 			parallelFor(e.pool, len(cur), func(i int) {
-				shards[i] = e.stepFrom(cur[i], st, upper)
+				shards[i] = e.stepFrom(nil, cur[i], st, lists, upper)
 			})
+			nextOwned = getIvBuf()
+			next = (*nextOwned)[:0]
 			for _, sh := range shards {
 				next = append(next, sh...)
 			}
 		} else {
+			nextOwned = getIvBuf()
+			next = (*nextOwned)[:0]
 			for _, ctx := range cur {
-				next = append(next, e.stepFrom(ctx, st, upper)...)
+				next = e.stepFrom(next, ctx, st, lists, upper)
 			}
 		}
-		cur = dedupeSorted(next)
+		res := dedupeSorted(next)
 		if upper {
-			cur = e.applyPreds(cur, st.Preds)
+			res = e.applyPreds(res, st.Preds)
 		} else {
-			cur = e.filterCertain(cur, st.Preds)
+			res = e.filterCertain(res, st.Preds)
+		}
+		if owned != nil {
+			putIvBuf(owned)
+		}
+		owned, cur = nextOwned, res
+		if owned != nil {
+			*owned = res[:0] // track the (possibly regrown) backing
 		}
 		if len(cur) == 0 {
+			if owned != nil {
+				putIvBuf(owned)
+			}
 			return nil
 		}
 	}
-	return cur
+	if owned == nil {
+		return cur
+	}
+	out := append(make([]dsi.Interval, 0, len(cur)), cur...)
+	putIvBuf(owned)
+	return out
 }
 
 // batchStep applies one downward step to the whole context set with
@@ -116,7 +174,7 @@ func (e *exec) matchChain(ctxs []dsi.Interval, st *wire.QStep, upper bool) []dsi
 // child/attribute/descendant axes are batchable; other axes (and
 // wildcard tests, whose candidate set is the whole forest) fall back
 // to per-context probing.
-func (e *exec) batchStep(ctxs []dsi.Interval, st *wire.QStep) ([]dsi.Interval, bool) {
+func (e *exec) batchStep(ctxs []dsi.Interval, st *wire.QStep, lists [][]dsi.Interval) ([]dsi.Interval, bool) {
 	if len(ctxs) < batchJoinThreshold || st.Labels == nil {
 		return nil, false
 	}
@@ -130,7 +188,7 @@ func (e *exec) batchStep(ctxs []dsi.Interval, st *wire.QStep) ([]dsi.Interval, b
 		return nil, false
 	}
 	var out []dsi.Interval
-	for _, list := range e.labelLists(st.Labels) {
+	for _, list := range lists {
 		if desc {
 			out = append(out, dsi.DescendantJoin(ctxs, list)...)
 		} else {
@@ -149,14 +207,16 @@ func (e *exec) matchRelative(ctx dsi.Interval, st *wire.QStep, upper bool) []dsi
 }
 
 // stepFrom applies one step's axis and node test from one context
-// interval. In upper mode, sibling axes additionally match the
-// context's own interval when it lies inside an encryption block:
-// such an interval may be a group standing for several adjacent
-// same-tag siblings (§5.1.1), and the server cannot rule that out —
-// by design.
-func (e *exec) stepFrom(ctx dsi.Interval, st *wire.QStep, upper bool) []dsi.Interval {
+// interval, appending survivors to dst (which may be a pooled
+// buffer owned by the caller). lists must be e.labelLists(st.Labels),
+// resolved once per step rather than once per context. In upper mode,
+// sibling axes additionally match the context's own interval when it
+// lies inside an encryption block: such an interval may be a group
+// standing for several adjacent same-tag siblings (§5.1.1), and the
+// server cannot rule that out — by design.
+func (e *exec) stepFrom(dst []dsi.Interval, ctx dsi.Interval, st *wire.QStep, lists [][]dsi.Interval, upper bool) []dsi.Interval {
 	f := e.s.forest
-	var out []dsi.Interval
+	out := dst
 	switch st.Axis {
 	case xpath.AxisSelf:
 		if st.Labels == nil || e.s.hasAnyLabel(ctx, st.Labels) {
@@ -187,7 +247,7 @@ func (e *exec) stepFrom(ctx dsi.Interval, st *wire.QStep, upper bool) []dsi.Inte
 		}
 	case xpath.AxisFollowingSibling, xpath.AxisPrecedingSibling:
 		parent, hasParent := f.ParentOf(ctx)
-		for _, list := range e.labelLists(st.Labels) {
+		for _, list := range lists {
 			var sibs []dsi.Interval
 			if hasParent {
 				sibs = dsi.Within(list, parent)
@@ -212,18 +272,18 @@ func (e *exec) stepFrom(ctx dsi.Interval, st *wire.QStep, upper bool) []dsi.Inte
 			}
 		}
 	case xpath.AxisDescendant:
-		for _, list := range e.labelLists(st.Labels) {
+		for _, list := range lists {
 			out = append(out, dsi.Within(list, ctx)...)
 		}
 	case xpath.AxisDescendantOrSelf:
-		for _, list := range e.labelLists(st.Labels) {
+		for _, list := range lists {
 			out = append(out, dsi.Within(list, ctx)...)
 		}
 		if st.Labels == nil || e.s.hasAnyLabel(ctx, st.Labels) {
 			out = append(out, ctx)
 		}
 	default: // child, attribute
-		for _, list := range e.labelLists(st.Labels) {
+		for _, list := range lists {
 			inside := dsi.Within(list, ctx)
 			if st.Desc {
 				out = append(out, inside...)
@@ -293,10 +353,13 @@ func (e *exec) filterCertain(cands []dsi.Interval, preds []wire.QPred) []dsi.Int
 // the (independent) per-candidate evaluations out across the query's
 // worker pool. Workers only fill their own keep slot; the compaction
 // happens in candidate order, so the survivors are exactly those of
-// the sequential loop.
+// the sequential loop. The survivors are compacted into the front of
+// cands — every caller owns its candidate buffer (matchFirst and
+// matchChain pass their own scratch), so filtering in place is safe
+// and the cold path stays allocation-free here.
 func (e *exec) filterPred(cands []dsi.Interval, p wire.QPred, upper bool) []dsi.Interval {
 	if len(cands) < parallelThreshold {
-		var kept []dsi.Interval
+		kept := cands[:0]
 		for _, iv := range cands {
 			if e.evalPred(iv, p, upper) {
 				kept = append(kept, iv)
@@ -308,7 +371,7 @@ func (e *exec) filterPred(cands []dsi.Interval, p wire.QPred, upper bool) []dsi.
 	parallelFor(e.pool, len(cands), func(i int) {
 		keep[i] = e.evalPred(cands[i], p, upper)
 	})
-	var kept []dsi.Interval
+	kept := cands[:0]
 	for i, iv := range cands {
 		if keep[i] {
 			kept = append(kept, iv)

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/authtree"
 	"repro/internal/btree"
@@ -38,26 +39,44 @@ import (
 // possible OPESS band (the top byte of an index key).
 const numBands = 256
 
+// fragBufPool recycles the scratch buffer fragments serialize into;
+// the fragment bytes themselves are copied out exact-size, since the
+// answer retains them indefinitely (pooled-buffer aliasing rule: a
+// pooled buffer's bytes never outlive the function that got it).
+var fragBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// fragBufCap bounds the capacity a pooled fragment buffer may retain;
+// one oversized fragment must not pin megabytes in the pool.
+const fragBufCap = 1 << 20
+
 // SerializeFragment produces the canonical answer bytes for a
 // residue node: the serialized subtree, with an attribute node
 // wrapped so it can stand alone. The server uses it to assemble
 // answers and both sides use it to build fragment leaves, so the
-// committed bytes are exactly the shipped bytes.
+// committed bytes are exactly the shipped bytes. The subtree is
+// serialized in place — no clone, no Document wrapper — which the
+// assemble stage of every cold query leans on.
 func SerializeFragment(n *xmltree.Node) ([]byte, error) {
-	var m *xmltree.Node
+	m := n
 	if n.Kind == xmltree.Attribute {
 		m = xmltree.NewElement(AttrWrapTag)
 		m.AppendChild(xmltree.NewAttribute("name", n.Tag))
 		m.AppendChild(xmltree.NewText(n.Value))
-	} else {
-		m = n.Clone()
-		m.Parent = nil
 	}
-	var buf bytes.Buffer
-	if err := xmltree.NewDocument(m).Serialize(&buf, false); err != nil {
+	buf := fragBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	err := xmltree.SerializeSubtree(buf, m)
+	var out []byte
+	if err == nil {
+		out = append(make([]byte, 0, buf.Len()), buf.Bytes()...)
+	}
+	if buf.Cap() <= fragBufCap {
+		fragBufPool.Put(buf)
+	}
+	if err != nil {
 		return nil, fmt.Errorf("wire: serialize fragment: %w", err)
 	}
-	return buf.Bytes(), nil
+	return out, nil
 }
 
 // Leaf data constructors. The one-byte domain tag keeps a block leaf
@@ -89,7 +108,7 @@ func bandLeafData(band uint8, entries []btree.Entry) []byte {
 }
 
 func structLeafData(h *HostedDB) []byte {
-	w := &writer{}
+	w := getWriter()
 	w.buf.WriteByte('S')
 	w.string(h.Residue.String())
 	labels := make([]string, 0, len(h.Table.ByTag))
@@ -111,7 +130,7 @@ func structLeafData(h *HostedDB) []byte {
 		w.f64(iv.Lo)
 		w.f64(iv.Hi)
 	}
-	return w.buf.Bytes()
+	return w.finish()
 }
 
 func appendU64(b []byte, v uint64) []byte {

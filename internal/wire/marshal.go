@@ -19,6 +19,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/btree"
 	"repro/internal/dsi"
@@ -43,6 +44,31 @@ var (
 type writer struct {
 	buf bytes.Buffer
 	tmp [binary.MaxVarintLen64]byte
+}
+
+// writerPool recycles marshal buffers across frames. Aliasing rule:
+// finish() copies the encoded bytes out exact-size before the buffer
+// is pooled again, so no returned frame ever aliases pool memory.
+var writerPool = sync.Pool{New: func() any { return new(writer) }}
+
+// writerMaxCap bounds the capacity a pooled writer may retain; a
+// one-off giant frame (a whole hosted DB) must not pin its buffer.
+const writerMaxCap = 4 << 20
+
+func getWriter() *writer {
+	w := writerPool.Get().(*writer)
+	w.buf.Reset()
+	return w
+}
+
+// finish returns the encoded frame as an exactly-sized fresh slice
+// and recycles the writer.
+func (w *writer) finish() []byte {
+	out := append(make([]byte, 0, w.buf.Len()), w.buf.Bytes()...)
+	if w.buf.Cap() <= writerMaxCap {
+		writerPool.Put(w)
+	}
+	return out
 }
 
 func (w *writer) uvarint(v uint64) {
@@ -141,7 +167,7 @@ func expectMagic(r *bytes.Reader, magic []byte) error {
 
 // MarshalDB serializes a hosted database.
 func MarshalDB(h *HostedDB) ([]byte, error) {
-	w := &writer{}
+	w := getWriter()
 	w.buf.Write(dbMagic)
 
 	// Residue: serialized XML plus, per residue element/attribute in
@@ -198,7 +224,7 @@ func MarshalDB(h *HostedDB) ([]byte, error) {
 		w.u64(e.Key)
 		w.uvarint(uint64(e.BlockID))
 	}
-	return w.buf.Bytes(), nil
+	return w.finish(), nil
 }
 
 // UnmarshalDB reverses MarshalDB.
@@ -325,7 +351,7 @@ const (
 // MarshalQuery serializes a translated query. Queries that do not
 // request a proof encode to the legacy SXQ1 bytes unchanged.
 func MarshalQuery(q *Query) ([]byte, error) {
-	w := &writer{}
+	w := getWriter()
 	if q.WantProof {
 		w.buf.Write(queryMagicV2)
 		w.bool(q.WantProof)
@@ -335,7 +361,7 @@ func MarshalQuery(q *Query) ([]byte, error) {
 	if err := writeSteps(w, q.First); err != nil {
 		return nil, err
 	}
-	return w.buf.Bytes(), nil
+	return w.finish(), nil
 }
 
 func writeSteps(w *writer, first *QStep) error {
@@ -579,7 +605,7 @@ func readPred(r *reader) (QPred, error) {
 // selects SXA3, a bare proof SXA2, and an answer with neither
 // encodes to the legacy SXA1 bytes unchanged.
 func MarshalAnswer(a *Answer) ([]byte, error) {
-	w := &writer{}
+	w := getWriter()
 	switch {
 	case a.Epoch != 0 || a.Generation != 0:
 		w.buf.Write(answerMagicV3)
@@ -601,7 +627,7 @@ func MarshalAnswer(a *Answer) ([]byte, error) {
 		w.uvarint(uint64(id))
 		w.bytes(a.Blocks[i])
 	}
-	return w.buf.Bytes(), nil
+	return w.finish(), nil
 }
 
 // UnmarshalAnswer reverses MarshalAnswer; SXA1, SXA2 and SXA3

@@ -62,7 +62,7 @@ const maxProofSiblings = 1 << 20
 
 // MarshalAnswerProof serializes an answer proof.
 func MarshalAnswerProof(p *AnswerProof) ([]byte, error) {
-	w := &writer{}
+	w := getWriter()
 	w.buf.Write(answerProofMagic)
 	w.uvarint(uint64(len(p.Frags)))
 	for _, f := range p.Frags {
@@ -71,7 +71,7 @@ func MarshalAnswerProof(p *AnswerProof) ([]byte, error) {
 		w.f64(f.Hi)
 	}
 	writeDigests(w, p.Siblings)
-	return w.buf.Bytes(), nil
+	return w.finish(), nil
 }
 
 // UnmarshalAnswerProof reverses MarshalAnswerProof.
@@ -111,7 +111,7 @@ func UnmarshalAnswerProof(data []byte) (*AnswerProof, error) {
 
 // MarshalExtremeProof serializes an extreme proof.
 func MarshalExtremeProof(p *ExtremeProof) ([]byte, error) {
-	w := &writer{}
+	w := getWriter()
 	w.buf.Write(extremeProofMagic)
 	w.bool(p.Found)
 	w.uvarint(uint64(p.BlockID))
@@ -125,7 +125,7 @@ func MarshalExtremeProof(p *ExtremeProof) ([]byte, error) {
 		}
 	}
 	writeDigests(w, p.Siblings)
-	return w.buf.Bytes(), nil
+	return w.finish(), nil
 }
 
 // UnmarshalExtremeProof reverses MarshalExtremeProof.

@@ -58,7 +58,7 @@ var (
 
 // MarshalUpdate serializes an update.
 func MarshalUpdate(u *Update) ([]byte, error) {
-	w := &writer{}
+	w := getWriter()
 	if len(u.NewRoot) > 0 {
 		w.buf.Write(updateMagicV3)
 	} else {
@@ -82,7 +82,7 @@ func MarshalUpdate(u *Update) ([]byte, error) {
 	if len(u.NewRoot) > 0 {
 		w.bytes(u.NewRoot)
 	}
-	return w.buf.Bytes(), nil
+	return w.finish(), nil
 }
 
 // UnmarshalUpdate reverses MarshalUpdate. Both format versions are

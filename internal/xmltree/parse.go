@@ -103,6 +103,18 @@ func (d *Document) Serialize(w io.Writer, indent bool) error {
 	return bw.err
 }
 
+// SerializeSubtree writes the compact XML serialization of the
+// subtree rooted at n — byte-identical to wrapping n in a Document
+// and calling Serialize(w, false), but without cloning, renumbering,
+// or reading any state outside the subtree. This is the hot path for
+// answer fragments: the serializer walks Children in place and never
+// allocates per node.
+func SerializeSubtree(w io.Writer, n *Node) error {
+	bw := &errWriter{w: w}
+	writeNode(bw, n, 0, false)
+	return bw.err
+}
+
 // String returns the compact XML serialization of the document.
 func (d *Document) String() string {
 	var sb strings.Builder
@@ -136,14 +148,35 @@ func (ew *errWriter) WriteString(s string) {
 	_, ew.err = io.WriteString(ew.w, s)
 }
 
-func writeNode(w *errWriter, n *Node, depth int, indent bool) {
-	pad := ""
-	if indent {
-		pad = strings.Repeat("  ", depth)
+// WriteEscaped streams the replaced form of s directly into the
+// writer, skipping the Replacer's intermediate string when s needs
+// any escaping at all.
+func (ew *errWriter) WriteEscaped(r *strings.Replacer, s string) {
+	if ew.err != nil {
+		return
 	}
+	_, ew.err = r.WriteString(ew.w, s)
+}
+
+// pad writes depth levels of two-space indentation.
+func (ew *errWriter) pad(depth int, indent bool) {
+	if !indent {
+		return
+	}
+	for i := 0; i < depth; i++ {
+		ew.WriteString("  ")
+	}
+}
+
+// writeNode emits one node. It iterates Children in place instead of
+// materializing Attributes()/ElementChildren() slices and writes tag
+// pieces separately instead of concatenating — the serializer runs
+// once per answer fragment on the cold query path, so it must not
+// allocate per node.
+func writeNode(w *errWriter, n *Node, depth int, indent bool) {
 	switch n.Kind {
 	case Text:
-		w.WriteString(escapeText(n.Value))
+		w.WriteEscaped(textEscaper, n.Value)
 		return
 	case Attribute:
 		// Attributes are emitted by their parent element.
@@ -152,29 +185,51 @@ func writeNode(w *errWriter, n *Node, depth int, indent bool) {
 	if indent && depth > 0 {
 		w.WriteString("\n")
 	}
-	w.WriteString(pad + "<" + n.Tag)
-	for _, a := range n.Attributes() {
-		w.WriteString(" " + a.Tag + `="` + escapeAttr(a.Value) + `"`)
+	w.pad(depth, indent)
+	w.WriteString("<")
+	w.WriteString(n.Tag)
+	for _, a := range n.Children {
+		if a.Kind != Attribute {
+			continue
+		}
+		w.WriteString(" ")
+		w.WriteString(a.Tag)
+		w.WriteString(`="`)
+		w.WriteEscaped(attrEscaper, a.Value)
+		w.WriteString(`"`)
 	}
-	elems := n.ElementChildren()
+	hasElem := false
+	for _, c := range n.Children {
+		if c.Kind == Element {
+			hasElem = true
+			break
+		}
+	}
 	text := n.LeafValue()
-	if len(elems) == 0 && text == "" {
+	if !hasElem && text == "" {
 		w.WriteString("/>")
 		return
 	}
 	w.WriteString(">")
-	if len(elems) == 0 {
-		w.WriteString(escapeText(text))
-		w.WriteString("</" + n.Tag + ">")
+	if !hasElem {
+		w.WriteEscaped(textEscaper, text)
+		w.WriteString("</")
+		w.WriteString(n.Tag)
+		w.WriteString(">")
 		return
 	}
-	for _, c := range elems {
-		writeNode(w, c, depth+1, indent)
+	for _, c := range n.Children {
+		if c.Kind == Element {
+			writeNode(w, c, depth+1, indent)
+		}
 	}
 	if indent {
-		w.WriteString("\n" + pad)
+		w.WriteString("\n")
+		w.pad(depth, indent)
 	}
-	w.WriteString("</" + n.Tag + ">")
+	w.WriteString("</")
+	w.WriteString(n.Tag)
+	w.WriteString(">")
 }
 
 var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")

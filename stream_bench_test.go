@@ -1,0 +1,202 @@
+package repro
+
+// Streaming-vs-envelope round-trip benchmarks over a real HTTP
+// transport. Each benchmark runs the same workload against the same
+// server twice — once with the client negotiating chunked SXS1
+// streaming, once pinned to the monolithic SXA envelope — and
+// records the latency ratio. TestMain folds the rows into
+// BENCH_alloc.json (stream section) when SECXML_BENCH_ALLOC_JSON is
+// set. The acceptance bar: streaming at or below envelope latency on
+// large answers, no regression on small ones.
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/remote"
+	"repro/internal/xmltree"
+)
+
+// streamRow is one streaming-vs-envelope measurement for the JSON
+// report.
+type streamRow struct {
+	Benchmark       string  `json:"benchmark"`
+	AnswerBytes     int     `json:"answer_bytes"`
+	EnvelopeNsPerOp float64 `json:"envelope_ns_per_op"`
+	StreamNsPerOp   float64 `json:"stream_ns_per_op"`
+	StreamRatio     float64 `json:"stream_over_envelope"`
+}
+
+var (
+	streamRowsMu sync.Mutex
+	streamRows   []streamRow
+)
+
+// recordStreamRow keeps one row per benchmark, last run wins.
+func recordStreamRow(row streamRow) {
+	streamRowsMu.Lock()
+	defer streamRowsMu.Unlock()
+	for i := range streamRows {
+		if streamRows[i].Benchmark == row.Benchmark {
+			streamRows[i] = row
+			return
+		}
+	}
+	streamRows = append(streamRows, row)
+}
+
+// streamRowsSnapshot copies the collected rows for the report.
+func streamRowsSnapshot() []streamRow {
+	streamRowsMu.Lock()
+	defer streamRowsMu.Unlock()
+	return append([]streamRow(nil), streamRows...)
+}
+
+// streamBench is one hosted system behind a real HTTP server with a
+// streaming-negotiating client and an envelope-only client pointed at
+// it. Cached per cutoff so the harness's b.N calibration reruns don't
+// re-host the document.
+type streamBench struct {
+	sys    *core.System
+	doc    *xmltree.Document
+	stream *remote.Client
+	env    *remote.Client
+}
+
+var (
+	streamBenchMu  sync.Mutex
+	streamBenches  = map[int]*streamBench{}
+	streamBenchErr error
+)
+
+// streamBenchBytes sizes the hosted document; the broad query's
+// answer is on the same order, far above the streaming cutoff.
+const streamBenchBytes = 2_000_000
+
+func streamBenchSetup(b *testing.B, cutoff int) *streamBench {
+	b.Helper()
+	streamBenchMu.Lock()
+	defer streamBenchMu.Unlock()
+	if streamBenchErr != nil {
+		b.Fatal(streamBenchErr)
+	}
+	if sb, ok := streamBenches[cutoff]; ok {
+		return sb
+	}
+	fail := func(err error) *streamBench {
+		streamBenchErr = err
+		b.Fatal(err)
+		return nil
+	}
+	doc := datagen.NASAToSize(streamBenchBytes, 11)
+	sys, err := core.Host(doc, datagen.NASASCs(), core.SchemeOpt, []byte("bench-stream"))
+	if err != nil {
+		return fail(err)
+	}
+	svc := remote.NewService().WithStreamCutoff(cutoff)
+	if err := remote.RegisterLocal(svc, "bench", sys.HostedDB); err != nil {
+		return fail(err)
+	}
+	ts := httptest.NewServer(svc) // lives for the process; benchmarks only
+	sb := &streamBench{
+		sys:    sys,
+		doc:    doc,
+		stream: remote.Dial(ts.URL, "bench").WithHTTPClient(ts.Client()).WithStreaming(true),
+		env:    remote.Dial(ts.URL, "bench").WithHTTPClient(ts.Client()),
+	}
+	streamBenches[cutoff] = sb
+	return sb
+}
+
+// smallQuery returns a query matching one concrete dataset (by its
+// first altname), so the answer is a few KB — well under the default
+// streaming cutoff.
+func (sb *streamBench) smallQuery() string {
+	for _, n := range sb.doc.Nodes() {
+		if n.Tag == "altname" {
+			return "//dataset[altname='" + n.LeafValue() + "']"
+		}
+	}
+	return "//dataset"
+}
+
+// run executes the query n times through cl and returns the wall time
+// and the last Timings.
+func (sb *streamBench) run(b *testing.B, cl *remote.Client, q string, n int) (time.Duration, core.Timings) {
+	b.Helper()
+	sb.sys.UseBackend(cl)
+	var tm core.Timings
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		var err error
+		if _, _, tm, err = sb.sys.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return time.Since(start), tm
+}
+
+// benchStreamVsEnvelope drives one (cutoff, query) configuration: the
+// harness-visible pass runs the streaming-negotiating client, then a
+// fixed-N manual pass of each client records the comparison row.
+func benchStreamVsEnvelope(b *testing.B, name string, cutoff int, q string, wantStreamed bool) {
+	sb := streamBenchSetup(b, cutoff)
+	// Warm both paths once and pin the negotiation outcome — a
+	// mis-negotiated benchmark would silently compare a path against
+	// itself.
+	_, tmEnv := sb.run(b, sb.env, q, 1)
+	if tmEnv.Streamed {
+		b.Fatalf("envelope client streamed")
+	}
+	_, tmStream := sb.run(b, sb.stream, q, 1)
+	if tmStream.Streamed != wantStreamed {
+		b.Fatalf("streamed = %v, want %v (answer %d bytes, cutoff %d)",
+			tmStream.Streamed, wantStreamed, tmStream.AnswerBytes, cutoff)
+	}
+	b.SetBytes(int64(tmEnv.AnswerBytes))
+	b.ResetTimer()
+	sb.run(b, sb.stream, q, b.N)
+	b.StopTimer()
+	defer b.StartTimer()
+	const measureN = 8
+	envDur, _ := sb.run(b, sb.env, q, measureN)
+	streamDur, _ := sb.run(b, sb.stream, q, measureN)
+	row := streamRow{
+		Benchmark:       name,
+		AnswerBytes:     tmEnv.AnswerBytes,
+		EnvelopeNsPerOp: float64(envDur.Nanoseconds()) / measureN,
+		StreamNsPerOp:   float64(streamDur.Nanoseconds()) / measureN,
+	}
+	if row.EnvelopeNsPerOp > 0 {
+		row.StreamRatio = row.StreamNsPerOp / row.EnvelopeNsPerOp
+	}
+	recordStreamRow(row)
+}
+
+// BenchmarkStreamLargeAnswer: a broad query whose multi-megabyte
+// answer is far above the default cutoff, so the negotiated path
+// streams — the case the chunked pipeline exists for.
+func BenchmarkStreamLargeAnswer(b *testing.B) {
+	benchStreamVsEnvelope(b, "StreamLargeAnswer", 0, "//dataset", true)
+}
+
+// BenchmarkStreamSmallAnswer: a selective query under the default
+// cutoff. The streaming client negotiates but the server declines, so
+// both clients take the envelope path — this row pins the negotiation
+// overhead on small answers at ~zero.
+func BenchmarkStreamSmallAnswer(b *testing.B) {
+	sb := streamBenchSetup(b, 0)
+	benchStreamVsEnvelope(b, "StreamSmallAnswer", 0, sb.smallQuery(), false)
+}
+
+// BenchmarkStreamSmallForced: the same selective query with the
+// cutoff forced to 1 byte, so the small answer streams anyway — the
+// worst case for framing overhead, recorded for the report.
+func BenchmarkStreamSmallForced(b *testing.B) {
+	sb := streamBenchSetup(b, 1)
+	benchStreamVsEnvelope(b, "StreamSmallForced", 1, sb.smallQuery(), true)
+}
