@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos tamper fuzz fuzz-smoke difftest bench bench-parallel bench-cache bench-alloc alloc-guard cache-stress soak soak-short soak-stream soak-stream-short profile fmt
+.PHONY: check vet build test race chaos tamper fuzz fuzz-smoke difftest bench bench-parallel bench-cache bench-alloc alloc-guard cache-stress powercut soak soak-short soak-stream soak-stream-short profile fmt
 
-check: vet build race tamper fuzz-smoke cache-stress bench-cache soak-short soak-stream-short
+check: vet build race tamper fuzz-smoke cache-stress bench-cache powercut soak-short soak-stream-short
 
 vet:
 	$(GO) vet ./...
@@ -40,10 +40,12 @@ fuzz:
 	$(GO) test ./internal/wire/ -fuzz FuzzDecodeStream -fuzztime 20s
 
 # Quick fuzz pass over the two text parsers (query strings and SC
-# specs are operator input); part of `check`.
+# specs are operator input) plus the WAL record decoder (crash-torn
+# frames are hostile input to recovery); part of `check`.
 fuzz-smoke:
 	$(GO) test ./internal/xpath/ -fuzz FuzzParseXPath -fuzztime 10s
 	$(GO) test ./internal/sc/ -fuzz FuzzParseSC -fuzztime 10s
+	$(GO) test ./internal/walog/ -fuzz FuzzDecodeWALRecord -fuzztime 10s
 
 # Open-ended differential fuzzing: encrypted pipeline vs plaintext
 # evaluator on randomized documents/SCs/queries under every scheme.
@@ -84,6 +86,15 @@ alloc-guard:
 cache-stress:
 	$(GO) test -race -run 'Cache|Generation|Stale' \
 		./internal/core/ ./internal/server/ ./internal/client/ ./internal/remote/ ./internal/gencache/
+
+# The powercut soak: POWERCUT_CYCLES kill/recover cycles against the
+# durable store on a fault-injecting filesystem with torn tails,
+# under -race. Every cycle asserts zero acknowledged-update loss and
+# zero unverifiable serves; any quarantine fails. Part of `check`.
+POWERCUT_CYCLES ?= 200
+powercut:
+	POWERCUT_CYCLES=$(POWERCUT_CYCLES) \
+		$(GO) test -race -count=1 -run TestPowercutSoak ./internal/remote/
 
 # Long differential soak with caches on and updates interleaved
 # between query rounds. SOAK_DURATION=10m reproduces the release

@@ -47,6 +47,8 @@ func main() {
 	grace := flag.Duration("shutdown-grace", 15*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
 	pprofOn := flag.Bool("pprof", true, "serve net/http/pprof profiles at /debug/pprof/ (CPU profiles longer than -write-timeout are cut off)")
 	streamCutoff := flag.Int("stream-cutoff", 0, "min answer bytes before chunked streaming to negotiating clients (0 = 64 KiB default, negative disables)")
+	walGroupWait := flag.Duration("wal-group-wait", 0, "group-commit window: how long a WAL fsync waits to absorb concurrent updates (0 = sync immediately)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "updates between full checkpoints truncating the WAL (0 = default 64)")
 	chaosRate := flag.Float64("chaos", 0, "inject faults (latency/5xx/truncation) at this rate per request — testing only")
 	chaosSeed := flag.Int64("chaos-seed", 1, "deterministic seed for -chaos")
 	demo := flag.String("demo", "", "optional XML file to encrypt and pre-host")
@@ -60,16 +62,28 @@ func main() {
 	var svc *remote.Service
 	if *dataDir != "" {
 		var err error
-		svc, err = remote.NewPersistentService(*dataDir)
+		svc, err = remote.NewPersistentServiceOpts(*dataDir, remote.PersistOptions{
+			WALGroupWait:    *walGroupWait,
+			CheckpointEvery: *checkpointEvery,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		// Corrupt files are set aside, not fatal — but the operator
+		// Corrupt databases are set aside, not fatal — but the operator
 		// must know: a quarantined database answers 404 until it is
 		// re-uploaded or restored.
 		for _, q := range svc.Quarantined() {
 			log.Printf("xserve: quarantined %s -> %s (%s)", q.File, q.Moved, q.Reason)
 		}
+		// What recovery did, per database: replayed WAL records mean
+		// the previous incarnation died between checkpoints (a crash,
+		// not a clean stop); a torn tail is the normal signature of
+		// dying mid-append.
+		for name, rec := range svc.Recoveries() {
+			log.Printf("xserve: recovered %q: gen %d -> %d (%d wal records replayed, tornTail=%v, rootChecked=%v)",
+				name, rec.SnapshotGen, rec.RecoveredGen, rec.Replayed, rec.TornTail, rec.RootChecked)
+		}
+		defer svc.Close()
 	} else {
 		svc = remote.NewService()
 	}

@@ -1,0 +1,256 @@
+// Package blockstore stores ciphertext blocks by ID — the per-block
+// half of the durable-storage split (ROADMAP item 3). The hosted
+// database's big immutable pieces (residue, DSI tables, index
+// metadata) live in the snapshot file; the blocks, which updates
+// rewrite piecemeal, live here so a checkpoint rewrites only what
+// changed instead of the whole multi-megabyte upload.
+//
+// The file-backed store keeps one CRC-framed file per block and
+// replaces it atomically (tmp + fsync + rename + dir fsync), so a
+// crash leaves either the old block or the new one, never a tear —
+// and a torn tmp file is swept on open. A flipped bit inside a block
+// file fails the CRC on read and surfaces as ErrCorruptBlock, the
+// signal the recovery manager turns into a quarantine.
+package blockstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/faultfs"
+)
+
+// Store is get/put/delete of ciphertext blocks by ID.
+type Store interface {
+	// Get returns the block's ciphertext; os.ErrNotExist if absent,
+	// ErrCorruptBlock if present but damaged.
+	Get(id int) ([]byte, error)
+	// Put durably replaces one block.
+	Put(id int, ct []byte) error
+	// PutBatch durably replaces several blocks with one directory
+	// fsync amortized over the batch.
+	PutBatch(blocks map[int][]byte) error
+	// Delete removes a block; deleting an absent block is not an error.
+	Delete(id int) error
+	// LoadAll reads every stored block. Damage in any block fails the
+	// whole load with ErrCorruptBlock (wrapped with the block ID).
+	LoadAll() (map[int][]byte, error)
+}
+
+// ErrCorruptBlock means a block file's framing or checksum is
+// invalid: disk damage, not a crash artifact (atomic replacement
+// never leaves a torn committed block).
+var ErrCorruptBlock = errors.New("blockstore: block corrupt")
+
+var (
+	blkMagic = []byte("SXBK")
+	crcTable = crc32.MakeTable(crc32.Castagnoli)
+)
+
+const (
+	blkExt    = ".sxb"
+	tmpSuffix = ".tmp"
+	blkHeader = 8 // magic + crc32
+)
+
+// Files is the file-backed Store.
+type Files struct {
+	dir string
+	fs  faultfs.FS
+}
+
+// Open prepares dir as a block store, creating it if needed and
+// sweeping tmp files a crash left behind (they were never renamed
+// into place, so they are not part of any committed state).
+func Open(dir string, fs faultfs.FS) (*Files, error) {
+	if fs == nil {
+		fs = faultfs.OS{}
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("blockstore: mkdir: %w", err)
+	}
+	ents, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("blockstore: scan: %w", err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), tmpSuffix) {
+			if err := fs.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return nil, fmt.Errorf("blockstore: sweep tmp: %w", err)
+			}
+		}
+	}
+	return &Files{dir: dir, fs: fs}, nil
+}
+
+func blkName(id int) string { return fmt.Sprintf("blk-%08d%s", id, blkExt) }
+
+func parseBlkName(name string) (int, bool) {
+	if !strings.HasPrefix(name, "blk-") || !strings.HasSuffix(name, blkExt) {
+		return 0, false
+	}
+	var id int
+	if _, err := fmt.Sscanf(name, "blk-%08d.sxb", &id); err != nil || id < 0 {
+		return 0, false
+	}
+	return id, true
+}
+
+func frame(ct []byte) []byte {
+	out := make([]byte, blkHeader+len(ct))
+	copy(out, blkMagic)
+	binary.LittleEndian.PutUint32(out[4:], crc32.Checksum(ct, crcTable))
+	copy(out[blkHeader:], ct)
+	return out
+}
+
+func unframe(id int, data []byte) ([]byte, error) {
+	if len(data) < blkHeader || string(data[:4]) != string(blkMagic) {
+		return nil, fmt.Errorf("%w: block %d: bad framing", ErrCorruptBlock, id)
+	}
+	ct := data[blkHeader:]
+	if crc32.Checksum(ct, crcTable) != binary.LittleEndian.Uint32(data[4:]) {
+		return nil, fmt.Errorf("%w: block %d: checksum mismatch", ErrCorruptBlock, id)
+	}
+	return ct, nil
+}
+
+func (s *Files) Get(id int) ([]byte, error) {
+	data, err := s.fs.ReadFile(filepath.Join(s.dir, blkName(id)))
+	if err != nil {
+		return nil, err
+	}
+	return unframe(id, data)
+}
+
+// writeTmp writes and fsyncs the block's tmp file, leaving the
+// rename to the caller.
+func (s *Files) writeTmp(id int, ct []byte) (string, error) {
+	tmp := filepath.Join(s.dir, blkName(id)+tmpSuffix)
+	f, err := s.fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", fmt.Errorf("blockstore: block %d: %w", id, err)
+	}
+	if _, err := f.Write(frame(ct)); err != nil {
+		f.Close()
+		return "", fmt.Errorf("blockstore: block %d: %w", id, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return "", fmt.Errorf("blockstore: block %d: sync: %w", id, err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("blockstore: block %d: close: %w", id, err)
+	}
+	return tmp, nil
+}
+
+func (s *Files) Put(id int, ct []byte) error {
+	return s.PutBatch(map[int][]byte{id: ct})
+}
+
+func (s *Files) PutBatch(blocks map[int][]byte) error {
+	if len(blocks) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(blocks))
+	for id := range blocks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	// Stage every block durably, then rename them all, then one
+	// directory fsync commits the batch. A crash mid-batch leaves a
+	// mix of old and new blocks — safe, because the caller's WAL
+	// replay rewrites every block the interrupted checkpoint touched.
+	for _, id := range ids {
+		tmp, err := s.writeTmp(id, blocks[id])
+		if err != nil {
+			return err
+		}
+		if err := s.fs.Rename(tmp, filepath.Join(s.dir, blkName(id))); err != nil {
+			return fmt.Errorf("blockstore: block %d: rename: %w", id, err)
+		}
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("blockstore: commit batch: %w", err)
+	}
+	return nil
+}
+
+func (s *Files) Delete(id int) error {
+	err := s.fs.Remove(filepath.Join(s.dir, blkName(id)))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("blockstore: delete %d: %w", id, err)
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("blockstore: delete %d: %w", id, err)
+	}
+	return nil
+}
+
+func (s *Files) LoadAll() (map[int][]byte, error) {
+	ents, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("blockstore: scan: %w", err)
+	}
+	out := map[int][]byte{}
+	for _, e := range ents {
+		id, ok := parseBlkName(e.Name())
+		if !ok {
+			continue
+		}
+		ct, err := s.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		out[id] = ct
+	}
+	return out, nil
+}
+
+// Mem is an in-memory Store for tests. Not safe for concurrent use.
+type Mem struct {
+	blocks map[int][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{blocks: map[int][]byte{}} }
+
+func (m *Mem) Get(id int) ([]byte, error) {
+	ct, ok := m.blocks[id]
+	if !ok {
+		return nil, os.ErrNotExist
+	}
+	return ct, nil
+}
+
+func (m *Mem) Put(id int, ct []byte) error {
+	m.blocks[id] = append([]byte(nil), ct...)
+	return nil
+}
+
+func (m *Mem) PutBatch(blocks map[int][]byte) error {
+	for id, ct := range blocks {
+		m.Put(id, ct)
+	}
+	return nil
+}
+
+func (m *Mem) Delete(id int) error {
+	delete(m.blocks, id)
+	return nil
+}
+
+func (m *Mem) LoadAll() (map[int][]byte, error) {
+	out := make(map[int][]byte, len(m.blocks))
+	for id, ct := range m.blocks {
+		out[id] = append([]byte(nil), ct...)
+	}
+	return out, nil
+}

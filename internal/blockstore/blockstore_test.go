@@ -1,0 +1,182 @@
+package blockstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultfs"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(3, []byte("ciphertext")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(3)
+	if err != nil || string(got) != "ciphertext" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if _, err := s.Get(4); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing block err = %v", err)
+	}
+}
+
+func TestPutBatchAndLoadAll(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, nil)
+	want := map[int][]byte{0: []byte("a"), 7: []byte("bb"), 42: []byte("ccc")}
+	if err := s.PutBatch(want); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: LoadAll must see exactly the batch.
+	s2, _ := Open(dir, nil)
+	got, err := s2.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("LoadAll = %d blocks, want %d", len(got), len(want))
+	}
+	for id, ct := range want {
+		if string(got[id]) != string(ct) {
+			t.Fatalf("block %d = %q, want %q", id, got[id], ct)
+		}
+	}
+}
+
+func TestOverwriteReplacesBlock(t *testing.T) {
+	s, _ := Open(t.TempDir(), nil)
+	s.Put(1, []byte("old"))
+	s.Put(1, []byte("new"))
+	got, _ := s.Get(1)
+	if string(got) != "new" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s, _ := Open(t.TempDir(), nil)
+	s.Put(1, []byte("x"))
+	if err := s.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(1); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("after delete: %v", err)
+	}
+	// Deleting an absent block is fine.
+	if err := s.Delete(99); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitFlipDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, nil)
+	s.Put(5, []byte("precious ciphertext"))
+	path := filepath.Join(dir, blkName(5))
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0x01
+	os.WriteFile(path, data, 0o644)
+
+	if _, err := s.Get(5); !errors.Is(err, ErrCorruptBlock) {
+		t.Fatalf("flipped bit not detected: %v", err)
+	}
+	if _, err := s.LoadAll(); !errors.Is(err, ErrCorruptBlock) {
+		t.Fatalf("LoadAll over damage: %v", err)
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, nil)
+	s.Put(5, []byte("precious ciphertext"))
+	path := filepath.Join(dir, blkName(5))
+	data, _ := os.ReadFile(path)
+	os.WriteFile(path, data[:len(data)-4], 0o644)
+	if _, err := s.Get(5); !errors.Is(err, ErrCorruptBlock) {
+		t.Fatalf("truncation not detected: %v", err)
+	}
+}
+
+func TestOpenSweepsTornTmp(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, nil)
+	s.Put(1, []byte("committed"))
+	// A crash mid-Put leaves a torn tmp behind.
+	tmp := filepath.Join(dir, blkName(2)+tmpSuffix)
+	os.WriteFile(tmp, []byte("half a blo"), 0o644)
+
+	s2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("tmp not swept on open")
+	}
+	got, err := s2.LoadAll()
+	if err != nil || len(got) != 1 || string(got[1]) != "committed" {
+		t.Fatalf("LoadAll after sweep = %v, %v", got, err)
+	}
+}
+
+func TestCrashMidPutKeepsOldBlock(t *testing.T) {
+	dir := t.TempDir()
+	fs := faultfs.NewFaulty(21)
+	s, err := Open(filepath.Join(dir, "blocks"), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, []byte("version one")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash during the replacement, before its directory fsync.
+	fs.CrashAfterWrites(10)
+	s.Put(1, []byte("version two — never committed"))
+	fs.Reopen()
+
+	s2, err := Open(filepath.Join(dir, "blocks"), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get(1)
+	if err != nil {
+		t.Fatalf("old block must survive torn replacement: %v", err)
+	}
+	if string(got) != "version one" {
+		t.Fatalf("got %q, want the committed version", got)
+	}
+}
+
+func TestENOSPCSurfacesTyped(t *testing.T) {
+	dir := t.TempDir()
+	fs := faultfs.NewFaulty(22)
+	s, _ := Open(filepath.Join(dir, "blocks"), fs)
+	fs.SetWriteBudget(4)
+	err := s.Put(1, make([]byte, 1024))
+	if err == nil {
+		t.Fatal("Put on full disk succeeded")
+	}
+	fs.SetWriteBudget(-1)
+	// The failed Put left no committed block.
+	if _, gerr := s.Get(1); !errors.Is(gerr, os.ErrNotExist) {
+		t.Fatalf("failed Put left state: %v", gerr)
+	}
+}
+
+func TestMemMirrorsFiles(t *testing.T) {
+	m := NewMem()
+	m.PutBatch(map[int][]byte{1: []byte("a"), 2: []byte("b")})
+	m.Delete(2)
+	got, _ := m.LoadAll()
+	if len(got) != 1 || string(got[1]) != "a" {
+		t.Fatalf("Mem = %v", got)
+	}
+	if _, err := m.Get(2); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("Mem.Get deleted = %v", err)
+	}
+}

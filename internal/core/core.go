@@ -154,6 +154,23 @@ type System struct {
 	// aggregate is verified against it before decryption, and updates
 	// advance it so freshness survives ApplyUpdate.
 	verifier *wire.AuthVerifier
+
+	// pending, when non-nil, is an update whose outcome is ambiguous:
+	// the send failed in a way that leaves the server possibly having
+	// applied it durably (lost acknowledgment) and possibly not. The
+	// client-side state is already rewritten, so the System refuses
+	// verified queries (the commitment may trail the server by one
+	// update) until Reconcile resends it under the same request ID —
+	// the server's dedup table makes the resend exact-once either way.
+	pending *pendingUpdate
+}
+
+// pendingUpdate is the stashed tail of an ambiguous update: the wire
+// frame to resend and the verifier state to promote once it lands.
+type pendingUpdate struct {
+	upd          *wire.Update
+	nextVerifier *wire.AuthVerifier
+	edits        int
 }
 
 // ProofBackend is the optional backend extension for verified
@@ -405,6 +422,13 @@ func (s *System) QueryPathContext(ctx context.Context, path *xpath.Path) ([]*xml
 // unexported so the lock is never taken recursively).
 func (s *System) queryPathLocked(ctx context.Context, path *xpath.Path) ([]*xmltree.Node, *xmltree.Document, Timings, error) {
 	var tm Timings
+	if s.pending != nil && s.verifier != nil {
+		// An ambiguous update is outstanding: the live verifier may be
+		// one root behind the server, so any verified answer could be
+		// rejected as tampered when it is merely fresher. Refuse until
+		// Reconcile settles which side of the update the server is on.
+		return nil, nil, tm, ErrUpdatePending
+	}
 	tm.ClientWorkers = s.Client.Parallelism()
 	if l, ok := s.Server.(Local); ok {
 		tm.ServerWorkers = l.S.Parallelism()

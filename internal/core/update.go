@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/btree"
@@ -9,6 +10,13 @@ import (
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
 )
+
+// ErrUpdatePending reports that an earlier update's outcome is
+// ambiguous — the backend failed in a way that may have lost only the
+// acknowledgment, not the update. The client state is already
+// rewritten, so further updates (and, with integrity enabled,
+// verified queries) are refused until Reconcile resolves it.
+var ErrUpdatePending = errors.New("core: an update with ambiguous outcome is pending; call Reconcile")
 
 // UpdateLeafValues sets the value of every leaf node selected by q
 // to newValue, re-encrypting the affected blocks and re-issuing the
@@ -35,10 +43,18 @@ func (s *System) UpdateLeafValuesContext(ctx context.Context, q string, newValue
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.pending != nil {
+		return 0, ErrUpdatePending
+	}
 	qs, err := s.Client.Translate(path)
 	if err != nil {
 		return 0, err
 	}
+	// The read half of the read-modify-write is verified like any
+	// query: a verifying transport (remote.WithVerifier) rejects
+	// proofless answers, and an update must not be computed from an
+	// answer the server could have forged.
+	qs.WantProof = s.verifier != nil
 	ans, err := s.Server.Execute(ctx, qs)
 	if err != nil {
 		return 0, err
@@ -126,9 +142,36 @@ func (s *System) UpdateLeafValuesContext(ctx context.Context, q string, newValue
 		upd.NewRoot = root[:]
 	}
 
+	// A zero request ID is assigned here (not left to the transport)
+	// so that if the send fails ambiguously, the stashed update and
+	// its eventual resend carry the same ID and the server's dedup
+	// table collapses them to one application.
+	if upd.RequestID == 0 {
+		upd.RequestID = wire.NewRequestID()
+	}
+
 	if err := s.Server.ApplyUpdate(ctx, upd); err != nil {
+		if ambiguousUpdateFailure(s.Server, err) {
+			// The server may hold (durably, or about to recover to)
+			// either side of this update, and the client tables above
+			// are already rewritten. Stash the frame: Reconcile resends
+			// it under the same request ID, which is correct in both
+			// worlds — a dedup ack if it landed, a fresh idempotent
+			// apply if it didn't.
+			s.pending = &pendingUpdate{upd: upd, nextVerifier: nextVerifier, edits: len(edits)}
+			return 0, errors.Join(err, ErrUpdatePending)
+		}
+		// Definite rejection: the server's state did not change.
 		return 0, err
 	}
+	s.commitUpdateLocked(upd, nextVerifier)
+	return len(edits), nil
+}
+
+// commitUpdateLocked finishes an acknowledged update: promote the
+// verifier clone, apply the mirror, drop stale answers. Caller holds
+// the exclusive lock.
+func (s *System) commitUpdateLocked(upd *wire.Update, nextVerifier *wire.AuthVerifier) {
 	if nextVerifier != nil {
 		// Advance in place: remote.WithVerifier shares this instance,
 		// so the transport sees the new root without re-wiring. Safe
@@ -141,7 +184,63 @@ func (s *System) UpdateLeafValuesContext(ctx context.Context, q string, newValue
 	if s.staleCache != nil {
 		s.staleCache.Clear()
 	}
-	return len(edits), nil
+}
+
+// ambiguousUpdateFailure reports whether an ApplyUpdate error leaves
+// the server's state in doubt. An in-process backend fails
+// atomically (the server reverts before returning), and a definitive
+// HTTP rejection (4xx: the update never applied) is equally final.
+// Everything else — transport failures, timeouts, 5xx (the server
+// applied in memory but could not make it durable) — may have lost
+// only the acknowledgment.
+func ambiguousUpdateFailure(b Backend, err error) bool {
+	if _, ok := b.(Local); ok {
+		return false
+	}
+	var t interface{ Temporary() bool }
+	if errors.As(err, &t) {
+		return t.Temporary()
+	}
+	return true
+}
+
+// Reconcile resolves a pending ambiguous update by resending it under
+// its original request ID: the server either acknowledges from its
+// dedup table (the update had landed; the ack was lost) or applies it
+// fresh (idempotently). On success the client commitment and mirror
+// advance and the System serves verified queries again; on another
+// ambiguous failure the update stays pending and Reconcile can be
+// called again. It reports the number of values the reconciled update
+// had changed. With nothing pending it returns (0, nil).
+func (s *System) Reconcile(ctx context.Context) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending == nil {
+		return 0, nil
+	}
+	p := s.pending
+	if err := s.Server.ApplyUpdate(ctx, p.upd); err != nil {
+		if ambiguousUpdateFailure(s.Server, err) {
+			return 0, errors.Join(err, ErrUpdatePending)
+		}
+		// A definite rejection of the resend: the server never held
+		// the update (a dedup ack would have been a 200). The pending
+		// state is unwound as far as possible — commitment and mirror
+		// stay at the pre-update state — and the caller decides
+		// whether to re-issue the whole edit.
+		s.pending = nil
+		return 0, err
+	}
+	s.commitUpdateLocked(p.upd, p.nextVerifier)
+	s.pending = nil
+	return p.edits, nil
+}
+
+// UpdatePending reports whether an ambiguous update awaits Reconcile.
+func (s *System) UpdatePending() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pending != nil
 }
 
 // blockOf walks the ancestor chain to the nearest decrypted block

@@ -1,0 +1,263 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func writeAll(t *testing.T, fs FS, path string, data []byte, sync bool) {
+	t.Helper()
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync %s: %v", path, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close %s: %v", path, err)
+	}
+}
+
+func TestUnsyncedDataLostAtCrash(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaulty(1)
+	fs.TornTails(false)
+	p := filepath.Join(dir, "a")
+
+	f, _ := fs.OpenFile(p, os.O_CREATE|os.O_WRONLY, 0o644)
+	f.Write([]byte("durable"))
+	f.Sync()
+	f.Write([]byte(" and lost"))
+	f.Close()
+	fs.SyncDir(dir)
+
+	fs.Crash()
+	fs.Reopen()
+	got, err := fs.ReadFile(p)
+	if err != nil {
+		t.Fatalf("read after crash: %v", err)
+	}
+	if string(got) != "durable" {
+		t.Fatalf("after crash got %q, want %q", got, "durable")
+	}
+}
+
+func TestTornTailKeepsPartialPrefix(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaulty(7) // torn tails on by default
+	p := filepath.Join(dir, "a")
+
+	f, _ := fs.OpenFile(p, os.O_CREATE|os.O_WRONLY, 0o644)
+	f.Write([]byte("SYNCED"))
+	f.Sync()
+	f.Write(make([]byte, 1024))
+	f.Close()
+	fs.SyncDir(dir)
+
+	fs.Crash()
+	fs.Reopen()
+	got, _ := fs.ReadFile(p)
+	if len(got) < 6 || len(got) > 6+1024 {
+		t.Fatalf("torn length %d out of range [6, 1030]", len(got))
+	}
+	if string(got[:6]) != "SYNCED" {
+		t.Fatalf("synced prefix damaged: %q", got[:6])
+	}
+}
+
+func TestUnsyncedDirEntryVanishes(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaulty(2)
+	p := filepath.Join(dir, "ghost")
+	writeAll(t, fs, p, []byte("x"), true) // file synced, dir NOT
+
+	fs.Crash()
+	fs.Reopen()
+	if _, err := fs.Stat(p); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("file without dir fsync should vanish at crash, stat err = %v", err)
+	}
+}
+
+func TestSyncedDirEntrySurvives(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaulty(3)
+	p := filepath.Join(dir, "kept")
+	writeAll(t, fs, p, []byte("x"), true)
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.Crash()
+	fs.Reopen()
+	if _, err := fs.Stat(p); err != nil {
+		t.Fatalf("dir-synced file lost at crash: %v", err)
+	}
+}
+
+func TestRenameUndoneWithoutDirSync(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaulty(4)
+	oldp, newp := filepath.Join(dir, "old"), filepath.Join(dir, "new")
+	writeAll(t, fs, oldp, []byte("payload"), true)
+	fs.SyncDir(dir)
+	writeAll(t, fs, newp, []byte("previous"), true)
+	fs.SyncDir(dir)
+
+	// Replace new with old, but crash before the dir fsync commits it.
+	if err := fs.Rename(oldp, newp); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	fs.Reopen()
+
+	got, err := fs.ReadFile(newp)
+	if err != nil || string(got) != "previous" {
+		t.Fatalf("target should revert to pre-rename content, got %q err=%v", got, err)
+	}
+}
+
+func TestRenameDurableAfterDirSync(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaulty(5)
+	oldp, newp := filepath.Join(dir, "old"), filepath.Join(dir, "new")
+	writeAll(t, fs, oldp, []byte("payload"), true)
+	fs.SyncDir(dir)
+
+	if err := fs.Rename(oldp, newp); err != nil {
+		t.Fatal(err)
+	}
+	fs.SyncDir(dir)
+	fs.Crash()
+	fs.Reopen()
+
+	got, err := fs.ReadFile(newp)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("dir-synced rename lost: got %q err=%v", got, err)
+	}
+	if _, err := fs.Stat(oldp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("old name should be gone after committed rename, err=%v", err)
+	}
+}
+
+func TestLieOnSyncLosesData(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaulty(6)
+	fs.TornTails(false)
+	fs.LieOnSync(true)
+	p := filepath.Join(dir, "a")
+	writeAll(t, fs, p, []byte("acked but gone"), true)
+	fs.SyncDir(dir)
+
+	fs.Crash()
+	fs.Reopen()
+	if _, err := fs.Stat(p); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("lying fsync should have made nothing durable; stat err = %v", err)
+	}
+}
+
+func TestWriteBudgetENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaulty(8)
+	fs.SetWriteBudget(4)
+	f, _ := fs.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	n, err := f.Write([]byte("123456"))
+	if n != 4 {
+		t.Fatalf("short write wrote %d, want 4", n)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	// Sticky: the disk stays full.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("second write should still be ENOSPC, got %v", err)
+	}
+	fs.SetWriteBudget(-1)
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("after disarm: %v", err)
+	}
+}
+
+func TestCrashAfterWritesTearsInFlight(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaulty(9)
+	fs.TornTails(false)
+	p := filepath.Join(dir, "a")
+	f, _ := fs.OpenFile(p, os.O_CREATE|os.O_WRONLY, 0o644)
+	f.Write([]byte("ok"))
+	f.Sync()
+	fs.SyncDir(dir)
+
+	fs.CrashAfterWrites(3)
+	_, err := f.Write([]byte("doomed"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed mid-write, got %v", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("fs should be crashed")
+	}
+	// Everything fails while dead.
+	if _, err := fs.ReadFile(p); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read while crashed: %v", err)
+	}
+	fs.Reopen()
+	got, _ := fs.ReadFile(p)
+	if string(got) != "ok" {
+		t.Fatalf("after reopen got %q, want %q", got, "ok")
+	}
+}
+
+func TestPreexistingFilesAreDurable(t *testing.T) {
+	dir := t.TempDir()
+	// Written by a "previous process" through plain os.
+	p := filepath.Join(dir, "old")
+	if err := os.WriteFile(p, []byte("ancient"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaulty(10)
+	fs.Crash()
+	fs.Reopen()
+	got, err := fs.ReadFile(p)
+	if err != nil || string(got) != "ancient" {
+		t.Fatalf("pre-existing file must survive: %q %v", got, err)
+	}
+}
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var fs OS
+	p := filepath.Join(dir, "a")
+	f, err := fs.OpenFile(p, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(p)
+	if err != nil || string(got) != "hi" {
+		t.Fatalf("got %q err=%v", got, err)
+	}
+	if err := fs.Rename(p, filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fs.ReadDir(dir)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "b" {
+		t.Fatalf("dir listing: %v %v", ents, err)
+	}
+}

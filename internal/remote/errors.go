@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"syscall"
 
 	"repro/internal/authtree"
 )
@@ -49,6 +50,45 @@ func httpError(op string, resp *http.Response) *StatusError {
 		Code:   resp.StatusCode,
 		Status: resp.Status,
 		Body:   strings.TrimSpace(string(body)),
+	}
+}
+
+// ErrDiskFull marks a persist failure caused by storage exhaustion
+// (ENOSPC, short write) rather than damage: the hosted state on disk
+// is stale but intact, and the condition clears when space does.
+// Match with errors.Is; the concrete error is a *PersistError.
+var ErrDiskFull = errors.New("remote: persist failed: disk full")
+
+// PersistError is a durability failure on the server's persist path
+// (WAL append, checkpoint, snapshot write). DiskFull distinguishes
+// storage exhaustion — degraded but recoverable, the update is
+// re-sendable once space clears — from everything else, so operators
+// and the stats endpoint can tell a full disk from corruption.
+type PersistError struct {
+	DB       string // database name
+	Op       string // which persist step failed
+	DiskFull bool
+	Err      error
+}
+
+func (e *PersistError) Error() string {
+	if e.DiskFull {
+		return fmt.Sprintf("remote: persist %s for %q: disk full: %v", e.Op, e.DB, e.Err)
+	}
+	return fmt.Sprintf("remote: persist %s for %q: %v", e.Op, e.DB, e.Err)
+}
+
+func (e *PersistError) Unwrap() error { return e.Err }
+
+// Is lets errors.Is(err, ErrDiskFull) match disk-full persist errors.
+func (e *PersistError) Is(target error) bool { return target == ErrDiskFull && e.DiskFull }
+
+// newPersistError wraps a persist-path failure, classifying storage
+// exhaustion by its underlying errno.
+func newPersistError(db, op string, err error) *PersistError {
+	return &PersistError{
+		DB: db, Op: op, Err: err,
+		DiskFull: errors.Is(err, syscall.ENOSPC) || errors.Is(err, io.ErrShortWrite),
 	}
 }
 

@@ -3,27 +3,44 @@ package remote
 import (
 	"bytes"
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"repro/internal/blockstore"
 	"repro/internal/server"
+	"repro/internal/walog"
 	"repro/internal/wire"
 )
 
-// Disk persistence: a Service configured with a directory writes
-// every uploaded database (and every applied update) as a wire-format
-// file, and reloads them on startup — the hosting provider surviving
-// a restart without ever holding a key.
+// Disk persistence and recovery: a Service configured with a
+// directory keeps each hosted database as a checksummed metadata
+// snapshot (dir/<name>.sxdb), a block store (dir/<name>.blocks/) and
+// a write-ahead log (dir/<name>.wal/) — the hosting provider
+// surviving a crash at any instruction without ever holding a key.
 //
-// Corruption tolerance: each file carries a SHA-256 trailer
-// (data || "SXCK" || digest), so a bit-flip anywhere — including the
-// opaque ciphertext regions a structural decode would accept — is
-// caught at load. A file that fails its checksum or decode is moved
-// to dir/quarantine/ and recorded, and startup continues with the
-// remaining databases: one rotten file must not take down (or worse,
-// silently poison) the whole host.
+// Recovery, per database, at startup:
+//
+//  1. Load the snapshot; verify its SHA-256 trailer; fill its elided
+//     block ciphertexts from the block store (every block frame
+//     carries its own CRC).
+//  2. Open the WAL. A torn final record — the signature of a crash
+//     mid-append — is truncated away; damage anywhere else is
+//     corruption and quarantines the database.
+//  3. Replay the records past the snapshot's generation, in order,
+//     re-committing each update at the generation it originally
+//     acknowledged and re-arming the request-ID dedup table.
+//  4. Cross-check the recovered state against an owner-signed Merkle
+//     root (the last replayed update's NewRoot, or the snapshot's
+//     when the log was empty). A state that fails the check is
+//     quarantined, never served.
+//
+// Corruption tolerance: a database that fails any step is moved —
+// snapshot and sidecars — to dir/quarantine/ and recorded, and
+// startup continues with the remaining databases: one rotten file
+// must not take down (or worse, silently poison) the whole host.
 
 // dbFileExt is the on-disk extension for hosted databases;
 // tmpSuffix marks an in-progress write before its atomic rename;
@@ -63,30 +80,56 @@ func splitChecksum(data []byte) ([]byte, error) {
 	return body, nil
 }
 
-// QuarantineRecord describes one corrupt database file that was set
-// aside at startup.
+// QuarantineRecord describes one corrupt database that was set aside
+// at startup.
 type QuarantineRecord struct {
 	File   string // original file name
-	Moved  string // path the file was moved to
+	Moved  string // path the snapshot file was moved to
 	Reason string
 }
 
-// Quarantined reports the files set aside by NewPersistentService
-// because they failed their checksum or decode.
+// Quarantined reports the databases set aside by recovery because
+// they failed a checksum, a decode, or the Merkle-root cross-check.
 func (s *Service) Quarantined() []QuarantineRecord {
 	return append([]QuarantineRecord(nil), s.quarantined...)
 }
 
-// NewPersistentService loads every *.sxdb file in dir (creating the
-// directory if needed) and persists subsequent uploads and updates
-// there. Corrupt files are quarantined (see Quarantined), not fatal.
-func NewPersistentService(dir string) (*Service, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("remote: create %s: %w", dir, err)
+// Recoveries reports, per database, what recovery did at startup.
+func (s *Service) Recoveries() map[string]RecoveryStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := map[string]RecoveryStats{}
+	for name, h := range s.dbs {
+		if h.recovery != nil {
+			out[name] = *h.recovery
+		}
 	}
+	return out
+}
+
+// NewPersistentService loads every *.sxdb database in dir (creating
+// the directory if needed) with default PersistOptions, and persists
+// subsequent uploads and updates there. Corrupt databases are
+// quarantined (see Quarantined), not fatal.
+func NewPersistentService(dir string) (*Service, error) {
+	return NewPersistentServiceOpts(dir, PersistOptions{})
+}
+
+// NewPersistentServiceOpts is NewPersistentService with explicit
+// durability tuning (WAL group-commit window, checkpoint interval,
+// filesystem seam).
+func NewPersistentServiceOpts(dir string, opts PersistOptions) (*Service, error) {
 	s := NewService()
 	s.persistDir = dir
-	entries, err := os.ReadDir(dir)
+	s.pfs = opts.FS
+	s.walGroupWait = opts.WALGroupWait
+	s.checkpointEvery = opts.CheckpointEvery
+	s.walSegBytes = opts.WALSegmentBytes
+	fsys := s.fs()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("remote: create %s: %w", dir, err)
+	}
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("remote: read %s: %w", dir, err)
 	}
@@ -94,11 +137,11 @@ func NewPersistentService(dir string) (*Service, error) {
 		if e.IsDir() {
 			continue
 		}
-		// A leftover *.sxdb.tmp is a write that crashed before its
-		// atomic rename: the durable state is still in the *.sxdb
-		// file, so the partial write is garbage — remove it.
+		// A leftover *.sxdb.tmp is a snapshot write that crashed
+		// before its atomic rename: the durable state is still in the
+		// *.sxdb file, so the partial write is garbage — remove it.
 		if strings.HasSuffix(e.Name(), dbFileExt+tmpSuffix) {
-			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			if err := fsys.Remove(filepath.Join(dir, e.Name())); err != nil {
 				return nil, fmt.Errorf("remote: clean %s: %w", e.Name(), err)
 			}
 			continue
@@ -106,69 +149,205 @@ func NewPersistentService(dir string) (*Service, error) {
 		if !strings.HasSuffix(e.Name(), dbFileExt) {
 			continue
 		}
-		name := strings.TrimSuffix(e.Name(), dbFileExt)
-		path := filepath.Join(dir, e.Name())
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return nil, fmt.Errorf("remote: load %s: %w", e.Name(), err)
+		if err := s.loadDB(e.Name()); err != nil {
+			return nil, err
 		}
-		db, loadErr := decodeDBFile(data)
-		if loadErr != nil {
-			moved, qErr := s.quarantine(path, e.Name(), loadErr)
-			if qErr != nil {
-				return nil, qErr
-			}
-			s.quarantined = append(s.quarantined, QuarantineRecord{
-				File: e.Name(), Moved: moved, Reason: loadErr.Error(),
-			})
-			continue
-		}
-		s.dbs[name] = newHosted(server.New(db), db)
 	}
 	return s, nil
 }
 
-// decodeDBFile checks the trailer (when present) and decodes the
-// wire bytes.
-func decodeDBFile(data []byte) (*wire.HostedDB, error) {
-	body, err := splitChecksum(data)
-	if err != nil {
-		return nil, err
-	}
-	return wire.UnmarshalDB(body)
-}
-
-// quarantine moves a corrupt database file into dir/quarantine/,
-// returning the destination path.
-func (s *Service) quarantine(path, name string, cause error) (string, error) {
-	qdir := filepath.Join(s.persistDir, quarantineDir)
-	if err := os.MkdirAll(qdir, 0o755); err != nil {
-		return "", fmt.Errorf("remote: quarantine %s: %w (while handling: %v)", name, err, cause)
-	}
-	dest := filepath.Join(qdir, name)
-	if err := os.Rename(path, dest); err != nil {
-		return "", fmt.Errorf("remote: quarantine %s: %w (while handling: %v)", name, err, cause)
-	}
-	return dest, nil
-}
-
-// persist writes one database atomically (write + rename), with the
-// integrity trailer.
-func (s *Service) persist(name string, db *wire.HostedDB) error {
-	if s.persistDir == "" {
+// loadDB recovers one database from its on-disk trio (snapshot, block
+// store, WAL). Corruption quarantines the database and returns nil —
+// recovery of the remaining databases continues; only filesystem-level
+// failures (unreadable directory, failed rename) are returned.
+func (s *Service) loadDB(fileName string) error {
+	name := strings.TrimSuffix(fileName, dbFileExt)
+	path := filepath.Join(s.persistDir, fileName)
+	fsys := s.fs()
+	fail := func(cause error) error {
+		moved, qErr := s.quarantineDB(path, fileName, cause)
+		if qErr != nil {
+			return qErr
+		}
+		s.quarantined = append(s.quarantined, QuarantineRecord{
+			File: fileName, Moved: moved, Reason: cause.Error(),
+		})
 		return nil
 	}
-	if strings.ContainsAny(name, "/\\.") {
-		return fmt.Errorf("remote: database name %q not filesystem-safe", name)
-	}
-	data, err := wire.MarshalDB(db)
+
+	data, err := fsys.ReadFile(path)
 	if err != nil {
-		return err
+		return fmt.Errorf("remote: load %s: %w", fileName, err)
 	}
-	final := filepath.Join(s.persistDir, name+dbFileExt)
-	tmp := final + tmpSuffix
-	if err := os.WriteFile(tmp, appendChecksum(data), 0o644); err != nil {
-		return err
+	body, err := splitChecksum(data)
+	if err != nil {
+		return fail(err)
 	}
-	return os.Rename(tmp, final)
+
+	var (
+		db       *wire.HostedDB
+		snapGen  uint64
+		snapRoot []byte
+		legacy   bool
+	)
+	bs, err := blockstore.Open(s.blkDir(name), fsys)
+	if err != nil {
+		return fail(err)
+	}
+	if wire.IsSnapshot(body) {
+		db, snapGen, snapRoot, err = wire.UnmarshalSnapshot(body)
+		if err != nil {
+			return fail(err)
+		}
+		all, err := bs.LoadAll()
+		if err != nil {
+			return fail(err)
+		}
+		for i := range db.Blocks {
+			ct, ok := all[i]
+			if !ok {
+				return fail(fmt.Errorf("block %d missing from block store", i))
+			}
+			db.Blocks[i] = ct
+		}
+	} else {
+		// Legacy whole-file SXDB1 image: the file is the complete
+		// state at generation 1 (pre-WAL services rewrote it on every
+		// update, so nothing can be newer).
+		db, err = wire.UnmarshalDB(body)
+		if err != nil {
+			return fail(err)
+		}
+		snapGen, legacy = 1, true
+	}
+
+	wal, rep, err := walog.Open(s.walDir(name), s.walOpts())
+	if err != nil {
+		if errors.Is(err, walog.ErrCorrupt) {
+			return fail(err)
+		}
+		return fmt.Errorf("remote: open wal for %s: %w", fileName, err)
+	}
+
+	srv := server.New(db)
+	srv.RestoreGeneration(snapGen)
+	h := newHosted(srv, db)
+	dirty := map[int]struct{}{}
+	replayed, rootChecked := 0, false
+	var replayErr error
+	for i, rec := range rep.Records {
+		if rec.Type != recUpdate {
+			replayErr = fmt.Errorf("wal record %d has unknown type %d", i, rec.Type)
+			break
+		}
+		if rec.Gen <= snapGen {
+			continue // already captured by the snapshot
+		}
+		upd, err := wire.UnmarshalUpdate(rec.Payload)
+		if err != nil {
+			replayErr = fmt.Errorf("wal record %d: %w", i, err)
+			break
+		}
+		// Intermediate roots need not be re-verified — only the final
+		// state is served — so strip them and let ApplyUpdate's own
+		// cross-check validate the last record's NewRoot against the
+		// fully recovered state.
+		if i != len(rep.Records)-1 {
+			upd.NewRoot = nil
+		} else if len(upd.NewRoot) > 0 {
+			rootChecked = true
+		}
+		if err := srv.ApplyUpdate(upd); err != nil {
+			replayErr = fmt.Errorf("wal record %d (gen %d): %w", i, rec.Gen, err)
+			break
+		}
+		if got := srv.Generation(); got != rec.Gen {
+			replayErr = fmt.Errorf("wal generation gap: record %d claims gen %d, replay reached %d", i, rec.Gen, got)
+			break
+		}
+		for _, b := range upd.Blocks {
+			dirty[b.ID] = struct{}{}
+		}
+		if upd.RequestID != 0 {
+			h.rememberLocked(upd.RequestID)
+		}
+		replayed++
+	}
+	if replayErr != nil {
+		wal.Close()
+		return fail(replayErr)
+	}
+	if replayed == 0 && len(snapRoot) > 0 {
+		// Nothing replayed on top: the state must hash to exactly the
+		// root the snapshot committed to.
+		root, err := srv.AuthRoot()
+		if err != nil {
+			wal.Close()
+			return fail(fmt.Errorf("recovered state root: %w", err))
+		}
+		if !bytes.Equal(root[:], snapRoot) {
+			wal.Close()
+			return fail(fmt.Errorf("recovered state root %x does not match snapshot root %x", root[:8], snapRoot[:8]))
+		}
+		rootChecked = true
+	}
+
+	h.dur = &durable{
+		name: name, wal: wal, blocks: bs,
+		dirty: dirty, sinceCheckpoint: replayed,
+	}
+	h.recovery = &RecoveryStats{
+		SnapshotGen:    snapGen,
+		RecoveredGen:   srv.Generation(),
+		Replayed:       replayed,
+		TornTail:       rep.TornTail,
+		TruncatedBytes: rep.TruncatedBytes,
+		RootChecked:    rootChecked,
+		LegacyFile:     legacy,
+	}
+	s.dbs[name] = h
+	return nil
+}
+
+// quarantineDB moves a corrupt database — snapshot file plus its WAL
+// and block-store sidecars — into dir/quarantine/, returning the
+// snapshot's destination path. Destinations are made unique with a
+// ".N" suffix so a database quarantined twice (reload after re-host)
+// never silently overwrites the earlier corpse.
+func (s *Service) quarantineDB(path, fileName string, cause error) (string, error) {
+	fsys := s.fs()
+	qdir := filepath.Join(s.persistDir, quarantineDir)
+	if err := fsys.MkdirAll(qdir, 0o755); err != nil {
+		return "", fmt.Errorf("remote: quarantine %s: %w (while handling: %v)", fileName, err, cause)
+	}
+	dest := filepath.Join(qdir, fileName)
+	suffix := ""
+	for i := 1; ; i++ {
+		if _, err := fsys.Stat(dest); errors.Is(err, os.ErrNotExist) {
+			break
+		}
+		suffix = fmt.Sprintf(".%d", i)
+		dest = filepath.Join(qdir, fileName+suffix)
+	}
+	if err := fsys.Rename(path, dest); err != nil {
+		return "", fmt.Errorf("remote: quarantine %s: %w (while handling: %v)", fileName, err, cause)
+	}
+	// Sidecars ride along under the same suffix, so the corpse stays
+	// analyzable as a unit and a re-hosted database starts clean.
+	name := strings.TrimSuffix(fileName, dbFileExt)
+	for _, ext := range []string{walDirExt, blkDirExt} {
+		side := filepath.Join(s.persistDir, name+ext)
+		if _, err := fsys.Stat(side); err == nil {
+			if err := fsys.Rename(side, filepath.Join(qdir, name+ext+suffix)); err != nil {
+				return "", fmt.Errorf("remote: quarantine %s sidecar %s: %w (while handling: %v)", fileName, ext, err, cause)
+			}
+		}
+	}
+	if err := fsys.SyncDir(s.persistDir); err != nil {
+		return "", fmt.Errorf("remote: quarantine %s: sync dir: %w", fileName, err)
+	}
+	if err := fsys.SyncDir(qdir); err != nil {
+		return "", fmt.Errorf("remote: quarantine %s: sync quarantine dir: %w", fileName, err)
+	}
+	return dest, nil
 }

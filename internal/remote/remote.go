@@ -47,8 +47,10 @@ import (
 	"time"
 
 	"repro/internal/authtree"
+	"repro/internal/faultfs"
 	"repro/internal/gencache"
 	"repro/internal/server"
+	"repro/internal/walog"
 	"repro/internal/wire"
 )
 
@@ -104,6 +106,14 @@ type Service struct {
 	// persistDir, when set, mirrors every hosted database to disk
 	// (see NewPersistentService).
 	persistDir string
+	// pfs is the filesystem seam for the durable engine; nil means
+	// the real filesystem (see PersistOptions.FS).
+	pfs faultfs.FS
+	// walGroupWait, checkpointEvery and walSegBytes tune the durable
+	// engine (see PersistOptions); zero values select defaults.
+	walGroupWait    time.Duration
+	checkpointEvery int
+	walSegBytes     int64
 	// dedupHits counts update requests answered from the dedup table
 	// instead of being re-applied (observability + tests).
 	dedupHits atomic.Int64
@@ -144,6 +154,18 @@ type hosted struct {
 	seen      map[uint64]bool
 	seenOrder []uint64
 
+	// dur is the persistence state of this database (nil when the
+	// service is memory-only). Guarded by mu like the dedup table.
+	dur *durable
+	// recovery describes what startup recovery did for this database;
+	// written once before the service takes traffic, read-only after.
+	recovery *RecoveryStats
+	// persistFailures counts updates whose durability step failed
+	// (the client got a 5xx and will retry); diskFullFailures is the
+	// subset caused by storage exhaustion rather than damage.
+	persistFailures  atomic.Int64
+	diskFullFailures atomic.Int64
+
 	// Streamed-answer counters for this database, surfaced by the
 	// stats endpoint: how many query answers went out as chunked
 	// streams, and the total bytes and chunks they carried.
@@ -154,6 +176,18 @@ type hosted struct {
 
 func newHosted(srv *server.Server, db *wire.HostedDB) *hosted {
 	return &hosted{srv: srv, db: db, seen: map[uint64]bool{}}
+}
+
+// rememberLocked enters a request ID into the dedup table, evicting
+// the oldest entry past the window. Caller holds h.mu (or, during
+// recovery, is the only goroutine that can see h).
+func (h *hosted) rememberLocked(id uint64) {
+	h.seen[id] = true
+	h.seenOrder = append(h.seenOrder, id)
+	if len(h.seenOrder) > dedupWindow {
+		delete(h.seen, h.seenOrder[0])
+		h.seenOrder = h.seenOrder[1:]
+	}
 }
 
 // NewService returns an empty service.
@@ -348,14 +382,51 @@ func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request, name stri
 	if canceled(w, r) {
 		return
 	}
+	h := newHosted(server.New(db), db)
 	s.mu.Lock()
-	s.dbs[name] = newHosted(server.New(db), db)
+	old := s.dbs[name]
+	s.dbs[name] = h
 	s.mu.Unlock()
-	if err := s.persist(name, db); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+	if old != nil && old.dur != nil {
+		old.dur.close()
+	}
+	if s.persistDir != "" {
+		if err := s.persistUpload(name, h); err != nil {
+			h.persistFailures.Add(1)
+			http.Error(w, err.Error(), persistStatus(err, &h.diskFullFailures))
+			return
+		}
 	}
 	w.WriteHeader(http.StatusCreated)
+}
+
+// persistUpload makes a freshly uploaded database durable: fresh
+// sidecars (a previous incarnation's WAL and blocks are garbage for
+// the new state), every block dirty, one full checkpoint.
+func (s *Service) persistUpload(name string, h *hosted) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	dur, err := s.openDurable(name, true)
+	if err != nil {
+		return err
+	}
+	for id := range h.db.Blocks {
+		dur.dirty[id] = struct{}{}
+	}
+	h.dur = dur
+	return s.checkpointLocked(h)
+}
+
+// persistStatus maps a durability failure to its HTTP status: 507 for
+// storage exhaustion (degraded, retryable once space clears), 500 for
+// everything else. Both are >= 500, so the client's retry policy
+// treats them as temporary. Bumps the disk-full counter on the way.
+func persistStatus(err error, diskFull *atomic.Int64) int {
+	if errors.Is(err, ErrDiskFull) {
+		diskFull.Add(1)
+		return http.StatusInsufficientStorage
+	}
+	return http.StatusInternalServerError
 }
 
 func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request, h *hosted) {
@@ -535,34 +606,37 @@ func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request, name stri
 	}
 	err = h.srv.ApplyUpdate(upd)
 	var persistErr error
-	if err == nil {
-		// Snapshot to disk while still holding the update lock, so a
-		// concurrent update can't interleave and persist a state this
-		// request never produced.
-		persistErr = s.persist(name, h.db)
+	var tk *walog.Ticket
+	if err == nil && h.dur != nil {
+		// Stage the WAL record while still holding the update lock, so
+		// records enter the log in commit order; the fsync wait happens
+		// outside the lock so one update's disk latency doesn't
+		// serialize the next update's apply.
+		tk, persistErr = s.stageDurable(h, data, upd)
+	}
+	h.mu.Unlock()
+	if err == nil && persistErr == nil {
+		persistErr = s.ensureDurable(h, tk)
 	}
 	// Durability ordering: the request ID enters the dedup table only
-	// after the post-update state is on disk. Recording it before
-	// persisting would let a failed persist + client retry be
+	// after the update is durable (WAL fsynced or checkpoint written).
+	// Recording it before would let a failed persist + client retry be
 	// dedup-acked without re-persisting — the client believes the
 	// update durable while the disk still holds the old state.
 	// (Updates are idempotent — whole-band index replacement, same
 	// ciphertexts — so the retry's re-apply is harmless.)
 	if err == nil && persistErr == nil && upd.RequestID != 0 {
-		h.seen[upd.RequestID] = true
-		h.seenOrder = append(h.seenOrder, upd.RequestID)
-		if len(h.seenOrder) > dedupWindow {
-			delete(h.seen, h.seenOrder[0])
-			h.seenOrder = h.seenOrder[1:]
-		}
+		h.mu.Lock()
+		h.rememberLocked(upd.RequestID)
+		h.mu.Unlock()
 	}
-	h.mu.Unlock()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
 	if persistErr != nil {
-		http.Error(w, persistErr.Error(), http.StatusInternalServerError)
+		h.persistFailures.Add(1)
+		http.Error(w, persistErr.Error(), persistStatus(persistErr, &h.diskFullFailures))
 		return
 	}
 	w.WriteHeader(http.StatusOK)
@@ -580,6 +654,21 @@ func (s *Service) handleStats(w http.ResponseWriter, h *hosted) {
 			"bytes":   h.streamBytes.Load(),
 			"chunks":  h.streamChunks.Load(),
 		},
+	}
+	if h.dur != nil {
+		h.mu.Lock()
+		stats["durability"] = map[string]any{
+			"degraded":        h.dur.degraded,
+			"walBytes":        h.dur.walSize(),
+			"sinceCheckpoint": h.dur.sinceCheckpoint,
+			"dirtyBlocks":     len(h.dur.dirty),
+			"persistFailures": h.persistFailures.Load(),
+			"diskFull":        h.diskFullFailures.Load(),
+		}
+		h.mu.Unlock()
+	}
+	if h.recovery != nil {
+		stats["recovery"] = *h.recovery
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(stats)

@@ -149,6 +149,20 @@ func (s *Server) Generation() uint64 {
 // Epoch returns the server's boot nonce.
 func (s *Server) Epoch() uint64 { return s.epoch }
 
+// RestoreGeneration fast-forwards the generation counter to gen, the
+// value a durable snapshot captured, so that replayed WAL updates
+// re-commit at the generations they originally acknowledged and the
+// recovered server resumes exactly where the crashed one stopped.
+// Only recovery may call this, before the server takes traffic;
+// moving the counter backwards is refused (caches key on it).
+func (s *Server) RestoreGeneration(gen uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if gen > s.gen {
+		s.gen = gen
+	}
+}
+
 // CacheStats snapshots the hit/miss/eviction counters of every
 // cross-query cache (exported via expvar by cmd/xserve).
 func (s *Server) CacheStats() map[string]gencache.Stats {
