@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos tamper fuzz fuzz-smoke difftest bench bench-parallel bench-cache bench-alloc alloc-guard cache-stress powercut soak soak-short soak-stream soak-stream-short profile fmt
+.PHONY: check vet build test race chaos tamper fuzz fuzz-smoke difftest bench bench-parallel bench-cache bench-alloc alloc-guard bench-update update-guard cache-stress powercut soak soak-short soak-stream soak-stream-short soak-update soak-update-short profile fmt
 
-check: vet build race tamper fuzz-smoke cache-stress bench-cache powercut soak-short soak-stream-short
+check: vet build race tamper fuzz-smoke cache-stress bench-cache powercut soak-short soak-stream-short soak-update-short
 
 vet:
 	$(GO) vet ./...
@@ -80,6 +80,20 @@ alloc-guard:
 	SECXML_BENCH_ALLOC_GUARD=BENCH_alloc.json \
 		$(GO) test -bench 'Alloc' -benchtime 1x -run '^$$' .
 
+# Group-commit update-throughput benchmarks (per-update baseline vs
+# batched, mixed reader/writer load over the durable remote stack);
+# writes BENCH_update.json.
+bench-update:
+	SECXML_BENCH_UPDATE_JSON=BENCH_update.json \
+		$(GO) test -bench UpdateThroughput -benchtime 200x -run '^$$' .
+
+# Regression gate against the committed BENCH_update.json: fails when
+# a batched configuration loses half its committed speedup, or the
+# batch-16 target drops under 3x over the per-update baseline.
+update-guard:
+	SECXML_BENCH_UPDATE_GUARD=BENCH_update.json \
+		$(GO) test -bench UpdateThroughput -benchtime 100x -run '^$$' .
+
 # The caching-layer correctness suite under -race: generation
 # invalidation, stale-answer isolation, concurrent readers racing an
 # updater, and the breaker-flip chaos sequence.
@@ -90,11 +104,14 @@ cache-stress:
 # The powercut soak: POWERCUT_CYCLES kill/recover cycles against the
 # durable store on a fault-injecting filesystem with torn tails,
 # under -race. Every cycle asserts zero acknowledged-update loss and
-# zero unverifiable serves; any quarantine fails. Part of `check`.
+# zero unverifiable serves; any quarantine fails. The batch-atomicity
+# variant cuts power around whole group commits: an un-fsynced batch
+# must be wholly replayed or wholly absent, never partial. Part of
+# `check`.
 POWERCUT_CYCLES ?= 200
 powercut:
 	POWERCUT_CYCLES=$(POWERCUT_CYCLES) \
-		$(GO) test -race -count=1 -run TestPowercutSoak ./internal/remote/
+		$(GO) test -race -count=1 -run 'TestPowercutSoak|TestPowercutBatchAtomicity' ./internal/remote/
 
 # Long differential soak with caches on and updates interleaved
 # between query rounds. SOAK_DURATION=10m reproduces the release
@@ -105,6 +122,23 @@ soak:
 
 soak-short:
 	$(GO) test -race ./internal/difftest/ -run OpenEnded -difftest.duration 1m
+
+# Mixed reader/writer soak of the group-commit update pipeline over
+# the full remote stack, under -race: writers hammer the batcher while
+# readers run verified queries and aggregates; the final quiesced
+# state must hold every acked write. Writer share is configurable
+# (UPDATE_SOAK_WRITERPCT); `check` runs the 30-second variant.
+UPDATE_SOAK_DURATION ?= 10m
+UPDATE_SOAK_WORKERS ?= 16
+UPDATE_SOAK_WRITERPCT ?= 25
+soak-update:
+	$(GO) test -race ./internal/difftest/ -run UpdateSoak -timeout 0 \
+		-updatesoak.duration $(UPDATE_SOAK_DURATION) \
+		-updatesoak.workers $(UPDATE_SOAK_WORKERS) \
+		-updatesoak.writerpct $(UPDATE_SOAK_WRITERPCT)
+
+soak-update-short:
+	$(GO) test -race ./internal/difftest/ -run UpdateSoak -updatesoak.duration 30s
 
 # Streamed mixed-peer differential soak: every case runs its queries
 # through a streaming client and an envelope client against the same

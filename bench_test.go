@@ -319,6 +319,17 @@ func TestMain(m *testing.M) {
 			code = 1
 		}
 	}
+	if v := os.Getenv("SECXML_BENCH_UPDATE_JSON"); v != "" && len(updateRows) > 0 {
+		if !writeBenchJSON(v, "BENCH_update.json", updateRows) && code == 0 {
+			code = 1
+		}
+	}
+	if v := os.Getenv("SECXML_BENCH_UPDATE_GUARD"); v != "" && len(updateRows) > 0 {
+		if err := updateGuard(v); err != nil {
+			fmt.Fprintf(os.Stderr, "update throughput regression guard: %v\n", err)
+			code = 1
+		}
+	}
 	os.Exit(code)
 }
 

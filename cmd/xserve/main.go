@@ -48,6 +48,8 @@ func main() {
 	pprofOn := flag.Bool("pprof", true, "serve net/http/pprof profiles at /debug/pprof/ (CPU profiles longer than -write-timeout are cut off)")
 	streamCutoff := flag.Int("stream-cutoff", 0, "min answer bytes before chunked streaming to negotiating clients (0 = 64 KiB default, negative disables)")
 	walGroupWait := flag.Duration("wal-group-wait", 0, "group-commit window: how long a WAL fsync waits to absorb concurrent updates (0 = sync immediately)")
+	updateBatchSize := flag.Int("update-batch-size", 0, "coalesce concurrent single-update frames into batches of up to this many members (0/1 disables)")
+	updateMaxWait := flag.Duration("update-max-wait", 0, "how long a filling update batch waits for company before flushing anyway (0 = 2ms default)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "updates between full checkpoints truncating the WAL (0 = default 64)")
 	chaosRate := flag.Float64("chaos", 0, "inject faults (latency/5xx/truncation) at this rate per request — testing only")
 	chaosSeed := flag.Int64("chaos-seed", 1, "deterministic seed for -chaos")
@@ -88,6 +90,11 @@ func main() {
 		svc = remote.NewService()
 	}
 	svc = svc.WithStreamCutoff(*streamCutoff)
+	if *updateBatchSize > 1 {
+		svc = svc.WithUpdateBatching(*updateBatchSize, *updateMaxWait)
+		fmt.Printf("update batching: up to %d members per group commit (max wait %v)\n",
+			*updateBatchSize, *updateMaxWait)
+	}
 
 	if *demo != "" {
 		if *key == "" {

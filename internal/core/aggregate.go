@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"time"
@@ -33,6 +34,23 @@ func (s *System) AggregateMinMaxContext(ctx context.Context, pathStr string, max
 	if err != nil {
 		return "", Timings{}, err
 	}
+	for {
+		v, tm, err := s.aggregateOnce(ctx, path, pathStr, max)
+		if errors.Is(err, errUpdateConflict) {
+			// A queued update touched the band this aggregate probes
+			// (or a band its predicates compare through); push the
+			// group commit out and retry against the settled state.
+			s.FlushUpdates(ctx)
+			continue
+		}
+		return v, tm, err
+	}
+}
+
+// aggregateOnce is one attempt of the aggregate pipeline under the
+// read lock; errUpdateConflict asks the entry point to flush queued
+// updates and retry.
+func (s *System) aggregateOnce(ctx context.Context, path *xpath.Path, pathStr string, max bool) (string, Timings, error) {
 	// One read lock covers both the index probe and the query
 	// fallback; the fallback calls the unexported locked pipeline so
 	// the lock is never acquired recursively (a second RLock could
@@ -40,6 +58,15 @@ func (s *System) AggregateMinMaxContext(ctx context.Context, pathStr string, max
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	tagKey := lastNamedTag(path)
+	keys, unknown := cmpKeys(path)
+	if tagKey != "" {
+		keys = append(keys, tagKey)
+	} else {
+		unknown = true
+	}
+	if s.queuedBandConflictLocked(keys, unknown) {
+		return "", Timings{}, errUpdateConflict
+	}
 	fastPath := tagKey != "" && !hasPredicates(path)
 	if fastPath {
 		if v, tm, ok, err := s.aggregateViaIndex(ctx, tagKey, max); err != nil || ok {

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/wire"
+	"repro/internal/xpath"
+)
+
+// Owner-side group commit. With EnableUpdateBatching on, concurrent
+// UpdateLeafValues callers still serialize their read-modify-write
+// PREPARATION under the exclusive lock (the client's occurrence
+// tables and OPESS transformers mutate, so there is no way around
+// that), but the expensive tail — the backend round trip, the
+// server's Merkle advance and generation bump, the WAL fsync — is
+// shared: prepared updates enqueue, and the caller that fills the
+// queue (or a timer) flushes them as ONE wire.UpdateBatch.
+//
+// Consistency between the queue and readers: a prepared-but-unflushed
+// update has already rewritten the client's value tables, while the
+// server still serves the pre-batch state. A read that translates a
+// value comparison through a rewritten OPESS band would therefore ask
+// the server for ciphertexts it doesn't index yet and silently miss.
+// The conflict barriers below force the flush out first in exactly
+// those cases — reads over untouched bands keep running against the
+// (serializable) pre-batch snapshot, which is what keeps batching a
+// win under mixed reader/writer load.
+
+// errUpdateConflict is the internal retry signal: a queued update
+// conflicts with the read being attempted; flush, then try again.
+// It never escapes the package's public entry points.
+var errUpdateConflict = errors.New("core: queued update conflicts with this read")
+
+// BatchBackend is the optional backend extension for group-committed
+// updates: a whole wire.UpdateBatch applied atomically (one
+// generation, one root advance, one durability barrier). Local and
+// the remote client both implement it; a backend without it gets the
+// members sequentially.
+type BatchBackend interface {
+	ApplyUpdateBatch(ctx context.Context, b *wire.UpdateBatch) error
+}
+
+// ApplyUpdateBatch implements BatchBackend.
+func (l Local) ApplyUpdateBatch(ctx context.Context, b *wire.UpdateBatch) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return l.S.ApplyUpdateBatch(b.Updates)
+}
+
+// defaultUpdateMaxWait bounds how long the first queued update waits
+// for company before flushing anyway.
+const defaultUpdateMaxWait = 2 * time.Millisecond
+
+// updateBatcher is the queue of prepared updates awaiting one group
+// commit. All fields are guarded by the System's exclusive lock
+// (reads under either lock half are safe: mutation requires the
+// writer side).
+type updateBatcher struct {
+	size    int
+	maxWait time.Duration
+	queue   []*queuedEdit
+	timer   *time.Timer
+}
+
+// preparedUpdate is the output of the locked read-modify-write
+// preparation: the wire frame, the chained verifier clone holding
+// the commitment AFTER this member (nil without integrity), and how
+// many leaf values it edits.
+type preparedUpdate struct {
+	upd   *wire.Update
+	next  *wire.AuthVerifier
+	edits int
+}
+
+// queuedEdit is one caller waiting for its batch to commit.
+type queuedEdit struct {
+	prep *preparedUpdate
+	done chan batchOutcome // buffered(1)
+}
+
+// batchOutcome is what a queued caller learns when its batch settles.
+type batchOutcome struct {
+	err        error
+	batchSize  int
+	flushStart time.Time
+	applyDur   time.Duration
+}
+
+// EnableUpdateBatching opts this system into owner-side group commit:
+// concurrent updates coalesce into batches of up to size members,
+// flushed when full or after maxWait (whichever first; maxWait <= 0
+// selects a small default). size <= 1 turns batching off.
+func (s *System) EnableUpdateBatching(size int, maxWait time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if size <= 1 {
+		s.updBatch = nil
+		return
+	}
+	if maxWait <= 0 {
+		maxWait = defaultUpdateMaxWait
+	}
+	s.updBatch = &updateBatcher{size: size, maxWait: maxWait}
+}
+
+// FlushUpdates forces any queued updates out as a group commit now.
+// Reads that hit a conflict barrier call this; it is also the hook
+// for a caller that wants a durability point ("everything I was told
+// committed is on the server") without waiting out maxWait. The
+// returned error is the batch's outcome (also delivered to each
+// waiting caller); nil when the queue was empty.
+func (s *System) FlushUpdates(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushBatchLocked(ctx)
+}
+
+// cmpKeys collects the tag keys of every value comparison in the
+// path — the OPESS translation inputs a queued band rewrite would
+// invalidate. unknown reports a comparison whose target tag could
+// not be resolved (wildcard): the caller must assume it conflicts
+// with everything.
+func cmpKeys(p *xpath.Path) (keys []string, unknown bool) {
+	cp := p.Clone()
+	cp.RewriteCmps(func(e *xpath.CmpExpr) {
+		key := lastNamedTag(e.Path)
+		if key == "" {
+			unknown = true
+			return
+		}
+		keys = append(keys, key)
+	})
+	return keys, unknown
+}
+
+// queuedBandConflictLocked reports whether a read depending on the
+// given tag keys must wait for the queue to flush: true when a queued
+// member rewrote one of their OPESS bands (or the key set is unknown
+// and anything at all is queued). Caller holds either half of s.mu.
+func (s *System) queuedBandConflictLocked(keys []string, unknown bool) bool {
+	b := s.updBatch
+	if b == nil || len(b.queue) == 0 {
+		return false
+	}
+	if unknown {
+		return true
+	}
+	var pending map[uint8]bool
+	for _, qe := range b.queue {
+		for _, band := range qe.prep.upd.DropBands {
+			if pending == nil {
+				pending = map[uint8]bool{}
+			}
+			pending[band] = true
+		}
+	}
+	if pending == nil {
+		return false
+	}
+	for _, k := range keys {
+		if band, ok := s.Client.IndexedBand(k); ok && pending[band] {
+			return true
+		}
+	}
+	return false
+}
+
+// queuedBlockConflictLocked reports whether any of the given block
+// IDs was re-encrypted by a queued member: the server would ship the
+// pre-batch ciphertext, so a writer reading its target out of such a
+// block would lose the queued edit. Caller holds s.mu exclusively.
+func (s *System) queuedBlockConflictLocked(blockIDs []int) bool {
+	b := s.updBatch
+	if b == nil || len(b.queue) == 0 {
+		return false
+	}
+	touched := map[int]bool{}
+	for _, qe := range b.queue {
+		for _, bu := range qe.prep.upd.Blocks {
+			touched[bu.ID] = true
+		}
+	}
+	for _, id := range blockIDs {
+		if touched[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// totalEdits sums the member edit counts of a batch.
+func totalEdits(batch []*queuedEdit) int {
+	n := 0
+	for _, qe := range batch {
+		n += qe.prep.edits
+	}
+	return n
+}
+
+// deliverBatch hands one shared outcome to every waiting caller.
+func deliverBatch(batch []*queuedEdit, out batchOutcome) {
+	for _, qe := range batch {
+		qe.done <- out
+	}
+}
+
+// flushBatchLocked sends the queued updates as one group commit and
+// settles every waiting caller. The verifier chain was built at
+// enqueue time (each member's clone extends its predecessor's), so
+// only the TAIL member carries a NewRoot — the post-batch root the
+// server cross-checks after applying the whole group. Caller holds
+// s.mu exclusively. Uses ctx (the triggering caller's, or Background
+// from the timer) for the backend round trip.
+func (s *System) flushBatchLocked(ctx context.Context) error {
+	b := s.updBatch
+	if b == nil || len(b.queue) == 0 {
+		return nil
+	}
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	batch := b.queue
+	b.queue = nil
+	us := make([]*wire.Update, len(batch))
+	for i, qe := range batch {
+		us[i] = qe.prep.upd
+	}
+	tail := batch[len(batch)-1].prep
+	if tail.next != nil {
+		root := tail.next.Root()
+		us[len(us)-1].NewRoot = root[:]
+	}
+
+	flushStart := time.Now()
+	var err error
+	var wb *wire.UpdateBatch
+	if len(us) == 1 {
+		// A lone member goes out as the legacy single-update frame:
+		// byte-identical to the batching-off path, so old peers see
+		// nothing new.
+		err = s.Server.ApplyUpdate(ctx, us[0])
+	} else if bb, ok := s.Server.(BatchBackend); ok {
+		wb = &wire.UpdateBatch{RequestID: wire.NewRequestID(), Updates: us}
+		err = bb.ApplyUpdateBatch(ctx, wb)
+	} else {
+		return s.flushSequentiallyLocked(ctx, batch, us, flushStart)
+	}
+	applyDur := time.Since(flushStart)
+
+	if err == nil {
+		for _, qe := range batch {
+			s.mirrorUpdate(qe.prep.upd)
+		}
+		s.applyMirrorExec(us)
+		if tail.next != nil {
+			*s.verifier = *tail.next
+		}
+		if s.staleCache != nil {
+			s.staleCache.Clear()
+		}
+		deliverBatch(batch, batchOutcome{batchSize: len(batch), flushStart: flushStart, applyDur: applyDur})
+		return nil
+	}
+	if ambiguousUpdateFailure(s.Server, err) {
+		// The server may durably hold the whole batch (atomic apply,
+		// lost ack) or none of it. Stash the exact frame — same batch
+		// and member request IDs — for Reconcile, which is correct in
+		// both worlds through the server's dedup table.
+		p := &pendingUpdate{nextVerifier: tail.next, edits: totalEdits(batch)}
+		if wb != nil {
+			p.batch = wb
+		} else {
+			p.upd = us[0]
+		}
+		s.pending = p
+		err = errors.Join(err, ErrUpdatePending)
+	}
+	deliverBatch(batch, batchOutcome{err: err, batchSize: len(batch), flushStart: flushStart, applyDur: applyDur})
+	return err
+}
+
+// flushSequentiallyLocked is the fallback for backends without
+// BatchBackend: members go out one at a time, in order. The prefix
+// the server acknowledged commits (mirror + verifier advance to the
+// last acknowledged member's chain point); the failing member and
+// everything after it fail together — on an ambiguous failure the
+// unsettled remainder is stashed as a pending batch for Reconcile.
+func (s *System) flushSequentiallyLocked(ctx context.Context, batch []*queuedEdit, us []*wire.Update, flushStart time.Time) error {
+	var firstErr error
+	failed := len(batch)
+	for i, qe := range batch {
+		if err := s.Server.ApplyUpdate(ctx, qe.prep.upd); err != nil {
+			firstErr, failed = err, i
+			break
+		}
+	}
+	applyDur := time.Since(flushStart)
+	for i := 0; i < failed; i++ {
+		s.mirrorUpdate(batch[i].prep.upd)
+	}
+	s.applyMirrorExec(us[:failed])
+	if failed > 0 {
+		if v := batch[failed-1].prep.next; v != nil {
+			// A mid-chain clone's root is still deferred; finalize it
+			// before the copy is shared with concurrent verifiers.
+			v.Root()
+			*s.verifier = *v
+		}
+		if s.staleCache != nil {
+			s.staleCache.Clear()
+		}
+	}
+	memberErr := firstErr
+	if firstErr != nil && ambiguousUpdateFailure(s.Server, firstErr) {
+		rest := batch[failed:]
+		s.pending = &pendingUpdate{
+			batch:        &wire.UpdateBatch{RequestID: wire.NewRequestID(), Updates: us[failed:]},
+			nextVerifier: batch[len(batch)-1].prep.next,
+			edits:        totalEdits(rest),
+		}
+		memberErr = errors.Join(firstErr, ErrUpdatePending)
+	}
+	for i, qe := range batch {
+		out := batchOutcome{batchSize: len(batch), flushStart: flushStart, applyDur: applyDur}
+		if i >= failed {
+			out.err = memberErr
+		}
+		qe.done <- out
+	}
+	return memberErr
+}

@@ -8,6 +8,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -163,12 +164,28 @@ type System struct {
 	// update) until Reconcile resends it under the same request ID —
 	// the server's dedup table makes the resend exact-once either way.
 	pending *pendingUpdate
+
+	// updBatch, when installed via EnableUpdateBatching, is the queue
+	// of prepared-but-unsent updates awaiting one group commit (see
+	// batcher.go). Guarded by mu like everything else here.
+	updBatch *updateBatcher
+
+	// mirrorExec, when installed via EnableMirrorReads, is an
+	// owner-side replica server built over the HostedDB mirror. The
+	// update pipeline's read half executes against it instead of the
+	// remote backend: the mirror IS the state the owner's commitment
+	// was built from and advances with, so the read needs neither a
+	// proof nor a round trip. Committed frames are replayed onto it
+	// (applyMirrorExec) so its value index tracks the server's.
+	mirrorExec *server.Server
 }
 
 // pendingUpdate is the stashed tail of an ambiguous update: the wire
-// frame to resend and the verifier state to promote once it lands.
+// frame to resend — a single update or a whole batch, exactly one of
+// upd/batch is set — and the verifier state to promote once it lands.
 type pendingUpdate struct {
 	upd          *wire.Update
+	batch        *wire.UpdateBatch
 	nextVerifier *wire.AuthVerifier
 	edits        int
 }
@@ -326,6 +343,28 @@ func (s *System) UseBackend(b Backend) {
 	s.Server = b
 }
 
+// EnableMirrorReads opts the update pipeline into serving its read
+// half from an owner-side replica instead of the backend. The owner
+// already holds a byte-exact mirror of the hosted state (HostedDB,
+// kept fresh by mirrorUpdate), so an update's read-modify-write can
+// read from a local server booted over that mirror: no HTTP round
+// trip, no proof (the owner trusts its own mirror — it is exactly the
+// state its Merkle commitment describes). The server stays untrusted
+// and root-checked on every write; if replica and server ever
+// diverged, the batch root cross-check at the next flush would
+// reject. Call it after UseBackend: with an in-process backend the
+// read is already local and this is a no-op. All replica access runs
+// under the System's exclusive lock, so its internal locking is never
+// contended.
+func (s *System) EnableMirrorReads() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.Server.(Local); ok {
+		return
+	}
+	s.mirrorExec = server.New(s.HostedDB)
+}
+
 // Timings is the per-stage cost breakdown of one query (§7.2).
 type Timings struct {
 	ClientTranslate time.Duration
@@ -371,6 +410,19 @@ type Timings struct {
 	StreamChunks int
 	StreamBytes  int
 
+	// UpdateBatched marks an update that went through the group-commit
+	// queue (EnableUpdateBatching); UpdateBatchSize is how many
+	// members its batch carried. UpdateEnqueue is the time this update
+	// sat queued before its flush began, UpdateApply the shared
+	// backend round trip, and UpdateFlushWait the caller's total wall
+	// time from enqueue to settled outcome. All zero when batching is
+	// off (legacy callers see exactly the old Timings shape).
+	UpdateBatched   bool
+	UpdateBatchSize int
+	UpdateEnqueue   time.Duration
+	UpdateFlushWait time.Duration
+	UpdateApply     time.Duration
+
 	// ServerWorkers / ClientWorkers report the parallel fan-out width
 	// each side was configured with for this query: the server's
 	// matcher worker budget (0 when the backend is remote and its
@@ -412,9 +464,21 @@ func (s *System) QueryPath(path *xpath.Path) ([]*xmltree.Node, *xmltree.Document
 
 // QueryPathContext is QueryPath with a caller-supplied context.
 func (s *System) QueryPathContext(ctx context.Context, path *xpath.Path) ([]*xmltree.Node, *xmltree.Document, Timings, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.queryPathLocked(ctx, path)
+	for {
+		s.mu.RLock()
+		nodes, doc, tm, err := s.queryPathLocked(ctx, path)
+		s.mu.RUnlock()
+		if errors.Is(err, errUpdateConflict) {
+			// A queued update rewrote an OPESS band this query's value
+			// comparisons translate through; push the group commit out
+			// and retry against the settled state. (Any flush error was
+			// already delivered to the waiting updaters; this reader
+			// just needs the queue gone.)
+			s.FlushUpdates(ctx)
+			continue
+		}
+		return nodes, doc, tm, err
+	}
 }
 
 // queryPathLocked is the query pipeline body; the caller holds the
@@ -428,6 +492,12 @@ func (s *System) queryPathLocked(ctx context.Context, path *xpath.Path) ([]*xmlt
 		// rejected as tampered when it is merely fresher. Refuse until
 		// Reconcile settles which side of the update the server is on.
 		return nil, nil, tm, ErrUpdatePending
+	}
+	if keys, unknown := cmpKeys(path); s.queuedBandConflictLocked(keys, unknown) {
+		// The client tables this query would translate through are
+		// ahead of the server by the queued batch; the entry points
+		// flush and retry on this signal.
+		return nil, nil, tm, errUpdateConflict
 	}
 	tm.ClientWorkers = s.Client.Parallelism()
 	if l, ok := s.Server.(Local); ok {

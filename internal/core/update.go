@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/btree"
 	"repro/internal/wire"
@@ -37,38 +38,176 @@ func (s *System) UpdateLeafValues(q string, newValue string) (int, error) {
 // hold the shared lock) must see either the pre-update or the
 // post-update state, never a mix.
 func (s *System) UpdateLeafValuesContext(ctx context.Context, q string, newValue string) (int, error) {
+	n, _, err := s.UpdateLeafValuesTimed(ctx, q, newValue)
+	return n, err
+}
+
+// UpdateLeafValuesTimed is UpdateLeafValuesContext with the update
+// pipeline's timing breakdown. With batching off the lock is held
+// end to end as before; with EnableUpdateBatching on, the prepared
+// update enqueues under the lock and the caller then waits (off the
+// lock) for its batch's shared group commit.
+func (s *System) UpdateLeafValuesTimed(ctx context.Context, q string, newValue string) (int, Timings, error) {
 	path, err := xpath.Parse(q)
 	if err != nil {
-		return 0, err
+		return 0, Timings{}, err
 	}
+	for {
+		n, tm, retry, err := s.updateOnce(ctx, path, q, newValue)
+		if retry {
+			continue
+		}
+		return n, tm, err
+	}
+}
+
+// updateOnce runs one attempt of the update pipeline. retry=true
+// means the read half raced a queued batch that touched its target
+// blocks; the batch was flushed and the whole read-modify-write must
+// redo against the settled state.
+func (s *System) updateOnce(ctx context.Context, path *xpath.Path, q, newValue string) (int, Timings, bool, error) {
+	var tm Timings
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.pending != nil {
-		return 0, ErrUpdatePending
+		s.mu.Unlock()
+		return 0, tm, false, ErrUpdatePending
 	}
+
+	// Writer pre-read barrier: if a queued member rewrote an OPESS
+	// band this update's own value comparisons translate through, the
+	// read below would be built from tables the server hasn't caught
+	// up to yet. Flush first (we hold the exclusive lock, so the queue
+	// is empty afterwards and the prepare sees settled state).
+	if keys, unknown := cmpKeys(path); s.queuedBandConflictLocked(keys, unknown) {
+		if err := s.flushBatchLocked(ctx); err != nil {
+			s.mu.Unlock()
+			return 0, tm, false, err
+		}
+	}
+
+	prep, conflict, err := s.prepareUpdateLocked(ctx, path, q, newValue)
+	if conflict {
+		// Writer post-read barrier: the answer's blocks intersect a
+		// queued member's re-encryptions — reading the pre-batch
+		// ciphertext would lose the queued edit. Flush and redo.
+		ferr := s.flushBatchLocked(ctx)
+		s.mu.Unlock()
+		if ferr != nil {
+			return 0, tm, false, ferr
+		}
+		return 0, tm, true, nil
+	}
+	if err != nil || prep == nil {
+		s.mu.Unlock()
+		return 0, tm, false, err
+	}
+
+	if s.updBatch == nil {
+		// Inline path (batching off): the update carries its own
+		// post-state root and commits alone — the pre-batching wire
+		// behavior, byte for byte.
+		if prep.next != nil {
+			root := prep.next.Root()
+			prep.upd.NewRoot = root[:]
+		}
+		start := time.Now()
+		err := s.Server.ApplyUpdate(ctx, prep.upd)
+		tm.UpdateApply = time.Since(start)
+		if err != nil {
+			if ambiguousUpdateFailure(s.Server, err) {
+				// The server may hold (durably, or about to recover to)
+				// either side of this update, and the client tables are
+				// already rewritten. Stash the frame: Reconcile resends
+				// it under the same request ID, which is correct in both
+				// worlds — a dedup ack if it landed, a fresh idempotent
+				// apply if it didn't.
+				s.pending = &pendingUpdate{upd: prep.upd, nextVerifier: prep.next, edits: prep.edits}
+				s.mu.Unlock()
+				return 0, tm, false, errors.Join(err, ErrUpdatePending)
+			}
+			// Definite rejection: the server's state did not change.
+			s.mu.Unlock()
+			return 0, tm, false, err
+		}
+		s.commitUpdateLocked(prep.upd, prep.next)
+		s.mu.Unlock()
+		return prep.edits, tm, false, nil
+	}
+
+	// Group-commit path: enqueue and wait off the lock. The filling
+	// caller flushes inline; the first caller of a batch arms the
+	// timer that flushes a batch that never fills.
+	b := s.updBatch
+	qe := &queuedEdit{prep: prep, done: make(chan batchOutcome, 1)}
+	b.queue = append(b.queue, qe)
+	enqueuedAt := time.Now()
+	if len(b.queue) >= b.size {
+		s.flushBatchLocked(ctx)
+	} else if len(b.queue) == 1 {
+		b.timer = time.AfterFunc(b.maxWait, func() {
+			s.FlushUpdates(context.Background())
+		})
+	}
+	s.mu.Unlock()
+
+	out := <-qe.done
+	tm.UpdateBatched = true
+	tm.UpdateBatchSize = out.batchSize
+	if d := out.flushStart.Sub(enqueuedAt); d > 0 {
+		tm.UpdateEnqueue = d
+	}
+	tm.UpdateApply = out.applyDur
+	tm.UpdateFlushWait = time.Since(enqueuedAt)
+	if out.err != nil {
+		return 0, tm, false, out.err
+	}
+	return prep.edits, tm, false, nil
+}
+
+// prepareUpdateLocked is the read-modify-write half of an update: the
+// verified read, the in-memory edits, the client table rewrite, the
+// band and block re-issue, and the chained verifier advance. It does
+// NOT set the frame's NewRoot (the send path decides which member of
+// a batch carries it) and does NOT contact the backend beyond the
+// read. (nil, false, nil) means no values changed; conflict=true
+// means the read's blocks collide with the queued batch and the
+// caller must flush and redo. Caller holds s.mu exclusively.
+func (s *System) prepareUpdateLocked(ctx context.Context, path *xpath.Path, q, newValue string) (*preparedUpdate, bool, error) {
 	qs, err := s.Client.Translate(path)
 	if err != nil {
-		return 0, err
+		return nil, false, err
 	}
 	// The read half of the read-modify-write is verified like any
 	// query: a verifying transport (remote.WithVerifier) rejects
 	// proofless answers, and an update must not be computed from an
-	// answer the server could have forged.
-	qs.WantProof = s.verifier != nil
-	ans, err := s.Server.Execute(ctx, qs)
+	// answer the server could have forged. With EnableMirrorReads on,
+	// the read is served by the owner's own replica instead — trusted
+	// by construction, so proofless and round-trip-free; this takes
+	// the serialized backend RTT out from under the exclusive lock,
+	// which is the batched pipeline's floor.
+	backend := s.Server
+	if s.mirrorExec != nil {
+		backend = Local{S: s.mirrorExec}
+	} else {
+		qs.WantProof = s.verifier != nil
+	}
+	ans, err := backend.Execute(ctx, qs)
 	if err != nil {
-		return 0, err
+		return nil, false, err
+	}
+	if s.queuedBlockConflictLocked(ans.BlockIDs) {
+		return nil, true, nil
 	}
 	blocks, err := s.Client.DecryptBlocks(ans)
 	if err != nil {
-		return 0, err
+		return nil, false, err
 	}
 	res, err := s.Client.PostProcessFull(path, ans, blocks)
 	if err != nil {
-		return 0, err
+		return nil, false, err
 	}
 	if len(res.Nodes) == 0 {
-		return 0, nil
+		return nil, false, nil
 	}
 
 	type edit struct {
@@ -81,11 +220,11 @@ func (s *System) UpdateLeafValuesContext(ctx context.Context, q string, newValue
 	var edits []edit
 	for _, n := range res.Nodes {
 		if !n.IsLeaf() || n.Kind == xmltree.Text {
-			return 0, fmt.Errorf("core: update target %s is not a leaf", q)
+			return nil, false, fmt.Errorf("core: update target %s is not a leaf", q)
 		}
 		bid, content, ok := blockOf(n, res.BlockOf)
 		if !ok {
-			return 0, fmt.Errorf("core: update target %s is stored in plaintext; only encrypted values can be updated", q)
+			return nil, false, fmt.Errorf("core: update target %s is stored in plaintext; only encrypted values can be updated", q)
 		}
 		old := n.LeafValue()
 		if old == newValue {
@@ -101,12 +240,12 @@ func (s *System) UpdateLeafValuesContext(ctx context.Context, q string, newValue
 		edits = append(edits, edit{tagKey: key, oldValue: old, blockID: bid})
 	}
 	if len(edits) == 0 {
-		return 0, nil
+		return nil, false, nil
 	}
 
 	for _, e := range edits {
 		if err := s.Client.ApplyValueEdit(e.tagKey, e.oldValue, newValue, e.blockID); err != nil {
-			return 0, err
+			return nil, false, err
 		}
 	}
 
@@ -114,7 +253,7 @@ func (s *System) UpdateLeafValuesContext(ctx context.Context, q string, newValue
 	for key := range touchedAttrs {
 		entries, band, err := s.Client.RebuildEntries(key)
 		if err != nil {
-			return 0, err
+			return nil, false, err
 		}
 		upd.DropBands = append(upd.DropBands, band)
 		upd.AddEntries = append(upd.AddEntries, entries...)
@@ -122,24 +261,26 @@ func (s *System) UpdateLeafValuesContext(ctx context.Context, q string, newValue
 	for bid, content := range touchedBlocks {
 		ct, err := s.Client.ReencryptBlock(content)
 		if err != nil {
-			return 0, err
+			return nil, false, err
 		}
 		upd.Blocks = append(upd.Blocks, wire.BlockUpdate{ID: bid, Ciphertext: ct})
 	}
 
-	// With integrity enabled, precompute the post-update root on a
-	// clone of the verifier: the root travels with the update (SXU3)
-	// so the server can cross-check its own recomputation, and the
-	// clone only replaces the live verifier once the server acks — a
-	// failed update leaves the commitment at the pre-update state.
+	// With integrity enabled, precompute this member's post-state on
+	// a clone chained from its predecessor — the batch tail when
+	// anything is queued, the live verifier otherwise. The clone only
+	// replaces the live verifier once the server acks; a failed
+	// update leaves the commitment at the pre-update state.
+	base := s.verifier
+	if b := s.updBatch; b != nil && len(b.queue) > 0 {
+		base = b.queue[len(b.queue)-1].prep.next
+	}
 	var nextVerifier *wire.AuthVerifier
-	if s.verifier != nil {
-		nextVerifier = s.verifier.Clone()
+	if base != nil {
+		nextVerifier = base.Clone()
 		if err := nextVerifier.ApplyUpdate(upd); err != nil {
-			return 0, err
+			return nil, false, err
 		}
-		root := nextVerifier.Root()
-		upd.NewRoot = root[:]
 	}
 
 	// A zero request ID is assigned here (not left to the transport)
@@ -149,23 +290,7 @@ func (s *System) UpdateLeafValuesContext(ctx context.Context, q string, newValue
 	if upd.RequestID == 0 {
 		upd.RequestID = wire.NewRequestID()
 	}
-
-	if err := s.Server.ApplyUpdate(ctx, upd); err != nil {
-		if ambiguousUpdateFailure(s.Server, err) {
-			// The server may hold (durably, or about to recover to)
-			// either side of this update, and the client tables above
-			// are already rewritten. Stash the frame: Reconcile resends
-			// it under the same request ID, which is correct in both
-			// worlds — a dedup ack if it landed, a fresh idempotent
-			// apply if it didn't.
-			s.pending = &pendingUpdate{upd: upd, nextVerifier: nextVerifier, edits: len(edits)}
-			return 0, errors.Join(err, ErrUpdatePending)
-		}
-		// Definite rejection: the server's state did not change.
-		return 0, err
-	}
-	s.commitUpdateLocked(upd, nextVerifier)
-	return len(edits), nil
+	return &preparedUpdate{upd: upd, next: nextVerifier, edits: len(edits)}, false, nil
 }
 
 // commitUpdateLocked finishes an acknowledged update: promote the
@@ -175,14 +300,48 @@ func (s *System) commitUpdateLocked(upd *wire.Update, nextVerifier *wire.AuthVer
 	if nextVerifier != nil {
 		// Advance in place: remote.WithVerifier shares this instance,
 		// so the transport sees the new root without re-wiring. Safe
-		// under the exclusive lock held for the whole update.
+		// under the exclusive lock held for the whole update. Finalize
+		// the (possibly deferred) root first — concurrent Verify calls
+		// on the shared instance must never find it dirty.
+		nextVerifier.Root()
 		*s.verifier = *nextVerifier
 	}
 	s.mirrorUpdate(upd)
+	s.applyMirrorExec([]*wire.Update{upd})
 	// Cached answers may now reference replaced blocks; drop them
 	// rather than serve a provably outdated fallback.
 	if s.staleCache != nil {
 		s.staleCache.Clear()
+	}
+}
+
+// applyMirrorExec replays committed frames onto the mirror-read
+// replica (no-op when EnableMirrorReads is off) so its value index
+// and generation track the server's. The replica shares the HostedDB
+// object, so mirrorUpdate has already written the blocks and folded
+// the index entries; replaying the band drop-and-re-add is idempotent
+// over that, and the replay is what rebuilds the replica's B-tree.
+// NewRoot is stripped: the replica keeps no Merkle state (the root
+// cross-check already ran on the real server), and carrying it would
+// make the replica build one lazily. A replica that rejects a frame
+// is dropped — reads fall back to the backend rather than run against
+// a replica that missed a commit. Caller holds s.mu exclusively.
+func (s *System) applyMirrorExec(us []*wire.Update) {
+	if s.mirrorExec == nil || len(us) == 0 {
+		return
+	}
+	stripped := make([]*wire.Update, len(us))
+	for i, u := range us {
+		if len(u.NewRoot) == 0 {
+			stripped[i] = u
+			continue
+		}
+		cp := *u
+		cp.NewRoot = nil
+		stripped[i] = &cp
+	}
+	if err := s.mirrorExec.ApplyUpdateBatch(stripped); err != nil {
+		s.mirrorExec = nil
 	}
 }
 
@@ -219,7 +378,13 @@ func (s *System) Reconcile(ctx context.Context) (int, error) {
 		return 0, nil
 	}
 	p := s.pending
-	if err := s.Server.ApplyUpdate(ctx, p.upd); err != nil {
+	var err error
+	if p.batch != nil {
+		err = s.resendBatchLocked(ctx, p.batch)
+	} else {
+		err = s.Server.ApplyUpdate(ctx, p.upd)
+	}
+	if err != nil {
 		if ambiguousUpdateFailure(s.Server, err) {
 			return 0, errors.Join(err, ErrUpdatePending)
 		}
@@ -231,9 +396,39 @@ func (s *System) Reconcile(ctx context.Context) (int, error) {
 		s.pending = nil
 		return 0, err
 	}
-	s.commitUpdateLocked(p.upd, p.nextVerifier)
+	if p.batch != nil {
+		for _, u := range p.batch.Updates {
+			s.mirrorUpdate(u)
+		}
+		s.applyMirrorExec(p.batch.Updates)
+		if p.nextVerifier != nil {
+			p.nextVerifier.Root()
+			*s.verifier = *p.nextVerifier
+		}
+		if s.staleCache != nil {
+			s.staleCache.Clear()
+		}
+	} else {
+		s.commitUpdateLocked(p.upd, p.nextVerifier)
+	}
 	s.pending = nil
 	return p.edits, nil
+}
+
+// resendBatchLocked re-issues a stashed batch under its original
+// request IDs: as one frame when the backend can take it, member by
+// member otherwise (each member dedups or re-applies idempotently on
+// its own ID, so partial prior applications converge too).
+func (s *System) resendBatchLocked(ctx context.Context, b *wire.UpdateBatch) error {
+	if bb, ok := s.Server.(BatchBackend); ok {
+		return bb.ApplyUpdateBatch(ctx, b)
+	}
+	for _, u := range b.Updates {
+		if err := s.Server.ApplyUpdate(ctx, u); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // UpdatePending reports whether an ambiguous update awaits Reconcile.

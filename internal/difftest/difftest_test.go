@@ -65,6 +65,29 @@ func TestDifferentialCorpusWithUpdates(t *testing.T) {
 	}
 }
 
+// TestDifferentialCorpusBatchedUpdates runs the fixed corpus through
+// the group-commit mode: concurrent callers update disjoint targets
+// through the batcher between query passes, each caller's edit is
+// individually proven against the batch root, and every pass must
+// match the mirrored plaintext. Each case spins up five systems and
+// waits on batch timers, so the every-`go test` run uses a subset;
+// the full corpus runs from the soak targets.
+func TestDifferentialCorpusBatchedUpdates(t *testing.T) {
+	seeds := corpusSeeds
+	if testing.Short() {
+		seeds = seeds[:4]
+	}
+	for _, seed := range seeds {
+		c := GenCase(seed)
+		t.Run(c.DocName+"/"+itoa(seed), func(t *testing.T) {
+			t.Parallel()
+			if err := RunCaseWithBatchedUpdates(c); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
 // TestDifferentialOpenEnded draws fresh seeds for the configured
 // duration. The starting seed is the wall clock, so successive runs
 // explore different cases; the failure message carries the seed for

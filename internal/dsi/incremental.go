@@ -1,0 +1,106 @@
+package dsi
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/cryptoprim"
+	"repro/internal/xmltree"
+)
+
+// Incremental maintenance of a DSI assignment under node insertion
+// and deletion. The w1,w2 weight scheme of Figure 3 leaves a strictly
+// positive random gap on both sides of every child interval; an
+// insertion can therefore usually be served by carving the new
+// interval out of the gap at its position — no existing node moves,
+// so no index-table entry for a surviving node needs re-issuing. Only
+// when repeated insertions have squeezed a gap below floating-point
+// resolution does the parent's subtree fall back to full
+// re-derivation (assignChildren), which redistributes the parent
+// interval evenly again.
+
+// InsertChild assigns an interval to child, which the caller has
+// already linked under parent (any position among its indexable
+// children), and recursively to child's own descendants. It returns
+// true when the gap headroom sufficed — every pre-existing interval
+// is untouched — and false when headroom was exhausted and the whole
+// subtree under parent was re-derived.
+func (asg Assignment) InsertChild(parent, child *xmltree.Node, keys *cryptoprim.KeySet) (bool, error) {
+	piv, ok := asg[parent]
+	if !ok {
+		return false, fmt.Errorf("dsi: insert under %s: parent has no interval", parent.Path())
+	}
+	siblings := indexableChildren(parent)
+	pos := -1
+	for i, c := range siblings {
+		if c == child {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return false, fmt.Errorf("dsi: insert: child not linked under %s", parent.Path())
+	}
+
+	// The free gap at the insertion point: from the previous indexable
+	// sibling's upper bound (or the parent's lower bound) to the next
+	// sibling's lower bound (or the parent's upper bound). The child
+	// itself is already linked, so its neighbors sit at pos-1 / pos+1.
+	gap := Interval{Lo: piv.Lo, Hi: piv.Hi}
+	if pos > 0 {
+		prev, ok := asg[siblings[pos-1]]
+		if !ok {
+			return false, fmt.Errorf("dsi: insert: sibling %s has no interval", siblings[pos-1].Path())
+		}
+		gap.Lo = prev.Hi
+	}
+	if pos+1 < len(siblings) {
+		next, ok := asg[siblings[pos+1]]
+		if !ok {
+			return false, fmt.Errorf("dsi: insert: sibling %s has no interval", siblings[pos+1].Path())
+		}
+		gap.Hi = next.Lo
+	}
+
+	// Mini-assignment with N=1 inside the gap: the same d/w1/w2 shape
+	// as Figure 3, so the server cannot distinguish a carved-in child
+	// from an original one.
+	d := (gap.Hi - gap.Lo) / 3
+	sig := "ins:" + strconv.Itoa(parent.ID) + ":" + strconv.Itoa(child.ID)
+	w1 := keys.DSIWeight(sig, pos, 1)
+	w2 := keys.DSIWeight(sig, pos, 2)
+	civ := Interval{
+		Lo: gap.Lo + d - w1*d,
+		Hi: gap.Lo + 2*d + w2*d,
+	}
+	if civ.Valid() && piv.StrictlyContains(civ) && gap.Lo < civ.Lo && civ.Hi < gap.Hi {
+		asg[child] = civ
+		assignChildren(child, civ, keys, asg)
+		return true, nil
+	}
+
+	// Headroom exhausted (the gap collapsed below float64 resolution):
+	// re-derive every interval under parent from its own interval.
+	asg.reassignSubtree(parent, keys)
+	return false, nil
+}
+
+// RemoveNode drops n and its whole subtree from the assignment; the
+// caller unlinks n from the tree. Removal never disturbs neighbors —
+// the freed interval simply widens the gap headroom later insertions
+// consume.
+func (asg Assignment) RemoveNode(n *xmltree.Node) {
+	delete(asg, n)
+	for _, c := range n.Children {
+		asg.RemoveNode(c)
+	}
+}
+
+// reassignSubtree re-derives every interval strictly below parent
+// from parent's (unchanged) interval.
+func (asg Assignment) reassignSubtree(parent *xmltree.Node, keys *cryptoprim.KeySet) {
+	for _, c := range parent.Children {
+		asg.RemoveNode(c)
+	}
+	assignChildren(parent, asg[parent], keys, asg)
+}

@@ -1,0 +1,249 @@
+package dsi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cryptoprim"
+	"repro/internal/xmltree"
+)
+
+// indexableNodes collects every element and attribute node in
+// document (preorder) order.
+func indexableNodes(doc *xmltree.Document) []*xmltree.Node {
+	var out []*xmltree.Node
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		if n.Kind != xmltree.Text {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// insertAt splices c under parent at child position idx and sets the
+// parent link (the raw form of AppendChild, for arbitrary positions).
+func insertAt(parent, c *xmltree.Node, idx int) {
+	c.Parent = parent
+	parent.Children = append(parent.Children[:idx],
+		append([]*xmltree.Node{c}, parent.Children[idx:]...)...)
+}
+
+// equivalentToFresh verifies that the incrementally maintained
+// assignment induces the same structure as a from-scratch Assign of
+// the mutated document: preorder document order by Lo, and the same
+// pairwise containment/before relations (which is what Within and the
+// structural joins consume).
+func equivalentToFresh(t *testing.T, doc *xmltree.Document, asg Assignment, ks *cryptoprim.KeySet) bool {
+	t.Helper()
+	nodes := indexableNodes(doc)
+	fresh := Assign(doc, ks)
+	prev := -1.0
+	for _, n := range nodes {
+		iv, ok := asg[n]
+		if !ok {
+			t.Logf("node %s missing from incremental assignment", n.Path())
+			return false
+		}
+		if iv.Lo <= prev {
+			t.Logf("preorder Lo not increasing at %s", n.Path())
+			return false
+		}
+		prev = iv.Lo
+	}
+	if len(asg) != len(fresh) {
+		t.Logf("incremental has %d intervals, fresh %d", len(asg), len(fresh))
+		return false
+	}
+	for i, a := range nodes {
+		for j, b := range nodes {
+			if i == j {
+				continue
+			}
+			if asg[a].StrictlyContains(asg[b]) != fresh[a].StrictlyContains(fresh[b]) {
+				t.Logf("containment of (%s, %s) disagrees with fresh derivation", a.Path(), b.Path())
+				return false
+			}
+			if asg[a].Before(asg[b]) != fresh[a].Before(fresh[b]) {
+				t.Logf("order of (%s, %s) disagrees with fresh derivation", a.Path(), b.Path())
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Property: a randomized sequence of incremental insertions and
+// deletions preserves the Figure 3 invariants (Check) and stays
+// structurally equivalent — order, laminarity, Within semantics — to
+// re-deriving the whole document from scratch after every operation.
+func TestQuickIncrementalInsertDelete(t *testing.T) {
+	ks := cryptoprim.MustKeySet("quick-incremental")
+	f := func(seed uint32) bool {
+		s := seed
+		next := func(n uint32) uint32 {
+			s = s*1664525 + 1013904223
+			return (s >> 16) % n
+		}
+		doc := genDoc(seed)
+		asg := Assign(doc, ks)
+		for op := 0; op < 25; op++ {
+			nodes := indexableNodes(doc)
+			if next(3) != 0 || len(nodes) < 3 {
+				// Insert a small subtree at a random position under a
+				// random element.
+				var parents []*xmltree.Node
+				for _, n := range nodes {
+					if n.Kind == xmltree.Element {
+						parents = append(parents, n)
+					}
+				}
+				p := parents[next(uint32(len(parents)))]
+				c := xmltree.NewElement("z")
+				if next(2) == 0 {
+					c.AppendChild(xmltree.NewElement("y"))
+				}
+				insertAt(p, c, int(next(uint32(len(p.Children)+1))))
+				if _, err := asg.InsertChild(p, c, ks); err != nil {
+					t.Logf("insert: %v", err)
+					return false
+				}
+			} else {
+				// Delete a random non-root element subtree.
+				var victims []*xmltree.Node
+				for _, n := range nodes {
+					if n != doc.Root && n.Kind == xmltree.Element {
+						victims = append(victims, n)
+					}
+				}
+				if len(victims) == 0 {
+					continue
+				}
+				v := victims[next(uint32(len(victims)))]
+				v.Parent.RemoveChild(v)
+				asg.RemoveNode(v)
+			}
+			if err := asg.Check(doc); err != nil {
+				t.Logf("after op %d: %v", op, err)
+				return false
+			}
+			if !equivalentToFresh(t, doc, asg, ks) {
+				t.Logf("after op %d: diverged from fresh derivation", op)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Incremental insertion must not move any pre-existing interval —
+// that is the whole point (no index-table re-issue for survivors).
+func TestIncrementalInsertLeavesNeighborsUntouched(t *testing.T) {
+	ks := cryptoprim.MustKeySet("incr-neighbors")
+	doc := xmltree.MustParse("<r><a/><b/><c/></r>")
+	asg := Assign(doc, ks)
+	before := map[*xmltree.Node]Interval{}
+	for n, iv := range asg {
+		before[n] = iv
+	}
+
+	c := xmltree.NewElement("x")
+	insertAt(doc.Root, c, 1) // between <a/> and <b/>
+	incr, err := asg.InsertChild(doc.Root, c, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !incr {
+		t.Fatal("first insertion into a fresh gap fell back to re-derivation")
+	}
+	for n, iv := range before {
+		if asg[n] != iv {
+			t.Fatalf("insertion moved %s: %v -> %v", n.Path(), iv, asg[n])
+		}
+	}
+	if err := asg.Check(doc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Hammering one gap must eventually exhaust its float64 headroom and
+// trigger the re-derivation fallback — and the assignment must be
+// valid both before and after that cliff.
+func TestIncrementalInsertExhaustsHeadroom(t *testing.T) {
+	ks := cryptoprim.MustKeySet("incr-exhaust")
+	doc := xmltree.MustParse("<r><a><b/></a></r>")
+	asg := Assign(doc, ks)
+	// Squeeze a gap whose lower bound is non-zero (inside <a>), so
+	// float64 absorption — Lo + d rounding back to Lo — is reachable
+	// in tens of insertions rather than hundreds (a gap anchored at
+	// exactly 0.0 can shrink into denormals for ~500 rounds).
+	parent := doc.Root.Children[0]
+
+	fallbacks, incremental := 0, 0
+	for i := 0; i < 200; i++ {
+		c := xmltree.NewElement("z")
+		insertAt(parent, c, 0) // always squeeze the leftmost gap
+		incr, err := asg.InsertChild(parent, c, ks)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if incr {
+			incremental++
+		} else {
+			fallbacks++
+		}
+		if err := asg.Check(doc); err != nil {
+			t.Fatalf("after insert %d (incr=%v): %v", i, incr, err)
+		}
+	}
+	if fallbacks == 0 {
+		t.Fatal("200 same-gap insertions never exhausted the headroom")
+	}
+	if incremental == 0 {
+		t.Fatal("no insertion used the gap headroom")
+	}
+	t.Logf("incremental=%d fallbacks=%d", incremental, fallbacks)
+}
+
+// Deletion frees the subtree's intervals without disturbing anything
+// else, and the freed range is reusable headroom.
+func TestRemoveNodeFreesSubtree(t *testing.T) {
+	ks := cryptoprim.MustKeySet("incr-remove")
+	doc := xmltree.MustParse("<r><a><b/><c/></a><d/></r>")
+	asg := Assign(doc, ks)
+	a := doc.Root.Children[0]
+	d := doc.Root.Children[1]
+	dIv := asg[d]
+	removed := append([]*xmltree.Node{a}, a.Descendants()...)
+
+	doc.Root.RemoveChild(a)
+	asg.RemoveNode(a)
+	for _, n := range removed {
+		if _, ok := asg[n]; ok {
+			t.Fatalf("removed node %s still assigned", n.Tag)
+		}
+	}
+	if asg[d] != dIv {
+		t.Fatalf("removal moved sibling d: %v -> %v", dIv, asg[d])
+	}
+	if err := asg.Check(doc); err != nil {
+		t.Fatal(err)
+	}
+
+	// The freed range is available again: a new child carves into it.
+	c := xmltree.NewElement("e")
+	insertAt(doc.Root, c, 0)
+	incr, err := asg.InsertChild(doc.Root, c, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !incr {
+		t.Fatal("insertion into a freed gap fell back")
+	}
+	if err := asg.Check(doc); err != nil {
+		t.Fatal(err)
+	}
+}

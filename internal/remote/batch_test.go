@@ -1,0 +1,308 @@
+package remote
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+	"repro/internal/xmltree"
+)
+
+// hostHospital uploads the hospital database to svc over httptest and
+// returns the owner system plus a dialed client.
+func hostHospital(t *testing.T, svc *Service) (*core.System, *httptest.Server, *Client) {
+	t.Helper()
+	doc, err := xmltree.ParseString(hospitalXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.Host(doc, scs, core.SchemeOpt, []byte("batch-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc)
+	t.Cleanup(ts.Close)
+	cl := Dial(ts.URL, "hospital").WithHTTPClient(ts.Client())
+	if err := cl.Upload(context.Background(), sys.HostedDB); err != nil {
+		t.Fatal(err)
+	}
+	return sys, ts, cl
+}
+
+// blockUpdate replaces block 0's ciphertext (transport-level tests
+// don't decrypt afterwards, so any bytes do).
+func blockUpdate(id uint64, ct ...byte) *wire.Update {
+	return &wire.Update{RequestID: id, Blocks: []wire.BlockUpdate{{ID: 0, Ciphertext: ct}}}
+}
+
+func (s *Service) hospital(t *testing.T) *hosted {
+	t.Helper()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h := s.dbs["hospital"]
+	if h == nil {
+		t.Fatal("hospital not hosted")
+	}
+	return h
+}
+
+func TestRemoteBatchFrame(t *testing.T) {
+	svc := NewService()
+	_, _, cl := hostHospital(t, svc)
+	h := svc.hospital(t)
+	gen0 := h.srv.Generation()
+
+	b := &wire.UpdateBatch{
+		RequestID: 77,
+		Updates:   []*wire.Update{blockUpdate(1, 9, 9), blockUpdate(2, 8, 8, 8)},
+	}
+	if err := cl.ApplyUpdateBatch(context.Background(), b); err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if got := h.srv.Generation(); got != gen0+1 {
+		t.Fatalf("batch of 2 bumped generation %d times, want 1", got-gen0)
+	}
+	if h.updBatches.Load() != 1 || h.updBatched.Load() != 2 {
+		t.Fatalf("batch counters: batches=%d batched=%d", h.updBatches.Load(), h.updBatched.Load())
+	}
+
+	// A retry of the whole batch dedups at the batch level.
+	if err := cl.ApplyUpdateBatch(context.Background(), b); err != nil {
+		t.Fatalf("batch retry: %v", err)
+	}
+	if svc.DedupHits() != 1 {
+		t.Fatalf("dedup hits = %d after batch retry", svc.DedupHits())
+	}
+	// A single-update retry of a member dedups too.
+	if err := cl.ApplyUpdate(context.Background(), blockUpdate(1, 9, 9)); err != nil {
+		t.Fatalf("member retry: %v", err)
+	}
+	if svc.DedupHits() != 2 {
+		t.Fatalf("dedup hits = %d after member retry", svc.DedupHits())
+	}
+	if got := h.srv.Generation(); got != gen0+1 {
+		t.Fatalf("retries moved the generation to %d", got)
+	}
+}
+
+func TestUpdateCoalescingBySize(t *testing.T) {
+	// maxWait is deliberately huge: only the size trigger may flush,
+	// which proves the four concurrent requests really shared one
+	// group commit.
+	svc := NewService().WithUpdateBatching(4, time.Minute)
+	_, _, cl := hostHospital(t, svc)
+	h := svc.hospital(t)
+	gen0 := h.srv.Generation()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = cl.ApplyUpdate(context.Background(), blockUpdate(uint64(100+i), byte(i)))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+	if got := h.srv.Generation(); got != gen0+1 {
+		t.Fatalf("4 coalesced updates bumped generation %d times, want 1", got-gen0)
+	}
+	if h.updBatches.Load() != 1 || h.updBatched.Load() != 4 || h.updFlushSize.Load() != 1 {
+		t.Fatalf("counters: batches=%d batched=%d bySize=%d",
+			h.updBatches.Load(), h.updBatched.Load(), h.updFlushSize.Load())
+	}
+	if h.updMaxBatch.Load() != 4 {
+		t.Fatalf("maxBatch = %d", h.updMaxBatch.Load())
+	}
+	if h.updEnqueueNs.Load() <= 0 || h.updApplyNs.Load() <= 0 {
+		t.Fatal("batching timings not recorded")
+	}
+}
+
+func TestUpdateCoalescingByTimer(t *testing.T) {
+	// Queue far larger than the traffic: only the timer can flush.
+	svc := NewService().WithUpdateBatching(64, 5*time.Millisecond)
+	_, _, cl := hostHospital(t, svc)
+	h := svc.hospital(t)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = cl.ApplyUpdate(context.Background(), blockUpdate(uint64(200+i), byte(i)))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+	if h.updFlushTime.Load() == 0 {
+		t.Fatal("no timer-triggered flush")
+	}
+	if h.updSingles.Load() != 0 {
+		t.Fatalf("%d updates bypassed the coalescer", h.updSingles.Load())
+	}
+	if got := h.updBatched.Load(); got != 2 {
+		t.Fatalf("batched = %d, want 2", got)
+	}
+}
+
+func TestCoalescingFallbackIsolatesBadMember(t *testing.T) {
+	svc := NewService().WithUpdateBatching(2, time.Minute)
+	_, _, cl := hostHospital(t, svc)
+	h := svc.hospital(t)
+	gen0 := h.srv.Generation()
+
+	cl.WithRetry(NoRetry)
+	bad := &wire.Update{RequestID: 301, Blocks: []wire.BlockUpdate{{ID: 1 << 20, Ciphertext: []byte{1}}}}
+	good := blockUpdate(302, 5, 5)
+	var wg sync.WaitGroup
+	var badErr, goodErr error
+	wg.Add(2)
+	go func() { defer wg.Done(); badErr = cl.ApplyUpdate(context.Background(), bad) }()
+	go func() { defer wg.Done(); goodErr = cl.ApplyUpdate(context.Background(), good) }()
+	wg.Wait()
+
+	// The malformed member rejects alone; its co-batched neighbor
+	// commits through the one-at-a-time fallback.
+	if badErr == nil {
+		t.Fatal("out-of-range update acknowledged")
+	}
+	if goodErr != nil {
+		t.Fatalf("good update rejected alongside the bad one: %v", goodErr)
+	}
+	if got := h.srv.Generation(); got != gen0+1 {
+		t.Fatalf("generation moved %d, want 1 (good member only)", got-gen0)
+	}
+	if h.updSingles.Load() != 1 {
+		t.Fatalf("fallback singles = %d, want 1", h.updSingles.Load())
+	}
+	if h.updBatches.Load() != 0 {
+		t.Fatalf("failed batch counted as committed: %d", h.updBatches.Load())
+	}
+}
+
+func TestBatchRecordReplaysAtomically(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := NewPersistentService(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts, cl := hostHospital(t, svc)
+	h := svc.hospital(t)
+
+	b := &wire.UpdateBatch{
+		RequestID: 401,
+		Updates: []*wire.Update{
+			{RequestID: 402, Blocks: []wire.BlockUpdate{{ID: 0, Ciphertext: []byte{1, 2, 3}}}},
+			{RequestID: 403, Blocks: []wire.BlockUpdate{{ID: 1, Ciphertext: []byte{4, 5}}}},
+			{RequestID: 404, Blocks: []wire.BlockUpdate{{ID: 0, Ciphertext: []byte{6, 7, 8}}}},
+		},
+	}
+	if err := cl.ApplyUpdateBatch(context.Background(), b); err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	wantGen := h.srv.Generation()
+	ts.Close()
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the batch record — one WAL record for all three members
+	// — replays as one unit at its original generation.
+	svc2, err := NewPersistentService(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	if q := svc2.Quarantined(); len(q) != 0 {
+		t.Fatalf("quarantined on reload: %+v", q)
+	}
+	h2 := svc2.hospital(t)
+	if got := h2.srv.Generation(); got != wantGen {
+		t.Fatalf("recovered generation %d, want %d", got, wantGen)
+	}
+	rec := svc2.Recoveries()["hospital"]
+	if rec.Replayed != 1 {
+		t.Fatalf("replayed %d records, want 1 (the batch)", rec.Replayed)
+	}
+	if got := h2.db.Blocks[0]; len(got) != 3 || got[0] != 6 {
+		t.Fatalf("block 0 after replay = %v (later member must win)", got)
+	}
+	if got := h2.db.Blocks[1]; len(got) != 2 || got[0] != 4 {
+		t.Fatalf("block 1 after replay = %v", got)
+	}
+	// The dedup table is re-armed for the batch AND its members.
+	for _, id := range []uint64{401, 402, 403, 404} {
+		if !h2.seen[id] {
+			t.Fatalf("request id %d not re-armed after replay", id)
+		}
+	}
+}
+
+func TestCoalescedUpdatesAreDurable(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := NewPersistentService(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.WithUpdateBatching(4, time.Minute)
+	_, ts, cl := hostHospital(t, svc)
+	h := svc.hospital(t)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = cl.ApplyUpdate(context.Background(), blockUpdate(uint64(500+i), byte(10+i)))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+	wantGen := h.srv.Generation()
+	lastCT := append([]byte(nil), h.db.Blocks[0]...)
+	ts.Close()
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2, err := NewPersistentService(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	h2 := svc2.hospital(t)
+	if got := h2.srv.Generation(); got != wantGen {
+		t.Fatalf("recovered generation %d, want %d", got, wantGen)
+	}
+	if rec := svc2.Recoveries()["hospital"]; rec.Replayed != 1 {
+		t.Fatalf("replayed %d records, want 1 (one record per group commit)", rec.Replayed)
+	}
+	if got := h2.db.Blocks[0]; string(got) != string(lastCT) {
+		t.Fatalf("block 0 after replay = %v, want %v", got, lastCT)
+	}
+	for i := 0; i < 4; i++ {
+		if !h2.seen[uint64(500+i)] {
+			t.Fatalf("member id %d not re-armed", 500+i)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package remote
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/walog"
+	"repro/internal/wire"
+)
+
+// Server-side group commit for the update endpoint. Concurrent
+// single-update POSTs enqueue into a per-database queue; the request
+// that fills the queue to the configured size — or a timer armed by
+// the first request — flushes the whole queue as ONE
+// server.ApplyUpdateBatch call (one write-lock acquisition, one
+// incremental Merkle advance, one generation bump) followed by ONE
+// WAL record and group fsync. Every enqueued caller blocks until its
+// batch is durable and then receives its own outcome, so the
+// ack-after-fsync contract is exactly that of the one-at-a-time path.
+// See WithUpdateBatching.
+
+// defaultUpdateMaxWait bounds how long the first update of a batch
+// waits for company before the batch flushes anyway. Small: it is
+// pure added latency when the system is idle.
+const defaultUpdateMaxWait = 2 * time.Millisecond
+
+// updateBatching is the service-level configuration (nil = off).
+type updateBatching struct {
+	size    int
+	maxWait time.Duration
+}
+
+// updateResult is what a queued caller gets back: the apply outcome
+// of its own update and the persistence outcome of its batch.
+type updateResult struct {
+	applyErr   error
+	persistErr error
+}
+
+// queuedUpdate is one caller waiting in the coalescing queue.
+type queuedUpdate struct {
+	raw  []byte // the SXU frame as the client sent it (fallback WAL payload)
+	upd  *wire.Update
+	done chan updateResult // buffered(1); exactly one result is ever sent
+}
+
+// updateQueue is the per-database coalescing state, embedded in
+// hosted. Its mutex orders enqueues and flush hand-offs only; it is
+// never held across apply or fsync.
+type updateQueue struct {
+	mu      sync.Mutex
+	pending []*queuedUpdate
+	timer   *time.Timer
+}
+
+// takeLocked steals the pending batch and disarms the flush timer.
+// Caller holds q.mu. A timer that already fired finds the queue empty
+// and does nothing.
+func (q *updateQueue) takeLocked() []*queuedUpdate {
+	if q.timer != nil {
+		q.timer.Stop()
+		q.timer = nil
+	}
+	batch := q.pending
+	q.pending = nil
+	return batch
+}
+
+// enqueueUpdate queues one rootless update for group commit and
+// blocks until its batch is applied and durable (bounded by maxWait
+// plus one apply and one fsync — which is why the caller's context is
+// not consulted here). The filling request flushes inline; otherwise
+// the first request of a batch arms the timer that will.
+func (s *Service) enqueueUpdate(h *hosted, raw []byte, upd *wire.Update) (applyErr, persistErr error) {
+	cfg := s.batching
+	qu := &queuedUpdate{raw: raw, upd: upd, done: make(chan updateResult, 1)}
+	q := &h.updQ
+	t0 := time.Now()
+	q.mu.Lock()
+	q.pending = append(q.pending, qu)
+	if len(q.pending) >= cfg.size {
+		batch := q.takeLocked()
+		q.mu.Unlock()
+		h.updFlushSize.Add(1)
+		s.flushUpdates(h, batch)
+	} else {
+		if len(q.pending) == 1 {
+			q.timer = time.AfterFunc(cfg.maxWait, func() {
+				q.mu.Lock()
+				batch := q.takeLocked()
+				q.mu.Unlock()
+				if len(batch) == 0 {
+					return // a size-triggered flush got here first
+				}
+				h.updFlushTime.Add(1)
+				s.flushUpdates(h, batch)
+			})
+		}
+		q.mu.Unlock()
+	}
+	res := <-qu.done
+	h.updEnqueueNs.Add(int64(time.Since(t0)))
+	return res.applyErr, res.persistErr
+}
+
+// flushUpdates commits one coalesced batch: dedup-filter, one atomic
+// batch apply, one WAL record, one group fsync, then per-caller
+// delivery. On a batch apply failure it falls back to applying the
+// members one at a time, so one malformed update rejects alone
+// instead of poisoning its co-batched neighbors.
+func (s *Service) flushUpdates(h *hosted, batch []*queuedUpdate) {
+	h.mu.Lock()
+	var fresh []*queuedUpdate
+	var dups []*queuedUpdate
+	for _, qu := range batch {
+		if qu.upd.RequestID != 0 && h.seen[qu.upd.RequestID] {
+			dups = append(dups, qu)
+		} else {
+			fresh = append(fresh, qu)
+		}
+	}
+	if len(dups) > 0 {
+		s.dedupHits.Add(int64(len(dups)))
+	}
+	if len(fresh) == 0 {
+		h.mu.Unlock()
+		deliver(dups, updateResult{})
+		return
+	}
+	us := make([]*wire.Update, len(fresh))
+	for i, qu := range fresh {
+		us[i] = qu.upd
+	}
+	t0 := time.Now()
+	err := h.srv.ApplyUpdateBatch(us)
+	h.updApplyNs.Add(int64(time.Since(t0)))
+	if err != nil {
+		// Still holding h.mu; flushIndividually releases it.
+		s.flushIndividually(h, fresh)
+		deliver(dups, updateResult{})
+		return
+	}
+	h.noteBatch(len(us))
+	var persistErr error
+	var tk *walog.Ticket
+	if h.dur != nil {
+		// The WAL payload is a server-assembled SXB1 frame over the
+		// members (batch request ID zero: nothing ever retries this
+		// frame as a whole), so recovery replays the group exactly as
+		// it committed — atomically, under one generation.
+		payload, merr := wire.MarshalUpdateBatch(&wire.UpdateBatch{Updates: us})
+		if merr != nil {
+			persistErr = merr
+		} else {
+			tk, persistErr = s.stageDurable(h, recUpdateBatch, payload, us)
+		}
+	}
+	h.mu.Unlock()
+	if persistErr == nil {
+		t1 := time.Now()
+		persistErr = s.ensureDurable(h, tk)
+		h.updFsyncNs.Add(int64(time.Since(t1)))
+	}
+	if persistErr == nil {
+		h.mu.Lock()
+		for _, u := range us {
+			if u.RequestID != 0 {
+				h.rememberLocked(u.RequestID)
+			}
+		}
+		h.mu.Unlock()
+	}
+	deliver(fresh, updateResult{persistErr: persistErr})
+	deliver(dups, updateResult{})
+}
+
+// flushIndividually is the fallback when a batch apply rejects:
+// members re-apply one at a time, each staging its own legacy WAL
+// record, so the callers see exactly the outcomes sequential POSTs
+// would have produced. Called holding h.mu; releases it.
+func (s *Service) flushIndividually(h *hosted, batch []*queuedUpdate) {
+	results := make([]updateResult, len(batch))
+	tickets := make([]*walog.Ticket, len(batch))
+	for i, qu := range batch {
+		err := h.srv.ApplyUpdate(qu.upd)
+		results[i].applyErr = err
+		if err == nil {
+			h.updSingles.Add(1)
+			if h.dur != nil {
+				tickets[i], results[i].persistErr = s.stageDurable(h, recUpdate, qu.raw, []*wire.Update{qu.upd})
+			}
+		}
+	}
+	h.mu.Unlock()
+	for i, qu := range batch {
+		if results[i].applyErr == nil && results[i].persistErr == nil {
+			results[i].persistErr = s.ensureDurable(h, tickets[i])
+		}
+		if results[i].applyErr == nil && results[i].persistErr == nil && qu.upd.RequestID != 0 {
+			h.mu.Lock()
+			h.rememberLocked(qu.upd.RequestID)
+			h.mu.Unlock()
+		}
+		qu.done <- results[i]
+	}
+}
+
+// deliver sends one shared result to every queued caller.
+func deliver(qs []*queuedUpdate, res updateResult) {
+	for _, qu := range qs {
+		qu.done <- res
+	}
+}

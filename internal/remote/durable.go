@@ -20,9 +20,15 @@ import (
 // (persist.go) replays whatever the log holds past the last
 // checkpoint. See DESIGN.md, "Durability model".
 
-// recUpdate is the one WAL record type today: the payload is the raw
-// wire.Update frame exactly as the client sent it.
-const recUpdate byte = 1
+// WAL record types. recUpdate carries one raw wire.Update frame
+// exactly as the client sent it; recUpdateBatch carries a raw SXB1
+// batch frame (wire.UpdateBatch) — one record per committed batch, so
+// a group of updates that committed as one generation replays as one
+// atomic unit or not at all.
+const (
+	recUpdate      byte = 1
+	recUpdateBatch byte = 2
+)
 
 // defaultCheckpointEvery bounds how many WAL records accumulate
 // before a checkpoint truncates the log. Small enough that recovery
@@ -167,14 +173,16 @@ func (d *durable) close() {
 	}
 }
 
-// stageDurable records an applied update in the WAL. Called under
-// h.mu immediately after ApplyUpdate succeeded, so records enter the
-// log in commit order. It returns a ticket whose Wait blocks until
-// the record's group fsync — the caller waits *outside* h.mu so one
-// update's fsync doesn't serialize the next update's apply. A nil
-// ticket with nil error means the update is already durable (a
-// checkpoint ran instead of, or in addition to, the append).
-func (s *Service) stageDurable(h *hosted, raw []byte, upd *wire.Update) (*walog.Ticket, error) {
+// stageDurable records an applied update (or update batch) in the
+// WAL. Called under h.mu immediately after the apply succeeded, so
+// records enter the log in commit order. One batch is ONE record —
+// one CRC frame, one group fsync, one atomic replay unit. It returns
+// a ticket whose Wait blocks until the record's group fsync — the
+// caller waits *outside* h.mu so one update's fsync doesn't serialize
+// the next update's apply. A nil ticket with nil error means the
+// update is already durable (a checkpoint ran instead of, or in
+// addition to, the append).
+func (s *Service) stageDurable(h *hosted, typ byte, raw []byte, us []*wire.Update) (*walog.Ticket, error) {
 	d := h.dur
 	var tk *walog.Ticket
 	if d.wal != nil && !d.degraded {
@@ -182,7 +190,7 @@ func (s *Service) stageDurable(h *hosted, raw []byte, upd *wire.Update) (*walog.
 		tk, err = d.wal.Append(walog.Record{
 			Epoch:   h.srv.Epoch(),
 			Gen:     h.srv.Generation(),
-			Type:    recUpdate,
+			Type:    typ,
 			Payload: raw,
 		})
 		if err != nil {
@@ -190,8 +198,10 @@ func (s *Service) stageDurable(h *hosted, raw []byte, upd *wire.Update) (*walog.
 			tk = nil
 		}
 	}
-	for _, b := range upd.Blocks {
-		d.dirty[b.ID] = struct{}{}
+	for _, upd := range us {
+		for _, b := range upd.Blocks {
+			d.dirty[b.ID] = struct{}{}
+		}
 	}
 	d.sinceCheckpoint++
 	if d.degraded || d.wal == nil || d.sinceCheckpoint >= s.checkpointThreshold() {

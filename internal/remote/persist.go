@@ -236,28 +236,48 @@ func (s *Service) loadDB(fileName string) error {
 	replayed, rootChecked := 0, false
 	var replayErr error
 	for i, rec := range rep.Records {
-		if rec.Type != recUpdate {
+		// Decode the record into the batch it commits: a legacy record
+		// is a batch of one; a batch record replays all-or-nothing,
+		// exactly as it originally acknowledged.
+		var us []*wire.Update
+		var batchID uint64
+		switch rec.Type {
+		case recUpdate:
+			upd, err := wire.UnmarshalUpdate(rec.Payload)
+			if err != nil {
+				replayErr = fmt.Errorf("wal record %d: %w", i, err)
+			} else {
+				us = []*wire.Update{upd}
+			}
+		case recUpdateBatch:
+			b, err := wire.UnmarshalUpdateBatch(rec.Payload)
+			if err != nil {
+				replayErr = fmt.Errorf("wal record %d: %w", i, err)
+			} else {
+				us, batchID = b.Updates, b.RequestID
+			}
+		default:
 			replayErr = fmt.Errorf("wal record %d has unknown type %d", i, rec.Type)
+		}
+		if replayErr != nil {
 			break
 		}
 		if rec.Gen <= snapGen {
 			continue // already captured by the snapshot
 		}
-		upd, err := wire.UnmarshalUpdate(rec.Payload)
-		if err != nil {
-			replayErr = fmt.Errorf("wal record %d: %w", i, err)
-			break
-		}
 		// Intermediate roots need not be re-verified — only the final
-		// state is served — so strip them and let ApplyUpdate's own
-		// cross-check validate the last record's NewRoot against the
-		// fully recovered state.
-		if i != len(rep.Records)-1 {
-			upd.NewRoot = nil
-		} else if len(upd.NewRoot) > 0 {
-			rootChecked = true
+		// state is served — so strip them and let the batch apply's own
+		// cross-check validate the very last update's NewRoot against
+		// the fully recovered state.
+		final := i == len(rep.Records)-1
+		for j, upd := range us {
+			if !final || j != len(us)-1 {
+				upd.NewRoot = nil
+			} else if len(upd.NewRoot) > 0 {
+				rootChecked = true
+			}
 		}
-		if err := srv.ApplyUpdate(upd); err != nil {
+		if err := srv.ApplyUpdateBatch(us); err != nil {
 			replayErr = fmt.Errorf("wal record %d (gen %d): %w", i, rec.Gen, err)
 			break
 		}
@@ -265,11 +285,16 @@ func (s *Service) loadDB(fileName string) error {
 			replayErr = fmt.Errorf("wal generation gap: record %d claims gen %d, replay reached %d", i, rec.Gen, got)
 			break
 		}
-		for _, b := range upd.Blocks {
-			dirty[b.ID] = struct{}{}
+		if batchID != 0 {
+			h.rememberLocked(batchID)
 		}
-		if upd.RequestID != 0 {
-			h.rememberLocked(upd.RequestID)
+		for _, upd := range us {
+			for _, b := range upd.Blocks {
+				dirty[b.ID] = struct{}{}
+			}
+			if upd.RequestID != 0 {
+				h.rememberLocked(upd.RequestID)
+			}
 		}
 		replayed++
 	}

@@ -68,7 +68,8 @@ type Server struct {
 	// authMu guards the lazily built Merkle prover state. It is
 	// always acquired while already holding mu (read or write), so
 	// the state it caches matches the db generation the caller sees;
-	// updates invalidate it under the write lock.
+	// updates advance it incrementally (a multi-leaf delta per batch)
+	// under the write lock, so it stays warm across updates.
 	authMu sync.Mutex
 	auth   *wire.AuthState
 }
@@ -194,12 +195,6 @@ func (s *Server) authState() (*wire.AuthState, error) {
 		s.auth = st
 	}
 	return s.auth, nil
-}
-
-func (s *Server) invalidateAuth() {
-	s.authMu.Lock()
-	s.auth = nil
-	s.authMu.Unlock()
 }
 
 // AuthRoot exposes the server's committed Merkle root (for startup

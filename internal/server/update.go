@@ -18,91 +18,156 @@ import (
 // under the server's write lock, so concurrent queries see either
 // the old index and blocks or the new ones, never a mix.
 func (s *Server) ApplyUpdate(u *wire.Update) error {
+	return s.ApplyUpdateBatch([]*wire.Update{u})
+}
+
+// ApplyUpdateBatch applies a group of updates as one atomic step: all
+// members commit or none do, under one acquisition of the write lock,
+// with ONE value-index rebuild, ONE incremental Merkle advance (a
+// multi-leaf delta over the whole batch — never a per-update
+// from-scratch BuildAuthState) and ONE generation bump. Members are
+// applied in order, so a later member's band replacement supersedes
+// an earlier one's, exactly as sequential ApplyUpdate calls would.
+//
+// Root cross-check: members are prepared against a chain (each sees
+// the state its predecessors produce), so only the final member's
+// NewRoot commits to the post-batch state and only it is checked.
+// A corrupted member anywhere makes that final root diverge, which
+// rejects — and reverts — the whole batch. Root-bearing members in
+// non-final position (a replayed WAL record trimmed mid-chain) are
+// ignored: their roots describe states this batch never exposes.
+func (s *Server) ApplyUpdateBatch(us []*wire.Update) error {
+	if len(us) == 0 {
+		return fmt.Errorf("server: empty update batch")
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, b := range u.Blocks {
-		if b.ID < 0 || b.ID >= len(s.db.Blocks) {
-			return fmt.Errorf("server: update references unknown block %d", b.ID)
-		}
-	}
-	if len(u.NewRoot) > 0 && len(u.NewRoot) != authtree.DigestSize {
-		return fmt.Errorf("server: update root is %d bytes, want %d", len(u.NewRoot), authtree.DigestSize)
-	}
-
-	// Snapshot everything the update touches so a failed root
-	// cross-check can revert to the exact pre-update state.
-	prevBlocks := make(map[int][]byte, len(u.Blocks))
-	for _, b := range u.Blocks {
-		prevBlocks[b.ID] = s.db.Blocks[b.ID]
-	}
-	prevIndex, prevEntries := s.index, s.db.IndexEntries
-
-	for _, b := range u.Blocks {
-		s.db.Blocks[b.ID] = b.Ciphertext
-	}
-	if len(u.DropBands) > 0 || len(u.AddEntries) > 0 {
-		drop := map[uint8]bool{}
-		for _, b := range u.DropBands {
-			drop[b] = true
-		}
-		rebuilt := btree.New(0)
-		var kept []btree.Entry
-		s.index.Scan(func(e btree.Entry) bool {
-			if !drop[uint8(e.Key>>56)] {
-				kept = append(kept, e)
+	// Validate everything up front so most failures reject before any
+	// mutation (the root mismatch below is the one late revert).
+	for _, u := range us {
+		for _, b := range u.Blocks {
+			if b.ID < 0 || b.ID >= len(s.db.Blocks) {
+				return fmt.Errorf("server: update references unknown block %d", b.ID)
 			}
-			return true
-		})
-		for _, e := range kept {
-			rebuilt.Insert(e.Key, e.BlockID)
 		}
 		for _, e := range u.AddEntries {
 			if e.BlockID < 0 || e.BlockID >= len(s.db.Blocks) {
-				s.revert(prevBlocks, prevIndex, prevEntries)
 				return fmt.Errorf("server: update entry references unknown block %d", e.BlockID)
 			}
+		}
+		if len(u.NewRoot) > 0 && len(u.NewRoot) != authtree.DigestSize {
+			return fmt.Errorf("server: update root is %d bytes, want %d", len(u.NewRoot), authtree.DigestSize)
+		}
+	}
+
+	// Snapshot everything the batch touches so a failed root
+	// cross-check can revert to the exact pre-batch state. Block
+	// snapshots keep the FIRST-seen ciphertext: two members replacing
+	// the same block must restore the original, not the intermediate.
+	prevBlocks := map[int][]byte{}
+	touchIndex := false
+	for _, u := range us {
+		for _, b := range u.Blocks {
+			if _, ok := prevBlocks[b.ID]; !ok {
+				prevBlocks[b.ID] = s.db.Blocks[b.ID]
+			}
+		}
+		if len(u.DropBands) > 0 || len(u.AddEntries) > 0 {
+			touchIndex = true
+		}
+	}
+	prevIndex, prevEntries := s.index, s.db.IndexEntries
+	s.authMu.Lock()
+	prevAuth := s.auth
+	s.authMu.Unlock()
+
+	for _, u := range us {
+		for _, b := range u.Blocks {
+			s.db.Blocks[b.ID] = b.Ciphertext
+		}
+	}
+	if touchIndex {
+		// Fold the members' band replacements over the entry list in
+		// order, then bulk-load the B-tree once — the batched analogue
+		// of the per-update drop-and-rebuild.
+		entries := prevEntries
+		for _, u := range us {
+			if len(u.DropBands) == 0 && len(u.AddEntries) == 0 {
+				continue
+			}
+			drop := map[uint8]bool{}
+			for _, b := range u.DropBands {
+				drop[b] = true
+			}
+			kept := make([]btree.Entry, 0, len(entries)+len(u.AddEntries))
+			for _, e := range entries {
+				if !drop[uint8(e.Key>>56)] {
+					kept = append(kept, e)
+				}
+			}
+			entries = append(kept, u.AddEntries...)
+		}
+		rebuilt := btree.New(0)
+		for _, e := range entries {
 			rebuilt.Insert(e.Key, e.BlockID)
 		}
 		s.index = rebuilt
 		// Keep the upload mirror coherent for naive queries and stats.
-		s.db.IndexEntries = append(kept, u.AddEntries...)
+		s.db.IndexEntries = entries
 	}
-	s.invalidateAuth()
 
-	if len(u.NewRoot) > 0 {
-		// The client precomputed the post-update root; recompute ours
-		// and refuse (restoring the pre-update state) on mismatch, so
-		// a corrupted or truncated update never becomes the committed
+	// Advance the Merkle prover incrementally instead of dropping it:
+	// one multi-leaf delta replaces what used to be a full rebuild
+	// (wire round trip of the whole database) on the next proof. A
+	// never-built state stays lazy.
+	s.authMu.Lock()
+	if s.auth != nil {
+		next, err := s.auth.ApplyUpdates(us)
+		if err != nil {
+			s.authMu.Unlock()
+			s.revert(prevBlocks, prevIndex, prevEntries, prevAuth)
+			return fmt.Errorf("server: update auth advance: %w", err)
+		}
+		s.auth = next
+	}
+	s.authMu.Unlock()
+
+	if root := us[len(us)-1].NewRoot; len(root) > 0 {
+		// The client precomputed the post-batch root; recompute ours
+		// and refuse (restoring the pre-batch state) on mismatch, so a
+		// corrupted or truncated batch never becomes the committed
 		// generation.
 		st, err := s.authState()
 		if err != nil {
-			s.revert(prevBlocks, prevIndex, prevEntries)
+			s.revert(prevBlocks, prevIndex, prevEntries, prevAuth)
 			return fmt.Errorf("server: update root check: %w", err)
 		}
-		root := st.Root()
-		if !bytes.Equal(root[:], u.NewRoot) {
-			s.revert(prevBlocks, prevIndex, prevEntries)
+		got := st.Root()
+		if !bytes.Equal(got[:], root) {
+			s.revert(prevBlocks, prevIndex, prevEntries, prevAuth)
 			return fmt.Errorf("server: update rejected: recomputed root %x does not match client root %x",
-				root[:8], u.NewRoot[:8])
+				got[:8], root[:8])
 		}
 	}
-	// The update is committed: advance the generation so every
+	// The batch is committed: advance the generation ONCE so every
 	// cross-query cache (plans, range resolutions, answer envelopes —
 	// here and in clients echoing this counter) invalidates wholesale
-	// before the next query is served. A reverted update restores the
-	// exact pre-update state above and deliberately does NOT bump:
+	// before the next query is served. A reverted batch restores the
+	// exact pre-batch state above and deliberately does NOT bump:
 	// caches built against that state are still correct.
 	s.gen++
 	return nil
 }
 
-// revert restores the pre-update block ciphertexts, value index and
-// upload mirror. Caller holds the write lock.
-func (s *Server) revert(prevBlocks map[int][]byte, prevIndex *btree.Tree, prevEntries []btree.Entry) {
+// revert restores the pre-batch block ciphertexts, value index,
+// upload mirror and Merkle prover state. Caller holds the write lock.
+func (s *Server) revert(prevBlocks map[int][]byte, prevIndex *btree.Tree, prevEntries []btree.Entry, prevAuth *wire.AuthState) {
 	for id, ct := range prevBlocks {
 		s.db.Blocks[id] = ct
 	}
 	s.index = prevIndex
 	s.db.IndexEntries = prevEntries
-	s.invalidateAuth()
+	s.authMu.Lock()
+	s.auth = prevAuth
+	s.authMu.Unlock()
 }

@@ -178,6 +178,10 @@ type Log struct {
 	wake      chan struct{}
 	resetting bool
 	err       error // sticky; once set the log is dead
+	// syncs counts completed group fsyncs — the denominator of the
+	// group-commit amortization story: N acknowledged records over S
+	// syncs means each fsync carried N/S records.
+	syncs int64
 }
 
 // Ticket is a claim on one appended record's durability.
@@ -379,6 +383,14 @@ func (l *Log) Err() error {
 	return l.err
 }
 
+// Syncs reports how many group fsyncs have completed (stats surface;
+// the amortization benches compare it to records appended).
+func (l *Log) Syncs() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncs
+}
+
 // Size returns the current segment's byte size (stats surface).
 func (l *Log) Size() int64 {
 	l.mu.Lock()
@@ -466,8 +478,11 @@ func (t *Ticket) Wait() error {
 		l.syncing = false
 		if serr != nil {
 			l.fail("group sync", serr)
-		} else if target > l.durable {
-			l.durable = target
+		} else {
+			l.syncs++
+			if target > l.durable {
+				l.durable = target
+			}
 		}
 		l.cond.Broadcast()
 	}

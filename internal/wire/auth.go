@@ -318,6 +318,69 @@ func (st *AuthState) ProveExtreme(lo, hi uint64, found bool, blockID int) ([]byt
 func (st *AuthState) bandLeafIndex(b uint8) int { return st.nBlocks + st.nFrags + int(b) }
 func (st *AuthState) structLeafIndex() int      { return st.nBlocks + st.nFrags + numBands }
 
+// ApplyUpdates advances the prover state across a batch of updates
+// with one multi-leaf delta: replaced blocks get fresh leaf digests,
+// dropped bands are replaced wholesale, and the tree is rebuilt once
+// at the end — the batched analogue of AuthVerifier.ApplyUpdate, and
+// the reason a group commit pays one root recomputation instead of a
+// per-update BuildAuthState (which round-trips the whole database
+// through the wire format). It returns a NEW state and leaves the
+// receiver untouched, so a caller that must revert (final-root
+// mismatch) simply keeps its old pointer. The fragment leaves and
+// layout are shared with the receiver: value updates never touch
+// residue fragments or the structure leaf.
+//
+// Equivalence with BuildAuthState: block leaves commit the raw
+// ciphertext bytes, which survive a wire round trip unchanged, and
+// band buckets are re-sorted here exactly as canonicalBandEntries
+// sorts them — so the incremental root equals the from-scratch root
+// for the updated database.
+func (st *AuthState) ApplyUpdates(us []*Update) (*AuthState, error) {
+	next := &AuthState{
+		nBlocks: st.nBlocks,
+		nFrags:  st.nFrags,
+		fragIdx: st.fragIdx,
+	}
+	bands := *st.bands
+	next.bands = &bands
+	leaves := st.tree.Leaves()
+	for _, u := range us {
+		for _, b := range u.Blocks {
+			if b.ID < 0 || b.ID >= st.nBlocks {
+				return nil, fmt.Errorf("wire: auth update: block %d outside committed range", b.ID)
+			}
+		}
+		dropped := map[uint8]bool{}
+		for _, b := range u.DropBands {
+			dropped[b] = true
+		}
+		adds := map[uint8][]btree.Entry{}
+		for _, e := range u.AddEntries {
+			band := uint8(e.Key >> 56)
+			if !dropped[band] {
+				return nil, fmt.Errorf("wire: auth update: entry in band %d, which the update does not replace", band)
+			}
+			adds[band] = append(adds[band], e)
+		}
+		for _, b := range u.Blocks {
+			leaves[b.ID] = authtree.LeafHash(blockLeafData(b.ID, b.Ciphertext))
+		}
+		for band := range dropped {
+			entries := adds[band]
+			sort.Slice(entries, func(i, j int) bool {
+				if entries[i].Key != entries[j].Key {
+					return entries[i].Key < entries[j].Key
+				}
+				return entries[i].BlockID < entries[j].BlockID
+			})
+			next.bands[band] = entries
+			leaves[next.bandLeafIndex(band)] = authtree.LeafHash(bandLeafData(band, entries))
+		}
+	}
+	next.tree = authtree.New(leaves)
+	return next, nil
+}
+
 // AuthVerifier is the owner-side integrity state: the committed root
 // plus the leaf digest vector. All Verify* methods return an error
 // wrapping authtree.ErrTampered on any mismatch; ApplyUpdate
@@ -327,10 +390,26 @@ type AuthVerifier struct {
 	nFrags  int
 	leaves  []authtree.Digest
 	root    authtree.Digest
+	// dirty marks a root trailing the leaf vector: ApplyUpdate defers
+	// the tree rebuild so a chain of N member advances (a batch being
+	// prepared) costs N leaf-digest updates but ONE rebuild, at the
+	// next Root() call. Verify* finalizes through Root() too, so a
+	// dirty verifier never checks against a stale root. Concurrent
+	// Verify* calls (the shared transport verifier) are safe because
+	// every promotion into shared use finalizes the root first, under
+	// the owner's exclusive lock.
+	dirty bool
 }
 
-// Root returns the currently committed root digest.
-func (v *AuthVerifier) Root() authtree.Digest { return v.root }
+// Root returns the currently committed root digest, rebuilding it
+// first when deferred ApplyUpdate calls left it trailing the leaves.
+func (v *AuthVerifier) Root() authtree.Digest {
+	if v.dirty {
+		v.root = authtree.New(v.leaves).Root()
+		v.dirty = false
+	}
+	return v.root
+}
 
 // NumBlocks reports the committed block count.
 func (v *AuthVerifier) NumBlocks() int { return v.nBlocks }
@@ -343,6 +422,7 @@ func (v *AuthVerifier) Clone() *AuthVerifier {
 		nFrags:  v.nFrags,
 		leaves:  append([]authtree.Digest(nil), v.leaves...),
 		root:    v.root,
+		dirty:   v.dirty,
 	}
 }
 
@@ -393,7 +473,7 @@ func (v *AuthVerifier) VerifyAnswer(ans *Answer) error {
 		// the current root via the structure leaf.
 		items = append(items, authtree.LeafItem{Index: v.structLeafIndex(), Digest: v.leaves[v.structLeafIndex()]})
 	}
-	if err := authtree.VerifyMulti(v.root, v.numLeaves(), items, p.Siblings); err != nil {
+	if err := authtree.VerifyMulti(v.Root(), v.numLeaves(), items, p.Siblings); err != nil {
 		return err
 	}
 	return v.checkReferencedBlocks(ans)
@@ -482,7 +562,7 @@ func (v *AuthVerifier) VerifyExtreme(lo, hi uint64, max bool, found bool, blockI
 			Digest: authtree.LeafHash(blockLeafData(blockID, block)),
 		})
 	}
-	if err := authtree.VerifyMulti(v.root, v.numLeaves(), items, p.Siblings); err != nil {
+	if err := authtree.VerifyMulti(v.Root(), v.numLeaves(), items, p.Siblings); err != nil {
 		return err
 	}
 	// Recompute the extreme from the authenticated buckets.
@@ -511,12 +591,13 @@ func (v *AuthVerifier) VerifyExtreme(lo, hi uint64, max bool, found bool, blockI
 }
 
 // ApplyUpdate advances the verifier to the post-update state:
-// replaced blocks get fresh leaf digests, dropped bands are replaced
-// wholesale by the update's entries for that band, and the root is
-// recomputed. The update must be band-closed (every added entry's
-// band among the dropped bands) — which owner-issued updates are by
-// construction — or the verifier could not know the bucket's final
-// content.
+// replaced blocks get fresh leaf digests and dropped bands are
+// replaced wholesale by the update's entries for that band. The root
+// rebuild is DEFERRED to the next Root() (or Verify*) call, so a
+// batch chain of N member advances pays for one tree build, not N.
+// The update must be band-closed (every added entry's band among the
+// dropped bands) — which owner-issued updates are by construction —
+// or the verifier could not know the bucket's final content.
 func (v *AuthVerifier) ApplyUpdate(u *Update) error {
 	for _, b := range u.Blocks {
 		if b.ID < 0 || b.ID >= v.nBlocks {
@@ -548,6 +629,6 @@ func (v *AuthVerifier) ApplyUpdate(u *Update) error {
 		})
 		v.leaves[v.bandLeafIndex(band)] = authtree.LeafHash(bandLeafData(band, entries))
 	}
-	v.root = authtree.New(v.leaves).Root()
+	v.dirty = true
 	return nil
 }

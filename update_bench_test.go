@@ -1,0 +1,288 @@
+package repro
+
+// Update-pipeline throughput benchmarks: concurrent writers against
+// the full durable remote stack (HTTP transport, WAL fsync per group
+// commit) with readers running verified queries alongside — the mixed
+// workload the batcher is built for. BenchmarkUpdateThroughput runs a
+// per-update baseline (batching off: one frame, one WAL fsync, one
+// Merkle advance per update) against batched configurations, reports
+// updates/s and the speedup over the baseline, and TestMain writes
+// the collected rows to BENCH_update.json when
+// SECXML_BENCH_UPDATE_JSON is set. With SECXML_BENCH_UPDATE_GUARD
+// pointing at a committed BENCH_update.json, the run fails when a
+// batched configuration loses its committed speedup (regression
+// guard alongside the alloc guard).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/remote"
+	"repro/internal/xmltree"
+)
+
+// updateRow is one configuration's measurement for the JSON report.
+type updateRow struct {
+	Benchmark     string  `json:"benchmark"`
+	BatchSize     int     `json:"batch_size"`
+	Writers       int     `json:"writers"`
+	Readers       int     `json:"readers"`
+	Updates       int     `json:"updates"`
+	NsPerUpdate   float64 `json:"ns_per_update"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	MaxBatch      int     `json:"max_batch"`
+	Speedup       float64 `json:"speedup"` // vs the baseline row
+}
+
+var (
+	updateRowsMu sync.Mutex
+	updateRows   []updateRow
+)
+
+// recordUpdate stores one configuration's row, replacing an earlier
+// measurement of the same benchmark (the testing package re-runs each
+// sub-benchmark while calibrating b.N; only the final run counts).
+func recordUpdate(row updateRow) {
+	updateRowsMu.Lock()
+	defer updateRowsMu.Unlock()
+	for i, r := range updateRows {
+		if r.Benchmark == row.Benchmark {
+			updateRows[i] = row
+			return
+		}
+	}
+	updateRows = append(updateRows, row)
+}
+
+// updateGuard compares this run's batched rows against the committed
+// BENCH_update.json: every committed batched configuration must hold
+// at least updateGuardKeep of its committed speedup, and the target
+// configuration (batch size >= updateGuardFloorBatch, where the
+// order-of-magnitude claim lives) must additionally stay above the
+// absolute updateGuardFloor. Ratios, not absolute throughput, so the
+// guard is stable across machines.
+const (
+	updateGuardFloor      = 3.0
+	updateGuardFloorBatch = 16
+	updateGuardKeep       = 0.5
+)
+
+func updateGuard(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read committed baseline: %w", err)
+	}
+	var committed []updateRow
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	updateRowsMu.Lock()
+	cur := make(map[string]updateRow, len(updateRows))
+	for _, r := range updateRows {
+		cur[r.Benchmark] = r
+	}
+	updateRowsMu.Unlock()
+	checked := 0
+	for _, c := range committed {
+		if c.BatchSize <= 1 {
+			continue
+		}
+		r, ok := cur[c.Benchmark]
+		if !ok {
+			return fmt.Errorf("%s: committed row missing from this run", c.Benchmark)
+		}
+		floor := c.Speedup * updateGuardKeep
+		if c.BatchSize >= updateGuardFloorBatch && floor < updateGuardFloor {
+			floor = updateGuardFloor
+		}
+		if r.Speedup < floor {
+			return fmt.Errorf("%s: batched speedup %.2fx over per-update baseline, want at least %.2fx (committed %.2fx)",
+				c.Benchmark, r.Speedup, floor, c.Speedup)
+		}
+		checked++
+	}
+	if checked == 0 {
+		return fmt.Errorf("%s holds no batched rows to guard", path)
+	}
+	return nil
+}
+
+// updateBenchHost boots one owner + durable service pair: `writers`
+// single-leaf families (so every update is one edit in its own band
+// and block), integrity on, WAL-backed persistence on real disk.
+func updateBenchHost(b *testing.B, writers, batch int, maxWait time.Duration) (*core.System, func()) {
+	b.Helper()
+	var sb strings.Builder
+	var scs []string
+	sb.WriteString("<db>")
+	for w := 0; w < writers; w++ {
+		fmt.Fprintf(&sb, "<grp><name>g%d</name><v%d>init</v%d></grp>", w, w, w)
+		scs = append(scs, fmt.Sprintf("//v%d", w))
+	}
+	sb.WriteString("</db>")
+	doc, err := xmltree.ParseString(sb.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := core.Host(doc, scs, core.SchemeOpt, []byte("update-throughput"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.EnableIntegrity(); err != nil {
+		b.Fatal(err)
+	}
+	sys.EnableBlockCache(0, 0)
+
+	svc, err := remote.NewPersistentService(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if batch > 1 {
+		svc = svc.WithUpdateBatching(batch, maxWait)
+	}
+	ts := httptest.NewServer(svc)
+	cl := remote.Dial(ts.URL, "bench").WithHTTPClient(ts.Client()).
+		WithVerifier(sys.Verifier())
+	if err := cl.Upload(context.Background(), sys.HostedDB); err != nil {
+		b.Fatal(err)
+	}
+	sys.UseBackend(cl)
+	// Mirror reads for every configuration, baseline included, so the
+	// reported speedup isolates the group commit itself rather than
+	// conflating it with the local-read optimization.
+	sys.EnableMirrorReads()
+	sys.EnableUpdateBatching(batch, maxWait)
+	return sys, func() {
+		ts.Close()
+		svc.Close()
+	}
+}
+
+// BenchmarkUpdateThroughput drives `writers` concurrent updaters (one
+// disjoint leaf family each, so the batcher can coalesce them) plus
+// background readers through the durable remote stack, per batch
+// size. b.N counts updates per writer; the baseline sub-benchmark
+// commits one WAL fsync and one Merkle advance per update, the
+// batched ones share both across each group commit.
+func BenchmarkUpdateThroughput(b *testing.B) {
+	const readers = 4
+	configs := []struct {
+		name    string
+		batch   int
+		writers int
+	}{
+		{"baseline", 1, 16},
+		{"batch4", 4, 16},
+		{"batch16", 16, 16},
+	}
+	var baseNs float64
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			sys, cleanup := updateBenchHost(b, cfg.writers, cfg.batch, 2*time.Millisecond)
+			defer cleanup()
+
+			// Readers run at a steady pace rather than a spin: the point
+			// is a mixed workload sharing the System's lock and caches
+			// with the writers, not a CPU-saturation contest that would
+			// measure scheduler fairness instead of the update pipeline.
+			stop := make(chan struct{})
+			var readerWG sync.WaitGroup
+			for g := 0; g < readers; g++ {
+				readerWG.Add(1)
+				go func(g int) {
+					defer readerWG.Done()
+					tick := time.NewTicker(5 * time.Millisecond)
+					defer tick.Stop()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						case <-tick.C:
+						}
+						q := fmt.Sprintf("//v%d", (g+i)%cfg.writers)
+						if _, _, _, err := sys.Query(q); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(g)
+			}
+
+			var (
+				writerWG sync.WaitGroup
+				mu       sync.Mutex
+				maxBatch int
+			)
+			b.ResetTimer()
+			start := time.Now()
+			for w := 0; w < cfg.writers; w++ {
+				writerWG.Add(1)
+				go func(w int) {
+					defer writerWG.Done()
+					q := fmt.Sprintf("//v%d", w)
+					localMax := 0
+					for i := 0; i < b.N; i++ {
+						v := fmt.Sprintf("b%d-%d", cfg.batch, i)
+						n, tm, err := sys.UpdateLeafValuesTimed(context.Background(), q, v)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if n != 1 {
+							b.Errorf("writer %d: %d edits, want 1", w, n)
+							return
+						}
+						if tm.UpdateBatchSize > localMax {
+							localMax = tm.UpdateBatchSize
+						}
+					}
+					mu.Lock()
+					if localMax > maxBatch {
+						maxBatch = localMax
+					}
+					mu.Unlock()
+				}(w)
+			}
+			writerWG.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			close(stop)
+			readerWG.Wait()
+			if b.Failed() {
+				return
+			}
+
+			total := cfg.writers * b.N
+			nsPer := float64(elapsed.Nanoseconds()) / float64(total)
+			perSec := float64(total) / elapsed.Seconds()
+			speedup := 0.0
+			if cfg.batch == 1 {
+				baseNs = nsPer
+				speedup = 1.0
+			} else if baseNs > 0 {
+				speedup = baseNs / nsPer
+			}
+			b.ReportMetric(perSec, "updates/s")
+			b.ReportMetric(speedup, "speedup")
+			recordUpdate(updateRow{
+				Benchmark:     "UpdateThroughput/" + cfg.name,
+				BatchSize:     cfg.batch,
+				Writers:       cfg.writers,
+				Readers:       readers,
+				Updates:       total,
+				NsPerUpdate:   nsPer,
+				UpdatesPerSec: perSec,
+				MaxBatch:      maxBatch,
+				Speedup:       speedup,
+			})
+		})
+	}
+}
