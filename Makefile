@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos tamper fuzz fuzz-smoke difftest bench bench-parallel bench-cache bench-alloc alloc-guard bench-update update-guard cache-stress powercut soak soak-short soak-stream soak-stream-short soak-update soak-update-short profile fmt
+.PHONY: check vet build test race chaos tamper fuzz fuzz-smoke difftest bench bench-parallel bench-cache bench-alloc alloc-guard bench-update update-guard bench-load load-guard overload-smoke cache-stress powercut soak soak-short soak-stream soak-stream-short soak-update soak-update-short profile fmt
 
-check: vet build race tamper fuzz-smoke cache-stress bench-cache powercut soak-short soak-stream-short soak-update-short
+check: vet build race tamper fuzz-smoke cache-stress bench-cache overload-smoke powercut soak-short soak-stream-short soak-update-short
 
 vet:
 	$(GO) vet ./...
@@ -93,6 +93,31 @@ bench-update:
 update-guard:
 	SECXML_BENCH_UPDATE_GUARD=BENCH_update.json \
 		$(GO) test -bench UpdateThroughput -benchtime 100x -run '^$$' .
+
+# Sustained-load overload measurement: calibrates the host's shed-free
+# knee, then runs open-loop 1x/2x/4x phases (Zipf mix, mixed priority
+# classes, slow background readers) against the full protection stack;
+# writes BENCH_load.json with goodput/p50/p99/shed-rate per phase plus
+# the brownout level mix and post-overload recovery time.
+bench-load:
+	SECXML_BENCH_LOAD_JSON=BENCH_load.json \
+		$(GO) test -bench SustainedLoad -benchtime 1x -run '^$$' -timeout 600s .
+
+# Regression gate against the committed BENCH_load.json: fails when
+# the 1x phase sheds over 1%, 1x p99 regresses more than 25% (plus
+# absolute slack) over the committed run, any answer fails
+# verification under load, the 4x phase shows no overload pressure,
+# overload goodput collapses, or the brownout controller fails to
+# return to full service after the load drops.
+load-guard:
+	SECXML_BENCH_LOAD_GUARD=BENCH_load.json \
+		$(GO) test -bench SustainedLoad -benchtime 1x -run '^$$' -timeout 600s .
+
+# Quick overload-protection smoke (part of `check`): deadline
+# rejection on arrival, queue shed, brownout degradation ladder and
+# recovery, tenant quotas, Retry-After honored by the client.
+overload-smoke:
+	$(GO) test -race -count=1 -run 'TestOverload|TestDeadline|TestBrownout|TestTenantQuota|TestClientHonorsRetryAfter|TestSlowLoris' ./internal/remote/ ./internal/admission/
 
 # The caching-layer correctness suite under -race: generation
 # invalidation, stale-answer isolation, concurrent readers racing an

@@ -330,6 +330,17 @@ func TestMain(m *testing.M) {
 			code = 1
 		}
 	}
+	if v := os.Getenv("SECXML_BENCH_LOAD_JSON"); v != "" && len(loadRows) > 0 {
+		if !writeBenchJSON(v, "BENCH_load.json", loadRows) && code == 0 {
+			code = 1
+		}
+	}
+	if v := os.Getenv("SECXML_BENCH_LOAD_GUARD"); v != "" && len(loadRows) > 0 {
+		if err := loadGuard(v); err != nil {
+			fmt.Fprintf(os.Stderr, "overload protection guard: %v\n", err)
+			code = 1
+		}
+	}
 	os.Exit(code)
 }
 

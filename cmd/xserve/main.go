@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/remote"
 	"repro/internal/xmltree"
@@ -47,6 +48,15 @@ func main() {
 	grace := flag.Duration("shutdown-grace", 15*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
 	pprofOn := flag.Bool("pprof", true, "serve net/http/pprof profiles at /debug/pprof/ (CPU profiles longer than -write-timeout are cut off)")
 	streamCutoff := flag.Int("stream-cutoff", 0, "min answer bytes before chunked streaming to negotiating clients (0 = 64 KiB default, negative disables)")
+	maxCost := flag.Int64("max-cost", 0, "admission gate capacity in cost units (predicted blocks touched; 0 disables the gate)")
+	costAware := flag.Bool("cost-aware", false, "price each query by its predicted blocks touched instead of one unit")
+	maxQueue := flag.Int("max-queue", 0, "max queued requests before instant shed (0 = 64 default)")
+	queueWait := flag.Duration("queue-wait", 0, "max time a request queues for capacity before a 503 (0 = 2s default)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant quota: cost units per second each X-Client-ID may spend (0 disables)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant bucket ceiling (0 = 4x tenant-rate)")
+	brownout := flag.Bool("brownout", false, "enable the brownout controller (graceful degradation under sustained overload)")
+	brownoutP99 := flag.Duration("brownout-p99", 0, "p99 latency target the brownout controller defends (0 = 250ms default)")
+	streamWriteTimeout := flag.Duration("stream-write-timeout", 0, "per-flush write deadline on streamed answers; slow readers are cut off (0 = 30s default, negative disables)")
 	walGroupWait := flag.Duration("wal-group-wait", 0, "group-commit window: how long a WAL fsync waits to absorb concurrent updates (0 = sync immediately)")
 	updateBatchSize := flag.Int("update-batch-size", 0, "coalesce concurrent single-update frames into batches of up to this many members (0/1 disables)")
 	updateMaxWait := flag.Duration("update-max-wait", 0, "how long a filling update batch waits for company before flushing anyway (0 = 2ms default)")
@@ -89,7 +99,21 @@ func main() {
 	} else {
 		svc = remote.NewService()
 	}
-	svc = svc.WithStreamCutoff(*streamCutoff)
+	svc = svc.WithStreamCutoff(*streamCutoff).WithWriteTimeout(*streamWriteTimeout)
+	if *maxCost > 0 || *tenantRate > 0 || *brownout {
+		svc = svc.WithAdmission(admission.Config{
+			MaxCost:        *maxCost,
+			MaxQueue:       *maxQueue,
+			QueueWait:      *queueWait,
+			CostAware:      *costAware,
+			TenantRate:     *tenantRate,
+			TenantBurst:    *tenantBurst,
+			Brownout:       *brownout,
+			BrownoutConfig: admission.BrownoutConfig{TargetP99: *brownoutP99},
+		})
+		fmt.Printf("admission: capacity %d cost units (cost-aware=%v), tenant rate %.1f/s, brownout=%v\n",
+			*maxCost, *costAware, *tenantRate, *brownout)
+	}
 	if *updateBatchSize > 1 {
 		svc = svc.WithUpdateBatching(*updateBatchSize, *updateMaxWait)
 		fmt.Printf("update batching: up to %d members per group commit (max wait %v)\n",
@@ -127,6 +151,9 @@ func main() {
 	// JSON at /debug/vars (mounted outside the chaos wrapper so fault
 	// injection never garbles monitoring).
 	expvar.Publish("secxml_caches", expvar.Func(func() any { return svc.CacheStats() }))
+	// Overload observability: brownout level, queue depth, shed and
+	// per-priority admit counters — one snapshot for the whole service.
+	expvar.Publish("secxml_overload", expvar.Func(func() any { return svc.Admission().Snapshot() }))
 
 	var handler http.Handler = svc
 	if *chaosRate > 0 {

@@ -1,0 +1,483 @@
+package admission
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPriorityRoundTrip(t *testing.T) {
+	for _, p := range []Priority{Background, Aggregate, Interactive} {
+		if got := ParsePriority(p.String(), Background); got != p {
+			t.Errorf("ParsePriority(%q) = %v, want %v", p.String(), got, p)
+		}
+	}
+	if got := ParsePriority("", Aggregate); got != Aggregate {
+		t.Errorf("empty header fell to %v, want the default", got)
+	}
+	if got := ParsePriority("garbage", Interactive); got != Interactive {
+		t.Errorf("unknown header fell to %v, want the default", got)
+	}
+}
+
+func TestContextPriority(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := PriorityFromContext(ctx); ok {
+		t.Fatal("fresh context claims a priority")
+	}
+	ctx = ContextWithDefaultPriority(ctx, Aggregate)
+	if p, ok := PriorityFromContext(ctx); !ok || p != Aggregate {
+		t.Fatalf("default not applied: %v %v", p, ok)
+	}
+	// An explicit choice survives a later default.
+	ctx = WithPriority(context.Background(), Interactive)
+	ctx = ContextWithDefaultPriority(ctx, Background)
+	if p, _ := PriorityFromContext(ctx); p != Interactive {
+		t.Fatalf("default overrode the explicit priority: %v", p)
+	}
+}
+
+// TestGateCostCapacity: the gate admits up to its cost capacity and
+// queues the rest; releasing frees the queued request.
+func TestGateCostCapacity(t *testing.T) {
+	g := newGate(4, 16, 5*time.Second)
+	rel1, err := g.Acquire(context.Background(), Interactive, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cost 2 does not fit (3+2 > 4): it must queue.
+	got := make(chan struct{})
+	go func() {
+		rel2, err := g.Acquire(context.Background(), Interactive, 2)
+		if err != nil {
+			t.Error(err)
+			close(got)
+			return
+		}
+		rel2()
+		close(got)
+	}()
+	select {
+	case <-got:
+		t.Fatal("over-capacity request admitted immediately")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if d := g.QueueDepth(); d != 1 {
+		t.Fatalf("QueueDepth = %d, want 1", d)
+	}
+	rel1()
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued request never admitted after release")
+	}
+}
+
+// TestGateClampsOversizedCost: a request costing more than the whole
+// capacity still runs (clamped), alone.
+func TestGateClampsOversizedCost(t *testing.T) {
+	g := newGate(4, 16, time.Second)
+	rel, err := g.Acquire(context.Background(), Interactive, 1000)
+	if err != nil {
+		t.Fatalf("oversized request unadmittable: %v", err)
+	}
+	if f := g.InFlightCost(); f != 4 {
+		t.Fatalf("InFlightCost = %d, want clamp to capacity 4", f)
+	}
+	rel()
+}
+
+// TestGatePriorityOrder: with capacity for one, a queued interactive
+// request is admitted before an earlier-queued background one.
+func TestGatePriorityOrder(t *testing.T) {
+	g := newGate(1, 16, 5*time.Second)
+	rel, err := g.Acquire(context.Background(), Background, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan Priority, 2)
+	var wg sync.WaitGroup
+	start := func(p Priority) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := g.Acquire(context.Background(), p, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			order <- p
+			time.Sleep(10 * time.Millisecond)
+			r()
+		}()
+	}
+	start(Background)
+	time.Sleep(30 * time.Millisecond) // background is queued first
+	start(Interactive)
+	time.Sleep(30 * time.Millisecond)
+	rel()
+	wg.Wait()
+	first := <-order
+	if first != Interactive {
+		t.Fatalf("first admitted class = %v, want Interactive despite FIFO age", first)
+	}
+}
+
+// TestGateShedsWhenQueueFull: a bounded queue sheds instantly with a
+// Retry-After of at least the 1s floor.
+func TestGateShedsWhenQueueFull(t *testing.T) {
+	g := newGate(1, 1, 5*time.Second)
+	rel, _ := g.Acquire(context.Background(), Interactive, 1)
+	defer rel()
+	go g.Acquire(context.Background(), Interactive, 1) // fills the queue
+	time.Sleep(20 * time.Millisecond)
+	_, err := g.Acquire(context.Background(), Interactive, 1)
+	shed, ok := err.(*ShedError)
+	if !ok || !shed.Full {
+		t.Fatalf("err = %v, want full-queue ShedError", err)
+	}
+	if shed.RetryAfter < time.Second {
+		t.Fatalf("RetryAfter = %v, want >= 1s floor", shed.RetryAfter)
+	}
+	if g.Rejected() != 1 {
+		t.Fatalf("Rejected = %d, want 1", g.Rejected())
+	}
+}
+
+// TestGateQueueWaitTimeout: a queued request is shed once the queue
+// wait passes.
+func TestGateQueueWaitTimeout(t *testing.T) {
+	g := newGate(1, 16, 30*time.Millisecond)
+	rel, _ := g.Acquire(context.Background(), Interactive, 1)
+	defer rel()
+	_, err := g.Acquire(context.Background(), Interactive, 1)
+	shed, ok := err.(*ShedError)
+	if !ok || shed.Full {
+		t.Fatalf("err = %v, want timeout ShedError", err)
+	}
+	if d := g.QueueDepth(); d != 0 {
+		t.Fatalf("QueueDepth after timeout = %d, want 0", d)
+	}
+}
+
+// TestGateContextCancelWhileQueued: a caller giving up while queued
+// gets its context error and leaves no queue residue.
+func TestGateContextCancelWhileQueued(t *testing.T) {
+	g := newGate(1, 16, 5*time.Second)
+	rel, _ := g.Acquire(context.Background(), Interactive, 1)
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(ctx, Interactive, 1)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := g.QueueDepth(); d != 0 {
+		t.Fatalf("QueueDepth after cancel = %d, want 0", d)
+	}
+}
+
+// TestRetryAfterTracksBacklog: once the gate has observed a drain
+// rate, the shed hint scales with the backlog instead of sitting at
+// the floor.
+func TestRetryAfterTracksBacklog(t *testing.T) {
+	g := newGate(10, 64, time.Second)
+	g.mu.Lock()
+	g.drainRate = 2 // 2 cost units/s, injected: rate estimation itself is timing-dependent
+	g.inFlight = 10
+	g.queuedCost = 10
+	ra := g.retryAfterLocked()
+	g.mu.Unlock()
+	// 20 units of backlog at 2/s = 10s.
+	if ra < 9*time.Second || ra > 11*time.Second {
+		t.Fatalf("RetryAfter = %v, want ~10s from backlog/drain-rate", ra)
+	}
+	// And the ceiling holds.
+	g.mu.Lock()
+	g.queuedCost = 1000
+	ra = g.retryAfterLocked()
+	g.mu.Unlock()
+	if ra > retryAfterCeil {
+		t.Fatalf("RetryAfter = %v, want <= %v ceiling", ra, retryAfterCeil)
+	}
+}
+
+// TestTenantLimiter: a tenant burns its burst, is refused with a
+// computed wait, and refills over time; other tenants are unaffected.
+func TestTenantLimiter(t *testing.T) {
+	l := newTenantLimiter(10, 20)
+	if ok, _ := l.Allow("a", 20); !ok {
+		t.Fatal("burst refused")
+	}
+	ok, wait := l.Allow("a", 10)
+	if ok {
+		t.Fatal("over-budget request allowed")
+	}
+	if wait < time.Second {
+		t.Fatalf("wait = %v, want >= 1s floor", wait)
+	}
+	if ok, _ := l.Allow("b", 20); !ok {
+		t.Fatal("tenant b throttled by tenant a's spending")
+	}
+	if l.Rejected() != 1 {
+		t.Fatalf("Rejected = %d, want 1", l.Rejected())
+	}
+	// Anonymous traffic shares one bucket.
+	if ok, _ := l.Allow("", 20); !ok {
+		t.Fatal("first anonymous burst refused")
+	}
+	if ok, _ := l.Allow("", 1); ok {
+		t.Fatal("anonymous bucket did not share state")
+	}
+}
+
+// TestTenantEviction: the bucket map stays bounded.
+func TestTenantEviction(t *testing.T) {
+	l := newTenantLimiter(1, 1)
+	for i := 0; i < maxTenantBuckets+10; i++ {
+		l.Allow(string(rune('a'+i%26))+string(rune('0'+i/26%10))+string(rune(i)), 1)
+	}
+	if n := l.Tenants(); n > maxTenantBuckets {
+		t.Fatalf("Tenants = %d, want <= %d", n, maxTenantBuckets)
+	}
+}
+
+// TestBrownoutStepsUpAndBack: pressure walks the level up one step
+// per window; deep calm returns straight to L0 in ONE window.
+func TestBrownoutStepsUpAndBack(t *testing.T) {
+	b := newBrownout(BrownoutConfig{
+		TargetP99:      10 * time.Millisecond,
+		HighQueueDepth: 8,
+		Window:         time.Hour, // ticks are explicit below
+		MinSamples:     4,
+	})
+	slowWindow := func() {
+		for i := 0; i < 10; i++ {
+			b.Observe(50 * time.Millisecond)
+		}
+		b.Tick(0)
+	}
+	slowWindow()
+	if b.Level() != LevelLean {
+		t.Fatalf("level after one hot window = %d, want L1", b.Level())
+	}
+	slowWindow()
+	slowWindow()
+	slowWindow()
+	if b.Level() != LevelCritical {
+		t.Fatalf("level after four hot windows = %d, want L3", b.Level())
+	}
+	slowWindow() // already at max: no further step
+	if b.Level() != LevelCritical {
+		t.Fatalf("level stepped past L3: %d", b.Level())
+	}
+	// One deeply calm window (fast requests, empty queue) returns to
+	// full service — the acceptance criterion's one-window recovery.
+	for i := 0; i < 10; i++ {
+		b.Observe(time.Millisecond)
+	}
+	b.Tick(0)
+	if b.Level() != LevelFull {
+		t.Fatalf("level after deep-calm window = %d, want L0 in one window", b.Level())
+	}
+	if b.Transitions() != 4 {
+		t.Fatalf("Transitions = %d, want 4 (3 up + 1 down)", b.Transitions())
+	}
+}
+
+// TestBrownoutQueuePressure: a deep queue alone (no latency samples)
+// steps the level up, and mild calm steps down one level at a time.
+func TestBrownoutQueuePressure(t *testing.T) {
+	b := newBrownout(BrownoutConfig{
+		TargetP99:      10 * time.Millisecond,
+		HighQueueDepth: 8,
+		Window:         time.Hour,
+		MinSamples:     4,
+	})
+	b.Tick(20) // queue over threshold
+	b.Tick(20)
+	if b.Level() != LevelCachedOnly {
+		t.Fatalf("level = %d, want L2 from queue pressure", b.Level())
+	}
+	// Mild calm: small but non-empty queue, p99 under 70% of target
+	// but over half of it — steps ONE level.
+	for i := 0; i < 10; i++ {
+		b.Observe(6 * time.Millisecond)
+	}
+	b.Tick(2)
+	if b.Level() != LevelLean {
+		t.Fatalf("level after mild calm = %d, want hysteretic single step to L1", b.Level())
+	}
+}
+
+// TestBrownoutTransitionCallback: every change invokes OnTransition.
+func TestBrownoutTransitionCallback(t *testing.T) {
+	var mu sync.Mutex
+	var seen [][2]int
+	b := newBrownout(BrownoutConfig{
+		Window: time.Hour,
+		OnTransition: func(from, to int) {
+			mu.Lock()
+			seen = append(seen, [2]int{from, to})
+			mu.Unlock()
+		},
+	})
+	b.Tick(1000)
+	b.Tick(0)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 || seen[0] != [2]int{0, 1} || seen[1] != [2]int{1, 0} {
+		t.Fatalf("transitions = %v, want [[0 1] [1 0]]", seen)
+	}
+}
+
+// TestControllerDeadlineReject: an expired deadline rejects with 504
+// before touching the gate; so does one shorter than the expected
+// latency, once the EWMA is warm.
+func TestControllerDeadlineReject(t *testing.T) {
+	c := New(Config{MaxCost: 4})
+	_, rej := c.Admit(context.Background(), Request{
+		Priority: Interactive, Cost: 1, Deadline: time.Now().Add(-time.Second),
+	})
+	if rej == nil || rej.Status != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline: rejection = %+v, want 504", rej)
+	}
+	c.SeedExpectedLatency(500 * time.Millisecond)
+	_, rej = c.Admit(context.Background(), Request{
+		Priority: Interactive, Cost: 1, Deadline: time.Now().Add(50 * time.Millisecond),
+	})
+	if rej == nil || rej.Status != http.StatusGatewayTimeout {
+		t.Fatalf("unmeetable deadline: rejection = %+v, want 504", rej)
+	}
+	// A comfortable deadline admits.
+	tk, rej := c.Admit(context.Background(), Request{
+		Priority: Interactive, Cost: 1, Deadline: time.Now().Add(10 * time.Second),
+	})
+	if rej != nil {
+		t.Fatalf("comfortable deadline rejected: %+v", rej)
+	}
+	tk.Done()
+	if got := c.Snapshot().RejectedDeadline; got != 2 {
+		t.Fatalf("RejectedDeadline = %d, want 2", got)
+	}
+}
+
+// TestControllerL3ClassFilter: at L3 only Interactive is admitted.
+func TestControllerL3ClassFilter(t *testing.T) {
+	c := New(Config{MaxCost: 4, Brownout: true, BrownoutConfig: BrownoutConfig{Window: time.Hour}})
+	for i := 0; i < 3; i++ {
+		c.brown.Tick(1000)
+	}
+	if c.Level() != LevelCritical {
+		t.Fatalf("level = %d, want L3", c.Level())
+	}
+	_, rej := c.Admit(context.Background(), Request{Priority: Aggregate, Cost: 1})
+	if rej == nil || rej.Status != http.StatusServiceUnavailable {
+		t.Fatalf("aggregate at L3: rejection = %+v, want 503", rej)
+	}
+	if rej.RetryAfter < time.Second {
+		t.Fatalf("L3 shed RetryAfter = %v, want >= 1s", rej.RetryAfter)
+	}
+	tk, rej := c.Admit(context.Background(), Request{Priority: Interactive, Cost: 1})
+	if rej != nil {
+		t.Fatalf("interactive at L3 rejected: %+v", rej)
+	}
+	tk.Done()
+}
+
+// TestControllerTenantQuota: the 429 path carries a Retry-After.
+func TestControllerTenantQuota(t *testing.T) {
+	c := New(Config{TenantRate: 1, TenantBurst: 2})
+	tk, rej := c.Admit(context.Background(), Request{Priority: Interactive, Cost: 2, Tenant: "t1"})
+	if rej != nil {
+		t.Fatalf("first burst rejected: %+v", rej)
+	}
+	tk.Done()
+	_, rej = c.Admit(context.Background(), Request{Priority: Interactive, Cost: 2, Tenant: "t1"})
+	if rej == nil || rej.Status != http.StatusTooManyRequests {
+		t.Fatalf("quota breach: rejection = %+v, want 429", rej)
+	}
+	if rej.RetryAfter < time.Second {
+		t.Fatalf("429 RetryAfter = %v, want >= 1s", rej.RetryAfter)
+	}
+}
+
+// TestControllerObserveOnly: the zero config admits everything and
+// still snapshots coherent stats (the always-present observer mode
+// the remote service boots with).
+func TestControllerObserveOnly(t *testing.T) {
+	c := New(Config{})
+	for i := 0; i < 5; i++ {
+		tk, rej := c.Admit(context.Background(), Request{Priority: Background, Cost: 99})
+		if rej != nil {
+			t.Fatalf("observe-only controller rejected: %+v", rej)
+		}
+		tk.Done()
+	}
+	st := c.Snapshot()
+	if st.Admitted["background"] != 5 {
+		t.Fatalf("Admitted[background] = %d, want 5", st.Admitted["background"])
+	}
+	if st.Rejected != 0 || st.BrownoutLevel != LevelFull {
+		t.Fatalf("unexpected snapshot: %+v", st)
+	}
+	if st.ExpectedLatencyMs <= 0 {
+		t.Fatalf("ExpectedLatencyMs = %v, want > 0 after 5 observations", st.ExpectedLatencyMs)
+	}
+}
+
+// TestTicketDoneIdempotent: double Done must not underflow capacity.
+func TestTicketDoneIdempotent(t *testing.T) {
+	c := New(Config{MaxCost: 2})
+	tk, rej := c.Admit(context.Background(), Request{Priority: Interactive, Cost: 2})
+	if rej != nil {
+		t.Fatal(rej)
+	}
+	tk.Done()
+	tk.Done()
+	if f := c.gate.InFlightCost(); f != 0 {
+		t.Fatalf("InFlightCost after double Done = %d, want 0", f)
+	}
+}
+
+// TestForceLevel: the test/operator override pins the level, counts a
+// transition, fires the callback, and clamps out-of-range values.
+func TestForceLevel(t *testing.T) {
+	var calls int
+	c := New(Config{Brownout: true, BrownoutConfig: BrownoutConfig{
+		Window:       time.Hour, // keep evaluations out of the way
+		OnTransition: func(from, to int) { calls++ },
+	}})
+	c.ForceBrownoutLevel(LevelCachedOnly)
+	if c.Level() != LevelCachedOnly {
+		t.Fatalf("forced level = %d, want %d", c.Level(), LevelCachedOnly)
+	}
+	c.ForceBrownoutLevel(LevelCachedOnly) // same level: no transition
+	c.ForceBrownoutLevel(99)              // clamps to the max level
+	if c.Level() != LevelCritical {
+		t.Fatalf("clamped level = %d, want %d", c.Level(), LevelCritical)
+	}
+	c.ForceBrownoutLevel(-3) // clamps to full service
+	if c.Level() != LevelFull {
+		t.Fatalf("clamped level = %d, want %d", c.Level(), LevelFull)
+	}
+	if calls != 3 {
+		t.Fatalf("OnTransition fired %d times, want 3", calls)
+	}
+	if got := c.Snapshot().BrownoutTransitions; got != 3 {
+		t.Fatalf("transitions = %d, want 3", got)
+	}
+	// Without brownout the override is a harmless no-op.
+	c2 := New(Config{})
+	c2.ForceBrownoutLevel(LevelCritical)
+	if c2.Level() != LevelFull {
+		t.Fatalf("brownout-less controller reports level %d", c2.Level())
+	}
+}

@@ -1,0 +1,295 @@
+package admission
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// gate.go: the cost-weighted admission gate. Replaces the flat
+// channel semaphore the remote service used to run: capacity is
+// measured in cost units (predicted blocks touched), waiters queue in
+// per-priority FIFO lists drained highest class first, the queue
+// depth is bounded, and sheds carry a Retry-After computed from the
+// observed drain rate instead of a constant.
+
+// ShedError reports a request the gate turned away, with the backoff
+// hint the HTTP layer forwards as Retry-After.
+type ShedError struct {
+	// Full is true when the bounded queue had no room (instant shed);
+	// false when the request queued but no capacity freed within the
+	// queue-wait bound.
+	Full bool
+	// RetryAfter is the computed backoff hint (>= 1s floor).
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	if e.Full {
+		return fmt.Sprintf("admission: queue full, retry after %s", e.RetryAfter)
+	}
+	return fmt.Sprintf("admission: no capacity within queue wait, retry after %s", e.RetryAfter)
+}
+
+// waiter is one queued request.
+type waiter struct {
+	cost     int64
+	ready    chan struct{}
+	admitted bool // set under gate.mu before ready closes
+	canceled bool // set under gate.mu; wake passes skip it
+}
+
+// drainWindow paces the drain-rate estimate: completed cost is
+// accumulated and folded into the EWMA once per window.
+const drainWindow = 250 * time.Millisecond
+
+// retryAfterCeil caps the computed Retry-After so a momentarily deep
+// queue cannot tell clients to go away for minutes.
+const retryAfterCeil = 30 * time.Second
+
+// Gate is the cost-weighted, priority-ordered admission gate.
+type Gate struct {
+	capacity  int64
+	maxQueue  int
+	queueWait time.Duration
+
+	mu          sync.Mutex
+	inFlight    int64
+	queues      [numPriorities][]*waiter
+	queuedCount int
+	queuedCost  int64
+
+	// Drain-rate bookkeeping (cost units completed per second),
+	// folded into an EWMA once per drainWindow.
+	drainRate   float64
+	windowStart time.Time
+	windowCost  int64
+
+	admitted        [numPriorities]int64
+	rejectedFull    int64
+	rejectedTimeout int64
+}
+
+// newGate builds a gate with capacity cost units; maxQueue bounds the
+// number of queued requests and queueWait how long any one of them
+// may wait.
+func newGate(capacity int64, maxQueue int, queueWait time.Duration) *Gate {
+	return &Gate{
+		capacity:    capacity,
+		maxQueue:    maxQueue,
+		queueWait:   queueWait,
+		windowStart: time.Now(),
+	}
+}
+
+// Acquire admits a request of the given cost, queueing when the gate
+// is at capacity. It returns a release func on success and a
+// *ShedError (or the context's error, when the caller gave up while
+// queued) otherwise. Cost is clamped to [1, capacity] so one huge
+// request can still run alone rather than being unadmittable.
+func (g *Gate) Acquire(ctx context.Context, pri Priority, cost int64) (func(), error) {
+	if cost < 1 {
+		cost = 1
+	}
+	if cost > g.capacity {
+		cost = g.capacity
+	}
+	if pri < 0 {
+		pri = 0
+	}
+	if pri >= numPriorities {
+		pri = numPriorities - 1
+	}
+	g.mu.Lock()
+	// Fast path: capacity available and nobody queued ahead of us.
+	if g.queuedCount == 0 && g.inFlight+cost <= g.capacity {
+		g.inFlight += cost
+		g.admitted[pri]++
+		g.mu.Unlock()
+		return g.releaseFunc(cost), nil
+	}
+	if g.queuedCount >= g.maxQueue {
+		g.rejectedFull++
+		ra := g.retryAfterLocked()
+		g.mu.Unlock()
+		return nil, &ShedError{Full: true, RetryAfter: ra}
+	}
+	w := &waiter{cost: cost, ready: make(chan struct{})}
+	g.queues[pri] = append(g.queues[pri], w)
+	g.queuedCount++
+	g.queuedCost += cost
+	g.mu.Unlock()
+
+	timer := time.NewTimer(g.queueWait)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		return g.releaseFunc(cost), nil
+	case <-ctx.Done():
+		if g.cancelWaiter(w) {
+			return nil, ctx.Err()
+		}
+		// Lost the race: a wake pass admitted us before the cancel
+		// registered. Give the capacity straight back.
+		<-w.ready
+		g.releaseFunc(cost)()
+		return nil, ctx.Err()
+	case <-timer.C:
+		if g.cancelWaiter(w) {
+			g.mu.Lock()
+			g.rejectedTimeout++
+			ra := g.retryAfterLocked()
+			g.mu.Unlock()
+			return nil, &ShedError{RetryAfter: ra}
+		}
+		// Admitted at the wire: take the slot rather than wasting the
+		// work of the wake pass.
+		<-w.ready
+		return g.releaseFunc(cost), nil
+	}
+}
+
+// cancelWaiter removes w from the queue; false means a wake pass
+// already admitted it.
+func (g *Gate) cancelWaiter(w *waiter) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if w.admitted {
+		return false
+	}
+	w.canceled = true
+	g.queuedCount--
+	g.queuedCost -= w.cost
+	return true
+}
+
+func (g *Gate) releaseFunc(cost int64) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.mu.Lock()
+			g.inFlight -= cost
+			g.noteDrainLocked(cost)
+			g.wakeLocked()
+			g.mu.Unlock()
+		})
+	}
+}
+
+// wakeLocked admits queued waiters in priority order (Interactive
+// first), stopping at the first live waiter that does not fit — FIFO
+// head-of-line within a class, strict ordering across classes.
+func (g *Gate) wakeLocked() {
+	for p := numPriorities - 1; p >= 0; p-- {
+		q := g.queues[p]
+		i := 0
+		for ; i < len(q); i++ {
+			w := q[i]
+			if w.canceled {
+				continue // removed from the counters already
+			}
+			if g.inFlight+w.cost > g.capacity {
+				// Head of line does not fit; lower classes must wait
+				// behind it too (no sneak-past for cheap requests, so
+				// an expensive interactive query cannot starve).
+				g.queues[p] = compactQueue(q[i:])
+				return
+			}
+			g.inFlight += w.cost
+			g.queuedCount--
+			g.queuedCost -= w.cost
+			g.admitted[p]++
+			w.admitted = true
+			close(w.ready)
+		}
+		g.queues[p] = q[:0]
+	}
+}
+
+// compactQueue drops canceled waiters from the head segment that
+// stays queued (allocation-free shift in place).
+func compactQueue(q []*waiter) []*waiter {
+	out := q[:0]
+	for _, w := range q {
+		if !w.canceled {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// noteDrainLocked folds completed cost into the drain-rate EWMA once
+// per drainWindow.
+func (g *Gate) noteDrainLocked(cost int64) {
+	g.windowCost += cost
+	now := time.Now()
+	el := now.Sub(g.windowStart)
+	if el < drainWindow {
+		return
+	}
+	inst := float64(g.windowCost) / el.Seconds()
+	if g.drainRate == 0 {
+		g.drainRate = inst
+	} else {
+		g.drainRate += 0.3 * (inst - g.drainRate)
+	}
+	g.windowCost = 0
+	g.windowStart = now
+}
+
+// retryAfterLocked computes the backoff hint for a shed: the time the
+// current backlog (queued plus in-flight cost) needs to drain at the
+// observed rate, floored at one second — the old constant — and
+// capped at retryAfterCeil.
+func (g *Gate) retryAfterLocked() time.Duration {
+	ra := time.Second
+	if g.drainRate > 0 {
+		secs := float64(g.queuedCost+g.inFlight) / g.drainRate
+		if d := time.Duration(secs * float64(time.Second)); d > ra {
+			ra = d
+		}
+	}
+	if ra > retryAfterCeil {
+		ra = retryAfterCeil
+	}
+	// Whole seconds: Retry-After is specified in seconds and a
+	// fractional hint would round to zero on old clients.
+	return ra.Round(time.Second)
+}
+
+// QueueDepth reports how many requests are queued right now.
+func (g *Gate) QueueDepth() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.queuedCount
+}
+
+// InFlightCost reports the cost units currently executing.
+func (g *Gate) InFlightCost() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inFlight
+}
+
+// Admitted returns per-priority admission counters.
+func (g *Gate) Admitted() [numPriorities]int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.admitted
+}
+
+// Rejected reports queue sheds (full queue + queue-wait timeouts).
+func (g *Gate) Rejected() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.rejectedFull + g.rejectedTimeout
+}
+
+// RetryAfter computes the current backoff hint (for sheds decided
+// outside the gate, e.g. brownout class filtering).
+func (g *Gate) RetryAfter() time.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.retryAfterLocked()
+}

@@ -1,0 +1,122 @@
+// Package admission is the server's overload-protection layer: a
+// cost-weighted admission gate with priority-ordered queuing, per-
+// tenant token-bucket quotas, deadline-aware rejection on arrival,
+// and a brownout controller that steps through explicit degradation
+// levels instead of letting a saturated server collapse.
+//
+// The DAS model (see the package comment of internal/remote) puts
+// every query on a shared untrusted server; at scale the dominant
+// failure is overload, not a hostile network. The currency of
+// admission here is *cost* — the predicted number of hosted blocks a
+// request touches, derived from OPESS band occupancy and DSI
+// interval-group counts by internal/server — so one expensive twig
+// query pays for what it actually displaces rather than counting the
+// same as a point lookup.
+//
+// Nothing in this package relaxes integrity: degraded modes change
+// WHAT is served (cached answers, fewer priority classes), never
+// whether an answer is verified-or-marked — that contract lives in
+// the layers above and is pinned by their chaos tests.
+package admission
+
+import "context"
+
+// Priority is the request's class. Higher values are admitted first
+// and survive deeper brownout levels. The ordering follows the
+// paper's workload split: a human is waiting on an interactive
+// query, aggregates feed dashboards, updates are background
+// write-behind the owner retries anyway.
+type Priority int
+
+const (
+	// Background is the lowest class: owner updates and uploads.
+	Background Priority = iota
+	// Aggregate covers MIN/MAX index probes and other analytic reads.
+	Aggregate
+	// Interactive is the highest class: a user-facing query.
+	Interactive
+
+	numPriorities = 3
+)
+
+// String returns the wire form carried in the X-Priority header.
+func (p Priority) String() string {
+	switch p {
+	case Interactive:
+		return "interactive"
+	case Aggregate:
+		return "aggregate"
+	default:
+		return "background"
+	}
+}
+
+// ParsePriority reverses String; unknown or empty input falls back to
+// def, so an old client that never stamps the header is classified by
+// the endpoint's default rather than rejected.
+func ParsePriority(s string, def Priority) Priority {
+	switch s {
+	case "interactive":
+		return Interactive
+	case "aggregate":
+		return Aggregate
+	case "background":
+		return Background
+	default:
+		return def
+	}
+}
+
+type priorityKey struct{}
+
+// WithPriority stamps an explicit priority class on the context; the
+// remote client forwards it in the X-Priority header.
+func WithPriority(ctx context.Context, p Priority) context.Context {
+	return context.WithValue(ctx, priorityKey{}, p)
+}
+
+// PriorityFromContext reads a stamped priority; ok is false when the
+// caller never chose one.
+func PriorityFromContext(ctx context.Context) (Priority, bool) {
+	p, ok := ctx.Value(priorityKey{}).(Priority)
+	return p, ok
+}
+
+// ContextWithDefaultPriority stamps p only when the context carries no
+// explicit class yet — the per-operation defaults (query→Interactive,
+// aggregate→Aggregate, update→Background) without overriding a
+// caller's choice.
+func ContextWithDefaultPriority(ctx context.Context, p Priority) context.Context {
+	if _, ok := PriorityFromContext(ctx); ok {
+		return ctx
+	}
+	return WithPriority(ctx, p)
+}
+
+// ResponseMeta is an out-parameter the owner stack threads through
+// the context: the remote client fills it from the response headers
+// of the attempt that produced the answer, so core.Timings can
+// surface whether the answer came from a degraded (browned-out)
+// server without widening every Backend signature.
+type ResponseMeta struct {
+	// BrownoutLevel echoes the server's degradation level (0 = full
+	// service) at the time it answered.
+	BrownoutLevel int
+	// Degraded marks an answer served by a degraded mode — today
+	// that means the brownout controller answered from the
+	// generation-tagged answer cache instead of executing the query.
+	Degraded bool
+}
+
+type responseMetaKey struct{}
+
+// ContextWithResponseMeta attaches the out-parameter.
+func ContextWithResponseMeta(ctx context.Context, m *ResponseMeta) context.Context {
+	return context.WithValue(ctx, responseMetaKey{}, m)
+}
+
+// ResponseMetaFromContext retrieves it (nil when absent).
+func ResponseMetaFromContext(ctx context.Context) *ResponseMeta {
+	m, _ := ctx.Value(responseMetaKey{}).(*ResponseMeta)
+	return m
+}

@@ -1,0 +1,116 @@
+package admission
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-tenant quotas: a token bucket per client ID, denominated in the
+// same cost units as the gate, so one greedy tenant exhausts its own
+// budget instead of the shared capacity. Tenants are identified by
+// the X-Client-ID header; requests without one share the anonymous
+// bucket (quotas on means unidentified traffic is collectively
+// bounded, not unbounded).
+
+// maxTenantBuckets bounds the bucket map against an attacker spinning
+// fresh client IDs; past the bound the stalest bucket is evicted —
+// which at worst refills an abandoned tenant to full burst, never
+// grants more than burst.
+const maxTenantBuckets = 4096
+
+// anonTenant is the shared bucket key for requests without an ID.
+const anonTenant = "\x00anon"
+
+type tbucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// TenantLimiter hands each tenant rate cost-units per second with a
+// burst ceiling.
+type TenantLimiter struct {
+	rate, burst float64
+
+	mu       sync.Mutex
+	buckets  map[string]*tbucket
+	rejected int64
+}
+
+func newTenantLimiter(rate, burst float64) *TenantLimiter {
+	if burst < rate {
+		burst = rate
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &TenantLimiter{rate: rate, burst: burst, buckets: map[string]*tbucket{}}
+}
+
+// Allow debits cost units from the tenant's bucket. On refusal it
+// returns the time until the bucket holds enough tokens (the
+// Retry-After hint), floored at one second.
+func (l *TenantLimiter) Allow(tenant string, cost float64) (bool, time.Duration) {
+	if tenant == "" {
+		tenant = anonTenant
+	}
+	if cost > l.burst {
+		cost = l.burst // a single over-burst request must stay servable
+	}
+	now := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[tenant]
+	if b == nil {
+		l.evictStalestLocked()
+		b = &tbucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	}
+	b.tokens += l.rate * now.Sub(b.last).Seconds()
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens >= cost {
+		b.tokens -= cost
+		return true, 0
+	}
+	l.rejected++
+	wait := time.Duration((cost - b.tokens) / l.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	if wait > retryAfterCeil {
+		wait = retryAfterCeil
+	}
+	return false, wait.Round(time.Second)
+}
+
+// evictStalestLocked drops the least-recently-used bucket once the
+// map is full.
+func (l *TenantLimiter) evictStalestLocked() {
+	if len(l.buckets) < maxTenantBuckets {
+		return
+	}
+	var victim string
+	var oldest time.Time
+	for k, b := range l.buckets {
+		if victim == "" || b.last.Before(oldest) {
+			victim, oldest = k, b.last
+		}
+	}
+	delete(l.buckets, victim)
+}
+
+// Rejected reports how many requests tenant quotas refused.
+func (l *TenantLimiter) Rejected() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rejected
+}
+
+// Tenants reports how many distinct buckets are live.
+func (l *TenantLimiter) Tenants() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

@@ -103,6 +103,29 @@ func (t *Tree) Range(lo, hi uint64) []Entry {
 	return out
 }
 
+// Count returns the number of entries with lo <= Key <= hi without
+// materializing them — the band-occupancy probe the admission layer
+// prices queries with (a Range would allocate the very entries the
+// estimate exists to avoid touching).
+func (t *Tree) Count(lo, hi uint64) int {
+	if lo > hi {
+		return 0
+	}
+	lf, i := t.root.firstGE(lo)
+	n := 0
+	for lf != nil {
+		for ; i < len(lf.entries); i++ {
+			if lf.entries[i].Key > hi {
+				return n
+			}
+			n++
+		}
+		lf = lf.next
+		i = 0
+	}
+	return n
+}
+
 // RangeBlocks returns the deduplicated block IDs of entries in
 // [lo, hi], in ascending order — the set the server fetches for a
 // translated value constraint.

@@ -211,3 +211,22 @@ func TestQuickMatchesReference(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCountMatchesRange: Count(lo, hi) must agree with len(Range)
+// for every window, across splits and duplicates.
+func TestCountMatchesRange(t *testing.T) {
+	tr := New(4)
+	for i := uint64(0); i < 200; i++ {
+		tr.Insert(i%50, int(i))
+	}
+	windows := [][2]uint64{{0, 0}, {0, 49}, {10, 20}, {25, 25}, {49, 1000}, {60, 70}, {5, 3}}
+	for _, w := range windows {
+		want := len(tr.Range(w[0], w[1]))
+		if got := tr.Count(w[0], w[1]); got != want {
+			t.Errorf("Count(%d, %d) = %d, want %d", w[0], w[1], got, want)
+		}
+	}
+	if got := New(0).Count(0, ^uint64(0)); got != 0 {
+		t.Errorf("Count on empty tree = %d", got)
+	}
+}

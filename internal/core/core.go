@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/client"
 	"repro/internal/gencache"
 	"repro/internal/netsim"
@@ -387,6 +388,14 @@ type Timings struct {
 	// Callers surfacing such an answer must label it.
 	Unverified bool
 
+	// Degraded marks an answer a browned-out server produced in a
+	// degraded mode (today: served from its generation-tagged answer
+	// cache without executing). The answer verified exactly like a
+	// full-service one; BrownoutLevel echoes the server's degradation
+	// level (0 = full service) at answer time.
+	Degraded      bool
+	BrownoutLevel int
+
 	// Generation and Epoch echo the server's db generation counter
 	// and boot nonce as carried by this query's answer (zero when the
 	// backend predates the echo or the answer came from the stale
@@ -486,6 +495,13 @@ func (s *System) QueryPathContext(ctx context.Context, path *xpath.Path) ([]*xml
 // unexported so the lock is never taken recursively).
 func (s *System) queryPathLocked(ctx context.Context, path *xpath.Path) ([]*xmltree.Node, *xmltree.Document, Timings, error) {
 	var tm Timings
+	// Overload protocol: queries default to the interactive class (a
+	// caller can stamp another via admission.WithPriority), and the
+	// response-meta carrier lets the remote transport report degraded
+	// (browned-out) service back into the Timings.
+	ctx = admission.ContextWithDefaultPriority(ctx, admission.Interactive)
+	respMeta := &admission.ResponseMeta{}
+	ctx = admission.ContextWithResponseMeta(ctx, respMeta)
 	if s.pending != nil && s.verifier != nil {
 		// An ambiguous update is outstanding: the live verifier may be
 		// one root behind the server, so any verified answer could be
@@ -536,6 +552,7 @@ func (s *System) queryPathLocked(ctx context.Context, path *xpath.Path) ([]*xmlt
 	if !tm.Stale {
 		tm.Generation, tm.Epoch = ans.Generation, ans.Epoch
 	}
+	tm.Degraded, tm.BrownoutLevel = respMeta.Degraded, respMeta.BrownoutLevel
 
 	// The block cache serves verified-live answers only: a stale
 	// fallback copy's freshness is unknown, so it must neither be

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/btree"
 	"repro/internal/wire"
 	"repro/internal/xmltree"
@@ -48,6 +49,9 @@ func (s *System) UpdateLeafValuesContext(ctx context.Context, q string, newValue
 // update enqueues under the lock and the caller then waits (off the
 // lock) for its batch's shared group commit.
 func (s *System) UpdateLeafValuesTimed(ctx context.Context, q string, newValue string) (int, Timings, error) {
+	// Updates are write-behind the owner retries anyway: the lowest
+	// class, shed first under brownout.
+	ctx = admission.ContextWithDefaultPriority(ctx, admission.Background)
 	path, err := xpath.Parse(q)
 	if err != nil {
 		return 0, Timings{}, err

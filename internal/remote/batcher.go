@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/walog"
 	"repro/internal/wire"
 )
@@ -85,7 +86,16 @@ func (s *Service) enqueueUpdate(h *hosted, raw []byte, upd *wire.Update) (applyE
 		s.flushUpdates(h, batch)
 	} else {
 		if len(q.pending) == 1 {
-			q.timer = time.AfterFunc(cfg.maxWait, func() {
+			// Brownout L1 ("lean"): shrink the coalescing wait to a
+			// quarter, trading fsync amortization for latency the
+			// moment the service is under pressure.
+			maxWait := cfg.maxWait
+			if s.adm().Level() >= admission.LevelLean {
+				if maxWait /= 4; maxWait < 100*time.Microsecond {
+					maxWait = 100 * time.Microsecond
+				}
+			}
+			q.timer = time.AfterFunc(maxWait, func() {
 				q.mu.Lock()
 				batch := q.takeLocked()
 				q.mu.Unlock()

@@ -1,14 +1,18 @@
 package remote
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"reflect"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -350,6 +354,129 @@ func TestDeadlineExceededOnHungServer(t *testing.T) {
 	}
 	if elapsed > 2*time.Second {
 		t.Fatalf("hung server blocked the client for %v past a 100ms deadline", elapsed)
+	}
+}
+
+// smallWriteBufListener shrinks the kernel write buffer of every
+// accepted connection, so a stalled reader backs up onto the server's
+// write path after a few KiB instead of after megabytes of kernel
+// buffering — making the slow-loris scenario reproducible at test
+// sizes.
+type smallWriteBufListener struct{ net.Listener }
+
+func (l smallWriteBufListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if tc, ok := c.(*net.TCPConn); err == nil && ok {
+		tc.SetWriteBuffer(4 << 10)
+	}
+	return c, err
+}
+
+// TestSlowLorisStreamCutOff: a client that requests a streamed SXS1
+// answer and then stops draining the socket must not pin a worker —
+// the per-flush write deadline trips, the stream encoder unwinds on
+// the sticky write error, and the handler returns within the deadline
+// bound instead of blocking until the peer goes away.
+func TestSlowLorisStreamCutOff(t *testing.T) {
+	// A document big enough that the streamed answer cannot fit in the
+	// (deliberately shrunken) socket buffers.
+	var b strings.Builder
+	b.WriteString("<hospital>")
+	filler := strings.Repeat("flu", 700) // ~2 KiB per patient
+	for i := 0; i < 128; i++ {
+		fmt.Fprintf(&b, "<patient><pname>P%d</pname><SSN>%d</SSN><treat><disease>%s%d</disease><doctor>D%d</doctor></treat><age>%d</age></patient>",
+			i, 100000+i, filler, i, i, 20+i%60)
+	}
+	b.WriteString("</hospital>")
+	doc, err := xmltree.ParseString(b.String())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sys, err := core.Host(doc, []string{"//patient:(/pname, /SSN)", "//treat:(/disease, /doctor)"},
+		core.SchemeOpt, []byte("loris-test"))
+	if err != nil {
+		t.Fatalf("Host: %v", err)
+	}
+
+	const writeTimeout = 150 * time.Millisecond
+	svc := NewService().WithStreamCutoff(1).WithWriteTimeout(writeTimeout)
+	var frameMu sync.Mutex
+	var frame []byte
+	handlerDone := make(chan struct{})
+	wrapper := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		loris := r.Header.Get("X-Loris") != ""
+		if strings.HasSuffix(r.URL.Path, "/query") && !loris {
+			data, _ := io.ReadAll(r.Body)
+			r.Body.Close()
+			frameMu.Lock()
+			frame = append(frame[:0], data...)
+			frameMu.Unlock()
+			r.Body = io.NopCloser(bytes.NewReader(data))
+		}
+		svc.ServeHTTP(w, r)
+		if loris {
+			close(handlerDone)
+		}
+	})
+	ts := httptest.NewUnstartedServer(wrapper)
+	ts.Listener = smallWriteBufListener{ts.Listener}
+	ts.Start()
+	t.Cleanup(ts.Close)
+
+	cl := Dial(ts.URL, "big").WithHTTPClient(ts.Client()).WithStreaming(true)
+	if err := cl.Upload(context.Background(), sys.HostedDB); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	sys.UseBackend(cl)
+	// One healthy streamed run: captures the query frame and proves
+	// the answer is big enough that a stalled reader must block the
+	// server's writes (otherwise this test is vacuous).
+	_, _, tm, err := sys.Query("//patient")
+	if err != nil {
+		t.Fatalf("healthy streamed query: %v", err)
+	}
+	if !tm.Streamed {
+		t.Fatalf("healthy query did not stream")
+	}
+	if tm.AnswerBytes < 128<<10 {
+		t.Fatalf("answer only %d bytes; too small to overwhelm socket buffers", tm.AnswerBytes)
+	}
+	frameMu.Lock()
+	raw := append([]byte(nil), frame...)
+	frameMu.Unlock()
+	if len(raw) == 0 {
+		t.Fatal("no query frame captured")
+	}
+
+	// The slow loris: send the same query over a raw connection with a
+	// tiny receive buffer, read a sip of the stream, then stall with
+	// the connection held open.
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetReadBuffer(4 << 10)
+	}
+	fmt.Fprintf(conn, "POST /db/big/query HTTP/1.1\r\nHost: loris\r\n%s: %s\r\nX-Loris: 1\r\nContent-Length: %d\r\n\r\n",
+		acceptStreamHeader, streamProto, len(raw))
+	if _, err := conn.Write(raw); err != nil {
+		t.Fatalf("write frame: %v", err)
+	}
+	sip := make([]byte, 1024)
+	if _, err := io.ReadFull(conn, sip); err != nil {
+		t.Fatalf("read first KiB of stream: %v", err)
+	}
+	stall := time.Now()
+	// ...and never read again. The handler must come back on its own.
+	select {
+	case <-handlerDone:
+		if el := time.Since(stall); el > 10*writeTimeout {
+			t.Errorf("worker pinned %v past the stall (write deadline %v)", el, writeTimeout)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("slow reader pinned the stream worker; write deadline never freed it")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/authtree"
 )
@@ -29,6 +30,11 @@ type StatusError struct {
 	Code   int    // HTTP status code
 	Status string // full status line, e.g. "503 Service Unavailable"
 	Body   string // response body, truncated to maxErrBody
+	// RetryAfter is the server's computed backoff hint (the
+	// Retry-After header on sheds), zero when the response carried
+	// none. The retry loop waits at least this long before the next
+	// attempt.
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
@@ -36,8 +42,14 @@ func (e *StatusError) Error() string {
 }
 
 // Temporary reports whether the failure class is worth retrying:
-// server-side errors and throttling, not client mistakes.
+// server-side errors and throttling, not client mistakes. 504 is the
+// exception among 5xx: it means the caller's own deadline budget
+// cannot cover the expected service time, and every retry arrives
+// with strictly less budget — hopeless by construction.
 func (e *StatusError) Temporary() bool {
+	if e.Code == http.StatusGatewayTimeout {
+		return false
+	}
 	return e.Code >= 500 || e.Code == http.StatusTooManyRequests
 }
 

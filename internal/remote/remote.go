@@ -38,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -46,6 +47,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/authtree"
 	"repro/internal/faultfs"
 	"repro/internal/gencache"
@@ -117,17 +119,24 @@ type Service struct {
 	// dedupHits counts update requests answered from the dedup table
 	// instead of being re-applied (observability + tests).
 	dedupHits atomic.Int64
-	// sem, when non-nil, bounds the number of query/extreme requests
-	// executing at once (see WithMaxInFlight). Each in-flight request
-	// holds one slot; acquisition is context-aware so a caller that
-	// gives up while queued does not consume a slot.
-	sem chan struct{}
-	// queueWait bounds how long a request may wait for a slot before
-	// being turned away with 503; zero selects defaultQueueWait.
-	queueWait time.Duration
-	// rejected counts requests turned away with 503 because every
-	// slot stayed busy past the queue-wait bound.
-	rejected atomic.Int64
+	// admCfg + admv are the overload-protection layer: cost-aware
+	// admission, per-tenant quotas, deadline feasibility and the
+	// brownout controller (see WithAdmission; WithMaxInFlight and
+	// WithQueueWait remain as the legacy unit-cost configuration).
+	// admv is never nil — the zero config admits everything and only
+	// keeps counters — so handlers call it unconditionally. It is an
+	// atomic pointer so the controller can be swapped on a live
+	// service (operator retuning, test harnesses resetting state
+	// between phases); tickets keep a reference to the controller
+	// that admitted them, so in-flight requests release correctly
+	// across a swap.
+	admCfg admission.Config
+	admv   atomic.Pointer[admission.Controller]
+	// writeTimeout bounds each flush stride of a streamed answer: a
+	// reader that stops draining (slow loris) trips the connection's
+	// write deadline instead of pinning the worker. Zero selects
+	// defaultWriteTimeout; negative disables the deadline.
+	writeTimeout time.Duration
 	// quarantined records corrupt database files set aside at load
 	// (see NewPersistentService); written once at startup, read-only
 	// afterwards.
@@ -218,8 +227,30 @@ func (h *hosted) rememberLocked(id uint64) {
 
 // NewService returns an empty service.
 func NewService() *Service {
-	return &Service{dbs: map[string]*hosted{}}
+	s := &Service{dbs: map[string]*hosted{}}
+	s.rebuildAdm()
+	return s
 }
+
+// rebuildAdm reconstitutes the admission controller from the current
+// config, wiring brownout transitions into the service log. Called by
+// the With* configuration methods, before traffic.
+func (s *Service) rebuildAdm() {
+	cfg := s.admCfg
+	if cfg.Brownout {
+		user := cfg.BrownoutConfig.OnTransition
+		cfg.BrownoutConfig.OnTransition = func(from, to int) {
+			log.Printf("remote: brownout %s -> %s", admission.LevelName(from), admission.LevelName(to))
+			if user != nil {
+				user(from, to)
+			}
+		}
+	}
+	s.admv.Store(admission.New(cfg))
+}
+
+// adm returns the current admission controller (never nil).
+func (s *Service) adm() *admission.Controller { return s.admv.Load() }
 
 // WithMaxInFlight bounds the number of query/extreme requests the
 // service executes at once to n; further requests queue until a slot
@@ -228,13 +259,16 @@ func NewService() *Service {
 // matcher itself fanning out across GOMAXPROCS workers per query
 // (internal/server), the bound keeps p concurrent clients from
 // oversubscribing the host with p×GOMAXPROCS runnable goroutines.
-// Call before serving traffic; returns s for chaining.
+// This is the legacy unit-cost spelling of WithAdmission: each
+// request costs one unit against a capacity of n. Call before serving
+// traffic; returns s for chaining.
 func (s *Service) WithMaxInFlight(n int) *Service {
 	if n <= 0 {
-		s.sem = nil
+		s.admCfg.MaxCost = 0
 	} else {
-		s.sem = make(chan struct{}, n)
+		s.admCfg.MaxCost = int64(n)
 	}
+	s.rebuildAdm()
 	return s
 }
 
@@ -245,16 +279,61 @@ func (s *Service) WithMaxInFlight(n int) *Service {
 const defaultQueueWait = 2 * time.Second
 
 // WithQueueWait bounds how long a request may wait for an execution
-// slot before being shed with 503. Only meaningful together with
-// WithMaxInFlight. Returns s for chaining.
+// slot before being shed with 503. Only meaningful together with a
+// gate (WithMaxInFlight or WithAdmission). Returns s for chaining.
 func (s *Service) WithQueueWait(d time.Duration) *Service {
-	s.queueWait = d
+	s.admCfg.QueueWait = d
+	s.rebuildAdm()
 	return s
+}
+
+// WithAdmission installs the full overload-protection configuration:
+// cost-aware gating (capacity in predicted-blocks-touched units),
+// per-tenant token buckets, deadline feasibility rejection and the
+// brownout controller. It subsumes WithMaxInFlight/WithQueueWait —
+// last caller wins. Call before serving traffic; returns s for
+// chaining.
+func (s *Service) WithAdmission(cfg admission.Config) *Service {
+	s.admCfg = cfg
+	s.rebuildAdm()
+	return s
+}
+
+// Admission exposes the service's admission controller (stats,
+// brownout level, test hooks).
+func (s *Service) Admission() *admission.Controller { return s.adm() }
+
+// defaultWriteTimeout bounds one flush stride of a streamed answer.
+// Generous: it only needs to be shorter than "forever" to unpin
+// workers from dead peers.
+const defaultWriteTimeout = 30 * time.Second
+
+// WithWriteTimeout bounds how long one flush stride of a streamed
+// answer may block on the connection before the write deadline trips
+// and the stream is abandoned (the decoder on a live client sees a
+// torn body and retries). Zero restores the default (30s); negative
+// disables the deadline. Returns s for chaining.
+func (s *Service) WithWriteTimeout(d time.Duration) *Service {
+	s.writeTimeout = d
+	return s
+}
+
+// writeTimeoutBounds resolves the configured stream write timeout; ok
+// is false when disabled.
+func (s *Service) writeTimeoutBounds() (time.Duration, bool) {
+	switch {
+	case s.writeTimeout < 0:
+		return 0, false
+	case s.writeTimeout == 0:
+		return defaultWriteTimeout, true
+	default:
+		return s.writeTimeout, true
+	}
 }
 
 // Rejected reports how many requests were shed with 503 because no
 // execution slot freed up within the queue-wait bound.
-func (s *Service) Rejected() int { return int(s.rejected.Load()) }
+func (s *Service) Rejected() int { return int(s.adm().QueueRejected()) }
 
 // WithStreamCutoff sets the answer size (envelope bytes) at which
 // query responses to stream-capable clients switch from the
@@ -303,45 +382,57 @@ func (s *Service) streamCutoffBytes() (int, bool) {
 	}
 }
 
-// acquire takes one execution slot, queueing up to the queue-wait
-// bound (or the request's own context, whichever ends first). It
-// reports whether the slot was taken; on false the error response
-// has already been written.
-func (s *Service) acquire(w http.ResponseWriter, r *http.Request) bool {
-	if s.sem == nil {
-		return true
+// requestMeta reads the overload-protocol headers off one arrival:
+// priority class (def when absent), tenant, and the relative deadline
+// budget turned into an absolute deadline against this host's clock.
+func requestMeta(r *http.Request, def admission.Priority) admission.Request {
+	req := admission.Request{
+		Priority: admission.ParsePriority(r.Header.Get(wire.HeaderPriority), def),
+		Cost:     1,
+		Tenant:   r.Header.Get(wire.HeaderClientID),
 	}
-	select {
-	case s.sem <- struct{}{}:
-		return true
-	default:
+	if ms := r.Header.Get(wire.HeaderDeadlineMS); ms != "" {
+		if v, err := strconv.ParseInt(ms, 10, 64); err == nil && v > 0 {
+			req.Deadline = time.Now().Add(time.Duration(v) * time.Millisecond)
+		}
 	}
-	wait := s.queueWait
-	if wait <= 0 {
-		wait = defaultQueueWait
-	}
-	timer := time.NewTimer(wait)
-	defer timer.Stop()
-	select {
-	case s.sem <- struct{}{}:
-		return true
-	case <-r.Context().Done():
-		// The caller gave up while queued; nobody is listening for a
-		// status, but answer anyway (matches canceled()).
-		http.Error(w, "client canceled request", 499)
-		return false
-	case <-timer.C:
-		s.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "server at capacity", http.StatusServiceUnavailable)
-		return false
-	}
+	return req
 }
 
-func (s *Service) release() {
-	if s.sem != nil {
-		<-s.sem
+// shed writes one admission rejection, carrying the computed
+// Retry-After (whole seconds, at least 1) on the shed statuses a
+// client should back off from.
+func shed(w http.ResponseWriter, rej *admission.Rejection) {
+	if rej.RetryAfter > 0 {
+		secs := int(rej.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
+	http.Error(w, rej.Reason, rej.Status)
+}
+
+// admit runs one query/extreme arrival through the admission
+// controller. On nil the rejection has been written; otherwise the
+// caller must Done() the ticket.
+func (s *Service) admit(w http.ResponseWriter, r *http.Request, req admission.Request) *admission.Ticket {
+	tk, rej := s.adm().Admit(r.Context(), req)
+	if rej != nil {
+		shed(w, rej)
+		return nil
+	}
+	return tk
+}
+
+// execCtx derives the execution context for an admitted request: the
+// caller's connection context bounded by its propagated deadline, so
+// in-flight work is cancelled the moment the caller's budget runs out.
+func execCtx(r *http.Request, req admission.Request) (context.Context, context.CancelFunc) {
+	if req.Deadline.IsZero() {
+		return r.Context(), func() {}
+	}
+	return context.WithDeadline(r.Context(), req.Deadline)
 }
 
 // DedupHits reports how many update requests were answered from the
@@ -491,19 +582,77 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request, h *hosted)
 	if canceled(w, r) {
 		return
 	}
-	if !s.acquire(w, r) {
+	req := requestMeta(r, admission.Interactive)
+	if s.adm().CostAware() {
+		req.Cost = h.srv.EstimateFrameCost(data)
+	}
+	// Brownout L2 and above: serve from the generation-tagged answer
+	// cache only. A cached answer is bit-identical to what a live
+	// execution at this generation produced (proofs included — the
+	// cache key covers the WantProof bit), so degraded service never
+	// relaxes integrity; it only narrows which queries get answered.
+	// Cold queries shed; at L3 lower classes shed before the cache is
+	// even consulted.
+	if lvl := s.adm().Level(); lvl >= admission.LevelCachedOnly {
+		s.adm().Pulse()
+		if lvl >= admission.LevelCritical && req.Priority < admission.Interactive {
+			s.adm().NoteBrownoutShed()
+			shed(w, &admission.Rejection{
+				Status:     http.StatusServiceUnavailable,
+				Reason:     "brownout: admitting " + admission.Interactive.String() + " requests only",
+				RetryAfter: s.adm().RetryAfter(),
+			})
+			return
+		}
+		if ans, ok := h.srv.CachedAnswer(data); ok {
+			s.adm().NoteDegraded()
+			w.Header().Set(wire.HeaderBrownoutLevel, strconv.Itoa(lvl))
+			w.Header().Set(wire.HeaderDegraded, "cached")
+			out, err := wire.MarshalAnswer(ans)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set(generationHeader, fmt.Sprintf("%d:%d", ans.Epoch, ans.Generation))
+			writeChecksummed(w, out)
+			return
+		}
+		s.adm().NoteBrownoutShed()
+		shed(w, &admission.Rejection{
+			Status:     http.StatusServiceUnavailable,
+			Reason:     "brownout: serving cached answers only",
+			RetryAfter: s.adm().RetryAfter(),
+		})
 		return
 	}
-	defer s.release()
+	tk := s.admit(w, r, req)
+	if tk == nil {
+		return
+	}
+	defer tk.Done()
+	ctx, cancel := execCtx(r, req)
+	defer cancel()
 	// No hosted-level lock: the server's own read lock lets queries
 	// run concurrently and orders them against updates. The raw frame
 	// goes straight to the server: its fingerprint keys the compiled
 	// plan and answer caches, so a repeated query skips even the
 	// parse.
-	ans, err := h.srv.ExecuteFrame(data)
+	ans, err := h.srv.ExecuteFrameCtx(ctx, data)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			// The propagated caller deadline passed mid-execution; the
+			// pipeline abandoned the answer between stages.
+			http.Error(w, "caller deadline exceeded during execution", http.StatusGatewayTimeout)
+		case errors.Is(err, context.Canceled):
+			http.Error(w, "client canceled request", 499)
+		default:
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		}
 		return
+	}
+	if lvl := s.adm().Level(); lvl > admission.LevelFull {
+		w.Header().Set(wire.HeaderBrownoutLevel, strconv.Itoa(lvl))
 	}
 	if s.streamQuery(w, r, h, ans) {
 		return
@@ -532,6 +681,13 @@ func (s *Service) streamQuery(w http.ResponseWriter, r *http.Request, h *hosted,
 	if !enabled || r.Header.Get(acceptStreamHeader) != streamProto {
 		return false
 	}
+	// Brownout L1 ("lean"): streaming only pays for itself on large
+	// answers, and each stream holds a flusher and buffer for its whole
+	// transfer; under pressure, quadruple the cutoff so mid-size
+	// answers take the single-write envelope instead.
+	if s.adm().Level() >= admission.LevelLean {
+		cutoff *= 4
+	}
 	fl, canFlush := w.(http.Flusher)
 	if !canFlush || ans.ByteSize() < cutoff {
 		return false
@@ -540,8 +696,17 @@ func (s *Service) streamQuery(w http.ResponseWriter, r *http.Request, h *hosted,
 	w.Header().Set(generationHeader, fmt.Sprintf("%d:%d", ans.Epoch, ans.Generation))
 	// The encoder's own writes are small (tags, varints); batch them
 	// so each flush stride costs one chunk, not dozens of tiny ones.
+	// Each flush stride re-arms the connection's write deadline: a
+	// peer that stops draining (slow loris) trips the deadline, the
+	// bufio writer goes sticky-errored, and the encoder unwinds — the
+	// worker is freed instead of being pinned on a dead socket.
+	rc := http.NewResponseController(w)
+	wt, bounded := s.writeTimeoutBounds()
 	bw := bufio.NewWriterSize(w, 32<<10)
 	flush := func() {
+		if bounded {
+			rc.SetWriteDeadline(time.Now().Add(wt))
+		}
 		bw.Flush()
 		fl.Flush()
 	}
@@ -567,10 +732,13 @@ func (s *Service) handleExtreme(w http.ResponseWriter, r *http.Request, h *hoste
 	if canceled(w, r) {
 		return
 	}
-	if !s.acquire(w, r) {
+	// Extreme probes drive aggregates: their default class sits below
+	// interactive queries, so a browned-out service sheds them first.
+	tk := s.admit(w, r, requestMeta(r, admission.Aggregate))
+	if tk == nil {
 		return
 	}
-	defer s.release()
+	defer tk.Done()
 	if r.URL.Query().Get("proof") == "1" {
 		// Proof mode always answers 200: emptiness is a verifiable
 		// claim (the authenticated buckets are empty), not a 404.
@@ -631,6 +799,28 @@ func decodeExtremeResult(body []byte) (*wire.ExtremeResult, error) {
 }
 
 func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request, name string, h *hosted) {
+	// Updates never take the query gate (they serialize on the hosted
+	// lock and must not compete with reads for cost units), but they
+	// do honor the overload protocol: background-class work sheds
+	// under deep brownout — applying updates would invalidate the very
+	// answer cache L2 serves from — and an already-dead caller
+	// deadline is turned away before any byte of body is read.
+	s.adm().Pulse()
+	req := requestMeta(r, admission.Background)
+	if lvl := s.adm().Level(); lvl >= admission.LevelCachedOnly && req.Priority < admission.Interactive {
+		s.adm().NoteBrownoutShed()
+		shed(w, &admission.Rejection{
+			Status:     http.StatusServiceUnavailable,
+			Reason:     "brownout: deferring " + req.Priority.String() + " updates",
+			RetryAfter: s.adm().RetryAfter(),
+		})
+		return
+	}
+	if !req.Deadline.IsZero() && time.Until(req.Deadline) <= 0 {
+		s.adm().NoteDeadlineShed()
+		http.Error(w, "caller deadline already passed", http.StatusGatewayTimeout)
+		return
+	}
 	data, err := io.ReadAll(io.LimitReader(r.Body, maxUpload))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -786,7 +976,11 @@ func (s *Service) applyBatchFrame(w http.ResponseWriter, h *hosted, raw []byte, 
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, h *hosted) {
+	// Stats polls advance the brownout window too, so the level keeps
+	// stepping down while an operator watches a drained service.
+	s.adm().Pulse()
 	stats := map[string]any{
+		"overload":     s.adm().Snapshot(),
 		"blocks":       h.srv.NumBlocks(),
 		"indexEntries": h.srv.IndexSize(),
 		"indexHeight":  h.srv.IndexHeight(),
@@ -885,6 +1079,10 @@ type Client struct {
 	// acceptStream advertises SXS1 stream support on queries (see
 	// WithStreaming); the server still decides per answer.
 	acceptStream bool
+	// tenant, when set, names this client on every request (the
+	// X-Client-ID header) so the service's per-tenant quotas meter it
+	// separately from the shared anonymous bucket (see WithTenant).
+	tenant string
 	// maxResp caps how many response-body bytes any operation will
 	// read; 0 selects the maxUpload default (see WithMaxResponseBytes).
 	maxResp int64
@@ -959,6 +1157,34 @@ func (c *Client) WithStreaming(on bool) *Client {
 	return c
 }
 
+// WithTenant names this client for the service's per-tenant quotas:
+// every request carries the ID in X-Client-ID. An empty ID shares the
+// anonymous bucket with every other unnamed client.
+func (c *Client) WithTenant(id string) *Client {
+	c.tenant = id
+	return c
+}
+
+// stampOverloadHeaders attaches the overload-protocol request headers:
+// the remaining deadline budget (relative milliseconds, so clock skew
+// between the hosts cannot corrupt it), the priority class when the
+// calling operation stamped one on the context, and the tenant ID.
+func (c *Client) stampOverloadHeaders(req *http.Request, ctx context.Context) {
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1 // expired budgets still propagate; the server rejects them
+		}
+		req.Header.Set(wire.HeaderDeadlineMS, strconv.FormatInt(ms, 10))
+	}
+	if pri, ok := admission.PriorityFromContext(ctx); ok {
+		req.Header.Set(wire.HeaderPriority, pri.String())
+	}
+	if c.tenant != "" {
+		req.Header.Set(wire.HeaderClientID, c.tenant)
+	}
+}
+
 // WithMaxResponseBytes caps how many response-body bytes the client
 // will read on any operation (answers, extreme probes, streams); a
 // body that would exceed the cap surfaces as ErrResponseTooLarge
@@ -1026,6 +1252,19 @@ func (c *Client) do(ctx context.Context, op string, attempt func(ctx context.Con
 			c.rngMu.Lock()
 			d := c.retry.delay(i, c.rng)
 			c.rngMu.Unlock()
+			// A shed server said when it expects capacity (computed
+			// from its queue drain rate): waiting less than that only
+			// donates another rejection to its load. Honor the larger
+			// of the hint and our own backoff — but never a hint the
+			// remaining retry budget or caller deadline cannot cover;
+			// then the operation is out of time and retrying is noise.
+			var se *StatusError
+			if errors.As(err, &se) && se.RetryAfter > d {
+				d = se.RetryAfter
+			}
+			if dl, ok := ctx.Deadline(); ok && d >= time.Until(dl) {
+				break
+			}
 			if sleepErr := sleep(ctx, d); sleepErr != nil {
 				break // budget or caller deadline exhausted mid-backoff
 			}
@@ -1074,33 +1313,35 @@ func isDeadline(err error) bool {
 
 // request performs one HTTP exchange: build, send, read the capped
 // body, verify the integrity checksum when present. It returns the
-// status code and body; err covers transport, read and checksum
-// failures only (non-2xx statuses are the caller's to interpret).
-func (c *Client) request(ctx context.Context, method, url string, payload []byte) (int, []byte, error) {
+// status code, body and response headers; err covers transport, read
+// and checksum failures only (non-2xx statuses are the caller's to
+// interpret).
+func (c *Client) request(ctx context.Context, method, url string, payload []byte) (int, []byte, http.Header, error) {
 	var body io.Reader
 	if payload != nil {
 		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, url, body)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/octet-stream")
 	}
+	c.stampOverloadHeaders(req, ctx)
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		// Error bodies are only ever quoted in a StatusError: don't
 		// let a hostile server feed us more than we would keep.
 		data, err := io.ReadAll(io.LimitReader(resp.Body, maxErrBody))
-		return resp.StatusCode, data, err
+		return resp.StatusCode, data, resp.Header, err
 	}
 	data, err := readChecksummedBody(resp, c.respLimit())
-	return resp.StatusCode, data, err
+	return resp.StatusCode, data, resp.Header, err
 }
 
 // readChecksummedBody reads a success body, bounded by limit (beyond
@@ -1161,28 +1402,37 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-func statusError(op string, code int, body []byte) *StatusError {
+func statusError(op string, code int, body []byte, hdr http.Header) *StatusError {
 	b := body
 	if len(b) > maxErrBody {
 		b = b[:maxErrBody]
 	}
-	return &StatusError{
+	se := &StatusError{
 		Op:     op,
 		Code:   code,
 		Status: fmt.Sprintf("%d %s", code, http.StatusText(code)),
 		Body:   strings.TrimSpace(string(b)),
 	}
+	// A server shed carries its computed backoff hint; surface it so
+	// the retry loop can honor it (delta-seconds form only — this
+	// protocol never sends the HTTP-date form).
+	if hdr != nil {
+		if secs, err := strconv.Atoi(hdr.Get("Retry-After")); err == nil && secs > 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return se
 }
 
 // Ping checks the service's liveness endpoint. It bypasses retry and
 // breaker (it is what the breaker's half-open probe calls).
 func (c *Client) Ping(ctx context.Context) error {
-	status, body, err := c.request(ctx, http.MethodGet, c.base+"/healthz", nil)
+	status, body, hdr, err := c.request(ctx, http.MethodGet, c.base+"/healthz", nil)
 	if err != nil {
 		return fmt.Errorf("remote: ping: %w", err)
 	}
 	if status != http.StatusOK {
-		return statusError("ping", status, body)
+		return statusError("ping", status, body, hdr)
 	}
 	return nil
 }
@@ -1195,12 +1445,12 @@ func (c *Client) Upload(ctx context.Context, db *wire.HostedDB) error {
 		return err
 	}
 	return c.do(ctx, "upload", func(ctx context.Context) error {
-		status, body, err := c.request(ctx, http.MethodPut, c.url(""), data)
+		status, body, hdr, err := c.request(ctx, http.MethodPut, c.url(""), data)
 		if err != nil {
 			return err
 		}
 		if status != http.StatusCreated {
-			return statusError("upload", status, body)
+			return statusError("upload", status, body, hdr)
 		}
 		return nil
 	})
@@ -1268,6 +1518,7 @@ func (c *Client) queryAttempt(ctx context.Context, payload []byte, sink wire.Blo
 	if c.acceptStream {
 		req.Header.Set(acceptStreamHeader, streamProto)
 	}
+	c.stampOverloadHeaders(req, ctx)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, nil, err
@@ -1275,7 +1526,18 @@ func (c *Client) queryAttempt(ctx context.Context, payload []byte, sink wire.Blo
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrBody))
-		return nil, nil, statusError("query", resp.StatusCode, body)
+		return nil, nil, statusError("query", resp.StatusCode, body, resp.Header)
+	}
+	// Surface degraded-mode response markers to the caller (core fills
+	// its Timings from the context carrier) — observability only, the
+	// answer itself verifies exactly like a full-service one.
+	if meta := admission.ResponseMetaFromContext(ctx); meta != nil {
+		if lvl := resp.Header.Get(wire.HeaderBrownoutLevel); lvl != "" {
+			if v, err := strconv.Atoi(lvl); err == nil {
+				meta.BrownoutLevel = v
+			}
+		}
+		meta.Degraded = resp.Header.Get(wire.HeaderDegraded) != ""
 	}
 	if resp.Header.Get("Content-Type") != streamContentType {
 		body, err := readChecksummedBody(resp, c.respLimit())
@@ -1322,7 +1584,7 @@ func (c *Client) Extreme(ctx context.Context, lo, hi uint64, max bool) (int, []b
 		found bool
 	)
 	err := c.do(ctx, "extreme", func(ctx context.Context) error {
-		status, body, err := c.request(ctx, http.MethodGet, url, nil)
+		status, body, hdr, err := c.request(ctx, http.MethodGet, url, nil)
 		if err != nil {
 			return err
 		}
@@ -1331,7 +1593,7 @@ func (c *Client) Extreme(ctx context.Context, lo, hi uint64, max bool) (int, []b
 			found = false
 			return nil
 		case status != http.StatusOK:
-			return statusError("extreme", status, body)
+			return statusError("extreme", status, body, hdr)
 		}
 		if len(body) < 8 {
 			return fmt.Errorf("short extreme response: %w", io.ErrUnexpectedEOF)
@@ -1359,12 +1621,12 @@ func (c *Client) ExtremeProof(ctx context.Context, lo, hi uint64, max bool) (*wi
 	url := fmt.Sprintf("%s?lo=%d&hi=%d&max=%s&proof=1", c.url("extreme"), lo, hi, m)
 	var res *wire.ExtremeResult
 	err := c.do(ctx, "extreme", func(ctx context.Context) error {
-		status, body, err := c.request(ctx, http.MethodGet, url, nil)
+		status, body, hdr, err := c.request(ctx, http.MethodGet, url, nil)
 		if err != nil {
 			return err
 		}
 		if status != http.StatusOK {
-			return statusError("extreme", status, body)
+			return statusError("extreme", status, body, hdr)
 		}
 		r, err := decodeExtremeResult(body)
 		if err != nil {
@@ -1396,12 +1658,12 @@ func (c *Client) ApplyUpdate(ctx context.Context, upd *wire.Update) error {
 		return err
 	}
 	return c.do(ctx, "update", func(ctx context.Context) error {
-		status, body, err := c.request(ctx, http.MethodPost, c.url("update"), data)
+		status, body, hdr, err := c.request(ctx, http.MethodPost, c.url("update"), data)
 		if err != nil {
 			return err
 		}
 		if status != http.StatusOK {
-			return statusError("update", status, body)
+			return statusError("update", status, body, hdr)
 		}
 		return nil
 	})
@@ -1428,12 +1690,12 @@ func (c *Client) ApplyUpdateBatch(ctx context.Context, b *wire.UpdateBatch) erro
 		return err
 	}
 	return c.do(ctx, "update", func(ctx context.Context) error {
-		status, body, err := c.request(ctx, http.MethodPost, c.url("update"), data)
+		status, body, hdr, err := c.request(ctx, http.MethodPost, c.url("update"), data)
 		if err != nil {
 			return err
 		}
 		if status != http.StatusOK {
-			return statusError("update", status, body)
+			return statusError("update", status, body, hdr)
 		}
 		return nil
 	})

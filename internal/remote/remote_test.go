@@ -2,6 +2,8 @@ package remote
 
 import (
 	"context"
+	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -174,13 +176,39 @@ func TestServiceStats(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("stats: %d", resp.StatusCode)
 	}
-	buf := make([]byte, 512)
-	n, _ := resp.Body.Read(buf)
-	body := string(buf[:n])
-	for _, key := range []string{"blocks", "indexEntries", "indexHeight"} {
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("stats body: %v", err)
+	}
+	body := string(raw)
+	for _, key := range []string{
+		"blocks", "indexEntries", "indexHeight",
+		// Overload-protection snapshot (always present; zero-config
+		// controller still reports its counters).
+		"overload", "brownout_level", "queue_depth", "rejected", "admitted",
+	} {
 		if !strings.Contains(body, key) {
 			t.Errorf("stats missing %s: %s", key, body)
 		}
+	}
+	// The overload block must decode as the admission snapshot, not
+	// just appear as a substring.
+	var stats struct {
+		Overload struct {
+			BrownoutLevel int              `json:"brownout_level"`
+			QueueDepth    int              `json:"queue_depth"`
+			Rejected      int64            `json:"rejected"`
+			Admitted      map[string]int64 `json:"admitted"`
+		} `json:"overload"`
+	}
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	if stats.Overload.Admitted == nil {
+		t.Errorf("overload snapshot missing per-priority admit map: %s", body)
+	}
+	if stats.Overload.BrownoutLevel != 0 {
+		t.Errorf("idle service reports brownout level %d", stats.Overload.BrownoutLevel)
 	}
 }
 

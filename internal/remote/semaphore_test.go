@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
@@ -44,7 +45,11 @@ func boundedSystem(t *testing.T, n int) (*core.System, *Service) {
 func TestMaxInFlightRejectsWhenSaturated(t *testing.T) {
 	sys, svc := boundedSystem(t, 1)
 	svc.WithQueueWait(20 * time.Millisecond)
-	svc.sem <- struct{}{} // saturate the single slot
+	// Saturate the single cost unit by holding a ticket of our own.
+	tk, rej := svc.Admission().Admit(context.Background(), admission.Request{Cost: 1})
+	if rej != nil {
+		t.Fatalf("saturating admit rejected: %+v", rej)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -60,7 +65,7 @@ func TestMaxInFlightRejectsWhenSaturated(t *testing.T) {
 		t.Errorf("Rejected() = %d, want 1", svc.Rejected())
 	}
 
-	<-svc.sem // free the slot; service must recover
+	tk.Done() // free the slot; service must recover
 	nodes, _, _, err := sys.Query("//patient/pname")
 	if err != nil {
 		t.Fatalf("query after release: %v", err)
@@ -75,7 +80,10 @@ func TestMaxInFlightRejectsWhenSaturated(t *testing.T) {
 func TestMaxInFlightQueuesUntilFree(t *testing.T) {
 	sys, svc := boundedSystem(t, 1)
 	svc.WithQueueWait(10 * time.Second)
-	svc.sem <- struct{}{}
+	tk, rej := svc.Admission().Admit(context.Background(), admission.Request{Cost: 1})
+	if rej != nil {
+		t.Fatalf("saturating admit rejected: %+v", rej)
+	}
 
 	done := make(chan error, 1)
 	go func() {
@@ -87,7 +95,7 @@ func TestMaxInFlightQueuesUntilFree(t *testing.T) {
 		t.Fatalf("query finished while slot held (err=%v)", err)
 	case <-time.After(30 * time.Millisecond):
 	}
-	<-svc.sem
+	tk.Done()
 	select {
 	case err := <-done:
 		if err != nil {
@@ -141,7 +149,16 @@ func TestMaxInFlightManyClients(t *testing.T) {
 // TestWithMaxInFlightDisabled checks n <= 0 removes the bound.
 func TestWithMaxInFlightDisabled(t *testing.T) {
 	svc := NewService().WithMaxInFlight(4).WithMaxInFlight(0)
-	if svc.sem != nil {
-		t.Fatalf("WithMaxInFlight(0) left a semaphore in place")
+	if svc.admCfg.MaxCost != 0 {
+		t.Fatalf("WithMaxInFlight(0) left a gate capacity of %d", svc.admCfg.MaxCost)
+	}
+	// The gateless controller still admits and counts.
+	tk, rej := svc.Admission().Admit(context.Background(), admission.Request{})
+	if rej != nil {
+		t.Fatalf("gateless admit rejected: %+v", rej)
+	}
+	tk.Done()
+	if got := svc.Admission().Snapshot().Admitted[admission.Background.String()]; got != 1 {
+		t.Errorf("gateless admitted count = %d, want 1", got)
 	}
 }

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"repro/internal/wire"
+)
+
+// Admission-control support: the server prices queries for the
+// overload layer (internal/admission) and exposes a cache-only lookup
+// the brownout controller's L2 mode serves from. Both run under the
+// read lock and touch no block bytes — pricing a request must stay
+// far cheaper than running it.
+
+// costCeil bounds a single request's estimate so pathological inputs
+// cannot produce absurd admission currency; the gate additionally
+// clamps to its own capacity.
+const costCeil = 1 << 20
+
+// EstimateFrameCost predicts how many hosted blocks the query frame
+// will touch, in admission cost units. The signals are exactly the
+// metadata the untrusted server already evaluates queries from:
+//
+//   - DSI interval-group fan-out: how many interval groups the first
+//     step's labels anchor (a wildcard anchors the whole universe) —
+//     the matcher's outer loop width.
+//   - OPESS band occupancy: for every translated value predicate,
+//     the number of index entries inside its ciphertext ranges —
+//     the blocks a range resolution will pull.
+//
+// The estimate is intentionally coarse (it prices relative
+// displacement, not wall time) and always >= 1. An unparseable frame
+// costs 1: it will be rejected cheaply downstream anyway.
+func (s *Server) EstimateFrameCost(frame []byte) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pl, err := s.planForFrameLocked(frame)
+	if err != nil || pl == nil {
+		return 1
+	}
+	q := pl.q
+
+	// Anchor fan-out from the DSI table.
+	fanout := 0
+	if len(q.First.Labels) == 0 {
+		fanout = len(s.allIntervals)
+	} else {
+		for _, label := range q.First.Labels {
+			fanout += len(s.db.Table.Lookup(label))
+		}
+	}
+
+	// Band occupancy of every value predicate in the plan.
+	occupancy := 0
+	for pred := range pl.predFP {
+		for _, r := range pred.Ranges {
+			occupancy += s.index.Count(r.Lo, r.Hi)
+		}
+	}
+
+	// Blocks touched scale with the anchor width plus what the range
+	// resolutions pull in; the divisors fold "entries per block"
+	// heuristically so a point query stays near cost 1. Ceiling
+	// division keeps any nonzero signal worth at least one unit.
+	cost := int64(1) + int64(fanout+7)/8 + int64(occupancy+7)/8
+	if nb := int64(len(s.db.Blocks)); nb > 0 && cost > nb+1 {
+		cost = nb + 1 // cannot touch more blocks than are hosted
+	}
+	if cost > costCeil {
+		cost = costCeil
+	}
+	return cost
+}
+
+// planForFrameLocked resolves (or compiles and caches) the frame's
+// plan, sharing the plan cache with execution so pricing a query
+// warms the very plan its execution reuses. Caller holds mu (read).
+func (s *Server) planForFrameLocked(frame []byte) (*plan, error) {
+	caching := !s.cachingOff
+	var fp string
+	if caching {
+		fp = frameFingerprint(frame)
+		if v, ok := s.caches.plans.Get(s.epoch, s.gen, fp); ok {
+			return v.(*plan), nil
+		}
+	}
+	q, err := wire.UnmarshalQuery(frame)
+	if err != nil {
+		return nil, err
+	}
+	if q == nil || q.First == nil {
+		return nil, nil
+	}
+	pl := compilePlan(q)
+	if caching {
+		s.caches.plans.Put(s.epoch, s.gen, fp, pl, len(frame))
+	}
+	return pl, nil
+}
+
+// CachedAnswer serves the frame from the generation-tagged answer
+// cache without executing anything — the brownout controller's L2
+// ("cached answers only") mode. The returned answer is exactly what a
+// live execution of the same frame at this generation produced,
+// proofs included (the fingerprint covers the WantProof bit), so a
+// degraded answer verifies like any other. ok is false on a cache
+// miss or when caching is off.
+func (s *Server) CachedAnswer(frame []byte) (*wire.Answer, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.cachingOff {
+		return nil, false
+	}
+	v, ok := s.caches.answers.Get(s.epoch, s.gen, frameFingerprint(frame))
+	if !ok {
+		return nil, false
+	}
+	return copyAnswer(v.(*wire.Answer)), true
+}

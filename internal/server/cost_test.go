@@ -1,0 +1,104 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/wire"
+	"repro/internal/xpath"
+)
+
+func frameFor(t *testing.T, c interface {
+	Translate(*xpath.Path) (*wire.Query, error)
+}, q string) []byte {
+	t.Helper()
+	tq, err := c.Translate(xpath.MustParse(q))
+	if err != nil {
+		t.Fatalf("translate %s: %v", q, err)
+	}
+	frame, err := wire.MarshalQuery(tq)
+	if err != nil {
+		t.Fatalf("marshal %s: %v", q, err)
+	}
+	return frame
+}
+
+func TestEstimateFrameCost(t *testing.T) {
+	c, s := boot(t, "opt")
+
+	point := s.EstimateFrameCost(frameFor(t, c, "/hospital"))
+	if point < 1 {
+		t.Fatalf("point cost %d < 1", point)
+	}
+	wild := s.EstimateFrameCost(frameFor(t, c, "//*"))
+	if wild < point {
+		t.Errorf("wildcard cost %d < labeled cost %d", wild, point)
+	}
+	// @coverage is OPESS-encrypted, so its comparison translates to
+	// ciphertext ranges whose index occupancy must be priced in:
+	// strictly above the same path without the predicate.
+	pred := s.EstimateFrameCost(frameFor(t, c, "//insurance[@coverage>500]"))
+	bare := s.EstimateFrameCost(frameFor(t, c, "//insurance"))
+	if pred <= bare {
+		t.Errorf("range predicate cost %d not above bare path cost %d", pred, bare)
+	}
+	if ceil := int64(s.NumBlocks() + 1); wild > ceil {
+		t.Errorf("cost %d above hosted-block ceiling %d", wild, ceil)
+	}
+	if got := s.EstimateFrameCost([]byte("not a frame")); got != 1 {
+		t.Errorf("unparseable frame cost = %d, want 1", got)
+	}
+}
+
+func TestCachedAnswerHitAfterExecution(t *testing.T) {
+	c, s := boot(t, "opt")
+	frame := frameFor(t, c, "//patient")
+
+	if _, ok := s.CachedAnswer(frame); ok {
+		t.Fatalf("cold cache reported a hit")
+	}
+	live, err := s.ExecuteFrame(frame)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	cached, ok := s.CachedAnswer(frame)
+	if !ok {
+		t.Fatalf("no cached answer after execution")
+	}
+	if len(cached.Fragments) != len(live.Fragments) {
+		t.Errorf("cached fragments = %d, live = %d", len(cached.Fragments), len(live.Fragments))
+	}
+	if cached.Generation != live.Generation {
+		t.Errorf("cached generation %d != live %d", cached.Generation, live.Generation)
+	}
+
+	s.SetCaching(false)
+	if _, ok := s.CachedAnswer(frame); ok {
+		t.Errorf("CachedAnswer hit with caching disabled")
+	}
+	s.SetCaching(true)
+}
+
+func TestExecuteFrameCtxCanceled(t *testing.T) {
+	c, s := boot(t, "opt")
+	s.SetCaching(true)
+	frame := frameFor(t, c, "//patient[SSN>100]")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.ExecuteFrameCtx(ctx, frame); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled execute err = %v, want context.Canceled", err)
+	}
+	// The abandoned run must not have poisoned the answer cache.
+	if _, ok := s.CachedAnswer(frame); ok {
+		t.Errorf("canceled execution left a cached answer")
+	}
+	// And a live context still works afterward.
+	if _, err := s.ExecuteFrameCtx(context.Background(), frame); err != nil {
+		t.Fatalf("execute after cancel: %v", err)
+	}
+	if _, ok := s.CachedAnswer(frame); !ok {
+		t.Errorf("successful execution did not cache")
+	}
+}

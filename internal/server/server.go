@@ -7,6 +7,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -257,17 +258,34 @@ func (s *Server) Execute(q *wire.Query) (*wire.Answer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: fingerprint query: %w", err)
 	}
-	return s.executeFrame(frame, q)
+	return s.executeFrame(context.Background(), frame, q)
 }
 
 // ExecuteFrame is Execute for a marshaled query frame (the remote
 // service's path): on a plan-cache hit the frame is not even
 // re-parsed.
 func (s *Server) ExecuteFrame(frame []byte) (*wire.Answer, error) {
-	return s.executeFrame(frame, nil)
+	return s.executeFrame(context.Background(), frame, nil)
 }
 
-func (s *Server) executeFrame(frame []byte, parsed *wire.Query) (*wire.Answer, error) {
+// ExecuteFrameCtx is ExecuteFrame under a caller context: the
+// pipeline checks for cancellation between its stages (after the
+// anchor match, per anchor in the fan-out, before assembly, before
+// the proof), so a request whose caller deadline passed stops burning
+// matcher workers instead of computing an answer nobody will read.
+// The check granularity is a stage, not an instruction — a lone
+// anchor's chain match runs to completion — which bounds wasted work
+// without peppering the hot loops.
+func (s *Server) ExecuteFrameCtx(ctx context.Context, frame []byte) (*wire.Answer, error) {
+	return s.executeFrame(ctx, frame, nil)
+}
+
+func (s *Server) executeFrame(ctx context.Context, frame []byte, parsed *wire.Query) (*wire.Answer, error) {
+	// A caller that is already out of budget gets nothing — not even
+	// the parse; the answer would be thrown away regardless.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	caching := !s.cachingOff
@@ -298,7 +316,10 @@ func (s *Server) executeFrame(frame []byte, parsed *wire.Query) (*wire.Answer, e
 			s.caches.plans.Put(s.epoch, s.gen, fp, pl, len(frame))
 		}
 	}
-	ans, err := s.executePlan(pl)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ans, err := s.executePlan(ctx, pl)
 	if err != nil {
 		return nil, err
 	}
@@ -309,11 +330,15 @@ func (s *Server) executeFrame(frame []byte, parsed *wire.Query) (*wire.Answer, e
 	return copyAnswer(ans), nil
 }
 
-// executePlan runs one compiled plan. Caller holds the read lock.
-func (s *Server) executePlan(pl *plan) (*wire.Answer, error) {
+// executePlan runs one compiled plan, abandoning it between stages if
+// ctx dies. Caller holds the read lock.
+func (s *Server) executePlan(ctx context.Context, pl *plan) (*wire.Answer, error) {
 	q := pl.q
 	e := s.newExec(pl)
 	anchors := e.matchFirst(q.First)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var surviving []dsi.Interval
 	if q.First.Next == nil {
 		surviving = make([]dsi.Interval, len(anchors))
@@ -324,11 +349,19 @@ func (s *Server) executePlan(pl *plan) (*wire.Answer, error) {
 		// Anchor survival is the query's outer fan-out: each anchor
 		// evaluates the rest of the main path independently. Workers
 		// fill index-addressed slots; the in-order compaction below
-		// keeps the result identical to the sequential loop.
+		// keeps the result identical to the sequential loop. A dead
+		// context skips remaining anchors (each worker checks before
+		// its chain match) rather than interrupting one mid-chain.
 		alive := make([]bool, len(anchors))
 		parallelFor(e.pool, len(anchors), func(i int) {
+			if ctx.Err() != nil {
+				return
+			}
 			alive[i] = len(e.matchChain([]dsi.Interval{anchors[i]}, q.First.Next, true)) > 0
 		})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for i, a := range anchors {
 			if alive[i] {
 				surviving = append(surviving, s.lift(a, pl.lift))
@@ -336,11 +369,17 @@ func (s *Server) executePlan(pl *plan) (*wire.Answer, error) {
 		}
 	}
 	surviving = dedupeOutermost(surviving)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ans, fragIvs, err := s.assemble(surviving)
 	if err != nil {
 		return nil, err
 	}
 	if q.WantProof {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		st, err := s.authState()
 		if err != nil {
 			return nil, err

@@ -1,0 +1,32 @@
+package wire
+
+// HTTP header names of the overload-protection protocol, shared by
+// the remote client and service so the two sides cannot drift. They
+// are hints and observability, never integrity: nothing here is
+// covered by checksums or proofs, and a peer that ignores them gets
+// the legacy behavior.
+const (
+	// HeaderDeadlineMS carries the caller's remaining deadline budget
+	// in whole milliseconds, measured at send time. Relative rather
+	// than absolute so client/server clock skew cannot turn a healthy
+	// deadline into an instant rejection.
+	HeaderDeadlineMS = "X-Deadline-Ms"
+
+	// HeaderPriority carries the request's priority class
+	// ("interactive", "aggregate", "background"); absent means the
+	// endpoint's default class.
+	HeaderPriority = "X-Priority"
+
+	// HeaderClientID names the tenant for per-tenant quotas. Absent
+	// means the shared anonymous bucket when quotas are on.
+	HeaderClientID = "X-Client-ID"
+
+	// HeaderBrownoutLevel echoes the server's degradation level
+	// (0-3) on responses produced while browned out.
+	HeaderBrownoutLevel = "X-Brownout-Level"
+
+	// HeaderDegraded marks a response served by a degraded mode; the
+	// value names the mode ("cached" = answered from the
+	// generation-tagged answer cache without executing).
+	HeaderDegraded = "X-Degraded"
+)

@@ -1,0 +1,735 @@
+package repro
+
+// Sustained-load harness for the overload-protection stack: a Zipf
+// query mix from thousands of simulated client IDs, mixed priority
+// classes, dispatched open-loop (arrivals keep coming whether or not
+// earlier requests finished — the regime where a server without
+// admission control melts). The service runs the full protection
+// stack: cost-aware admission, bounded priority queues, deadline
+// propagation, and the brownout controller. Offered load is
+// calibrated against the host's measured capacity, so the multipliers
+// mean the same thing on any machine. BenchmarkSustainedLoad reports
+// goodput/p50/p99/shed-rate per load multiplier plus the brownout
+// level mix, and TestMain writes the rows to BENCH_load.json when
+// SECXML_BENCH_LOAD_JSON is set. With SECXML_BENCH_LOAD_GUARD
+// pointing at the committed BENCH_load.json, the run fails when the
+// 1x shed rate exceeds 1%, the 1x p99 regresses more than 25% over
+// the committed value, overload goodput collapses, any answer fails
+// verification, or the brownout controller fails to return to full
+// service after the load drops.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/remote"
+	"repro/internal/wire"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// loadRow is one load phase's measurement for the JSON report.
+type loadRow struct {
+	Phase       string  `json:"phase"`      // "1x", "2x", "4x"
+	Multiplier  float64 `json:"multiplier"` // offered / calibrated 1x
+	OfferedRPS  float64 `json:"offered_rps"`
+	DurationSec float64 `json:"duration_sec"`
+	Arrivals    int     `json:"arrivals"`
+	Served      int     `json:"served"`
+	Shed        int     `json:"shed"` // 503 + 429 + 504
+	Expired     int     `json:"expired"`
+	GenDropped  int     `json:"gen_dropped"` // never launched: generator budget
+
+	ShedRate       float64 `json:"shed_rate"`
+	GoodputRPS     float64 `json:"goodput_rps"`
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	VerifyFailures int     `json:"verify_failures"`
+	DegradedServed int     `json:"degraded_served"`
+	ServedByLevel  []int   `json:"served_by_level"` // index = brownout level
+	MaxLevel       int     `json:"max_level"`
+	MaxInFlight    int64   `json:"max_in_flight_cost"`
+	MaxQueueDepth  int     `json:"max_queue_depth"`
+	Transitions    int64   `json:"brownout_transitions"`
+	RecoveryMs     float64 `json:"recovery_ms"` // -1 where not measured
+	RecoveredToL0  bool    `json:"recovered_to_l0"`
+}
+
+var (
+	loadRowsMu sync.Mutex
+	loadRows   []loadRow
+)
+
+// recordLoad stores one phase row, replacing an earlier run of the
+// same phase (benchmark calibration reruns).
+func recordLoad(row loadRow) {
+	loadRowsMu.Lock()
+	defer loadRowsMu.Unlock()
+	for i, r := range loadRows {
+		if r.Phase == row.Phase {
+			loadRows[i] = row
+			return
+		}
+	}
+	loadRows = append(loadRows, row)
+}
+
+// Guard thresholds: the 1x shed budget (at most 1% shed at the
+// comfortable operating point) and the committed-p99 regression bound
+// (no more than 25% over the committed baseline) are the contract;
+// the goodput-retention and recovery bounds are the
+// graceful-degradation acceptance criteria. The absolute p99 slack
+// and the 50% retention floor absorb scheduler noise on small shared
+// runners — the committed baseline records the real figures.
+const (
+	loadGuardShedRate1x  = 0.01
+	loadGuardP99Grow     = 1.25
+	loadGuardP99SlackMs  = 250.0
+	loadGuardGoodputKeep = 0.5
+)
+
+func loadGuard(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read committed baseline: %w", err)
+	}
+	var committed []loadRow
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	loadRowsMu.Lock()
+	cur := make(map[string]loadRow, len(loadRows))
+	for _, r := range loadRows {
+		cur[r.Phase] = r
+	}
+	loadRowsMu.Unlock()
+
+	one, ok := cur["1x"]
+	if !ok {
+		return fmt.Errorf("this run holds no 1x row")
+	}
+	if one.ShedRate > loadGuardShedRate1x {
+		return fmt.Errorf("1x shed rate %.4f exceeds the %.2f%% budget", one.ShedRate, loadGuardShedRate1x*100)
+	}
+	for _, c := range committed {
+		if c.Phase != "1x" {
+			continue
+		}
+		bound := c.P99Ms*loadGuardP99Grow + loadGuardP99SlackMs
+		if one.P99Ms > bound {
+			return fmt.Errorf("1x p99 %.1fms regressed past %.1fms (committed %.1fms +25%% +%.0fms slack)",
+				one.P99Ms, bound, c.P99Ms, loadGuardP99SlackMs)
+		}
+	}
+	for _, r := range cur {
+		if r.VerifyFailures != 0 {
+			return fmt.Errorf("%s: %d answers failed verification under load", r.Phase, r.VerifyFailures)
+		}
+	}
+	over, ok := cur["4x"]
+	if !ok {
+		return fmt.Errorf("this run holds no 4x row")
+	}
+	if over.Shed+over.GenDropped == 0 {
+		return fmt.Errorf("4x phase shows no overload pressure anywhere (nothing shed, nothing dropped)")
+	}
+	if over.GoodputRPS < one.GoodputRPS*loadGuardGoodputKeep {
+		return fmt.Errorf("4x goodput %.0f/s fell below %.0f%% of 1x goodput %.0f/s",
+			over.GoodputRPS, loadGuardGoodputKeep*100, one.GoodputRPS)
+	}
+	if !over.RecoveredToL0 {
+		return fmt.Errorf("brownout did not return to L0 after the 4x load dropped (recovery %.0fms)", over.RecoveryMs)
+	}
+	return nil
+}
+
+// loadHost builds the load-test universe: a wider hospital document
+// (one distinct disease per patient, so point queries form a real key
+// space for the Zipf mix), integrity on, and the translated query
+// frames the dispatcher replays.
+type loadUniverse struct {
+	svc       *remote.Service
+	ln        *memListener
+	verifier  *wire.AuthVerifier
+	clients   []*remote.Client // one per simulated client ID
+	bgClients []*remote.Client // slow-draining background readers
+	points    []*wire.Query    // Zipf-able interactive point queries
+	heavy     *wire.Query      // background full-scan query
+	admCfg    admission.Config
+}
+
+// loadPatients exceeds the server's 256-entry answer-cache capacity
+// on purpose: the Zipf head stays cache-hot while the tail keeps
+// evicting, so cold queries do real decrypt-search-prove work and the
+// admission gate sees genuine cost. Sized against the cache, not the
+// machine.
+const (
+	loadPatients = 4096
+	loadTenants  = 2048
+	loadDeadline = 750 * time.Millisecond
+	// loadMaxOutstanding bounds concurrently in-flight generator
+	// requests, like a real load source's connection budget.
+	loadMaxOutstanding = 384
+	// loadBgDrainPerByte paces the background clients' reads. A
+	// streamed scan answer then takes a fixed, machine-independent
+	// wall-clock time to drain, and — because the harness runs over
+	// synchronous in-memory pipes — the server's writes block for
+	// exactly that long with the admission ticket held. This is the
+	// canonical slow background reader, reproduced deterministically.
+	loadBgDrainPerByte = 100 * time.Nanosecond
+)
+
+func newLoadUniverse(b testing.TB) *loadUniverse {
+	b.Helper()
+	var sb strings.Builder
+	sb.WriteString("<hospital>")
+	for i := 0; i < loadPatients; i++ {
+		fmt.Fprintf(&sb, "<patient><pname>P%03d</pname><SSN>%d</SSN><disease>d%03d</disease><age>%d</age></patient>",
+			i, 100000+i*7, i, 20+i%60)
+	}
+	sb.WriteString("</hospital>")
+	doc, err := xmltree.ParseString(sb.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := core.Host(doc, []string{"//patient:(/pname, /disease)", "//SSN"},
+		core.SchemeOpt, []byte("load-bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.EnableIntegrity(); err != nil {
+		b.Fatal(err)
+	}
+
+	u := &loadUniverse{
+		verifier: sys.Verifier(),
+		admCfg: admission.Config{
+			// A deliberately small gate: one cost unit is roughly eight
+			// predicted blocks, so four units keep a couple of cold
+			// queries (or one scan) in flight and queue the rest. Sized
+			// so the comfortable 1x point stays far from the gate while
+			// sustained overload fills it within one control window.
+			MaxCost:   4,
+			MaxQueue:  64,
+			QueueWait: 250 * time.Millisecond,
+			CostAware: true,
+			Brownout:  true,
+			BrownoutConfig: admission.BrownoutConfig{
+				// The target sits above the worst-case healthy latency (a
+				// point query queued behind one full background drain), so
+				// the controller only steps when holds overlap — genuine
+				// congestion, not the mix's normal texture.
+				TargetP99:      100 * time.Millisecond,
+				HighQueueDepth: 16,
+				Window:         100 * time.Millisecond,
+				MinSamples:     16,
+			},
+		},
+	}
+	u.svc = remote.NewService().WithAdmission(u.admCfg)
+	// The harness serves HTTP over synchronous in-memory pipes instead
+	// of loopback TCP: every server write rendezvouses with a client
+	// read, so a slow reader exerts backpressure on the handler byte
+	// for byte. Kernel socket buffers would swallow bench-sized answers
+	// whole (megabytes of loopback buffer, no backpressure), and
+	// shrinking them below the negotiated window scale stalls the
+	// connection outright — the pipe sidesteps the kernel entirely and
+	// also spares the single shared core the syscall traffic.
+	u.ln = newMemListener()
+	srv := &http.Server{Handler: u.svc}
+	go srv.Serve(u.ln)
+	b.Cleanup(func() { srv.Close() })
+
+	const loadURL = "http://loadbench.mem"
+	dialPipe := func(ctx context.Context, _, _ string) (net.Conn, error) {
+		return u.ln.dial(ctx)
+	}
+	upTr := &http.Transport{DialContext: dialPipe}
+	b.Cleanup(upTr.CloseIdleConnections)
+	up := remote.Dial(loadURL, "load").WithHTTPClient(&http.Client{Transport: upTr})
+	if err := up.Upload(context.Background(), sys.HostedDB); err != nil {
+		b.Fatal(err)
+	}
+
+	// Translate the query set once; the dispatcher replays frames (the
+	// per-query translation cost is a client-side constant, not what
+	// this harness measures).
+	for i := 0; i < loadPatients; i++ {
+		q := fmt.Sprintf("//patient[disease='d%03d']/pname", i)
+		wq, err := sys.Client.Translate(xpath.MustParse(q))
+		if err != nil {
+			b.Fatalf("translate %s: %v", q, err)
+		}
+		wq.WantProof = true
+		u.points = append(u.points, wq)
+	}
+	// The background query is a scan returning ~1/12 of the patients:
+	// its answer crosses the streaming cutoff, so serving it holds an
+	// admission ticket for as long as the (possibly slow) reader takes
+	// to drain the stream — the canonical background hog the priority
+	// classes exist for.
+	heavy, err := sys.Client.Translate(xpath.MustParse("//patient[age>74]"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	heavy.WantProof = true
+	u.heavy = heavy
+
+	// The simulated client population: distinct IDs over a shared
+	// transport; no retries and no breaker, so every shed is observed
+	// exactly once. The default transport keeps only two idle
+	// connections per host — at thousands of concurrent requests that
+	// measures client-side connection churn, not the server — so the
+	// pool is sized for the population.
+	tr := &http.Transport{
+		MaxIdleConns:        4096,
+		MaxIdleConnsPerHost: 4096,
+		MaxConnsPerHost:     0,
+		DialContext:         dialPipe,
+	}
+	b.Cleanup(tr.CloseIdleConnections)
+	hc := &http.Client{Transport: tr}
+	u.clients = make([]*remote.Client, loadTenants)
+	for i := range u.clients {
+		u.clients[i] = remote.Dial(loadURL, "load").
+			WithHTTPClient(hc).
+			WithRetry(remote.NoRetry).
+			WithBreaker(remote.BreakerConfig{}).
+			WithVerifier(u.verifier).
+			WithStreaming(true).
+			WithTenant(fmt.Sprintf("c%04d", i))
+	}
+	// Background scans go through a separate slow-draining client pool:
+	// their connections pace reads at loadBgDrainPerByte, so each scan
+	// holds its admission ticket for a bounded, deterministic interval
+	// while the answer trickles out.
+	bgTr := &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 256,
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			c, err := u.ln.dial(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return throttledConn{Conn: c, perByte: loadBgDrainPerByte}, nil
+		},
+	}
+	b.Cleanup(bgTr.CloseIdleConnections)
+	bhc := &http.Client{Transport: bgTr}
+	u.bgClients = make([]*remote.Client, 64)
+	for i := range u.bgClients {
+		u.bgClients[i] = remote.Dial(loadURL, "load").
+			WithHTTPClient(bhc).
+			WithRetry(remote.NoRetry).
+			WithBreaker(remote.BreakerConfig{}).
+			WithVerifier(u.verifier).
+			WithStreaming(true).
+			WithTenant(fmt.Sprintf("bg%02d", i))
+	}
+	return u
+}
+
+// arrival describes one open-loop request the dispatcher fires.
+type arrival struct {
+	pri    admission.Priority
+	tenant int
+	point  int    // index into points (interactive)
+	max    bool   // extreme direction (aggregate)
+	lo, hi uint64 // extreme probe window (aggregate)
+}
+
+// phaseStats aggregates one load phase under a mutex.
+type phaseStats struct {
+	mu             sync.Mutex
+	arrivals       int
+	served         int
+	shed           int
+	expired        int
+	verifyFailures int
+	degraded       int
+	servedByLevel  [admission.LevelCritical + 1]int
+	maxLevel       int
+	lats           []time.Duration
+	otherErr       error
+	dropped        int
+	maxInFlight    int64
+	maxQueue       int
+}
+
+func (ps *phaseStats) record(err error, lat time.Duration, lvl int, degraded bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	switch {
+	case err == nil:
+		ps.served++
+		ps.lats = append(ps.lats, lat)
+		if lvl >= 0 && lvl < len(ps.servedByLevel) {
+			ps.servedByLevel[lvl]++
+		}
+		if lvl > ps.maxLevel {
+			ps.maxLevel = lvl
+		}
+		if degraded {
+			ps.degraded++
+		}
+	case isShedStatus(err):
+		ps.shed++
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		ps.expired++
+	case isVerifyFailure(err):
+		ps.verifyFailures++
+	default:
+		if ps.otherErr == nil {
+			ps.otherErr = err
+		}
+	}
+}
+
+func isShedStatus(err error) bool {
+	var se *remote.StatusError
+	if !errors.As(err, &se) {
+		return false
+	}
+	switch se.Code {
+	case http.StatusServiceUnavailable, http.StatusTooManyRequests, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+func isVerifyFailure(err error) bool {
+	// The verifier's failures wrap authtree.ErrTampered; spelled via
+	// string here to keep the bench decoupled from the attack taxonomy.
+	return err != nil && strings.Contains(err.Error(), "tamper")
+}
+
+// fire runs one request end to end: deadline stamped, priority
+// propagated, answer verified. Returns through ps.record.
+func (u *loadUniverse) fire(a arrival, ps *phaseStats) {
+	ctx, cancel := context.WithTimeout(context.Background(), loadDeadline)
+	defer cancel()
+	ctx = admission.WithPriority(ctx, a.pri)
+	meta := &admission.ResponseMeta{}
+	ctx = admission.ContextWithResponseMeta(ctx, meta)
+	cl := u.clients[a.tenant%len(u.clients)]
+	start := time.Now()
+	var err error
+	switch a.pri {
+	case admission.Aggregate:
+		_, err = cl.ExtremeProof(ctx, a.lo, a.hi, a.max)
+	case admission.Background:
+		_, err = u.bgClients[a.tenant%len(u.bgClients)].Execute(ctx, u.heavy)
+	default:
+		_, err = cl.Execute(ctx, u.points[a.point])
+	}
+	lvl := meta.BrownoutLevel
+	if a.pri == admission.Aggregate {
+		lvl = u.svc.Admission().Level()
+	}
+	ps.record(err, time.Since(start), lvl, meta.Degraded)
+}
+
+// drawArrival picks one request from the workload mix: 90%
+// interactive point queries (Zipf over the key space, so the answer
+// cache has a hot head and a cold tail that does real
+// decrypt-search-prove work), 5% aggregate extreme probes, 5%
+// background scans.
+func (u *loadUniverse) drawArrival(rng *rand.Rand, zipf *rand.Zipf, i int) arrival {
+	a := arrival{tenant: rng.Intn(loadTenants), point: int(zipf.Uint64()), max: i%2 == 0}
+	// Aggregate probes use a narrow window around a random SSN: the
+	// proof stays small (client-side verification must not become the
+	// load generator's own bottleneck on a shared box).
+	a.lo = uint64(100000 + rng.Intn(loadPatients)*7)
+	a.hi = a.lo + 69
+	switch p := rng.Float64(); {
+	case p < 0.90:
+		a.pri = admission.Interactive
+	case p < 0.95:
+		a.pri = admission.Aggregate
+	default:
+		a.pri = admission.Background
+	}
+	return a
+}
+
+// calibrate locates the service's shed-free knee empirically: short
+// open-loop probes at doubling rates, stopping at the first rate the
+// protection stack has to shed (more than 1% rejected or the
+// generator's own budget overflows). A closed-loop throughput figure
+// would be useless here — cache-hot point queries complete in
+// microseconds and shed requests return instantly, so it measures
+// neither the gate nor the mix. The knee is the rate the guard's
+// "comfortable operating point" is defined against.
+func (u *loadUniverse) calibrate(b *testing.B) float64 {
+	b.Helper()
+	clean := 32.0
+	for rate := 64.0; rate <= 4096; rate *= 2 {
+		// Fresh controller per probe so one probe's brownout state does
+		// not bleed into the next.
+		u.svc.WithAdmission(u.admCfg)
+		ps := u.runPhase(rate, 500*time.Millisecond, 0)
+		shed := float64(ps.shed) / float64(max(ps.arrivals, 1))
+		b.Logf("calibration probe %.0f req/s: %d arrivals, shed %.1f%%, dropped %d",
+			rate, ps.arrivals, shed*100, ps.dropped)
+		if shed > 0.01 || ps.dropped > 0 {
+			break
+		}
+		clean = rate
+	}
+	return clean
+}
+
+// runPhase dispatches open-loop arrivals at offered req/s for dur,
+// drawing each request from the drawArrival mix. The first burst
+// arrivals are dispatched back to back with no pacing — the
+// thundering herd that makes an overload phase deterministic instead
+// of depending on how the scheduler happens to interleave a gradual
+// ramp with the server's drain rate.
+func (u *loadUniverse) runPhase(offered float64, dur time.Duration, burst int) *phaseStats {
+	ps := &phaseStats{}
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.1, 1, uint64(len(u.points)-1))
+	var wg sync.WaitGroup
+	// The generator models a finite client population: at most
+	// loadMaxOutstanding requests are on the wire at once (an open-loop
+	// source with an unbounded launch budget would starve the very
+	// server it measures when both share one box — the flood wins the
+	// CPU and the admission gate never even sees the pressure).
+	launch := make(chan struct{}, loadMaxOutstanding)
+	// A sampler records the gate's high-water marks: they prove (in
+	// the committed report) that overload pressure reached the gate
+	// rather than dissipating upstream.
+	stopSample := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stopSample:
+				return
+			case <-time.After(10 * time.Millisecond):
+				s := u.svc.Admission().Snapshot()
+				ps.mu.Lock()
+				if s.InFlightCost > ps.maxInFlight {
+					ps.maxInFlight = s.InFlightCost
+				}
+				if s.QueueDepth > ps.maxQueue {
+					ps.maxQueue = s.QueueDepth
+				}
+				ps.mu.Unlock()
+			}
+		}
+	}()
+	defer close(stopSample)
+	start := time.Now()
+	interval := float64(time.Second) / offered
+	for i := 0; ; i++ {
+		target := start.Add(time.Duration(float64(i) * interval))
+		now := time.Now()
+		if now.Sub(start) > dur {
+			break
+		}
+		if d := target.Sub(now); i >= burst && d > 0 {
+			time.Sleep(d)
+		}
+		a := u.drawArrival(rng, zipf, i)
+		ps.mu.Lock()
+		ps.arrivals++
+		ps.mu.Unlock()
+		select {
+		case launch <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-launch }()
+				u.fire(a, ps)
+			}()
+		default:
+			// The generator's connection budget is exhausted: a real
+			// load source would have this arrival stuck in the network.
+			// Counted separately — it never reached the server, so it
+			// is neither served nor shed.
+			ps.mu.Lock()
+			ps.dropped++
+			ps.mu.Unlock()
+		}
+	}
+	wg.Wait()
+	return ps
+}
+
+// percentileMs picks the p-th percentile of lats in milliseconds.
+func percentileMs(lats []time.Duration, p float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// BenchmarkSustainedLoad is the overload measurement: calibrate, then
+// run 1x / 2x / 4x open-loop phases against the full protection
+// stack, recording goodput, latency percentiles, shed rate, the
+// brownout level mix, and the post-overload recovery time.
+func BenchmarkSustainedLoad(b *testing.B) {
+	u := newLoadUniverse(b)
+
+	// Warm up first — the first pass lands on a cold answer cache
+	// right after the allocation-heavy host setup, and calibrating
+	// there finds a knee well under the steady state.
+	u.runPhase(64, 300*time.Millisecond, 0)
+	// 1x sits at half the measured shed-free knee: the comfortable
+	// operating point the shed budget is defined against. 4x is then
+	// unambiguous overload on any machine.
+	knee := u.calibrate(b)
+	oneX := knee * 0.5
+	b.Logf("shed-free knee %.0f req/s; 1x offered load = %.0f req/s", knee, oneX)
+
+	// Overload phases open with a full-budget burst: a herd of clients
+	// connecting at once, not a polite ramp.
+	phases := []struct {
+		name  string
+		mult  float64
+		dur   time.Duration
+		burst int
+	}{
+		{"1x", 1, 2400 * time.Millisecond, 0},
+		{"2x", 2, 1600 * time.Millisecond, 0},
+		{"4x", 4, 3000 * time.Millisecond, loadMaxOutstanding},
+	}
+	for _, ph := range phases {
+		// A fresh controller per phase: counters and brownout state
+		// start clean, so rows are comparable.
+		u.svc.WithAdmission(u.admCfg)
+		offered := oneX * ph.mult
+		ps := u.runPhase(offered, ph.dur, ph.burst)
+		if ps.otherErr != nil {
+			b.Fatalf("%s: unexpected failure class under load: %v", ph.name, ps.otherErr)
+		}
+
+		row := loadRow{
+			Phase:          ph.name,
+			Multiplier:     ph.mult,
+			OfferedRPS:     offered,
+			DurationSec:    ph.dur.Seconds(),
+			Arrivals:       ps.arrivals,
+			Served:         ps.served,
+			Shed:           ps.shed,
+			Expired:        ps.expired,
+			GenDropped:     ps.dropped,
+			GoodputRPS:     float64(ps.served) / ph.dur.Seconds(),
+			P50Ms:          percentileMs(ps.lats, 0.50),
+			P99Ms:          percentileMs(ps.lats, 0.99),
+			VerifyFailures: ps.verifyFailures,
+			DegradedServed: ps.degraded,
+			ServedByLevel:  append([]int(nil), ps.servedByLevel[:]...),
+			MaxLevel:       ps.maxLevel,
+			MaxInFlight:    ps.maxInFlight,
+			MaxQueueDepth:  ps.maxQueue,
+			Transitions:    u.svc.Admission().Snapshot().BrownoutTransitions,
+			RecoveryMs:     -1,
+		}
+		if ps.arrivals > 0 {
+			row.ShedRate = float64(ps.shed) / float64(ps.arrivals)
+		}
+
+		if ph.name == "4x" {
+			// Load has stopped; the brownout controller must step back
+			// to full service within its control window (deep calm goes
+			// straight to L0). Pulse stands in for trickle traffic.
+			recStart := time.Now()
+			deadline := recStart.Add(2 * time.Second)
+			for u.svc.Admission().Level() != admission.LevelFull && time.Now().Before(deadline) {
+				u.svc.Admission().Pulse()
+				time.Sleep(10 * time.Millisecond)
+			}
+			row.RecoveredToL0 = u.svc.Admission().Level() == admission.LevelFull
+			row.RecoveryMs = float64(time.Since(recStart)) / float64(time.Millisecond)
+		}
+		recordLoad(row)
+		b.ReportMetric(row.GoodputRPS, ph.name+"-goodput/s")
+		b.ReportMetric(row.P99Ms, ph.name+"-p99ms")
+		b.ReportMetric(row.ShedRate*100, ph.name+"-shed%")
+		b.Logf("%s: offered %.0f/s arrivals=%d served=%d shed=%d (%.1f%%) expired=%d p50=%.1fms p99=%.1fms maxLevel=%d degraded=%d",
+			ph.name, offered, ps.arrivals, ps.served, ps.shed, row.ShedRate*100,
+			ps.expired, row.P50Ms, row.P99Ms, ps.maxLevel, ps.degraded)
+	}
+}
+
+// memListener serves HTTP over synchronous in-memory pipes. Each dial
+// creates a net.Pipe pair: the server accepts one end, the client
+// transport gets the other. Pipe writes block until the peer reads, so
+// response bytes flow at exactly the reader's pace — the property the
+// backpressure measurements depend on — with no kernel buffering and
+// no syscalls on the shared core.
+type memListener struct {
+	conns chan net.Conn
+	done  chan struct{}
+	once  sync.Once
+}
+
+func newMemListener() *memListener {
+	return &memListener{conns: make(chan net.Conn), done: make(chan struct{})}
+}
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+func (l *memListener) Addr() net.Addr { return memAddr{} }
+
+func (l *memListener) dial(ctx context.Context) (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.conns <- server:
+		return client, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+type memAddr struct{}
+
+func (memAddr) Network() string { return "mem" }
+func (memAddr) String() string  { return "loadbench.mem" }
+
+// throttledConn paces reads to perByte per byte received: a client
+// that drains large answers slowly. Over a synchronous pipe the
+// server-side writes inherit the same pace.
+type throttledConn struct {
+	net.Conn
+	perByte time.Duration
+}
+
+func (c throttledConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		time.Sleep(time.Duration(n) * c.perByte)
+	}
+	return n, err
+}
