@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos tamper fuzz fuzz-smoke difftest bench bench-parallel bench-cache bench-alloc alloc-guard bench-update update-guard bench-load load-guard overload-smoke cache-stress powercut soak soak-short soak-stream soak-stream-short soak-update soak-update-short profile fmt
+.PHONY: check vet build test race chaos tamper fuzz fuzz-smoke difftest bench bench-parallel bench-cache bench-alloc alloc-guard bench-update update-guard bench-load load-guard bench-mvcc mvcc-guard mvcc-race overload-smoke cache-stress powercut soak soak-short soak-stream soak-stream-short soak-update soak-update-short profile fmt
 
-check: vet build race tamper fuzz-smoke cache-stress bench-cache overload-smoke powercut soak-short soak-stream-short soak-update-short
+check: vet build race tamper fuzz-smoke cache-stress mvcc-race bench-cache overload-smoke powercut soak-short soak-stream-short soak-update-short
 
 vet:
 	$(GO) vet ./...
@@ -93,6 +93,30 @@ bench-update:
 update-guard:
 	SECXML_BENCH_UPDATE_GUARD=BENCH_update.json \
 		$(GO) test -bench UpdateThroughput -benchtime 100x -run '^$$' .
+
+# MVCC snapshot-read contract under -race (part of `check`): the
+# NumBlocks data-race regression, the returned-bytes aliasing
+# contract, and the snapshot-isolation linearizability check (every
+# concurrent answer verifies against the Merkle root of exactly one
+# generation).
+mvcc-race:
+	$(GO) test -race -count=1 \
+		-run 'TestNumBlocksRaceWithUpdates|TestReturnedBytesImmutableUnderUpdates|TestSnapshotIsolationLinearizable' \
+		./internal/server/
+
+# Reader-latency-under-write-load benchmarks: MVCC snapshot reads vs
+# a coarse-RWMutex baseline at 0/4/16 paced durable writers; writes
+# BENCH_mvcc.json with reader p50/p99 per configuration.
+bench-mvcc:
+	SECXML_BENCH_MVCC_JSON=BENCH_mvcc.json \
+		$(GO) test -bench QueryUnderWriteLoad -benchtime 1x -run '^$$' -timeout 600s .
+
+# Regression gate against the committed BENCH_mvcc.json: fails unless
+# reader p99 under 16 writers stays at least 5x better than the
+# RWMutex baseline (and the committed artifact itself held the bar).
+mvcc-guard:
+	SECXML_BENCH_MVCC_GUARD=BENCH_mvcc.json \
+		$(GO) test -bench QueryUnderWriteLoad -benchtime 1x -run '^$$' -timeout 600s .
 
 # Sustained-load overload measurement: calibrates the host's shed-free
 # knee, then runs open-loop 1x/2x/4x phases (Zipf mix, mixed priority

@@ -330,6 +330,17 @@ func TestMain(m *testing.M) {
 			code = 1
 		}
 	}
+	if v := os.Getenv("SECXML_BENCH_MVCC_JSON"); v != "" && len(mvccRows) > 0 {
+		if !writeBenchJSON(v, "BENCH_mvcc.json", mvccRows) && code == 0 {
+			code = 1
+		}
+	}
+	if v := os.Getenv("SECXML_BENCH_MVCC_GUARD"); v != "" && len(mvccRows) > 0 {
+		if err := mvccGuard(v); err != nil {
+			fmt.Fprintf(os.Stderr, "mvcc reader-latency guard: %v\n", err)
+			code = 1
+		}
+	}
 	if v := os.Getenv("SECXML_BENCH_LOAD_JSON"); v != "" && len(loadRows) > 0 {
 		if !writeBenchJSON(v, "BENCH_load.json", loadRows) && code == 0 {
 			code = 1

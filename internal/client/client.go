@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"runtime"
 	"strconv"
+	"sync/atomic"
 
 	"repro/internal/cryptoprim"
 	"repro/internal/dsi"
@@ -40,18 +41,56 @@ type Client struct {
 	encTags   map[string]bool
 	plainTags map[string]bool
 
-	// attrs holds the OPESS transformer for each encrypted leaf tag.
-	attrs map[string]*opess.Attribute
+	// attrs holds the OPESS transformer table for each encrypted leaf
+	// tag, published copy-on-write: the stored map is immutable, and
+	// RebuildEntries replaces it wholesale with an edited copy.
+	// Queries pin ONE table through Snapshot (see View) so a whole
+	// translation sees one consistent set of transformers even while
+	// an update is rewriting a band.
+	attrs atomic.Pointer[attrTable]
 	// occ retains the per-attribute occurrence bookkeeping (value ->
 	// containing blocks) that built the value index; update support
-	// rebuilds index bands from it (see update.go).
+	// rebuilds index bands from it (see update.go). Only the
+	// (serialized) update path touches it — never queries.
 	occ map[string]*tagOccurrences
 	// bands fixes each attribute's ciphertext band for the lifetime
-	// of the hosted database.
+	// of the hosted database (immutable after Encrypt).
 	bands map[string]uint8
 
 	decoyCounter uint64
 }
+
+// attrTable maps a tag key to its OPESS transformer. Published
+// tables are immutable: edits copy-and-replace.
+type attrTable map[string]*opess.Attribute
+
+// loadAttrs returns the current (immutable) transformer table.
+func (c *Client) loadAttrs() attrTable {
+	if p := c.attrs.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// setAttrs publishes a new transformer table. The caller must not
+// mutate t afterwards.
+func (c *Client) setAttrs(t attrTable) { c.attrs.Store(&t) }
+
+// View is a pinned snapshot of the client's translation state: the
+// OPESS transformer table as of Snapshot time, plus the immutable
+// tag-placement maps. Translating a query through a View guarantees
+// every value comparison in it uses one consistent table, no matter
+// what updates commit concurrently. The zero/shared Client state it
+// references (keys, encTags, plainTags, bands) never changes after
+// Encrypt, so a View is safe for concurrent use and costs one
+// pointer load to take.
+type View struct {
+	c     *Client
+	attrs attrTable
+}
+
+// Snapshot pins the current translation state.
+func (c *Client) Snapshot() *View { return &View{c: c, attrs: c.loadAttrs()} }
 
 // New creates a client from a master secret.
 func New(masterKey []byte) (*Client, error) {
@@ -59,15 +98,16 @@ func New(masterKey []byte) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{
+	c := &Client{
 		keys:      keys,
 		par:       runtime.GOMAXPROCS(0),
 		encTags:   map[string]bool{},
 		plainTags: map[string]bool{},
-		attrs:     map[string]*opess.Attribute{},
 		occ:       map[string]*tagOccurrences{},
 		bands:     map[string]uint8{},
-	}, nil
+	}
+	c.setAttrs(attrTable{})
+	return c, nil
 }
 
 // SetParallelism sets the worker width used by DecryptBlocks and the
@@ -113,7 +153,7 @@ func (c *Client) Encrypt(doc *xmltree.Document, s *scheme.Scheme) (*wire.HostedD
 	c.rootTag = doc.Root.Tag
 	c.encTags = map[string]bool{}
 	c.plainTags = map[string]bool{}
-	c.attrs = map[string]*opess.Attribute{}
+	c.setAttrs(attrTable{})
 	c.occ = map[string]*tagOccurrences{}
 	c.bands = map[string]uint8{}
 

@@ -153,14 +153,14 @@ func TestValueIndexCoversEncryptedLeaves(t *testing.T) {
 	// Every encrypted leaf tag got an OPESS attribute.
 	wantTags := map[string]bool{"policy": true, "@coverage": true, "disease": true}
 	// plus whichever of pname/SSN the cover chose
-	if _, ok := c.attrs["pname"]; ok {
+	if _, ok := c.loadAttrs()["pname"]; ok {
 		wantTags["pname"] = true
 	} else {
 		wantTags["SSN"] = true
 	}
 	for tag := range wantTags {
-		if _, ok := c.attrs[tag]; !ok {
-			t.Errorf("missing OPESS attribute for %s (have %v)", tag, keysOf(c.attrs))
+		if _, ok := c.loadAttrs()[tag]; !ok {
+			t.Errorf("missing OPESS attribute for %s (have %v)", tag, keysOf(c.loadAttrs()))
 		}
 	}
 	_ = doc

@@ -140,7 +140,7 @@ func TestApplyValueEditErrors(t *testing.T) {
 	}
 	// disease is indexed under the optimal scheme (cover includes it).
 	tag := "disease"
-	if _, ok := c.attrs[tag]; !ok {
+	if _, ok := c.loadAttrs()[tag]; !ok {
 		t.Skipf("cover did not include %s", tag)
 	}
 	if err := c.ApplyValueEdit(tag, "diarrhea", "flu", 99999); err == nil {

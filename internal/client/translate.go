@@ -8,15 +8,30 @@ import (
 )
 
 // Translate rewrites a plaintext query Q into the server query Qs
+// (§6.1) against the CURRENT translation state; callers that must
+// hold one state across a whole read (concurrent with updates) pin a
+// View first and call its Translate.
+func (c *Client) Translate(q *xpath.Path) (*wire.Query, error) {
+	return c.Snapshot().Translate(q)
+}
+
+// AttributeDomainRange is View.AttributeDomainRange against the
+// current translation state.
+func (c *Client) AttributeDomainRange(tagKey string) (lo, hi uint64, numeric bool, ok bool) {
+	return c.Snapshot().AttributeDomainRange(tagKey)
+}
+
+// Translate rewrites a plaintext query Q into the server query Qs
 // (§6.1): every tag is replaced by the DSI table label(s) it is
 // stored under — the Vernam ciphertext when the tag occurs inside
 // encryption blocks, the plaintext tag when it occurs in the residue
 // (both when mixed) — and every value comparison whose target tag is
 // encrypted is rewritten into OPESS ciphertext ranges per Fig. 7(a).
 // The query's structure is preserved; the server learns shape but no
-// protected tags or values.
-func (c *Client) Translate(q *xpath.Path) (*wire.Query, error) {
-	first, err := c.translateSteps(q, true)
+// protected tags or values. Every value comparison translates
+// through the View's pinned transformer table.
+func (v *View) Translate(q *xpath.Path) (*wire.Query, error) {
+	first, err := v.translateSteps(q, true)
 	if err != nil {
 		return nil, err
 	}
@@ -31,7 +46,7 @@ func (c *Client) Translate(q *xpath.Path) (*wire.Query, error) {
 // matches their parent element and the client's post-processing
 // re-applies the original query. main marks the query's main path
 // (kept for symmetry; translation is identical for predicate paths).
-func (c *Client) translateSteps(p *xpath.Path, main bool) (*wire.QStep, error) {
+func (v *View) translateSteps(p *xpath.Path, main bool) (*wire.QStep, error) {
 	var first, last *wire.QStep
 	for i, st := range p.Steps {
 		if st.Test.Text {
@@ -39,7 +54,7 @@ func (c *Client) translateSteps(p *xpath.Path, main bool) (*wire.QStep, error) {
 			// the parent context step, which is the closest sound
 			// approximation the server can check.
 			if last != nil {
-				preds, err := c.translatePreds(st, "")
+				preds, err := v.translatePreds(st, "")
 				if err != nil {
 					return nil, err
 				}
@@ -49,9 +64,9 @@ func (c *Client) translateSteps(p *xpath.Path, main bool) (*wire.QStep, error) {
 		}
 		qs := &wire.QStep{Axis: st.Axis, Desc: p.Desc[i]}
 		if !st.Test.Wildcard {
-			qs.Labels = c.labelsFor(st)
+			qs.Labels = v.labelsFor(st)
 		}
-		preds, err := c.translatePreds(st, stepTagKey(st))
+		preds, err := v.translatePreds(st, stepTagKey(st))
 		if err != nil {
 			return nil, err
 		}
@@ -82,22 +97,22 @@ func stepTagKey(st xpath.Step) string {
 // Unknown tags fall back to their plaintext name, which matches
 // nothing — the server must not learn that the tag is absent versus
 // unencrypted, and a plaintext miss reveals neither.
-func (c *Client) labelsFor(st xpath.Step) []string {
+func (v *View) labelsFor(st xpath.Step) []string {
 	key := stepTagKey(st)
 	var labels []string
-	if c.encTags[key] {
-		labels = append(labels, c.keys.EncryptTag(key))
+	if v.c.encTags[key] {
+		labels = append(labels, v.c.keys.EncryptTag(key))
 	}
-	if c.plainTags[key] || len(labels) == 0 {
+	if v.c.plainTags[key] || len(labels) == 0 {
 		labels = append(labels, key)
 	}
 	return labels
 }
 
-func (c *Client) translatePreds(st xpath.Step, ownerTag string) ([]wire.QPred, error) {
+func (v *View) translatePreds(st xpath.Step, ownerTag string) ([]wire.QPred, error) {
 	var out []wire.QPred
 	for _, pr := range st.Preds {
-		qp, err := c.translateExpr(pr, ownerTag)
+		qp, err := v.translateExpr(pr, ownerTag)
 		if err != nil {
 			return nil, err
 		}
@@ -106,44 +121,44 @@ func (c *Client) translatePreds(st xpath.Step, ownerTag string) ([]wire.QPred, e
 	return out, nil
 }
 
-func (c *Client) translateExpr(e xpath.Expr, ownerTag string) (wire.QPred, error) {
-	switch v := e.(type) {
+func (v *View) translateExpr(e xpath.Expr, ownerTag string) (wire.QPred, error) {
+	switch ex := e.(type) {
 	case *xpath.ExistsExpr:
-		path, err := c.translateSteps(v.Path, false)
+		path, err := v.translateSteps(ex.Path, false)
 		if err != nil {
 			return nil, err
 		}
 		return &wire.PredExists{Path: path}, nil
 	case *xpath.CmpExpr:
-		return c.translateCmp(v, ownerTag)
+		return v.translateCmp(ex, ownerTag)
 	case *xpath.AndExpr:
-		l, err := c.translateExpr(v.L, ownerTag)
+		l, err := v.translateExpr(ex.L, ownerTag)
 		if err != nil {
 			return nil, err
 		}
-		r, err := c.translateExpr(v.R, ownerTag)
+		r, err := v.translateExpr(ex.R, ownerTag)
 		if err != nil {
 			return nil, err
 		}
 		return &wire.PredAnd{L: l, R: r}, nil
 	case *xpath.OrExpr:
-		l, err := c.translateExpr(v.L, ownerTag)
+		l, err := v.translateExpr(ex.L, ownerTag)
 		if err != nil {
 			return nil, err
 		}
-		r, err := c.translateExpr(v.R, ownerTag)
+		r, err := v.translateExpr(ex.R, ownerTag)
 		if err != nil {
 			return nil, err
 		}
 		return &wire.PredOr{L: l, R: r}, nil
 	case *xpath.NotExpr:
-		inner, err := c.translateExpr(v.E, ownerTag)
+		inner, err := v.translateExpr(ex.E, ownerTag)
 		if err != nil {
 			return nil, err
 		}
 		return &wire.PredNot{E: inner}, nil
 	case *xpath.PosExpr:
-		return &wire.PredPos{N: v.N}, nil
+		return &wire.PredPos{N: ex.N}, nil
 	default:
 		return nil, fmt.Errorf("client: cannot translate predicate %T", e)
 	}
@@ -154,8 +169,8 @@ func (c *Client) translateExpr(e xpath.Expr, ownerTag string) (wire.QPred, error
 // server can answer MIN/MAX aggregates (§6.4) by picking the
 // extreme indexed entry inside this window — no decryption needed on
 // its side. Returns false when the tag has no value index.
-func (c *Client) AttributeDomainRange(tagKey string) (lo, hi uint64, numeric bool, ok bool) {
-	attr, exists := c.attrs[tagKey]
+func (v *View) AttributeDomainRange(tagKey string) (lo, hi uint64, numeric bool, ok bool) {
+	attr, exists := v.attrs[tagKey]
 	if !exists {
 		return 0, 0, false, false
 	}
@@ -176,32 +191,32 @@ func (c *Client) AttributeDomainRange(tagKey string) (lo, hi uint64, numeric boo
 // for a bare "." path); when that tag is encrypted the literal
 // becomes OPESS ciphertext ranges, and when it (also) occurs in
 // plaintext the original comparison is kept for the residue.
-func (c *Client) translateCmp(v *xpath.CmpExpr, ownerTag string) (wire.QPred, error) {
-	path, err := c.translateSteps(v.Path, false)
+func (v *View) translateCmp(cmp *xpath.CmpExpr, ownerTag string) (wire.QPred, error) {
+	path, err := v.translateSteps(cmp.Path, false)
 	if err != nil {
 		return nil, err
 	}
 	target := ownerTag
-	for _, st := range v.Path.Steps {
+	for _, st := range cmp.Path.Steps {
 		if k := stepTagKey(st); k != "" {
 			target = k
 		}
 	}
-	pv := &wire.PredValue{Path: path, Op: v.Op, Lit: v.Literal}
-	if c.plainTags[target] || target == "" {
+	pv := &wire.PredValue{Path: path, Op: cmp.Op, Lit: cmp.Literal}
+	if v.c.plainTags[target] || target == "" {
 		pv.Plain = true
 	}
-	if c.encTags[target] {
-		attr, ok := c.attrs[target]
+	if v.c.encTags[target] {
+		attr, ok := v.attrs[target]
 		if !ok {
 			// Encrypted tag with no indexed values (e.g. an interior
 			// node): no ciphertext occurrence can satisfy a value
 			// comparison, and the plaintext half (if any) stands.
 			return pv, nil
 		}
-		ranges, err := attr.TranslateRange(v.Op, v.Literal)
+		ranges, err := attr.TranslateRange(cmp.Op, cmp.Literal)
 		if err != nil {
-			return nil, fmt.Errorf("client: translating %s %s %q: %w", target, v.Op, v.Literal, err)
+			return nil, fmt.Errorf("client: translating %s %s %q: %w", target, cmp.Op, cmp.Literal, err)
 		}
 		pv.Ranges = ranges
 	}

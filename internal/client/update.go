@@ -65,7 +65,9 @@ func (c *Client) ApplyValueEdit(tagKey, oldValue, newValue string, blockID int) 
 
 // RebuildEntries regenerates an attribute's OPESS transformer (same
 // band) and its complete set of index entries from the current
-// bookkeeping.
+// bookkeeping. The transformer table is replaced copy-on-write, so a
+// concurrent query that pinned a View keeps translating through the
+// pre-edit table.
 func (c *Client) RebuildEntries(tagKey string) ([]btree.Entry, uint8, error) {
 	o, ok := c.occ[tagKey]
 	if !ok {
@@ -76,7 +78,12 @@ func (c *Client) RebuildEntries(tagKey string) ([]btree.Entry, uint8, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("client: rebuild %s: %w", tagKey, err)
 	}
-	c.attrs[tagKey] = attr
+	next := make(attrTable, len(c.loadAttrs())+1)
+	for k, v := range c.loadAttrs() {
+		next[k] = v
+	}
+	next[tagKey] = attr
+	c.setAttrs(next)
 	var entries []btree.Entry
 	for _, v := range o.order {
 		es, err := attr.IndexEntries(v, o.blocks[v])

@@ -63,13 +63,14 @@ func (c *Client) buildValueIndex(doc *xmltree.Document, md *dsi.Metadata) ([]btr
 		return nil, fmt.Errorf("client: %d indexed attributes exceed the 255 band limit", len(keys))
 	}
 	var entries []btree.Entry
+	attrs := attrTable{}
 	for i, key := range keys {
 		o := byTag[key]
 		attr, err := opess.BuildBand(key, o.freq, c.keys, uint8(i+1))
 		if err != nil {
 			return nil, fmt.Errorf("client: value index for %s: %w", key, err)
 		}
-		c.attrs[key] = attr
+		attrs[key] = attr
 		c.occ[key] = o
 		c.bands[key] = uint8(i + 1)
 		for _, v := range o.order {
@@ -80,5 +81,7 @@ func (c *Client) buildValueIndex(doc *xmltree.Document, md *dsi.Metadata) ([]btr
 			entries = append(entries, es...)
 		}
 	}
+	// One atomic publish: no partially-built table is ever visible.
+	c.setAttrs(attrs)
 	return entries, nil
 }

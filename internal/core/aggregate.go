@@ -38,8 +38,23 @@ func (s *System) AggregateMinMaxContext(ctx context.Context, pathStr string, max
 	if err != nil {
 		return "", Timings{}, err
 	}
+	skew := 0
 	for {
-		v, tm, err := s.aggregateOnce(ctx, path, pathStr, max)
+		var (
+			v   string
+			tm  Timings
+			err error
+		)
+		if skew < maxSkewRetries {
+			v, tm, err = s.aggregateOnce(ctx, s.pin(), path, pathStr, max)
+		} else {
+			// Escalate like QueryPathContext: under the read lock no
+			// flush can race, so the attempt cannot skew again.
+			s.pin()
+			s.mu.RLock()
+			v, tm, err = s.aggregateOnce(ctx, s.snap.Load(), path, pathStr, max)
+			s.mu.RUnlock()
+		}
 		if errors.Is(err, errUpdateConflict) {
 			// A queued update touched the band this aggregate probes
 			// (or a band its predicates compare through); push the
@@ -47,20 +62,23 @@ func (s *System) AggregateMinMaxContext(ctx context.Context, pathStr string, max
 			s.FlushUpdates(ctx)
 			continue
 		}
+		if errors.Is(err, errSnapshotSkew) {
+			skew++
+			continue
+		}
 		return v, tm, err
 	}
 }
 
-// aggregateOnce is one attempt of the aggregate pipeline under the
-// read lock; errUpdateConflict asks the entry point to flush queued
-// updates and retry.
-func (s *System) aggregateOnce(ctx context.Context, path *xpath.Path, pathStr string, max bool) (string, Timings, error) {
-	// One read lock covers both the index probe and the query
-	// fallback; the fallback calls the unexported locked pipeline so
-	// the lock is never acquired recursively (a second RLock could
-	// deadlock behind a waiting writer).
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+// aggregateOnce is one attempt of the aggregate pipeline against a
+// pinned readSnap; errUpdateConflict asks the entry point to flush
+// queued updates and retry, errSnapshotSkew to re-pin and retry.
+func (s *System) aggregateOnce(ctx context.Context, sn *readSnap, path *xpath.Path, pathStr string, max bool) (string, Timings, error) {
+	// One pin covers both the index probe and the query fallback, so
+	// both halves translate through the same transformer table.
+	if sn.pending && sn.ring != nil {
+		return "", Timings{}, ErrUpdatePending
+	}
 	tagKey := lastNamedTag(path)
 	keys, unknown := cmpKeys(path)
 	if tagKey != "" {
@@ -68,17 +86,17 @@ func (s *System) aggregateOnce(ctx context.Context, path *xpath.Path, pathStr st
 	} else {
 		unknown = true
 	}
-	if s.queuedBandConflictLocked(keys, unknown) {
+	if sn.bandConflict(s.Client, keys, unknown) {
 		return "", Timings{}, errUpdateConflict
 	}
 	fastPath := tagKey != "" && !hasPredicates(path)
 	if fastPath {
-		if v, tm, ok, err := s.aggregateViaIndex(ctx, tagKey, max); err != nil || ok {
+		if v, tm, ok, err := s.aggregateViaIndex(ctx, sn, tagKey, max); err != nil || ok {
 			return v, tm, err
 		}
 	}
 	// Fallback: full secure query, aggregate at the client.
-	nodes, _, tm, err := s.queryPathLocked(ctx, path)
+	nodes, _, tm, err := s.queryAttempt(ctx, sn, path)
 	if err != nil {
 		return "", tm, err
 	}
@@ -95,10 +113,10 @@ func (s *System) aggregateOnce(ctx context.Context, path *xpath.Path, pathStr st
 // aggregateViaIndex is the §6.4 single-block path. ok=false means
 // the tag is not exclusively encrypted-and-indexed and the caller
 // must fall back.
-func (s *System) aggregateViaIndex(ctx context.Context, tagKey string, max bool) (string, Timings, bool, error) {
+func (s *System) aggregateViaIndex(ctx context.Context, sn *readSnap, tagKey string, max bool) (string, Timings, bool, error) {
 	var tm Timings
 	start := time.Now()
-	lo, hi, _, indexed := s.Client.AttributeDomainRange(tagKey)
+	lo, hi, _, indexed := sn.view.AttributeDomainRange(tagKey)
 	tm.ClientTranslate = time.Since(start)
 	if !indexed || s.Client.TagOccursPlain(tagKey) {
 		return "", tm, false, nil
@@ -110,7 +128,7 @@ func (s *System) aggregateViaIndex(ctx context.Context, tagKey string, max bool)
 		ct    []byte
 		found bool
 	)
-	if pb, ok := s.Server.(ProofBackend); ok && s.verifier != nil {
+	if pb, ok := sn.backend.(ProofBackend); ok && sn.ring != nil {
 		// Verified probe: the proof carries the full authenticated
 		// buckets of the probed range, so both the extreme and
 		// emptiness are checked against the Merkle root.
@@ -119,20 +137,25 @@ func (s *System) aggregateViaIndex(ctx context.Context, tagKey string, max bool)
 			tm.ServerExec = time.Since(start)
 			return "", tm, false, err
 		}
-		if vErr := s.verifier.VerifyExtreme(lo, hi, max, res.Found, res.BlockID, res.Block, res.Proof); vErr != nil {
+		if vErr := sn.ring.verifyExtremeSince(sn.verSeq, lo, hi, max, res.Found, res.BlockID, res.Block, res.Proof); vErr != nil {
 			tm.ServerExec = time.Since(start)
 			return "", tm, false, vErr
 		}
 		bid, ct, found = res.BlockID, res.Block, res.Found
 	} else {
 		var err error
-		bid, ct, found, err = s.Server.Extreme(ctx, lo, hi, max)
+		bid, ct, found, err = sn.backend.Extreme(ctx, lo, hi, max)
 		if err != nil {
 			tm.ServerExec = time.Since(start)
 			return "", tm, false, err
 		}
 	}
 	tm.ServerExec = time.Since(start)
+	if s.updSeq.Load() != sn.updSeq {
+		// The probe window came from the pinned transformer table; a
+		// flush that raced the probe may have re-banded it. Re-pin.
+		return "", tm, false, errSnapshotSkew
+	}
 	if !found {
 		return "", tm, false, fmt.Errorf("core: no indexed values for %s", tagKey)
 	}

@@ -98,12 +98,14 @@ func (s *System) EnableUpdateBatching(size int, maxWait time.Duration) {
 	defer s.mu.Unlock()
 	if size <= 1 {
 		s.updBatch = nil
+		s.publishLocked()
 		return
 	}
 	if maxWait <= 0 {
 		maxWait = defaultUpdateMaxWait
 	}
 	s.updBatch = &updateBatcher{size: size, maxWait: maxWait}
+	s.publishLocked()
 }
 
 // FlushUpdates forces any queued updates out as a group commit now.
@@ -219,6 +221,10 @@ func (s *System) flushBatchLocked(ctx context.Context) error {
 	if b == nil || len(b.queue) == 0 {
 		return nil
 	}
+	// However this flush ends, the queue and sequence changed:
+	// republish so readers pin the settled state (and the published
+	// updSeq catches up with the live counter).
+	defer s.publishLocked()
 	if b.timer != nil {
 		b.timer.Stop()
 		b.timer = nil
@@ -233,6 +239,21 @@ func (s *System) flushBatchLocked(ctx context.Context) error {
 	if tail.next != nil {
 		root := tail.next.Root()
 		us[len(us)-1].NewRoot = root[:]
+	}
+	// Flush starts: bump BEFORE any send (including the sequential
+	// fallback below), so a reader whose answer reflects this batch
+	// is guaranteed to observe the moved counter afterwards. The
+	// batch applies atomically, so only the tail's root can become
+	// visible; stage it so answers produced between the server-side
+	// commit and the ack verify without waiting. The sequential
+	// fallback stages member by member instead.
+	s.updSeq.Add(1)
+	staged := false
+	if tail.next != nil && s.ring != nil {
+		if _, seq := s.Server.(BatchBackend); seq || len(us) == 1 {
+			s.ring.Stage(tail.next)
+			staged = true
+		}
 	}
 
 	flushStart := time.Now()
@@ -256,8 +277,8 @@ func (s *System) flushBatchLocked(ctx context.Context) error {
 			s.mirrorUpdate(qe.prep.upd)
 		}
 		s.applyMirrorExec(us)
-		if tail.next != nil {
-			*s.verifier = *tail.next
+		if tail.next != nil && s.ring != nil {
+			s.ring.Advance(tail.next)
 		}
 		if s.staleCache != nil {
 			s.staleCache.Clear()
@@ -265,7 +286,12 @@ func (s *System) flushBatchLocked(ctx context.Context) error {
 		deliverBatch(batch, batchOutcome{batchSize: len(batch), flushStart: flushStart, applyDur: applyDur})
 		return nil
 	}
-	if ambiguousUpdateFailure(s.Server, err) {
+	if !ambiguousUpdateFailure(s.Server, err) {
+		// Definite rejection: the tail root never existed server-side.
+		if staged {
+			s.ring.Unstage(tail.next)
+		}
+	} else {
 		// The server may durably hold the whole batch (atomic apply,
 		// lost ack) or none of it. Stash the exact frame — same batch
 		// and member request IDs — for Reconcile, which is correct in
@@ -293,6 +319,11 @@ func (s *System) flushSequentiallyLocked(ctx context.Context, batch []*queuedEdi
 	var firstErr error
 	failed := len(batch)
 	for i, qe := range batch {
+		if v := qe.prep.next; v != nil && s.ring != nil {
+			// Each member's root becomes visible individually here;
+			// stage it for the send, settle below.
+			s.ring.Stage(v)
+		}
 		if err := s.Server.ApplyUpdate(ctx, qe.prep.upd); err != nil {
 			firstErr, failed = err, i
 			break
@@ -304,14 +335,26 @@ func (s *System) flushSequentiallyLocked(ctx context.Context, batch []*queuedEdi
 	}
 	s.applyMirrorExec(us[:failed])
 	if failed > 0 {
-		if v := batch[failed-1].prep.next; v != nil {
-			// A mid-chain clone's root is still deferred; finalize it
-			// before the copy is shared with concurrent verifiers.
-			v.Root()
-			*s.verifier = *v
+		if v := batch[failed-1].prep.next; v != nil && s.ring != nil {
+			// Advance finalizes the mid-chain clone's deferred root
+			// before it is shared with concurrent verifiers. The
+			// acknowledged prefix's intermediate roots stay staged —
+			// harmless (they were real server states) — until the
+			// failed member settles them below.
+			s.ring.Advance(v)
 		}
 		if s.staleCache != nil {
 			s.staleCache.Clear()
+		}
+	}
+	if s.ring != nil && firstErr != nil && !ambiguousUpdateFailure(s.Server, firstErr) {
+		// The failed member's rejection was definite: the server never
+		// held its root, so withdraw it if the prefix Advance (which
+		// sweeps the window's staged roots into the retired tail) did
+		// not already settle it. Ambiguous failures stay staged for
+		// Reconcile — the server may hold that root.
+		if v := batch[failed].prep.next; v != nil {
+			s.ring.Unstage(v)
 		}
 	}
 	memberErr := firstErr

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/admission"
@@ -102,23 +103,45 @@ func (l Local) ApplyUpdate(ctx context.Context, u *wire.Update) error {
 // System is one hosted database: the owner's client state, the
 // untrusted server, and the link between them.
 //
-// A System is safe for concurrent use: queries and aggregates run
-// under a shared (read) lock, so any number may be in flight at
-// once, while updates take the exclusive (write) lock — the client's
-// translation state (occurrence tables, OPESS transformers) and the
-// HostedDB mirror mutate during an update, and a query must never
-// observe them half-rewritten. The server keeps its own
-// reader/writer lock internally (internal/server), so a remote
-// backend shared by several Systems stays consistent too.
+// A System is safe for concurrent use, and queries never block
+// behind updates. Reads are MVCC-style: every query and aggregate
+// pins a readSnap — an immutable view of the translation state
+// (OPESS transformer table), backend, verifier ring, caches and
+// queued-batch fingerprint, published through one atomic pointer —
+// and runs its whole pipeline against that pin without touching mu.
+// Updates still serialize under the exclusive lock (the occurrence
+// tables genuinely mutate), republish the readSnap at every commit
+// point, and bump updSeq when a flush starts so an in-flight read
+// whose value translation the flush may have invalidated can detect
+// the skew and retry against a fresh pin (see QueryPathContext).
+// The server applies the same pattern independently
+// (internal/server): each committed batch becomes an immutable
+// snapshot readers pin lock-free.
 type System struct {
 	Client *client.Client
 	Server Backend
 	Link   netsim.Link
 
-	// mu orders queries (readers) against updates (writer). The
-	// exported fields above are set before first use and never
+	// mu serializes mutations: updates, Enable* configuration, and
+	// readSnap publication. Queries do NOT take it — they pin the
+	// published readSnap — except for the bounded-retry fallback and
+	// NaiveQuery (which reads the HostedDB mirror updates rewrite).
+	// The exported fields above are set before first use and never
 	// reassigned mid-flight.
 	mu sync.RWMutex
+
+	// snap is the published read view; see readSnap. Written only
+	// under mu (publishLocked), read lock-free by every query.
+	snap atomic.Pointer[readSnap]
+
+	// updSeq counts update flushes, bumped BEFORE the backend send of
+	// every commit path (inline, batched, sequential, reconcile). A
+	// reader whose answer arrives after the sequence moved past its
+	// pinned snapshot cannot tell whether the server executed it
+	// before or after the commit — for value queries (whose OPESS
+	// translation the commit may have re-banded) the reader retries
+	// on a fresh pin instead of risking a silent miss.
+	updSeq atomic.Uint64
 
 	// SimDecryptMBps, when positive, REPLACES the measured client
 	// decryption time with bytes/throughput. It models the paper's
@@ -151,11 +174,12 @@ type System struct {
 	// reads nor feeds it (see queryPathLocked).
 	blockCache *client.BlockCache
 
-	// verifier, when installed via EnableIntegrity, holds the owner's
-	// Merkle commitment to the hosted state; every answer and
-	// aggregate is verified against it before decryption, and updates
-	// advance it so freshness survives ApplyUpdate.
-	verifier *wire.AuthVerifier
+	// ring, when installed via EnableIntegrity, holds the owner's
+	// Merkle commitment to the hosted state — the current verifier
+	// plus a short tail of retired ones (see verifierRing); every
+	// answer and aggregate is verified against it before decryption,
+	// and updates advance it so freshness survives ApplyUpdate.
+	ring *verifierRing
 
 	// pending, when non-nil, is an update whose outcome is ambiguous:
 	// the send failed in a way that leaves the server possibly having
@@ -189,6 +213,109 @@ type pendingUpdate struct {
 	batch        *wire.UpdateBatch
 	nextVerifier *wire.AuthVerifier
 	edits        int
+}
+
+// readSnap is the immutable view one query runs against, published
+// through System.snap. Everything a read consults that an update can
+// change is captured here at publish time — most importantly the
+// client's pinned OPESS transformer table (view) together with the
+// queued-batch band fingerprint, so "which bands are ahead of the
+// server" and "which transformers translate my comparisons" are the
+// SAME moment's answer. The structs it points to (caches, ring,
+// backend) are themselves safe for concurrent use; the snapshot pins
+// which instances this read talks to.
+type readSnap struct {
+	view    *client.View
+	backend Backend
+	ring    *verifierRing
+	stale   *client.AnswerCache
+	blocks  *client.BlockCache
+
+	// pending mirrors System.pending != nil at publish time.
+	pending bool
+
+	// queuedAny / queuedBands fingerprint the update batcher's queue:
+	// a prepared-but-unflushed member has already rewritten the
+	// client tables for these OPESS bands, so a read pinned AFTER
+	// that rewrite would translate through tables the server hasn't
+	// caught up to. Reads pinned BEFORE it keep the old table and
+	// stay consistent with the server — that is the point of the
+	// per-snapshot view.
+	queuedAny   bool
+	queuedBands map[uint8]bool
+
+	// updSeq is System.updSeq at publish time.
+	updSeq uint64
+
+	// verSeq is the verifier ring's sequence at publish time: the
+	// oldest commitment this read may accept an answer against
+	// (zero when integrity is off).
+	verSeq uint64
+}
+
+// bandConflict reports whether a read translating value comparisons
+// through the given tag keys must flush the queued batch first: its
+// pinned transformer table already includes a queued band rewrite the
+// server hasn't seen. unknown (an unresolvable comparison target)
+// conflicts with anything queued.
+func (sn *readSnap) bandConflict(c *client.Client, keys []string, unknown bool) bool {
+	if !sn.queuedAny {
+		return false
+	}
+	if unknown {
+		return true
+	}
+	for _, k := range keys {
+		if band, ok := c.IndexedBand(k); ok && sn.queuedBands[band] {
+			return true
+		}
+	}
+	return false
+}
+
+// publishLocked rebuilds and publishes the readSnap from the current
+// state. Called under mu (exclusive) at the end of every mutation:
+// Enable* configuration, enqueue, every flush path, commit,
+// reconcile — success or failure, so the published updSeq always
+// catches up with the live counter once the mutation settles.
+func (s *System) publishLocked() *readSnap {
+	sn := &readSnap{
+		view:    s.Client.Snapshot(),
+		backend: s.Server,
+		ring:    s.ring,
+		stale:   s.staleCache,
+		blocks:  s.blockCache,
+		pending: s.pending != nil,
+		updSeq:  s.updSeq.Load(),
+	}
+	if s.ring != nil {
+		sn.verSeq = s.ring.pinSeq()
+	}
+	if b := s.updBatch; b != nil && len(b.queue) > 0 {
+		sn.queuedAny = true
+		sn.queuedBands = map[uint8]bool{}
+		for _, qe := range b.queue {
+			for _, band := range qe.prep.upd.DropBands {
+				sn.queuedBands[band] = true
+			}
+		}
+	}
+	s.snap.Store(sn)
+	return sn
+}
+
+// pin returns the published readSnap, lazily publishing the first
+// one. Lock-free on every call after the first.
+func (s *System) pin() *readSnap {
+	if sn := s.snap.Load(); sn != nil {
+		return sn
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sn := s.snap.Load(); sn != nil {
+		return sn
+	}
+	return s.publishLocked()
 }
 
 // ProofBackend is the optional backend extension for verified
@@ -231,18 +358,25 @@ func (s *System) EnableIntegrity() error {
 	if err != nil {
 		return err
 	}
-	s.verifier = st.Verifier()
+	s.ring = newVerifierRing(st.Verifier())
+	s.publishLocked()
 	return nil
 }
 
 // Verifier returns the integrity verifier, or nil when
 // EnableIntegrity was not called. The remote client shares it (via
 // remote.WithVerifier) so tampering is detected per-attempt, before
-// the retry policy sees the error.
-func (s *System) Verifier() *wire.AuthVerifier {
+// the retry policy sees the error. The returned value is the live
+// verifier ring: updates advance it in place, and an answer produced
+// just before a concurrent commit still verifies against the ring's
+// retired tail.
+func (s *System) Verifier() wire.Verifier {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.verifier
+	if s.ring == nil {
+		return nil
+	}
+	return s.ring
 }
 
 // EnableBlockCache opts this system into cross-query reuse of
@@ -258,6 +392,7 @@ func (s *System) EnableBlockCache(maxEntries, maxBytes int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.blockCache = client.NewBlockCache(maxEntries, maxBytes)
+	s.publishLocked()
 }
 
 // BlockCacheStats snapshots the block cache's counters (zero value
@@ -297,6 +432,7 @@ func (s *System) EnableStaleFallback(maxEntries, maxBytes int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.staleCache = client.NewAnswerCache(maxEntries, maxBytes)
+	s.publishLocked()
 }
 
 // Host encrypts doc under the named scheme with the given SCs and
@@ -342,6 +478,7 @@ func (s *System) UseBackend(b Backend) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.Server = b
+	s.publishLocked()
 }
 
 // EnableMirrorReads opts the update pipeline into serving its read
@@ -364,6 +501,7 @@ func (s *System) EnableMirrorReads() {
 		return
 	}
 	s.mirrorExec = server.New(s.HostedDB)
+	s.publishLocked()
 }
 
 // Timings is the per-stage cost breakdown of one query (§7.2).
@@ -472,11 +610,38 @@ func (s *System) QueryPath(path *xpath.Path) ([]*xmltree.Node, *xmltree.Document
 }
 
 // QueryPathContext is QueryPath with a caller-supplied context.
+// Each attempt pins the published readSnap and runs lock-free; three
+// outcomes loop:
+//
+//   - errUpdateConflict: the pinned translation state is ahead of the
+//     server by a queued batch; flush it out and re-pin.
+//   - errSnapshotSkew: a commit raced the round trip and this query's
+//     value translation may predate it; re-pin and retry. Bounded —
+//     after maxSkewRetries the attempt runs under the read lock,
+//     where flushes are excluded and skew is impossible, so progress
+//     is guaranteed even under a continuous write load.
+//   - anything else is the result. A verification failure needs no
+//     retry here: an answer produced after a server-side commit but
+//     before its ack verifies against the root the ring STAGED at
+//     send time (see verifierRing), so an ErrTampered that survives
+//     the ring is genuine and must not cost extra round trips.
 func (s *System) QueryPathContext(ctx context.Context, path *xpath.Path) ([]*xmltree.Node, *xmltree.Document, Timings, error) {
+	skew := 0
 	for {
-		s.mu.RLock()
-		nodes, doc, tm, err := s.queryPathLocked(ctx, path)
-		s.mu.RUnlock()
+		var (
+			nodes []*xmltree.Node
+			doc   *xmltree.Document
+			tm    Timings
+			err   error
+		)
+		if skew < maxSkewRetries {
+			nodes, doc, tm, err = s.queryAttempt(ctx, s.pin(), path)
+		} else {
+			s.pin() // force the lazy first publish outside the lock
+			s.mu.RLock()
+			nodes, doc, tm, err = s.queryAttempt(ctx, s.snap.Load(), path)
+			s.mu.RUnlock()
+		}
 		if errors.Is(err, errUpdateConflict) {
 			// A queued update rewrote an OPESS band this query's value
 			// comparisons translate through; push the group commit out
@@ -486,14 +651,28 @@ func (s *System) QueryPathContext(ctx context.Context, path *xpath.Path) ([]*xml
 			s.FlushUpdates(ctx)
 			continue
 		}
+		if errors.Is(err, errSnapshotSkew) {
+			skew++
+			continue
+		}
 		return nodes, doc, tm, err
 	}
 }
 
-// queryPathLocked is the query pipeline body; the caller holds the
-// read half of s.mu (directly or via an aggregate entry point — kept
-// unexported so the lock is never taken recursively).
-func (s *System) queryPathLocked(ctx context.Context, path *xpath.Path) ([]*xmltree.Node, *xmltree.Document, Timings, error) {
+// maxSkewRetries bounds how often a read re-pins after losing a race
+// with a concurrent flush before it escalates to the read lock.
+const maxSkewRetries = 3
+
+// errSnapshotSkew is the internal retry signal of the lock-free read
+// path: the update sequence moved during the round trip and this
+// query's value translation may predate the commit the server
+// answered from. Never escapes the public entry points.
+var errSnapshotSkew = errors.New("core: update committed during read; retry on a fresh snapshot")
+
+// queryAttempt is the query pipeline body, run entirely against the
+// pinned readSnap — no System lock is held (or needed) unless the
+// caller chose to hold one for skew-free execution.
+func (s *System) queryAttempt(ctx context.Context, sn *readSnap, path *xpath.Path) ([]*xmltree.Node, *xmltree.Document, Timings, error) {
 	var tm Timings
 	// Overload protocol: queries default to the interactive class (a
 	// caller can stamp another via admission.WithPriority), and the
@@ -502,31 +681,45 @@ func (s *System) queryPathLocked(ctx context.Context, path *xpath.Path) ([]*xmlt
 	ctx = admission.ContextWithDefaultPriority(ctx, admission.Interactive)
 	respMeta := &admission.ResponseMeta{}
 	ctx = admission.ContextWithResponseMeta(ctx, respMeta)
-	if s.pending != nil && s.verifier != nil {
+	if sn.pending && sn.ring != nil {
 		// An ambiguous update is outstanding: the live verifier may be
 		// one root behind the server, so any verified answer could be
 		// rejected as tampered when it is merely fresher. Refuse until
 		// Reconcile settles which side of the update the server is on.
 		return nil, nil, tm, ErrUpdatePending
 	}
-	if keys, unknown := cmpKeys(path); s.queuedBandConflictLocked(keys, unknown) {
-		// The client tables this query would translate through are
-		// ahead of the server by the queued batch; the entry points
-		// flush and retry on this signal.
+	keys, unknown := cmpKeys(path)
+	if sn.bandConflict(s.Client, keys, unknown) {
+		// The pinned client tables are ahead of the server by the
+		// queued batch; the entry points flush and retry on this
+		// signal.
 		return nil, nil, tm, errUpdateConflict
 	}
+	// Only value comparisons that translate through an OPESS band can
+	// be invalidated by a commit (a flush re-bands exactly those
+	// transformer tables); purely structural queries and plaintext
+	// comparisons are immune to commit races — the server answers
+	// each query from one of ITS snapshots — and skip the skew check
+	// below. Unknown targets (wildcard tails) stay sensitive.
+	cmpSensitive := unknown
+	for _, k := range keys {
+		if _, indexed := s.Client.IndexedBand(k); indexed {
+			cmpSensitive = true
+			break
+		}
+	}
 	tm.ClientWorkers = s.Client.Parallelism()
-	if l, ok := s.Server.(Local); ok {
+	if l, ok := sn.backend.(Local); ok {
 		tm.ServerWorkers = l.S.Parallelism()
 	}
 
 	start := time.Now()
-	qs, err := s.Client.Translate(path)
+	qs, err := sn.view.Translate(path)
 	tm.ClientTranslate = time.Since(start)
 	if err != nil {
 		return nil, nil, tm, err
 	}
-	qs.WantProof = s.verifier != nil
+	qs.WantProof = sn.ring != nil
 
 	// A streaming-capable backend gets a decrypt pipeline to feed:
 	// blocks decrypt while the rest of the answer is still on the
@@ -534,17 +727,24 @@ func (s *System) queryPathLocked(ctx context.Context, path *xpath.Path) ([]*xmlt
 	// answer the transport finally settled on.
 	var sd *client.StreamDecryptor
 	var sink wire.BlockSink
-	if _, ok := s.Server.(StreamBackend); ok {
+	if _, ok := sn.backend.(StreamBackend); ok {
 		sd = s.Client.NewStreamDecryptor()
 		defer sd.Close()
 		sink = sd
 	}
 
 	start = time.Now()
-	ans, err := s.executeWithFallback(ctx, qs, sink, &tm)
+	ans, err := s.executeWithFallback(ctx, sn, qs, sink, &tm)
 	tm.ServerExec = time.Since(start)
 	if err != nil {
 		return nil, nil, tm, err
+	}
+	if cmpSensitive && !tm.Stale && s.updSeq.Load() != sn.updSeq {
+		// A flush started (or finished) during the round trip: the
+		// server may have answered from a generation whose OPESS bands
+		// this query's pinned translation predates — a silent miss,
+		// not an error the verifier could catch. Retry on a fresh pin.
+		return nil, nil, tm, errSnapshotSkew
 	}
 	tm.AnswerBytes = ans.ByteSize()
 	tm.BlocksShipped = len(ans.Blocks)
@@ -557,7 +757,7 @@ func (s *System) queryPathLocked(ctx context.Context, path *xpath.Path) ([]*xmlt
 	// The block cache serves verified-live answers only: a stale
 	// fallback copy's freshness is unknown, so it must neither be
 	// served from the cache nor seed it.
-	bc := s.blockCache
+	bc := sn.blocks
 	if tm.Stale {
 		bc = nil
 	}
@@ -609,9 +809,9 @@ func (s *System) queryPathLocked(ctx context.Context, path *xpath.Path) ([]*xmlt
 // is additionally marked Unverified — it was checked when cached,
 // but its freshness can no longer be established against a server
 // that just proved itself byzantine.
-func (s *System) executeWithFallback(ctx context.Context, qs *wire.Query, sink wire.BlockSink, tm *Timings) (*wire.Answer, error) {
+func (s *System) executeWithFallback(ctx context.Context, sn *readSnap, qs *wire.Query, sink wire.BlockSink, tm *Timings) (*wire.Answer, error) {
 	var key string
-	if s.staleCache != nil {
+	if sn.stale != nil {
 		if k, err := wire.MarshalQuery(qs); err == nil {
 			key = string(k)
 		}
@@ -620,35 +820,44 @@ func (s *System) executeWithFallback(ctx context.Context, qs *wire.Query, sink w
 	var err error
 	if sink != nil {
 		// The caller only passes a sink when the backend implements
-		// StreamBackend (see queryPathLocked).
+		// StreamBackend (see queryAttempt).
 		var st *wire.StreamStats
-		ans, st, err = s.Server.(StreamBackend).ExecuteStream(ctx, qs, sink)
+		ans, st, err = sn.backend.(StreamBackend).ExecuteStream(ctx, qs, sink)
 		if st != nil {
 			tm.Streamed = true
 			tm.StreamChunks = st.Chunks
 			tm.StreamBytes = st.Bytes
 		}
 	} else {
-		ans, err = s.Server.Execute(ctx, qs)
+		ans, err = sn.backend.Execute(ctx, qs)
 	}
-	if err == nil && s.verifier != nil {
-		if vErr := s.verifier.VerifyAnswer(ans); vErr != nil {
+	if err == nil && sn.ring != nil {
+		// The floor is the commitment current at this read's pin:
+		// answers from either side of a commit that raced the round
+		// trip verify, a replayed pre-pin answer does not.
+		if vErr := sn.ring.verifyAnswerSince(sn.verSeq, ans); vErr != nil {
 			ans, err = nil, vErr
 		}
 	}
 	if err == nil {
-		if key != "" {
+		// Feed the stale cache only when no flush raced the round
+		// trip: a skewed answer may describe a state a commit just
+		// replaced, and while stale fallbacks are marked as such,
+		// there is no reason to seed the cache with one. Best-effort —
+		// an update committing right after this check still clears
+		// the cache itself.
+		if key != "" && s.updSeq.Load() == sn.updSeq {
 			if enc, mErr := wire.MarshalAnswer(ans); mErr == nil {
-				s.staleCache.Put(key, enc)
+				sn.stale.Put(key, enc)
 			}
 		}
 		return ans, nil
 	}
 	if key != "" {
-		if enc, ok := s.staleCache.Get(key); ok {
+		if enc, ok := sn.stale.Get(key); ok {
 			if cached, uErr := wire.UnmarshalAnswer(enc); uErr == nil {
 				tm.Stale = true
-				tm.Unverified = s.verifier != nil
+				tm.Unverified = sn.ring != nil
 				return cached, nil
 			}
 		}

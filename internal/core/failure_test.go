@@ -42,10 +42,25 @@ func TestTamperedBlockRejected(t *testing.T) {
 	}
 }
 
+// servedDB reaches into the local backend's committed snapshot — the
+// block table queries are actually answered from. Hostile-server
+// tests mutate it directly: under MVCC the server holds its own
+// slice headers, so replacing headers on the upload object
+// (sys.HostedDB) no longer reaches what the server serves.
+func servedDB(t *testing.T, sys *System) *wire.HostedDB {
+	t.Helper()
+	local, ok := sys.Server.(Local)
+	if !ok {
+		t.Fatalf("backend is %T, want Local", sys.Server)
+	}
+	return local.S.CurrentDB()
+}
+
 func TestTruncatedBlockRejected(t *testing.T) {
 	sys := hostHospital(t)
-	for i := range sys.HostedDB.Blocks {
-		sys.HostedDB.Blocks[i] = sys.HostedDB.Blocks[i][:4]
+	db := servedDB(t, sys)
+	for i := range db.Blocks {
+		db.Blocks[i] = db.Blocks[i][:4]
 	}
 	if _, _, _, err := sys.Query("//patient/pname"); err == nil {
 		t.Fatalf("truncated blocks accepted")
@@ -54,7 +69,7 @@ func TestTruncatedBlockRejected(t *testing.T) {
 
 func TestSwappedBlocksStillAuthenticatedButDetectable(t *testing.T) {
 	sys := hostHospital(t)
-	db := sys.HostedDB
+	db := servedDB(t, sys)
 	if len(db.Blocks) < 2 {
 		t.Skip("need at least two blocks")
 	}

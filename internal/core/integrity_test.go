@@ -148,10 +148,13 @@ func TestIntegrityRejectsForeignVerifier(t *testing.T) {
 	if err := sys.EnableIntegrity(); err != nil {
 		t.Fatal(err)
 	}
-	// Point sys at the OTHER system's verifier state by overwriting
-	// its verifier contents (the same aliasing the remote client
-	// uses, abused here to simulate a mismatched commitment).
-	*sys.Verifier() = *sysOther.Verifier()
+	// Point sys at the OTHER system's verifier state by swapping in a
+	// ring built from it (no retired tail, so nothing of the original
+	// commitment survives) — simulating a mismatched commitment.
+	sys.mu.Lock()
+	sys.ring = newVerifierRing(sysOther.ring.Current().Clone())
+	sys.publishLocked()
+	sys.mu.Unlock()
 	_, _, _, err = sys.Query("//patient/pname")
 	if !errors.Is(err, authtree.ErrTampered) {
 		t.Fatalf("mismatched commitment accepted: err=%v", err)

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/authtree"
+	"repro/internal/wire"
+)
+
+// verifierRing is the owner's integrity commitment, shaped for
+// lock-free readers. The old design shared ONE *wire.AuthVerifier and
+// advanced it in place under the System's exclusive lock; that only
+// worked because readers were excluded for the whole round trip. With
+// snapshot reads, an answer can arrive AFTER a concurrent commit
+// advanced the root — produced honestly against the generation that
+// was current when the server executed it — so the ring keeps the
+// current verifier plus a short tail of retired ones and accepts an
+// answer that verifies against any of them, newest first.
+//
+// Freshness is preserved by sequence pinning: every Advance stamps a
+// monotonically increasing sequence, and a read records the sequence
+// current at its pin. Core accepts an answer only against verifiers
+// AT LEAST AS NEW as the read's pin (verifyAnswerSince) — so a read
+// that pinned before a commit legitimately accepts either side of
+// it, while a read that pinned after rejects a replayed pre-commit
+// answer outright: the rollback-replay attack stays detected (see
+// internal/attack). The tail additionally bounds the window to
+// ringRetain commits. Readers that need the exact current root — the
+// update pipeline's own read half, Reconcile — run under the
+// System's exclusive lock where the ring cannot advance
+// concurrently.
+//
+// Every verifier inside the ring is finalized (Root() called) before
+// it is published, and never mutated afterwards, so Verify* calls
+// need no per-verifier locking — the ring's RWMutex only guards the
+// slot pointers.
+type verifierRing struct {
+	mu      sync.RWMutex
+	cur     *wire.AuthVerifier
+	curSeq  uint64
+	retired []ringEntry // oldest first
+	// staged holds roots the owner computed at prepare time for
+	// commits whose frames are SENT but not yet acknowledged. The
+	// server applies a commit before its response travels back, so an
+	// answer can honestly carry the next root an entire round trip
+	// before Advance installs it; staging closes that window without
+	// waiting. Sound because a staged root is the owner's OWN
+	// commitment for an update it chose to send — a server cannot
+	// forge an answer into it, only apply the owner's update.
+	staged []*wire.AuthVerifier
+	// advanced is closed and replaced whenever the verifier set grows
+	// (Advance, Stage); verifySince waits on it as the last resort
+	// when an answer matches nothing yet.
+	advanced chan struct{}
+}
+
+// ringEntry is a retired verifier with the sequence it was current
+// at.
+type ringEntry struct {
+	seq uint64
+	v   *wire.AuthVerifier
+}
+
+// ringRetain bounds the retired tail: how many superseded roots an
+// in-flight answer may still verify against.
+const ringRetain = 8
+
+// newVerifierRing wraps the initial commitment. Finalizes v's root;
+// v must not be mutated by the caller afterwards.
+func newVerifierRing(v *wire.AuthVerifier) *verifierRing {
+	v.Root()
+	return &verifierRing{cur: v, advanced: make(chan struct{})}
+}
+
+// Current returns the verifier of the latest commit, for chaining the
+// next update's clone from. Callers mutate the ring only through
+// Advance, never the returned verifier.
+func (r *verifierRing) Current() *wire.AuthVerifier {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.cur
+}
+
+// Advance installs next as the current commitment and retires the
+// previous one into the tail. next's root is finalized here, before
+// any concurrent Verify* can reach it; next must not be mutated by
+// the caller afterwards.
+func (r *verifierRing) Advance(next *wire.AuthVerifier) {
+	next.Root()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur != nil {
+		r.retired = append(r.retired, ringEntry{seq: r.curSeq, v: r.cur})
+	}
+	// Commits serialize under the System's write lock, so everything
+	// staged belongs to the window this Advance settles. Any staged
+	// root other than next (a sequential flush's mid-chain states)
+	// was a real, now superseded, server state: retire it at the
+	// outgoing verifier's floor so pins from before the window still
+	// accept it and pins after reject it.
+	for _, sv := range r.staged {
+		if sv != next {
+			r.retired = append(r.retired, ringEntry{seq: r.curSeq, v: sv})
+		}
+	}
+	r.staged = nil
+	if len(r.retired) > ringRetain {
+		r.retired = r.retired[len(r.retired)-ringRetain:]
+	}
+	r.cur = next
+	r.curSeq++
+	close(r.advanced)
+	r.advanced = make(chan struct{})
+}
+
+// Stage publishes an in-flight commit's root for verification before
+// the server's acknowledgment arrives. Call it after the frame is
+// handed to the transport; pair with Advance (acknowledged) or
+// Unstage (definitely rejected — the server never held the root).
+// v's root is finalized here; v must not be mutated afterwards.
+func (r *verifierRing) Stage(v *wire.AuthVerifier) {
+	v.Root()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Copy-on-write: readers iterate the slice they captured under
+	// RLock after releasing it.
+	next := make([]*wire.AuthVerifier, len(r.staged)+1)
+	copy(next, r.staged)
+	next[len(r.staged)] = v
+	r.staged = next
+	close(r.advanced)
+	r.advanced = make(chan struct{})
+}
+
+// Unstage withdraws a staged root after a definite rejection.
+func (r *verifierRing) Unstage(v *wire.AuthVerifier) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.unstageLocked(v)
+}
+
+func (r *verifierRing) unstageLocked(v *wire.AuthVerifier) {
+	for i, sv := range r.staged {
+		if sv == v {
+			// Copy-on-write, like Stage: never shift under a reader.
+			next := make([]*wire.AuthVerifier, 0, len(r.staged)-1)
+			next = append(next, r.staged[:i]...)
+			r.staged = append(next, r.staged[i+1:]...)
+			return
+		}
+	}
+}
+
+// pinSeq returns the sequence of the current commitment; a read
+// records it at pin time and verifies with it as the floor.
+func (r *verifierRing) pinSeq() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.curSeq
+}
+
+// ringVerifyWait bounds how long a failing verification waits for
+// in-flight commits to advance the ring before the failure is final.
+// Commit responses arrive well inside this on any healthy link; a
+// genuinely tampered answer only delays its own rejection.
+const ringVerifyWait = 250 * time.Millisecond
+
+// verifySince runs check against the current verifier and then the
+// retired tail, newest first, skipping entries older than minSeq —
+// roots the reader's pin already superseded must not resurrect a
+// replayed answer. The first acceptance wins. On total failure the
+// answer may be from a commit the server already applied but whose
+// response has not yet advanced this ring; verifySince waits
+// (bounded) for the next Advance and re-checks before declaring the
+// CURRENT verifier's error — that is the commitment the answer
+// should have matched. Callers that exclude concurrent commits (the
+// update pipeline under the System's write lock, readers under the
+// read-lock fallback) never wait: no Advance can occur, so the first
+// failure stands after the timeout, and with no writer racing there
+// is no failure to begin with on honest answers.
+func (r *verifierRing) verifySince(minSeq uint64, check func(*wire.AuthVerifier) error) error {
+	deadline := time.NewTimer(ringVerifyWait)
+	defer deadline.Stop()
+	for {
+		r.mu.RLock()
+		cur := r.cur
+		staged := r.staged
+		tail := r.retired
+		advanced := r.advanced
+		r.mu.RUnlock()
+		curErr := check(cur)
+		if curErr == nil {
+			return nil
+		}
+		// Staged roots are strictly newer than cur, so they satisfy
+		// any pin floor; newest first, like the tail.
+		for i := len(staged) - 1; i >= 0; i-- {
+			if check(staged[i]) == nil {
+				return nil
+			}
+		}
+		for i := len(tail) - 1; i >= 0; i-- {
+			if tail[i].seq < minSeq {
+				break
+			}
+			if check(tail[i].v) == nil {
+				return nil
+			}
+		}
+		select {
+		case <-advanced:
+			// A commit landed; the answer may verify against the new
+			// root. Loop and re-check.
+		case <-deadline.C:
+			return curErr
+		}
+	}
+}
+
+// verifyAnswerSince checks an answer with the reader's pinned
+// sequence as the acceptance floor.
+func (r *verifierRing) verifyAnswerSince(minSeq uint64, ans *wire.Answer) error {
+	return r.verifySince(minSeq, func(v *wire.AuthVerifier) error { return v.VerifyAnswer(ans) })
+}
+
+// verifyExtremeSince checks an extreme probe with the reader's pinned
+// sequence as the acceptance floor.
+func (r *verifierRing) verifyExtremeSince(minSeq uint64, lo, hi uint64, max bool, found bool, blockID int, block, proof []byte) error {
+	return r.verifySince(minSeq, func(v *wire.AuthVerifier) error {
+		return v.VerifyExtreme(lo, hi, max, found, blockID, block, proof)
+	})
+}
+
+// VerifyAnswer implements wire.Verifier (used by the shared remote
+// transport, which has no pin — core re-checks with the reader's
+// pinned floor).
+func (r *verifierRing) VerifyAnswer(ans *wire.Answer) error {
+	return r.verifyAnswerSince(0, ans)
+}
+
+// VerifyExtreme implements wire.Verifier.
+func (r *verifierRing) VerifyExtreme(lo, hi uint64, max bool, found bool, blockID int, block, proof []byte) error {
+	return r.verifyExtremeSince(0, lo, hi, max, found, blockID, block, proof)
+}
+
+// Root implements wire.Verifier: the latest committed root.
+func (r *verifierRing) Root() authtree.Digest { return r.Current().Root() }
+
+var _ wire.Verifier = (*verifierRing)(nil)

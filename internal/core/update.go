@@ -102,6 +102,9 @@ func (s *System) updateOnce(ctx context.Context, path *xpath.Path, q, newValue s
 		return 0, tm, true, nil
 	}
 	if err != nil || prep == nil {
+		// The prepare may have partially rewritten client tables
+		// before failing; republish so readers pin the live state.
+		s.publishLocked()
 		s.mu.Unlock()
 		return 0, tm, false, err
 	}
@@ -113,6 +116,16 @@ func (s *System) updateOnce(ctx context.Context, path *xpath.Path, q, newValue s
 		if prep.next != nil {
 			root := prep.next.Root()
 			prep.upd.NewRoot = root[:]
+		}
+		// Flush starts: bump the sequence BEFORE the send, so a reader
+		// whose answer reflects this update is guaranteed to observe
+		// the moved counter afterwards (the server cannot apply before
+		// the frame is sent). Stage the post-update root alongside, so
+		// an answer the server produces after applying — but before
+		// the ack returns — verifies without waiting on the ack.
+		s.updSeq.Add(1)
+		if prep.next != nil && s.ring != nil {
+			s.ring.Stage(prep.next)
 		}
 		start := time.Now()
 		err := s.Server.ApplyUpdate(ctx, prep.upd)
@@ -126,14 +139,21 @@ func (s *System) updateOnce(ctx context.Context, path *xpath.Path, q, newValue s
 				// worlds — a dedup ack if it landed, a fresh idempotent
 				// apply if it didn't.
 				s.pending = &pendingUpdate{upd: prep.upd, nextVerifier: prep.next, edits: prep.edits}
+				s.publishLocked()
 				s.mu.Unlock()
 				return 0, tm, false, errors.Join(err, ErrUpdatePending)
 			}
-			// Definite rejection: the server's state did not change.
+			// Definite rejection: the server's state did not change,
+			// so the staged root never existed server-side.
+			if prep.next != nil && s.ring != nil {
+				s.ring.Unstage(prep.next)
+			}
+			s.publishLocked()
 			s.mu.Unlock()
 			return 0, tm, false, err
 		}
 		s.commitUpdateLocked(prep.upd, prep.next)
+		s.publishLocked()
 		s.mu.Unlock()
 		return prep.edits, tm, false, nil
 	}
@@ -144,6 +164,10 @@ func (s *System) updateOnce(ctx context.Context, path *xpath.Path, q, newValue s
 	b := s.updBatch
 	qe := &queuedEdit{prep: prep, done: make(chan batchOutcome, 1)}
 	b.queue = append(b.queue, qe)
+	// Publish the enqueue: readers pinned from here on see this
+	// member's bands in the conflict fingerprint (and the rewritten
+	// transformer table that goes with them).
+	s.publishLocked()
 	enqueuedAt := time.Now()
 	if len(b.queue) >= b.size {
 		s.flushBatchLocked(ctx)
@@ -193,7 +217,7 @@ func (s *System) prepareUpdateLocked(ctx context.Context, path *xpath.Path, q, n
 	if s.mirrorExec != nil {
 		backend = Local{S: s.mirrorExec}
 	} else {
-		qs.WantProof = s.verifier != nil
+		qs.WantProof = s.ring != nil
 	}
 	ans, err := backend.Execute(ctx, qs)
 	if err != nil {
@@ -272,10 +296,13 @@ func (s *System) prepareUpdateLocked(ctx context.Context, path *xpath.Path, q, n
 
 	// With integrity enabled, precompute this member's post-state on
 	// a clone chained from its predecessor — the batch tail when
-	// anything is queued, the live verifier otherwise. The clone only
-	// replaces the live verifier once the server acks; a failed
+	// anything is queued, the ring's current verifier otherwise. The
+	// clone only advances the ring once the server acks; a failed
 	// update leaves the commitment at the pre-update state.
-	base := s.verifier
+	var base *wire.AuthVerifier
+	if s.ring != nil {
+		base = s.ring.Current()
+	}
 	if b := s.updBatch; b != nil && len(b.queue) > 0 {
 		base = b.queue[len(b.queue)-1].prep.next
 	}
@@ -301,14 +328,14 @@ func (s *System) prepareUpdateLocked(ctx context.Context, path *xpath.Path, q, n
 // verifier clone, apply the mirror, drop stale answers. Caller holds
 // the exclusive lock.
 func (s *System) commitUpdateLocked(upd *wire.Update, nextVerifier *wire.AuthVerifier) {
-	if nextVerifier != nil {
-		// Advance in place: remote.WithVerifier shares this instance,
-		// so the transport sees the new root without re-wiring. Safe
-		// under the exclusive lock held for the whole update. Finalize
-		// the (possibly deferred) root first — concurrent Verify calls
-		// on the shared instance must never find it dirty.
-		nextVerifier.Root()
-		*s.verifier = *nextVerifier
+	if nextVerifier != nil && s.ring != nil {
+		// Advance the ring: remote.WithVerifier shares the RING, so
+		// the transport sees the new root without re-wiring, while an
+		// answer produced against the pre-update root (a reader whose
+		// round trip this commit raced) still verifies against the
+		// retired tail. Advance finalizes the (possibly deferred)
+		// root before publication.
+		s.ring.Advance(nextVerifier)
 	}
 	s.mirrorUpdate(upd)
 	s.applyMirrorExec([]*wire.Update{upd})
@@ -382,6 +409,13 @@ func (s *System) Reconcile(ctx context.Context) (int, error) {
 		return 0, nil
 	}
 	p := s.pending
+	// The resend may land server-side whatever happens to the ack;
+	// readers in flight across it must re-pin (same rule as a flush).
+	s.updSeq.Add(1)
+	if p.nextVerifier != nil && s.ring != nil {
+		s.ring.Stage(p.nextVerifier)
+	}
+	defer s.publishLocked()
 	var err error
 	if p.batch != nil {
 		err = s.resendBatchLocked(ctx, p.batch)
@@ -397,6 +431,9 @@ func (s *System) Reconcile(ctx context.Context) (int, error) {
 		// state is unwound as far as possible — commitment and mirror
 		// stay at the pre-update state — and the caller decides
 		// whether to re-issue the whole edit.
+		if p.nextVerifier != nil && s.ring != nil {
+			s.ring.Unstage(p.nextVerifier)
+		}
 		s.pending = nil
 		return 0, err
 	}
@@ -405,9 +442,8 @@ func (s *System) Reconcile(ctx context.Context) (int, error) {
 			s.mirrorUpdate(u)
 		}
 		s.applyMirrorExec(p.batch.Updates)
-		if p.nextVerifier != nil {
-			p.nextVerifier.Root()
-			*s.verifier = *p.nextVerifier
+		if p.nextVerifier != nil && s.ring != nil {
+			s.ring.Advance(p.nextVerifier)
 		}
 		if s.staleCache != nil {
 			s.staleCache.Clear()

@@ -239,10 +239,10 @@ func TestBatchRecordReplaysAtomically(t *testing.T) {
 	if rec.Replayed != 1 {
 		t.Fatalf("replayed %d records, want 1 (the batch)", rec.Replayed)
 	}
-	if got := h2.db.Blocks[0]; len(got) != 3 || got[0] != 6 {
+	if got := h2.srv.CurrentDB().Blocks[0]; len(got) != 3 || got[0] != 6 {
 		t.Fatalf("block 0 after replay = %v (later member must win)", got)
 	}
-	if got := h2.db.Blocks[1]; len(got) != 2 || got[0] != 4 {
+	if got := h2.srv.CurrentDB().Blocks[1]; len(got) != 2 || got[0] != 4 {
 		t.Fatalf("block 1 after replay = %v", got)
 	}
 	// The dedup table is re-armed for the batch AND its members.
@@ -279,7 +279,7 @@ func TestCoalescedUpdatesAreDurable(t *testing.T) {
 		}
 	}
 	wantGen := h.srv.Generation()
-	lastCT := append([]byte(nil), h.db.Blocks[0]...)
+	lastCT := append([]byte(nil), h.srv.CurrentDB().Blocks[0]...)
 	ts.Close()
 	if err := svc.Close(); err != nil {
 		t.Fatal(err)
@@ -297,7 +297,7 @@ func TestCoalescedUpdatesAreDurable(t *testing.T) {
 	if rec := svc2.Recoveries()["hospital"]; rec.Replayed != 1 {
 		t.Fatalf("replayed %d records, want 1 (one record per group commit)", rec.Replayed)
 	}
-	if got := h2.db.Blocks[0]; string(got) != string(lastCT) {
+	if got := h2.srv.CurrentDB().Blocks[0]; string(got) != string(lastCT) {
 		t.Fatalf("block 0 after replay = %v, want %v", got, lastCT)
 	}
 	for i := 0; i < 4; i++ {

@@ -244,11 +244,17 @@ func (s *Service) ensureDurable(h *hosted, tk *walog.Ticket) error {
 // the snapshot already made the state durable.
 func (s *Service) checkpointLocked(h *hosted) error {
 	d := h.dur
+	// Pin the server's committed snapshot: under MVCC the upload-time
+	// db object goes stale the moment the first copy-on-write update
+	// commits, so the checkpoint must read the current generation's
+	// view. h.mu (held here) excludes the update paths, so the db,
+	// root and generation below describe one committed state.
+	db := h.srv.CurrentDB()
 	if len(d.dirty) > 0 {
 		batch := make(map[int][]byte, len(d.dirty))
 		for id := range d.dirty {
-			if id >= 0 && id < len(h.db.Blocks) {
-				batch[id] = h.db.Blocks[id]
+			if id >= 0 && id < len(db.Blocks) {
+				batch[id] = db.Blocks[id]
 			}
 		}
 		if err := d.blocks.PutBatch(batch); err != nil {
@@ -259,7 +265,7 @@ func (s *Service) checkpointLocked(h *hosted) error {
 	if err != nil {
 		return newPersistError(d.name, "checkpoint root", err)
 	}
-	snap, err := wire.MarshalSnapshot(h.db, h.srv.Generation(), root[:])
+	snap, err := wire.MarshalSnapshot(db, h.srv.Generation(), root[:])
 	if err != nil {
 		return newPersistError(d.name, "checkpoint snapshot", err)
 	}

@@ -231,7 +231,7 @@ func (s *Service) loadDB(fileName string) error {
 
 	srv := server.New(db)
 	srv.RestoreGeneration(snapGen)
-	h := newHosted(srv, db)
+	h := newHosted(srv)
 	dirty := map[int]struct{}{}
 	replayed, rootChecked := 0, false
 	var replayErr error

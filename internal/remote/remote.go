@@ -155,12 +155,13 @@ type Service struct {
 type hosted struct {
 	// mu serializes updates to this database (dedup check + apply +
 	// persist act as one step). Queries do NOT take it: the server
-	// carries its own reader/writer lock internally, so reads run
-	// concurrently with each other and are ordered against updates by
-	// that lock, not this one.
+	// publishes MVCC snapshots internally, so reads pin a generation
+	// and run lock-free against concurrent updates. The current
+	// generation's database view is h.srv.CurrentDB() — there is no
+	// cached db object here because the upload-time one goes stale
+	// the moment the first copy-on-write update commits.
 	mu  sync.Mutex
 	srv *server.Server
-	db  *wire.HostedDB
 	// seen is the request-ID dedup table: IDs of updates already
 	// applied, so a retry of a lost acknowledgment is answered
 	// without re-applying. Guarded by mu.
@@ -209,8 +210,8 @@ type hosted struct {
 	updFsyncNs   atomic.Int64
 }
 
-func newHosted(srv *server.Server, db *wire.HostedDB) *hosted {
-	return &hosted{srv: srv, db: db, seen: map[uint64]bool{}}
+func newHosted(srv *server.Server) *hosted {
+	return &hosted{srv: srv, seen: map[uint64]bool{}}
 }
 
 // rememberLocked enters a request ID into the dedup table, evicting
@@ -522,7 +523,7 @@ func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request, name stri
 	if canceled(w, r) {
 		return
 	}
-	h := newHosted(server.New(db), db)
+	h := newHosted(server.New(db))
 	s.mu.Lock()
 	old := s.dbs[name]
 	s.dbs[name] = h
@@ -550,7 +551,7 @@ func (s *Service) persistUpload(name string, h *hosted) error {
 	if err != nil {
 		return err
 	}
-	for id := range h.db.Blocks {
+	for id := range h.srv.CurrentDB().Blocks {
 		dur.dirty[id] = struct{}{}
 	}
 	h.dur = dur
@@ -1054,7 +1055,7 @@ func (s *Service) registerLocal(name string, db *wire.HostedDB) error {
 		return err
 	}
 	s.mu.Lock()
-	s.dbs[name] = newHosted(server.New(decoded), decoded)
+	s.dbs[name] = newHosted(server.New(decoded))
 	s.mu.Unlock()
 	return nil
 }
@@ -1092,7 +1093,7 @@ type Client struct {
 	// attempt — before the retry policy classifies the error — so a
 	// tampered response fails immediately (no retry, breaker tripped)
 	// rather than being mistaken for a transient fault.
-	verifier *wire.AuthVerifier
+	verifier wire.Verifier
 
 	rngMu sync.Mutex
 	rng   *rand.Rand // backoff jitter
@@ -1205,10 +1206,10 @@ func (c *Client) respLimit() int64 {
 
 // WithVerifier installs the owner's integrity verifier: every query
 // answer and extreme result is checked against its Merkle root
-// before being returned. The instance is shared with core.System, so
-// owner updates (which advance the root) are visible here without
-// re-dialing.
-func (c *Client) WithVerifier(v *wire.AuthVerifier) *Client {
+// before being returned. The instance is shared with core.System
+// (typically its live verifier ring), so owner updates (which
+// advance the root) are visible here without re-dialing.
+func (c *Client) WithVerifier(v wire.Verifier) *Client {
 	c.verifier = v
 	return c
 }

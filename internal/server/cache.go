@@ -139,11 +139,10 @@ func newEpoch() uint64 {
 }
 
 // Generation returns the current db generation (starts at 1, bumped
-// by every applied update).
+// by every applied update). Like every read it pins the committed
+// snapshot; the counter lives inside it.
 func (s *Server) Generation() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.gen
+	return s.current().gen
 }
 
 // Epoch returns the server's boot nonce.
@@ -156,11 +155,19 @@ func (s *Server) Epoch() uint64 { return s.epoch }
 // Only recovery may call this, before the server takes traffic;
 // moving the counter backwards is refused (caches key on it).
 func (s *Server) RestoreGeneration(gen uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if gen > s.gen {
-		s.gen = gen
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	cur := s.current()
+	if gen <= cur.gen {
+		return
 	}
+	// snapshot embeds a mutex, so republish a fresh struct sharing the
+	// immutable parts instead of copying the old one by value.
+	next := &snapshot{gen: gen, db: cur.db, index: cur.index, st: cur.st}
+	cur.authMu.Lock()
+	next.auth = cur.auth
+	cur.authMu.Unlock()
+	s.snap.Store(next)
 }
 
 // CacheStats snapshots the hit/miss/eviction counters of every
@@ -187,9 +194,7 @@ func (s *Server) ResetCaches() {
 // match — which is what the paper-reproduction benchmarks measure;
 // turning caching off also drops everything currently cached.
 func (s *Server) SetCaching(on bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.cachingOff = !on
+	s.cachingOff.Store(!on)
 	if !on {
 		s.caches.plans.Clear()
 		s.caches.ranges.Clear()

@@ -6,9 +6,9 @@ import (
 
 // Admission-control support: the server prices queries for the
 // overload layer (internal/admission) and exposes a cache-only lookup
-// the brownout controller's L2 mode serves from. Both run under the
-// read lock and touch no block bytes — pricing a request must stay
-// far cheaper than running it.
+// the brownout controller's L2 mode serves from. Both pin one
+// snapshot (no locks) and touch no block bytes — pricing a request
+// must stay far cheaper than running it.
 
 // costCeil bounds a single request's estimate so pathological inputs
 // cannot produce absurd admission currency; the gate additionally
@@ -30,9 +30,8 @@ const costCeil = 1 << 20
 // displacement, not wall time) and always >= 1. An unparseable frame
 // costs 1: it will be rejected cheaply downstream anyway.
 func (s *Server) EstimateFrameCost(frame []byte) int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	pl, err := s.planForFrameLocked(frame)
+	sn := s.current()
+	pl, err := s.planForFrame(sn, frame)
 	if err != nil || pl == nil {
 		return 1
 	}
@@ -41,10 +40,10 @@ func (s *Server) EstimateFrameCost(frame []byte) int64 {
 	// Anchor fan-out from the DSI table.
 	fanout := 0
 	if len(q.First.Labels) == 0 {
-		fanout = len(s.allIntervals)
+		fanout = len(sn.st.allIntervals)
 	} else {
 		for _, label := range q.First.Labels {
-			fanout += len(s.db.Table.Lookup(label))
+			fanout += len(sn.db.Table.Lookup(label))
 		}
 	}
 
@@ -52,7 +51,7 @@ func (s *Server) EstimateFrameCost(frame []byte) int64 {
 	occupancy := 0
 	for pred := range pl.predFP {
 		for _, r := range pred.Ranges {
-			occupancy += s.index.Count(r.Lo, r.Hi)
+			occupancy += sn.index.Count(r.Lo, r.Hi)
 		}
 	}
 
@@ -61,7 +60,7 @@ func (s *Server) EstimateFrameCost(frame []byte) int64 {
 	// heuristically so a point query stays near cost 1. Ceiling
 	// division keeps any nonzero signal worth at least one unit.
 	cost := int64(1) + int64(fanout+7)/8 + int64(occupancy+7)/8
-	if nb := int64(len(s.db.Blocks)); nb > 0 && cost > nb+1 {
+	if nb := int64(len(sn.db.Blocks)); nb > 0 && cost > nb+1 {
 		cost = nb + 1 // cannot touch more blocks than are hosted
 	}
 	if cost > costCeil {
@@ -70,15 +69,16 @@ func (s *Server) EstimateFrameCost(frame []byte) int64 {
 	return cost
 }
 
-// planForFrameLocked resolves (or compiles and caches) the frame's
-// plan, sharing the plan cache with execution so pricing a query
-// warms the very plan its execution reuses. Caller holds mu (read).
-func (s *Server) planForFrameLocked(frame []byte) (*plan, error) {
-	caching := !s.cachingOff
+// planForFrame resolves (or compiles and caches) the frame's plan
+// against the caller's pinned snapshot, sharing the plan cache with
+// execution so pricing a query warms the very plan its execution
+// reuses.
+func (s *Server) planForFrame(sn *snapshot, frame []byte) (*plan, error) {
+	caching := !s.cachingOff.Load()
 	var fp string
 	if caching {
 		fp = frameFingerprint(frame)
-		if v, ok := s.caches.plans.Get(s.epoch, s.gen, fp); ok {
+		if v, ok := s.caches.plans.Get(s.epoch, sn.gen, fp); ok {
 			return v.(*plan), nil
 		}
 	}
@@ -91,7 +91,7 @@ func (s *Server) planForFrameLocked(frame []byte) (*plan, error) {
 	}
 	pl := compilePlan(q)
 	if caching {
-		s.caches.plans.Put(s.epoch, s.gen, fp, pl, len(frame))
+		s.caches.plans.Put(s.epoch, sn.gen, fp, pl, len(frame))
 	}
 	return pl, nil
 }
@@ -104,12 +104,11 @@ func (s *Server) planForFrameLocked(frame []byte) (*plan, error) {
 // degraded answer verifies like any other. ok is false on a cache
 // miss or when caching is off.
 func (s *Server) CachedAnswer(frame []byte) (*wire.Answer, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.cachingOff {
+	if s.cachingOff.Load() {
 		return nil, false
 	}
-	v, ok := s.caches.answers.Get(s.epoch, s.gen, frameFingerprint(frame))
+	sn := s.current()
+	v, ok := s.caches.answers.Get(s.epoch, sn.gen, frameFingerprint(frame))
 	if !ok {
 		return nil, false
 	}

@@ -26,29 +26,30 @@ import (
 // interval are found by binary search (dsi.Within) rather than a
 // scan.
 
-// exec carries per-query state: pool is the query's worker budget
-// for the parallel fan-outs (see parallel.go), and rangeMemo
-// pointer-keys the range resolutions this query already holds so a
-// predicate evaluated against thousands of context intervals does
-// not even re-hash its fingerprint. The memo is only a fast path in
-// front of the server's generation-keyed range cache (cache.go) —
-// pointer identity is safe HERE because the memo dies with the
-// request, and gen pins the db state every resolution came from.
+// exec carries per-query state: sn is the snapshot the query pinned
+// (every db read goes through it, so the whole match sees one
+// generation), pool is the query's worker budget for the parallel
+// fan-outs (see parallel.go), and rangeMemo pointer-keys the range
+// resolutions this query already holds so a predicate evaluated
+// against thousands of context intervals does not even re-hash its
+// fingerprint. The memo is only a fast path in front of the server's
+// generation-keyed range cache (cache.go) — pointer identity is safe
+// HERE because the memo dies with the request, and the pinned
+// snapshot fixes the db state every resolution came from.
 type exec struct {
-	s    *Server
+	srv  *Server
+	sn   *snapshot
 	pl   *plan
-	gen  uint64
 	pool tokens
 
 	cacheMu   sync.Mutex
 	rangeMemo map[*wire.PredValue]map[int]bool
 }
 
-// newExec assumes the caller holds the server's read lock (the
-// worker width and generation are read without further
-// synchronization).
-func (s *Server) newExec(pl *plan) *exec {
-	return &exec{s: s, pl: pl, gen: s.gen, pool: newTokens(s.par), rangeMemo: map[*wire.PredValue]map[int]bool{}}
+// newExec binds a query execution to its pinned snapshot; no lock is
+// held — the snapshot is immutable and the worker width is atomic.
+func (s *Server) newExec(sn *snapshot, pl *plan) *exec {
+	return &exec{srv: s, sn: sn, pl: pl, pool: newTokens(int(s.par.Load())), rangeMemo: map[*wire.PredValue]map[int]bool{}}
 }
 
 // ivBufPool recycles the interval scratch slices the matcher chains
@@ -84,7 +85,7 @@ func (e *exec) matchFirst(st *wire.QStep) []dsi.Interval {
 				cands = append(cands, iv)
 				continue
 			}
-			if _, hasParent := e.s.forest.ParentOf(iv); !hasParent {
+			if _, hasParent := e.sn.st.forest.ParentOf(iv); !hasParent {
 				cands = append(cands, iv)
 			}
 		}
@@ -192,7 +193,7 @@ func (e *exec) batchStep(ctxs []dsi.Interval, st *wire.QStep, lists [][]dsi.Inte
 		if desc {
 			out = append(out, dsi.DescendantJoin(ctxs, list)...)
 		} else {
-			out = append(out, dsi.ChildJoin(e.s.forest, ctxs, list)...)
+			out = append(out, dsi.ChildJoin(e.sn.st.forest, ctxs, list)...)
 		}
 	}
 	return out, true
@@ -215,23 +216,23 @@ func (e *exec) matchRelative(ctx dsi.Interval, st *wire.QStep, upper bool) []dsi
 // standing for several adjacent same-tag siblings (§5.1.1), and the
 // server cannot rule that out — by design.
 func (e *exec) stepFrom(dst []dsi.Interval, ctx dsi.Interval, st *wire.QStep, lists [][]dsi.Interval, upper bool) []dsi.Interval {
-	f := e.s.forest
+	f := e.sn.st.forest
 	out := dst
 	switch st.Axis {
 	case xpath.AxisSelf:
-		if st.Labels == nil || e.s.hasAnyLabel(ctx, st.Labels) {
+		if st.Labels == nil || e.sn.hasAnyLabel(ctx, st.Labels) {
 			out = append(out, ctx)
 		}
 	case xpath.AxisParent:
 		if p, ok := f.ParentOf(ctx); ok {
-			if st.Labels == nil || e.s.hasAnyLabel(p, st.Labels) {
+			if st.Labels == nil || e.sn.hasAnyLabel(p, st.Labels) {
 				out = append(out, p)
 			}
 		}
 	case xpath.AxisAncestor, xpath.AxisAncestorOrSelf:
 		cur := ctx
 		if st.Axis == xpath.AxisAncestorOrSelf {
-			if st.Labels == nil || e.s.hasAnyLabel(cur, st.Labels) {
+			if st.Labels == nil || e.sn.hasAnyLabel(cur, st.Labels) {
 				out = append(out, cur)
 			}
 		}
@@ -240,7 +241,7 @@ func (e *exec) stepFrom(dst []dsi.Interval, ctx dsi.Interval, st *wire.QStep, li
 			if !ok {
 				break
 			}
-			if st.Labels == nil || e.s.hasAnyLabel(p, st.Labels) {
+			if st.Labels == nil || e.sn.hasAnyLabel(p, st.Labels) {
 				out = append(out, p)
 			}
 			cur = p
@@ -260,7 +261,7 @@ func (e *exec) stepFrom(dst []dsi.Interval, ctx dsi.Interval, st *wire.QStep, li
 				case iv.Equal(ctx):
 					// A grouped interval may hide several adjacent
 					// same-tag siblings; possible but never certain.
-					ok = upper && e.s.blockIDFor(ctx) >= 0
+					ok = upper && e.sn.blockIDFor(ctx) >= 0
 				case st.Axis == xpath.AxisFollowingSibling:
 					ok = f.FollowingSibling(ctx, iv)
 				default:
@@ -279,7 +280,7 @@ func (e *exec) stepFrom(dst []dsi.Interval, ctx dsi.Interval, st *wire.QStep, li
 		for _, list := range lists {
 			out = append(out, dsi.Within(list, ctx)...)
 		}
-		if st.Labels == nil || e.s.hasAnyLabel(ctx, st.Labels) {
+		if st.Labels == nil || e.sn.hasAnyLabel(ctx, st.Labels) {
 			out = append(out, ctx)
 		}
 	default: // child, attribute
@@ -303,19 +304,19 @@ func (e *exec) stepFrom(dst []dsi.Interval, ctx dsi.Interval, st *wire.QStep, li
 // the node test matches; a wildcard yields the full sorted universe.
 func (e *exec) labelLists(labels []string) [][]dsi.Interval {
 	if labels == nil {
-		return [][]dsi.Interval{e.s.allIntervals}
+		return [][]dsi.Interval{e.sn.st.allIntervals}
 	}
 	out := make([][]dsi.Interval, 0, len(labels))
 	for _, l := range labels {
-		if ivs := e.s.db.Table.Lookup(l); len(ivs) > 0 {
+		if ivs := e.sn.db.Table.Lookup(l); len(ivs) > 0 {
 			out = append(out, ivs)
 		}
 	}
 	return out
 }
 
-func (s *Server) hasAnyLabel(iv dsi.Interval, labels []string) bool {
-	for _, have := range s.labelsOf[iv] {
+func (sn *snapshot) hasAnyLabel(iv dsi.Interval, labels []string) bool {
+	for _, have := range sn.st.labelsOf[iv] {
 		for _, want := range labels {
 			if have == want {
 				return true
@@ -386,7 +387,7 @@ func (e *exec) filterPred(cands []dsi.Interval, p wire.QPred, upper bool) []dsi.
 func (e *exec) evalPred(ctx dsi.Interval, p wire.QPred, upper bool) bool {
 	switch v := p.(type) {
 	case *wire.PredExists:
-		if !upper && e.s.blockIDFor(ctx) >= 0 {
+		if !upper && e.sn.blockIDFor(ctx) >= 0 {
 			// An in-block context interval may be a group standing
 			// for several adjacent same-tag siblings (§5.1.1); a
 			// match found inside it proves existence for *some*
@@ -431,7 +432,7 @@ func (e *exec) evalValuePred(ctx dsi.Interval, v *wire.PredValue, upper bool) bo
 		return false
 	}
 	for _, tgt := range targets {
-		if n, ok := e.s.residueAt[tgt]; ok && !isPlaceholder(n) {
+		if n, ok := e.sn.st.residueAt[tgt]; ok && !isPlaceholder(n) {
 			if e.hasPlaceholderBelow(n) {
 				if upper {
 					return true
@@ -449,7 +450,7 @@ func (e *exec) evalValuePred(ctx dsi.Interval, v *wire.PredValue, upper bool) bo
 			continue
 		}
 		if e.isForestLeaf(tgt) && len(v.Ranges) > 0 {
-			if bid := e.s.blockIDFor(tgt); bid >= 0 && e.rangeBlocksFor(v)[bid] {
+			if bid := e.sn.blockIDFor(tgt); bid >= 0 && e.rangeBlocksFor(v)[bid] {
 				return true
 			}
 			continue
@@ -483,7 +484,7 @@ func (e *exec) hasPlaceholderBelow(n *xmltree.Node) bool {
 // iv — at table granularity the interval stands for leaf nodes only
 // (grouping merges adjacent leaves, so groups remain forest leaves).
 func (e *exec) isForestLeaf(iv dsi.Interval) bool {
-	inside := dsi.Within(e.s.allIntervals, iv)
+	inside := dsi.Within(e.sn.st.allIntervals, iv)
 	for _, in := range inside {
 		if !in.Equal(iv) {
 			return false
@@ -513,7 +514,7 @@ func (e *exec) rangeBlocksFor(v *wire.PredValue) map[int]bool {
 	if fp == "" {
 		fp = predFingerprint(v)
 	}
-	if cached, ok := e.s.caches.ranges.Get(e.s.epoch, e.gen, fp); ok {
+	if cached, ok := e.srv.caches.ranges.Get(e.srv.epoch, e.sn.gen, fp); ok {
 		blocks := cached.(map[int]bool)
 		e.rangeMemo[v] = blocks
 		return blocks
@@ -523,20 +524,20 @@ func (e *exec) rangeBlocksFor(v *wire.PredValue) map[int]bool {
 		if r.Empty() {
 			continue
 		}
-		for _, bid := range e.s.index.RangeBlocks(r.Lo, r.Hi) {
+		for _, bid := range e.sn.index.RangeBlocks(r.Lo, r.Hi) {
 			blocks[bid] = true
 		}
 	}
 	e.rangeMemo[v] = blocks
-	e.s.caches.ranges.Put(e.s.epoch, e.gen, fp, blocks, len(fp)+16*len(blocks))
+	e.srv.caches.ranges.Put(e.srv.epoch, e.sn.gen, fp, blocks, len(fp)+16*len(blocks))
 	return blocks
 }
 
 // blockIDFor locates the encryption block containing an interval via
 // binary search over the (disjoint, sorted) representative
 // intervals; -1 when the interval lies in the plaintext residue.
-func (s *Server) blockIDFor(iv dsi.Interval) int {
-	idx := s.blockIdx
+func (sn *snapshot) blockIDFor(iv dsi.Interval) int {
+	idx := sn.st.blockIdx
 	i := sort.Search(len(idx), func(i int) bool { return idx[i].iv.Lo > iv.Lo }) - 1
 	if i >= 0 && idx[i].iv.Contains(iv) {
 		return idx[i].id

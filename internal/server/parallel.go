@@ -97,19 +97,16 @@ func parallelFor(pool tokens, n int, fn func(i int)) {
 func defaultParallelism() int { return runtime.GOMAXPROCS(0) }
 
 // SetParallelism sets the matcher's worker-pool width; width <= 1
-// selects the sequential path. It is safe to call between queries.
+// selects the sequential path. It is safe to call at any time;
+// in-flight queries keep the width they started with.
 func (s *Server) SetParallelism(width int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if width < 1 {
 		width = 1
 	}
-	s.par = width
+	s.par.Store(int32(width))
 }
 
 // Parallelism reports the configured worker-pool width.
 func (s *Server) Parallelism() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.par
+	return int(s.par.Load())
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/authtree"
 	"repro/internal/btree"
@@ -20,41 +21,48 @@ import (
 	"repro/internal/xpath"
 )
 
-// Server hosts one database. It is safe for concurrent use: queries
-// and aggregate probes share a read lock, while updates (which swap
-// the value index and replace block ciphertexts) take the write
-// lock, so readers always see either the pre- or post-update state,
-// never a mix.
+// Server hosts one database under MVCC snapshot reads: every applied
+// update publishes a new immutable snapshot (copy-on-write block map
+// and value index over the shared structure), and queries pin one
+// snapshot for their whole lifetime. Readers never take a lock —
+// Execute, Extreme, ExtremeProof, cost estimation and the stats
+// accessors all run against whatever snapshot was current when they
+// started, so a writer building generation N+1 never stalls them.
+// Writers serialize among themselves on wmu and commit by swapping
+// the snapshot pointer; the "write lock" has shrunk to that swap.
 type Server struct {
-	// mu is the reader/writer gate described above. The structures
-	// built by New (forest, labelsOf, residueAt, allIntervals,
-	// blockIdx, the DSI table) are immutable after construction; only
-	// db.Blocks, db.IndexEntries, index and gen change, under mu.
-	mu sync.RWMutex
-	// par is the matcher's worker-pool width (see parallel.go).
-	par int
+	// snap is the current committed snapshot. Load pins a generation;
+	// Store (under wmu) publishes the next one. Old snapshots stay
+	// alive exactly as long as some in-flight reader pins them, then
+	// the garbage collector retires them — there is no explicit free.
+	snap atomic.Pointer[snapshot]
+	// wmu serializes snapshot publication: ApplyUpdateBatch and
+	// RestoreGeneration build the candidate off to the side under it,
+	// so two writers can never interleave their copy-on-write work.
+	wmu sync.Mutex
 
-	// gen is the monotonic db generation: 1 at boot, bumped by every
-	// successfully applied update (a reverted update restores the
-	// exact pre-update state, so it does not count). Every
-	// cross-query cache keys its contents under gen, and answers
-	// echo it to the client. Guarded by mu.
-	gen uint64
-	// epoch is the boot nonce answers echo alongside gen, so clients
-	// can tell a restarted server from a generation rollback.
-	// Immutable after New.
+	// par is the matcher's worker-pool width (see parallel.go).
+	par atomic.Int32
+
+	// epoch is the boot nonce answers echo alongside the generation,
+	// so clients can tell a restarted server from a generation
+	// rollback. Immutable after New.
 	epoch uint64
 	// caches carries compiled plans, range resolutions and whole
-	// answers across queries; see cache.go. cachingOff (guarded by
-	// mu) forces every query onto the cold path — benchmarks
-	// measuring the matcher itself flip it via SetCaching.
+	// answers across queries, keyed under (epoch, generation); see
+	// cache.go. cachingOff forces every query onto the cold path —
+	// benchmarks measuring the matcher itself flip it via SetCaching.
 	caches     *queryCaches
-	cachingOff bool
+	cachingOff atomic.Bool
+}
 
-	db     *wire.HostedDB
+// structure is the part of the hosted state that never changes after
+// New: updates in this extension are value-level and
+// structure-preserving (see wire.Update), so the interval forest, the
+// label inversion, the residue index and the block containment index
+// are built once and shared by every snapshot.
+type structure struct {
 	forest *dsi.Forest
-	index  *btree.Tree
-
 	// labelsOf inverts the DSI table: interval -> table labels.
 	labelsOf map[dsi.Interval][]string
 	// residueAt locates the residue node carrying an interval
@@ -65,12 +73,26 @@ type Server struct {
 	// blockIdx holds the (disjoint) block representative intervals
 	// sorted by Lo for O(log m) containment lookup.
 	blockIdx []blockRef
+}
 
-	// authMu guards the lazily built Merkle prover state. It is
-	// always acquired while already holding mu (read or write), so
-	// the state it caches matches the db generation the caller sees;
-	// updates advance it incrementally (a multi-leaf delta per batch)
-	// under the write lock, so it stays warm across updates.
+// snapshot is one committed generation of the hosted database. It is
+// immutable once published: the db holds this generation's own block
+// and index-entry slice headers (ciphertext byte slices are shared
+// across generations — updates replace whole slices, never mutate
+// bytes), the B-tree is the generation's value index, and st is the
+// shared immutable structure. Readers that pinned a snapshot may use
+// every part of it, including returned block ciphertexts, for as
+// long as they like — no later update can reach into it.
+type snapshot struct {
+	gen   uint64
+	db    *wire.HostedDB
+	index *btree.Tree
+	st    *structure
+
+	// authMu guards the lazily built Merkle prover for THIS
+	// generation. Once built the AuthState itself is immutable and
+	// proof generation needs no lock; updates seed the next
+	// snapshot's state incrementally from this one when it exists.
 	authMu sync.Mutex
 	auth   *wire.AuthState
 }
@@ -81,55 +103,77 @@ type blockRef struct {
 }
 
 // New boots a server from an uploaded database: it bulk-loads the
-// value index into a B-tree and builds the interval forest used by
-// the structural joins.
+// value index into a B-tree, builds the interval forest used by the
+// structural joins, and publishes generation 1. The snapshot takes
+// its own Blocks/IndexEntries slice headers, so an owner mutating
+// the uploaded HostedDB in place (the in-process mirror does) can
+// never tear a pinned reader.
 func New(db *wire.HostedDB) *Server {
-	s := &Server{
-		par:       defaultParallelism(),
-		gen:       1,
-		epoch:     newEpoch(),
-		caches:    newQueryCaches(),
-		db:        db,
+	st := &structure{
 		forest:    dsi.BuildForest(db.Table),
-		index:     btree.New(0),
 		labelsOf:  map[dsi.Interval][]string{},
 		residueAt: map[dsi.Interval]*xmltree.Node{},
 	}
-	for _, e := range db.IndexEntries {
-		s.index.Insert(e.Key, e.BlockID)
-	}
 	for label, ivs := range db.Table.ByTag {
 		for _, iv := range ivs {
-			s.labelsOf[iv] = append(s.labelsOf[iv], label)
+			st.labelsOf[iv] = append(st.labelsOf[iv], label)
 		}
 	}
 	for n, iv := range db.ResidueIntervals {
-		s.residueAt[iv] = n
+		st.residueAt[iv] = n
 	}
-	s.allIntervals = s.forest.Intervals()
+	st.allIntervals = st.forest.Intervals()
 	for id, rep := range db.BlockReps {
-		s.blockIdx = append(s.blockIdx, blockRef{iv: rep, id: id})
+		st.blockIdx = append(st.blockIdx, blockRef{iv: rep, id: id})
 	}
-	sort.Slice(s.blockIdx, func(i, j int) bool { return s.blockIdx[i].iv.Lo < s.blockIdx[j].iv.Lo })
+	sort.Slice(st.blockIdx, func(i, j int) bool { return st.blockIdx[i].iv.Lo < st.blockIdx[j].iv.Lo })
+
+	index := btree.New(0)
+	for _, e := range db.IndexEntries {
+		index.Insert(e.Key, e.BlockID)
+	}
+	s := &Server{
+		epoch:  newEpoch(),
+		caches: newQueryCaches(),
+	}
+	s.par.Store(int32(defaultParallelism()))
+	s.snap.Store(&snapshot{gen: 1, db: snapshotDB(db), index: index, st: st})
 	return s
 }
 
-// IndexHeight exposes the value index height (for stats/benchmarks).
-func (s *Server) IndexHeight() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.index.Height()
+// snapshotDB gives a snapshot its own view of the hosted database:
+// fresh Blocks and IndexEntries slice headers over the shared
+// (immutable) payloads, so neither owner-side mirror writes nor the
+// next generation's copy-on-write can reach a pinned reader.
+func snapshotDB(db *wire.HostedDB) *wire.HostedDB {
+	cp := *db
+	cp.Blocks = append([][]byte(nil), db.Blocks...)
+	cp.IndexEntries = append([]btree.Entry(nil), db.IndexEntries...)
+	return &cp
 }
+
+// current pins the committed snapshot. The returned snapshot is
+// immutable; callers may use it for their whole lifetime.
+func (s *Server) current() *snapshot { return s.snap.Load() }
+
+// CurrentDB returns the current snapshot's view of the hosted
+// database. The persistence layer reads it instead of the upload
+// object, which goes stale the moment the first copy-on-write update
+// commits. The returned object is immutable — callers must not write
+// to it.
+func (s *Server) CurrentDB() *wire.HostedDB { return s.current().db }
+
+// IndexHeight exposes the value index height (for stats/benchmarks).
+func (s *Server) IndexHeight() int { return s.current().index.Height() }
 
 // IndexSize exposes the number of value-index entries.
-func (s *Server) IndexSize() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.index.Len()
-}
+func (s *Server) IndexSize() int { return s.current().index.Len() }
 
-// NumBlocks returns the number of hosted encryption blocks.
-func (s *Server) NumBlocks() int { return len(s.db.Blocks) }
+// NumBlocks returns the number of hosted encryption blocks. It pins
+// the current snapshot like every other reader — the pre-MVCC
+// version read len(s.db.Blocks) with no synchronization at all,
+// racing ApplyUpdate's block replacement.
+func (s *Server) NumBlocks() int { return len(s.current().db.Blocks) }
 
 // ExtremeBlock serves MIN/MAX aggregates (§6.4): it returns the ID
 // of the block containing the smallest (max=false) or largest
@@ -137,18 +181,16 @@ func (s *Server) NumBlocks() int { return len(s.db.Blocks) }
 // makes this a single index probe; the server learns which block
 // holds the extreme value but not the value itself.
 func (s *Server) ExtremeBlock(lo, hi uint64, max bool) (int, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.extremeBlockLocked(lo, hi, max)
+	return s.current().extremeBlock(lo, hi, max)
 }
 
-func (s *Server) extremeBlockLocked(lo, hi uint64, max bool) (int, bool) {
+func (sn *snapshot) extremeBlock(lo, hi uint64, max bool) (int, bool) {
 	var e btree.Entry
 	var ok bool
 	if max {
-		e, ok = s.index.Last(lo, hi)
+		e, ok = sn.index.Last(lo, hi)
 	} else {
-		e, ok = s.index.First(lo, hi)
+		e, ok = sn.index.First(lo, hi)
 	}
 	if !ok {
 		return 0, false
@@ -157,53 +199,58 @@ func (s *Server) extremeBlockLocked(lo, hi uint64, max bool) (int, bool) {
 }
 
 // BlockCiphertext returns one hosted block by ID (for aggregate
-// answers that ship a single block).
+// answers that ship a single block). The returned bytes belong to
+// the pinned snapshot and are immutable: an update that replaces
+// this block publishes a new snapshot with a new slice, it never
+// writes into this one — holding the bytes across updates is safe.
 func (s *Server) BlockCiphertext(id int) ([]byte, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if id < 0 || id >= len(s.db.Blocks) {
+	sn := s.current()
+	if id < 0 || id >= len(sn.db.Blocks) {
 		return nil, false
 	}
-	return s.db.Blocks[id], true
+	return sn.db.Blocks[id], true
 }
 
 // Extreme implements core.Backend: ExtremeBlock plus the block's
-// ciphertext in one call, under a single read lock so the probe and
-// the shipped ciphertext come from the same index generation.
+// ciphertext in one call, against a single pinned snapshot so the
+// probe and the shipped ciphertext come from the same generation.
 func (s *Server) Extreme(lo, hi uint64, max bool) (int, []byte, bool, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	bid, found := s.extremeBlockLocked(lo, hi, max)
+	sn := s.current()
+	bid, found := sn.extremeBlock(lo, hi, max)
 	if !found {
 		return 0, nil, false, nil
 	}
-	if bid < 0 || bid >= len(s.db.Blocks) {
+	if bid < 0 || bid >= len(sn.db.Blocks) {
 		return 0, nil, false, fmt.Errorf("server: extreme entry references missing block %d", bid)
 	}
-	return bid, s.db.Blocks[bid], true, nil
+	return bid, sn.db.Blocks[bid], true, nil
 }
 
-// authState returns the Merkle prover state for the current db
-// generation, building it on first use. Callers must hold mu.
-func (s *Server) authState() (*wire.AuthState, error) {
-	s.authMu.Lock()
-	defer s.authMu.Unlock()
-	if s.auth == nil {
-		st, err := wire.BuildAuthState(s.db)
+// authState returns the Merkle prover state for this snapshot's
+// generation, building it on first use. The built state is immutable
+// and shared by every prover on this generation.
+func (sn *snapshot) authState() (*wire.AuthState, error) {
+	sn.authMu.Lock()
+	defer sn.authMu.Unlock()
+	if sn.auth == nil {
+		st, err := wire.BuildAuthState(sn.db)
 		if err != nil {
 			return nil, fmt.Errorf("server: auth state: %w", err)
 		}
-		s.auth = st
+		sn.auth = st
 	}
-	return s.auth, nil
+	return sn.auth, nil
+}
+
+// authState exposes the current snapshot's prover (tests use it).
+func (s *Server) authState() (*wire.AuthState, error) {
+	return s.current().authState()
 }
 
 // AuthRoot exposes the server's committed Merkle root (for startup
 // cross-checks against a client-supplied root and for tests).
 func (s *Server) AuthRoot() (authtree.Digest, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st, err := s.authState()
+	st, err := s.current().authState()
 	if err != nil {
 		return authtree.Digest{}, err
 	}
@@ -211,20 +258,21 @@ func (s *Server) AuthRoot() (authtree.Digest, error) {
 }
 
 // ExtremeProof is Extreme plus the Merkle verification object: the
-// probe, the returned block and the proof all come from the same
-// index generation under one read lock.
+// probe, the returned block and the proof all come from one pinned
+// snapshot, so they describe a single generation even while updates
+// commit concurrently. As with Extreme, the returned block bytes are
+// snapshot-owned and safe to hold indefinitely.
 func (s *Server) ExtremeProof(lo, hi uint64, max bool) (*wire.ExtremeResult, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	sn := s.current()
 	res := &wire.ExtremeResult{}
-	bid, found := s.extremeBlockLocked(lo, hi, max)
+	bid, found := sn.extremeBlock(lo, hi, max)
 	if found {
-		if bid < 0 || bid >= len(s.db.Blocks) {
+		if bid < 0 || bid >= len(sn.db.Blocks) {
 			return nil, fmt.Errorf("server: extreme entry references missing block %d", bid)
 		}
-		res.Found, res.BlockID, res.Block = true, bid, s.db.Blocks[bid]
+		res.Found, res.BlockID, res.Block = true, bid, sn.db.Blocks[bid]
 	}
-	st, err := s.authState()
+	st, err := sn.authState()
 	if err != nil {
 		return nil, err
 	}
@@ -246,10 +294,11 @@ func (s *Server) ExtremeProof(lo, hi uint64, max bool) (*wire.ExtremeResult, err
 // identical frame at the same db generation returns the cached
 // answer envelope without touching the matcher, and a previously
 // seen frame reuses its compiled plan. The whole lookup-or-execute
-// runs under the read lock, so the generation read, the execution
-// and the cache insert all see one db state — an update (which
-// holds the write lock while bumping the generation) can never
-// interleave and let a pre-update result be cached as post-update.
+// runs against one pinned snapshot, so the generation read, the
+// execution and the cache insert all see one db state — the
+// generation-keyed cache rejects inserts from a reader whose pinned
+// generation an update has meanwhile superseded, so a pre-update
+// result can never be cached as post-update.
 func (s *Server) Execute(q *wire.Query) (*wire.Answer, error) {
 	if q == nil || q.First == nil {
 		return nil, fmt.Errorf("server: empty query")
@@ -286,18 +335,20 @@ func (s *Server) executeFrame(ctx context.Context, frame []byte, parsed *wire.Qu
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	caching := !s.cachingOff
+	// Pin one snapshot for the whole query: lookup, plan, match,
+	// assemble and prove all see this generation, no matter how many
+	// updates commit while we run.
+	sn := s.current()
+	caching := !s.cachingOff.Load()
 	var fp string
 	if caching {
 		fp = frameFingerprint(frame)
-		if v, ok := s.caches.answers.Get(s.epoch, s.gen, fp); ok {
+		if v, ok := s.caches.answers.Get(s.epoch, sn.gen, fp); ok {
 			return copyAnswer(v.(*wire.Answer)), nil
 		}
 	}
 	var pl *plan
-	if v, ok := s.caches.plans.Get(s.epoch, s.gen, fp); caching && ok {
+	if v, ok := s.caches.plans.Get(s.epoch, sn.gen, fp); caching && ok {
 		pl = v.(*plan)
 	} else {
 		q := parsed
@@ -313,28 +364,31 @@ func (s *Server) executeFrame(ctx context.Context, frame []byte, parsed *wire.Qu
 		}
 		pl = compilePlan(q)
 		if caching {
-			s.caches.plans.Put(s.epoch, s.gen, fp, pl, len(frame))
+			s.caches.plans.Put(s.epoch, sn.gen, fp, pl, len(frame))
 		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ans, err := s.executePlan(ctx, pl)
+	ans, err := s.executePlan(ctx, sn, pl)
 	if err != nil {
 		return nil, err
 	}
-	ans.Epoch, ans.Generation = s.epoch, s.gen
+	ans.Epoch, ans.Generation = s.epoch, sn.gen
 	if caching {
-		s.caches.answers.Put(s.epoch, s.gen, fp, ans, ans.ByteSize())
+		// A stale reader's insert (pinned generation already
+		// superseded) is rejected by the cache's monotonic policy —
+		// the answer itself is still correct for the caller.
+		s.caches.answers.Put(s.epoch, sn.gen, fp, ans, ans.ByteSize())
 	}
 	return copyAnswer(ans), nil
 }
 
-// executePlan runs one compiled plan, abandoning it between stages if
-// ctx dies. Caller holds the read lock.
-func (s *Server) executePlan(ctx context.Context, pl *plan) (*wire.Answer, error) {
+// executePlan runs one compiled plan against one pinned snapshot,
+// abandoning it between stages if ctx dies.
+func (s *Server) executePlan(ctx context.Context, sn *snapshot, pl *plan) (*wire.Answer, error) {
 	q := pl.q
-	e := s.newExec(pl)
+	e := s.newExec(sn, pl)
 	anchors := e.matchFirst(q.First)
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -343,7 +397,7 @@ func (s *Server) executePlan(ctx context.Context, pl *plan) (*wire.Answer, error
 	if q.First.Next == nil {
 		surviving = make([]dsi.Interval, len(anchors))
 		for i, a := range anchors {
-			surviving[i] = s.lift(a, pl.lift)
+			surviving[i] = sn.lift(a, pl.lift)
 		}
 	} else {
 		// Anchor survival is the query's outer fan-out: each anchor
@@ -364,7 +418,7 @@ func (s *Server) executePlan(ctx context.Context, pl *plan) (*wire.Answer, error
 		}
 		for i, a := range anchors {
 			if alive[i] {
-				surviving = append(surviving, s.lift(a, pl.lift))
+				surviving = append(surviving, sn.lift(a, pl.lift))
 			}
 		}
 	}
@@ -372,7 +426,7 @@ func (s *Server) executePlan(ctx context.Context, pl *plan) (*wire.Answer, error
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ans, fragIvs, err := s.assemble(surviving)
+	ans, fragIvs, err := sn.assemble(surviving)
 	if err != nil {
 		return nil, err
 	}
@@ -380,7 +434,7 @@ func (s *Server) executePlan(ctx context.Context, pl *plan) (*wire.Answer, error
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		st, err := s.authState()
+		st, err := sn.authState()
 		if err != nil {
 			return nil, err
 		}
@@ -396,9 +450,9 @@ func (s *Server) executePlan(ctx context.Context, pl *plan) (*wire.Answer, error
 // lift walks n levels up the interval forest, stopping at a root;
 // it widens the anchor when the query can escape the anchor subtree
 // via parent or sibling axes.
-func (s *Server) lift(iv dsi.Interval, n int) dsi.Interval {
+func (sn *snapshot) lift(iv dsi.Interval, n int) dsi.Interval {
 	for ; n > 0; n-- {
-		p, ok := s.forest.ParentOf(iv)
+		p, ok := sn.st.forest.ParentOf(iv)
 		if !ok {
 			return iv
 		}
@@ -484,17 +538,19 @@ func walkPred(p wire.QPred, depth int, minDepth *int) {
 // second result gives each fragment's DSI interval (parallel to
 // Fragments), which the Merkle prover needs to locate the committed
 // leaves. Fragment bytes come from wire.SerializeFragment — the same
-// canonical serialization the auth leaves commit to.
-func (s *Server) assemble(anchors []dsi.Interval) (*wire.Answer, []dsi.Interval, error) {
+// canonical serialization the auth leaves commit to. Shipped block
+// slices alias the snapshot's immutable block table (see
+// BlockCiphertext for the aliasing argument).
+func (sn *snapshot) assemble(anchors []dsi.Interval) (*wire.Answer, []dsi.Interval, error) {
 	ans := &wire.Answer{}
 	var fragIvs []dsi.Interval
 	blockSet := map[int]bool{}
 	for _, a := range anchors {
-		if bid := s.blockIDFor(a); bid >= 0 {
+		if bid := sn.blockIDFor(a); bid >= 0 {
 			blockSet[bid] = true
 			continue
 		}
-		n, ok := s.residueAt[a]
+		n, ok := sn.st.residueAt[a]
 		if !ok {
 			// A grouped interval outside every block cannot occur:
 			// grouping only happens inside blocks.
@@ -515,7 +571,7 @@ func (s *Server) assemble(anchors []dsi.Interval) (*wire.Answer, []dsi.Interval,
 	sort.Ints(ids)
 	for _, id := range ids {
 		ans.BlockIDs = append(ans.BlockIDs, id)
-		ans.Blocks = append(ans.Blocks, s.db.Blocks[id])
+		ans.Blocks = append(ans.Blocks, sn.db.Blocks[id])
 	}
 	return ans, fragIvs, nil
 }

@@ -10,48 +10,58 @@ import (
 )
 
 // ApplyUpdate applies an owner-issued mutation: block ciphertexts
-// are replaced in place and the value index is rebuilt with the
-// dropped attribute bands removed and the replacement entries
-// inserted. Structure (DSI tables, block table, forest) is untouched
-// — updates in this extension are value-level and
-// structure-preserving (see wire.Update). The whole mutation runs
-// under the server's write lock, so concurrent queries see either
-// the old index and blocks or the new ones, never a mix.
+// are replaced and the value index is rebuilt with the dropped
+// attribute bands removed and the replacement entries inserted.
+// Structure (DSI tables, block table, forest) is untouched — updates
+// in this extension are value-level and structure-preserving (see
+// wire.Update). Under MVCC the mutation builds the next snapshot off
+// to the side and publishes it atomically: concurrent queries keep
+// running against the generation they pinned and are never blocked.
 func (s *Server) ApplyUpdate(u *wire.Update) error {
 	return s.ApplyUpdateBatch([]*wire.Update{u})
 }
 
 // ApplyUpdateBatch applies a group of updates as one atomic step: all
-// members commit or none do, under one acquisition of the write lock,
-// with ONE value-index rebuild, ONE incremental Merkle advance (a
-// multi-leaf delta over the whole batch — never a per-update
-// from-scratch BuildAuthState) and ONE generation bump. Members are
-// applied in order, so a later member's band replacement supersedes
-// an earlier one's, exactly as sequential ApplyUpdate calls would.
+// members commit or none do, with ONE value-index rebuild, ONE
+// incremental Merkle advance (a multi-leaf delta over the whole batch
+// — never a per-update from-scratch BuildAuthState) and ONE
+// generation bump. Members are applied in order, so a later member's
+// band replacement supersedes an earlier one's, exactly as sequential
+// ApplyUpdate calls would.
+//
+// Copy-on-write: the batch never mutates the committed snapshot. It
+// copies the block map header, folds the index entries, bulk-loads a
+// fresh B-tree when bands moved, and advances the auth state — all
+// into a candidate generation-N+1 snapshot. A validation or
+// root-check failure simply discards the candidate (there is nothing
+// to revert, the committed snapshot was never touched); success
+// publishes it with a single atomic store. Writers serialize on wmu;
+// readers pin whichever snapshot is current and proceed lock-free.
 //
 // Root cross-check: members are prepared against a chain (each sees
 // the state its predecessors produce), so only the final member's
 // NewRoot commits to the post-batch state and only it is checked.
 // A corrupted member anywhere makes that final root diverge, which
-// rejects — and reverts — the whole batch. Root-bearing members in
+// rejects — and discards — the whole batch. Root-bearing members in
 // non-final position (a replayed WAL record trimmed mid-chain) are
 // ignored: their roots describe states this batch never exposes.
 func (s *Server) ApplyUpdateBatch(us []*wire.Update) error {
 	if len(us) == 0 {
 		return fmt.Errorf("server: empty update batch")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Validate everything up front so most failures reject before any
-	// mutation (the root mismatch below is the one late revert).
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	cur := s.current()
+	// Validate everything up front against the committed snapshot;
+	// no state exists yet to clean up on failure.
 	for _, u := range us {
 		for _, b := range u.Blocks {
-			if b.ID < 0 || b.ID >= len(s.db.Blocks) {
+			if b.ID < 0 || b.ID >= len(cur.db.Blocks) {
 				return fmt.Errorf("server: update references unknown block %d", b.ID)
 			}
 		}
 		for _, e := range u.AddEntries {
-			if e.BlockID < 0 || e.BlockID >= len(s.db.Blocks) {
+			if e.BlockID < 0 || e.BlockID >= len(cur.db.Blocks) {
 				return fmt.Errorf("server: update entry references unknown block %d", e.BlockID)
 			}
 		}
@@ -60,37 +70,28 @@ func (s *Server) ApplyUpdateBatch(us []*wire.Update) error {
 		}
 	}
 
-	// Snapshot everything the batch touches so a failed root
-	// cross-check can revert to the exact pre-batch state. Block
-	// snapshots keep the FIRST-seen ciphertext: two members replacing
-	// the same block must restore the original, not the intermediate.
-	prevBlocks := map[int][]byte{}
 	touchIndex := false
 	for _, u := range us {
-		for _, b := range u.Blocks {
-			if _, ok := prevBlocks[b.ID]; !ok {
-				prevBlocks[b.ID] = s.db.Blocks[b.ID]
-			}
-		}
 		if len(u.DropBands) > 0 || len(u.AddEntries) > 0 {
 			touchIndex = true
 		}
 	}
-	prevIndex, prevEntries := s.index, s.db.IndexEntries
-	s.authMu.Lock()
-	prevAuth := s.auth
-	s.authMu.Unlock()
 
+	// Build generation N+1 off to the side. The new db shares every
+	// unchanged ciphertext slice with the old one; only the slice
+	// headers (and replaced positions) are fresh.
+	nextDB := snapshotDB(cur.db)
 	for _, u := range us {
 		for _, b := range u.Blocks {
-			s.db.Blocks[b.ID] = b.Ciphertext
+			nextDB.Blocks[b.ID] = b.Ciphertext
 		}
 	}
+	nextIndex := cur.index
 	if touchIndex {
 		// Fold the members' band replacements over the entry list in
 		// order, then bulk-load the B-tree once — the batched analogue
 		// of the per-update drop-and-rebuild.
-		entries := prevEntries
+		entries := cur.db.IndexEntries
 		for _, u := range us {
 			if len(u.DropBands) == 0 && len(u.AddEntries) == 0 {
 				continue
@@ -111,63 +112,50 @@ func (s *Server) ApplyUpdateBatch(us []*wire.Update) error {
 		for _, e := range entries {
 			rebuilt.Insert(e.Key, e.BlockID)
 		}
-		s.index = rebuilt
-		// Keep the upload mirror coherent for naive queries and stats.
-		s.db.IndexEntries = entries
+		nextIndex = rebuilt
+		nextDB.IndexEntries = entries
 	}
+	next := &snapshot{gen: cur.gen + 1, db: nextDB, index: nextIndex, st: cur.st}
 
-	// Advance the Merkle prover incrementally instead of dropping it:
-	// one multi-leaf delta replaces what used to be a full rebuild
-	// (wire round trip of the whole database) on the next proof. A
-	// never-built state stays lazy.
-	s.authMu.Lock()
-	if s.auth != nil {
-		next, err := s.auth.ApplyUpdates(us)
+	// Seed the candidate's Merkle prover incrementally from the
+	// committed one when it exists: one multi-leaf delta replaces what
+	// used to be a full rebuild (wire round trip of the whole
+	// database) on the next proof. A never-built state stays lazy.
+	cur.authMu.Lock()
+	prevAuth := cur.auth
+	cur.authMu.Unlock()
+	if prevAuth != nil {
+		adv, err := prevAuth.ApplyUpdates(us)
 		if err != nil {
-			s.authMu.Unlock()
-			s.revert(prevBlocks, prevIndex, prevEntries, prevAuth)
 			return fmt.Errorf("server: update auth advance: %w", err)
 		}
-		s.auth = next
+		next.auth = adv
 	}
-	s.authMu.Unlock()
 
 	if root := us[len(us)-1].NewRoot; len(root) > 0 {
 		// The client precomputed the post-batch root; recompute ours
-		// and refuse (restoring the pre-batch state) on mismatch, so a
-		// corrupted or truncated batch never becomes the committed
-		// generation.
-		st, err := s.authState()
+		// on the candidate and refuse on mismatch, so a corrupted or
+		// truncated batch never becomes the committed generation. The
+		// candidate is simply dropped — the committed snapshot was
+		// never touched.
+		st, err := next.authState()
 		if err != nil {
-			s.revert(prevBlocks, prevIndex, prevEntries, prevAuth)
 			return fmt.Errorf("server: update root check: %w", err)
 		}
 		got := st.Root()
 		if !bytes.Equal(got[:], root) {
-			s.revert(prevBlocks, prevIndex, prevEntries, prevAuth)
 			return fmt.Errorf("server: update rejected: recomputed root %x does not match client root %x",
 				got[:8], root[:8])
 		}
 	}
-	// The batch is committed: advance the generation ONCE so every
-	// cross-query cache (plans, range resolutions, answer envelopes —
-	// here and in clients echoing this counter) invalidates wholesale
-	// before the next query is served. A reverted batch restores the
-	// exact pre-batch state above and deliberately does NOT bump:
-	// caches built against that state are still correct.
-	s.gen++
+	// Publish: the one store below IS the commit. Every cross-query
+	// cache (plans, range resolutions, answer envelopes — here and in
+	// clients echoing this counter) invalidates wholesale because the
+	// new snapshot carries generation N+1; readers that pinned the old
+	// snapshot finish against it and their cache inserts for the old
+	// generation are rejected by the monotonic policy. A rejected
+	// batch never publishes and deliberately does NOT bump: caches
+	// built against the committed state are still correct.
+	s.snap.Store(next)
 	return nil
-}
-
-// revert restores the pre-batch block ciphertexts, value index,
-// upload mirror and Merkle prover state. Caller holds the write lock.
-func (s *Server) revert(prevBlocks map[int][]byte, prevIndex *btree.Tree, prevEntries []btree.Entry, prevAuth *wire.AuthState) {
-	for id, ct := range prevBlocks {
-		s.db.Blocks[id] = ct
-	}
-	s.index = prevIndex
-	s.db.IndexEntries = prevEntries
-	s.authMu.Lock()
-	s.auth = prevAuth
-	s.authMu.Unlock()
 }

@@ -13,9 +13,9 @@ import (
 // band's entries unchanged (a no-op content-wise, but it exercises
 // the whole drop-and-replace path).
 func bandUpdate(s *Server) *wire.Update {
-	band := uint8(s.db.IndexEntries[0].Key >> 56)
+	band := uint8(s.CurrentDB().IndexEntries[0].Key >> 56)
 	u := &wire.Update{RequestID: wire.NewRequestID(), DropBands: []uint8{band}}
-	for _, e := range s.db.IndexEntries {
+	for _, e := range s.CurrentDB().IndexEntries {
 		if uint8(e.Key>>56) == band {
 			u.AddEntries = append(u.AddEntries, e)
 		}
@@ -44,8 +44,8 @@ func TestApplyUpdateBatchAtomicAndIncremental(t *testing.T) {
 		t.Fatalf("batch bumped generation %d times, want 1", got-gen0)
 	}
 	// Later member wins the block wholesale.
-	if !bytes.Equal(s.db.Blocks[0], []byte{4, 5, 6}) {
-		t.Fatalf("block 0 = %v after batch", s.db.Blocks[0])
+	if !bytes.Equal(s.CurrentDB().Blocks[0], []byte{4, 5, 6}) {
+		t.Fatalf("block 0 = %v after batch", s.CurrentDB().Blocks[0])
 	}
 	if s.IndexSize() != preIndexLen {
 		t.Fatalf("index size %d, want %d", s.IndexSize(), preIndexLen)
@@ -60,7 +60,7 @@ func TestApplyUpdateBatchAtomicAndIncremental(t *testing.T) {
 	if postRoot == preRoot {
 		t.Fatal("batch did not change the root")
 	}
-	fresh, err := wire.BuildAuthState(s.db)
+	fresh, err := wire.BuildAuthState(s.CurrentDB())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,8 +104,8 @@ func TestApplyUpdateBatchRootMismatchRevertsAll(t *testing.T) {
 		t.Fatal(err)
 	}
 	gen0 := s.Generation()
-	prevCT := append([]byte(nil), s.db.Blocks[0]...)
-	prevEntries := len(s.db.IndexEntries)
+	prevCT := append([]byte(nil), s.CurrentDB().Blocks[0]...)
+	prevEntries := len(s.CurrentDB().IndexEntries)
 
 	good := &wire.Update{RequestID: 1, Blocks: []wire.BlockUpdate{{ID: 0, Ciphertext: []byte{9, 9}}}}
 	bad := bandUpdate(s)
@@ -116,10 +116,10 @@ func TestApplyUpdateBatchRootMismatchRevertsAll(t *testing.T) {
 
 	// EVERY member reverted — including the earlier, individually
 	// fine one — and nothing observable moved.
-	if !bytes.Equal(s.db.Blocks[0], prevCT) {
+	if !bytes.Equal(s.CurrentDB().Blocks[0], prevCT) {
 		t.Fatal("earlier member's block replacement survived the revert")
 	}
-	if len(s.db.IndexEntries) != prevEntries {
+	if len(s.CurrentDB().IndexEntries) != prevEntries {
 		t.Fatal("index entries changed across a reverted batch")
 	}
 	if got := s.Generation(); got != gen0 {

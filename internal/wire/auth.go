@@ -381,6 +381,18 @@ func (st *AuthState) ApplyUpdates(us []*Update) (*AuthState, error) {
 	return next, nil
 }
 
+// Verifier is what an answer transport needs from the owner's
+// integrity state: check answers and extreme probes, expose the
+// committed root. *AuthVerifier implements it directly; core wraps a
+// ring of recent verifiers behind the same interface so lock-free
+// readers can verify an answer produced just before a concurrent
+// commit advanced the root.
+type Verifier interface {
+	VerifyAnswer(ans *Answer) error
+	VerifyExtreme(lo, hi uint64, max bool, found bool, blockID int, block, proof []byte) error
+	Root() authtree.Digest
+}
+
 // AuthVerifier is the owner-side integrity state: the committed root
 // plus the leaf digest vector. All Verify* methods return an error
 // wrapping authtree.ErrTampered on any mismatch; ApplyUpdate
@@ -400,6 +412,8 @@ type AuthVerifier struct {
 	// the owner's exclusive lock.
 	dirty bool
 }
+
+var _ Verifier = (*AuthVerifier)(nil)
 
 // Root returns the currently committed root digest, rebuilding it
 // first when deferred ApplyUpdate calls left it trailing the leaves.

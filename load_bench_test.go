@@ -163,7 +163,7 @@ func loadGuard(path string) error {
 type loadUniverse struct {
 	svc       *remote.Service
 	ln        *memListener
-	verifier  *wire.AuthVerifier
+	verifier  wire.Verifier
 	clients   []*remote.Client // one per simulated client ID
 	bgClients []*remote.Client // slow-draining background readers
 	points    []*wire.Query    // Zipf-able interactive point queries

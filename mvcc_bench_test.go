@@ -1,0 +1,381 @@
+package repro
+
+// Reader latency under write load: the benchmark behind the MVCC
+// snapshot-read design. BenchmarkQueryUnderWriteLoad drives paced
+// writers through the full durable remote stack (HTTP transport, WAL
+// fsync, Merkle advance per commit) while concurrent readers run
+// verified queries, and reports the readers' p50/p99 latency at 0, 4
+// and 16 writers in two modes:
+//
+//   - mvcc:   the shipped design — queries pin an immutable snapshot
+//     and never wait for an update's round trip;
+//   - locked: a bench-local coarse RWMutex in front of the same
+//     System, writes holding the exclusive lock across the whole
+//     backend round trip — the pre-MVCC locking discipline.
+//
+// TestMain writes the rows to BENCH_mvcc.json when
+// SECXML_BENCH_MVCC_JSON is set; with SECXML_BENCH_MVCC_GUARD set the
+// run fails unless MVCC keeps its committed advantage: reader p99
+// under 16 writers at least mvccGuardFloor times better than the
+// locked baseline (a ratio, so the gate is stable across machines).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultfs"
+	"repro/internal/remote"
+	"repro/internal/xmltree"
+)
+
+// mvccRow is one (mode, writers) measurement for the JSON report.
+type mvccRow struct {
+	Benchmark    string  `json:"benchmark"`
+	Mode         string  `json:"mode"` // "mvcc" or "locked"
+	Writers      int     `json:"writers"`
+	Readers      int     `json:"readers"`
+	Reads        int     `json:"reads"`
+	Writes       int     `json:"writes"`
+	ReaderP50Ns  float64 `json:"reader_p50_ns"`
+	ReaderP99Ns  float64 `json:"reader_p99_ns"`
+	ReadsPerSec  float64 `json:"reads_per_sec"`
+	WritesPerSec float64 `json:"writes_per_sec"`
+}
+
+var (
+	mvccRowsMu sync.Mutex
+	mvccRows   []mvccRow
+)
+
+// recordMvcc stores one row, replacing an earlier measurement of the
+// same benchmark (the final calibration run wins).
+func recordMvcc(row mvccRow) {
+	mvccRowsMu.Lock()
+	defer mvccRowsMu.Unlock()
+	for i, r := range mvccRows {
+		if r.Benchmark == row.Benchmark {
+			mvccRows[i] = row
+			return
+		}
+	}
+	mvccRows = append(mvccRows, row)
+}
+
+// mvccGuardFloor is the acceptance bar: at 16 writers, MVCC reader
+// p99 must be at least this many times lower than the locked
+// baseline's.
+const mvccGuardFloor = 5.0
+
+// mvccGuard verifies this run's 16-writer rows hold the committed
+// advantage, and that the committed BENCH_mvcc.json exists and held
+// it too (so the artifact can't silently rot).
+func mvccGuard(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read committed baseline: %w", err)
+	}
+	var committed []mvccRow
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	ratioAt16 := func(rows []mvccRow, src string) (float64, error) {
+		var mvccP99, lockedP99 float64
+		for _, r := range rows {
+			if r.Writers != 16 {
+				continue
+			}
+			switch r.Mode {
+			case "mvcc":
+				mvccP99 = r.ReaderP99Ns
+			case "locked":
+				lockedP99 = r.ReaderP99Ns
+			}
+		}
+		if mvccP99 <= 0 || lockedP99 <= 0 {
+			return 0, fmt.Errorf("%s: missing 16-writer mvcc/locked rows", src)
+		}
+		return lockedP99 / mvccP99, nil
+	}
+	if ratio, err := ratioAt16(committed, path); err != nil {
+		return err
+	} else if ratio < mvccGuardFloor {
+		return fmt.Errorf("committed %s: locked/mvcc p99 ratio %.2fx at 16 writers, want >= %.1fx", path, ratio, mvccGuardFloor)
+	}
+	mvccRowsMu.Lock()
+	cur := append([]mvccRow(nil), mvccRows...)
+	mvccRowsMu.Unlock()
+	ratio, err := ratioAt16(cur, "this run")
+	if err != nil {
+		return err
+	}
+	if ratio < mvccGuardFloor {
+		return fmt.Errorf("reader p99 under 16 writers only %.2fx better than the RWMutex baseline, want >= %.1fx", ratio, mvccGuardFloor)
+	}
+	return nil
+}
+
+// wanRTT is the simulated client/server link delay the bench adds to
+// every HTTP request, reads and writes alike. The paper's experiments
+// (§7) put a simulated link between client and server for the same
+// reason: over raw loopback every round trip is CPU-bound and the
+// locking discipline — who waits while a commit is in flight — is
+// unmeasurable.
+const wanRTT = 1 * time.Millisecond
+
+// diskSyncLatency models the durable half of a commit. The paper's
+// setup (§7.1) is 2006-era hardware: a WAL fsync costs a rotational
+// seek, ~10-20 ms, where this container's filesystem makes fsync
+// nearly free and so under-represents every durable write. Reads
+// never fsync, so only the update round trip pays this — exactly the
+// asymmetry the locking discipline decides who waits for.
+const diskSyncLatency = 15 * time.Millisecond
+
+// slowDiskFS is faultfs.OS with diskSyncLatency added to every fsync
+// (file and directory alike), the two durability points of the WAL
+// and checkpoint paths.
+type slowDiskFS struct {
+	faultfs.OS
+}
+
+func (d slowDiskFS) OpenFile(path string, flag int, perm os.FileMode) (faultfs.File, error) {
+	f, err := d.OS.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return slowDiskFile{f}, nil
+}
+
+func (d slowDiskFS) SyncDir(path string) error {
+	time.Sleep(diskSyncLatency)
+	return d.OS.SyncDir(path)
+}
+
+type slowDiskFile struct {
+	faultfs.File
+}
+
+func (f slowDiskFile) Sync() error {
+	time.Sleep(diskSyncLatency)
+	return f.File.Sync()
+}
+
+// wanTransport adds wanRTT before forwarding a request.
+type wanTransport struct {
+	base http.RoundTripper
+}
+
+func (w wanTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t := time.NewTimer(wanRTT)
+	select {
+	case <-req.Context().Done():
+		t.Stop()
+		return nil, req.Context().Err()
+	case <-t.C:
+	}
+	return w.base.RoundTrip(req)
+}
+
+// mvccBenchHost boots an owner + durable service pair shaped for the
+// reader-latency measurement: `families` leaf families of `leaves`
+// encrypted leaves each, so one UpdateLeafValues commit re-encrypts
+// a whole family's blocks and replaces its index band — a realistic
+// multi-block write whose round trip (HTTP, WAL fsync, Merkle
+// advance) is long enough for the locking discipline to matter.
+// Readers touch only the cheap plaintext residue (//gname), so their
+// measured latency is lock wait plus transport, not decrypt work.
+// Batching is off: one frame, one fsync, one Merkle advance per
+// update, exactly the round trip a coarse lock holds readers out of.
+func mvccBenchHost(b *testing.B, families, leaves int) (*core.System, func()) {
+	b.Helper()
+	var sb strings.Builder
+	var scs []string
+	sb.WriteString("<db>")
+	for w := 0; w < families; w++ {
+		fmt.Fprintf(&sb, "<grp><gname>g%d</gname>", w)
+		for l := 0; l < leaves; l++ {
+			fmt.Fprintf(&sb, "<v%d>init%d</v%d>", w, l, w)
+		}
+		sb.WriteString("</grp>")
+		scs = append(scs, fmt.Sprintf("//v%d", w))
+	}
+	sb.WriteString("</db>")
+	doc, err := xmltree.ParseString(sb.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := core.Host(doc, scs, core.SchemeOpt, []byte("mvcc-reader-latency"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.EnableIntegrity(); err != nil {
+		b.Fatal(err)
+	}
+	sys.EnableBlockCache(0, 0)
+
+	svc, err := remote.NewPersistentServiceOpts(b.TempDir(), remote.PersistOptions{FS: slowDiskFS{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(svc)
+	hc := ts.Client()
+	hc.Transport = wanTransport{base: hc.Transport}
+	cl := remote.Dial(ts.URL, "bench").WithHTTPClient(hc).
+		WithVerifier(sys.Verifier())
+	if err := cl.Upload(context.Background(), sys.HostedDB); err != nil {
+		b.Fatal(err)
+	}
+	sys.UseBackend(cl)
+	sys.EnableMirrorReads()
+	return sys, func() {
+		ts.Close()
+		svc.Close()
+	}
+}
+
+// percentileNs picks the p-th percentile (0..1) of sorted latencies.
+func percentileNs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i].Nanoseconds())
+}
+
+// BenchmarkQueryUnderWriteLoad measures reader latency while writers
+// commit durable updates, per mode and writer count. Writers are
+// paced (a short think time between updates) so the workload is a
+// steady update stream rather than a saturation contest; readers run
+// closed-loop with a tiny think time and record every query's
+// latency.
+func BenchmarkQueryUnderWriteLoad(b *testing.B) {
+	const (
+		readerCount = 8
+		families    = 16 // leaf families; writers get one each
+		leavesPer   = 4  // blocks re-encrypted per commit
+		measureFor  = 1500 * time.Millisecond
+		writerPace  = 5 * time.Millisecond
+		readerPace  = 10 * time.Millisecond
+	)
+	for _, mode := range []string{"mvcc", "locked"} {
+		for _, writers := range []int{0, 4, 16} {
+			name := fmt.Sprintf("%s/%dwriters", mode, writers)
+			b.Run(name, func(b *testing.B) {
+				sys, cleanup := mvccBenchHost(b, families, leavesPer)
+				defer cleanup()
+
+				// The locked baseline serializes through this bench-local
+				// lock exactly the way the pre-MVCC System.mu did: queries
+				// share RLock, updates hold Lock across the full remote
+				// round trip.
+				var coarse sync.RWMutex
+				read := func(q string) error {
+					if mode == "locked" {
+						coarse.RLock()
+						defer coarse.RUnlock()
+					}
+					_, _, _, err := sys.Query(q)
+					return err
+				}
+				write := func(q, v string) error {
+					if mode == "locked" {
+						coarse.Lock()
+						defer coarse.Unlock()
+					}
+					_, _, err := sys.UpdateLeafValuesTimed(context.Background(), q, v)
+					return err
+				}
+
+				stop := make(chan struct{})
+				var writerWG sync.WaitGroup
+				var writesMu sync.Mutex
+				writes := 0
+				for w := 0; w < writers; w++ {
+					writerWG.Add(1)
+					go func(w int) {
+						defer writerWG.Done()
+						q := fmt.Sprintf("//v%d", w)
+						n := 0
+						for i := 0; ; i++ {
+							select {
+							case <-stop:
+								writesMu.Lock()
+								writes += n
+								writesMu.Unlock()
+								return
+							default:
+							}
+							if err := write(q, fmt.Sprintf("w%d-%d", w, i)); err != nil {
+								b.Error(err)
+								return
+							}
+							n++
+							time.Sleep(writerPace)
+						}
+					}(w)
+				}
+
+				lat := make([][]time.Duration, readerCount)
+				var readerWG sync.WaitGroup
+				b.ResetTimer()
+				start := time.Now()
+				for g := 0; g < readerCount; g++ {
+					readerWG.Add(1)
+					go func(g int) {
+						defer readerWG.Done()
+						for i := 0; time.Since(start) < measureFor; i++ {
+							q := fmt.Sprintf("//grp[gname='g%d']/gname", (g+i)%families)
+							t0 := time.Now()
+							if err := read(q); err != nil {
+								b.Error(err)
+								return
+							}
+							lat[g] = append(lat[g], time.Since(t0))
+							time.Sleep(readerPace)
+						}
+					}(g)
+				}
+				readerWG.Wait()
+				elapsed := time.Since(start)
+				close(stop)
+				writerWG.Wait()
+				b.StopTimer()
+				if b.Failed() {
+					return
+				}
+
+				var all []time.Duration
+				for _, l := range lat {
+					all = append(all, l...)
+				}
+				sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+				p50 := percentileNs(all, 0.50)
+				p99 := percentileNs(all, 0.99)
+				b.ReportMetric(p50, "p50-ns")
+				b.ReportMetric(p99, "p99-ns")
+				b.ReportMetric(float64(len(all))/elapsed.Seconds(), "reads/s")
+				recordMvcc(mvccRow{
+					Benchmark:    "QueryUnderWriteLoad/" + name,
+					Mode:         mode,
+					Writers:      writers,
+					Readers:      readerCount,
+					Reads:        len(all),
+					Writes:       writes,
+					ReaderP50Ns:  p50,
+					ReaderP99Ns:  p99,
+					ReadsPerSec:  float64(len(all)) / elapsed.Seconds(),
+					WritesPerSec: float64(writes) / elapsed.Seconds(),
+				})
+			})
+		}
+	}
+}
