@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos tamper fuzz fuzz-smoke difftest bench bench-parallel bench-cache bench-alloc alloc-guard bench-update update-guard bench-load load-guard bench-mvcc mvcc-guard mvcc-race overload-smoke cache-stress powercut soak soak-short soak-stream soak-stream-short soak-update soak-update-short profile fmt
+.PHONY: check vet build test race chaos tamper fuzz fuzz-smoke difftest bench bench-parallel bench-cache bench-alloc alloc-guard bench-update update-guard bench-load load-guard bench-mvcc mvcc-guard mvcc-race bench-plan plan-guard planner-diff overload-smoke cache-stress powercut soak soak-short soak-stream soak-stream-short soak-update soak-update-short profile fmt
 
 check: vet build race tamper fuzz-smoke cache-stress mvcc-race bench-cache overload-smoke powercut soak-short soak-stream-short soak-update-short
 
@@ -117,6 +117,25 @@ bench-mvcc:
 mvcc-guard:
 	SECXML_BENCH_MVCC_GUARD=BENCH_mvcc.json \
 		$(GO) test -bench QueryUnderWriteLoad -benchtime 1x -run '^$$' -timeout 600s .
+
+# Planner benchmarks: the twig-heavy / selective / worst-case suites
+# under forced twig vs forced pairwise strategies (answers asserted
+# byte-identical before timing); writes BENCH_plan.json.
+bench-plan:
+	SECXML_BENCH_PLAN_JSON=BENCH_plan.json \
+		$(GO) test -bench 'Plan$$' -benchtime 8x -run '^$$' .
+
+# Regression gate against the committed BENCH_plan.json: fails when
+# the twig-heavy speedup drops below half its committed value, or the
+# worst-case suite shows twig losing more than 30% to pairwise.
+plan-guard:
+	SECXML_BENCH_PLAN_GUARD=BENCH_plan.json \
+		$(GO) test -bench 'TwigHeavyPlan|WorstCasePlan' -benchtime 5x -run '^$$' .
+
+# Differential planner check: every difftest corpus case under both
+# forced strategies — byte-identical answers, identical Merkle proofs.
+planner-diff:
+	$(GO) test -race -count=1 -run TestDifferentialPlannerStrategies ./internal/difftest/
 
 # Sustained-load overload measurement: calibrates the host's shed-free
 # knee, then runs open-loop 1x/2x/4x phases (Zipf mix, mixed priority

@@ -341,6 +341,17 @@ func TestMain(m *testing.M) {
 			code = 1
 		}
 	}
+	if v := os.Getenv("SECXML_BENCH_PLAN_JSON"); v != "" && len(planRows) > 0 {
+		if !writeBenchJSON(v, "BENCH_plan.json", planReportData()) && code == 0 {
+			code = 1
+		}
+	}
+	if v := os.Getenv("SECXML_BENCH_PLAN_GUARD"); v != "" && len(planRows) > 0 {
+		if err := planGuard(v); err != nil {
+			fmt.Fprintf(os.Stderr, "planner speedup guard: %v\n", err)
+			code = 1
+		}
+	}
 	if v := os.Getenv("SECXML_BENCH_LOAD_JSON"); v != "" && len(loadRows) > 0 {
 		if !writeBenchJSON(v, "BENCH_load.json", loadRows) && code == 0 {
 			code = 1

@@ -49,6 +49,7 @@ func main() {
 	stream := flag.Bool("stream", false, "negotiate chunked answer streaming with the server (requires -remote; large answers only, see xserve -stream-cutoff)")
 	integrity := flag.Bool("integrity", false, "verify every remote answer against a local Merkle commitment (requires -remote)")
 	xmlOut := flag.Bool("xml", false, "print results as XML instead of string values")
+	planner := flag.String("planner", "auto", "force the in-process planner strategy: auto, twig, or pairwise (answers are identical; with -remote, set it on the server instead)")
 	var scs multiFlag
 	flag.Var(&scs, "sc", "security constraint (repeatable)")
 	flag.Parse()
@@ -99,6 +100,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if err := db.ForcePlannerStrategy(*planner); err != nil {
+		fatal(err)
+	}
 
 	for _, q := range flag.Args() {
 		res, err := db.Query(q)
@@ -116,8 +120,12 @@ func main() {
 			fmt.Printf("  %s\n", l)
 		}
 		tm := res.Timings
-		fmt.Printf("  [%d results | translate %v | server %v | transmit %v | decrypt %v | post %v | %d blocks, %d bytes]\n",
-			res.Count(), tm.ClientTranslate, tm.ServerExec, tm.Transmit,
+		strat := tm.PlanStrategy
+		if strat == "" {
+			strat = "?"
+		}
+		fmt.Printf("  [%d results | plan %s | translate %v | server %v | transmit %v | decrypt %v | post %v | %d blocks, %d bytes]\n",
+			res.Count(), strat, tm.ClientTranslate, tm.ServerExec, tm.Transmit,
 			tm.ClientDecrypt, tm.ClientPost, tm.BlocksShipped, tm.AnswerBytes)
 		if *naive {
 			nres, err := db.NaiveQuery(q)
@@ -217,8 +225,12 @@ func runRemote(f *os.File, scs []string, key, schemeName string, rc remoteConfig
 		if tm.Streamed {
 			streamNote = fmt.Sprintf(" | streamed %d chunks", tm.StreamChunks)
 		}
-		fmt.Printf("  [%d results | server+network %v | %d blocks, %d bytes%s%s]\n",
-			len(nodes), tm.ServerExec, tm.BlocksShipped, tm.AnswerBytes, streamNote, staleNote)
+		strat := tm.PlanStrategy
+		if strat == "" {
+			strat = "?"
+		}
+		fmt.Printf("  [%d results | plan %s | server+network %v | %d blocks, %d bytes%s%s]\n",
+			len(nodes), strat, tm.ServerExec, tm.BlocksShipped, tm.AnswerBytes, streamNote, staleNote)
 	}
 }
 

@@ -63,6 +63,7 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 0, "updates between full checkpoints truncating the WAL (0 = default 64)")
 	chaosRate := flag.Float64("chaos", 0, "inject faults (latency/5xx/truncation) at this rate per request — testing only")
 	chaosSeed := flag.Int64("chaos-seed", 1, "deterministic seed for -chaos")
+	planner := flag.String("planner", "auto", "force the query planner strategy: auto, twig, or pairwise (answers are identical; debugging/benchmarking)")
 	demo := flag.String("demo", "", "optional XML file to encrypt and pre-host")
 	name := flag.String("name", "demo", "database name for the pre-hosted document")
 	key := flag.String("key", "", "master key for the pre-hosted document")
@@ -118,6 +119,12 @@ func main() {
 		svc = svc.WithUpdateBatching(*updateBatchSize, *updateMaxWait)
 		fmt.Printf("update batching: up to %d members per group commit (max wait %v)\n",
 			*updateBatchSize, *updateMaxWait)
+	}
+	if _, err := svc.WithPlannerStrategy(*planner); err != nil {
+		log.Fatal(err)
+	}
+	if *planner != "auto" {
+		fmt.Printf("planner: strategy forced to %s\n", *planner)
 	}
 
 	if *demo != "" {

@@ -481,6 +481,19 @@ func (s *System) UseBackend(b Backend) {
 	s.publishLocked()
 }
 
+// ForcePlannerStrategy pins the in-process server's twig-vs-pairwise
+// planner choice ("auto", "twig" or "pairwise") — the xquery -planner
+// debug control. Answers are byte-identical under every mode. Only
+// meaningful with the in-process backend; a remote server's planner
+// is controlled by its own -planner flag (xserve).
+func (s *System) ForcePlannerStrategy(mode string) error {
+	l, ok := s.Server.(Local)
+	if !ok {
+		return fmt.Errorf("core: planner strategy is server-side; set it on the remote server (xserve -planner)")
+	}
+	return l.S.ForceStrategy(mode)
+}
+
 // EnableMirrorReads opts the update pipeline into serving its read
 // half from an owner-side replica instead of the backend. The owner
 // already holds a byte-exact mirror of the hosted state (HostedDB,
@@ -533,6 +546,15 @@ type Timings struct {
 	// level (0 = full service) at answer time.
 	Degraded      bool
 	BrownoutLevel int
+
+	// PlanStrategy and PlanEstimate echo the server planner's report
+	// for this query: which execution strategy produced the answer
+	// ("twig" = holistic twig match over the structure synopsis,
+	// "pairwise" = classic per-step interval joins) and the plan's
+	// admission-cost estimate. Empty/zero when the backend predates
+	// the planner or the answer came from the stale cache.
+	PlanStrategy string
+	PlanEstimate int64
 
 	// Generation and Epoch echo the server's db generation counter
 	// and boot nonce as carried by this query's answer (zero when the
@@ -751,6 +773,7 @@ func (s *System) queryAttempt(ctx context.Context, sn *readSnap, path *xpath.Pat
 	tm.Transmit = s.Link.TransferTime(tm.AnswerBytes)
 	if !tm.Stale {
 		tm.Generation, tm.Epoch = ans.Generation, ans.Epoch
+		tm.PlanStrategy, tm.PlanEstimate = ans.PlanStrategy, ans.PlanCost
 	}
 	tm.Degraded, tm.BrownoutLevel = respMeta.Degraded, respMeta.BrownoutLevel
 

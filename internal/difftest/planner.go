@@ -1,0 +1,80 @@
+package difftest
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/wire"
+	"repro/internal/xpath"
+)
+
+// RunCasePlanner is the planner's differential harness: every case
+// query runs twice against the same hosted system — once with the
+// planner forced to the holistic twig strategy, once forced to the
+// classic pairwise interval joins — and the two answers must be
+// byte-identical on the wire. MarshalAnswer includes the Merkle
+// proof, so byte-equality covers the proofs too; both are also
+// independently verified against the committed root. Caching is off
+// so both runs really execute the matcher instead of replaying an
+// envelope.
+//
+// This is the twig matcher's soundness contract tested mechanically:
+// the synopsis pass may only prune interval lists, never change what
+// the surviving anchors assemble to.
+func RunCasePlanner(c *Case) error {
+	for _, name := range Schemes {
+		sys, err := hostScheme(c, name, c.Doc)
+		if err != nil {
+			return err
+		}
+		l, ok := sys.Server.(core.Local)
+		if !ok {
+			return fmt.Errorf("seed %d (%s): scheme %s: backend is not in-process", c.Seed, c.DocName, name)
+		}
+		srv := l.S
+		srv.SetCaching(false)
+		ver := sys.Verifier()
+		for _, q := range c.Queries {
+			path, err := xpath.Parse(q)
+			if err != nil {
+				return fmt.Errorf("seed %d (%s): parse %q: %w", c.Seed, c.DocName, q, err)
+			}
+			qs, err := sys.Client.Translate(path)
+			if err != nil {
+				return fmt.Errorf("seed %d (%s): scheme %s: translate %q: %w", c.Seed, c.DocName, name, q, err)
+			}
+			qs.WantProof = true
+			frame, err := wire.MarshalQuery(qs)
+			if err != nil {
+				return fmt.Errorf("seed %d (%s): scheme %s: marshal %q: %w", c.Seed, c.DocName, name, q, err)
+			}
+			modes := []string{server.StrategyTwig, server.StrategyPairwise}
+			wires := make([][]byte, len(modes))
+			for i, mode := range modes {
+				if err := srv.ForceStrategy(mode); err != nil {
+					return fmt.Errorf("seed %d (%s): force %s: %w", c.Seed, c.DocName, mode, err)
+				}
+				ans, err := srv.ExecuteFrame(frame)
+				if err != nil {
+					return fmt.Errorf("seed %d (%s): scheme %s query %q (%s): %w",
+						c.Seed, c.DocName, name, q, mode, err)
+				}
+				if err := ver.VerifyAnswer(ans); err != nil {
+					return fmt.Errorf("seed %d (%s): scheme %s query %q (%s): proof rejected: %w",
+						c.Seed, c.DocName, name, q, mode, err)
+				}
+				if wires[i], err = wire.MarshalAnswer(ans); err != nil {
+					return fmt.Errorf("seed %d (%s): scheme %s query %q (%s): marshal answer: %w",
+						c.Seed, c.DocName, name, q, mode, err)
+				}
+			}
+			if !bytes.Equal(wires[0], wires[1]) {
+				return fmt.Errorf("seed %d (%s): scheme %s query %q: twig and pairwise answers differ on the wire (%d vs %d bytes)",
+					c.Seed, c.DocName, name, q, len(wires[0]), len(wires[1]))
+			}
+		}
+	}
+	return nil
+}

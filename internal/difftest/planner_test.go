@@ -1,0 +1,24 @@
+package difftest
+
+import "testing"
+
+// TestDifferentialPlannerStrategies runs the fixed corpus through the
+// planner's differential mode: every query of every case, under every
+// scheme, executed with the planner forced to twig and then forced to
+// pairwise, asserting the two wire answers (Merkle proof included)
+// are byte-identical and that both proofs verify.
+func TestDifferentialPlannerStrategies(t *testing.T) {
+	seeds := corpusSeeds
+	if testing.Short() {
+		seeds = seeds[:4]
+	}
+	for _, seed := range seeds {
+		c := GenCase(seed)
+		t.Run(c.DocName+"/"+itoa(seed), func(t *testing.T) {
+			t.Parallel()
+			if err := RunCasePlanner(c); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

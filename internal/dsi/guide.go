@@ -1,0 +1,128 @@
+package dsi
+
+// The guide is a strong-DataGuide-style structure synopsis over the
+// DSI table: every table interval is assigned to exactly one *path
+// class* — the equivalence class of intervals reached from a forest
+// root through the same sequence of table labels. Two properties make
+// it useful to the server's query planner:
+//
+//   - It is exact at class granularity: an interval's forest parent
+//     always lies in the class's parent class, so label-path
+//     reachability questions ("can anything under this class have a
+//     'reference/source' descendant?") are decidable from the guide
+//     alone, without touching a single interval.
+//   - It is small: its size is the number of *distinct label paths*
+//     of the hosted document, which for real documents is orders of
+//     magnitude below the interval count. Walking the whole guide per
+//     query is cheap; walking the whole interval table is not.
+//
+// Grouping does not disturb the guide: a grouped interval carries the
+// run's (single) tag label and sits at the run's position in the
+// forest, so it lands in the same class its members would have.
+//
+// The guide is built once per hosted structure. Updates in this
+// extension are value-level and structure-preserving, so the guide is
+// immutable for the lifetime of the hosted database and can be shared
+// by every MVCC snapshot; the per-generation half of the synopsis
+// (value-index band occupancy) lives with the snapshot instead.
+type Guide struct {
+	nodes []GuideNode
+	roots []int32
+	// classOf maps each table interval to its (single) class.
+	classOf map[Interval]int32
+}
+
+// GuideNode is one path class of the guide.
+type GuideNode struct {
+	// Label is the DSI table label every interval of the class is
+	// filed under (encrypted for encrypted tags — the guide sees only
+	// what the server sees).
+	Label string
+	// Parent is the parent class index, -1 for root classes.
+	Parent int32
+	// Children are the classes whose intervals are forest children of
+	// this class's intervals.
+	Children []int32
+	// Intervals are the class members, Lo-sorted (a subsequence of the
+	// table's sorted order, so Within's binary-search contract holds).
+	Intervals []Interval
+}
+
+// BuildGuide derives the path-class synopsis from a DSI table and its
+// interval forest. It returns nil when some interval is filed under
+// more than one table label — then the single-class-per-interval
+// invariant the planner's pruning relies on does not hold and callers
+// must treat the structure as having no synopsis. (The builder never
+// produces such tables: each node contributes its one tag label.)
+func BuildGuide(t *Table, f *Forest) *Guide {
+	labelOf := make(map[Interval]string, f.Size())
+	for label, ivs := range t.ByTag {
+		for _, iv := range ivs {
+			if prev, ok := labelOf[iv]; ok && prev != label {
+				return nil
+			}
+			labelOf[iv] = label
+		}
+	}
+	g := &Guide{classOf: make(map[Interval]int32, f.Size())}
+	type classKey struct {
+		parent int32
+		label  string
+	}
+	classIdx := map[classKey]int32{}
+	// Forest items are ordered containers-first, so a parent's class
+	// exists before any of its children are classified.
+	for _, it := range f.items {
+		iv := it.iv
+		label, ok := labelOf[iv]
+		if !ok {
+			return nil // table and forest disagree; no synopsis
+		}
+		parent := int32(-1)
+		if it.parent >= 0 {
+			parent = g.classOf[f.items[it.parent].iv]
+		}
+		key := classKey{parent: parent, label: label}
+		ci, ok := classIdx[key]
+		if !ok {
+			ci = int32(len(g.nodes))
+			g.nodes = append(g.nodes, GuideNode{Label: label, Parent: parent})
+			classIdx[key] = ci
+			if parent < 0 {
+				g.roots = append(g.roots, ci)
+			} else {
+				g.nodes[parent].Children = append(g.nodes[parent].Children, ci)
+			}
+		}
+		g.nodes[ci].Intervals = append(g.nodes[ci].Intervals, iv)
+		g.classOf[iv] = ci
+	}
+	// Forest iteration is (Lo asc, Hi desc)-ordered, so each class's
+	// member list is already Lo-sorted.
+	return g
+}
+
+// NumClasses returns the number of path classes (distinct label
+// paths) in the guide.
+func (g *Guide) NumClasses() int { return len(g.nodes) }
+
+// Node returns the class with index ci.
+func (g *Guide) Node(ci int32) *GuideNode { return &g.nodes[ci] }
+
+// Roots returns the root class indexes.
+func (g *Guide) Roots() []int32 { return g.roots }
+
+// ClassOf returns the class index of a table interval, -1 when the
+// interval is not in the table.
+func (g *Guide) ClassOf(iv Interval) int32 {
+	if ci, ok := g.classOf[iv]; ok {
+		return ci
+	}
+	return -1
+}
+
+// Count returns the number of intervals in class ci — the planner's
+// DSI interval-group cardinality for the class's label path. Grouping
+// makes this a lower bound on the node count, which is exactly the
+// granularity the server is allowed to see.
+func (g *Guide) Count(ci int32) int { return len(g.nodes[ci].Intervals) }

@@ -1,0 +1,66 @@
+package dsi
+
+import "testing"
+
+// TestBuildGuideClasses pins the path-class semantics on a hand-built
+// laminar family: same (parent class, label) pairs merge into one
+// class, the same label under different parents splits, and the
+// parent pointers mirror the forest.
+func TestBuildGuideClasses(t *testing.T) {
+	a := Interval{Lo: 0, Hi: 1}
+	b1 := Interval{Lo: 0.1, Hi: 0.2}
+	b2 := Interval{Lo: 0.3, Hi: 0.4}
+	c1 := Interval{Lo: 0.12, Hi: 0.15} // c under first b
+	c2 := Interval{Lo: 0.32, Hi: 0.35} // c under second b — same class as c1 (same parent CLASS)
+	d := Interval{Lo: 0.5, Hi: 0.6}    // c directly under a — different parent class, own class
+	tb := &Table{ByTag: map[string][]Interval{
+		"a": {a},
+		"b": {b1, b2},
+		"c": {c1, c2, d},
+	}}
+	f := BuildForest(tb)
+	g := BuildGuide(tb, f)
+	if g == nil {
+		t.Fatal("BuildGuide returned nil for a clean table")
+	}
+	if g.NumClasses() != 4 {
+		t.Fatalf("NumClasses = %d, want 4 (a, a/b, a/b/c, a/c)", g.NumClasses())
+	}
+	if len(g.Roots()) != 1 || g.Node(g.Roots()[0]).Label != "a" {
+		t.Fatalf("roots = %v", g.Roots())
+	}
+	root := g.Roots()[0]
+	if g.ClassOf(b1) != g.ClassOf(b2) {
+		t.Fatal("same label under the same parent class split into two classes")
+	}
+	bClass := g.ClassOf(b1)
+	if g.Count(bClass) != 2 {
+		t.Fatalf("b class counts %d intervals, want 2", g.Count(bClass))
+	}
+	if g.Node(bClass).Parent != root {
+		t.Fatalf("b class parent = %d, want root %d", g.Node(bClass).Parent, root)
+	}
+	if g.ClassOf(c1) != g.ClassOf(c2) {
+		t.Fatal("c under the two b's must share one class (same parent class)")
+	}
+	if g.ClassOf(d) == g.ClassOf(c1) {
+		t.Fatal("c under a and c under b must be distinct classes")
+	}
+	if g.Node(g.ClassOf(c1)).Parent != bClass {
+		t.Fatal("a/b/c class must hang off the b class")
+	}
+	if g.Node(g.ClassOf(d)).Parent != root {
+		t.Fatal("a/c class must hang off the root class")
+	}
+}
+
+// TestBuildGuideRejectsMultiLabel: an interval filed under two table
+// labels breaks the single-class invariant; the builder must refuse
+// (callers then run pairwise, never over a wrong synopsis).
+func TestBuildGuideRejectsMultiLabel(t *testing.T) {
+	iv := Interval{Lo: 0.2, Hi: 0.4}
+	tb := &Table{ByTag: map[string][]Interval{"x": {iv}, "y": {iv}}}
+	if g := BuildGuide(tb, BuildForest(tb)); g != nil {
+		t.Fatal("multi-label interval must disable the synopsis")
+	}
+}

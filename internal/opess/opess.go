@@ -378,6 +378,20 @@ type Range struct {
 // Empty reports an unsatisfiable range.
 func (r Range) Empty() bool { return r.Lo > r.Hi }
 
+// Band returns the OPESS band of a value-index ciphertext key: the
+// top byte, assigned one per indexed attribute (BuildBand) so that
+// attributes sharing the index never interleave. The server-side
+// synopsis histograms index occupancy per band under this function,
+// and the update pipeline's band drops select entries by it — one
+// definition keeps every consumer on the same currency.
+func Band(key uint64) uint8 { return uint8(key >> 56) }
+
+// Bands returns the inclusive span of bands the range touches. A
+// translated comparison never crosses its attribute's band (ranges
+// clamp to BandRange), so Lo==Hi in practice; the span form keeps
+// occupancy estimates conservative for hand-built ranges.
+func (r Range) Bands() (lo, hi uint8) { return Band(r.Lo), Band(r.Hi) }
+
 // TranslateRange implements Figure 7(a): it rewrites a comparison
 // "value op literal" into ciphertext ranges for the server's B-tree.
 // Equality and inequality bounds account for splitting: a value v's

@@ -232,6 +232,7 @@ func (s *Service) loadDB(fileName string) error {
 	srv := server.New(db)
 	srv.RestoreGeneration(snapGen)
 	h := newHosted(srv)
+	s.applyPlannerMode(h)
 	dirty := map[int]struct{}{}
 	replayed, rootChecked := 0, false
 	var replayErr error

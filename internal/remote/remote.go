@@ -150,6 +150,10 @@ type Service struct {
 	// requests into server-side group commits (see
 	// WithUpdateBatching).
 	batching *updateBatching
+	// plannerMode, when non-empty, forces every hosted server's
+	// twig-vs-pairwise planner strategy (see WithPlannerStrategy and
+	// server.ForceStrategy) — a debugging and benchmarking control.
+	plannerMode string
 }
 
 type hosted struct {
@@ -231,6 +235,43 @@ func NewService() *Service {
 	s := &Service{dbs: map[string]*hosted{}}
 	s.rebuildAdm()
 	return s
+}
+
+// WithPlannerStrategy forces the query planner strategy ("auto",
+// "twig" or "pairwise") on every database the service hosts now or
+// later — answers are byte-identical under every mode, so this only
+// redirects which execution path produces them (the -planner debug
+// flag of cmd/xserve). Returns an error on an unknown mode.
+func (s *Service) WithPlannerStrategy(mode string) (*Service, error) {
+	if mode == "" {
+		mode = "auto"
+	}
+	if err := validatePlannerMode(mode); err != nil {
+		return s, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.plannerMode = mode
+	for _, h := range s.dbs {
+		h.srv.ForceStrategy(mode)
+	}
+	return s, nil
+}
+
+func validatePlannerMode(mode string) error {
+	switch mode {
+	case "auto", server.StrategyTwig, server.StrategyPairwise:
+		return nil
+	}
+	return fmt.Errorf("remote: unknown planner strategy %q", mode)
+}
+
+// applyPlannerMode applies the service-wide forced strategy to a
+// freshly hosted server (upload, local registration, disk load).
+func (s *Service) applyPlannerMode(h *hosted) {
+	if s.plannerMode != "" && s.plannerMode != "auto" {
+		h.srv.ForceStrategy(s.plannerMode)
+	}
 }
 
 // rebuildAdm reconstitutes the admission controller from the current
@@ -525,6 +566,7 @@ func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request, name stri
 	}
 	h := newHosted(server.New(db))
 	s.mu.Lock()
+	s.applyPlannerMode(h)
 	old := s.dbs[name]
 	s.dbs[name] = h
 	s.mu.Unlock()
@@ -609,6 +651,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request, h *hosted)
 			s.adm().NoteDegraded()
 			w.Header().Set(wire.HeaderBrownoutLevel, strconv.Itoa(lvl))
 			w.Header().Set(wire.HeaderDegraded, "cached")
+			setPlanHeaders(w, ans)
 			out, err := wire.MarshalAnswer(ans)
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -655,6 +698,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request, h *hosted)
 	if lvl := s.adm().Level(); lvl > admission.LevelFull {
 		w.Header().Set(wire.HeaderBrownoutLevel, strconv.Itoa(lvl))
 	}
+	setPlanHeaders(w, ans)
 	if s.streamQuery(w, r, h, ans) {
 		return
 	}
@@ -976,6 +1020,16 @@ func (s *Service) applyBatchFrame(w http.ResponseWriter, h *hosted, raw []byte, 
 	s.answerUpdate(w, h, err, persistErr)
 }
 
+// setPlanHeaders echoes the planner's chosen strategy and cost
+// estimate out-of-band: answer bytes are strategy-independent by the
+// planner's contract, so observability rides in headers, not frames.
+func setPlanHeaders(w http.ResponseWriter, ans *wire.Answer) {
+	if ans.PlanStrategy != "" {
+		w.Header().Set(wire.HeaderPlanStrategy, ans.PlanStrategy)
+		w.Header().Set(wire.HeaderPlanCost, strconv.FormatInt(ans.PlanCost, 10))
+	}
+}
+
 func (s *Service) handleStats(w http.ResponseWriter, h *hosted) {
 	// Stats polls advance the brownout window too, so the level keeps
 	// stepping down while an operator watches a drained service.
@@ -987,6 +1041,8 @@ func (s *Service) handleStats(w http.ResponseWriter, h *hosted) {
 		"indexHeight":  h.srv.IndexHeight(),
 		"generation":   h.srv.Generation(),
 		"caches":       h.srv.CacheStats(),
+		"planner":      h.srv.PlannerStats(),
+		"synopsis":     h.srv.Synopsis(),
 		"stream": map[string]int64{
 			"answers": h.streamAnswers.Load(),
 			"bytes":   h.streamBytes.Load(),
@@ -1055,7 +1111,9 @@ func (s *Service) registerLocal(name string, db *wire.HostedDB) error {
 		return err
 	}
 	s.mu.Lock()
-	s.dbs[name] = newHosted(server.New(decoded))
+	h := newHosted(server.New(decoded))
+	s.applyPlannerMode(h)
+	s.dbs[name] = h
 	s.mu.Unlock()
 	return nil
 }
@@ -1549,6 +1607,7 @@ func (c *Client) queryAttempt(ctx context.Context, payload []byte, sink wire.Blo
 		if err != nil {
 			return nil, nil, err
 		}
+		readPlanHeaders(resp, a)
 		return a, nil, nil
 	}
 	// Streamed answer: every attempt starts the sink over, so a retry
@@ -1566,10 +1625,23 @@ func (c *Client) queryAttempt(ctx context.Context, payload []byte, sink wire.Blo
 	if err != nil {
 		return nil, nil, err
 	}
+	readPlanHeaders(resp, a)
 	return a, &wire.StreamStats{
 		Bytes:  int(cr.n),
 		Chunks: len(a.Fragments) + len(a.Blocks) + 1,
 	}, nil
+}
+
+// readPlanHeaders copies the service's out-of-band planner report
+// into the decoded answer (the fields never marshal; on the remote
+// path they ride the X-Plan-* headers instead).
+func readPlanHeaders(resp *http.Response, a *wire.Answer) {
+	if strat := resp.Header.Get(wire.HeaderPlanStrategy); strat != "" {
+		a.PlanStrategy = strat
+		if c, err := strconv.ParseInt(resp.Header.Get(wire.HeaderPlanCost), 10, 64); err == nil {
+			a.PlanCost = c
+		}
+	}
 }
 
 // Extreme implements core.Backend over HTTP.

@@ -59,13 +59,53 @@ type plan struct {
 	// fingerprint, precomputed so the per-context hot path does a
 	// pointer lookup instead of hashing.
 	predFP map[*wire.PredValue]string
+	// predOrder holds the planner's per-step predicate evaluation
+	// order (cheap/selective first) for steps where it differs from
+	// the query's; the query itself is never mutated (see planner.go).
+	predOrder map[*wire.QStep][]wire.QPred
+	// stepEst sizes each main-path step's full candidate universe —
+	// the pairwise-side capacity hints and the twig pruning baseline.
+	stepEst map[*wire.QStep]int
+	// twig is the synopsis match: restricted per-step candidate lists
+	// plus estimates. nil when the snapshot has no usable guide.
+	twig *twigInfo
+	// strategy is the cost-based twig-vs-pairwise choice (the forced
+	// mode may override it at execution, see resolveStrategy).
+	strategy string
+	// cost is the admission estimate derived from the plan (one cost
+	// currency: EstimateFrameCost returns exactly this).
+	cost int64
 }
 
-func compilePlan(q *wire.Query) *plan {
-	pl := &plan{q: q, lift: liftDepth(q), predFP: map[*wire.PredValue]string{}}
+// compilePlan compiles a query against a pinned snapshot: shape-only
+// work (lift depth, predicate fingerprints) plus the synopsis twig
+// match and the cost model. Plans are cached per (epoch, generation),
+// so baking snapshot-derived estimates in is safe — an update
+// invalidates them wholesale.
+func compilePlan(sn *snapshot, q *wire.Query) *plan {
+	pl := &plan{
+		q:         q,
+		lift:      liftDepth(q),
+		predFP:    map[*wire.PredValue]string{},
+		predOrder: map[*wire.QStep][]wire.QPred{},
+	}
 	for st := q.First; st != nil; st = st.Next {
 		collectPredFPs(st.Preds, pl.predFP)
 	}
+	pl.stepEst = fullStepEstimates(sn, q)
+	pl.twig = planTwig(sn, q, pl.stepEst)
+	orderPreds(sn.stats, q, pl.predOrder)
+	pl.strategy = StrategyPairwise
+	anchorEst := pl.stepEst[q.First]
+	if pl.twig != nil && pl.twig.pruned > 0 {
+		// The synopsis removed candidates somewhere on the main path;
+		// running the twig-restricted lists strictly shrinks the join
+		// work. With nothing pruned the two strategies do identical
+		// work and pairwise is reported (honest observability).
+		pl.strategy = StrategyTwig
+		anchorEst = pl.twig.anchorEst
+	}
+	pl.cost = estimateCost(sn, anchorEst, pl.predFP)
 	return pl
 }
 
@@ -163,7 +203,7 @@ func (s *Server) RestoreGeneration(gen uint64) {
 	}
 	// snapshot embeds a mutex, so republish a fresh struct sharing the
 	// immutable parts instead of copying the old one by value.
-	next := &snapshot{gen: gen, db: cur.db, index: cur.index, st: cur.st}
+	next := &snapshot{gen: gen, db: cur.db, index: cur.index, st: cur.st, stats: cur.stats}
 	cur.authMu.Lock()
 	next.auth = cur.auth
 	cur.authMu.Unlock()

@@ -16,15 +16,15 @@ import (
 const costCeil = 1 << 20
 
 // EstimateFrameCost predicts how many hosted blocks the query frame
-// will touch, in admission cost units. The signals are exactly the
-// metadata the untrusted server already evaluates queries from:
-//
-//   - DSI interval-group fan-out: how many interval groups the first
-//     step's labels anchor (a wildcard anchors the whole universe) —
-//     the matcher's outer loop width.
-//   - OPESS band occupancy: for every translated value predicate,
-//     the number of index entries inside its ciphertext ranges —
-//     the blocks a range resolution will pull.
+// will touch, in admission cost units. Since the cost-based planner
+// this is exactly the plan's own estimate (see estimateCost in
+// planner.go): anchor fan-out under the chosen strategy — the twig
+// match's surviving interval-group count when the synopsis pruned,
+// the full DSI label fan-out otherwise — plus the OPESS band
+// occupancy of every translated value predicate, read from the
+// snapshot's synopsis histogram. Admission and planning price
+// queries in one currency, and pricing a frame compiles (and caches)
+// the very plan its execution reuses.
 //
 // The estimate is intentionally coarse (it prices relative
 // displacement, not wall time) and always >= 1. An unparseable frame
@@ -35,38 +35,7 @@ func (s *Server) EstimateFrameCost(frame []byte) int64 {
 	if err != nil || pl == nil {
 		return 1
 	}
-	q := pl.q
-
-	// Anchor fan-out from the DSI table.
-	fanout := 0
-	if len(q.First.Labels) == 0 {
-		fanout = len(sn.st.allIntervals)
-	} else {
-		for _, label := range q.First.Labels {
-			fanout += len(sn.db.Table.Lookup(label))
-		}
-	}
-
-	// Band occupancy of every value predicate in the plan.
-	occupancy := 0
-	for pred := range pl.predFP {
-		for _, r := range pred.Ranges {
-			occupancy += sn.index.Count(r.Lo, r.Hi)
-		}
-	}
-
-	// Blocks touched scale with the anchor width plus what the range
-	// resolutions pull in; the divisors fold "entries per block"
-	// heuristically so a point query stays near cost 1. Ceiling
-	// division keeps any nonzero signal worth at least one unit.
-	cost := int64(1) + int64(fanout+7)/8 + int64(occupancy+7)/8
-	if nb := int64(len(sn.db.Blocks)); nb > 0 && cost > nb+1 {
-		cost = nb + 1 // cannot touch more blocks than are hosted
-	}
-	if cost > costCeil {
-		cost = costCeil
-	}
-	return cost
+	return pl.cost
 }
 
 // planForFrame resolves (or compiles and caches) the frame's plan
@@ -89,7 +58,7 @@ func (s *Server) planForFrame(sn *snapshot, frame []byte) (*plan, error) {
 	if q == nil || q.First == nil {
 		return nil, nil
 	}
-	pl := compilePlan(q)
+	pl := compilePlan(sn, q)
 	if caching {
 		s.caches.plans.Put(s.epoch, sn.gen, fp, pl, len(frame))
 	}

@@ -41,6 +41,11 @@ type exec struct {
 	sn   *snapshot
 	pl   *plan
 	pool tokens
+	// twig selects the plan's synopsis-restricted candidate lists for
+	// main-path steps (see stepLists); set by executePlan from the
+	// resolved strategy. Predicate sub-paths always run on the full
+	// lists — the restriction is keyed by main-path step identity.
+	twig bool
 
 	cacheMu   sync.Mutex
 	rangeMemo map[*wire.PredValue]map[int]bool
@@ -65,6 +70,19 @@ const ivBufMaxCap = 1 << 14
 
 func getIvBuf() *[]dsi.Interval { return ivBufPool.Get().(*[]dsi.Interval) }
 
+// presizeIvBuf grows a pooled buffer to the planner's cardinality
+// estimate up front (clamped to the pool's retention cap), replacing
+// append's doubling-regrowth with a single allocation when the
+// estimate exceeds what the pool handed back.
+func presizeIvBuf(p *[]dsi.Interval, n int) {
+	if n > ivBufMaxCap {
+		n = ivBufMaxCap
+	}
+	if n > cap(*p) {
+		*p = make([]dsi.Interval, 0, n)
+	}
+}
+
 func putIvBuf(p *[]dsi.Interval) {
 	if cap(*p) > ivBufMaxCap {
 		return
@@ -78,8 +96,9 @@ func putIvBuf(p *[]dsi.Interval) {
 // match a forest root, while a "//" step may match any interval.
 func (e *exec) matchFirst(st *wire.QStep) []dsi.Interval {
 	buf := getIvBuf()
+	presizeIvBuf(buf, e.stepEstimate(st))
 	cands := (*buf)[:0]
-	for _, list := range e.labelLists(st.Labels) {
+	for _, list := range e.stepLists(st) {
 		for _, iv := range list {
 			if st.Desc {
 				cands = append(cands, iv)
@@ -90,7 +109,7 @@ func (e *exec) matchFirst(st *wire.QStep) []dsi.Interval {
 			}
 		}
 	}
-	cands = e.applyPreds(dedupeSorted(cands), st.Preds)
+	cands = e.applyPreds(dedupeSorted(cands), e.orderedPreds(st))
 	var out []dsi.Interval
 	if len(cands) > 0 {
 		out = append(make([]dsi.Interval, 0, len(cands)), cands...)
@@ -120,7 +139,7 @@ func (e *exec) matchChain(ctxs []dsi.Interval, st *wire.QStep, upper bool) []dsi
 	for ; st != nil; st = st.Next {
 		var next []dsi.Interval
 		var nextOwned *[]dsi.Interval
-		lists := e.labelLists(st.Labels)
+		lists := e.stepLists(st)
 		if batched, ok := e.batchStep(cur, st, lists); ok {
 			next = batched
 		} else if len(cur) >= parallelThreshold {
@@ -131,22 +150,25 @@ func (e *exec) matchChain(ctxs []dsi.Interval, st *wire.QStep, upper bool) []dsi
 				shards[i] = e.stepFrom(nil, cur[i], st, lists, upper)
 			})
 			nextOwned = getIvBuf()
+			presizeIvBuf(nextOwned, e.stepEstimate(st))
 			next = (*nextOwned)[:0]
 			for _, sh := range shards {
 				next = append(next, sh...)
 			}
 		} else {
 			nextOwned = getIvBuf()
+			presizeIvBuf(nextOwned, e.stepEstimate(st))
 			next = (*nextOwned)[:0]
 			for _, ctx := range cur {
 				next = e.stepFrom(next, ctx, st, lists, upper)
 			}
 		}
 		res := dedupeSorted(next)
+		preds := e.orderedPreds(st)
 		if upper {
-			res = e.applyPreds(res, st.Preds)
+			res = e.applyPreds(res, preds)
 		} else {
-			res = e.filterCertain(res, st.Preds)
+			res = e.filterCertain(res, preds)
 		}
 		if owned != nil {
 			putIvBuf(owned)
@@ -298,6 +320,50 @@ func (e *exec) stepFrom(dst []dsi.Interval, ctx dsi.Interval, st *wire.QStep, li
 		}
 	}
 	return out
+}
+
+// stepLists returns a step's candidate lists: under the twig
+// strategy, the plan's synopsis-restricted lists when the planner
+// pruned the step; otherwise (pairwise, predicate sub-paths, steps
+// with nothing pruned) the full table lists. Restricted lists keep
+// the labelLists shape and sort order, so every join below runs
+// unchanged — just over fewer intervals.
+func (e *exec) stepLists(st *wire.QStep) [][]dsi.Interval {
+	if e.twig {
+		if lists, ok := e.pl.twig.lists[st]; ok {
+			return lists
+		}
+	}
+	return e.labelLists(st.Labels)
+}
+
+// orderedPreds returns the planner's predicate evaluation order for a
+// step, falling back to query order when the planner left it alone.
+// Predicates are conjunctive filters, so the order changes work, not
+// answers.
+func (e *exec) orderedPreds(st *wire.QStep) []wire.QPred {
+	if e.pl != nil {
+		if ord, ok := e.pl.predOrder[st]; ok {
+			return ord
+		}
+	}
+	return st.Preds
+}
+
+// stepEstimate returns the planner's cardinality estimate for a
+// step's candidate set — the twig survivor count under the twig
+// strategy, the full label-universe size otherwise; 0 (no hint) for
+// predicate sub-path steps the planner did not size.
+func (e *exec) stepEstimate(st *wire.QStep) int {
+	if e.pl == nil {
+		return 0
+	}
+	if e.twig {
+		if n, ok := e.pl.twig.est[st]; ok {
+			return n
+		}
+	}
+	return e.pl.stepEst[st]
 }
 
 // labelLists returns the Lo-sorted interval list of each table label

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/opess"
+	"repro/internal/wire"
+	"repro/internal/xpath"
+)
+
+// TestSynopsisIncrementalEqualsRebuild is the synopsis property test:
+// after every randomized batch of band-closed index updates, the
+// incrementally folded histogram must equal a from-scratch rebuild
+// over the committed entry list, and a snapshot pinned before the
+// updates must keep its original histogram untouched (MVCC).
+func TestSynopsisIncrementalEqualsRebuild(t *testing.T) {
+	_, s := boot(t, "opt")
+	r := rand.New(rand.NewSource(7))
+	pinned := s.current()
+	pinnedCopy := *pinned.stats
+
+	for round := 0; round < 8; round++ {
+		entries := s.CurrentDB().IndexEntries
+		if len(entries) == 0 {
+			break
+		}
+		var batch []*wire.Update
+		for i := 0; i < 1+r.Intn(3); i++ {
+			band := opess.Band(entries[r.Intn(len(entries))].Key)
+			u := &wire.Update{RequestID: wire.NewRequestID(), DropBands: []uint8{band}}
+			for _, e := range entries {
+				if opess.Band(e.Key) != band || r.Intn(3) == 0 {
+					continue // random deletions within the reissued band
+				}
+				key := uint64(band)<<56 | (r.Uint64() & (1<<56 - 1))
+				u.AddEntries = append(u.AddEntries, btree.Entry{Key: key, BlockID: e.BlockID})
+			}
+			batch = append(batch, u)
+		}
+		if err := s.ApplyUpdateBatch(batch); err != nil {
+			t.Fatalf("round %d: apply batch: %v", round, err)
+		}
+		got := s.current().stats
+		want := rebuildSynStats(s.CurrentDB().IndexEntries)
+		if *got != *want {
+			t.Fatalf("round %d: incremental synopsis diverged from rebuild: %d entries vs %d",
+				round, got.entries, want.entries)
+		}
+		if syn := s.Synopsis(); syn.IndexEntries != want.entries {
+			t.Fatalf("round %d: Synopsis reports %d entries, index has %d",
+				round, syn.IndexEntries, want.entries)
+		}
+	}
+	if *pinned.stats != pinnedCopy {
+		t.Fatal("pinned snapshot's synopsis was mutated by later updates")
+	}
+}
+
+// TestGuideInvariants checks the structural half of the synopsis
+// against the forest it summarizes: every forest interval is in
+// exactly one class, member lists are Lo-sorted, and each member's
+// forest parent belongs to the class's parent class (the exactness
+// BuildGuide promises and the twig transitions rely on).
+func TestGuideInvariants(t *testing.T) {
+	_, s := boot(t, "opt")
+	sn := s.current()
+	g := sn.st.guide
+	if g == nil {
+		t.Fatal("boot produced no guide")
+	}
+	total := 0
+	for ci := int32(0); ci < int32(g.NumClasses()); ci++ {
+		node := g.Node(ci)
+		total += len(node.Intervals)
+		for i, iv := range node.Intervals {
+			if i > 0 && node.Intervals[i-1].Lo > iv.Lo {
+				t.Fatalf("class %d member list not Lo-sorted", ci)
+			}
+			p, ok := sn.st.forest.ParentOf(iv)
+			if node.Parent < 0 {
+				if ok {
+					t.Fatalf("root class %d holds %v, which has forest parent %v", ci, iv, p)
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("class %d holds %v without a forest parent", ci, iv)
+			}
+			if g.ClassOf(p) != node.Parent {
+				t.Fatalf("class %d: member %v's parent classified as %d, want %d",
+					ci, iv, g.ClassOf(p), node.Parent)
+			}
+		}
+	}
+	if total != sn.st.forest.Size() {
+		t.Fatalf("classes cover %d intervals, forest has %d", total, sn.st.forest.Size())
+	}
+}
+
+// TestForcedStrategiesAgree pins the planner's central contract on
+// the paper's running example: under forced twig, forced pairwise and
+// auto, every query's answer is byte-identical on the wire, the
+// reported strategy matches the forced mode, and the lifetime
+// counters advance.
+func TestForcedStrategiesAgree(t *testing.T) {
+	c, s := boot(t, "opt")
+	s.SetCaching(false)
+	queries := []string{
+		"//patient[.//disease='diarrhea']/pname",
+		"//patient[insurance]/age",
+		"//treat/doctor",
+		"/hospital/patient/pname",
+		"//insurance/policy",
+		"//patient[not(insurance)]/pname",
+		"//patient/*",
+	}
+	for _, q := range queries {
+		tq, err := c.Translate(xpath.MustParse(q))
+		if err != nil {
+			t.Fatalf("translate %s: %v", q, err)
+		}
+		frame, err := wire.MarshalQuery(tq)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", q, err)
+		}
+		var wires [][]byte
+		for _, mode := range []string{StrategyTwig, StrategyPairwise, "auto"} {
+			if err := s.ForceStrategy(mode); err != nil {
+				t.Fatalf("force %s: %v", mode, err)
+			}
+			if got := s.PlannerMode(); got != mode {
+				t.Fatalf("PlannerMode = %s after forcing %s", got, mode)
+			}
+			ans, err := s.ExecuteFrame(frame)
+			if err != nil {
+				t.Fatalf("execute %s (%s): %v", q, mode, err)
+			}
+			if ans.PlanStrategy == "" {
+				t.Fatalf("query %s (%s): answer reports no strategy", q, mode)
+			}
+			if mode != "auto" && ans.PlanStrategy != mode {
+				t.Fatalf("query %s: forced %s but answer reports %s", q, mode, ans.PlanStrategy)
+			}
+			b, err := wire.MarshalAnswer(ans)
+			if err != nil {
+				t.Fatalf("marshal answer %s (%s): %v", q, mode, err)
+			}
+			wires = append(wires, b)
+		}
+		if !bytes.Equal(wires[0], wires[1]) || !bytes.Equal(wires[1], wires[2]) {
+			t.Fatalf("query %s: answers differ across strategies", q)
+		}
+	}
+	if err := s.ForceStrategy("bogus"); err == nil {
+		t.Fatal("bogus strategy accepted")
+	}
+	st := s.PlannerStats()
+	if st.Twig == 0 || st.Pairwise == 0 {
+		t.Fatalf("planner counters did not advance: %+v", st)
+	}
+	if st.Mode != "auto" {
+		t.Fatalf("rejected ForceStrategy changed the mode to %s", st.Mode)
+	}
+}
+
+// TestTwigPrunesImpossibleStructure: insurance is never a child of
+// treat in the hospital document, so the synopsis must prove the
+// second step of //treat/insurance unsatisfiable — estimate zero,
+// intervals pruned, auto choosing twig — while the answer stays the
+// (empty) pairwise answer.
+func TestTwigPrunesImpossibleStructure(t *testing.T) {
+	c, s := boot(t, "opt")
+	tq, err := c.Translate(xpath.MustParse("//treat/insurance"))
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	pl := compilePlan(s.current(), tq)
+	if pl.twig == nil {
+		t.Fatal("no twig info despite a guide")
+	}
+	if pl.twig.pruned == 0 {
+		t.Fatal("synopsis pruned nothing from //treat/insurance")
+	}
+	if pl.strategy != StrategyTwig {
+		t.Fatalf("auto chose %s for a prunable query", pl.strategy)
+	}
+	if n := pl.twig.est[tq.First.Next]; n != 0 {
+		t.Fatalf("estimate %d for a structurally impossible step", n)
+	}
+	ans, err := s.Execute(tq)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if len(ans.Fragments) != 0 || len(ans.BlockIDs) != 0 {
+		t.Fatalf("impossible query shipped %d fragments, %d blocks",
+			len(ans.Fragments), len(ans.BlockIDs))
+	}
+}
+
+// TestOrderPredsDoesNotMutateQuery: predicate ordering must store a
+// reordered copy in the plan, leave the query's own predicate slice
+// untouched, lose nothing, and sink not() behind cheaper existence
+// checks.
+func TestOrderPredsDoesNotMutateQuery(t *testing.T) {
+	c, s := boot(t, "opt")
+	tq, err := c.Translate(xpath.MustParse("//patient[not(insurance)][treat]/pname"))
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	orig := append([]wire.QPred(nil), tq.First.Preds...)
+	if len(orig) != 2 {
+		t.Fatalf("expected 2 predicates, got %d", len(orig))
+	}
+	pl := compilePlan(s.current(), tq)
+	for i := range orig {
+		if tq.First.Preds[i] != orig[i] {
+			t.Fatal("compilePlan mutated the query's predicate slice")
+		}
+	}
+	ord, ok := pl.predOrder[tq.First]
+	if !ok {
+		t.Fatal("expected a reordered copy: not() scores above a bare existence check")
+	}
+	if len(ord) != len(orig) {
+		t.Fatalf("reorder changed predicate count: %d vs %d", len(ord), len(orig))
+	}
+	seen := map[wire.QPred]bool{}
+	for _, p := range ord {
+		seen[p] = true
+	}
+	for _, p := range orig {
+		if !seen[p] {
+			t.Fatal("reorder lost a predicate")
+		}
+	}
+	if _, isNot := ord[len(ord)-1].(*wire.PredNot); !isNot {
+		t.Fatalf("not() should order last, got %T", ord[len(ord)-1])
+	}
+}

@@ -44,6 +44,13 @@ type Server struct {
 	// par is the matcher's worker-pool width (see parallel.go).
 	par atomic.Int32
 
+	// planMode pins the planner's twig-vs-pairwise choice (see
+	// ForceStrategy); the counters below feed the stats endpoint.
+	planMode   atomic.Int32
+	planTwigN  atomic.Int64
+	planPairN  atomic.Int64
+	planPruned atomic.Int64
+
 	// epoch is the boot nonce answers echo alongside the generation,
 	// so clients can tell a restarted server from a generation
 	// rollback. Immutable after New.
@@ -73,6 +80,11 @@ type structure struct {
 	// blockIdx holds the (disjoint) block representative intervals
 	// sorted by Lo for O(log m) containment lookup.
 	blockIdx []blockRef
+	// guide is the structural half of the synopsis: the strong
+	// DataGuide of path classes the planner's twig matcher prunes
+	// against (see synopsis.go and planner.go). nil when the table
+	// yields no usable guide — every query then runs pairwise.
+	guide *dsi.Guide
 }
 
 // snapshot is one committed generation of the hosted database. It is
@@ -88,6 +100,10 @@ type snapshot struct {
 	db    *wire.HostedDB
 	index *btree.Tree
 	st    *structure
+	// stats is the per-generation value half of the synopsis (OPESS
+	// band occupancy), immutable like every other snapshot field;
+	// updates publish a freshly folded copy (see synopsis.go).
+	stats *synStats
 
 	// authMu guards the lazily built Merkle prover for THIS
 	// generation. Once built the AuthState itself is immutable and
@@ -123,6 +139,7 @@ func New(db *wire.HostedDB) *Server {
 		st.residueAt[iv] = n
 	}
 	st.allIntervals = st.forest.Intervals()
+	st.guide = dsi.BuildGuide(db.Table, st.forest)
 	for id, rep := range db.BlockReps {
 		st.blockIdx = append(st.blockIdx, blockRef{iv: rep, id: id})
 	}
@@ -137,7 +154,7 @@ func New(db *wire.HostedDB) *Server {
 		caches: newQueryCaches(),
 	}
 	s.par.Store(int32(defaultParallelism()))
-	s.snap.Store(&snapshot{gen: 1, db: snapshotDB(db), index: index, st: st})
+	s.snap.Store(&snapshot{gen: 1, db: snapshotDB(db), index: index, st: st, stats: rebuildSynStats(db.IndexEntries)})
 	return s
 }
 
@@ -362,7 +379,7 @@ func (s *Server) executeFrame(ctx context.Context, frame []byte, parsed *wire.Qu
 		if q == nil || q.First == nil {
 			return nil, fmt.Errorf("server: empty query")
 		}
-		pl = compilePlan(q)
+		pl = compilePlan(sn, q)
 		if caching {
 			s.caches.plans.Put(s.epoch, sn.gen, fp, pl, len(frame))
 		}
@@ -388,7 +405,15 @@ func (s *Server) executeFrame(ctx context.Context, frame []byte, parsed *wire.Qu
 // abandoning it between stages if ctx dies.
 func (s *Server) executePlan(ctx context.Context, sn *snapshot, pl *plan) (*wire.Answer, error) {
 	q := pl.q
+	strategy := s.resolveStrategy(pl)
 	e := s.newExec(sn, pl)
+	e.twig = strategy == StrategyTwig && pl.twig != nil
+	if e.twig {
+		s.planTwigN.Add(1)
+		s.planPruned.Add(int64(pl.twig.pruned))
+	} else {
+		s.planPairN.Add(1)
+	}
 	anchors := e.matchFirst(q.First)
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -430,6 +455,7 @@ func (s *Server) executePlan(ctx context.Context, sn *snapshot, pl *plan) (*wire
 	if err != nil {
 		return nil, err
 	}
+	ans.PlanStrategy, ans.PlanCost = strategy, pl.cost
 	if q.WantProof {
 		if err := ctx.Err(); err != nil {
 			return nil, err

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/authtree"
 	"repro/internal/btree"
+	"repro/internal/opess"
 	"repro/internal/wire"
 )
 
@@ -87,6 +88,17 @@ func (s *Server) ApplyUpdateBatch(us []*wire.Update) error {
 		}
 	}
 	nextIndex := cur.index
+	nextStats := cur.stats
+	if touchIndex {
+		// Fold the batch into the synopsis histogram the same way the
+		// entry list folds below: member order matters (a later drop
+		// removes an earlier member's additions). The committed
+		// snapshot's stats are immutable — only the clone moves.
+		nextStats = cur.stats.clone()
+		for _, u := range us {
+			nextStats.applyUpdate(u)
+		}
+	}
 	if touchIndex {
 		// Fold the members' band replacements over the entry list in
 		// order, then bulk-load the B-tree once — the batched analogue
@@ -102,7 +114,7 @@ func (s *Server) ApplyUpdateBatch(us []*wire.Update) error {
 			}
 			kept := make([]btree.Entry, 0, len(entries)+len(u.AddEntries))
 			for _, e := range entries {
-				if !drop[uint8(e.Key>>56)] {
+				if !drop[opess.Band(e.Key)] {
 					kept = append(kept, e)
 				}
 			}
@@ -115,7 +127,7 @@ func (s *Server) ApplyUpdateBatch(us []*wire.Update) error {
 		nextIndex = rebuilt
 		nextDB.IndexEntries = entries
 	}
-	next := &snapshot{gen: cur.gen + 1, db: nextDB, index: nextIndex, st: cur.st}
+	next := &snapshot{gen: cur.gen + 1, db: nextDB, index: nextIndex, st: cur.st, stats: nextStats}
 
 	// Seed the candidate's Merkle prover incrementally from the
 	// committed one when it exists: one multi-leaf delta replaces what

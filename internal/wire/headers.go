@@ -29,4 +29,13 @@ const (
 	// value names the mode ("cached" = answered from the
 	// generation-tagged answer cache without executing).
 	HeaderDegraded = "X-Degraded"
+
+	// HeaderPlanStrategy names the planner strategy that produced the
+	// answer ("twig" or "pairwise"). Answer bytes are strategy-
+	// independent by contract, so this travels out-of-band.
+	HeaderPlanStrategy = "X-Plan-Strategy"
+
+	// HeaderPlanCost carries the planner's admission-cost estimate
+	// for the executed query (decimal).
+	HeaderPlanCost = "X-Plan-Cost"
 )

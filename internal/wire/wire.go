@@ -172,6 +172,14 @@ type Answer struct {
 	// encode to the legacy SXA1/SXA2 bytes unchanged.
 	Epoch      uint64
 	Generation uint64
+	// PlanStrategy and PlanCost report which strategy the server's
+	// cost-based planner executed ("twig" or "pairwise") and its
+	// admission-cost estimate. Observability only: they deliberately
+	// do NOT marshal — answer bytes are strategy-independent (that is
+	// the planner's correctness contract) — and travel out-of-band as
+	// response headers on the remote path (see remote.Service).
+	PlanStrategy string
+	PlanCost     int64
 }
 
 // ExtremeResult is a MIN/MAX index probe's outcome in proof mode:

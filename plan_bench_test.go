@@ -1,0 +1,280 @@
+package repro
+
+// Planner benchmarks: the same cold query suite executed under the
+// forced twig strategy and the forced pairwise strategy, on one
+// hosted NASA document with every cross-query cache off. Three suites
+// bracket the planner's behavior:
+//
+//   - twig-heavy: branch-heavy twigs anchored at "//*" — the synopsis
+//     collapses the anchor universe to the few path classes that can
+//     satisfy the whole twig, which is where the holistic match is
+//     designed to win (the committed BENCH_plan.json records the
+//     speedup; the CI guard defends half of it).
+//   - selective: value-predicate lookups where the OPESS index does
+//     the pruning and the synopsis has little to add — twig must hold
+//     parity, not win.
+//   - worst-case: queries the synopsis provably cannot prune (full
+//     scans, predicates every class satisfies) — twig must not lose.
+//
+// Every suite first asserts the two strategies' answers are
+// byte-identical on the wire, so the numbers are only ever compared
+// between equivalent executions. TestMain writes BENCH_plan.json when
+// SECXML_BENCH_PLAN_JSON is set; SECXML_BENCH_PLAN_GUARD points at
+// the committed report and fails the run if the twig-heavy speedup
+// drops below half the committed value.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// planSuites are the benchmark workloads (see file comment).
+var planSuites = map[string][]string{
+	"twig-heavy": {
+		"//*[reference/source][keywords/keyword]/title",
+		"//*[source][journal]/..",
+		"//*[initial]",
+		"//*[source]/journal",
+		"//*[keyword]",
+	},
+	"selective": {
+		"//dataset[altname='ADC-1234']/title",
+		"//author[initial='A']/last",
+		"//dataset[date='1990']/publisher",
+	},
+	"worst-case": {
+		"/datasets/dataset",
+		"//dataset[date]",
+		"//keyword",
+	},
+}
+
+// planRow is one suite's measurement pair for BENCH_plan.json.
+type planRow struct {
+	Suite   string `json:"suite"`
+	Queries int    `json:"queries"`
+	// *NsPerOp: one op is a full cold pass over the suite, so the
+	// speedup below is exactly sum(pairwise)/sum(twig).
+	PairwiseNsPerOp float64 `json:"pairwise_ns_per_op"`
+	TwigNsPerOp     float64 `json:"twig_ns_per_op"`
+	// Speedup is pairwise/twig wall time per op (>1 means twig wins).
+	Speedup float64 `json:"speedup"`
+	// PrunedPerOp is the number of candidate intervals the synopsis
+	// removed from main-path steps, averaged per executed query.
+	PrunedPerOp float64 `json:"pruned_per_op"`
+}
+
+var (
+	planRowsMu sync.Mutex
+	planRows   []planRow
+)
+
+// recordPlanRow keeps one row per suite, last run wins (the framework
+// re-invokes benchmarks while calibrating b.N).
+func recordPlanRow(row planRow) {
+	planRowsMu.Lock()
+	defer planRowsMu.Unlock()
+	for i := range planRows {
+		if planRows[i].Suite == row.Suite {
+			planRows[i] = row
+			return
+		}
+	}
+	planRows = append(planRows, row)
+}
+
+var (
+	planOnce sync.Once
+	planSys  *core.System
+	planSrv  *server.Server
+	planErr  error
+)
+
+// planSetup hosts one NASA document under the opt scheme with the
+// server caches off, so every measured execution takes the cold path:
+// compile (twig match included), interval joins, assembly.
+func planSetup(b *testing.B) (*core.System, *server.Server) {
+	b.Helper()
+	planOnce.Do(func() {
+		doc := datagen.NASAToSize(benchSize(), 13)
+		sys, err := core.Host(doc, datagen.NASASCs(), core.SchemeOpt, []byte("bench-plan"))
+		if err != nil {
+			planErr = err
+			return
+		}
+		planSys = sys
+		planSrv = sys.Server.(core.Local).S
+		planSrv.SetCaching(false)
+	})
+	if planErr != nil {
+		b.Fatal(planErr)
+	}
+	return planSys, planSrv
+}
+
+// planFrames translates and marshals a suite's queries once.
+func planFrames(b *testing.B, sys *core.System, queries []string) [][]byte {
+	b.Helper()
+	frames := make([][]byte, len(queries))
+	for i, q := range queries {
+		qs, err := translated(sys, q)
+		if err != nil {
+			b.Fatalf("translate %s: %v", q, err)
+		}
+		frame, err := wire.MarshalQuery(qs)
+		if err != nil {
+			b.Fatalf("marshal %s: %v", q, err)
+		}
+		frames[i] = frame
+	}
+	return frames
+}
+
+// checkPlanEquivalence fails the benchmark unless every frame's twig
+// and pairwise answers are byte-identical (Merkle-provable answer
+// bytes; the plan strategy itself travels out of band).
+func checkPlanEquivalence(b *testing.B, srv *server.Server, queries []string, frames [][]byte) {
+	b.Helper()
+	for i, frame := range frames {
+		var wires [2][]byte
+		for m, mode := range []string{server.StrategyTwig, server.StrategyPairwise} {
+			if err := srv.ForceStrategy(mode); err != nil {
+				b.Fatal(err)
+			}
+			ans, err := srv.ExecuteFrame(frame)
+			if err != nil {
+				b.Fatalf("%s (%s): %v", queries[i], mode, err)
+			}
+			if wires[m], err = wire.MarshalAnswer(ans); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if !bytes.Equal(wires[0], wires[1]) {
+			b.Fatalf("%s: twig and pairwise answers differ on the wire", queries[i])
+		}
+	}
+}
+
+// runPlanSuite measures one suite under both forced strategies and
+// records the pair.
+func runPlanSuite(b *testing.B, suite string) {
+	sys, srv := planSetup(b)
+	queries := planSuites[suite]
+	frames := planFrames(b, sys, queries)
+	checkPlanEquivalence(b, srv, queries, frames)
+	defer srv.ForceStrategy("auto")
+
+	// One benchmark op executes the ENTIRE suite, so both strategies
+	// see identical query weights regardless of b.N — the reported
+	// ratio is exactly sum(pairwise)/sum(twig) over the suite.
+	run := func(b *testing.B, mode string) float64 {
+		if err := srv.ForceStrategy(mode); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, frame := range frames {
+				if _, err := srv.ExecuteFrame(frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		return float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	}
+	var pairNs float64
+	b.Run("pairwise", func(b *testing.B) { pairNs = run(b, server.StrategyPairwise) })
+	b.Run("twig", func(b *testing.B) {
+		before := srv.PlannerStats()
+		twigNs := run(b, server.StrategyTwig)
+		after := srv.PlannerStats()
+		ops := after.Twig - before.Twig
+		row := planRow{
+			Suite:           suite,
+			Queries:         len(queries),
+			PairwiseNsPerOp: pairNs,
+			TwigNsPerOp:     twigNs,
+		}
+		if twigNs > 0 {
+			row.Speedup = pairNs / twigNs
+		}
+		if ops > 0 {
+			row.PrunedPerOp = float64(after.PrunedIntervals-before.PrunedIntervals) / float64(ops)
+		}
+		recordPlanRow(row)
+		b.ReportMetric(row.Speedup, "speedup")
+		b.ReportMetric(row.PrunedPerOp, "pruned/op")
+	})
+}
+
+// BenchmarkTwigHeavyPlan measures the branch-heavy twig suite — the
+// workload the holistic matcher exists for.
+func BenchmarkTwigHeavyPlan(b *testing.B) { runPlanSuite(b, "twig-heavy") }
+
+// BenchmarkSelectivePlan measures value-selective lookups, where the
+// value index prunes and the synopsis must merely keep up.
+func BenchmarkSelectivePlan(b *testing.B) { runPlanSuite(b, "selective") }
+
+// BenchmarkWorstCasePlan measures unprunable queries, bounding the
+// twig pass's overhead (compilation runs the twig match under both
+// strategies, so the execution-side difference is what shows here).
+func BenchmarkWorstCasePlan(b *testing.B) { runPlanSuite(b, "worst-case") }
+
+// planReport is the BENCH_plan.json document.
+type planReport struct {
+	Rows []planRow `json:"rows"`
+}
+
+func planReportData() planReport {
+	planRowsMu.Lock()
+	defer planRowsMu.Unlock()
+	return planReport{Rows: append([]planRow(nil), planRows...)}
+}
+
+// planGuard compares this run's twig-heavy speedup against the
+// committed BENCH_plan.json at path: the measured speedup must stay
+// above HALF the committed value (wall-clock ratios are noisy across
+// runners; a halved floor still catches the planner silently losing
+// its advantage), and the worst-case suite must not regress twig
+// below 70% of pairwise throughput.
+func planGuard(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var committed planReport
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	current := planReportData()
+	cur := map[string]planRow{}
+	for _, r := range current.Rows {
+		cur[r.Suite] = r
+	}
+	for _, want := range committed.Rows {
+		got, ok := cur[want.Suite]
+		if !ok {
+			continue // suite not run this invocation
+		}
+		switch want.Suite {
+		case "twig-heavy":
+			if floor := want.Speedup / 2; got.Speedup < floor {
+				return fmt.Errorf("twig-heavy speedup %.2fx below guard floor %.2fx (committed %.2fx)",
+					got.Speedup, floor, want.Speedup)
+			}
+		case "worst-case":
+			if got.Speedup < 0.7 {
+				return fmt.Errorf("worst-case: twig %.2fx of pairwise throughput (floor 0.70)", got.Speedup)
+			}
+		}
+	}
+	return nil
+}

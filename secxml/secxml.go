@@ -154,6 +154,13 @@ type Timings struct {
 	// Stale marks an answer served from the stale-fallback cache
 	// because the remote backend was unreachable.
 	Stale bool
+	// PlanStrategy reports which server execution strategy produced
+	// the answer: "twig" (holistic twig match over the structure
+	// synopsis) or "pairwise" (per-step interval joins). Empty when
+	// the backend predates the planner or the answer was stale.
+	// PlanEstimate is the planner's admission-cost estimate.
+	PlanStrategy string
+	PlanEstimate int64
 }
 
 // Total sums all stages.
@@ -217,6 +224,17 @@ func (db *Database) Update(path, newValue string) (int, error) {
 	return db.sys.UpdateLeafValues(path, newValue)
 }
 
+// ForcePlannerStrategy pins the server's query-planner choice:
+// "auto" (cost-based, the default), "twig" (always match the whole
+// query twig against the structure synopsis first) or "pairwise"
+// (always the classic per-step interval joins). Answers are
+// byte-identical under every mode — this is a debugging and
+// benchmarking control. In-process backends only; a remote server's
+// planner is set by its own -planner flag.
+func (db *Database) ForcePlannerStrategy(mode string) error {
+	return db.sys.ForcePlannerStrategy(mode)
+}
+
 // NaiveQuery evaluates the query with the baseline of §7.3: the
 // server ships the entire database and the client does everything.
 func (db *Database) NaiveQuery(query string) (*Result, error) {
@@ -237,6 +255,8 @@ func convertTimings(tm core.Timings) Timings {
 		AnswerBytes:     tm.AnswerBytes,
 		BlocksShipped:   tm.BlocksShipped,
 		Stale:           tm.Stale,
+		PlanStrategy:    tm.PlanStrategy,
+		PlanEstimate:    tm.PlanEstimate,
 	}
 }
 
